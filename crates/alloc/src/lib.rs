@@ -1,0 +1,41 @@
+//! # sjmp-alloc — segment-resident heap allocation for SpaceJMP
+//!
+//! SpaceJMP "complicates heap management since programs need to allocate
+//! memory from different segments depending on their needs" (Section 4.1).
+//! The paper's runtime builds on dlmalloc's *mspace* concept: a
+//! self-contained allocator state that "may be placed at arbitrary
+//! locations" — in SpaceJMP's case, inside the very segment it manages.
+//!
+//! [`Mspace`] reproduces that design: a boundary-tag allocator with
+//! segregated free lists whose entire state (bin heads, counters, chunk
+//! headers, links) lives in the managed memory behind the [`MemAccess`]
+//! trait. Formatting an mspace inside a SpaceJMP segment therefore yields
+//! a heap that:
+//!
+//! * is usable by any process that attaches the segment (allocation
+//!   metadata travels with the data), and
+//! * persists across process lifetimes, pointer values intact — the
+//!   property the SAMTools experiment (Section 5.4) relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use sjmp_alloc::{MemAccess, Mspace, VecMem};
+//!
+//! # fn main() -> Result<(), sjmp_alloc::AllocError> {
+//! let mut heap = Mspace::format(VecMem::new(1 << 16))?;
+//! let p = heap.malloc(256)?;
+//! heap.mem_mut().write_u64(p, 42);
+//!
+//! // Hand the memory to "another process": state persists.
+//! let mut heap2 = Mspace::attach(heap.into_inner())?;
+//! assert_eq!(heap2.mem_mut().read_u64(p), 42);
+//! heap2.free(p)?;
+//! # Ok(()) }
+//! ```
+
+pub mod mem;
+pub mod mspace;
+
+pub use mem::{MemAccess, VecMem};
+pub use mspace::{AllocError, Mspace, MIN_AREA};

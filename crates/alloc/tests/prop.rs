@@ -1,0 +1,122 @@
+//! Property-based tests for the mspace allocator: arbitrary
+//! malloc/free/realloc sequences must preserve the boundary-tag
+//! invariants, never hand out overlapping memory, and account bytes
+//! exactly.
+
+use proptest::prelude::*;
+use sjmp_alloc::{Mspace, VecMem};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Malloc(u64),
+    Calloc(u64),
+    /// Free the i-th live allocation (modulo the live count).
+    Free(usize),
+    /// Realloc the i-th live allocation to a new size.
+    Realloc(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..2000).prop_map(Op::Malloc),
+        (1u64..500).prop_map(Op::Calloc),
+        any::<usize>().prop_map(Op::Free),
+        (any::<usize>(), 1u64..1500).prop_map(|(i, s)| Op::Realloc(i, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_sequences_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut ms = Mspace::format(VecMem::new(256 * 1024)).unwrap();
+        // (ptr, usable_size) of live allocations.
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Malloc(size) | Op::Calloc(size) => {
+                    let zeroed = matches!(op, Op::Calloc(_));
+                    let result = if zeroed { ms.calloc(size) } else { ms.malloc(size) };
+                    if let Ok(p) = result {
+                        let usable = ms.usable_size(p).unwrap();
+                        prop_assert!(usable >= size, "usable {usable} < requested {size}");
+                        // No overlap with any live allocation.
+                        for &(q, qs) in &live {
+                            prop_assert!(
+                                p + usable <= q || q + qs <= p,
+                                "overlap: [{p}, +{usable}) vs [{q}, +{qs})"
+                            );
+                        }
+                        live.push((p, usable));
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (p, _) = live.swap_remove(i % live.len());
+                        ms.free(p).unwrap();
+                    }
+                }
+                Op::Realloc(i, new_size) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (p, _) = live[idx];
+                        if let Ok(q) = ms.realloc(p, new_size) {
+                            let usable = ms.usable_size(q).unwrap();
+                            prop_assert!(usable >= new_size);
+                            live[idx] = (q, usable);
+                        }
+                    }
+                }
+            }
+        }
+        ms.check_invariants();
+        prop_assert_eq!(ms.allocation_count(), live.len() as u64);
+        for (p, _) in live {
+            ms.free(p).unwrap();
+        }
+        prop_assert_eq!(ms.allocated_bytes(), 0);
+        ms.check_invariants();
+    }
+
+    #[test]
+    fn full_drain_returns_all_memory(sizes in prop::collection::vec(1u64..800, 1..60)) {
+        let mut ms = Mspace::format(VecMem::new(128 * 1024)).unwrap();
+        let baseline = ms.free_bytes();
+        let ptrs: Vec<u64> = sizes.iter().filter_map(|&s| ms.malloc(s).ok()).collect();
+        for p in ptrs {
+            ms.free(p).unwrap();
+        }
+        prop_assert_eq!(ms.free_bytes(), baseline, "all memory coalesced back");
+        ms.check_invariants();
+    }
+
+    #[test]
+    fn data_integrity_across_churn(seed_vals in prop::collection::vec(any::<u64>(), 4..32)) {
+        use sjmp_alloc::MemAccess;
+        let mut ms = Mspace::format(VecMem::new(64 * 1024)).unwrap();
+        // Write a distinct value into each allocation, churn, verify.
+        let mut slots = Vec::new();
+        for (i, &v) in seed_vals.iter().enumerate() {
+            let p = ms.malloc(((i as u64) % 5 + 1) * 24).unwrap();
+            ms.mem_mut().write_u64(p, v);
+            slots.push((p, v));
+        }
+        // Free every other allocation and allocate again.
+        let mut kept = Vec::new();
+        for (i, (p, v)) in slots.into_iter().enumerate() {
+            if i % 2 == 0 {
+                ms.free(p).unwrap();
+            } else {
+                kept.push((p, v));
+            }
+        }
+        for i in 0..seed_vals.len() / 2 {
+            let _ = ms.malloc((i as u64 % 7 + 1) * 40);
+        }
+        for (p, v) in kept {
+            prop_assert_eq!(ms.mem_mut().read_u64(p), v, "surviving allocation corrupted");
+        }
+        ms.check_invariants();
+    }
+}

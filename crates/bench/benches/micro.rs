@@ -1,0 +1,175 @@
+//! Criterion microbenchmarks over the hot paths of the reproduction:
+//! address-space switching, translation, the segment-resident allocator
+//! and dictionary, the safety analysis, and the block compressor.
+//!
+//! These measure *host* execution time of the simulator itself (how fast
+//! the reproduction runs), complementing the `fig*` binaries which report
+//! *simulated* cycles (what the paper measures).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sjmp_alloc::{Mspace, VecMem};
+use sjmp_mem::cost::{CostModel, CycleClock};
+use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::{Asid, KernelFlavor, Machine, Mmu, PhysMem, VirtAddr};
+use sjmp_os::{Creds, Kernel, Mode};
+use spacejmp_core::{SpaceJmp, VasHandle};
+
+fn bench_vas_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vas_switch");
+    for (name, flavor) in
+        [("dragonfly", KernelFlavor::DragonFly), ("barrelfish", KernelFlavor::Barrelfish)]
+    {
+        let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+        let pid = sj.kernel_mut().spawn("p", Creds::new(1, 1)).unwrap();
+        sj.kernel_mut().activate(pid).unwrap();
+        let handles: Vec<VasHandle> = (0..2)
+            .map(|i| {
+                let vid = sj.vas_create(pid, &format!("v{i}"), Mode(0o600)).unwrap();
+                sj.vas_attach(pid, vid).unwrap()
+            })
+            .collect();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                sj.vas_switch(pid, handles[i % 2]).unwrap();
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmu");
+    let mut phys = PhysMem::new(64 << 20);
+    let root = paging::new_root(&mut phys).unwrap();
+    let frames = phys.alloc_contiguous(1024).unwrap();
+    paging::map_region(
+        &mut phys,
+        root,
+        VirtAddr::new(0x10_0000),
+        frames.base(),
+        1024 * 4096,
+        sjmp_mem::PageSize::Size4K,
+        PteFlags::USER | PteFlags::WRITABLE,
+    )
+    .unwrap();
+    let mut mmu = Mmu::new(512, 4, CostModel::default(), CycleClock::new());
+    mmu.load_cr3(root, Asid::UNTAGGED);
+    let mut page = 0u64;
+    group.bench_function("tlb_hit", |b| {
+        mmu.touch(&mut phys, VirtAddr::new(0x10_0000)).unwrap();
+        b.iter(|| mmu.touch(&mut phys, black_box(VirtAddr::new(0x10_0000))).unwrap())
+    });
+    group.bench_function("tlb_miss_walk", |b| {
+        b.iter(|| {
+            mmu.tlb_mut().flush_nonglobal();
+            page = (page + 1) % 1024;
+            mmu.touch(&mut phys, VirtAddr::new(0x10_0000 + page * 4096)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mspace");
+    group.bench_function("malloc_free", |b| {
+        let mut ms = Mspace::format(VecMem::new(1 << 20)).unwrap();
+        b.iter(|| {
+            let p = ms.malloc(black_box(128)).unwrap();
+            ms.free(p).unwrap();
+        })
+    });
+    group.bench_function("malloc_churn", |b| {
+        b.iter_batched(
+            || Mspace::format(VecMem::new(1 << 20)).unwrap(),
+            |mut ms| {
+                let ptrs: Vec<u64> = (0..64).map(|i| ms.malloc(32 + i * 8).unwrap()).collect();
+                for p in ptrs.into_iter().rev() {
+                    ms.free(p).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_kv_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redisjmp");
+    group.sample_size(20);
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    let pid = sj.kernel_mut().spawn("client", Creds::new(1, 1)).unwrap();
+    sj.kernel_mut().activate(pid).unwrap();
+    let mut client = sjmp_kv::JmpClient::join(&mut sj, pid, "bench", 0).unwrap();
+    for i in 0..128u32 {
+        client.set(&mut sj, format!("k{i}").as_bytes(), b"value").unwrap();
+    }
+    let mut i = 0u32;
+    group.bench_function("get_visit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 128;
+            client.get(&mut sj, format!("k{i}").as_bytes()).unwrap()
+        })
+    });
+    group.bench_function("set_visit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 128;
+            client.set(&mut sj, format!("k{i}").as_bytes(), b"value2").unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_safety_analysis(c: &mut Criterion) {
+    use sjmp_safety::analysis::Analysis;
+    use sjmp_safety::ir::{AbstractVas, BlockId, Function, Inst, Module, VasName};
+    let mut m = Module::new();
+    let mut f = Function::new("main", 0);
+    for w in 0..32u32 {
+        f.push(BlockId(0), Inst::Switch(VasName(w + 1)));
+        let p = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 64 });
+        for _ in 0..8 {
+            let x = f.fresh_reg();
+            f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+        }
+    }
+    f.push(BlockId(0), Inst::Ret(None));
+    m.add_function(f);
+    c.bench_function("safety_analysis_fixpoint", |b| {
+        b.iter(|| {
+            let entry = [AbstractVas::Vas(VasName(0))].into_iter().collect();
+            black_box(Analysis::run(black_box(&m), entry))
+        })
+    });
+}
+
+fn bench_bgzf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgzf");
+    group.sample_size(20);
+    let data: Vec<u8> = (0..256 * 1024u32)
+        .map(|i| b"ACGTACGGTTAACC"[(i % 14) as usize])
+        .collect();
+    let compressed = sjmp_genome::bgzf::compress(&data);
+    group.bench_function("compress_256k", |b| {
+        b.iter(|| black_box(sjmp_genome::bgzf::compress(black_box(&data))))
+    });
+    group.bench_function("decompress_256k", |b| {
+        b.iter(|| black_box(sjmp_genome::bgzf::decompress(black_box(&compressed)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vas_switch,
+    bench_translate,
+    bench_mspace,
+    bench_kv_ops,
+    bench_safety_analysis,
+    bench_bgzf
+);
+criterion_main!(benches);

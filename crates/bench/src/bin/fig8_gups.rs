@@ -1,0 +1,41 @@
+//! Figure 8: GUPS throughput (million updates per second) for the three
+//! large-memory designs, vs number of address spaces (windows), M3.
+//!
+//! Series: SpaceJMP, MP (multi-process message passing), MAP (remap on
+//! window change), each for update-set sizes 64 and 16.
+
+use sjmp_bench::{heading, quick_mode, row};
+use sjmp_gups::{run, Design, GupsConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let window_counts: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let epochs = if quick { 64 } else { 256 };
+
+    for &updates in &[64usize, 16] {
+        heading(&format!("Figure 8: GUPS MUPS per process (update set {updates}, M3)"));
+        row(&["windows", "SpaceJMP", "MP", "MAP"], &[8, 10, 10, 10]);
+        for &w in window_counts {
+            let cfg = GupsConfig {
+                windows: w,
+                updates_per_set: updates,
+                epochs,
+                ..GupsConfig::default()
+            };
+            let jmp = run(Design::Jmp, &cfg).expect("jmp");
+            let mp = run(Design::Mp, &cfg).expect("mp");
+            let map = run(Design::Map, &cfg).expect("map");
+            row(
+                &[
+                    w.to_string(),
+                    format!("{:.1}", jmp.mups),
+                    format!("{:.1}", mp.mups),
+                    format!("{:.1}", map.mups),
+                ],
+                &[8, 10, 10, 10],
+            );
+        }
+    }
+    println!("\npaper: all equal at 1 window; MAP collapses immediately;");
+    println!("SpaceJMP >= MP throughout; MP drops past 36 processes (M3 cores)");
+}

@@ -1,0 +1,81 @@
+//! # sjmp-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_mmap_scaling` | Figure 1: mmap/munmap cost vs region size |
+//! | `tab2_switch_breakdown` | Tables 1-2: machines, switch decomposition |
+//! | `fig6_tlb_tagging` | Figure 6: TLB tagging vs working-set size |
+//! | `fig7_rpc_latency` | Figure 7: URPC vs SpaceJMP latency |
+//! | `fig8_gups` | Figure 8: GUPS MUPS vs #address spaces |
+//! | `fig9_gups_rates` | Figure 9: switch and TLB-miss rates |
+//! | `fig10_redis` | Figure 10 a/b/c: Redis vs RedisJMP throughput |
+//! | `fig11_samtools` | Figure 11: BAM/SAM vs SpaceJMP |
+//! | `fig12_samtools_mmap` | Figure 12: mmap vs SpaceJMP |
+//! | `ablate_safety_checks` | Section 4.3 ablation: naive vs analyzed checks |
+//!
+//! Run any of them with `cargo run -p sjmp-bench --bin <target> [--quick]`.
+//! Every binary prints a plain-text table whose rows correspond to the
+//! paper's plotted series; `EXPERIMENTS.md` records paper-vs-measured.
+
+use std::fmt::Display;
+
+/// Prints a header line surrounded by rules.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats one table row with fixed-width columns.
+pub fn row<D: Display>(cells: &[D], widths: &[usize]) {
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        line.push_str(&format!("{:>w$}  ", c.to_string(), w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Parses a `--quick` flag (smaller sweeps for CI) from argv.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Geometric size ticks `2^lo ..= 2^hi`, stepping the exponent.
+pub fn pow2_ticks(lo: u32, hi: u32, step: u32) -> Vec<u64> {
+    (lo..=hi).step_by(step as usize).map(|e| 1u64 << e).collect()
+}
+
+/// Human-readable byte size.
+pub fn human_bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if v.fract() == 0.0 {
+        format!("{}{}", v as u64, UNITS[u])
+    } else {
+        format!("{:.1}{}", v, UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks() {
+        assert_eq!(pow2_ticks(4, 8, 2), vec![16, 64, 256]);
+        assert_eq!(pow2_ticks(3, 3, 1), vec![8]);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(1 << 20), "1MiB");
+        assert_eq!(human_bytes(3 * (1 << 30) / 2), "1.5GiB");
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the SpaceJMP API layer.
+
+use std::fmt;
+
+use sjmp_os::OsError;
+
+/// Errors returned by the SpaceJMP API (Figure 3 operations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SjError {
+    /// Underlying kernel error.
+    Os(OsError),
+    /// A VAS or segment name is already registered.
+    NameTaken(String),
+    /// No VAS/segment with that name or id.
+    NotFound,
+    /// Handle does not belong to the calling process.
+    BadHandle,
+    /// The process is not attached to the VAS.
+    NotAttached,
+    /// A lockable segment is held in a conflicting mode; the switch (or
+    /// detach) would block.
+    WouldBlock,
+    /// Caller's credentials do not permit the operation.
+    PermissionDenied,
+    /// Segment address range conflicts with an existing segment or with
+    /// the process-private range.
+    AddressConflict(String),
+    /// Object is still in use (attached or locked).
+    Busy(&'static str),
+    /// Malformed request.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for SjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SjError::Os(e) => write!(f, "kernel error: {e}"),
+            SjError::NameTaken(n) => write!(f, "name already registered: {n}"),
+            SjError::NotFound => write!(f, "no such VAS or segment"),
+            SjError::BadHandle => write!(f, "handle does not belong to caller"),
+            SjError::NotAttached => write!(f, "process is not attached to the VAS"),
+            SjError::WouldBlock => write!(f, "segment lock held in a conflicting mode"),
+            SjError::PermissionDenied => write!(f, "permission denied"),
+            SjError::AddressConflict(what) => write!(f, "address conflict: {what}"),
+            SjError::Busy(what) => write!(f, "object busy: {what}"),
+            SjError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SjError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OsError> for SjError {
+    fn from(e: OsError) -> Self {
+        SjError::Os(e)
+    }
+}
+
+impl From<sjmp_mem::MemError> for SjError {
+    fn from(e: sjmp_mem::MemError) -> Self {
+        SjError::Os(OsError::Mem(e))
+    }
+}
+
+/// Result alias for SpaceJMP operations.
+pub type SjResult<T> = Result<T, SjError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SjError = OsError::NoSuchProcess.into();
+        assert!(e.to_string().contains("no such process"));
+        let e: SjError = sjmp_mem::MemError::OutOfFrames.into();
+        assert!(e.to_string().contains("out of physical frames"));
+        assert!(SjError::WouldBlock.to_string().contains("lock"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SjError>();
+    }
+}

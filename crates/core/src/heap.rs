@@ -1,0 +1,231 @@
+//! VAS-aware heap allocation: dlmalloc-style mspaces inside segments.
+//!
+//! Section 4.1: the runtime "provides allocation of heap space (malloc)
+//! within a specific segment while inside an address space", built over
+//! dlmalloc mspaces with "wrapper functions for malloc and free which
+//! supply the correct mspace instance ... depending on the currently
+//! active address space and segment."
+//!
+//! [`VasHeap`] binds an [`sjmp_alloc::Mspace`] to a SpaceJMP segment. The
+//! allocator state lives in the segment itself, so:
+//!
+//! * any process switched into a VAS mapping the segment writable can
+//!   allocate and free;
+//! * the heap — including every pointer into it — survives process exit,
+//!   which is exactly what the SAMTools experiment exploits to keep
+//!   pointer-rich data structures live between tool invocations.
+
+use sjmp_alloc::{AllocError, MemAccess, Mspace};
+use sjmp_mem::VirtAddr;
+use sjmp_os::{Kernel, Pid};
+
+use crate::error::{SjError, SjResult};
+use crate::segment::SegId;
+use crate::spacejmp::SpaceJmp;
+
+/// [`MemAccess`] over a virtual range of a process's current address
+/// space: every allocator word access becomes a simulated load/store
+/// through the MMU (and is charged cycles accordingly).
+struct KernelMem<'a> {
+    kernel: &'a mut Kernel,
+    pid: Pid,
+    base: VirtAddr,
+    size: u64,
+}
+
+impl MemAccess for KernelMem<'_> {
+    fn size(&self) -> u64 {
+        self.size
+    }
+
+    fn read_u64(&mut self, offset: u64) -> u64 {
+        assert!(offset + 8 <= self.size, "allocator access out of segment bounds");
+        self.kernel
+            .load_u64(self.pid, self.base.add(offset))
+            .expect("heap segment must be mapped in the current VAS")
+    }
+
+    fn write_u64(&mut self, offset: u64, value: u64) {
+        assert!(offset + 8 <= self.size, "allocator access out of segment bounds");
+        self.kernel
+            .store_u64(self.pid, self.base.add(offset), value)
+            .expect("heap segment must be mapped writable in the current VAS")
+    }
+}
+
+/// A heap living inside a SpaceJMP segment.
+///
+/// The handle itself is plain data (segment id, base, size); all state is
+/// in the segment, so any number of `VasHeap` values may refer to the same
+/// heap and a fresh one can be constructed after re-attaching in a new
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VasHeap {
+    sid: SegId,
+    base: VirtAddr,
+    size: u64,
+}
+
+impl VasHeap {
+    /// Formats a new heap in `sid`, erasing its contents. The caller must
+    /// currently be switched into a VAS mapping the segment writable.
+    ///
+    /// # Errors
+    ///
+    /// * [`SjError::NotFound`] for unknown segments.
+    /// * Allocation/permission errors surfaced from the access path.
+    pub fn format(sj: &mut SpaceJmp, pid: Pid, sid: SegId) -> SjResult<VasHeap> {
+        let (base, size) = Self::segment_extent(sj, sid)?;
+        Self::check_mapped(sj, pid, base)?;
+        Mspace::format(KernelMem { kernel: sj.kernel_mut(), pid, base, size })
+            .map_err(alloc_err)?;
+        Ok(VasHeap { sid, base, size })
+    }
+
+    /// Opens a heap previously formatted in `sid` (for example by another
+    /// process).
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::InvalidArgument`] if the segment holds no heap.
+    pub fn open(sj: &mut SpaceJmp, pid: Pid, sid: SegId) -> SjResult<VasHeap> {
+        let (base, size) = Self::segment_extent(sj, sid)?;
+        Self::check_mapped(sj, pid, base)?;
+        Mspace::attach(KernelMem { kernel: sj.kernel_mut(), pid, base, size })
+            .map_err(alloc_err)?;
+        Ok(VasHeap { sid, base, size })
+    }
+
+    fn segment_extent(sj: &SpaceJmp, sid: SegId) -> SjResult<(VirtAddr, u64)> {
+        let seg = sj.segment(sid)?;
+        Ok((seg.base(), seg.size()))
+    }
+
+    fn check_mapped(sj: &mut SpaceJmp, pid: Pid, base: VirtAddr) -> SjResult<()> {
+        let space = sj.kernel().process(pid)?.current_space();
+        let vs = sj.kernel().vmspace(space)?;
+        if vs.find_region(base).is_none() {
+            return Err(SjError::NotAttached);
+        }
+        Ok(())
+    }
+
+    /// The segment hosting this heap.
+    pub fn segment(&self) -> SegId {
+        self.sid
+    }
+
+    /// The heap's base virtual address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    fn mspace<'a>(&self, sj: &'a mut SpaceJmp, pid: Pid) -> SjResult<Mspace<KernelMem<'a>>> {
+        Self::check_mapped(sj, pid, self.base)?;
+        Mspace::attach(KernelMem { kernel: sj.kernel_mut(), pid, base: self.base, size: self.size })
+            .map_err(alloc_err)
+    }
+
+    /// Allocates `size` bytes; returns a virtual address valid in any
+    /// address space that maps the segment.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::Os`]-wrapped out-of-memory, or [`SjError::NotAttached`]
+    /// when the current VAS does not map the heap segment.
+    pub fn malloc(&self, sj: &mut SpaceJmp, pid: Pid, size: u64) -> SjResult<VirtAddr> {
+        let base = self.base;
+        let off = self.mspace(sj, pid)?.malloc(size).map_err(alloc_err)?;
+        Ok(base.add(off))
+    }
+
+    /// Allocates zeroed memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::malloc`].
+    pub fn calloc(&self, sj: &mut SpaceJmp, pid: Pid, size: u64) -> SjResult<VirtAddr> {
+        let base = self.base;
+        let off = self.mspace(sj, pid)?.calloc(size).map_err(alloc_err)?;
+        Ok(base.add(off))
+    }
+
+    /// Frees an allocation made from this heap.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::InvalidArgument`] for pointers outside the heap or not
+    /// referencing a live allocation.
+    pub fn free(&self, sj: &mut SpaceJmp, pid: Pid, ptr: VirtAddr) -> SjResult<()> {
+        if ptr < self.base || ptr >= self.base.add(self.size) {
+            return Err(SjError::InvalidArgument("pointer outside heap segment"));
+        }
+        let off = ptr.offset_from(self.base);
+        self.mspace(sj, pid)?.free(off).map_err(alloc_err)
+    }
+
+    /// Resizes an allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::malloc`] and [`Self::free`].
+    pub fn realloc(&self, sj: &mut SpaceJmp, pid: Pid, ptr: VirtAddr, size: u64) -> SjResult<VirtAddr> {
+        if ptr < self.base || ptr >= self.base.add(self.size) {
+            return Err(SjError::InvalidArgument("pointer outside heap segment"));
+        }
+        let base = self.base;
+        let off = ptr.offset_from(base);
+        let new = self.mspace(sj, pid)?.realloc(off, size).map_err(alloc_err)?;
+        Ok(base.add(new))
+    }
+
+    /// Stores the heap's application root pointer (a VA, typically the
+    /// head of the data structure living in this heap), so later
+    /// attachers can find it.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotAttached`] if the segment is not mapped.
+    pub fn set_root(&self, sj: &mut SpaceJmp, pid: Pid, root: VirtAddr) -> SjResult<()> {
+        self.mspace(sj, pid)?.set_root(root.raw());
+        Ok(())
+    }
+
+    /// Reads the heap's application root pointer ([`VirtAddr::NULL`] if
+    /// never set).
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotAttached`] if the segment is not mapped.
+    pub fn root(&self, sj: &mut SpaceJmp, pid: Pid) -> SjResult<VirtAddr> {
+        let raw = self.mspace(sj, pid)?.root();
+        Ok(VirtAddr::new(raw))
+    }
+
+    /// Live payload bytes in the heap.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotAttached`] if the segment is not mapped.
+    pub fn allocated_bytes(&self, sj: &mut SpaceJmp, pid: Pid) -> SjResult<u64> {
+        Ok(self.mspace(sj, pid)?.allocated_bytes())
+    }
+
+    /// Live allocation count.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotAttached`] if the segment is not mapped.
+    pub fn allocation_count(&self, sj: &mut SpaceJmp, pid: Pid) -> SjResult<u64> {
+        Ok(self.mspace(sj, pid)?.allocation_count())
+    }
+}
+
+fn alloc_err(e: AllocError) -> SjError {
+    match e {
+        AllocError::OutOfMemory => SjError::Os(sjmp_os::OsError::Mem(sjmp_mem::MemError::OutOfFrames)),
+        AllocError::BadMagic => SjError::InvalidArgument("segment holds no heap"),
+        AllocError::TooSmall => SjError::InvalidArgument("segment too small for a heap"),
+        AllocError::BadPointer(_) => SjError::InvalidArgument("invalid heap pointer"),
+    }
+}

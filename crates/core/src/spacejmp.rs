@@ -1,0 +1,1075 @@
+//! The SpaceJMP API: the operations of Figure 3, layered over the
+//! simulated kernel.
+//!
+//! ```text
+//! VAS API - for applications.          Segment API - for library developers.
+//! vas_find(name) -> vid               seg_find(name) -> sid
+//! vas_create(name, perms) -> vid      seg_alloc(name, base, size, perms) -> sid
+//! vas_clone(vid) -> vid               seg_clone(sid) -> sid
+//! vas_attach(vid) -> vh               seg_attach(vid|vh, sid)
+//! vas_detach(vh)                      seg_detach(vid|vh, sid)
+//! vas_switch(vh)                      seg_ctl(sid, cmd)
+//! vas_ctl(cmd, vid[, arg])
+//! ```
+//!
+//! Every method takes the calling [`Pid`] explicitly (the simulator has no
+//! ambient "current process"). Costs are charged to the machine clock
+//! following the paper's measurements: one kernel entry per call, the
+//! Table 2 switch decomposition in [`SpaceJmp::vas_switch`], and one
+//! uncontended lock acquisition per lockable segment.
+
+use std::collections::HashMap;
+
+use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::{Access, VirtAddr, PAGE_SIZE};
+use sjmp_os::kernel::{GLOBAL_HI, GLOBAL_LO, PRIVATE_HI};
+use sjmp_mem::KernelFlavor;
+use sjmp_os::{Acl, CapKind, CapRights, Capability, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid, Region, VmspaceId};
+
+use crate::error::{SjError, SjResult};
+use crate::segment::{AttachMode, SegId, Segment};
+use crate::vas::{Attachment, Vas, VasHandle, VasId};
+
+/// Which physical tier backs a segment (Section 7 heterogeneous memory:
+/// "a co-packaged volatile performance tier, a persistent capacity
+/// tier").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemTier {
+    /// Volatile performance tier (default).
+    Dram,
+    /// Persistent capacity tier: larger, slower, asymmetric write cost.
+    Nvm,
+}
+
+/// Commands for [`SpaceJmp::vas_ctl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VasCtl {
+    /// Change the VAS's permission mode bits.
+    SetMode(Mode),
+    /// Hint that this VAS should get a TLB tag ("The user has the ability
+    /// to pass hints to the kernel (vas_ctl) to request a tag be assigned
+    /// to an address space", Section 4.4).
+    RequestTag,
+    /// Drop the tag request (new attachments use the flush-always tag 0).
+    ReleaseTag,
+    /// Destroy the VAS (must have no attached processes).
+    Destroy,
+}
+
+/// Commands for [`SpaceJmp::seg_ctl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegCtl {
+    /// Change the segment's permission mode bits.
+    SetMode(Mode),
+    /// Mark the segment lockable or not.
+    SetLockable(bool),
+    /// Destroy the segment (must be detached everywhere).
+    Destroy,
+}
+
+/// SpaceJMP-layer event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SjStats {
+    /// `vas_switch` calls completed.
+    pub switches: u64,
+    /// `vas_attach` calls completed.
+    pub attaches: u64,
+    /// Segment locks acquired across all switches.
+    pub lock_acquisitions: u64,
+    /// Switch attempts aborted because a lock was contended.
+    pub lock_contentions: u64,
+}
+
+/// The SpaceJMP service: kernel + VAS/segment registries.
+///
+/// # Examples
+///
+/// The canonical usage from the paper's Figure 4:
+///
+/// ```
+/// use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
+/// use sjmp_os::{Creds, Kernel, Mode};
+/// use spacejmp_core::{AttachMode, SpaceJmp};
+///
+/// # fn main() -> Result<(), spacejmp_core::SjError> {
+/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+/// let pid = sj.kernel_mut().spawn("app", Creds::new(100, 100))?;
+///
+/// // va = 0xC0DE...; sz = 32 MiB (scaled from the paper's 1<<35).
+/// let va = VirtAddr::new(0x1000_C0DE_0000);
+/// let vid = sj.vas_create(pid, "v0", Mode(0o660))?;
+/// let sid = sj.seg_alloc(pid, "s0", va, 32 << 20, Mode(0o660))?;
+/// sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)?;
+///
+/// let vh = sj.vas_attach(pid, vid)?;
+/// sj.vas_switch(pid, vh)?;
+/// sj.kernel_mut().store_u64(pid, va, 42)?;
+/// assert_eq!(sj.kernel_mut().load_u64(pid, va)?, 42);
+/// # Ok(()) }
+/// ```
+pub struct SpaceJmp {
+    kernel: Kernel,
+    vases: HashMap<VasId, Vas>,
+    segments: HashMap<SegId, Segment>,
+    attachments: HashMap<VasHandle, Attachment>,
+    vas_names: HashMap<String, VasId>,
+    seg_names: HashMap<String, SegId>,
+    /// The VAS each process is currently switched into (absent = its
+    /// original, spawn-time address space).
+    current: HashMap<Pid, VasHandle>,
+    next_vid: u64,
+    next_sid: u64,
+    next_vh: u64,
+    stats: SjStats,
+}
+
+impl std::fmt::Debug for SpaceJmp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceJmp")
+            .field("vases", &self.vases.len())
+            .field("segments", &self.segments.len())
+            .field("attachments", &self.attachments.len())
+            .finish()
+    }
+}
+
+impl SpaceJmp {
+    /// Wraps a booted kernel with the SpaceJMP service.
+    pub fn new(kernel: Kernel) -> Self {
+        SpaceJmp {
+            kernel,
+            vases: HashMap::new(),
+            segments: HashMap::new(),
+            attachments: HashMap::new(),
+            vas_names: HashMap::new(),
+            seg_names: HashMap::new(),
+            current: HashMap::new(),
+            next_vid: 1,
+            next_sid: 1,
+            next_vh: 1,
+            stats: SjStats::default(),
+        }
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable access to the kernel (spawning, memory access).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// SpaceJMP-layer counters.
+    pub fn stats(&self) -> SjStats {
+        self.stats
+    }
+
+    /// The VAS registry entry for `vid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotFound`] for unknown ids.
+    pub fn vas(&self, vid: VasId) -> SjResult<&Vas> {
+        self.vases.get(&vid).ok_or(SjError::NotFound)
+    }
+
+    /// The segment registry entry for `sid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotFound`] for unknown ids.
+    pub fn segment(&self, sid: SegId) -> SjResult<&Segment> {
+        self.segments.get(&sid).ok_or(SjError::NotFound)
+    }
+
+    fn segment_mut(&mut self, sid: SegId) -> SjResult<&mut Segment> {
+        self.segments.get_mut(&sid).ok_or(SjError::NotFound)
+    }
+
+    fn vas_mut(&mut self, vid: VasId) -> SjResult<&mut Vas> {
+        self.vases.get_mut(&vid).ok_or(SjError::NotFound)
+    }
+
+    /// The attachment behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotFound`] for unknown handles.
+    pub fn attachment(&self, vh: VasHandle) -> SjResult<&Attachment> {
+        self.attachments.get(&vh).ok_or(SjError::NotFound)
+    }
+
+    /// The VAS a process is currently switched into, if any.
+    pub fn current_vas(&self, pid: Pid) -> Option<VasHandle> {
+        self.current.get(&pid).copied()
+    }
+
+    /// Terminates a process SpaceJMP-cleanly: switches it home (releasing
+    /// every segment lock it holds), detaches all of its VAS attachments,
+    /// and then exits it in the kernel. Without this, a process exiting
+    /// while switched into a shared VAS would leak its segment locks.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::Os`] wrapping kernel failures.
+    pub fn exit_process(&mut self, pid: Pid) -> SjResult<()> {
+        if self.current.contains_key(&pid) {
+            self.vas_switch_home(pid)?;
+        }
+        let handles: Vec<VasHandle> = self
+            .attachments
+            .iter()
+            .filter(|(_, a)| a.pid == pid)
+            .map(|(h, _)| *h)
+            .collect();
+        for vh in handles {
+            self.vas_detach(pid, vh)?;
+        }
+        self.kernel.exit(pid)?;
+        Ok(())
+    }
+
+    // ---- VAS API ---------------------------------------------------------
+
+    /// `vas_create(name, perms) -> vid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NameTaken`] if `name` is registered.
+    pub fn vas_create(&mut self, pid: Pid, name: &str, mode: Mode) -> SjResult<VasId> {
+        self.kernel.charge_entry();
+        if self.vas_names.contains_key(name) {
+            return Err(SjError::NameTaken(name.to_string()));
+        }
+        let creds = self.kernel.process(pid)?.creds();
+        let root = paging::new_root(self.kernel.phys_mut()).map_err(OsError::from)?;
+        let vid = VasId(self.next_vid);
+        self.next_vid += 1;
+        self.vases.insert(vid, Vas::new(vid, name, Acl::new(creds, mode), root));
+        self.vas_names.insert(name.to_string(), vid);
+        if self.kernel.flavor() == KernelFlavor::Barrelfish {
+            // Barrelfish: the creator receives an object capability from
+            // the user-level SpaceJMP service.
+            let cap = Capability::new(CapKind::Object { class: ObjClass::Vas, id: vid.0 }, CapRights::ALL);
+            self.kernel.process_mut(pid)?.cspace_mut().insert(cap).map_err(OsError::from)?;
+        }
+        Ok(vid)
+    }
+
+    /// `vas_find(name) -> vid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotFound`] if no VAS has that name.
+    pub fn vas_find(&mut self, name: &str) -> SjResult<VasId> {
+        self.kernel.charge_entry();
+        self.vas_names.get(name).copied().ok_or(SjError::NotFound)
+    }
+
+    /// `vas_clone(vid) -> vid`: a new VAS sharing the same segments (used
+    /// to derive a differently-permissioned view; contents are shared).
+    ///
+    /// # Errors
+    ///
+    /// Name collisions and permission failures.
+    pub fn vas_clone(&mut self, pid: Pid, vid: VasId, new_name: &str) -> SjResult<VasId> {
+        let (segs, src_acl) = {
+            let v = self.vas(vid)?;
+            (v.segments().to_vec(), v.acl().clone())
+        };
+        let creds = self.kernel.process(pid)?.creds();
+        if !src_acl.allows(creds, Access::Read) {
+            return Err(SjError::PermissionDenied);
+        }
+        let new_vid = self.vas_create(pid, new_name, src_acl.mode())?;
+        for (sid, mode) in segs {
+            self.seg_attach(pid, new_vid, sid, mode)?;
+        }
+        Ok(new_vid)
+    }
+
+    /// `vas_attach(vid) -> vh`: instantiates a process-private vmspace for
+    /// the VAS — private segments (text, globals, stack) are remapped, and
+    /// the VAS's shared page-table subtrees are linked in.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures; resource exhaustion.
+    pub fn vas_attach(&mut self, pid: Pid, vid: VasId) -> SjResult<VasHandle> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        {
+            let v = self.vas(vid)?;
+            if !v.acl().allows(creds, Access::Read) {
+                return Err(SjError::PermissionDenied);
+            }
+            if v.handle_of(pid).is_some() {
+                return Err(SjError::Busy("process already attached to this VAS"));
+            }
+            // ACL check per segment: the process must be able to use every
+            // segment in the mode the VAS maps it.
+            for (sid, mode) in v.segments() {
+                let seg = self.segments.get(sid).ok_or(SjError::NotFound)?;
+                if !seg.acl().allows(creds, mode.required_access()) {
+                    return Err(SjError::PermissionDenied);
+                }
+            }
+        }
+        // Build the per-process vmspace instance.
+        let space = self.kernel.create_vmspace()?;
+        self.remap_private_regions(pid, space)?;
+        let (template_root, segs, tag_requested) = {
+            let v = self.vas(vid)?;
+            (v.template_root(), v.segments().to_vec(), v.tag_requested())
+        };
+        for (sid, mode) in &segs {
+            self.link_segment(space, template_root, *sid, *mode)?;
+        }
+        if tag_requested && self.kernel.tagging() {
+            let asid = self.kernel.alloc_asid()?;
+            self.kernel.vmspace_mut(space)?.set_asid(asid);
+        }
+        self.kernel.process_mut(pid)?.add_space(space);
+        // Barrelfish: hand the process a capability to its new root page
+        // table; vas_switch will be an invocation of this capability.
+        let root_cap = if self.kernel.flavor() == KernelFlavor::Barrelfish {
+            let root = self.kernel.vmspace(space)?.root();
+            let cap = Capability::new(CapKind::PageTable { frame: root, level: 4 }, CapRights::ALL);
+            Some(self.kernel.process_mut(pid)?.cspace_mut().insert(cap).map_err(OsError::from)?)
+        } else {
+            None
+        };
+        let vh = VasHandle(self.next_vh);
+        self.next_vh += 1;
+        self.attachments
+            .insert(vh, Attachment { pid, vid, vmspace: space, local_segments: Vec::new(), root_cap });
+        self.vas_mut(vid)?.add_attachment(pid, vh);
+        self.stats.attaches += 1;
+        Ok(vh)
+    }
+
+    /// `vas_detach(vh)`: drops the attachment and destroys the private
+    /// vmspace instance. The process must not be switched into the VAS.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::Busy`] if currently switched in; [`SjError::BadHandle`]
+    /// if `vh` is not `pid`'s.
+    pub fn vas_detach(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let att = self.attachment(vh)?.clone();
+        if att.pid != pid {
+            return Err(SjError::BadHandle);
+        }
+        if self.current.get(&pid) == Some(&vh) {
+            return Err(SjError::Busy("cannot detach the active VAS"));
+        }
+        self.attachments.remove(&vh);
+        if let Some(slot) = att.root_cap {
+            self.kernel.process_mut(pid)?.cspace_mut().delete(slot);
+        }
+        self.vas_mut(att.vid)?.remove_attachment(pid);
+        for (sid, _) in &att.local_segments {
+            if let Ok(seg) = self.segment_mut(*sid) {
+                seg.drop_attach();
+            }
+        }
+        self.kernel.process_mut(pid)?.remove_space(att.vmspace);
+        self.kernel.destroy_vmspace(att.vmspace)?;
+        Ok(())
+    }
+
+    /// `vas_switch(vh)`: acquire every lockable segment's lock in the
+    /// mapped mode, release the previous VAS's locks, and load the new
+    /// translation root (Table 2's kernel entry + bookkeeping + CR3).
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::WouldBlock`] if any segment lock is contended; no locks
+    /// are held on return in that case.
+    pub fn vas_switch(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let att = self.attachments.get(&vh).ok_or(SjError::NotFound)?.clone();
+        if att.pid != pid {
+            return Err(SjError::BadHandle);
+        }
+        // Barrelfish: switching replaces the thread's root page table via
+        // a checked capability invocation; a revoked capability bars the
+        // switch ("revoking the process' root page table prohibits the
+        // process from switching into the VAS").
+        if let Some(slot) = att.root_cap {
+            self.kernel
+                .process(pid)?
+                .cspace()
+                .check(slot, CapRights { read: true, write: true, grant: false })
+                .map_err(|e| SjError::Os(OsError::Cap(e)))?;
+        }
+        // Collect the lock set for the target VAS.
+        let mut lock_set: Vec<(SegId, AttachMode)> = Vec::new();
+        for (sid, mode) in self.vas(att.vid)?.segments() {
+            if self.segment(*sid)?.lockable() {
+                lock_set.push((*sid, *mode));
+            }
+        }
+        for (sid, mode) in &att.local_segments {
+            if self.segment(*sid)?.lockable() {
+                lock_set.push((*sid, *mode));
+            }
+        }
+        // Try-acquire all; roll back on contention. `try_acquire` is
+        // re-entrant, so segments also held for the previous VAS succeed
+        // (including upgrades when no other reader is present).
+        let mut acquired = Vec::new();
+        for (sid, mode) in &lock_set {
+            let lock_cost = self.kernel.cost().lock_uncontended;
+            let seg = self.segment_mut(*sid)?;
+            if seg.lock_mut().try_acquire(pid, *mode) {
+                acquired.push(*sid);
+                self.kernel.clock().advance(lock_cost);
+            } else {
+                for a in acquired {
+                    // Roll back: restore the hold the previous VAS needs,
+                    // or release entirely.
+                    match self.previous_mode(pid, a) {
+                        Some(prev) => {
+                            let lock = self.segment_mut(a)?.lock_mut();
+                            lock.downgrade_to(pid, prev);
+                        }
+                        None => self.segment_mut(a)?.lock_mut().release(pid),
+                    }
+                }
+                self.stats.lock_contentions += 1;
+                return Err(SjError::WouldBlock);
+            }
+        }
+        self.stats.lock_acquisitions += acquired.len() as u64;
+        // Release locks of the VAS we are leaving (those not re-acquired),
+        // and narrow re-acquired holds to the new mode.
+        self.release_current_locks(pid, &lock_set)?;
+        for (sid, mode) in &lock_set {
+            self.segment_mut(*sid)?.lock_mut().downgrade_to(pid, *mode);
+        }
+        self.kernel.switch_vmspace(pid, att.vmspace)?;
+        self.current.insert(pid, vh);
+        self.stats.switches += 1;
+        Ok(())
+    }
+
+    /// Switches `pid` back to its original (spawn-time) address space,
+    /// releasing all segment locks.
+    ///
+    /// # Errors
+    ///
+    /// Kernel switch errors.
+    pub fn vas_switch_home(&mut self, pid: Pid) -> SjResult<()> {
+        self.release_current_locks(pid, &[])?;
+        let home = self.kernel.process(pid)?.initial_space();
+        self.kernel.switch_vmspace(pid, home)?;
+        self.current.remove(&pid);
+        self.stats.switches += 1;
+        Ok(())
+    }
+
+    /// `vas_ctl(cmd, vid)`.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures; [`SjError::Busy`] destroying an attached VAS.
+    pub fn vas_ctl(&mut self, pid: Pid, cmd: VasCtl, vid: VasId) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        {
+            let v = self.vas(vid)?;
+            let owner = v.acl().owner();
+            if creds.uid != 0 && creds.uid != owner.uid {
+                return Err(SjError::PermissionDenied);
+            }
+        }
+        match cmd {
+            VasCtl::SetMode(mode) => self.vas_mut(vid)?.acl_mut().set_mode(mode),
+            VasCtl::RequestTag => self.vas_mut(vid)?.set_tag_requested(true),
+            VasCtl::ReleaseTag => self.vas_mut(vid)?.set_tag_requested(false),
+            VasCtl::Destroy => {
+                if self.vas(vid)?.attach_count() > 0 {
+                    return Err(SjError::Busy("VAS still attached"));
+                }
+                let v = self.vases.remove(&vid).expect("checked above");
+                self.vas_names.remove(v.name());
+                for (sid, _) in v.segments() {
+                    if let Some(seg) = self.segments.get_mut(sid) {
+                        seg.drop_attach();
+                    }
+                }
+                paging::free_tables(self.kernel.phys_mut(), v.template_root(), &[]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Revokes a process's attachment capability (Barrelfish flavor):
+    /// the owner of a VAS can bar an attached process from switching in
+    /// without its cooperation, the reclamation mechanism of Section 4.2.
+    ///
+    /// # Errors
+    ///
+    /// * [`SjError::PermissionDenied`] if `owner` does not own the VAS
+    ///   (root excepted) or the kernel is not the Barrelfish flavor.
+    pub fn revoke_attachment(&mut self, owner: Pid, vh: VasHandle) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let att = self.attachment(vh)?.clone();
+        let creds = self.kernel.process(owner)?.creds();
+        {
+            let v = self.vas(att.vid)?;
+            if creds.uid != 0 && creds.uid != v.acl().owner().uid {
+                return Err(SjError::PermissionDenied);
+            }
+        }
+        let Some(slot) = att.root_cap else {
+            return Err(SjError::InvalidArgument("revocation requires the Barrelfish flavor"));
+        };
+        self.kernel
+            .process_mut(att.pid)?
+            .cspace_mut()
+            .revoke(slot)
+            .map_err(|e| SjError::Os(OsError::Cap(e)))?;
+        Ok(())
+    }
+
+    /// Snapshots a VAS (Section 7 "ongoing work": snapshotting and
+    /// versioning): deep-copies every attached segment and assembles a
+    /// new, independent VAS over the copies. Later writes to either the
+    /// original or the snapshot do not affect the other.
+    ///
+    /// # Errors
+    ///
+    /// Name collisions (`new_name` itself and `new_name/<segment>` names
+    /// must be free), permission failures, allocation failures.
+    pub fn vas_snapshot(&mut self, pid: Pid, vid: VasId, new_name: &str) -> SjResult<VasId> {
+        let (segs, mode) = {
+            let v = self.vas(vid)?;
+            let creds = self.kernel.process(pid)?.creds();
+            if !v.acl().allows(creds, Access::Read) {
+                return Err(SjError::PermissionDenied);
+            }
+            (v.segments().to_vec(), v.acl().mode())
+        };
+        // Segment locks must be quiescent for a consistent snapshot.
+        for (sid, _) in &segs {
+            if !self.segment(*sid)?.lock().is_free() {
+                return Err(SjError::Busy("segment lock held during snapshot"));
+            }
+        }
+        let new_vid = self.vas_create(pid, new_name, mode)?;
+        for (sid, seg_mode) in segs {
+            let seg_name = self.segment(sid)?.name().to_string();
+            let copy = self.seg_clone(pid, sid, &format!("{new_name}/{seg_name}"))?;
+            self.seg_attach(pid, new_vid, copy, seg_mode)?;
+        }
+        Ok(new_vid)
+    }
+
+    /// Serializes a segment to a self-describing byte image: name, fixed
+    /// base, size, mode, and raw contents. Together with
+    /// [`Self::restore_segment`] this implements the paper's final
+    /// future-work item — "the persistency of multiple virtual address
+    /// spaces (for example, across reboots)" (Section 7). Because all
+    /// pointers inside a segment are plain virtual addresses and the
+    /// segment's base is part of its identity, an image restored on a
+    /// fresh machine is immediately usable, pointers intact.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures; [`SjError::Busy`] while the lock is held.
+    pub fn save_segment(&mut self, pid: Pid, sid: SegId) -> SjResult<Vec<u8>> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        let (name, base, size, mode, object) = {
+            let seg = self.segment(sid)?;
+            if !seg.acl().allows(creds, Access::Read) {
+                return Err(SjError::PermissionDenied);
+            }
+            if !seg.lock().is_free() {
+                return Err(SjError::Busy("segment lock held during save"));
+            }
+            (seg.name().to_string(), seg.base(), seg.size(), seg.acl().mode(), seg.object())
+        };
+        let mut out = Vec::with_capacity(size as usize + 64);
+        out.extend_from_slice(b"SJMPSEG1");
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&base.raw().to_le_bytes());
+        out.extend_from_slice(&size.to_le_bytes());
+        out.extend_from_slice(&(mode.0 as u32).to_le_bytes());
+        let pa = self.kernel.vmobject(object)?.base();
+        let start = out.len();
+        out.resize(start + size as usize, 0);
+        self.kernel.phys_mut().read_bytes(pa, &mut out[start..]).map_err(OsError::from)?;
+        Ok(out)
+    }
+
+    /// Restores a segment image produced by [`Self::save_segment`] —
+    /// typically into a *different* [`SpaceJmp`] instance ("after a
+    /// reboot"). The segment reappears under its original name, at its
+    /// original base, with `pid`'s credentials owning it.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::InvalidArgument`] for corrupt images;
+    /// [`SjError::NameTaken`] if the name is already registered.
+    pub fn restore_segment(&mut self, pid: Pid, image: &[u8]) -> SjResult<SegId> {
+        let err = || SjError::InvalidArgument("corrupt segment image");
+        if image.len() < 12 || &image[..8] != b"SJMPSEG1" {
+            return Err(err());
+        }
+        let name_len = u32::from_le_bytes(image[8..12].try_into().expect("4 bytes")) as usize;
+        let rest = &image[12..];
+        if rest.len() < name_len + 20 {
+            return Err(err());
+        }
+        let name = std::str::from_utf8(&rest[..name_len]).map_err(|_| err())?.to_string();
+        let rest = &rest[name_len..];
+        let base = VirtAddr::new(u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")));
+        let size = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        let mode = Mode(u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes")) as u16);
+        let contents = &rest[20..];
+        if contents.len() as u64 != size {
+            return Err(err());
+        }
+        let sid = self.seg_alloc(pid, &name, base, size, mode)?;
+        let pa = {
+            let object = self.segment(sid)?.object();
+            self.kernel.vmobject(object)?.base()
+        };
+        self.kernel.phys_mut().write_bytes(pa, contents).map_err(OsError::from)?;
+        Ok(sid)
+    }
+
+    // ---- Segment API -------------------------------------------------------
+
+    /// `seg_alloc(name, base, size, perms) -> sid`: reserves physical
+    /// memory for a segment with a fixed virtual base in the global range.
+    ///
+    /// # Errors
+    ///
+    /// * [`SjError::AddressConflict`] for bases outside
+    ///   `[GLOBAL_LO, GLOBAL_HI)` (they would collide with process-private
+    ///   mappings — Section 4.1's disjoint-range rule).
+    /// * [`SjError::NameTaken`] / alignment / allocation failures.
+    pub fn seg_alloc(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        base: VirtAddr,
+        size: u64,
+        mode: Mode,
+    ) -> SjResult<SegId> {
+        self.seg_alloc_tier(pid, name, base, size, mode, MemTier::Dram)
+    }
+
+    /// Like [`Self::seg_alloc`], choosing the backing memory tier. NVM
+    /// segments pair naturally with persistent VASes: the data they hold
+    /// survives in the capacity tier, at higher per-access cost.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::seg_alloc`]; additionally fails if the kernel has no
+    /// NVM tier configured.
+    pub fn seg_alloc_tier(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        base: VirtAddr,
+        size: u64,
+        mode: Mode,
+        tier: MemTier,
+    ) -> SjResult<SegId> {
+        self.kernel.charge_entry();
+        if self.seg_names.contains_key(name) {
+            return Err(SjError::NameTaken(name.to_string()));
+        }
+        if size == 0 {
+            return Err(SjError::InvalidArgument("zero-length segment"));
+        }
+        if !base.is_aligned(PAGE_SIZE) {
+            return Err(SjError::InvalidArgument("segment base must be page aligned"));
+        }
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        if base < GLOBAL_LO || base.add(size) > GLOBAL_HI {
+            return Err(SjError::AddressConflict(format!(
+                "segment [{base}, {}) outside the global range [{GLOBAL_LO}, {GLOBAL_HI})",
+                base.add(size)
+            )));
+        }
+        let creds = self.kernel.process(pid)?.creds();
+        let object = match tier {
+            MemTier::Dram => self.kernel.alloc_object(size)?,
+            MemTier::Nvm => self.kernel.alloc_object_nvm(size)?,
+        };
+        let sid = SegId(self.next_sid);
+        self.next_sid += 1;
+        self.segments
+            .insert(sid, Segment::new(sid, name, base, size, object, Acl::new(creds, mode)));
+        self.seg_names.insert(name.to_string(), sid);
+        if self.kernel.flavor() == KernelFlavor::Barrelfish {
+            let cap =
+                Capability::new(CapKind::Object { class: ObjClass::Segment, id: sid.0 }, CapRights::ALL);
+            self.kernel.process_mut(pid)?.cspace_mut().insert(cap).map_err(OsError::from)?;
+        }
+        Ok(sid)
+    }
+
+    /// `seg_find(name) -> sid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotFound`] if no segment has that name.
+    pub fn seg_find(&mut self, name: &str) -> SjResult<SegId> {
+        self.kernel.charge_entry();
+        self.seg_names.get(name).copied().ok_or(SjError::NotFound)
+    }
+
+    /// `seg_clone(sid) -> sid`: deep-copies a segment (contents and
+    /// metadata) so permissions can be changed independently.
+    ///
+    /// # Errors
+    ///
+    /// Permission and allocation failures.
+    pub fn seg_clone(&mut self, pid: Pid, sid: SegId, new_name: &str) -> SjResult<SegId> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        let (base, size, mode, src_obj) = {
+            let s = self.segment(sid)?;
+            if !s.acl().allows(creds, Access::Read) {
+                return Err(SjError::PermissionDenied);
+            }
+            (s.base(), s.size(), s.acl().mode(), s.object())
+        };
+        if self.seg_names.contains_key(new_name) {
+            return Err(SjError::NameTaken(new_name.to_string()));
+        }
+        let new_obj = self.kernel.alloc_object(size)?;
+        // Copy contents frame by frame.
+        let (src_pa, dst_pa) = {
+            let src = self.kernel.vmobject(src_obj)?.base();
+            let dst = self.kernel.vmobject(new_obj)?.base();
+            (src, dst)
+        };
+        let phys = self.kernel.phys_mut();
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        for page in 0..size / PAGE_SIZE {
+            phys.read_bytes(src_pa.add(page * PAGE_SIZE), &mut buf).map_err(OsError::from)?;
+            phys.write_bytes(dst_pa.add(page * PAGE_SIZE), &buf).map_err(OsError::from)?;
+        }
+        let new_sid = SegId(self.next_sid);
+        self.next_sid += 1;
+        self.segments
+            .insert(new_sid, Segment::new(new_sid, new_name, base, size, new_obj, Acl::new(creds, mode)));
+        self.seg_names.insert(new_name.to_string(), new_sid);
+        Ok(new_sid)
+    }
+
+    /// `seg_attach(vid, sid)`: attaches a segment **globally** to a VAS so
+    /// that every attaching process sees it, mapped in `mode`.
+    ///
+    /// Mappings are installed in the VAS's shared template tables, so they
+    /// propagate instantly to already-attached processes (Section 4.2's
+    /// shared page tables).
+    ///
+    /// # Errors
+    ///
+    /// Permission failures and address conflicts within the VAS.
+    pub fn seg_attach(&mut self, pid: Pid, vid: VasId, sid: SegId, mode: AttachMode) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        let (base, size, object) = {
+            let seg = self.segment(sid)?;
+            if !seg.acl().allows(creds, mode.required_access()) {
+                return Err(SjError::PermissionDenied);
+            }
+            (seg.base(), seg.size(), seg.object())
+        };
+        {
+            let v = self.vas(vid)?;
+            if !v.acl().allows(creds, Access::Write) {
+                return Err(SjError::PermissionDenied);
+            }
+            if v.segment_mode(sid).is_some() {
+                return Err(SjError::Busy("segment already attached to this VAS"));
+            }
+            // Address-conflict check against segments already in the VAS.
+            for (other, _) in v.segments() {
+                let o = self.segment(*other)?;
+                if base < o.end() && o.base() < base.add(size) {
+                    return Err(SjError::AddressConflict(format!(
+                        "segment {sid:?} overlaps {other:?} in VAS {vid:?}"
+                    )));
+                }
+            }
+        }
+        // Map into the template tables.
+        let template_root = self.vas(vid)?.template_root();
+        let pa = self.kernel.vmobject(object)?.base();
+        let flags = attach_flags(mode);
+        paging::map_region(self.kernel.phys_mut(), template_root, base, pa, size, sjmp_mem::PageSize::Size4K, flags)
+            .map_err(OsError::from)?;
+        self.segment_mut(sid)?.add_attach();
+        self.vas_mut(vid)?.add_segment(sid, mode);
+        // Propagate to attached processes: link any new PML4 slots and
+        // record the region for bookkeeping.
+        let spaces: Vec<VmspaceId> = {
+            let v = self.vas(vid)?;
+            v.attached_pids()
+                .filter_map(|p| v.handle_of(p))
+                .filter_map(|h| self.attachments.get(&h).map(|a| a.vmspace))
+                .collect()
+        };
+        for space in spaces {
+            self.link_segment(space, template_root, sid, mode)?;
+        }
+        Ok(())
+    }
+
+    /// `seg_attach(vh, sid)`: attaches a segment **process-locally** into
+    /// one attachment's vmspace (the paper's `vh` variant; RedisJMP uses
+    /// this for per-client scratch heaps).
+    ///
+    /// # Errors
+    ///
+    /// As the global variant, plus [`SjError::AddressConflict`] if the
+    /// segment's PML4 slot is occupied by a shared subtree.
+    pub fn seg_attach_local(&mut self, pid: Pid, vh: VasHandle, sid: SegId, mode: AttachMode) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let att = self.attachment(vh)?.clone();
+        if att.pid != pid {
+            return Err(SjError::BadHandle);
+        }
+        let creds = self.kernel.process(pid)?.creds();
+        let (base, size, object) = {
+            let seg = self.segment(sid)?;
+            if !seg.acl().allows(creds, mode.required_access()) {
+                return Err(SjError::PermissionDenied);
+            }
+            (seg.base(), seg.size(), seg.object())
+        };
+        // The segment must not fall into a PML4 slot shared with the VAS
+        // template: private mappings in shared subtrees would leak to
+        // other processes.
+        {
+            let vs = self.kernel.vmspace(att.vmspace)?;
+            let first = base.pml4_index();
+            let last = base.add(size - 1).pml4_index();
+            for slot in first..=last {
+                if vs.shared_slots().contains(&slot) {
+                    return Err(SjError::AddressConflict(format!(
+                        "PML4 slot {slot} is shared with the VAS template"
+                    )));
+                }
+            }
+        }
+        let flags = attach_flags(mode);
+        self.kernel
+            .map_object(att.vmspace, object, base, 0, size, flags, MapPolicy::Eager, false)
+            .map_err(|e| match e {
+                OsError::Mem(sjmp_mem::MemError::AlreadyMapped(va)) => {
+                    SjError::AddressConflict(format!("address {va} already mapped"))
+                }
+                other => SjError::Os(other),
+            })?;
+        self.segment_mut(sid)?.add_attach();
+        self.attachments
+            .get_mut(&vh)
+            .expect("validated above")
+            .local_segments
+            .push((sid, mode));
+        Ok(())
+    }
+
+    /// `seg_detach(vid, sid)`: removes a global segment from a VAS. The
+    /// translations vanish from every attached process (shared subtree),
+    /// with a TLB shootdown.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures; [`SjError::Busy`] if the segment's lock is
+    /// held by anyone switched into this VAS.
+    pub fn seg_detach(&mut self, pid: Pid, vid: VasId, sid: SegId) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        {
+            let v = self.vas(vid)?;
+            if !v.acl().allows(creds, Access::Write) {
+                return Err(SjError::PermissionDenied);
+            }
+            if v.segment_mode(sid).is_none() {
+                return Err(SjError::NotFound);
+            }
+        }
+        if !self.segment(sid)?.lock().is_free() {
+            return Err(SjError::Busy("segment lock held"));
+        }
+        let (base, size) = {
+            let s = self.segment(sid)?;
+            (s.base(), s.size())
+        };
+        let template_root = self.vas(vid)?.template_root();
+        paging::unmap_region(self.kernel.phys_mut(), template_root, base, size).map_err(OsError::from)?;
+        self.kernel.flush_all_tlbs();
+        self.vas_mut(vid)?.remove_segment(sid);
+        self.segment_mut(sid)?.drop_attach();
+        // Remove bookkeeping regions from attached vmspaces.
+        let spaces: Vec<VmspaceId> = {
+            let v = self.vas(vid)?;
+            v.attached_pids()
+                .filter_map(|p| v.handle_of(p))
+                .filter_map(|h| self.attachments.get(&h).map(|a| a.vmspace))
+                .collect()
+        };
+        for space in spaces {
+            if self.kernel.vmspace_mut(space)?.remove_region(base).is_some() {
+                let obj = self.segment(sid)?.object();
+                self.kernel.vmobject_mut(obj)?.drop_ref();
+            }
+        }
+        Ok(())
+    }
+
+    /// `seg_ctl(sid, cmd)`.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures; [`SjError::Busy`] destroying an attached or
+    /// locked segment.
+    pub fn seg_ctl(&mut self, pid: Pid, sid: SegId, cmd: SegCtl) -> SjResult<()> {
+        self.kernel.charge_entry();
+        let creds = self.kernel.process(pid)?.creds();
+        {
+            let s = self.segment(sid)?;
+            let owner = s.acl().owner();
+            if creds.uid != 0 && creds.uid != owner.uid {
+                return Err(SjError::PermissionDenied);
+            }
+        }
+        match cmd {
+            SegCtl::SetMode(mode) => self.segment_mut(sid)?.acl_mut().set_mode(mode),
+            SegCtl::SetLockable(lockable) => self.segment_mut(sid)?.set_lockable(lockable),
+            SegCtl::Destroy => {
+                {
+                    let s = self.segment(sid)?;
+                    if s.attach_count() > 0 {
+                        return Err(SjError::Busy("segment attached to a VAS"));
+                    }
+                    if !s.lock().is_free() {
+                        return Err(SjError::Busy("segment lock held"));
+                    }
+                }
+                let s = self.segments.remove(&sid).expect("checked above");
+                self.seg_names.remove(s.name());
+                self.kernel.free_object(s.object())?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- helpers ----------------------------------------------------------
+
+    /// Maps the process's private regions (text/data/stack/heap) into a
+    /// new vmspace instance — the runtime-library bookkeeping of
+    /// Section 4.1.
+    fn remap_private_regions(&mut self, pid: Pid, space: VmspaceId) -> SjResult<()> {
+        let initial = self.kernel.process(pid)?.initial_space();
+        let regions: Vec<Region> = self
+            .kernel
+            .vmspace(initial)?
+            .regions()
+            .filter(|r| r.start < PRIVATE_HI)
+            .cloned()
+            .collect();
+        for r in regions {
+            self.kernel.map_object(
+                space,
+                r.object,
+                r.start,
+                r.object_offset,
+                r.len,
+                r.flags,
+                MapPolicy::Eager,
+                false,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Links a segment's shared subtrees into a process vmspace and
+    /// records the region.
+    fn link_segment(
+        &mut self,
+        space: VmspaceId,
+        template_root: sjmp_mem::Pfn,
+        sid: SegId,
+        mode: AttachMode,
+    ) -> SjResult<()> {
+        let (base, size, object, slots) = {
+            let s = self.segment(sid)?;
+            (s.base(), s.size(), s.object(), s.pml4_slots().collect::<Vec<_>>())
+        };
+        let root = self.kernel.vmspace(space)?.root();
+        for slot in slots {
+            paging::link_subtree(self.kernel.phys_mut(), root, template_root, slot)
+                .map_err(OsError::from)?;
+            self.kernel.vmspace_mut(space)?.mark_shared_slot(slot);
+            self.kernel.clock().advance(self.kernel.cost().table_splice);
+        }
+        let vs = self.kernel.vmspace_mut(space)?;
+        vs.insert_region(Region {
+            start: base,
+            len: size,
+            object,
+            object_offset: 0,
+            flags: attach_flags(mode),
+            policy: MapPolicy::Lazy,
+        })
+        .map_err(OsError::from)?;
+        self.kernel.vmobject_mut(object)?.add_ref();
+        Ok(())
+    }
+
+    /// The mode in which `pid`'s *current* VAS maps `sid`, if it does
+    /// (used during rollback to restore held locks).
+    fn previous_mode(&self, pid: Pid, sid: SegId) -> Option<AttachMode> {
+        let vh = self.current.get(&pid)?;
+        let att = self.attachments.get(vh)?;
+        if let Some((_, m)) = att.local_segments.iter().find(|(s, _)| *s == sid) {
+            return Some(*m);
+        }
+        self.vases.get(&att.vid).and_then(|v| v.segment_mode(sid))
+    }
+
+    /// Releases locks held for the current VAS, except those in `keep`.
+    fn release_current_locks(&mut self, pid: Pid, keep: &[(SegId, AttachMode)]) -> SjResult<()> {
+        let Some(vh) = self.current.get(&pid).copied() else { return Ok(()) };
+        let Some(att) = self.attachments.get(&vh).cloned() else { return Ok(()) };
+        let mut held: Vec<SegId> = Vec::new();
+        if let Some(v) = self.vases.get(&att.vid) {
+            held.extend(v.segments().iter().map(|(s, _)| *s));
+        }
+        held.extend(att.local_segments.iter().map(|(s, _)| *s));
+        for sid in held {
+            if keep.iter().any(|(k, _)| *k == sid) {
+                continue;
+            }
+            if let Some(seg) = self.segments.get_mut(&sid) {
+                seg.lock_mut().release(pid);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Leaf PTE flags for a segment mapped in `mode`.
+fn attach_flags(mode: AttachMode) -> PteFlags {
+    match mode {
+        AttachMode::ReadOnly => PteFlags::USER | PteFlags::NO_EXECUTE,
+        AttachMode::ReadWrite => PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE,
+    }
+}

@@ -1,0 +1,274 @@
+//! BAM-style binary serialization: packed records inside a BGZF
+//! container (the paper's `BAM` format).
+//!
+//! Field layout per record (little-endian), following the BAM spec's
+//! shape: lengths, then qname (NUL-terminated), packed CIGAR (`len<<4 |
+//! op`), 4-bit-packed sequence, and raw qualities.
+
+use crate::bgzf;
+use crate::record::{CigarOp, Record};
+use crate::sam::RefDict;
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BamError {
+    /// Container-level corruption.
+    Corrupt(&'static str),
+    /// Compression layer failed.
+    Bgzf(bgzf::BgzfError),
+}
+
+impl std::fmt::Display for BamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BamError::Corrupt(what) => write!(f, "corrupt BAM data: {what}"),
+            BamError::Bgzf(e) => write!(f, "decompression failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BamError::Bgzf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bgzf::BgzfError> for BamError {
+    fn from(e: bgzf::BgzfError) -> Self {
+        BamError::Bgzf(e)
+    }
+}
+
+const BASE_CODES: &[u8; 16] = b"=ACMGRSVTWYHKDBN";
+
+fn pack_base(b: u8) -> u8 {
+    BASE_CODES.iter().position(|&c| c == b.to_ascii_uppercase()).unwrap_or(15) as u8
+}
+
+fn unpack_base(code: u8) -> u8 {
+    BASE_CODES[(code & 0xf) as usize]
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BamError> {
+        if self.pos + n > self.data.len() {
+            return Err(BamError::Corrupt("truncated"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, BamError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i32(&mut self) -> Result<i32, BamError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// Encodes records into uncompressed BAM payload bytes.
+fn encode_payload(dict: &RefDict, records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 96 + 64);
+    out.extend_from_slice(b"BAM\x01");
+    put_u32(&mut out, dict.refs.len() as u32);
+    for (name, len) in &dict.refs {
+        put_u32(&mut out, name.len() as u32 + 1);
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        put_u32(&mut out, *len);
+    }
+    put_u32(&mut out, records.len() as u32);
+    for r in records {
+        put_i32(&mut out, r.tid);
+        put_i32(&mut out, r.pos);
+        out.push(r.qname.len() as u8 + 1);
+        out.push(r.mapq);
+        out.extend_from_slice(&r.flag.to_le_bytes());
+        put_u32(&mut out, r.cigar.len() as u32);
+        put_u32(&mut out, r.seq.len() as u32);
+        out.extend_from_slice(r.qname.as_bytes());
+        out.push(0);
+        for &(n, op) in &r.cigar {
+            put_u32(&mut out, (n << 4) | op.code());
+        }
+        let mut i = 0;
+        while i < r.seq.len() {
+            let hi = pack_base(r.seq[i]) << 4;
+            let lo = if i + 1 < r.seq.len() { pack_base(r.seq[i + 1]) } else { 0 };
+            out.push(hi | lo);
+            i += 2;
+        }
+        out.extend_from_slice(&r.qual);
+    }
+    out
+}
+
+fn decode_payload(data: &[u8]) -> Result<(RefDict, Vec<Record>), BamError> {
+    let mut rd = Reader { data, pos: 0 };
+    if rd.take(4)? != b"BAM\x01" {
+        return Err(BamError::Corrupt("bad magic"));
+    }
+    let n_ref = rd.u32()? as usize;
+    if n_ref > 1 << 20 {
+        return Err(BamError::Corrupt("absurd reference count"));
+    }
+    let mut dict = RefDict::default();
+    for _ in 0..n_ref {
+        let l_name = rd.u32()? as usize;
+        if l_name == 0 {
+            return Err(BamError::Corrupt("empty reference name"));
+        }
+        let name_bytes = rd.take(l_name)?;
+        let name = std::str::from_utf8(&name_bytes[..l_name - 1])
+            .map_err(|_| BamError::Corrupt("non-utf8 reference name"))?
+            .to_string();
+        let len = rd.u32()?;
+        dict.refs.push((name, len));
+    }
+    let n_rec = rd.u32()? as usize;
+    let mut records = Vec::with_capacity(n_rec.min(1 << 24));
+    for _ in 0..n_rec {
+        let tid = rd.i32()?;
+        let pos = rd.i32()?;
+        let l_qname = rd.take(1)?[0] as usize;
+        let mapq = rd.take(1)?[0];
+        let flag = u16::from_le_bytes(rd.take(2)?.try_into().expect("2 bytes"));
+        let n_cigar = rd.u32()? as usize;
+        let l_seq = rd.u32()? as usize;
+        if l_qname == 0 {
+            return Err(BamError::Corrupt("empty qname"));
+        }
+        let qname_bytes = rd.take(l_qname)?;
+        let qname = std::str::from_utf8(&qname_bytes[..l_qname - 1])
+            .map_err(|_| BamError::Corrupt("non-utf8 qname"))?
+            .to_string();
+        let mut cigar = Vec::with_capacity(n_cigar);
+        for _ in 0..n_cigar {
+            let v = rd.u32()?;
+            let op = CigarOp::from_code(v & 0xf).ok_or(BamError::Corrupt("bad cigar op"))?;
+            cigar.push((v >> 4, op));
+        }
+        let packed = rd.take(l_seq.div_ceil(2))?;
+        let mut seq = Vec::with_capacity(l_seq);
+        for i in 0..l_seq {
+            let byte = packed[i / 2];
+            let code = if i % 2 == 0 { byte >> 4 } else { byte & 0xf };
+            seq.push(unpack_base(code));
+        }
+        let qual = rd.take(l_seq)?.to_vec();
+        records.push(Record { qname, flag, tid, pos, mapq, cigar, seq, qual });
+    }
+    if !rd.done() {
+        return Err(BamError::Corrupt("trailing bytes"));
+    }
+    Ok((dict, records))
+}
+
+/// Serializes records to compressed BAM bytes.
+pub fn write_bam(dict: &RefDict, records: &[Record]) -> Vec<u8> {
+    bgzf::compress(&encode_payload(dict, records))
+}
+
+/// Parses compressed BAM bytes.
+///
+/// # Errors
+///
+/// [`BamError`] for corrupt containers.
+pub fn read_bam(data: &[u8]) -> Result<(RefDict, Vec<Record>), BamError> {
+    decode_payload(&bgzf::decompress(data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::flags;
+
+    fn dataset() -> (RefDict, Vec<Record>) {
+        let dict = RefDict { refs: vec![("chr1".into(), 100_000)] };
+        let records = vec![
+            Record {
+                qname: "r001".into(),
+                flag: flags::PAIRED | flags::PROPER_PAIR,
+                tid: 0,
+                pos: 7,
+                mapq: 30,
+                cigar: vec![(8, CigarOp::Match), (2, CigarOp::Ins), (4, CigarOp::Del)],
+                seq: b"TTAGATAAAGGATA".to_vec(),
+                qual: vec![25; 14],
+            },
+            Record {
+                qname: "r002".into(),
+                flag: flags::UNMAPPED,
+                tid: -1,
+                pos: 0,
+                mapq: 0,
+                cigar: vec![],
+                seq: b"ACG".to_vec(), // odd length exercises 4-bit packing
+                qual: vec![10, 11, 12],
+            },
+        ];
+        (dict, records)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (dict, records) = dataset();
+        let bytes = write_bam(&dict, &records);
+        let (d2, r2) = read_bam(&bytes).unwrap();
+        assert_eq!(dict, d2);
+        assert_eq!(records, r2);
+    }
+
+    #[test]
+    fn bam_is_smaller_than_sam() {
+        let dict = RefDict { refs: vec![("chr1".into(), 1_000_000)] };
+        let records: Vec<Record> = (0..2000)
+            .map(|i| Record {
+                qname: format!("read{i:07}"),
+                flag: flags::PAIRED,
+                tid: 0,
+                pos: i * 13,
+                mapq: 60,
+                cigar: vec![(100, CigarOp::Match)],
+                seq: b"ACGT".iter().cycle().take(100).copied().collect(),
+                qual: vec![35; 100],
+            })
+            .collect();
+        let sam = crate::sam::write_sam(&dict, &records);
+        let bam = write_bam(&dict, &records);
+        assert!(bam.len() < sam.len() / 2, "BAM {} vs SAM {}", bam.len(), sam.len());
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        let (dict, records) = dataset();
+        let bytes = write_bam(&dict, &records);
+        assert!(read_bam(&bytes[..bytes.len() / 2]).is_err());
+        assert!(read_bam(b"junk").is_err());
+        // Valid compression of a non-BAM payload.
+        let junk = crate::bgzf::compress(b"not a bam payload at all");
+        assert!(matches!(read_bam(&junk), Err(BamError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,38 @@
+//! # sjmp-genome — the SAMTools experiment (Section 5.4)
+//!
+//! A reproduction of the genomics workflow the paper uses to show
+//! SpaceJMP "as a mechanism to keep data structures in memory, avoiding
+//! both regular file I/O and memory-mapped files":
+//!
+//! * [`record`] — the alignment data model (SAM mandatory fields, flag
+//!   bits, flagstat counters);
+//! * [`sam`] / [`bam`] / [`bgzf`] — the serialized formats: SAM text and
+//!   BGZF-compressed binary BAM (with our own LZ block codec standing in
+//!   for zlib);
+//! * [`memfs`] — the in-memory file system that factors disk out, as in
+//!   the paper;
+//! * [`workload`] — a synthetic alignment generator (no access to the
+//!   paper's 3.1 GiB dataset; sizes are scaled);
+//! * [`ops`] — flagstat, qname sort, coordinate sort, and linear-index
+//!   construction;
+//! * [`vasstore`] — the pointer-rich, segment-resident record store that
+//!   persists across process lifetimes in a VAS;
+//! * [`modes`] — the four pipelines compared in Figures 11 and 12
+//!   (SAM, BAM, SpaceJMP, mmap) with cycle-charged execution.
+
+pub mod bam;
+pub mod bgzf;
+pub mod memfs;
+pub mod modes;
+pub mod ops;
+pub mod record;
+pub mod sam;
+pub mod vasstore;
+pub mod workload;
+
+pub use modes::{run_pipeline, OpTimes, StorageMode};
+pub use ops::{build_index, coordinate_sort, filter_region, flagstat, pileup, qname_sort, reference_span, LinearIndex, OpWork};
+pub use record::{CigarOp, Flagstat, Record};
+pub use sam::{read_sam, write_sam, RefDict};
+pub use vasstore::RecStore;
+pub use workload::{generate, WorkloadConfig};

@@ -1,0 +1,399 @@
+//! The SAMTools operations of Figures 11-12: flagstat, qname sort,
+//! coordinate sort, and index construction.
+//!
+//! These run over in-memory record vectors (the SAM/BAM/mmap pipelines);
+//! the SpaceJMP pipeline has equivalent implementations over
+//! segment-resident data in [`crate::vasstore`]. Each operation reports
+//! its work (records scanned, comparisons made) so the pipelines can
+//! charge simulated cycles for host-side compute.
+
+use std::cell::Cell;
+
+use crate::record::{Flagstat, Record};
+
+/// Work counters produced by an operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpWork {
+    /// Records scanned.
+    pub records: u64,
+    /// Key comparisons performed (sorts).
+    pub comparisons: u64,
+}
+
+/// Computes flagstat counters.
+pub fn flagstat(records: &[Record]) -> (Flagstat, OpWork) {
+    let mut fs = Flagstat::default();
+    for r in records {
+        fs.add(r.flag);
+    }
+    (fs, OpWork { records: records.len() as u64, comparisons: 0 })
+}
+
+/// Sorts records by query name (`samtools sort -n`), stably.
+pub fn qname_sort(records: &mut [Record]) -> OpWork {
+    let count = Cell::new(0u64);
+    records.sort_by(|a, b| {
+        count.set(count.get() + 1);
+        a.qname.cmp(&b.qname)
+    });
+    OpWork { records: records.len() as u64, comparisons: count.get() }
+}
+
+/// Sorts records by (tid, pos) with unmapped reads last
+/// (`samtools sort`), stably.
+pub fn coordinate_sort(records: &mut [Record]) -> OpWork {
+    let count = Cell::new(0u64);
+    records.sort_by(|a, b| {
+        count.set(count.get() + 1);
+        a.coord_key().cmp(&b.coord_key())
+    });
+    OpWork { records: records.len() as u64, comparisons: count.get() }
+}
+
+/// Window size of the linear index (like BAI's 16 KiB windows).
+pub const INDEX_WINDOW: i32 = 16 * 1024;
+
+/// A linear index over coordinate-sorted records: for each reference and
+/// 16 KiB genomic window, the index of the first overlapping record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearIndex {
+    /// Per reference: window -> first record ordinal.
+    pub refs: Vec<Vec<(u32, u64)>>,
+}
+
+impl LinearIndex {
+    /// Serializes the index to bytes (the on-disk `.bai`-style artifact).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.refs.len() as u32).to_le_bytes());
+        for windows in &self.refs {
+            out.extend_from_slice(&(windows.len() as u32).to_le_bytes());
+            for &(w, first) in windows {
+                out.extend_from_slice(&w.to_le_bytes());
+                out.extend_from_slice(&first.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses bytes produced by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<LinearIndex> {
+        let mut pos = 0usize;
+        let u32_at = |p: &mut usize| -> Option<u32> {
+            let v = u32::from_le_bytes(data.get(*p..*p + 4)?.try_into().ok()?);
+            *p += 4;
+            Some(v)
+        };
+        let n = u32_at(&mut pos)? as usize;
+        let mut refs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m = u32_at(&mut pos)? as usize;
+            let mut windows = Vec::with_capacity(m);
+            for _ in 0..m {
+                let w = u32_at(&mut pos)?;
+                let first = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?);
+                pos += 8;
+                windows.push((w, first));
+            }
+            refs.push(windows);
+        }
+        (pos == data.len()).then_some(LinearIndex { refs })
+    }
+
+    /// First record ordinal whose window covers `(tid, pos)`, if any.
+    pub fn lookup(&self, tid: usize, pos: i32) -> Option<u64> {
+        let window = (pos / INDEX_WINDOW) as u32;
+        let windows = self.refs.get(tid)?;
+        let i = windows.partition_point(|&(w, _)| w < window);
+        windows.get(i).filter(|&&(w, _)| w == window).map(|&(_, f)| f)
+    }
+}
+
+/// Builds a linear index. Records must be coordinate sorted.
+///
+/// # Panics
+///
+/// Debug-asserts sortedness.
+pub fn build_index(n_refs: usize, records: &[Record]) -> (LinearIndex, OpWork) {
+    debug_assert!(
+        records.windows(2).all(|w| w[0].coord_key() <= w[1].coord_key()),
+        "index requires coordinate-sorted input"
+    );
+    let mut index = LinearIndex { refs: vec![Vec::new(); n_refs] };
+    for (ordinal, r) in records.iter().enumerate() {
+        if !r.is_mapped() || r.tid < 0 {
+            continue;
+        }
+        let window = (r.pos / INDEX_WINDOW) as u32;
+        let windows = &mut index.refs[r.tid as usize];
+        if windows.last().map(|&(w, _)| w) != Some(window) {
+            windows.push((window, ordinal as u64));
+        }
+    }
+    (index, OpWork { records: records.len() as u64, comparisons: 0 })
+}
+
+/// Region query (`samtools view chr:from-to`): returns the ordinals of
+/// coordinate-sorted records whose start position falls within
+/// `[from, to)` on `tid`, using the linear index to skip ahead.
+pub fn filter_region(
+    index: &LinearIndex,
+    records: &[Record],
+    tid: i32,
+    from: i32,
+    to: i32,
+) -> (Vec<u64>, OpWork) {
+    let mut out = Vec::new();
+    let mut scanned = 0u64;
+    if tid < 0 || from >= to {
+        return (out, OpWork::default());
+    }
+    // Find the first indexed window at or after `from`'s window.
+    let first_window = (from / INDEX_WINDOW) as u32;
+    let Some(windows) = index.refs.get(tid as usize) else {
+        return (out, OpWork::default());
+    };
+    let start_idx = windows.partition_point(|&(w, _)| w < first_window);
+    let Some(&(_, start_ordinal)) = windows.get(start_idx) else {
+        return (out, OpWork { records: 0, comparisons: 0 });
+    };
+    for (ordinal, r) in records.iter().enumerate().skip(start_ordinal as usize) {
+        scanned += 1;
+        if !r.is_mapped() || r.tid > tid || (r.tid == tid && r.pos >= to) {
+            break; // coordinate-sorted: nothing further can match
+        }
+        if r.tid == tid && r.pos >= from {
+            out.push(ordinal as u64);
+        }
+    }
+    (out, OpWork { records: scanned, comparisons: 0 })
+}
+
+/// Reference-consuming span of a record (CIGAR `M` + `D` lengths).
+pub fn reference_span(r: &Record) -> u32 {
+    use crate::record::CigarOp;
+    r.cigar
+        .iter()
+        .filter(|(_, op)| matches!(op, CigarOp::Match | CigarOp::Del))
+        .map(|(n, _)| n)
+        .sum()
+}
+
+/// Windowed pileup (`samtools mpileup`, coarsened): for each reference
+/// and [`INDEX_WINDOW`]-sized window, the total aligned bases overlapping
+/// the window. Dividing by the window size gives mean depth of coverage.
+pub fn pileup(n_refs: usize, records: &[Record]) -> (Vec<Vec<u64>>, OpWork) {
+    let mut cov = vec![Vec::new(); n_refs];
+    for r in records {
+        if !r.is_mapped() || r.tid < 0 || r.tid as usize >= n_refs {
+            continue;
+        }
+        let start = r.pos.max(0) as u64;
+        let end = start + reference_span(r) as u64;
+        if end == start {
+            continue;
+        }
+        let lanes = &mut cov[r.tid as usize];
+        let last_window = (end.saturating_sub(1) / INDEX_WINDOW as u64) as usize;
+        if lanes.len() <= last_window {
+            lanes.resize(last_window + 1, 0);
+        }
+        let mut pos = start;
+        while pos < end {
+            let w = (pos / INDEX_WINDOW as u64) as usize;
+            let window_end = (w as u64 + 1) * INDEX_WINDOW as u64;
+            let chunk = end.min(window_end) - pos;
+            lanes[w] += chunk;
+            pos += chunk;
+        }
+    }
+    (cov, OpWork { records: records.len() as u64, comparisons: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadConfig};
+
+    fn data(n: usize) -> Vec<Record> {
+        generate(&WorkloadConfig { records: n, ..WorkloadConfig::default() }).1
+    }
+
+    #[test]
+    fn flagstat_totals() {
+        let recs = data(1000);
+        let (fs, work) = flagstat(&recs);
+        assert_eq!(fs.total, 1000);
+        assert_eq!(work.records, 1000);
+        assert_eq!(fs.paired, 1000, "workload is fully paired");
+        assert!(fs.mapped > 900);
+    }
+
+    #[test]
+    fn qname_sort_orders_and_counts() {
+        let mut recs = data(500);
+        let work = qname_sort(&mut recs);
+        assert!(recs.windows(2).all(|w| w[0].qname <= w[1].qname));
+        assert!(work.comparisons >= 500, "n log n comparisons: {}", work.comparisons);
+    }
+
+    #[test]
+    fn coordinate_sort_orders_unmapped_last() {
+        let mut recs = data(500);
+        let _ = coordinate_sort(&mut recs);
+        assert!(recs.windows(2).all(|w| w[0].coord_key() <= w[1].coord_key()));
+        let first_unmapped = recs.iter().position(|r| !r.is_mapped());
+        if let Some(i) = first_unmapped {
+            assert!(recs[i..].iter().all(|r| !r.is_mapped()), "unmapped grouped at the end");
+        }
+    }
+
+    #[test]
+    fn index_finds_windows() {
+        let mut recs = data(2000);
+        coordinate_sort(&mut recs);
+        let (index, _) = build_index(4, &recs);
+        // Every mapped record's window must resolve to an ordinal at or
+        // before the record itself.
+        for (ordinal, r) in recs.iter().enumerate() {
+            if !r.is_mapped() {
+                continue;
+            }
+            let first = index.lookup(r.tid as usize, r.pos).expect("window exists");
+            assert!(first <= ordinal as u64);
+            let hit = &recs[first as usize];
+            assert_eq!(hit.tid, r.tid);
+            assert_eq!(hit.pos / INDEX_WINDOW, r.pos / INDEX_WINDOW);
+        }
+        assert_eq!(index.lookup(0, 49_999_999), index.lookup(0, 49_999_999));
+        assert_eq!(index.lookup(99, 0), None);
+    }
+
+    #[test]
+    fn index_serialization_round_trips() {
+        let mut recs = data(800);
+        coordinate_sort(&mut recs);
+        let (index, _) = build_index(4, &recs);
+        let bytes = index.to_bytes();
+        assert_eq!(LinearIndex::from_bytes(&bytes).unwrap(), index);
+        assert_eq!(LinearIndex::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(LinearIndex::from_bytes(b""), None);
+    }
+
+    #[test]
+    fn filter_region_matches_linear_scan() {
+        let mut recs = data(3000);
+        coordinate_sort(&mut recs);
+        let (index, _) = build_index(4, &recs);
+        for (tid, from, to) in [(0, 100_000, 5_000_000), (2, 0, 50_000_000), (1, 49_000_000, 50_000_000)] {
+            let (fast, work) = filter_region(&index, &recs, tid, from, to);
+            let slow: Vec<u64> = recs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_mapped() && r.tid == tid && r.pos >= from && r.pos < to)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(fast, slow, "tid={tid} [{from},{to})");
+            assert!(
+                work.records <= recs.len() as u64,
+                "index-assisted scan must not visit more than everything"
+            );
+        }
+        // The index actually skips work for narrow queries.
+        let (_, narrow) = filter_region(&index, &recs, 3, 40_000_000, 40_100_000);
+        assert!(
+            narrow.records < recs.len() as u64 / 2,
+            "narrow query scanned {} of {}",
+            narrow.records,
+            recs.len()
+        );
+    }
+
+    #[test]
+    fn filter_region_edge_cases() {
+        let mut recs = data(500);
+        coordinate_sort(&mut recs);
+        let (index, _) = build_index(4, &recs);
+        assert!(filter_region(&index, &recs, -1, 0, 100).0.is_empty(), "unmapped tid");
+        assert!(filter_region(&index, &recs, 0, 100, 100).0.is_empty(), "empty range");
+        assert!(filter_region(&index, &recs, 99, 0, 100).0.is_empty(), "unknown tid");
+        assert!(
+            filter_region(&index, &recs, 0, 49_999_999, 50_000_000).0.len()
+                <= recs.len(),
+            "tail window"
+        );
+    }
+
+    #[test]
+    fn pileup_conserves_bases_and_matches_naive() {
+        let recs = data(800);
+        let (cov, work) = pileup(4, &recs);
+        assert_eq!(work.records, 800);
+        // Total coverage equals the sum of reference spans of mapped reads.
+        let total: u64 = cov.iter().flatten().sum();
+        let expected: u64 = recs
+            .iter()
+            .filter(|r| r.is_mapped())
+            .map(|r| reference_span(r) as u64)
+            .sum();
+        assert_eq!(total, expected);
+        // Naive per-record check on a window known to be covered.
+        let r = recs.iter().find(|r| r.is_mapped()).unwrap();
+        let w = (r.pos / INDEX_WINDOW) as usize;
+        assert!(cov[r.tid as usize][w] > 0);
+    }
+
+    #[test]
+    fn pileup_splits_across_window_boundaries() {
+        use crate::record::CigarOp;
+        // One read straddling a window boundary: coverage must split.
+        let rec = Record {
+            qname: "r".into(),
+            flag: 0,
+            tid: 0,
+            pos: INDEX_WINDOW - 10,
+            mapq: 60,
+            cigar: vec![(30, CigarOp::Match)],
+            seq: vec![b'A'; 30],
+            qual: vec![30; 30],
+        };
+        let (cov, _) = pileup(1, &[rec]);
+        assert_eq!(cov[0][0], 10, "bases before the boundary");
+        assert_eq!(cov[0][1], 20, "bases after the boundary");
+    }
+
+    #[test]
+    fn reference_span_counts_m_and_d_only() {
+        use crate::record::CigarOp;
+        let r = Record {
+            qname: "r".into(),
+            flag: 0,
+            tid: 0,
+            pos: 1,
+            mapq: 0,
+            cigar: vec![
+                (5, CigarOp::SoftClip),
+                (50, CigarOp::Match),
+                (3, CigarOp::Ins),
+                (2, CigarOp::Del),
+                (40, CigarOp::Match),
+            ],
+            seq: vec![],
+            qual: vec![],
+        };
+        assert_eq!(reference_span(&r), 92, "50M + 2D + 40M");
+    }
+
+    #[test]
+    fn sorts_are_stable() {
+        // Two records with equal keys keep their relative order.
+        let mut recs = data(100);
+        for r in recs.iter_mut() {
+            r.qname = "same".into();
+        }
+        let tagged: Vec<Vec<u8>> = recs.iter().map(|r| r.seq.clone()).collect();
+        qname_sort(&mut recs);
+        let after: Vec<Vec<u8>> = recs.iter().map(|r| r.seq.clone()).collect();
+        assert_eq!(tagged, after);
+    }
+}

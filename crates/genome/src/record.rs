@@ -1,0 +1,245 @@
+//! Alignment records: the in-memory data model of the SAMTools workflow.
+//!
+//! Follows the SAM specification's mandatory fields (QNAME, FLAG, RNAME,
+//! POS, MAPQ, CIGAR, SEQ, QUAL) with the flag bits `samtools flagstat`
+//! reports on.
+
+/// SAM flag bits.
+pub mod flags {
+    /// Template has multiple segments (paired).
+    pub const PAIRED: u16 = 0x1;
+    /// Each segment properly aligned.
+    pub const PROPER_PAIR: u16 = 0x2;
+    /// Segment unmapped.
+    pub const UNMAPPED: u16 = 0x4;
+    /// Next segment unmapped.
+    pub const MATE_UNMAPPED: u16 = 0x8;
+    /// Reverse strand.
+    pub const REVERSE: u16 = 0x10;
+    /// Next segment on reverse strand.
+    pub const MATE_REVERSE: u16 = 0x20;
+    /// First segment of the template.
+    pub const READ1: u16 = 0x40;
+    /// Last segment of the template.
+    pub const READ2: u16 = 0x80;
+    /// Secondary alignment.
+    pub const SECONDARY: u16 = 0x100;
+    /// Failed quality checks.
+    pub const QC_FAIL: u16 = 0x200;
+    /// PCR or optical duplicate.
+    pub const DUPLICATE: u16 = 0x400;
+}
+
+/// One CIGAR operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CigarOp {
+    /// Alignment match (`M`).
+    Match,
+    /// Insertion to the reference (`I`).
+    Ins,
+    /// Deletion from the reference (`D`).
+    Del,
+    /// Soft clipping (`S`).
+    SoftClip,
+}
+
+impl CigarOp {
+    /// The SAM character for this op.
+    pub fn ch(self) -> char {
+        match self {
+            CigarOp::Match => 'M',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+            CigarOp::SoftClip => 'S',
+        }
+    }
+
+    /// Parses a SAM CIGAR character.
+    pub fn from_ch(c: char) -> Option<CigarOp> {
+        match c {
+            'M' => Some(CigarOp::Match),
+            'I' => Some(CigarOp::Ins),
+            'D' => Some(CigarOp::Del),
+            'S' => Some(CigarOp::SoftClip),
+            _ => None,
+        }
+    }
+
+    /// Numeric code used by the binary (BAM) encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            CigarOp::Match => 0,
+            CigarOp::Ins => 1,
+            CigarOp::Del => 2,
+            CigarOp::SoftClip => 4,
+        }
+    }
+
+    /// Decodes a binary op code.
+    pub fn from_code(code: u32) -> Option<CigarOp> {
+        match code {
+            0 => Some(CigarOp::Match),
+            1 => Some(CigarOp::Ins),
+            2 => Some(CigarOp::Del),
+            4 => Some(CigarOp::SoftClip),
+            _ => None,
+        }
+    }
+}
+
+/// One aligned (or unmapped) read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Query template name.
+    pub qname: String,
+    /// Bitwise flags (see [`flags`]).
+    pub flag: u16,
+    /// Reference sequence id (-1 = unmapped, `*`).
+    pub tid: i32,
+    /// 1-based leftmost position (0 = unavailable).
+    pub pos: i32,
+    /// Mapping quality.
+    pub mapq: u8,
+    /// CIGAR operations.
+    pub cigar: Vec<(u32, CigarOp)>,
+    /// Read bases (ASCII `ACGTN`).
+    pub seq: Vec<u8>,
+    /// Phred qualities (raw, not +33).
+    pub qual: Vec<u8>,
+}
+
+impl Record {
+    /// Whether the read is mapped.
+    pub fn is_mapped(&self) -> bool {
+        self.flag & flags::UNMAPPED == 0
+    }
+
+    /// Sort key for coordinate sort: (tid, pos), unmapped last.
+    pub fn coord_key(&self) -> (i32, i32) {
+        if self.is_mapped() {
+            (self.tid, self.pos)
+        } else {
+            (i32::MAX, i32::MAX)
+        }
+    }
+}
+
+/// `samtools flagstat` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flagstat {
+    /// Total records.
+    pub total: u64,
+    /// Secondary alignments.
+    pub secondary: u64,
+    /// Duplicates.
+    pub duplicates: u64,
+    /// Mapped records.
+    pub mapped: u64,
+    /// Paired-in-sequencing records.
+    pub paired: u64,
+    /// First-of-pair reads.
+    pub read1: u64,
+    /// Second-of-pair reads.
+    pub read2: u64,
+    /// Properly paired records.
+    pub proper_pair: u64,
+    /// Paired with both this read and its mate mapped.
+    pub with_mate_mapped: u64,
+    /// Paired, mapped, mate unmapped.
+    pub singletons: u64,
+}
+
+impl Flagstat {
+    /// Accumulates one record.
+    pub fn add(&mut self, flag: u16) {
+        use flags::*;
+        self.total += 1;
+        if flag & SECONDARY != 0 {
+            self.secondary += 1;
+        }
+        if flag & DUPLICATE != 0 {
+            self.duplicates += 1;
+        }
+        let mapped = flag & UNMAPPED == 0;
+        if mapped {
+            self.mapped += 1;
+        }
+        if flag & PAIRED != 0 {
+            self.paired += 1;
+            if flag & READ1 != 0 {
+                self.read1 += 1;
+            }
+            if flag & READ2 != 0 {
+                self.read2 += 1;
+            }
+            if flag & PROPER_PAIR != 0 {
+                self.proper_pair += 1;
+            }
+            if mapped {
+                if flag & MATE_UNMAPPED == 0 {
+                    self.with_mate_mapped += 1;
+                } else {
+                    self.singletons += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(flag: u16) -> Record {
+        Record {
+            qname: "r1".into(),
+            flag,
+            tid: 0,
+            pos: 100,
+            mapq: 60,
+            cigar: vec![(100, CigarOp::Match)],
+            seq: b"ACGT".to_vec(),
+            qual: vec![30; 4],
+        }
+    }
+
+    #[test]
+    fn cigar_round_trips() {
+        for op in [CigarOp::Match, CigarOp::Ins, CigarOp::Del, CigarOp::SoftClip] {
+            assert_eq!(CigarOp::from_ch(op.ch()), Some(op));
+            assert_eq!(CigarOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(CigarOp::from_ch('X'), None);
+        assert_eq!(CigarOp::from_code(9), None);
+    }
+
+    #[test]
+    fn coord_key_orders_unmapped_last() {
+        let mapped = rec(0);
+        let unmapped = rec(flags::UNMAPPED);
+        assert!(mapped.coord_key() < unmapped.coord_key());
+        assert!(mapped.is_mapped());
+        assert!(!unmapped.is_mapped());
+    }
+
+    #[test]
+    fn flagstat_counting() {
+        use flags::*;
+        let mut fs = Flagstat::default();
+        fs.add(PAIRED | PROPER_PAIR | READ1); // mapped, proper
+        fs.add(PAIRED | READ2 | MATE_UNMAPPED); // singleton
+        fs.add(PAIRED | UNMAPPED | READ1); // unmapped
+        fs.add(SECONDARY); // secondary single-end
+        fs.add(DUPLICATE);
+        assert_eq!(fs.total, 5);
+        assert_eq!(fs.mapped, 4);
+        assert_eq!(fs.paired, 3);
+        assert_eq!(fs.read1, 2);
+        assert_eq!(fs.read2, 1);
+        assert_eq!(fs.proper_pair, 1);
+        assert_eq!(fs.with_mate_mapped, 1);
+        assert_eq!(fs.singletons, 1);
+        assert_eq!(fs.secondary, 1);
+        assert_eq!(fs.duplicates, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! SAM text serialization (the paper's `SAM` format).
+//!
+//! Tab-separated mandatory fields, one record per line, preceded by a
+//! minimal header (`@HD`, `@SQ` lines). The parser accepts what the
+//! writer produces plus `*` placeholders.
+
+use crate::record::{CigarOp, Record};
+
+/// Reference sequence dictionary: names and lengths.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RefDict {
+    /// (name, length) per reference sequence; `tid` indexes this.
+    pub refs: Vec<(String, u32)>,
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamError {
+    /// A record line had the wrong number of fields.
+    BadFieldCount(usize),
+    /// A numeric field failed to parse.
+    BadNumber(&'static str),
+    /// Bad CIGAR string.
+    BadCigar,
+    /// Unknown reference name.
+    UnknownRef(String),
+}
+
+impl std::fmt::Display for SamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamError::BadFieldCount(n) => write!(f, "record line has {n} fields, expected 11"),
+            SamError::BadNumber(field) => write!(f, "unparsable numeric field {field}"),
+            SamError::BadCigar => write!(f, "bad CIGAR string"),
+            SamError::UnknownRef(name) => write!(f, "unknown reference {name}"),
+        }
+    }
+}
+
+impl std::error::Error for SamError {}
+
+/// Serializes a dataset to SAM text.
+pub fn write_sam(dict: &RefDict, records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 160 + 64);
+    out.extend_from_slice(b"@HD\tVN:1.6\tSO:unknown\n");
+    for (name, len) in &dict.refs {
+        out.extend_from_slice(format!("@SQ\tSN:{name}\tLN:{len}\n").as_bytes());
+    }
+    for r in records {
+        let rname = if r.tid >= 0 {
+            dict.refs.get(r.tid as usize).map(|(n, _)| n.as_str()).unwrap_or("*")
+        } else {
+            "*"
+        };
+        let cigar = if r.cigar.is_empty() {
+            "*".to_string()
+        } else {
+            r.cigar.iter().map(|(n, op)| format!("{n}{}", op.ch())).collect()
+        };
+        let seq =
+            if r.seq.is_empty() { "*".to_string() } else { String::from_utf8_lossy(&r.seq).into_owned() };
+        let qual: String = if r.qual.is_empty() {
+            "*".to_string()
+        } else {
+            r.qual.iter().map(|&q| (q + 33) as char).collect()
+        };
+        // RNEXT/PNEXT/TLEN are unused by our workloads: *, 0, 0.
+        out.extend_from_slice(
+            format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}\n",
+                r.qname, r.flag, rname, r.pos, r.mapq, cigar, seq, qual
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
+fn parse_cigar(s: &str) -> Result<Vec<(u32, CigarOp)>, SamError> {
+    if s == "*" {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut n = 0u32;
+    let mut have_digit = false;
+    for c in s.chars() {
+        if let Some(d) = c.to_digit(10) {
+            n = n.wrapping_mul(10).wrapping_add(d);
+            have_digit = true;
+        } else {
+            let op = CigarOp::from_ch(c).ok_or(SamError::BadCigar)?;
+            if !have_digit {
+                return Err(SamError::BadCigar);
+            }
+            out.push((n, op));
+            n = 0;
+            have_digit = false;
+        }
+    }
+    if have_digit {
+        return Err(SamError::BadCigar);
+    }
+    Ok(out)
+}
+
+/// Parses SAM text back into a dictionary and records.
+///
+/// # Errors
+///
+/// [`SamError`] on malformed lines; header lines other than `@SQ` are
+/// skipped.
+pub fn read_sam(data: &[u8]) -> Result<(RefDict, Vec<Record>), SamError> {
+    let text = String::from_utf8_lossy(data);
+    let mut dict = RefDict::default();
+    let mut records = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('@') {
+            if let Some(sq) = rest.strip_prefix("SQ\t") {
+                let mut name = None;
+                let mut len = None;
+                for field in sq.split('\t') {
+                    if let Some(n) = field.strip_prefix("SN:") {
+                        name = Some(n.to_string());
+                    } else if let Some(l) = field.strip_prefix("LN:") {
+                        len = l.parse::<u32>().ok();
+                    }
+                }
+                if let (Some(n), Some(l)) = (name, len) {
+                    dict.refs.push((n, l));
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 11 {
+            return Err(SamError::BadFieldCount(fields.len()));
+        }
+        let tid = if fields[2] == "*" {
+            -1
+        } else {
+            dict.refs
+                .iter()
+                .position(|(n, _)| n == fields[2])
+                .map(|i| i as i32)
+                .ok_or_else(|| SamError::UnknownRef(fields[2].to_string()))?
+        };
+        records.push(Record {
+            qname: fields[0].to_string(),
+            flag: fields[1].parse().map_err(|_| SamError::BadNumber("FLAG"))?,
+            tid,
+            pos: fields[3].parse().map_err(|_| SamError::BadNumber("POS"))?,
+            mapq: fields[4].parse().map_err(|_| SamError::BadNumber("MAPQ"))?,
+            cigar: parse_cigar(fields[5])?,
+            seq: if fields[9] == "*" { Vec::new() } else { fields[9].as_bytes().to_vec() },
+            qual: if fields[10] == "*" {
+                Vec::new()
+            } else {
+                fields[10].bytes().map(|b| b.saturating_sub(33)).collect()
+            },
+        });
+    }
+    Ok((dict, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::flags;
+
+    fn dataset() -> (RefDict, Vec<Record>) {
+        let dict = RefDict { refs: vec![("chr1".into(), 100_000), ("chr2".into(), 50_000)] };
+        let records = vec![
+            Record {
+                qname: "read1".into(),
+                flag: flags::PAIRED | flags::READ1,
+                tid: 0,
+                pos: 1234,
+                mapq: 60,
+                cigar: vec![(50, CigarOp::Match), (2, CigarOp::Ins), (48, CigarOp::Match)],
+                seq: b"ACGTACGT".to_vec(),
+                qual: vec![30, 31, 32, 33, 30, 31, 32, 33],
+            },
+            Record {
+                qname: "read2".into(),
+                flag: flags::UNMAPPED,
+                tid: -1,
+                pos: 0,
+                mapq: 0,
+                cigar: vec![],
+                seq: vec![],
+                qual: vec![],
+            },
+        ];
+        (dict, records)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (dict, records) = dataset();
+        let text = write_sam(&dict, &records);
+        let (dict2, records2) = read_sam(&text).unwrap();
+        assert_eq!(dict, dict2);
+        assert_eq!(records, records2);
+    }
+
+    #[test]
+    fn text_format_sanity() {
+        let (dict, records) = dataset();
+        let text = String::from_utf8(write_sam(&dict, &records)).unwrap();
+        assert!(text.starts_with("@HD"));
+        assert!(text.contains("@SQ\tSN:chr1\tLN:100000"));
+        assert!(text.contains("read1\t65\tchr1\t1234\t60\t50M2I48M"));
+        assert!(text.contains("read2\t4\t*\t0\t0\t*"));
+    }
+
+    #[test]
+    fn bad_inputs() {
+        assert!(matches!(read_sam(b"a\tb\tc\n"), Err(SamError::BadFieldCount(3))));
+        let line = b"q\tX\t*\t0\t0\t*\t*\t0\t0\t*\t*\n";
+        assert!(matches!(read_sam(line), Err(SamError::BadNumber("FLAG"))));
+        let badcigar = b"q\t0\t*\t0\t0\t5Q\t*\t0\t0\t*\t*\n";
+        assert!(matches!(read_sam(badcigar), Err(SamError::BadCigar)));
+        let unknownref = b"q\t0\tchrX\t0\t0\t*\t*\t0\t0\t*\t*\n";
+        assert!(matches!(read_sam(unknownref), Err(SamError::UnknownRef(_))));
+    }
+
+    #[test]
+    fn cigar_parser_edges() {
+        assert_eq!(parse_cigar("*").unwrap(), vec![]);
+        assert_eq!(parse_cigar("10M").unwrap(), vec![(10, CigarOp::Match)]);
+        assert!(parse_cigar("M").is_err(), "op without count");
+        assert!(parse_cigar("10").is_err(), "count without op");
+    }
+}

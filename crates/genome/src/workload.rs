@@ -1,0 +1,147 @@
+//! Synthetic alignment generator.
+//!
+//! The paper processes real DNA alignments (3.1 GiB of SAM / 0.9 GiB of
+//! BAM). We have no access to that data, so the workload is synthetic:
+//! paired reads with realistic field distributions (mostly-mapped,
+//! occasional duplicates/secondary alignments, random positions over a
+//! multi-chromosome reference, qnames in non-sorted order). The
+//! experiments measure serialization and data-structure costs, which
+//! depend on record counts and sizes, not on biological content.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{flags, CigarOp, Record};
+use crate::sam::RefDict;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of records.
+    pub records: usize,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Number of reference sequences.
+    pub chromosomes: usize,
+    /// Length of each reference sequence.
+    pub chrom_len: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { records: 20_000, read_len: 100, chromosomes: 4, chrom_len: 50_000_000, seed: 42 }
+    }
+}
+
+/// Generates a reference dictionary and `cfg.records` reads.
+pub fn generate(cfg: &WorkloadConfig) -> (RefDict, Vec<Record>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dict = RefDict {
+        refs: (0..cfg.chromosomes).map(|i| (format!("chr{}", i + 1), cfg.chrom_len)).collect(),
+    };
+    let bases = b"ACGT";
+    let records = (0..cfg.records)
+        .map(|i| {
+            let unmapped = rng.gen_ratio(2, 100);
+            let mut flag = flags::PAIRED | if i % 2 == 0 { flags::READ1 } else { flags::READ2 };
+            if unmapped {
+                flag |= flags::UNMAPPED;
+            } else {
+                if rng.gen_ratio(90, 100) {
+                    flag |= flags::PROPER_PAIR;
+                }
+                if rng.gen_ratio(3, 100) {
+                    flag |= flags::DUPLICATE;
+                }
+                if rng.gen_ratio(2, 100) {
+                    flag |= flags::SECONDARY;
+                }
+                if rng.gen_bool(0.5) {
+                    flag |= flags::REVERSE;
+                }
+            }
+            if rng.gen_ratio(3, 100) {
+                flag |= flags::MATE_UNMAPPED;
+            }
+            let (tid, pos) = if unmapped {
+                (-1, 0)
+            } else {
+                (
+                    rng.gen_range(0..cfg.chromosomes) as i32,
+                    rng.gen_range(1..cfg.chrom_len.saturating_sub(cfg.read_len as u32)) as i32,
+                )
+            };
+            let cigar = if unmapped {
+                vec![]
+            } else if rng.gen_ratio(85, 100) {
+                vec![(cfg.read_len as u32, CigarOp::Match)]
+            } else {
+                let clip = rng.gen_range(1..20u32);
+                vec![
+                    (clip, CigarOp::SoftClip),
+                    (cfg.read_len as u32 - clip, CigarOp::Match),
+                ]
+            };
+            Record {
+                // Qnames deliberately out of order (hash-like suffix), so
+                // qname sort has real work to do.
+                qname: format!("HWI:{:06}:{:04}", (i as u64 * 2654435761) % 1_000_000, i % 10_000),
+                flag,
+                tid,
+                pos,
+                mapq: if unmapped { 0 } else { rng.gen_range(20..=60) },
+                seq: (0..cfg.read_len).map(|_| bases[rng.gen_range(0..4)]).collect(),
+                qual: (0..cfg.read_len).map(|_| rng.gen_range(20..40)).collect(),
+                cigar,
+            }
+        })
+        .collect();
+    (dict, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let cfg = WorkloadConfig { records: 500, ..WorkloadConfig::default() };
+        let (dict, recs) = generate(&cfg);
+        assert_eq!(recs.len(), 500);
+        assert_eq!(dict.refs.len(), 4);
+        let (_, recs2) = generate(&cfg);
+        assert_eq!(recs, recs2, "same seed, same data");
+        let (_, recs3) = generate(&WorkloadConfig { seed: 43, ..cfg });
+        assert_ne!(recs, recs3, "different seed, different data");
+    }
+
+    #[test]
+    fn realistic_field_mix() {
+        let (_, recs) = generate(&WorkloadConfig { records: 5000, ..WorkloadConfig::default() });
+        let mapped = recs.iter().filter(|r| r.is_mapped()).count();
+        assert!(mapped > 4500, "most reads mapped: {mapped}");
+        assert!(mapped < 5000, "some unmapped reads exist");
+        assert!(recs.iter().any(|r| r.cigar.len() == 2), "some soft-clipped reads");
+        let qnames_sorted = recs.windows(2).all(|w| w[0].qname <= w[1].qname);
+        assert!(!qnames_sorted, "qnames must arrive unsorted");
+        for r in recs.iter().filter(|r| r.is_mapped()) {
+            assert!(r.tid >= 0 && (r.tid as usize) < 4);
+            assert!(r.pos > 0);
+            assert_eq!(r.seq.len(), 100);
+            assert_eq!(r.qual.len(), 100);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_both_formats() {
+        let (dict, recs) = generate(&WorkloadConfig { records: 300, ..WorkloadConfig::default() });
+        let sam = crate::sam::write_sam(&dict, &recs);
+        let (d1, r1) = crate::sam::read_sam(&sam).unwrap();
+        assert_eq!((&d1, &r1), (&dict, &recs));
+        let bam = crate::bam::write_bam(&dict, &recs);
+        let (d2, r2) = crate::bam::read_bam(&bam).unwrap();
+        assert_eq!((&d2, &r2), (&dict, &recs));
+    }
+}

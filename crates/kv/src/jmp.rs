@@ -1,0 +1,410 @@
+//! RedisJMP: the store as a shared address space, clients switch in.
+//!
+//! "RedisJMP avoids a server process entirely, retaining only the server
+//! data, and clients access the server data by switching into its address
+//! space. RedisJMP is therefore implemented as a client-side library, and
+//! the server data is initialized lazily by its first client."
+//!
+//! Each client creates **two VASes** over the store segment — one mapping
+//! it read-only (GETs take the segment lock shared) and one read-write
+//! (SETs take it exclusive) — plus a small private **scratch heap**
+//! attached locally to both, because the Redis command path allocates
+//! heap objects even for read-only requests. Resizes and rehashing happen
+//! only under the exclusive lock.
+
+use sjmp_mem::VirtAddr;
+use sjmp_os::kernel::GLOBAL_LO;
+use sjmp_os::{Mode, Pid};
+use spacejmp_core::{AttachMode, SjError, SjResult, SpaceJmp, VasHandle, VasHeap};
+
+use crate::dict::{DictStats, SegDict};
+use crate::resp::{Command, Reply};
+use crate::server::{COMMAND_OVERHEAD, STORE_SEGMENT_BYTES};
+
+/// Scratch heap size per client.
+const SCRATCH_BYTES: u64 = 64 << 10;
+/// PML4 slot index where the store segment lives.
+const STORE_SLOT: u64 = 0;
+/// First PML4 slot used for client scratch segments.
+const SCRATCH_SLOT_BASE: u64 = 8;
+
+/// A RedisJMP client handle.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::{KernelFlavor, Machine};
+/// use sjmp_os::{Creds, Kernel};
+/// use sjmp_kv::JmpClient;
+/// use spacejmp_core::SpaceJmp;
+///
+/// # fn main() -> Result<(), spacejmp_core::SjError> {
+/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+/// let pid = sj.kernel_mut().spawn("client", Creds::new(100, 100))?;
+/// sj.kernel_mut().activate(pid)?;
+///
+/// // The first client initializes the store; later ones share it.
+/// let mut client = JmpClient::join(&mut sj, pid, "cache", 0)?;
+/// client.set(&mut sj, b"answer", b"42")?;
+/// assert_eq!(client.get(&mut sj, b"answer")?, Some(b"42".to_vec()));
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct JmpClient {
+    pid: Pid,
+    vh_read: VasHandle,
+    vh_write: VasHandle,
+    scratch: VasHeap,
+    dict: SegDict,
+    stats: DictStats,
+}
+
+impl JmpClient {
+    /// Joins (or lazily initializes) the store named `store`, creating
+    /// this client's read and write VASes and its scratch heap.
+    /// `client_idx` must be unique per client (it selects the scratch
+    /// segment's address slot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SpaceJMP failures.
+    pub fn join(sj: &mut SpaceJmp, pid: Pid, store: &str, client_idx: usize) -> SjResult<JmpClient> {
+        Self::join_with_tags(sj, pid, store, client_idx, false)
+    }
+
+    /// Like [`Self::join`], optionally requesting TLB tags for both VASes
+    /// (the `RedisJMP (Tags)` configuration of Figure 10a). Requires
+    /// [`sjmp_os::Kernel::set_tagging`] to be enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SpaceJMP failures.
+    pub fn join_with_tags(
+        sj: &mut SpaceJmp,
+        pid: Pid,
+        store: &str,
+        client_idx: usize,
+        tagged: bool,
+    ) -> SjResult<JmpClient> {
+        let store_base = VirtAddr::new(GLOBAL_LO.raw() + STORE_SLOT * (1 << 39));
+        let (sid, fresh) = match sj.seg_find(&format!("jmp-store-{store}")) {
+            Ok(sid) => (sid, false),
+            Err(SjError::NotFound) => {
+                let sid = sj.seg_alloc(
+                    pid,
+                    &format!("jmp-store-{store}"),
+                    store_base,
+                    STORE_SEGMENT_BYTES,
+                    Mode(0o666),
+                )?;
+                (sid, true)
+            }
+            Err(e) => return Err(e),
+        };
+
+        let vid_r = sj.vas_create(pid, &format!("jmp-{store}-r-{}", pid.0), Mode(0o600))?;
+        sj.seg_attach(pid, vid_r, sid, AttachMode::ReadOnly)?;
+        let vid_w = sj.vas_create(pid, &format!("jmp-{store}-w-{}", pid.0), Mode(0o600))?;
+        sj.seg_attach(pid, vid_w, sid, AttachMode::ReadWrite)?;
+        if tagged {
+            sj.vas_ctl(pid, spacejmp_core::VasCtl::RequestTag, vid_r)?;
+            sj.vas_ctl(pid, spacejmp_core::VasCtl::RequestTag, vid_w)?;
+        }
+        let vh_read = sj.vas_attach(pid, vid_r)?;
+        let vh_write = sj.vas_attach(pid, vid_w)?;
+
+        // Per-client scratch segment in its own 512 GiB slot, attached
+        // process-locally to both VASes.
+        let scratch_base =
+            VirtAddr::new(GLOBAL_LO.raw() + (SCRATCH_SLOT_BASE + client_idx as u64) * (1 << 39));
+        let scratch_sid = sj.seg_alloc(
+            pid,
+            &format!("jmp-scratch-{store}-{}", pid.0),
+            scratch_base,
+            SCRATCH_BYTES,
+            Mode(0o600),
+        )?;
+        sj.seg_attach_local(pid, vh_read, scratch_sid, AttachMode::ReadWrite)?;
+        sj.seg_attach_local(pid, vh_write, scratch_sid, AttachMode::ReadWrite)?;
+
+        // Initialize or open the store under the write mapping, and
+        // format the scratch heap.
+        sj.vas_switch(pid, vh_write)?;
+        let scratch = VasHeap::format(sj, pid, scratch_sid)?;
+        let dict = if fresh {
+            let heap = VasHeap::format(sj, pid, sid)?;
+            SegDict::create(sj, pid, heap)?
+        } else {
+            let heap = VasHeap::open(sj, pid, sid)?;
+            SegDict::open(sj, pid, heap)?
+        };
+        sj.vas_switch_home(pid)?;
+        Ok(JmpClient { pid, vh_read, vh_write, scratch, dict, stats: DictStats::default() })
+    }
+
+    /// The client's process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Handle of the read-only VAS (shared lock on switch-in).
+    pub fn read_handle(&self) -> VasHandle {
+        self.vh_read
+    }
+
+    /// Handle of the writable VAS (exclusive lock on switch-in).
+    pub fn write_handle(&self) -> VasHandle {
+        self.vh_write
+    }
+
+    /// Simulates the Redis command-parsing path: the encoded command is
+    /// staged in a scratch-heap object (Redis allocates heap objects even
+    /// for GETs), parsed, and the object freed.
+    fn parse_via_scratch(&self, sj: &mut SpaceJmp, cmd: &Command) -> SjResult<Command> {
+        let encoded = cmd.encode();
+        let buf = self.scratch.malloc(sj, self.pid, encoded.len() as u64)?;
+        sj.kernel_mut().store_bytes(self.pid, buf, &encoded)?;
+        let mut copy = vec![0u8; encoded.len()];
+        sj.kernel_mut().load_bytes(self.pid, buf, &mut copy)?;
+        self.scratch.free(sj, self.pid, buf)?;
+        Command::parse(&copy).map_err(|_| SjError::InvalidArgument("bad command"))
+    }
+
+    /// Executes a GET by switching into the read-only VAS.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::WouldBlock`] when a writer holds the store's lock.
+    pub fn get(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> SjResult<Option<Vec<u8>>> {
+        sj.vas_switch(self.pid, self.vh_read)?;
+        sj.kernel().clock().advance(COMMAND_OVERHEAD);
+        let result = (|| {
+            let cmd = self.parse_via_scratch(sj, &Command::Get(key.to_vec()))?;
+            let Command::Get(k) = cmd else { unreachable!("encoded a GET") };
+            self.dict.get(sj, self.pid, &k)
+        })();
+        sj.vas_switch_home(self.pid)?;
+        result
+    }
+
+    /// Executes a SET by switching into the writable VAS (exclusive).
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::WouldBlock`] when readers or a writer hold the lock.
+    pub fn set(&mut self, sj: &mut SpaceJmp, key: &[u8], val: &[u8]) -> SjResult<()> {
+        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.kernel().clock().advance(COMMAND_OVERHEAD);
+        let result = (|| {
+            let cmd = self.parse_via_scratch(sj, &Command::Set(key.to_vec(), val.to_vec()))?;
+            let Command::Set(k, v) = cmd else { unreachable!("encoded a SET") };
+            // Exclusive lock held: resizing and rehashing permitted.
+            self.dict.set(sj, self.pid, &k, &v, true, &mut self.stats)
+        })();
+        sj.vas_switch_home(self.pid)?;
+        result
+    }
+
+    /// Executes an INCR under the exclusive mapping (parse integer,
+    /// add one, store back), mirroring the server's semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::InvalidArgument`] for non-integer values; lock errors
+    /// as in [`Self::set`].
+    pub fn incr(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> SjResult<i64> {
+        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.kernel().clock().advance(COMMAND_OVERHEAD);
+        let result = (|| {
+            let current = match self.dict.get(sj, self.pid, key)? {
+                None => 0,
+                Some(bytes) => std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|s| s.parse::<i64>().ok())
+                    .ok_or(SjError::InvalidArgument("value is not an integer"))?,
+            };
+            let next = current + 1;
+            self.dict.set(sj, self.pid, key, next.to_string().as_bytes(), true, &mut self.stats)?;
+            Ok(next)
+        })();
+        sj.vas_switch_home(self.pid)?;
+        result
+    }
+
+    /// Executes an APPEND under the exclusive mapping; returns the new
+    /// value length.
+    ///
+    /// # Errors
+    ///
+    /// Lock errors as in [`Self::set`].
+    pub fn append(&mut self, sj: &mut SpaceJmp, key: &[u8], val: &[u8]) -> SjResult<usize> {
+        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.kernel().clock().advance(COMMAND_OVERHEAD);
+        let result = (|| {
+            let mut cur = self.dict.get(sj, self.pid, key)?.unwrap_or_default();
+            cur.extend_from_slice(val);
+            let len = cur.len();
+            self.dict.set(sj, self.pid, key, &cur, true, &mut self.stats)?;
+            Ok(len)
+        })();
+        sj.vas_switch_home(self.pid)?;
+        result
+    }
+
+    /// Executes a DEL under the exclusive mapping.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::set`].
+    pub fn del(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> SjResult<bool> {
+        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.kernel().clock().advance(COMMAND_OVERHEAD);
+        let result = self.dict.del(sj, self.pid, key, true, &mut self.stats);
+        sj.vas_switch_home(self.pid)?;
+        result
+    }
+
+    /// Wire-level execute: parses `raw`, runs it in the appropriate VAS,
+    /// and returns the encoded reply (used by benchmarks to keep the code
+    /// path identical to the socket server).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::get`]/[`Self::set`].
+    pub fn handle_request(&mut self, sj: &mut SpaceJmp, raw: &[u8]) -> SjResult<Vec<u8>> {
+        let reply = match Command::parse(raw) {
+            Ok(Command::Get(k)) => Reply::Bulk(self.get(sj, &k)?),
+            Ok(Command::Set(k, v)) => {
+                self.set(sj, &k, &v)?;
+                Reply::Ok
+            }
+            Ok(Command::Del(k)) => Reply::Int(self.del(sj, &k)? as i64),
+            Ok(Command::Incr(k)) => match self.incr(sj, &k) {
+                Ok(n) => Reply::Int(n),
+                Err(SjError::InvalidArgument(e)) => Reply::Error(e.to_string()),
+                Err(e) => return Err(e),
+            },
+            Ok(Command::Append(k, v)) => Reply::Int(self.append(sj, &k, &v)? as i64),
+            Err(e) => Reply::Error(e.to_string()),
+        };
+        Ok(reply.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_os::{Creds, Kernel};
+
+    fn setup(n: usize) -> (SpaceJmp, Vec<JmpClient>) {
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let clients = (0..n)
+            .map(|i| {
+                let pid = sj.kernel_mut().spawn(&format!("client{i}"), Creds::new(100, 100)).unwrap();
+                sj.kernel_mut().activate(pid).unwrap();
+                JmpClient::join(&mut sj, pid, "bench", i).unwrap()
+            })
+            .collect();
+        (sj, clients)
+    }
+
+    #[test]
+    fn first_client_initializes_store() {
+        let (mut sj, mut clients) = setup(1);
+        let c = &mut clients[0];
+        assert_eq!(c.get(&mut sj, b"missing").unwrap(), None);
+        c.set(&mut sj, b"k", b"v").unwrap();
+        assert_eq!(c.get(&mut sj, b"k").unwrap(), Some(b"v".to_vec()));
+        assert!(c.del(&mut sj, b"k").unwrap());
+        assert_eq!(c.get(&mut sj, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn clients_share_the_store() {
+        let (mut sj, mut clients) = setup(3);
+        clients[0].set(&mut sj, b"shared", b"data").unwrap();
+        for c in &mut clients[1..] {
+            assert_eq!(c.get(&mut sj, b"shared").unwrap(), Some(b"data".to_vec()));
+        }
+        // A later write by another client is seen by the first.
+        clients[2].set(&mut sj, b"shared", b"updated").unwrap();
+        assert_eq!(clients[0].get(&mut sj, b"shared").unwrap(), Some(b"updated".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_readers_allowed_writer_excluded() {
+        let (mut sj, mut clients) = setup(3);
+        clients[0].set(&mut sj, b"k", b"v").unwrap();
+        // Put client 1 "inside" the read VAS (switched in, not yet home).
+        let (p1, vh1) = (clients[1].pid(), clients[1].read_handle());
+        sj.vas_switch(p1, vh1).unwrap();
+        // Client 2 can still read (shared)...
+        assert_eq!(clients[2].get(&mut sj, b"k").unwrap(), Some(b"v".to_vec()));
+        // ...but cannot write (reader holds the lock).
+        assert_eq!(clients[2].set(&mut sj, b"k", b"x"), Err(SjError::WouldBlock));
+        sj.vas_switch_home(p1).unwrap();
+        clients[2].set(&mut sj, b"k", b"x").unwrap();
+    }
+
+    #[test]
+    fn wire_level_requests() {
+        let (mut sj, mut clients) = setup(1);
+        let set = Command::Set(b"a".to_vec(), b"1".to_vec()).encode();
+        assert_eq!(clients[0].handle_request(&mut sj, &set).unwrap(), b"+OK\r\n");
+        let get = Command::Get(b"a".to_vec()).encode();
+        let resp = clients[0].handle_request(&mut sj, &get).unwrap();
+        assert_eq!(Reply::parse(&resp).unwrap(), Reply::Bulk(Some(b"1".to_vec())));
+    }
+
+    #[test]
+    fn many_writes_with_rehash_under_exclusive_lock() {
+        let (mut sj, mut clients) = setup(2);
+        for i in 0..150u32 {
+            let c = (i % 2) as usize;
+            clients[c].set(&mut sj, format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        for i in 0..150u32 {
+            assert_eq!(
+                clients[(i % 2) as usize].get(&mut sj, format!("k{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_os::{Creds, Kernel};
+
+    #[test]
+    fn incr_and_append() {
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let pid = sj.kernel_mut().spawn("c", Creds::new(1, 1)).unwrap();
+        sj.kernel_mut().activate(pid).unwrap();
+        let mut c = JmpClient::join(&mut sj, pid, "ia", 0).unwrap();
+        assert_eq!(c.incr(&mut sj, b"n").unwrap(), 1);
+        assert_eq!(c.incr(&mut sj, b"n").unwrap(), 2);
+        c.set(&mut sj, b"s", b"ab").unwrap();
+        assert_eq!(c.append(&mut sj, b"s", b"cd").unwrap(), 4);
+        assert_eq!(c.get(&mut sj, b"s").unwrap(), Some(b"abcd".to_vec()));
+        // INCR on a non-integer is an error and releases the lock.
+        assert!(matches!(c.incr(&mut sj, b"s"), Err(SjError::InvalidArgument(_))));
+        c.set(&mut sj, b"s", b"1").unwrap(); // lock not stuck
+    }
+
+    #[test]
+    fn wire_level_incr_append() {
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let pid = sj.kernel_mut().spawn("c", Creds::new(1, 1)).unwrap();
+        sj.kernel_mut().activate(pid).unwrap();
+        let mut c = JmpClient::join(&mut sj, pid, "wire", 0).unwrap();
+        let incr = Command::Incr(b"x".to_vec()).encode();
+        assert_eq!(c.handle_request(&mut sj, &incr).unwrap(), b":1\r\n");
+        let app = Command::Append(b"x".to_vec(), b"0".to_vec()).encode();
+        assert_eq!(c.handle_request(&mut sj, &app).unwrap(), b":2\r\n");
+        assert_eq!(c.get(&mut sj, b"x").unwrap(), Some(b"10".to_vec()));
+    }
+}

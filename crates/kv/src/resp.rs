@@ -1,0 +1,276 @@
+//! A RESP-style wire protocol for the key-value store.
+//!
+//! Baseline Redis clients send commands as serialized byte strings over a
+//! socket; the server parses, executes, and serializes a reply. RedisJMP
+//! clients execute the same command-handling code directly, so both paths
+//! share this module (parsing costs stay comparable, as in the paper).
+//!
+//! The encoding follows the Redis Serialization Protocol: arrays of bulk
+//! strings for commands (`*2\r\n$3\r\nGET\r\n$1\r\nk\r\n`), and simple
+//! strings / errors / integers / bulk strings for replies.
+
+/// A client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `GET key` — fetch a value.
+    Get(Vec<u8>),
+    /// `SET key value` — store a value.
+    Set(Vec<u8>, Vec<u8>),
+    /// `DEL key` — remove a key.
+    Del(Vec<u8>),
+    /// `INCR key` — increment an integer value.
+    Incr(Vec<u8>),
+    /// `APPEND key value` — append to a value.
+    Append(Vec<u8>, Vec<u8>),
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `+OK`.
+    Ok,
+    /// Bulk string (`None` = nil).
+    Bulk(Option<Vec<u8>>),
+    /// Integer reply.
+    Int(i64),
+    /// Error reply.
+    Error(String),
+}
+
+/// Protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespError {
+    /// Input ended prematurely or is malformed.
+    Malformed(&'static str),
+    /// Unknown command name.
+    UnknownCommand,
+    /// Wrong number of arguments.
+    Arity,
+}
+
+impl std::fmt::Display for RespError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RespError::Malformed(what) => write!(f, "malformed protocol data: {what}"),
+            RespError::UnknownCommand => write!(f, "unknown command"),
+            RespError::Arity => write!(f, "wrong number of arguments"),
+        }
+    }
+}
+
+impl std::error::Error for RespError {}
+
+fn bulk(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(format!("${}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+impl Command {
+    /// Serializes the command to RESP bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        let parts: Vec<&[u8]> = match self {
+            Command::Get(k) => vec![b"GET", k],
+            Command::Set(k, v) => vec![b"SET", k, v],
+            Command::Del(k) => vec![b"DEL", k],
+            Command::Incr(k) => vec![b"INCR", k],
+            Command::Append(k, v) => vec![b"APPEND", k, v],
+        };
+        out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
+        for p in parts {
+            bulk(&mut out, p);
+        }
+        out
+    }
+
+    /// Parses a command from RESP bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RespError`] for malformed input, unknown verbs, or bad arity.
+    pub fn parse(input: &[u8]) -> Result<Command, RespError> {
+        let mut parts = parse_array(input)?;
+        if parts.is_empty() {
+            return Err(RespError::Malformed("empty command array"));
+        }
+        let verb = parts.remove(0).to_ascii_uppercase();
+        match (verb.as_slice(), parts.len()) {
+            (b"GET", 1) => Ok(Command::Get(parts.remove(0))),
+            (b"SET", 2) => {
+                let k = parts.remove(0);
+                Ok(Command::Set(k, parts.remove(0)))
+            }
+            (b"DEL", 1) => Ok(Command::Del(parts.remove(0))),
+            (b"INCR", 1) => Ok(Command::Incr(parts.remove(0))),
+            (b"APPEND", 2) => {
+                let k = parts.remove(0);
+                Ok(Command::Append(k, parts.remove(0)))
+            }
+            (b"GET" | b"SET" | b"DEL" | b"INCR" | b"APPEND", _) => Err(RespError::Arity),
+            _ => Err(RespError::UnknownCommand),
+        }
+    }
+}
+
+impl Reply {
+    /// Serializes the reply to RESP bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Reply::Ok => b"+OK\r\n".to_vec(),
+            Reply::Bulk(Some(data)) => {
+                let mut out = Vec::with_capacity(data.len() + 16);
+                bulk(&mut out, data);
+                out
+            }
+            Reply::Bulk(None) => b"$-1\r\n".to_vec(),
+            Reply::Int(i) => format!(":{i}\r\n").into_bytes(),
+            Reply::Error(e) => format!("-ERR {e}\r\n").into_bytes(),
+        }
+    }
+
+    /// Parses a reply from RESP bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RespError::Malformed`] for anything unrecognized.
+    pub fn parse(input: &[u8]) -> Result<Reply, RespError> {
+        let (line, rest) = split_line(input)?;
+        match line.first() {
+            Some(b'+') => Ok(Reply::Ok),
+            Some(b'-') => {
+                let msg = String::from_utf8_lossy(&line[1..]).into_owned();
+                Ok(Reply::Error(msg.strip_prefix("ERR ").unwrap_or(&msg).to_string()))
+            }
+            Some(b':') => {
+                let s = std::str::from_utf8(&line[1..])
+                    .map_err(|_| RespError::Malformed("non-utf8 integer"))?;
+                Ok(Reply::Int(s.parse().map_err(|_| RespError::Malformed("bad integer"))?))
+            }
+            Some(b'$') => {
+                let n: i64 = std::str::from_utf8(&line[1..])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(RespError::Malformed("bad bulk length"))?;
+                if n < 0 {
+                    return Ok(Reply::Bulk(None));
+                }
+                let n = n as usize;
+                if rest.len() < n + 2 {
+                    return Err(RespError::Malformed("short bulk body"));
+                }
+                Ok(Reply::Bulk(Some(rest[..n].to_vec())))
+            }
+            _ => Err(RespError::Malformed("unknown reply type")),
+        }
+    }
+}
+
+fn split_line(input: &[u8]) -> Result<(&[u8], &[u8]), RespError> {
+    let pos = input
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .ok_or(RespError::Malformed("missing CRLF"))?;
+    Ok((&input[..pos], &input[pos + 2..]))
+}
+
+fn parse_array(input: &[u8]) -> Result<Vec<Vec<u8>>, RespError> {
+    let (head, mut rest) = split_line(input)?;
+    if head.first() != Some(&b'*') {
+        return Err(RespError::Malformed("expected array"));
+    }
+    let count: usize = std::str::from_utf8(&head[1..])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(RespError::Malformed("bad array length"))?;
+    if count > 64 {
+        return Err(RespError::Malformed("array too long"));
+    }
+    let mut parts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (head, body) = split_line(rest)?;
+        if head.first() != Some(&b'$') {
+            return Err(RespError::Malformed("expected bulk string"));
+        }
+        let len: usize = std::str::from_utf8(&head[1..])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(RespError::Malformed("bad bulk length"))?;
+        if body.len() < len + 2 || &body[len..len + 2] != b"\r\n" {
+            return Err(RespError::Malformed("short bulk body"));
+        }
+        parts.push(body[..len].to_vec());
+        rest = &body[len + 2..];
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_round_trips() {
+        let cmds = [
+            Command::Get(b"key".to_vec()),
+            Command::Set(b"key".to_vec(), b"value".to_vec()),
+            Command::Del(b"k".to_vec()),
+            Command::Incr(b"counter".to_vec()),
+            Command::Append(b"log".to_vec(), b"entry".to_vec()),
+        ];
+        for cmd in cmds {
+            let bytes = cmd.encode();
+            assert_eq!(Command::parse(&bytes).unwrap(), cmd, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let replies = [
+            Reply::Ok,
+            Reply::Bulk(Some(b"data".to_vec())),
+            Reply::Bulk(None),
+            Reply::Int(-42),
+            Reply::Error("boom".into()),
+        ];
+        for r in replies {
+            let bytes = r.encode();
+            assert_eq!(Reply::parse(&bytes).unwrap(), r, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn wire_format_matches_resp() {
+        assert_eq!(
+            Command::Get(b"k".to_vec()).encode(),
+            b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n".to_vec()
+        );
+        assert_eq!(Reply::Ok.encode(), b"+OK\r\n".to_vec());
+        assert_eq!(Reply::Bulk(None).encode(), b"$-1\r\n".to_vec());
+    }
+
+    #[test]
+    fn case_insensitive_verbs() {
+        let mut bytes = Command::Get(b"k".to_vec()).encode();
+        let pos = bytes.windows(3).position(|w| w == b"GET").unwrap();
+        bytes[pos..pos + 3].copy_from_slice(b"get");
+        assert_eq!(Command::parse(&bytes).unwrap(), Command::Get(b"k".to_vec()));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Command::parse(b"").is_err());
+        assert!(Command::parse(b"*1\r\n$3\r\nFOO\r\n").is_err());
+        assert!(Command::parse(b"*1\r\n$3\r\nGET\r\n").is_err(), "arity");
+        assert!(Command::parse(b"*2\r\n$3\r\nGET\r\n$9\r\nshort\r\n").is_err());
+        assert!(Command::parse(b"+OK\r\n").is_err(), "reply is not a command");
+        assert!(Reply::parse(b"?\r\n").is_err());
+        assert!(Reply::parse(b"$5\r\nab\r\n").is_err());
+    }
+
+    #[test]
+    fn binary_safe_payloads() {
+        let cmd = Command::Set(vec![0, 1, 2, b'\r', b'\n'], vec![255, 0, 128]);
+        assert_eq!(Command::parse(&cmd.encode()).unwrap(), cmd);
+    }
+}

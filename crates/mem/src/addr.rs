@@ -1,0 +1,394 @@
+//! Virtual and physical address types for the simulated x86-64 machine.
+//!
+//! The simulated CPU follows the x86-64 conventions the paper targets:
+//! 48 virtual-address bits (256 TiB, split into two canonical halves) and a
+//! four-level page-table hierarchy with 4 KiB base pages and 2 MiB / 1 GiB
+//! superpages.
+//!
+//! Addresses are newtypes over `u64` so virtual and physical addresses can
+//! never be confused ([`VirtAddr`] vs [`PhysAddr`]), and page numbers get
+//! their own types ([`Vpn`], [`Pfn`]).
+
+use std::fmt;
+
+/// Base page size: 4 KiB, as on x86-64.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Number of entries in one page-table node (all four levels).
+pub const ENTRIES_PER_TABLE: u64 = 512;
+/// Number of virtual-address bits implemented by the simulated CPU (paper
+/// Section 2.1: "Most CPUs today are limited to 48 virtual address bits").
+pub const VA_BITS: u32 = 48;
+/// Number of physical-address bits implemented (the paper cites 44-46; we
+/// pick 46 = 64 TiB).
+pub const PA_BITS: u32 = 46;
+
+/// Page sizes supported by the simulated MMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB base page (PTE level).
+    Size4K,
+    /// 2 MiB superpage (PDE level, PS bit).
+    Size2M,
+    /// 1 GiB superpage (PDPTE level, PS bit).
+    Size1G,
+}
+
+impl PageSize {
+    /// Size of this page in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4096,
+            PageSize::Size2M => 2 * 1024 * 1024,
+            PageSize::Size1G => 1024 * 1024 * 1024,
+        }
+    }
+
+    /// log2 of [`Self::bytes`].
+    #[inline]
+    pub fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Number of 4 KiB base pages covered by one page of this size.
+    #[inline]
+    pub fn base_pages(self) -> u64 {
+        self.bytes() / PAGE_SIZE
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KiB"),
+            PageSize::Size2M => write!(f, "2MiB"),
+            PageSize::Size1G => write!(f, "1GiB"),
+        }
+    }
+}
+
+/// A virtual address in the simulated 48-bit address space.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::addr::VirtAddr;
+/// let va = VirtAddr::new(0xC0DE_0000);
+/// assert_eq!(va.page_offset(), 0);
+/// assert_eq!(va.align_down(4096), va);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// The zero virtual address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates a virtual address from a raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not canonical for a 48-bit address space (bits
+    /// 48..64 must be a sign extension of bit 47).
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        let va = VirtAddr(raw);
+        assert!(va.is_canonical(), "non-canonical virtual address {raw:#x}");
+        va
+    }
+
+    /// Creates a virtual address without the canonical check.
+    #[inline]
+    pub const fn new_unchecked(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this address is canonical for [`VA_BITS`] address bits.
+    #[inline]
+    pub fn is_canonical(self) -> bool {
+        let shift = 64 - VA_BITS;
+        ((self.0 as i64) << shift >> shift) as u64 == self.0
+    }
+
+    /// The virtual page number containing this address.
+    #[inline]
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Offset of this address within its 4 KiB page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Offset within a page of the given size.
+    #[inline]
+    pub fn offset_in(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Rounds down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Rounds up to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Whether the address is a multiple of `align`.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.0.is_multiple_of(align)
+    }
+
+    /// Address `bytes` past this one. (A named method rather than
+    /// `ops::Add` because the operand is a byte offset, not an address.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Byte distance from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier > self`.
+    #[inline]
+    pub fn offset_from(self, earlier: VirtAddr) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("offset_from: earlier address is greater")
+    }
+
+    /// Index into the PML4 (level-4 table) for this address.
+    #[inline]
+    pub fn pml4_index(self) -> usize {
+        ((self.0 >> 39) & 0x1ff) as usize
+    }
+
+    /// Index into the PDPT (level-3 table) for this address.
+    #[inline]
+    pub fn pdpt_index(self) -> usize {
+        ((self.0 >> 30) & 0x1ff) as usize
+    }
+
+    /// Index into the PD (level-2 table) for this address.
+    #[inline]
+    pub fn pd_index(self) -> usize {
+        ((self.0 >> 21) & 0x1ff) as usize
+    }
+
+    /// Index into the PT (level-1 table) for this address.
+    #[inline]
+    pub fn pt_index(self) -> usize {
+        ((self.0 >> 12) & 0x1ff) as usize
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(va: VirtAddr) -> u64 {
+        va.0
+    }
+}
+
+/// A physical address in the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// The zero physical address.
+    pub const NULL: PhysAddr = PhysAddr(0);
+
+    /// Creates a physical address from a raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds [`PA_BITS`] bits.
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        assert!(raw < (1 << PA_BITS), "physical address {raw:#x} exceeds {PA_BITS} bits");
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical frame number containing this address.
+    #[inline]
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Offset of this address within its 4 KiB frame.
+    #[inline]
+    pub fn frame_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Address `bytes` past this one. (A named method rather than
+    /// `ops::Add` because the operand is a byte offset, not an address.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+
+    /// Whether the address is a multiple of `align`.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.0.is_multiple_of(align)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(pa: PhysAddr) -> u64 {
+        pa.0
+    }
+}
+
+/// A virtual page number (virtual address / 4 KiB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// The first virtual address in this page.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+/// A physical frame number (physical address / 4 KiB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// The first physical address in this frame.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_addresses() {
+        assert!(VirtAddr::new_unchecked(0).is_canonical());
+        assert!(VirtAddr::new_unchecked(0x7fff_ffff_ffff).is_canonical());
+        assert!(!VirtAddr::new_unchecked(0x8000_0000_0000).is_canonical());
+        assert!(VirtAddr::new_unchecked(0xffff_8000_0000_0000).is_canonical());
+        assert!(VirtAddr::new_unchecked(u64::MAX).is_canonical());
+        assert!(!VirtAddr::new_unchecked(0x0001_0000_0000_0000).is_canonical());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-canonical")]
+    fn new_rejects_non_canonical() {
+        let _ = VirtAddr::new(0x8000_0000_0000);
+    }
+
+    #[test]
+    fn table_indices() {
+        // VA = PML4[1] PDPT[2] PD[3] PT[4] offset 5.
+        let raw = (1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 5;
+        let va = VirtAddr::new(raw);
+        assert_eq!(va.pml4_index(), 1);
+        assert_eq!(va.pdpt_index(), 2);
+        assert_eq!(va.pd_index(), 3);
+        assert_eq!(va.pt_index(), 4);
+        assert_eq!(va.page_offset(), 5);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let va = VirtAddr::new(0x1234);
+        assert_eq!(va.align_down(4096).raw(), 0x1000);
+        assert_eq!(va.align_up(4096).raw(), 0x2000);
+        assert!(VirtAddr::new(0x2000).is_aligned(4096));
+        assert!(!va.is_aligned(4096));
+        assert_eq!(VirtAddr::new(0x2000).align_up(4096).raw(), 0x2000);
+    }
+
+    #[test]
+    fn page_numbers_round_trip() {
+        let va = VirtAddr::new(0x5000 + 7);
+        assert_eq!(va.vpn(), Vpn(5));
+        assert_eq!(va.vpn().base().raw(), 0x5000);
+        let pa = PhysAddr::new(0x3000 + 9);
+        assert_eq!(pa.pfn(), Pfn(3));
+        assert_eq!(pa.pfn().base().raw(), 0x3000);
+    }
+
+    #[test]
+    fn page_size_properties() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.base_pages(), 512);
+        assert_eq!(PageSize::Size1G.base_pages(), 512 * 512);
+        assert_eq!(PageSize::Size2M.shift(), 21);
+        assert_eq!(format!("{}", PageSize::Size1G), "1GiB");
+    }
+
+    #[test]
+    fn offsets() {
+        let va = VirtAddr::new(0x0020_0000 + 123);
+        assert_eq!(va.offset_in(PageSize::Size2M), 123);
+        assert_eq!(va.offset_from(VirtAddr::new(0x0020_0000)), 123);
+        assert_eq!(va.add(5).raw(), 0x0020_0000 + 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn phys_addr_limit() {
+        let _ = PhysAddr::new(1 << PA_BITS);
+    }
+}

@@ -1,0 +1,427 @@
+//! Cycle cost model and simulated clock.
+//!
+//! The paper reports results in *cycles* (Table 2, Figures 6-7) or in rates
+//! derived from time (Figures 1, 8-12). The simulator charges every
+//! architectural event — TLB hit/miss, page walk, CR3 load, kernel entry,
+//! PTE construction, cache-line transfers — to a [`CycleClock`], using
+//! constants calibrated from the paper's own measurements:
+//!
+//! * Table 2 (machine M2): CR3 load costs 130 cycles untagged and 224
+//!   cycles tagged; a DragonFly BSD system call costs 357 cycles vs 130 on
+//!   Barrelfish; a complete `vas_switch` costs 1127/807 (DragonFly,
+//!   untagged/tagged) and 664/462 (Barrelfish).
+//! * Figure 1: constructing page tables for a 1 GiB region with 4 KiB pages
+//!   takes about 5 ms, and about 2 s for 64 GiB — superlinear because the
+//!   table working set falls out of the cache hierarchy.
+//!
+//! Per-machine parameters (Table 1) live in [`MachineProfile`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which operating-system personality mediates kernel entry.
+///
+/// The paper implements SpaceJMP in two OSes with very different costs:
+/// DragonFly BSD enters the kernel through a conventional system call while
+/// Barrelfish performs a (cheaper) capability invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelFlavor {
+    /// DragonFly BSD: kernel-mediated VAS objects, syscall entry.
+    DragonFly,
+    /// Barrelfish: user-space VAS service, capability invocations.
+    Barrelfish,
+}
+
+impl KernelFlavor {
+    /// Human-readable OS name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelFlavor::DragonFly => "DragonFly BSD",
+            KernelFlavor::Barrelfish => "Barrelfish",
+        }
+    }
+}
+
+/// One of the paper's evaluation machines (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// M1: 92 GiB, 2x12-core Xeon X5650, 2.66 GHz.
+    M1,
+    /// M2: 256 GiB, 2x10-core Xeon E5-2670v2, 2.50 GHz.
+    M2,
+    /// M3: 512 GiB, 2x18-core Xeon E5-2699v3, 2.30 GHz.
+    M3,
+}
+
+/// Hardware parameters for a simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineProfile {
+    /// Machine code name (`"M1"`, ...).
+    pub name: &'static str,
+    /// Physical memory capacity in bytes. The simulator is sparse, so this
+    /// is an accounting limit, not a host allocation.
+    pub mem_bytes: u64,
+    /// Number of CPU sockets.
+    pub sockets: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+    /// Core clock frequency in Hz; converts cycles to seconds.
+    pub freq_hz: u64,
+    /// Unified (second-level) TLB capacity in entries.
+    pub tlb_entries: usize,
+    /// TLB associativity (ways).
+    pub tlb_ways: usize,
+}
+
+impl MachineProfile {
+    /// Profile for one of the paper's machines.
+    pub fn of(machine: Machine) -> Self {
+        match machine {
+            // The X5650 is a 6-core part; Section 5.3 calls M1 "the
+            // twelve core machine" (Table 1's "2x12c" counts threads).
+            Machine::M1 => MachineProfile {
+                name: "M1",
+                mem_bytes: 92 << 30,
+                sockets: 2,
+                cores_per_socket: 6,
+                freq_hz: 2_660_000_000,
+                tlb_entries: 512,
+                tlb_ways: 4,
+            },
+            Machine::M2 => MachineProfile {
+                name: "M2",
+                mem_bytes: 256 << 30,
+                sockets: 2,
+                cores_per_socket: 10,
+                freq_hz: 2_500_000_000,
+                tlb_entries: 512,
+                tlb_ways: 4,
+            },
+            Machine::M3 => MachineProfile {
+                name: "M3",
+                mem_bytes: 512 << 30,
+                sockets: 2,
+                cores_per_socket: 18,
+                freq_hz: 2_300_000_000,
+                tlb_entries: 1024,
+                tlb_ways: 8,
+            },
+        }
+    }
+
+    /// Total core count across sockets.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Converts a cycle count to seconds on this machine.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+
+    /// Converts seconds to cycles on this machine.
+    pub fn secs_to_cycles(&self, secs: f64) -> u64 {
+        (secs * self.freq_hz as f64) as u64
+    }
+}
+
+impl Default for MachineProfile {
+    /// Defaults to M2, the machine the paper's Table 2 was measured on.
+    fn default() -> Self {
+        MachineProfile::of(Machine::M2)
+    }
+}
+
+/// Cycle costs of individual architectural and OS events.
+///
+/// All values are in CPU cycles. See the module docs for calibration
+/// sources. Change individual fields to run what-if ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// TLB lookup (charged on every translation, hit or miss).
+    pub tlb_lookup: u64,
+    /// Page-walk penalty on a TLB miss (warm paging-structure caches).
+    pub tlb_walk: u64,
+    /// L1-resident data access (one cache line).
+    pub cache_hit: u64,
+    /// DRAM access (one cache line).
+    pub dram_access: u64,
+    /// CR3 write with TLB tagging disabled (flushes non-global entries).
+    pub cr3_load_untagged: u64,
+    /// CR3 write with TLB tagging enabled (extra tag circuitry; Table 2).
+    pub cr3_load_tagged: u64,
+    /// DragonFly BSD system-call entry/exit.
+    pub syscall_dragonfly: u64,
+    /// Barrelfish capability-invocation entry/exit.
+    pub syscall_barrelfish: u64,
+    /// `vas_switch` bookkeeping beyond kernel entry + CR3 load, DragonFly,
+    /// untagged (includes the TLB shootdown work).
+    pub switch_book_dragonfly_untagged: u64,
+    /// `vas_switch` bookkeeping, DragonFly, tagged.
+    pub switch_book_dragonfly_tagged: u64,
+    /// `vas_switch` bookkeeping, Barrelfish, untagged.
+    pub switch_book_barrelfish_untagged: u64,
+    /// `vas_switch` bookkeeping, Barrelfish, tagged.
+    pub switch_book_barrelfish_tagged: u64,
+    /// Writing one leaf PTE during table construction (cache-resident).
+    pub pte_write: u64,
+    /// Extra per-PTE cost when the table working set exceeds the cache
+    /// hierarchy (the superlinear regime of Figure 1).
+    pub pte_write_cold_extra: u64,
+    /// Region size in bytes beyond which PTE construction runs cold.
+    pub pte_cold_threshold: u64,
+    /// Writing one leaf PTE when the page is already hot in the page
+    /// cache (Figure 1's cheaper `cached` series).
+    pub pte_write_cached: u64,
+    /// Clearing one leaf PTE during unmap.
+    pub pte_clear: u64,
+    /// Returning one page to the page cache on uncached unmap.
+    pub page_putback: u64,
+    /// Allocating and linking one page-table node in the kernel.
+    pub table_alloc: u64,
+    /// Splicing one already-constructed (cached) table subtree.
+    pub table_splice: u64,
+    /// Transferring one cache line between cores on the same socket.
+    pub cacheline_local: u64,
+    /// Transferring one cache line across the socket interconnect.
+    pub cacheline_xsocket: u64,
+    /// Fixed per-message software overhead of a polled URPC channel.
+    pub urpc_sw_overhead: u64,
+    /// Per-message cost of the socket path (system call, kernel socket
+    /// buffer copy, peer wakeup/scheduling), used for the
+    /// UNIX-domain-socket baseline in the Redis experiment. Calibrated so
+    /// a single-client request/response round trip (4 socket operations)
+    /// lands near the paper's ~70k requests/s baseline on M1.
+    pub socket_msg: u64,
+    /// Extra cycles for a read served from the NVM tier (Section 7's
+    /// heterogeneous memory). The model has no data-cache filter, so this
+    /// is an *effective* per-access extra chosen to land NVM reads at a
+    /// realistic ~5x DRAM and writes at ~10-15x.
+    pub nvm_read_extra: u64,
+    /// Extra cycles for a write to the NVM tier (write asymmetry).
+    pub nvm_write_extra: u64,
+    /// Acquiring an uncontended lock (segment lock fast path).
+    pub lock_uncontended: u64,
+    /// Handing a contended lock to the next waiter.
+    pub lock_handoff: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            tlb_lookup: 1,
+            tlb_walk: 80,
+            cache_hit: 4,
+            dram_access: 200,
+            cr3_load_untagged: 130,
+            cr3_load_tagged: 224,
+            syscall_dragonfly: 357,
+            syscall_barrelfish: 130,
+            // Derived from Table 2 totals:
+            //   DragonFly untagged: 1127 = 357 + 130 + 640
+            //   DragonFly tagged:    807 = 357 + 224 + 226
+            //   Barrelfish untagged: 664 = 130 + 130 + 404
+            //   Barrelfish tagged:   462 = 130 + 224 + 108
+            switch_book_dragonfly_untagged: 640,
+            switch_book_dragonfly_tagged: 226,
+            switch_book_barrelfish_untagged: 404,
+            switch_book_barrelfish_tagged: 108,
+            // Figure 1 anchors: 1 GiB / 4 KiB pages ~ 5 ms at 2.5 GHz
+            // (~45 cycles/PTE warm), 64 GiB ~ 2 s (~300 cycles/PTE cold).
+            pte_write: 45,
+            pte_write_cold_extra: 250,
+            pte_cold_threshold: 8 << 30,
+            pte_write_cached: 12,
+            pte_clear: 8,
+            page_putback: 15,
+            table_alloc: 2000,
+            table_splice: 300,
+            cacheline_local: 60,
+            cacheline_xsocket: 240,
+            urpc_sw_overhead: 150,
+            socket_msg: 9000,
+            nvm_read_extra: 20,
+            nvm_write_extra: 55,
+            lock_uncontended: 40,
+            lock_handoff: 300,
+        }
+    }
+}
+
+impl CostModel {
+    /// Kernel-entry cost for `flavor`.
+    pub fn kernel_entry(&self, flavor: KernelFlavor) -> u64 {
+        match flavor {
+            KernelFlavor::DragonFly => self.syscall_dragonfly,
+            KernelFlavor::Barrelfish => self.syscall_barrelfish,
+        }
+    }
+
+    /// CR3 write cost, depending on whether TLB tagging is enabled.
+    pub fn cr3_load(&self, tagged: bool) -> u64 {
+        if tagged {
+            self.cr3_load_tagged
+        } else {
+            self.cr3_load_untagged
+        }
+    }
+
+    /// `vas_switch` bookkeeping cost beyond kernel entry and CR3 load.
+    pub fn switch_bookkeeping(&self, flavor: KernelFlavor, tagged: bool) -> u64 {
+        match (flavor, tagged) {
+            (KernelFlavor::DragonFly, false) => self.switch_book_dragonfly_untagged,
+            (KernelFlavor::DragonFly, true) => self.switch_book_dragonfly_tagged,
+            (KernelFlavor::Barrelfish, false) => self.switch_book_barrelfish_untagged,
+            (KernelFlavor::Barrelfish, true) => self.switch_book_barrelfish_tagged,
+        }
+    }
+
+    /// Full `vas_switch` cost (Table 2 bottom row).
+    pub fn vas_switch(&self, flavor: KernelFlavor, tagged: bool) -> u64 {
+        self.kernel_entry(flavor) + self.cr3_load(tagged) + self.switch_bookkeeping(flavor, tagged)
+    }
+
+    /// Per-PTE construction cost for a region of `region_bytes`.
+    pub fn pte_construct(&self, region_bytes: u64) -> u64 {
+        if region_bytes >= self.pte_cold_threshold {
+            self.pte_write + self.pte_write_cold_extra
+        } else {
+            self.pte_write
+        }
+    }
+
+    /// Cache-line transfer cost between two cores.
+    pub fn cacheline_transfer(&self, cross_socket: bool) -> u64 {
+        if cross_socket {
+            self.cacheline_xsocket
+        } else {
+            self.cacheline_local
+        }
+    }
+}
+
+/// Shared simulated cycle counter.
+///
+/// Clones share the same counter, so the MMU, the kernel, and workloads can
+/// all charge cycles to one timeline. The counter is atomic, making the
+/// clock `Send + Sync` for multi-threaded tests, but the simulation itself
+/// is logically single-timeline.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::cost::CycleClock;
+/// let clock = CycleClock::new();
+/// let view = clock.clone();
+/// clock.advance(100);
+/// assert_eq!(view.now(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CycleClock(Arc<AtomicU64>);
+
+impl CycleClock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        CycleClock(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Current simulated cycle.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `cycles`.
+    #[inline]
+    pub fn advance(&self, cycles: u64) {
+        self.0.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Resets the clock to zero (useful between benchmark phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Cycles elapsed since `start`.
+    pub fn since(&self, start: u64) -> u64 {
+        self.now().saturating_sub(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_reproduce_exactly() {
+        let c = CostModel::default();
+        assert_eq!(c.vas_switch(KernelFlavor::DragonFly, false), 1127);
+        assert_eq!(c.vas_switch(KernelFlavor::DragonFly, true), 807);
+        assert_eq!(c.vas_switch(KernelFlavor::Barrelfish, false), 664);
+        assert_eq!(c.vas_switch(KernelFlavor::Barrelfish, true), 462);
+        assert_eq!(c.cr3_load(false), 130);
+        assert_eq!(c.cr3_load(true), 224);
+        assert_eq!(c.kernel_entry(KernelFlavor::DragonFly), 357);
+        assert_eq!(c.kernel_entry(KernelFlavor::Barrelfish), 130);
+    }
+
+    #[test]
+    fn figure1_anchor_one_gib() {
+        // 1 GiB of 4 KiB pages = 262144 PTEs; should land near 5 ms on M2.
+        let c = CostModel::default();
+        let m2 = MachineProfile::of(Machine::M2);
+        let ptes = (1u64 << 30) / 4096;
+        let tables = ptes / 512 + ptes / (512 * 512) + 2;
+        let cycles = ptes * c.pte_construct(1 << 30) + tables * c.table_alloc;
+        let ms = m2.cycles_to_secs(cycles) * 1e3;
+        assert!((3.0..8.0).contains(&ms), "1 GiB map cost {ms} ms, expected ~5 ms");
+    }
+
+    #[test]
+    fn figure1_anchor_sixty_four_gib() {
+        let c = CostModel::default();
+        let m2 = MachineProfile::of(Machine::M2);
+        let ptes = (64u64 << 30) / 4096;
+        let tables = ptes / 512 + ptes / (512 * 512) + 2;
+        let cycles = ptes * c.pte_construct(64 << 30) + tables * c.table_alloc;
+        let s = m2.cycles_to_secs(cycles);
+        assert!((1.2..3.0).contains(&s), "64 GiB map cost {s} s, expected ~2 s");
+    }
+
+    #[test]
+    fn machine_profiles_match_table1() {
+        let m1 = MachineProfile::of(Machine::M1);
+        assert_eq!(m1.mem_bytes, 92 << 30);
+        assert_eq!(m1.total_cores(), 12);
+        let m3 = MachineProfile::of(Machine::M3);
+        assert_eq!(m3.total_cores(), 36);
+        assert_eq!(m3.freq_hz, 2_300_000_000);
+        assert_eq!(MachineProfile::default(), MachineProfile::of(Machine::M2));
+    }
+
+    #[test]
+    fn clock_is_shared_between_clones() {
+        let c = CycleClock::new();
+        let view = c.clone();
+        c.advance(10);
+        view.advance(5);
+        assert_eq!(c.now(), 15);
+        assert_eq!(c.since(10), 5);
+        c.reset();
+        assert_eq!(view.now(), 0);
+    }
+
+    #[test]
+    fn cycle_second_round_trip() {
+        let m = MachineProfile::of(Machine::M2);
+        assert_eq!(m.secs_to_cycles(1.0), 2_500_000_000);
+        assert!((m.cycles_to_secs(2_500_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_pte_threshold() {
+        let c = CostModel::default();
+        assert_eq!(c.pte_construct(1 << 30), c.pte_write);
+        assert_eq!(c.pte_construct(64 << 30), c.pte_write + c.pte_write_cold_extra);
+    }
+}

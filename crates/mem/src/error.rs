@@ -1,0 +1,102 @@
+//! Error types for the memory substrate.
+
+use std::fmt;
+
+use crate::addr::{PhysAddr, VirtAddr};
+
+/// Kind of access that triggered a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+            Access::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// Errors raised by the simulated memory hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Physical frame allocator exhausted.
+    OutOfFrames,
+    /// Physical address out of range or misaligned for the operation.
+    BadPhysAddr(PhysAddr),
+    /// No translation exists for the address (page not present).
+    PageFault {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// Access kind that faulted.
+        access: Access,
+    },
+    /// A translation exists but does not permit the access.
+    ProtectionFault {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// Access kind that faulted.
+        access: Access,
+    },
+    /// Attempt to map over an existing, conflicting translation.
+    AlreadyMapped(VirtAddr),
+    /// Mapping request with bad alignment or extent.
+    BadMapping(VirtAddr),
+    /// Translation requested with no page table loaded (CR3 null).
+    NoAddressSpace,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames => write!(f, "out of physical frames"),
+            MemError::BadPhysAddr(pa) => write!(f, "bad physical address {pa}"),
+            MemError::PageFault { va, access } => write!(f, "page fault on {access} at {va}"),
+            MemError::ProtectionFault { va, access } => {
+                write!(f, "protection fault on {access} at {va}")
+            }
+            MemError::AlreadyMapped(va) => write!(f, "address {va} is already mapped"),
+            MemError::BadMapping(va) => write!(f, "bad mapping request at {va}"),
+            MemError::NoAddressSpace => write!(f, "no address space is active"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<MemError> = vec![
+            MemError::OutOfFrames,
+            MemError::BadPhysAddr(PhysAddr::new(0x1000)),
+            MemError::PageFault { va: VirtAddr::new(0x2000), access: Access::Write },
+            MemError::ProtectionFault { va: VirtAddr::new(0x2000), access: Access::Read },
+            MemError::AlreadyMapped(VirtAddr::new(0x3000)),
+            MemError::BadMapping(VirtAddr::new(0x4000)),
+            MemError::NoAddressSpace,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

@@ -1,0 +1,482 @@
+//! The simulated MMU: CR3 register, TLB, page walker, cycle accounting.
+//!
+//! One [`Mmu`] models one hardware thread's address-translation machinery.
+//! Every operation charges the shared [`CycleClock`], so workloads running
+//! through the MMU automatically produce the cycle totals that the paper's
+//! figures are computed from.
+
+use crate::addr::{PhysAddr, Pfn, VirtAddr, PAGE_SIZE};
+use crate::cost::{CostModel, CycleClock};
+use crate::error::{Access, MemError};
+use crate::paging::{self, PteFlags};
+use crate::phys::PhysMem;
+use crate::tlb::{Asid, Tlb, TlbStats};
+
+/// MMU event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// CR3 writes (address-space switches at the hardware level).
+    pub cr3_loads: u64,
+    /// Translations requested.
+    pub translations: u64,
+    /// Page walks performed (TLB misses).
+    pub walks: u64,
+    /// Faults raised (page + protection).
+    pub faults: u64,
+}
+
+/// A simulated per-core MMU.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::{mmu::Mmu, phys::PhysMem, paging, cost::{CostModel, CycleClock}};
+/// use sjmp_mem::addr::{PageSize, PhysAddr, VirtAddr};
+/// use sjmp_mem::paging::PteFlags;
+/// use sjmp_mem::tlb::Asid;
+/// use sjmp_mem::error::Access;
+///
+/// # fn main() -> Result<(), sjmp_mem::error::MemError> {
+/// let mut phys = PhysMem::new(1 << 22);
+/// let root = paging::new_root(&mut phys)?;
+/// let frame = phys.alloc_frame()?;
+/// paging::map(&mut phys, root, VirtAddr::new(0x1000), frame.base(),
+///             PageSize::Size4K, PteFlags::WRITABLE | PteFlags::USER)?;
+///
+/// let mut mmu = Mmu::new(64, 4, CostModel::default(), CycleClock::new());
+/// mmu.load_cr3(root, Asid::UNTAGGED);
+/// mmu.write_u64(&mut phys, VirtAddr::new(0x1008), 7)?;
+/// assert_eq!(mmu.read_u64(&mut phys, VirtAddr::new(0x1008))?, 7);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Mmu {
+    tlb: Tlb,
+    cr3: Option<Pfn>,
+    asid: Asid,
+    tagging: bool,
+    cost: CostModel,
+    clock: CycleClock,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// Creates an MMU with the given TLB geometry, cost model, and clock.
+    pub fn new(tlb_entries: usize, tlb_ways: usize, cost: CostModel, clock: CycleClock) -> Self {
+        Mmu {
+            tlb: Tlb::new(tlb_entries, tlb_ways),
+            cr3: None,
+            asid: Asid::UNTAGGED,
+            tagging: false,
+            cost,
+            clock,
+            stats: MmuStats::default(),
+        }
+    }
+
+    /// Enables or disables TLB tagging (PCID). With tagging off, or with
+    /// the reserved [`Asid::UNTAGGED`] tag, every CR3 write flushes.
+    pub fn set_tagging(&mut self, enabled: bool) {
+        self.tagging = enabled;
+    }
+
+    /// Whether TLB tagging is enabled.
+    pub fn tagging(&self) -> bool {
+        self.tagging
+    }
+
+    /// The currently loaded root table, if any.
+    pub fn cr3(&self) -> Option<Pfn> {
+        self.cr3
+    }
+
+    /// The current address-space tag.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Shared clock used for cost accounting.
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// MMU counters.
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// TLB counters.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Resets MMU and TLB counters (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MmuStats::default();
+        self.tlb.reset_stats();
+    }
+
+    /// Direct access to the TLB (for benchmarks that probe occupancy).
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// Loads CR3 with a new root table and tag, charging the Table 2 CR3
+    /// cost.
+    ///
+    /// Flush semantics follow x86 PCID: loading a *tagged* address space
+    /// (tagging enabled, tag nonzero) preserves all entries; loading an
+    /// untagged one invalidates the entries of that tag — which, for the
+    /// reserved tag zero, is "always trigger a TLB flush on a context
+    /// switch" exactly as the paper's implementations behave, while
+    /// entries belonging to other tags survive.
+    pub fn load_cr3(&mut self, root: Pfn, asid: Asid) {
+        let tagged = self.tagging && asid.is_tagged();
+        self.clock.advance(self.cost.cr3_load(tagged));
+        self.stats.cr3_loads += 1;
+        if !tagged {
+            if self.tagging {
+                self.tlb.flush_asid(asid);
+            } else {
+                self.tlb.flush_nonglobal();
+            }
+        }
+        self.cr3 = Some(root);
+        self.asid = asid;
+    }
+
+    /// Invalidates one page's translation (mapping changed under us).
+    pub fn invlpg(&mut self, va: VirtAddr) {
+        self.tlb.flush_page(va.vpn());
+    }
+
+    /// Flushes all non-global TLB entries (explicit shootdown).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush_nonglobal();
+    }
+
+    /// Translates `va` for `access`, charging TLB and walk costs.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::NoAddressSpace`] if CR3 was never loaded.
+    /// * [`MemError::PageFault`] if no translation exists.
+    /// * [`MemError::ProtectionFault`] if the mapping forbids `access`.
+    pub fn translate(
+        &mut self,
+        phys: &mut PhysMem,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<PhysAddr, MemError> {
+        let root = self.cr3.ok_or(MemError::NoAddressSpace)?;
+        self.stats.translations += 1;
+        self.clock.advance(self.cost.tlb_lookup);
+        if let Some((frame_base, flags)) = self.tlb.lookup(self.asid, va.vpn()) {
+            if !flags.permits(access) {
+                self.stats.faults += 1;
+                return Err(MemError::ProtectionFault { va, access });
+            }
+            return Ok(frame_base.add(va.page_offset()));
+        }
+        // TLB miss: walk the tables.
+        self.stats.walks += 1;
+        self.clock.advance(self.cost.tlb_walk);
+        let (tr, _levels) = paging::walk(phys, root, va).map_err(|e| {
+            self.stats.faults += 1;
+            match e {
+                MemError::PageFault { va, .. } => MemError::PageFault { va, access },
+                other => other,
+            }
+        })?;
+        if !tr.flags.permits(access) {
+            self.stats.faults += 1;
+            return Err(MemError::ProtectionFault { va, access });
+        }
+        let frame_base = PhysAddr::new(tr.pa.raw() & !(PAGE_SIZE - 1));
+        let global = tr.flags.contains(PteFlags::GLOBAL);
+        self.tlb.insert(self.asid, va.vpn(), frame_base, tr.flags, global);
+        Ok(frame_base.add(va.page_offset()))
+    }
+
+    /// Charges the tier cost of touching `pa`: DRAM accesses cost one
+    /// cache access; NVM-tier accesses pay the read/write extra.
+    #[inline]
+    fn charge_data(&self, phys: &PhysMem, pa: PhysAddr, write: bool) {
+        let mut cycles = self.cost.cache_hit;
+        if phys.is_nvm(pa.pfn()) {
+            cycles += if write { self.cost.nvm_write_extra } else { self.cost.nvm_read_extra };
+        }
+        self.clock.advance(cycles);
+    }
+
+    /// Loads one cache line's worth of data at `va` (Figure 6's "page
+    /// touch"), charging translation plus one cache access.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::translate`].
+    pub fn touch(&mut self, phys: &mut PhysMem, va: VirtAddr) -> Result<(), MemError> {
+        let pa = self.translate(phys, va, Access::Read)?;
+        self.charge_data(phys, pa, false);
+        Ok(())
+    }
+
+    /// Reads a naturally-aligned `u64` through the current address space.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors as in [`Self::translate`], plus
+    /// [`MemError::BadPhysAddr`] for misaligned addresses.
+    pub fn read_u64(&mut self, phys: &mut PhysMem, va: VirtAddr) -> Result<u64, MemError> {
+        let pa = self.translate(phys, va, Access::Read)?;
+        self.charge_data(phys, pa, false);
+        phys.read_u64(pa)
+    }
+
+    /// Writes a naturally-aligned `u64` through the current address space.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors as in [`Self::translate`], plus
+    /// [`MemError::BadPhysAddr`] for misaligned addresses.
+    pub fn write_u64(&mut self, phys: &mut PhysMem, va: VirtAddr, value: u64) -> Result<(), MemError> {
+        let pa = self.translate(phys, va, Access::Write)?;
+        self.charge_data(phys, pa, true);
+        phys.write_u64(pa, value)
+    }
+
+    /// Reads `buf.len()` bytes starting at `va`, page by page.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors as in [`Self::translate`].
+    pub fn read_bytes(&mut self, phys: &mut PhysMem, va: VirtAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va.add(done as u64);
+            let pa = self.translate(phys, cur, Access::Read)?;
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let chunk = in_page.min(buf.len() - done);
+            let lines = 1 + chunk as u64 / 64;
+            let mut per_line = self.cost.cache_hit;
+            if phys.is_nvm(pa.pfn()) {
+                per_line += self.cost.nvm_read_extra;
+            }
+            self.clock.advance(per_line * lines);
+            phys.read_bytes(pa, &mut buf[done..done + chunk])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `va`, page by page.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors as in [`Self::translate`].
+    pub fn write_bytes(&mut self, phys: &mut PhysMem, va: VirtAddr, buf: &[u8]) -> Result<(), MemError> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va.add(done as u64);
+            let pa = self.translate(phys, cur, Access::Write)?;
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let chunk = in_page.min(buf.len() - done);
+            let lines = 1 + chunk as u64 / 64;
+            let mut per_line = self.cost.cache_hit;
+            if phys.is_nvm(pa.pfn()) {
+                per_line += self.cost.nvm_write_extra;
+            }
+            self.clock.advance(per_line * lines);
+            phys.write_bytes(pa, &buf[done..done + chunk])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PageSize;
+
+    fn setup() -> (PhysMem, Mmu, Pfn) {
+        let mut phys = PhysMem::new(1 << 22);
+        let root = paging::new_root(&mut phys).unwrap();
+        let mmu = Mmu::new(64, 4, CostModel::default(), CycleClock::new());
+        (phys, mmu, root)
+    }
+
+    fn map_page(phys: &mut PhysMem, root: Pfn, va: u64, writable: bool) -> PhysAddr {
+        let frame = phys.alloc_frame().unwrap();
+        let mut flags = PteFlags::USER;
+        if writable {
+            flags |= PteFlags::WRITABLE;
+        }
+        paging::map(phys, root, VirtAddr::new(va), frame.base(), PageSize::Size4K, flags).unwrap();
+        frame.base()
+    }
+
+    #[test]
+    fn translate_needs_cr3() {
+        let (mut phys, mut mmu, _root) = setup();
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read),
+            Err(MemError::NoAddressSpace)
+        );
+    }
+
+    #[test]
+    fn miss_then_hit_charges_different_costs() {
+        let (mut phys, mut mmu, root) = setup();
+        map_page(&mut phys, root, 0x1000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        let t0 = mmu.clock().now();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        let miss_cost = mmu.clock().since(t0);
+        let t1 = mmu.clock().now();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        let hit_cost = mmu.clock().since(t1);
+        let c = CostModel::default();
+        assert_eq!(miss_cost, c.tlb_lookup + c.tlb_walk);
+        assert_eq!(hit_cost, c.tlb_lookup);
+        assert_eq!(mmu.stats().walks, 1);
+        assert_eq!(mmu.tlb_stats().hits, 1);
+    }
+
+    #[test]
+    fn untagged_switch_flushes_tagged_switch_retains() {
+        let (mut phys, mut mmu, root) = setup();
+        map_page(&mut phys, root, 0x1000, true);
+        let other = paging::new_root(&mut phys).unwrap();
+
+        // Untagged: reload flushes; retranslation walks again.
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.load_cr3(other, Asid::UNTAGGED);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        assert_eq!(mmu.stats().walks, 2);
+
+        // Tagged: entries survive the round trip.
+        let mut mmu2 = Mmu::new(64, 4, CostModel::default(), CycleClock::new());
+        mmu2.set_tagging(true);
+        mmu2.load_cr3(root, Asid(1));
+        mmu2.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu2.load_cr3(other, Asid(2));
+        mmu2.load_cr3(root, Asid(1));
+        mmu2.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        assert_eq!(mmu2.stats().walks, 1, "tagged entries survive switches");
+    }
+
+    #[test]
+    fn asid_zero_always_flushes_even_with_tagging() {
+        let (mut phys, mut mmu, root) = setup();
+        map_page(&mut phys, root, 0x1000, true);
+        mmu.set_tagging(true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        assert_eq!(mmu.stats().walks, 2, "reserved tag zero flushes per the paper");
+    }
+
+    #[test]
+    fn cr3_cost_depends_on_tagging() {
+        let (_phys, mut mmu, root) = setup();
+        let c = CostModel::default();
+        let t0 = mmu.clock().now();
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        assert_eq!(mmu.clock().since(t0), c.cr3_load_untagged);
+        mmu.set_tagging(true);
+        let t1 = mmu.clock().now();
+        mmu.load_cr3(root, Asid(3));
+        assert_eq!(mmu.clock().since(t1), c.cr3_load_tagged);
+    }
+
+    #[test]
+    fn protection_faults() {
+        let (mut phys, mut mmu, root) = setup();
+        map_page(&mut phys, root, 0x1000, false); // read-only
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        assert!(mmu.read_u64(&mut phys, VirtAddr::new(0x1000)).is_ok());
+        assert_eq!(
+            mmu.write_u64(&mut phys, VirtAddr::new(0x1000), 1),
+            Err(MemError::ProtectionFault { va: VirtAddr::new(0x1000), access: Access::Write })
+        );
+        // Also via the TLB-cached path.
+        assert_eq!(
+            mmu.write_u64(&mut phys, VirtAddr::new(0x1000), 1),
+            Err(MemError::ProtectionFault { va: VirtAddr::new(0x1000), access: Access::Write })
+        );
+        assert_eq!(mmu.stats().faults, 2);
+    }
+
+    #[test]
+    fn page_fault_on_unmapped() {
+        let (mut phys, mut mmu, root) = setup();
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        assert_eq!(
+            mmu.read_u64(&mut phys, VirtAddr::new(0x9000)),
+            Err(MemError::PageFault { va: VirtAddr::new(0x9000), access: Access::Read })
+        );
+    }
+
+    #[test]
+    fn data_round_trip_through_translation() {
+        let (mut phys, mut mmu, root) = setup();
+        let pa = map_page(&mut phys, root, 0x1000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.write_u64(&mut phys, VirtAddr::new(0x1010), 0xfeed).unwrap();
+        assert_eq!(phys.read_u64(pa.add(0x10)).unwrap(), 0xfeed);
+        assert_eq!(mmu.read_u64(&mut phys, VirtAddr::new(0x1010)).unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn byte_io_spans_pages() {
+        let (mut phys, mut mmu, root) = setup();
+        map_page(&mut phys, root, 0x1000, true);
+        map_page(&mut phys, root, 0x2000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        let data: Vec<u8> = (0..200u8).collect();
+        mmu.write_bytes(&mut phys, VirtAddr::new(0x2000 - 100), &data).unwrap();
+        let mut out = vec![0u8; 200];
+        mmu.read_bytes(&mut phys, VirtAddr::new(0x2000 - 100), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn invlpg_forces_rewalk() {
+        let (mut phys, mut mmu, root) = setup();
+        map_page(&mut phys, root, 0x1000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.touch(&mut phys, VirtAddr::new(0x1000)).unwrap();
+        mmu.invlpg(VirtAddr::new(0x1000));
+        mmu.touch(&mut phys, VirtAddr::new(0x1000)).unwrap();
+        assert_eq!(mmu.stats().walks, 2);
+    }
+
+    #[test]
+    fn global_mappings_survive_untagged_switch() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        paging::map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x5000),
+            frame.base(),
+            PageSize::Size4K,
+            PteFlags::USER | PteFlags::GLOBAL,
+        )
+        .unwrap();
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.touch(&mut phys, VirtAddr::new(0x5000)).unwrap();
+        mmu.load_cr3(root, Asid::UNTAGGED); // flushes non-global only
+        mmu.touch(&mut phys, VirtAddr::new(0x5000)).unwrap();
+        assert_eq!(mmu.stats().walks, 1, "global entry survived the flush");
+    }
+}

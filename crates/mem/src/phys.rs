@@ -1,0 +1,399 @@
+//! Simulated physical memory: a sparse, demand-materialized frame store.
+//!
+//! The paper's evaluation machines hold up to 512 GiB of DRAM (Table 1).
+//! Simulating that densely is impossible in a test process, so frames are
+//! materialized lazily: the machine advertises a physical capacity, but a
+//! 4 KiB frame only consumes host memory once it is written (or read, when
+//! its zero content must be produced). This mirrors how the paper's
+//! benchmarks attach to "existing pages in the kernel's page cache" without
+//! paying population costs up front.
+//!
+//! The store doubles as the frame allocator: [`PhysMem::alloc_frame`] hands
+//! out frames from a bump pointer plus free list, and page-table nodes built
+//! by [`crate::paging`] live in these frames like they would in real DRAM.
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, Pfn, PAGE_SIZE};
+use crate::error::MemError;
+
+/// One 4 KiB physical frame of simulated DRAM.
+type FrameBox = Box<[u8; PAGE_SIZE as usize]>;
+
+fn zero_frame() -> FrameBox {
+    // `vec!` avoids a 4 KiB stack temporary.
+    vec![0u8; PAGE_SIZE as usize].into_boxed_slice().try_into().unwrap()
+}
+
+/// Sparse simulated physical memory with a frame allocator.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::phys::PhysMem;
+/// let mut pm = PhysMem::new(1 << 20); // 1 MiB machine
+/// let f = pm.alloc_frame()?;
+/// pm.write_u64(f.base(), 0xdead_beef)?;
+/// assert_eq!(pm.read_u64(f.base())?, 0xdead_beef);
+/// # Ok::<(), sjmp_mem::error::MemError>(())
+/// ```
+#[derive(Debug)]
+pub struct PhysMem {
+    frames: HashMap<u64, FrameBox>,
+    capacity_frames: u64,
+    next_frame: u64,
+    free_list: Vec<u64>,
+    allocated: u64,
+    /// First frame of the NVM tier, if the machine has one. Frames at or
+    /// above this boundary are non-volatile memory with different access
+    /// costs (the heterogeneous-memory future of the paper's Section 7).
+    nvm_boundary: Option<u64>,
+    /// Bump pointer for NVM allocations (grows from the boundary up).
+    next_nvm_frame: u64,
+}
+
+impl PhysMem {
+    /// Creates a machine with `capacity_bytes` of physical memory
+    /// (rounded down to whole frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is smaller than one frame.
+    pub fn new(capacity_bytes: u64) -> Self {
+        let capacity_frames = capacity_bytes / PAGE_SIZE;
+        assert!(capacity_frames > 0, "physical memory must hold at least one frame");
+        PhysMem {
+            frames: HashMap::new(),
+            capacity_frames,
+            // Frame 0 is reserved (a null CR3 should never look valid).
+            next_frame: 1,
+            free_list: Vec::new(),
+            allocated: 0,
+            nvm_boundary: None,
+            next_nvm_frame: 0,
+        }
+    }
+
+    /// Declares the top `nvm_bytes` of the physical space to be a
+    /// non-volatile memory tier. DRAM allocations bump from the bottom,
+    /// NVM allocations ([`Self::alloc_contiguous_nvm`]) from the boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NVM tier would not leave at least one DRAM frame.
+    pub fn set_nvm_tier(&mut self, nvm_bytes: u64) {
+        let nvm_frames = nvm_bytes / PAGE_SIZE;
+        assert!(
+            nvm_frames > 0 && nvm_frames < self.capacity_frames,
+            "NVM tier must be nonempty and leave DRAM frames"
+        );
+        let boundary = self.capacity_frames - nvm_frames;
+        self.nvm_boundary = Some(boundary);
+        self.next_nvm_frame = boundary;
+    }
+
+    /// Whether `pfn` belongs to the NVM tier.
+    #[inline]
+    pub fn is_nvm(&self, pfn: Pfn) -> bool {
+        self.nvm_boundary.is_some_and(|b| pfn.0 >= b)
+    }
+
+    /// Allocates `n` consecutive frames from the NVM tier.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfFrames`] if no NVM tier was configured or it is
+    /// exhausted.
+    pub fn alloc_contiguous_nvm(&mut self, n: u64) -> Result<Pfn, MemError> {
+        if self.nvm_boundary.is_none() || self.next_nvm_frame + n > self.capacity_frames {
+            return Err(MemError::OutOfFrames);
+        }
+        let base = self.next_nvm_frame;
+        self.next_nvm_frame += n;
+        self.allocated += n;
+        Ok(Pfn(base))
+    }
+
+    /// Total capacity in frames.
+    pub fn capacity_frames(&self) -> u64 {
+        self.capacity_frames
+    }
+
+    /// Number of frames handed out by [`Self::alloc_frame`] and not freed.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of frames materialized with host memory.
+    pub fn resident_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Allocates one zeroed frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when the machine's physical
+    /// capacity is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<Pfn, MemError> {
+        let pfn = if let Some(f) = self.free_list.pop() {
+            // Reused frames must read as zero again.
+            self.frames.remove(&f);
+            f
+        } else if self.next_frame < self.nvm_boundary.unwrap_or(self.capacity_frames) {
+            let f = self.next_frame;
+            self.next_frame += 1;
+            f
+        } else {
+            return Err(MemError::OutOfFrames);
+        };
+        self.allocated += 1;
+        Ok(Pfn(pfn))
+    }
+
+    /// Allocates `n` zeroed frames with consecutive frame numbers.
+    ///
+    /// Contiguity is needed for segments backed by a flat physical range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when fewer than `n` contiguous
+    /// frames remain in the bump region.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Result<Pfn, MemError> {
+        if self.next_frame + n > self.nvm_boundary.unwrap_or(self.capacity_frames) {
+            return Err(MemError::OutOfFrames);
+        }
+        let base = self.next_frame;
+        self.next_frame += n;
+        self.allocated += n;
+        Ok(Pfn(base))
+    }
+
+    /// Returns a frame to the allocator and discards its contents.
+    pub fn free_frame(&mut self, pfn: Pfn) {
+        self.frames.remove(&pfn.0);
+        self.free_list.push(pfn.0);
+        self.allocated = self.allocated.saturating_sub(1);
+    }
+
+    fn check(&self, pa: PhysAddr, len: u64) -> Result<(), MemError> {
+        let end = pa.raw().checked_add(len).ok_or(MemError::BadPhysAddr(pa))?;
+        if end > self.capacity_frames * PAGE_SIZE {
+            return Err(MemError::BadPhysAddr(pa));
+        }
+        Ok(())
+    }
+
+    fn frame(&mut self, pfn: u64) -> &mut FrameBox {
+        self.frames.entry(pfn).or_insert_with(zero_frame)
+    }
+
+    /// Direct mutable access to a frame's bytes, materializing it.
+    ///
+    /// This is the fast path for page-table construction, which writes many
+    /// entries into the same frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is beyond the machine's capacity.
+    pub fn frame_bytes_mut(&mut self, pfn: Pfn) -> &mut [u8; PAGE_SIZE as usize] {
+        assert!(pfn.0 < self.capacity_frames, "frame {:?} beyond capacity", pfn);
+        self.frame(pfn.0)
+    }
+
+    /// Reads one naturally-aligned `u64` (used for page-table entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadPhysAddr`] if out of range or unaligned.
+    pub fn read_u64(&mut self, pa: PhysAddr) -> Result<u64, MemError> {
+        if !pa.is_aligned(8) {
+            return Err(MemError::BadPhysAddr(pa));
+        }
+        self.check(pa, 8)?;
+        let off = pa.frame_offset() as usize;
+        let frame = self.frame(pa.pfn().0);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&frame[off..off + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes one naturally-aligned `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadPhysAddr`] if out of range or unaligned.
+    pub fn write_u64(&mut self, pa: PhysAddr, value: u64) -> Result<(), MemError> {
+        if !pa.is_aligned(8) {
+            return Err(MemError::BadPhysAddr(pa));
+        }
+        self.check(pa, 8)?;
+        let off = pa.frame_offset() as usize;
+        let frame = self.frame(pa.pfn().0);
+        frame[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa`, crossing frames as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadPhysAddr`] if the range exceeds capacity.
+    pub fn read_bytes(&mut self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(pa, buf.len() as u64)?;
+        let mut addr = pa.raw();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - done);
+            // Avoid materializing frames that were never written: they read
+            // as zero.
+            match self.frames.get(&(addr >> 12)) {
+                Some(frame) => buf[done..done + chunk].copy_from_slice(&frame[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `pa`, crossing frames as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadPhysAddr`] if the range exceeds capacity.
+    pub fn write_bytes(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), MemError> {
+        self.check(pa, buf.len() as u64)?;
+        let mut addr = pa.raw();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - done);
+            let frame = self.frame(addr >> 12);
+            frame[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
+            done += chunk;
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `pa` with `value` (page zeroing, memset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadPhysAddr`] if the range exceeds capacity.
+    pub fn fill(&mut self, pa: PhysAddr, len: u64, value: u8) -> Result<(), MemError> {
+        self.check(pa, len)?;
+        let mut addr = pa.raw();
+        let end = addr + len;
+        while addr < end {
+            let off = (addr % PAGE_SIZE) as usize;
+            let chunk = ((PAGE_SIZE - off as u64).min(end - addr)) as usize;
+            if value == 0 && !self.frames.contains_key(&(addr >> 12)) {
+                // Zero-filling an unmaterialized frame is a no-op.
+            } else {
+                let frame = self.frame(addr >> 12);
+                frame[off..off + chunk].fill(value);
+            }
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_cycle() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pm.allocated_frames(), 2);
+        pm.free_frame(a);
+        assert_eq!(pm.allocated_frames(), 1);
+        let c = pm.alloc_frame().unwrap();
+        assert_eq!(c, a, "free list reuses frames");
+    }
+
+    #[test]
+    fn frame_zero_reserved() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let a = pm.alloc_frame().unwrap();
+        assert_ne!(a.0, 0, "frame 0 must stay reserved");
+    }
+
+    #[test]
+    fn out_of_frames() {
+        let mut pm = PhysMem::new(2 * PAGE_SIZE);
+        pm.alloc_frame().unwrap(); // frame 1 (frame 0 reserved)
+        assert!(matches!(pm.alloc_frame(), Err(MemError::OutOfFrames)));
+    }
+
+    #[test]
+    fn reused_frames_read_zero() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let a = pm.alloc_frame().unwrap();
+        pm.write_u64(a.base(), 42).unwrap();
+        pm.free_frame(a);
+        let b = pm.alloc_frame().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(pm.read_u64(b.base()).unwrap(), 0);
+    }
+
+    #[test]
+    fn contiguous_allocation() {
+        let mut pm = PhysMem::new(64 * PAGE_SIZE);
+        let base = pm.alloc_contiguous(8).unwrap();
+        let next = pm.alloc_frame().unwrap();
+        assert_eq!(next.0, base.0 + 8);
+        assert!(pm.alloc_contiguous(1000).is_err());
+    }
+
+    #[test]
+    fn u64_round_trip_and_alignment() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let f = pm.alloc_frame().unwrap();
+        pm.write_u64(f.base().add(8), 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(pm.read_u64(f.base().add(8)).unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(pm.read_u64(f.base().add(4)).is_err(), "unaligned u64");
+    }
+
+    #[test]
+    fn bytes_cross_frame_boundary() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let base = pm.alloc_contiguous(2).unwrap().base();
+        let data: Vec<u8> = (0..100u8).collect();
+        let start = base.add(PAGE_SIZE - 50);
+        pm.write_bytes(start, &data).unwrap();
+        let mut out = vec![0u8; 100];
+        pm.read_bytes(start, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero_without_materializing() {
+        let mut pm = PhysMem::new(1024 * PAGE_SIZE);
+        let mut buf = vec![0xffu8; 64];
+        pm.read_bytes(PhysAddr::new(500 * PAGE_SIZE), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(pm.resident_frames(), 0);
+    }
+
+    #[test]
+    fn fill_and_bounds() {
+        let mut pm = PhysMem::new(4 * PAGE_SIZE);
+        pm.fill(PhysAddr::new(0), 2 * PAGE_SIZE, 0xab).unwrap();
+        let mut b = [0u8; 1];
+        pm.read_bytes(PhysAddr::new(PAGE_SIZE + 17), &mut b).unwrap();
+        assert_eq!(b[0], 0xab);
+        assert!(pm.fill(PhysAddr::new(3 * PAGE_SIZE), 2 * PAGE_SIZE, 0).is_err());
+        // Zero-fill of untouched frames stays sparse.
+        let mut pm2 = PhysMem::new(1024 * PAGE_SIZE);
+        pm2.fill(PhysAddr::new(0), 512 * PAGE_SIZE, 0).unwrap();
+        assert_eq!(pm2.resident_frames(), 0);
+    }
+}

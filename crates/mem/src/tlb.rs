@@ -1,0 +1,341 @@
+//! Set-associative, ASID-tagged translation lookaside buffer.
+//!
+//! Models the x86-64 behaviour the paper relies on (Section 4.4):
+//!
+//! * Without tagging, every CR3 write flushes all non-global entries.
+//! * With tagging (PCID-style 12-bit identifiers), entries survive address
+//!   space switches; only entries whose tag matches the current ASID hit.
+//! * Tag value **zero is reserved** to always trigger a flush on switch —
+//!   exactly the convention the paper's implementations use ("Our current
+//!   implementations reserve the tag value zero to always trigger a TLB
+//!   flush on a context switch").
+//!
+//! The TLB caches translations at 4 KiB granularity regardless of the
+//! mapped page size (superpages are fragmented on insert), which keeps one
+//! unified array like a real STLB while simplifying indexing. Capacity and
+//! associativity come from [`crate::cost::MachineProfile`].
+
+use crate::addr::{PhysAddr, Vpn};
+use crate::error::Access;
+use crate::paging::PteFlags;
+
+/// Address-space identifier (12-bit, like x86 PCID).
+///
+/// [`Asid::UNTAGGED`] (zero) is reserved: address spaces with this tag are
+/// flushed on every switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// The reserved tag that always flushes on switch.
+    pub const UNTAGGED: Asid = Asid(0);
+
+    /// Highest assignable tag (12 bits).
+    pub const MAX: u16 = 0xfff;
+
+    /// Whether this ASID participates in tagging.
+    pub fn is_tagged(self) -> bool {
+        self.0 != 0
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    valid: bool,
+    asid: Asid,
+    global: bool,
+    vpn: Vpn,
+    frame_base: PhysAddr,
+    flags: PteFlags,
+    stamp: u64,
+}
+
+/// Hit/miss/flush counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Full (non-global) flushes.
+    pub flushes: u64,
+    /// Per-ASID flushes.
+    pub asid_flushes: u64,
+    /// Entries evicted by capacity/conflict.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio over all lookups (0 when no lookups occurred).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// The TLB proper.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::tlb::{Asid, Tlb};
+/// use sjmp_mem::addr::{PhysAddr, Vpn};
+/// use sjmp_mem::paging::PteFlags;
+///
+/// let mut tlb = Tlb::new(64, 4);
+/// tlb.insert(Asid(1), Vpn(7), PhysAddr::new(0x3000), PteFlags::PRESENT, false);
+/// assert!(tlb.lookup(Asid(1), Vpn(7)).is_some());
+/// assert!(tlb.lookup(Asid(2), Vpn(7)).is_none(), "tag mismatch");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    sets: usize,
+    ways: usize,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries > 0 && entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        Tlb {
+            entries: vec![TlbEntry::default(); entries],
+            sets: entries / ways,
+            ways,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (keeps cached entries).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, vpn: Vpn) -> std::ops::Range<usize> {
+        let set = (vpn.0 as usize) % self.sets;
+        let start = set * self.ways;
+        start..start + self.ways
+    }
+
+    /// Looks up a translation for `vpn` under `asid`.
+    ///
+    /// Global entries hit regardless of tag. Updates LRU and counters.
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<(PhysAddr, PteFlags)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        for e in &mut self.entries[range] {
+            if e.valid && e.vpn == vpn && (e.global || e.asid == asid) {
+                e.stamp = tick;
+                self.stats.hits += 1;
+                return Some((e.frame_base, e.flags));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Checks whether the cached flags permit `access`; the MMU consults
+    /// this before raising a protection fault.
+    pub fn permits(flags: PteFlags, access: Access) -> bool {
+        flags.permits(access)
+    }
+
+    /// Inserts a translation (4 KiB granularity), evicting LRU on conflict.
+    pub fn insert(&mut self, asid: Asid, vpn: Vpn, frame_base: PhysAddr, flags: PteFlags, global: bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        let set = &mut self.entries[range];
+        // Overwrite an existing entry for the same (vpn, asid) first.
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.vpn == vpn && e.asid == asid) {
+            e.frame_base = frame_base;
+            e.flags = flags;
+            e.global = global;
+            e.stamp = tick;
+            return;
+        }
+        let victim = if let Some(free) = set.iter_mut().find(|e| !e.valid) {
+            free
+        } else {
+            self.stats.evictions += 1;
+            set.iter_mut().min_by_key(|e| e.stamp).expect("ways > 0")
+        };
+        *victim = TlbEntry { valid: true, asid, global, vpn, frame_base, flags, stamp: tick };
+        self.stats.insertions += 1;
+    }
+
+    /// Flushes all non-global entries (untagged CR3 write).
+    pub fn flush_nonglobal(&mut self) {
+        self.stats.flushes += 1;
+        for e in &mut self.entries {
+            if e.valid && !e.global {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Flushes entries belonging to one ASID (INVPCID-style).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        self.stats.asid_flushes += 1;
+        for e in &mut self.entries {
+            if e.valid && e.asid == asid && !e.global {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Invalidates one page across all ASIDs (INVLPG semantics for shared
+    /// mappings).
+    pub fn flush_page(&mut self, vpn: Vpn) {
+        let range = self.set_range(vpn);
+        for e in &mut self.entries[range] {
+            if e.valid && e.vpn == vpn {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SHIFT;
+
+    fn flags() -> PteFlags {
+        PteFlags::PRESENT | PteFlags::WRITABLE
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut tlb = Tlb::new(8, 2);
+        assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        assert_eq!(tlb.lookup(Asid(1), Vpn(1)).unwrap().0, PhysAddr::new(0x1000));
+        let s = tlb.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asid_isolation_and_global_entries() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(Asid(2), Vpn(2), PhysAddr::new(0x2000), flags(), true);
+        assert!(tlb.lookup(Asid(2), Vpn(1)).is_none(), "private entry, other tag");
+        assert!(tlb.lookup(Asid(1), Vpn(2)).is_some(), "global entry hits any tag");
+    }
+
+    #[test]
+    fn untagged_flush_spares_globals() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(Asid(1), Vpn(2), PhysAddr::new(0x2000), flags(), true);
+        tlb.flush_nonglobal();
+        assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
+        assert!(tlb.lookup(Asid(1), Vpn(2)).is_some());
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn asid_flush_only_hits_one_tag() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(Asid(2), Vpn(9), PhysAddr::new(0x2000), flags(), false);
+        tlb.flush_asid(Asid(1));
+        assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
+        assert!(tlb.lookup(Asid(2), Vpn(9)).is_some());
+    }
+
+    #[test]
+    fn page_flush_hits_all_asids() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(Asid(2), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.flush_page(Vpn(1));
+        assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
+        assert!(tlb.lookup(Asid(2), Vpn(1)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 1 set, 2 ways: third insert evicts the least recently used.
+        let mut tlb = Tlb::new(2, 2);
+        tlb.insert(Asid(1), Vpn(10), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(Asid(1), Vpn(20), PhysAddr::new(0x2000), flags(), false);
+        tlb.lookup(Asid(1), Vpn(10)); // make 20 the LRU
+        tlb.insert(Asid(1), Vpn(30), PhysAddr::new(0x3000), flags(), false);
+        assert!(tlb.lookup(Asid(1), Vpn(10)).is_some());
+        assert!(tlb.lookup(Asid(1), Vpn(20)).is_none(), "LRU was evicted");
+        assert!(tlb.lookup(Asid(1), Vpn(30)).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut tlb = Tlb::new(4, 4);
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x5000), flags(), false);
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.lookup(Asid(1), Vpn(1)).unwrap().0, PhysAddr::new(0x5000));
+    }
+
+    #[test]
+    fn capacity_behavior_random_working_set() {
+        // A working set larger than the TLB must produce misses; smaller
+        // must eventually stop missing.
+        let mut tlb = Tlb::new(64, 4);
+        for round in 0..4 {
+            for p in 0..32u64 {
+                if tlb.lookup(Asid(1), Vpn(p)).is_none() {
+                    tlb.insert(Asid(1), Vpn(p), PhysAddr::new(p << PAGE_SHIFT), flags(), false);
+                }
+                let _ = round;
+            }
+        }
+        let warm = tlb.stats();
+        assert!(warm.hits >= 32 * 3, "small working set should hit after warmup");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_rejected() {
+        let _ = Tlb::new(10, 4);
+    }
+
+    #[test]
+    fn asid_constants() {
+        assert!(!Asid::UNTAGGED.is_tagged());
+        assert!(Asid(5).is_tagged());
+        assert_eq!(Asid::MAX, 0xfff);
+    }
+}

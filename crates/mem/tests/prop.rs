@@ -1,0 +1,160 @@
+//! Property-based tests over the paging and TLB substrate: arbitrary
+//! map/unmap sequences keep the page tables consistent with a shadow
+//! model, and the MMU (TLB + walker) always agrees with a direct walk.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sjmp_mem::cost::{CostModel, CycleClock};
+use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, VirtAddr};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Map page `vpage` to frame `fpage` (both small indices).
+    Map { vpage: u64, fpage: u64, writable: bool },
+    /// Unmap page `vpage`.
+    Unmap { vpage: u64 },
+    /// Translate (read) page `vpage` through the MMU.
+    Read { vpage: u64 },
+    /// Translate (write) page `vpage` through the MMU.
+    Write { vpage: u64 },
+    /// Reload CR3 (flushes the untagged TLB).
+    Reload,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let vp = 0u64..48;
+    let fp = 0u64..64;
+    prop_oneof![
+        (vp.clone(), fp, any::<bool>()).prop_map(|(vpage, fpage, writable)| Op::Map {
+            vpage,
+            fpage,
+            writable
+        }),
+        vp.clone().prop_map(|vpage| Op::Unmap { vpage }),
+        vp.clone().prop_map(|vpage| Op::Read { vpage }),
+        vp.prop_map(|vpage| Op::Write { vpage }),
+        Just(Op::Reload),
+    ]
+}
+
+/// Virtual pages are spread across several PML4/PDPT slots so the walks
+/// exercise deep table paths, not just one leaf table.
+fn vaddr(vpage: u64) -> VirtAddr {
+    let slot = vpage % 3;
+    let mid = vpage % 5;
+    VirtAddr::new((slot << 39) | (mid << 30) | (vpage << 12))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn paging_matches_shadow_model(ops in prop::collection::vec(op_strategy(), 1..160)) {
+        let mut phys = PhysMem::new(64 << 20);
+        let root = paging::new_root(&mut phys).unwrap();
+        let data_base = phys.alloc_contiguous(64).unwrap();
+        let clock = CycleClock::new();
+        let mut mmu = Mmu::new(64, 4, CostModel::default(), clock);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+
+        // Shadow: vpage -> (fpage, writable).
+        let mut shadow: HashMap<u64, (u64, bool)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Map { vpage, fpage, writable } => {
+                    let mut flags = PteFlags::USER;
+                    if writable {
+                        flags |= PteFlags::WRITABLE;
+                    }
+                    let pa = sjmp_mem::Pfn(data_base.0 + fpage).base();
+                    let res = paging::map(&mut phys, root, vaddr(vpage), pa, sjmp_mem::PageSize::Size4K, flags);
+                    if let std::collections::hash_map::Entry::Vacant(e) = shadow.entry(vpage) {
+                        prop_assert!(res.is_ok(), "map failed: {res:?}");
+                        e.insert((fpage, writable));
+                    } else {
+                        prop_assert!(matches!(res, Err(MemError::AlreadyMapped(_))));
+                    }
+                }
+                Op::Unmap { vpage } => {
+                    let res = paging::unmap(&mut phys, root, vaddr(vpage));
+                    if shadow.remove(&vpage).is_some() {
+                        prop_assert!(res.is_ok());
+                        mmu.invlpg(vaddr(vpage));
+                    } else {
+                        let faulted = matches!(res, Err(MemError::PageFault { .. }));
+                        prop_assert!(faulted, "expected fault, got {res:?}");
+                    }
+                }
+                Op::Read { vpage } | Op::Write { vpage } => {
+                    let access = if matches!(op, Op::Write { .. }) { Access::Write } else { Access::Read };
+                    let res = mmu.translate(&mut phys, vaddr(vpage), access);
+                    match shadow.get(&vpage) {
+                        None => prop_assert!(
+                            matches!(res, Err(MemError::PageFault { .. })),
+                            "expected fault, got {res:?}"
+                        ),
+                        Some(&(fpage, writable)) => {
+                            if access == Access::Write && !writable {
+                                let prot = matches!(res, Err(MemError::ProtectionFault { .. }));
+                                prop_assert!(prot, "expected protection fault, got {res:?}");
+                            } else {
+                                let pa = res.unwrap();
+                                prop_assert_eq!(pa.pfn().0, data_base.0 + fpage, "wrong frame");
+                            }
+                        }
+                    }
+                }
+                Op::Reload => mmu.load_cr3(root, Asid::UNTAGGED),
+            }
+        }
+
+        // Final sweep: every shadow entry translates; everything else faults.
+        for vpage in 0..48u64 {
+            let res = paging::walk(&mut phys, root, vaddr(vpage));
+            match shadow.get(&vpage) {
+                Some(&(fpage, _)) => {
+                    let (tr, _) = res.unwrap();
+                    prop_assert_eq!(tr.pa.pfn().0, data_base.0 + fpage);
+                }
+                None => prop_assert!(res.is_err()),
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_never_contradicts_the_page_tables(
+        pages in prop::collection::vec(0u64..32, 2..40),
+        flush_every in 1usize..8,
+    ) {
+        // Accessing pages in an arbitrary order, with periodic flushes,
+        // the TLB-served translation must equal a fresh walk every time.
+        let mut phys = PhysMem::new(16 << 20);
+        let root = paging::new_root(&mut phys).unwrap();
+        let base = phys.alloc_contiguous(32).unwrap();
+        for p in 0..32u64 {
+            paging::map(
+                &mut phys,
+                root,
+                VirtAddr::new(0x40_0000 + p * 4096),
+                sjmp_mem::Pfn(base.0 + p).base(),
+                sjmp_mem::PageSize::Size4K,
+                PteFlags::USER | PteFlags::WRITABLE,
+            )
+            .unwrap();
+        }
+        let mut mmu = Mmu::new(16, 4, CostModel::default(), CycleClock::new());
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        for (i, &p) in pages.iter().enumerate() {
+            let va = VirtAddr::new(0x40_0000 + p * 4096 + (i as u64 % 512) * 8);
+            let via_mmu = mmu.translate(&mut phys, va, Access::Read).unwrap();
+            let (walked, _) = paging::walk(&mut phys, root, va).unwrap();
+            prop_assert_eq!(via_mmu, walked.pa);
+            if i % flush_every == 0 {
+                mmu.flush_tlb();
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Credentials and access-control lists.
+//!
+//! SpaceJMP deliberately reuses the host OS's security model rather than
+//! inventing one (Section 3.2): "in DragonFly BSD, we rely on ACLs to
+//! restrict access to segments and address spaces for processes or process
+//! groups." This module provides that model: UNIX-style credentials plus a
+//! small ACL with owner/group/other read-write modes and optional per-uid
+//! entries.
+
+use sjmp_mem::Access;
+
+/// UNIX-style process credentials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Creds {
+    /// User id.
+    pub uid: u32,
+    /// Group id.
+    pub gid: u32,
+}
+
+impl Creds {
+    /// The superuser.
+    pub const ROOT: Creds = Creds { uid: 0, gid: 0 };
+
+    /// Creates credentials.
+    pub fn new(uid: u32, gid: u32) -> Self {
+        Creds { uid, gid }
+    }
+}
+
+/// Mode bits, octal `0oUGO` with `4` = read and `2` = write per digit
+/// (e.g. `0o660`: owner and group read-write, others nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    const READ: u16 = 4;
+    const WRITE: u16 = 2;
+
+    fn digit(self, shift: u16) -> u16 {
+        (self.0 >> shift) & 7
+    }
+
+    fn digit_allows(digit: u16, access: Access) -> bool {
+        match access {
+            Access::Read | Access::Execute => digit & Mode::READ != 0,
+            Access::Write => digit & Mode::WRITE != 0,
+        }
+    }
+}
+
+/// An access-control list guarding a segment or address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acl {
+    owner: Creds,
+    mode: Mode,
+    /// Extra per-user entries, like POSIX.1e ACLs.
+    entries: Vec<(u32, Mode)>,
+}
+
+impl Acl {
+    /// Creates an ACL owned by `owner` with UNIX `mode` bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sjmp_os::acl::{Acl, Creds, Mode};
+    /// use sjmp_mem::Access;
+    /// let acl = Acl::new(Creds::new(100, 100), Mode(0o640));
+    /// assert!(acl.allows(Creds::new(100, 100), Access::Write));
+    /// assert!(!acl.allows(Creds::new(200, 100), Access::Write));
+    /// assert!(acl.allows(Creds::new(200, 100), Access::Read));
+    /// assert!(!acl.allows(Creds::new(200, 200), Access::Read));
+    /// ```
+    pub fn new(owner: Creds, mode: Mode) -> Self {
+        Acl { owner, mode, entries: Vec::new() }
+    }
+
+    /// The owning credentials.
+    pub fn owner(&self) -> Creds {
+        self.owner
+    }
+
+    /// Current mode bits.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Replaces the mode bits (`chmod`). Only the owner or root may call
+    /// this; the kernel checks before invoking.
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Adds or replaces a per-user entry.
+    pub fn grant_user(&mut self, uid: u32, mode: Mode) {
+        if let Some(e) = self.entries.iter_mut().find(|(u, _)| *u == uid) {
+            e.1 = mode;
+        } else {
+            self.entries.push((uid, mode));
+        }
+    }
+
+    /// Removes a per-user entry.
+    pub fn revoke_user(&mut self, uid: u32) {
+        self.entries.retain(|(u, _)| *u != uid);
+    }
+
+    /// Whether `creds` may perform `access`.
+    ///
+    /// Root is always allowed. Per-user entries take precedence over the
+    /// owner/group/other mode digits, mirroring POSIX ACL evaluation.
+    pub fn allows(&self, creds: Creds, access: Access) -> bool {
+        if creds.uid == 0 {
+            return true;
+        }
+        if let Some((_, mode)) = self.entries.iter().find(|(u, _)| *u == creds.uid) {
+            return Mode::digit_allows(mode.digit(6), access);
+        }
+        let digit = if creds.uid == self.owner.uid {
+            self.mode.digit(6)
+        } else if creds.gid == self.owner.gid {
+            self.mode.digit(3)
+        } else {
+            self.mode.digit(0)
+        };
+        Mode::digit_allows(digit, access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_group_other_digits() {
+        let acl = Acl::new(Creds::new(1, 10), Mode(0o642));
+        assert!(acl.allows(Creds::new(1, 10), Access::Write));
+        assert!(acl.allows(Creds::new(2, 10), Access::Read));
+        assert!(!acl.allows(Creds::new(2, 10), Access::Write));
+        assert!(!acl.allows(Creds::new(3, 30), Access::Read));
+        assert!(acl.allows(Creds::new(3, 30), Access::Write), "0o..2 allows other-write");
+    }
+
+    #[test]
+    fn root_bypasses() {
+        let acl = Acl::new(Creds::new(1, 1), Mode(0o000));
+        assert!(acl.allows(Creds::ROOT, Access::Write));
+    }
+
+    #[test]
+    fn per_user_entries_take_precedence() {
+        let mut acl = Acl::new(Creds::new(1, 10), Mode(0o600));
+        acl.grant_user(5, Mode(0o400));
+        assert!(acl.allows(Creds::new(5, 99), Access::Read));
+        assert!(!acl.allows(Creds::new(5, 99), Access::Write));
+        // An entry can also *restrict* a group member.
+        acl.grant_user(6, Mode(0o000));
+        assert!(!acl.allows(Creds::new(6, 10), Access::Read));
+        acl.revoke_user(6);
+        assert!(!acl.allows(Creds::new(6, 10), Access::Read), "back to group digit (0)");
+        // Replacing an entry updates in place.
+        acl.grant_user(5, Mode(0o600));
+        assert!(acl.allows(Creds::new(5, 99), Access::Write));
+    }
+
+    #[test]
+    fn execute_follows_read() {
+        let acl = Acl::new(Creds::new(1, 10), Mode(0o400));
+        assert!(acl.allows(Creds::new(1, 10), Access::Execute));
+        assert!(!acl.allows(Creds::new(9, 9), Access::Execute));
+    }
+
+    #[test]
+    fn chmod() {
+        let mut acl = Acl::new(Creds::new(1, 10), Mode(0o600));
+        assert!(!acl.allows(Creds::new(2, 10), Access::Read));
+        acl.set_mode(Mode(0o660));
+        assert!(acl.allows(Creds::new(2, 10), Access::Read));
+        assert_eq!(acl.mode(), Mode(0o660));
+        assert_eq!(acl.owner(), Creds::new(1, 10));
+    }
+}

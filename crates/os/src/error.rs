@@ -1,0 +1,125 @@
+//! Error types for the simulated kernel.
+
+use std::fmt;
+
+use sjmp_mem::MemError;
+
+/// Errors returned by kernel operations (system calls and capability
+/// invocations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// Underlying memory-hardware error.
+    Mem(MemError),
+    /// Unknown process id.
+    NoSuchProcess,
+    /// Unknown VM object id.
+    NoSuchObject,
+    /// Unknown vmspace id.
+    NoSuchSpace,
+    /// Caller's credentials do not permit the operation.
+    PermissionDenied,
+    /// A name or address range conflicts with an existing object.
+    Conflict(String),
+    /// Malformed request (alignment, range, size...).
+    InvalidArgument(&'static str),
+    /// Capability-system failure (Barrelfish flavor).
+    Cap(CapError),
+    /// The operation would block (lock held); discrete-event simulations
+    /// use this to queue the caller.
+    WouldBlock,
+    /// Out of address-space identifiers.
+    OutOfAsids,
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::Mem(e) => write!(f, "memory error: {e}"),
+            OsError::NoSuchProcess => write!(f, "no such process"),
+            OsError::NoSuchObject => write!(f, "no such VM object"),
+            OsError::NoSuchSpace => write!(f, "no such vmspace"),
+            OsError::PermissionDenied => write!(f, "permission denied"),
+            OsError::Conflict(what) => write!(f, "conflict: {what}"),
+            OsError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            OsError::Cap(e) => write!(f, "capability error: {e}"),
+            OsError::WouldBlock => write!(f, "operation would block"),
+            OsError::OutOfAsids => write!(f, "out of address space identifiers"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Mem(e) => Some(e),
+            OsError::Cap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for OsError {
+    fn from(e: MemError) -> Self {
+        OsError::Mem(e)
+    }
+}
+
+impl From<CapError> for OsError {
+    fn from(e: CapError) -> Self {
+        OsError::Cap(e)
+    }
+}
+
+/// Errors from the capability subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapError {
+    /// Slot does not hold a capability.
+    EmptySlot,
+    /// Capability does not carry the required rights.
+    InsufficientRights,
+    /// Retype not permitted from this capability type.
+    BadRetype,
+    /// Capability refers to the wrong kind of object.
+    WrongType,
+    /// CSpace is full.
+    NoSlots,
+    /// Capability was revoked.
+    Revoked,
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::EmptySlot => write!(f, "empty capability slot"),
+            CapError::InsufficientRights => write!(f, "insufficient capability rights"),
+            CapError::BadRetype => write!(f, "invalid retype"),
+            CapError::WrongType => write!(f, "wrong capability type"),
+            CapError::NoSlots => write!(f, "capability space full"),
+            CapError::Revoked => write!(f, "capability was revoked"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OsError::from(MemError::OutOfFrames);
+        assert!(e.to_string().contains("out of physical frames"));
+        assert!(e.source().is_some());
+        let c = OsError::from(CapError::BadRetype);
+        assert!(c.to_string().contains("invalid retype"));
+        assert!(OsError::NoSuchProcess.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OsError>();
+    }
+}

@@ -1,0 +1,1071 @@
+//! The simulated kernel: processes, address spaces, and system calls.
+//!
+//! [`Kernel`] assembles the machine (physical memory, one MMU per core, a
+//! shared cycle clock) and implements the classical OS surface SpaceJMP
+//! builds on and is compared against:
+//!
+//! * `mmap`/`munmap` with **eager page-table construction** — the legacy
+//!   path whose cost Figure 1 measures and which the MAP design of the
+//!   GUPS experiment (Section 5.2) uses to re-window memory;
+//! * demand faulting for lazily-populated regions;
+//! * vmspace creation/destruction and **vmspace switching** with the
+//!   Table 2 cost structure (kernel entry + bookkeeping + CR3 load);
+//! * per-flavor kernel-entry costs: DragonFly system calls vs Barrelfish
+//!   capability invocations.
+//!
+//! The SpaceJMP object model (VASes, lockable segments) lives one layer up
+//! in `spacejmp-core`, exactly as the paper layers it over the BSD memory
+//! subsystem.
+
+use std::collections::HashMap;
+
+use sjmp_mem::cost::{CostModel, CycleClock, KernelFlavor, Machine, MachineProfile};
+use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, VirtAddr, PAGE_SIZE};
+
+use crate::acl::Creds;
+use crate::error::OsError;
+use crate::process::{Pid, Process};
+use crate::vmobject::{VmObject, VmObjectId};
+use crate::vmspace::{MapPolicy, Region, Vmspace, VmspaceId};
+
+/// Lowest address of the process-private range (text, stack, heap).
+pub const PRIVATE_LO: VirtAddr = VirtAddr::new_unchecked(0x0000_0000_1000);
+/// One past the highest private address. Global segments live above this,
+/// which is how the DragonFly implementation "avoids \[collisions\] by
+/// ensuring both globally visible and process-private segments are
+/// created in disjoint address ranges" (Section 4.1).
+pub const PRIVATE_HI: VirtAddr = VirtAddr::new_unchecked(0x1000_0000_0000);
+/// Lowest address for globally shared segments.
+pub const GLOBAL_LO: VirtAddr = VirtAddr::new_unchecked(0x1000_0000_0000);
+/// One past the highest global address (top of the canonical lower half).
+pub const GLOBAL_HI: VirtAddr = VirtAddr::new_unchecked(0x8000_0000_0000);
+
+/// Default base of the process text segment.
+pub const TEXT_BASE: VirtAddr = VirtAddr::new_unchecked(0x0000_0040_0000);
+/// Default base of the process globals segment.
+pub const DATA_BASE: VirtAddr = VirtAddr::new_unchecked(0x0000_0080_0000);
+/// Top of the process stack (grows down).
+pub const STACK_TOP: VirtAddr = VirtAddr::new_unchecked(0x0fff_ffff_f000);
+/// Default stack size.
+pub const STACK_SIZE: u64 = 256 * 1024;
+/// Base of the private mmap/heap arena.
+pub const MMAP_BASE: VirtAddr = VirtAddr::new_unchecked(0x0001_0000_0000);
+
+/// Result alias for kernel operations.
+pub type OsResult<T> = Result<T, OsError>;
+
+/// Counters for kernel events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// System calls / capability invocations serviced.
+    pub kernel_entries: u64,
+    /// vmspace switches performed.
+    pub space_switches: u64,
+    /// Page faults handled.
+    pub faults_handled: u64,
+    /// mmap calls serviced.
+    pub mmaps: u64,
+    /// munmap calls serviced.
+    pub munmaps: u64,
+}
+
+/// The simulated kernel and machine.
+pub struct Kernel {
+    flavor: KernelFlavor,
+    profile: MachineProfile,
+    cost: CostModel,
+    clock: CycleClock,
+    phys: PhysMem,
+    mmus: Vec<Mmu>,
+    processes: HashMap<Pid, Process>,
+    vmobjects: HashMap<VmObjectId, VmObject>,
+    vmspaces: HashMap<VmspaceId, Vmspace>,
+    next_pid: u64,
+    next_obj: u64,
+    next_space: u64,
+    next_asid: u16,
+    free_asids: Vec<u16>,
+    tagging: bool,
+    stats: KernelStats,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("flavor", &self.flavor)
+            .field("machine", &self.profile.name)
+            .field("processes", &self.processes.len())
+            .field("vmspaces", &self.vmspaces.len())
+            .field("clock", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel of the given flavor on one of the paper's machines.
+    pub fn new(flavor: KernelFlavor, machine: Machine) -> Self {
+        Self::with_profile(flavor, MachineProfile::of(machine), CostModel::default())
+    }
+
+    /// Boots with a custom machine profile and cost model.
+    pub fn with_profile(flavor: KernelFlavor, profile: MachineProfile, cost: CostModel) -> Self {
+        let clock = CycleClock::new();
+        let phys = PhysMem::new(profile.mem_bytes);
+        let mmus = (0..profile.total_cores())
+            .map(|_| Mmu::new(profile.tlb_entries, profile.tlb_ways, cost.clone(), clock.clone()))
+            .collect();
+        Kernel {
+            flavor,
+            profile,
+            cost,
+            clock,
+            phys,
+            mmus,
+            processes: HashMap::new(),
+            vmobjects: HashMap::new(),
+            vmspaces: HashMap::new(),
+            next_pid: 1,
+            next_obj: 1,
+            next_space: 1,
+            next_asid: 1,
+            free_asids: Vec::new(),
+            tagging: false,
+            stats: KernelStats::default(),
+        }
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// The kernel flavor (DragonFly or Barrelfish).
+    pub fn flavor(&self) -> KernelFlavor {
+        self.flavor
+    }
+
+    /// The machine profile.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The shared cycle clock.
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// Kernel event counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Whether TLB tagging is enabled machine-wide.
+    pub fn tagging(&self) -> bool {
+        self.tagging
+    }
+
+    /// Enables or disables TLB tagging on every core.
+    pub fn set_tagging(&mut self, enabled: bool) {
+        self.tagging = enabled;
+        for mmu in &mut self.mmus {
+            mmu.set_tagging(enabled);
+        }
+    }
+
+    /// Split borrow of one core's MMU and physical memory, for direct
+    /// load/store simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_mem(&mut self, core: usize) -> (&mut Mmu, &mut PhysMem) {
+        (&mut self.mmus[core], &mut self.phys)
+    }
+
+    /// MMU and physical memory for the core `pid` is pinned to.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for unknown pids.
+    pub fn mem_of(&mut self, pid: Pid) -> OsResult<(&mut Mmu, &mut PhysMem)> {
+        let core = self.process(pid)?.core();
+        Ok((&mut self.mmus[core], &mut self.phys))
+    }
+
+    /// Direct access to physical memory (kernel-internal work).
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// Immutable process lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for unknown pids.
+    pub fn process(&self, pid: Pid) -> OsResult<&Process> {
+        self.processes.get(&pid).ok_or(OsError::NoSuchProcess)
+    }
+
+    /// Mutable process lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for unknown pids.
+    pub fn process_mut(&mut self, pid: Pid) -> OsResult<&mut Process> {
+        self.processes.get_mut(&pid).ok_or(OsError::NoSuchProcess)
+    }
+
+    /// Immutable vmspace lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchSpace`] for unknown ids.
+    pub fn vmspace(&self, id: VmspaceId) -> OsResult<&Vmspace> {
+        self.vmspaces.get(&id).ok_or(OsError::NoSuchSpace)
+    }
+
+    /// Mutable vmspace lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchSpace`] for unknown ids.
+    pub fn vmspace_mut(&mut self, id: VmspaceId) -> OsResult<&mut Vmspace> {
+        self.vmspaces.get_mut(&id).ok_or(OsError::NoSuchSpace)
+    }
+
+    /// Immutable VM object lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchObject`] for unknown ids.
+    pub fn vmobject(&self, id: VmObjectId) -> OsResult<&VmObject> {
+        self.vmobjects.get(&id).ok_or(OsError::NoSuchObject)
+    }
+
+    /// Mutable VM object lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchObject`] for unknown ids.
+    pub fn vmobject_mut(&mut self, id: VmObjectId) -> OsResult<&mut VmObject> {
+        self.vmobjects.get_mut(&id).ok_or(OsError::NoSuchObject)
+    }
+
+    /// Charges page-table construction for an eager mapping of `len`
+    /// bytes: the plain series of Figure 1, or the cheaper `cached` rate
+    /// when the pages are already hot in the page cache. Superpages
+    /// write proportionally fewer entries.
+    fn charge_map_sized(&mut self, len: u64, cached: bool, page_size: sjmp_mem::PageSize) {
+        let pages = len / page_size.bytes();
+        let levels_below = match page_size {
+            sjmp_mem::PageSize::Size4K => pages / 512 + pages / (512 * 512) + 2,
+            sjmp_mem::PageSize::Size2M => pages / 512 + 2,
+            sjmp_mem::PageSize::Size1G => 2,
+        };
+        let per_pte = if cached { self.cost.pte_write_cached } else { self.cost.pte_construct(len) };
+        self.clock.advance(pages * per_pte + levels_below * self.cost.table_alloc);
+    }
+
+    fn charge_map(&mut self, len: u64, cached: bool) {
+        self.charge_map_sized(len, cached, sjmp_mem::PageSize::Size4K);
+    }
+
+    /// Charges one kernel entry (syscall or capability invocation).
+    pub fn charge_entry(&mut self) {
+        self.stats.kernel_entries += 1;
+        self.clock.advance(self.cost.kernel_entry(self.flavor));
+    }
+
+    /// Allocates a TLB tag. Used by `vas_ctl` tag hints.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::OutOfAsids`] when all 4095 tags are in use.
+    pub fn alloc_asid(&mut self) -> OsResult<Asid> {
+        if let Some(a) = self.free_asids.pop() {
+            return Ok(Asid(a));
+        }
+        if self.next_asid > sjmp_mem::tlb::Asid::MAX {
+            return Err(OsError::OutOfAsids);
+        }
+        let a = self.next_asid;
+        self.next_asid += 1;
+        Ok(Asid(a))
+    }
+
+    /// Returns a TLB tag to the pool.
+    pub fn free_asid(&mut self, asid: Asid) {
+        if asid.is_tagged() {
+            self.free_asids.push(asid.0);
+        }
+    }
+
+    // ---- process lifecycle ----------------------------------------------
+
+    /// Spawns a process: allocates its initial vmspace and maps the
+    /// private text/data/stack segments ("A spawned process will still
+    /// receive its initial VAS by the OS", Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn spawn(&mut self, name: &str, creds: Creds) -> OsResult<Pid> {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let space = self.create_vmspace()?;
+        let mut process = Process::new(pid, name, creds, space);
+        process.set_core(((pid.0 - 1) as usize) % self.mmus.len());
+        self.processes.insert(pid, process);
+        // Private segments: text, globals, stack.
+        for (base, len, flags) in [
+            (TEXT_BASE, 64 * 1024, PteFlags::USER),
+            (DATA_BASE, 64 * 1024, PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE),
+            (
+                VirtAddr::new(STACK_TOP.raw() - STACK_SIZE),
+                STACK_SIZE,
+                PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE,
+            ),
+        ] {
+            let obj = self.alloc_object(len)?;
+            self.map_object(space, obj, base, 0, len, flags, MapPolicy::Eager, true)?;
+        }
+        Ok(pid)
+    }
+
+    /// Terminates a process, destroying its private vmspaces. Shared
+    /// objects survive (their lifetime is managed by the SpaceJMP layer).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for unknown pids.
+    pub fn exit(&mut self, pid: Pid) -> OsResult<()> {
+        let process = self.processes.remove(&pid).ok_or(OsError::NoSuchProcess)?;
+        for space in process.spaces() {
+            // Spaces may be shared bookkeeping-wise; destroy only if still
+            // registered.
+            if self.vmspaces.contains_key(space) {
+                self.destroy_vmspace(*space)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- vm objects ------------------------------------------------------
+
+    /// Allocates an anonymous VM object of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physical allocation failure.
+    pub fn alloc_object(&mut self, len: u64) -> OsResult<VmObjectId> {
+        let id = VmObjectId(self.next_obj);
+        self.next_obj += 1;
+        let obj = VmObject::alloc(&mut self.phys, id, len)?;
+        self.vmobjects.insert(id, obj);
+        Ok(id)
+    }
+
+    /// Configures an NVM tier covering the top `nvm_bytes` of physical
+    /// memory (the paper's Section 7: "a co-packaged volatile performance
+    /// tier, a persistent capacity tier").
+    pub fn set_nvm_tier(&mut self, nvm_bytes: u64) {
+        self.phys.set_nvm_tier(nvm_bytes);
+    }
+
+    /// Allocates an anonymous VM object from the NVM tier.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Mem`] if no NVM tier is configured or it is exhausted.
+    pub fn alloc_object_nvm(&mut self, len: u64) -> OsResult<VmObjectId> {
+        let id = VmObjectId(self.next_obj);
+        self.next_obj += 1;
+        let obj = VmObject::alloc_nvm(&mut self.phys, id, len)?;
+        self.vmobjects.insert(id, obj);
+        Ok(id)
+    }
+
+    /// Frees an unreferenced VM object.
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::NoSuchObject`] for unknown ids.
+    /// * [`OsError::Conflict`] if still mapped somewhere.
+    pub fn free_object(&mut self, id: VmObjectId) -> OsResult<()> {
+        let obj = self.vmobjects.get(&id).ok_or(OsError::NoSuchObject)?;
+        if obj.refs() > 0 {
+            return Err(OsError::Conflict(format!("object {id:?} still mapped")));
+        }
+        let obj = self.vmobjects.remove(&id).expect("checked above");
+        obj.free(&mut self.phys);
+        Ok(())
+    }
+
+    // ---- vmspaces --------------------------------------------------------
+
+    /// Creates an empty vmspace with a fresh root table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physical allocation failure.
+    pub fn create_vmspace(&mut self) -> OsResult<VmspaceId> {
+        let id = VmspaceId(self.next_space);
+        self.next_space += 1;
+        let root = paging::new_root(&mut self.phys)?;
+        self.vmspaces.insert(id, Vmspace::new(id, root));
+        Ok(id)
+    }
+
+    /// Destroys a vmspace, dropping object references and freeing its
+    /// private page tables (shared subtrees are left alone).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchSpace`] for unknown ids.
+    pub fn destroy_vmspace(&mut self, id: VmspaceId) -> OsResult<()> {
+        let space = self.vmspaces.remove(&id).ok_or(OsError::NoSuchSpace)?;
+        for region in space.regions() {
+            if let Some(obj) = self.vmobjects.get_mut(&region.object) {
+                obj.drop_ref();
+            }
+        }
+        self.free_asid(space.asid());
+        paging::free_tables(&mut self.phys, space.root(), space.shared_slots());
+        Ok(())
+    }
+
+    /// Maps `len` bytes of `obj` starting at `obj_offset` into `space` at
+    /// `va`. With [`MapPolicy::Eager`] the page tables are constructed
+    /// immediately; `charge` controls whether construction cycles are
+    /// billed (setup code passes `false`, measured paths `true`).
+    ///
+    /// # Errors
+    ///
+    /// * Overlap/alignment errors from the region map.
+    /// * [`OsError::NoSuchObject`] / [`OsError::NoSuchSpace`].
+    /// * [`OsError::InvalidArgument`] if the range exceeds the object.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_object(
+        &mut self,
+        space: VmspaceId,
+        obj: VmObjectId,
+        va: VirtAddr,
+        obj_offset: u64,
+        len: u64,
+        flags: PteFlags,
+        policy: MapPolicy,
+        charge: bool,
+    ) -> OsResult<()> {
+        let pa = {
+            let o = self.vmobject(obj)?;
+            if obj_offset + len > o.len() {
+                return Err(OsError::InvalidArgument("mapping exceeds object size"));
+            }
+            o.pa(obj_offset)
+        };
+        {
+            let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
+            vs.insert_region(Region { start: va, len, object: obj, object_offset: obj_offset, flags, policy })?;
+        }
+        self.vmobject_mut(obj)?.add_ref();
+        if policy == MapPolicy::Eager {
+            let root = self.vmspace(space)?.root();
+            let stats = paging::map_region(
+                &mut self.phys,
+                root,
+                va,
+                pa,
+                len,
+                sjmp_mem::PageSize::Size4K,
+                flags,
+            )?;
+            if charge {
+                let per_pte = self.cost.pte_construct(len);
+                self.clock
+                    .advance(stats.ptes_written * per_pte + stats.tables_allocated * self.cost.table_alloc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the mapping starting at `va` from `space`, clearing its
+    /// page-table entries.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidArgument`] if no region starts at `va`.
+    pub fn unmap_object(&mut self, space: VmspaceId, va: VirtAddr, charge: bool) -> OsResult<()> {
+        let (len, obj, root) = {
+            let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
+            let region =
+                vs.remove_region(va).ok_or(OsError::InvalidArgument("no region starts here"))?;
+            (region.len, region.object, vs.root())
+        };
+        if let Some(o) = self.vmobjects.get_mut(&obj) {
+            o.drop_ref();
+        }
+        let stats = paging::unmap_region(&mut self.phys, root, va, len)?;
+        if charge {
+            self.clock.advance(stats.ptes_cleared * self.cost.pte_clear);
+        }
+        // Invalidate stale TLB entries on every core (shootdown).
+        for mmu in &mut self.mmus {
+            mmu.flush_tlb();
+        }
+        Ok(())
+    }
+
+    // ---- legacy mmap/munmap (the Figure 1 path) --------------------------
+
+    /// `mmap`-style call: allocates backing memory and eagerly constructs
+    /// page tables in the caller's *current* vmspace.
+    ///
+    /// `cached` models mapping pages that are already hot in the page
+    /// cache (Figure 1's cheaper `cached` series, charged at the
+    /// cached per-PTE rate); uncached mappings pay the full
+    /// construction cost per page.
+    ///
+    /// # Errors
+    ///
+    /// Address-space exhaustion or physical memory exhaustion.
+    pub fn sys_mmap(&mut self, pid: Pid, len: u64, flags: PteFlags, cached: bool) -> OsResult<VirtAddr> {
+        self.charge_entry();
+        self.stats.mmaps += 1;
+        let space = self.process(pid)?.current_space();
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let va = self
+            .vmspace(space)?
+            .find_free(MMAP_BASE, PRIVATE_HI, len)
+            .ok_or(OsError::InvalidArgument("out of private address space"))?;
+        let obj = self.alloc_object(len)?;
+        self.map_object(space, obj, va, 0, len, flags, MapPolicy::Eager, false)?;
+        self.charge_map(len, cached);
+        Ok(va)
+    }
+
+    /// Like [`Self::sys_mmap`], but mapping with superpages (2 MiB or
+    /// 1 GiB), the mitigation for page-table construction cost that the
+    /// paper's Section 6 discusses ("large pages have been touted as a
+    /// way to mitigate TLB flushing cost"). The length must be a multiple
+    /// of the page size.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sys_mmap`], plus alignment errors.
+    pub fn sys_mmap_sized(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+        page_size: sjmp_mem::PageSize,
+    ) -> OsResult<VirtAddr> {
+        self.charge_entry();
+        self.stats.mmaps += 1;
+        if len == 0 || !len.is_multiple_of(page_size.bytes()) {
+            return Err(OsError::InvalidArgument("length must be a page-size multiple"));
+        }
+        let space = self.process(pid)?.current_space();
+        let va = self
+            .vmspace(space)?
+            .find_free(MMAP_BASE, PRIVATE_HI, len + page_size.bytes())
+            .ok_or(OsError::InvalidArgument("out of private address space"))?
+            .align_up(page_size.bytes());
+        let obj = self.alloc_object(len)?;
+        let pa = self.vmobject(obj)?.base();
+        if !pa.is_aligned(page_size.bytes()) {
+            // Contiguous objects start at arbitrary frames; superpage
+            // mappings need an aligned backing range. Over-allocate.
+            self.free_object(obj)?;
+            let padded = self.alloc_object(len + page_size.bytes())?;
+            let base = self.vmobject(padded)?.base();
+            let aligned = sjmp_mem::PhysAddr::new(
+                (base.raw() + page_size.bytes() - 1) & !(page_size.bytes() - 1),
+            );
+            let offset = aligned.raw() - base.raw();
+            {
+                let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
+                vs.insert_region(Region {
+                    start: va,
+                    len,
+                    object: padded,
+                    object_offset: offset,
+                    flags,
+                    policy: MapPolicy::Eager,
+                })?;
+            }
+            self.vmobject_mut(padded)?.add_ref();
+            let root = self.vmspace(space)?.root();
+            paging::map_region(&mut self.phys, root, va, aligned, len, page_size, flags)?;
+        } else {
+            {
+                let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
+                vs.insert_region(Region {
+                    start: va,
+                    len,
+                    object: obj,
+                    object_offset: 0,
+                    flags,
+                    policy: MapPolicy::Eager,
+                })?;
+            }
+            self.vmobject_mut(obj)?.add_ref();
+            let root = self.vmspace(space)?.root();
+            paging::map_region(&mut self.phys, root, va, pa, len, page_size, flags)?;
+        }
+        self.charge_map_sized(len, cached, page_size);
+        Ok(va)
+    }
+
+    /// Maps an *existing* object into the caller's current vmspace at a
+    /// kernel-chosen address — the remap path the GUPS MAP design uses to
+    /// re-window a large physical table.
+    ///
+    /// # Errors
+    ///
+    /// As in [`Self::sys_mmap`].
+    pub fn sys_mmap_object(
+        &mut self,
+        pid: Pid,
+        obj: VmObjectId,
+        obj_offset: u64,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+    ) -> OsResult<VirtAddr> {
+        self.charge_entry();
+        self.stats.mmaps += 1;
+        let space = self.process(pid)?.current_space();
+        let va = self
+            .vmspace(space)?
+            .find_free(MMAP_BASE, PRIVATE_HI, len)
+            .ok_or(OsError::InvalidArgument("out of private address space"))?;
+        self.map_object(space, obj, va, obj_offset, len, flags, MapPolicy::Eager, false)?;
+        self.charge_map(len, cached);
+        Ok(va)
+    }
+
+    /// `munmap`-style call on the caller's current vmspace.
+    ///
+    /// `cached` skips the page-putback accounting, mirroring Figure 1's
+    /// cheaper `unmap (cached)` series.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidArgument`] if `va` does not start a mapping.
+    pub fn sys_munmap(&mut self, pid: Pid, va: VirtAddr, cached: bool) -> OsResult<()> {
+        self.charge_entry();
+        self.stats.munmaps += 1;
+        let space = self.process(pid)?.current_space();
+        let len = self
+            .vmspace(space)?
+            .find_region(va)
+            .filter(|r| r.start == va)
+            .map(|r| r.len)
+            .ok_or(OsError::InvalidArgument("no region starts here"))?;
+        self.unmap_object(space, va, true)?;
+        if !cached {
+            self.clock.advance((len / PAGE_SIZE) * self.cost.page_putback);
+        }
+        Ok(())
+    }
+
+    // ---- faults ----------------------------------------------------------
+
+    /// Handles a page fault in `pid`'s current vmspace: consults the
+    /// region map and installs the missing translation (lazy policy).
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::Mem`] wrapping the original fault for true violations
+    ///   (no region, or access not permitted).
+    pub fn handle_fault(&mut self, pid: Pid, va: VirtAddr, access: Access) -> OsResult<()> {
+        self.charge_entry();
+        self.stats.faults_handled += 1;
+        let space = self.process(pid)?.current_space();
+        let (pa, flags, root) = {
+            let vs = self.vmspace(space)?;
+            let region = vs
+                .find_region(va)
+                .ok_or(OsError::Mem(MemError::PageFault { va, access }))?;
+            if !region.permits(access) {
+                return Err(OsError::Mem(MemError::ProtectionFault { va, access }));
+            }
+            let page_va = va.align_down(PAGE_SIZE);
+            let offset = region.object_offset + page_va.offset_from(region.start);
+            let obj = self.vmobjects.get(&region.object).ok_or(OsError::NoSuchObject)?;
+            (obj.pa(offset), region.flags, vs.root())
+        };
+        let page_va = va.align_down(PAGE_SIZE);
+        let stats =
+            paging::map(&mut self.phys, root, page_va, pa, sjmp_mem::PageSize::Size4K, flags)?;
+        self.clock.advance(
+            stats.ptes_written * self.cost.pte_write + stats.tables_allocated * self.cost.table_alloc,
+        );
+        Ok(())
+    }
+
+    /// Reads a `u64` at `va` in `pid`'s current space, faulting pages in
+    /// as needed — the convenience load path for workloads.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable faults.
+    pub fn load_u64(&mut self, pid: Pid, va: VirtAddr) -> OsResult<u64> {
+        loop {
+            let (mmu, phys) = self.mem_of(pid)?;
+            match mmu.read_u64(phys, va) {
+                Ok(v) => return Ok(v),
+                Err(MemError::PageFault { .. }) => self.handle_fault(pid, va, Access::Read)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Writes a `u64` at `va` in `pid`'s current space, faulting pages in
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable faults.
+    pub fn store_u64(&mut self, pid: Pid, va: VirtAddr, value: u64) -> OsResult<()> {
+        loop {
+            let (mmu, phys) = self.mem_of(pid)?;
+            match mmu.write_u64(phys, va, value) {
+                Ok(()) => return Ok(()),
+                Err(MemError::PageFault { .. }) => self.handle_fault(pid, va, Access::Write)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `va` in `pid`'s current space, faulting
+    /// pages in as needed.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable faults.
+    pub fn load_bytes(&mut self, pid: Pid, va: VirtAddr, buf: &mut [u8]) -> OsResult<()> {
+        loop {
+            let (mmu, phys) = self.mem_of(pid)?;
+            match mmu.read_bytes(phys, va, buf) {
+                Ok(()) => return Ok(()),
+                Err(MemError::PageFault { va: fva, .. }) => {
+                    self.handle_fault(pid, fva, Access::Read)?
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Writes `buf` at `va` in `pid`'s current space, faulting pages in
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable faults.
+    pub fn store_bytes(&mut self, pid: Pid, va: VirtAddr, buf: &[u8]) -> OsResult<()> {
+        loop {
+            let (mmu, phys) = self.mem_of(pid)?;
+            match mmu.write_bytes(phys, va, buf) {
+                Ok(()) => return Ok(()),
+                Err(MemError::PageFault { va: fva, .. }) => {
+                    self.handle_fault(pid, fva, Access::Write)?
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    // ---- switching ---------------------------------------------------------
+
+    /// Switches `pid` to one of its attached vmspaces: kernel entry +
+    /// bookkeeping + CR3 load, the Table 2 decomposition. The SpaceJMP
+    /// layer calls this after acquiring segment locks.
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::PermissionDenied`] if the process does not hold the
+    ///   space.
+    pub fn switch_vmspace(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
+        self.charge_entry();
+        self.stats.space_switches += 1;
+        let core = {
+            let p = self.process(pid)?;
+            if !p.holds_space(space) {
+                return Err(OsError::PermissionDenied);
+            }
+            p.core()
+        };
+        let (root, asid) = {
+            let vs = self.vmspace(space)?;
+            (vs.root(), vs.asid())
+        };
+        let tagged = self.tagging && asid.is_tagged();
+        self.clock.advance(self.cost.switch_bookkeeping(self.flavor, tagged));
+        self.mmus[core].load_cr3(root, asid); // charges the CR3 cost
+        self.process_mut(pid)?.set_current_space(space);
+        Ok(())
+    }
+
+    /// Flushes every core's TLB (global shootdown after shared-mapping
+    /// changes).
+    pub fn flush_all_tlbs(&mut self) {
+        for mmu in &mut self.mmus {
+            mmu.flush_tlb();
+        }
+    }
+
+    /// Ensures `pid`'s current vmspace is loaded on its core without
+    /// charging switch costs (scheduler-style activation for tests and
+    /// setup code).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] / [`OsError::NoSuchSpace`].
+    pub fn activate(&mut self, pid: Pid) -> OsResult<()> {
+        let (core, space) = {
+            let p = self.process(pid)?;
+            (p.core(), p.current_space())
+        };
+        let (root, asid) = {
+            let vs = self.vmspace(space)?;
+            (vs.root(), vs.asid())
+        };
+        if self.mmus[core].cr3() != Some(root) {
+            self.mmus[core].load_cr3(root, asid);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelFlavor::DragonFly, Machine::M2)
+    }
+
+    fn user() -> Creds {
+        Creds::new(100, 100)
+    }
+
+    #[test]
+    fn spawn_creates_private_segments() {
+        let mut k = kernel();
+        let pid = k.spawn("init", user()).unwrap();
+        let space = k.process(pid).unwrap().current_space();
+        let vs = k.vmspace(space).unwrap();
+        assert_eq!(vs.region_count(), 3, "text + data + stack");
+        assert!(vs.find_region(TEXT_BASE).is_some());
+        assert!(vs.find_region(VirtAddr::new(STACK_TOP.raw() - 8)).is_some());
+    }
+
+    #[test]
+    fn load_store_through_current_space() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let sp = VirtAddr::new(STACK_TOP.raw() - 64);
+        k.store_u64(pid, sp, 0xabcd).unwrap();
+        assert_eq!(k.load_u64(pid, sp).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn mmap_munmap_round_trip() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let va = k
+            .sys_mmap(pid, 64 * 1024, PteFlags::USER | PteFlags::WRITABLE, false)
+            .unwrap();
+        assert!(va >= MMAP_BASE);
+        k.store_u64(pid, va.add(4096), 7).unwrap();
+        assert_eq!(k.load_u64(pid, va.add(4096)).unwrap(), 7);
+        k.sys_munmap(pid, va, false).unwrap();
+        assert!(matches!(k.load_u64(pid, va.add(4096)), Err(OsError::Mem(MemError::PageFault { .. }))));
+        assert_eq!(k.stats().mmaps, 1);
+        assert_eq!(k.stats().munmaps, 1);
+    }
+
+    #[test]
+    fn mmap_cost_scales_with_size_and_cached_is_cheaper() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        let t0 = k.clock().now();
+        let a = k.sys_mmap(pid, 1 << 20, PteFlags::WRITABLE, false).unwrap();
+        let small = k.clock().since(t0);
+        let t1 = k.clock().now();
+        let b = k.sys_mmap(pid, 16 << 20, PteFlags::WRITABLE, false).unwrap();
+        let large = k.clock().since(t1);
+        assert!(large > 10 * small, "16x size should cost >10x ({small} vs {large})");
+        let t2 = k.clock().now();
+        k.sys_mmap(pid, 16 << 20, PteFlags::WRITABLE, true).unwrap();
+        let cached = k.clock().since(t2);
+        assert!(cached < large / 2, "cached map should be much cheaper ({cached} vs {large})");
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn lazy_mapping_faults_in() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let space = k.process(pid).unwrap().current_space();
+        let obj = k.alloc_object(8192).unwrap();
+        let va = VirtAddr::new(0x2_0000_0000);
+        k.map_object(space, obj, va, 0, 8192, PteFlags::USER | PteFlags::WRITABLE, MapPolicy::Lazy, false)
+            .unwrap();
+        assert_eq!(k.stats().faults_handled, 0);
+        k.store_u64(pid, va, 1).unwrap();
+        assert_eq!(k.stats().faults_handled, 1);
+        k.store_u64(pid, va.add(8), 2).unwrap();
+        assert_eq!(k.stats().faults_handled, 1, "same page, no second fault");
+    }
+
+    #[test]
+    fn protection_fault_not_resolved_by_fault_handler() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let space = k.process(pid).unwrap().current_space();
+        let obj = k.alloc_object(4096).unwrap();
+        let va = VirtAddr::new(0x2_0000_0000);
+        k.map_object(space, obj, va, 0, 4096, PteFlags::USER, MapPolicy::Lazy, false).unwrap();
+        assert!(matches!(
+            k.store_u64(pid, va, 1),
+            Err(OsError::Mem(MemError::ProtectionFault { .. }))
+        ));
+    }
+
+    #[test]
+    fn switch_vmspace_costs_match_table2() {
+        for (flavor, tagged, expect) in [
+            (KernelFlavor::DragonFly, false, 1127u64),
+            (KernelFlavor::DragonFly, true, 807),
+            (KernelFlavor::Barrelfish, false, 664),
+            (KernelFlavor::Barrelfish, true, 462),
+        ] {
+            let mut k = Kernel::new(flavor, Machine::M2);
+            k.set_tagging(tagged);
+            let pid = k.spawn("p", user()).unwrap();
+            let second = k.create_vmspace().unwrap();
+            if tagged {
+                let asid = k.alloc_asid().unwrap();
+                k.vmspace_mut(second).unwrap().set_asid(asid);
+            }
+            k.process_mut(pid).unwrap().add_space(second);
+            let t0 = k.clock().now();
+            k.switch_vmspace(pid, second).unwrap();
+            assert_eq!(k.clock().since(t0), expect, "{flavor:?} tagged={tagged}");
+        }
+    }
+
+    #[test]
+    fn switch_requires_attachment() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        let other = k.create_vmspace().unwrap();
+        assert_eq!(k.switch_vmspace(pid, other), Err(OsError::PermissionDenied));
+    }
+
+    #[test]
+    fn object_lifecycle_and_refs() {
+        let mut k = kernel();
+        let obj = k.alloc_object(4096).unwrap();
+        let space = k.create_vmspace().unwrap();
+        k.map_object(space, obj, VirtAddr::new(0x1000), 0, 4096, PteFlags::USER, MapPolicy::Lazy, false)
+            .unwrap();
+        assert!(matches!(k.free_object(obj), Err(OsError::Conflict(_))));
+        k.unmap_object(space, VirtAddr::new(0x1000), false).unwrap();
+        k.free_object(obj).unwrap();
+        assert!(matches!(k.free_object(obj), Err(OsError::NoSuchObject)));
+    }
+
+    #[test]
+    fn mapping_beyond_object_rejected() {
+        let mut k = kernel();
+        let obj = k.alloc_object(4096).unwrap();
+        let space = k.create_vmspace().unwrap();
+        assert!(matches!(
+            k.map_object(space, obj, VirtAddr::new(0), 0, 8192, PteFlags::USER, MapPolicy::Lazy, false),
+            Err(OsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn asid_pool_recycles() {
+        let mut k = kernel();
+        let a = k.alloc_asid().unwrap();
+        let b = k.alloc_asid().unwrap();
+        assert_ne!(a, b);
+        k.free_asid(a);
+        assert_eq!(k.alloc_asid().unwrap(), a);
+        k.free_asid(Asid::UNTAGGED); // no-op, never pooled
+        assert_eq!(k.alloc_asid().unwrap().0, 3);
+    }
+
+    #[test]
+    fn exit_releases_spaces() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        let space = k.process(pid).unwrap().current_space();
+        k.exit(pid).unwrap();
+        assert!(k.process(pid).is_err());
+        assert!(k.vmspace(space).is_err());
+        assert!(matches!(k.exit(pid), Err(OsError::NoSuchProcess)));
+    }
+
+    #[test]
+    fn kernel_entry_cost_differs_by_flavor() {
+        let mut bsd = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
+        let mut bf = Kernel::new(KernelFlavor::Barrelfish, Machine::M2);
+        let t0 = bsd.clock().now();
+        bsd.charge_entry();
+        assert_eq!(bsd.clock().since(t0), 357);
+        let t1 = bf.clock().now();
+        bf.charge_entry();
+        assert_eq!(bf.clock().since(t1), 130);
+    }
+
+    #[test]
+    fn superpage_mmap_works_and_is_cheaper_to_construct() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let flags = PteFlags::USER | PteFlags::WRITABLE;
+        let t0 = k.clock().now();
+        let small = k.sys_mmap(pid, 32 << 20, flags, false).unwrap();
+        let cost_4k = k.clock().since(t0);
+        let t1 = k.clock().now();
+        let huge = k
+            .sys_mmap_sized(pid, 32 << 20, flags, false, sjmp_mem::PageSize::Size2M)
+            .unwrap();
+        let cost_2m = k.clock().since(t1);
+        assert!(cost_2m * 20 < cost_4k, "2 MiB pages: {cost_2m} vs 4 KiB: {cost_4k}");
+        // Both mappings are readable/writable across their extent.
+        for va in [small, huge] {
+            k.store_u64(pid, va.add((32 << 20) - 8), 7).unwrap();
+            assert_eq!(k.load_u64(pid, va.add((32 << 20) - 8)).unwrap(), 7);
+        }
+        assert!(huge.is_aligned(2 << 20), "superpage mapping must be aligned");
+        // Misaligned length rejected.
+        assert!(matches!(
+            k.sys_mmap_sized(pid, (2 << 20) + 4096, flags, false, sjmp_mem::PageSize::Size2M),
+            Err(OsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn processes_round_robin_cores() {
+        let mut k = kernel();
+        let p1 = k.spawn("a", user()).unwrap();
+        let p2 = k.spawn("b", user()).unwrap();
+        assert_eq!(k.process(p1).unwrap().core(), 0);
+        assert_eq!(k.process(p2).unwrap().core(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sjmp-os — the simulated operating-system substrate for SpaceJMP
+//!
+//! SpaceJMP (ASPLOS 2016) is implemented inside two real kernels —
+//! DragonFly BSD and Barrelfish. This crate reproduces the kernel layer
+//! those prototypes modify: processes with **multiple vmspace instances**,
+//! BSD-style VM objects, eager/lazy page-table management over the
+//! simulated hardware of [`sjmp_mem`], per-flavor kernel-entry costs, a
+//! miniature capability system for the Barrelfish personality, and
+//! discrete-event primitives for multi-client experiments.
+//!
+//! The SpaceJMP abstractions themselves (first-class VASes, lockable
+//! segments, the Figure 3 API) live in the `spacejmp-core` crate, layered
+//! on top of this one just as the paper layers its implementation on the
+//! BSD memory subsystem.
+//!
+//! # Examples
+//!
+//! ```
+//! use sjmp_mem::{KernelFlavor, Machine, PteFlags};
+//! use sjmp_os::acl::Creds;
+//! use sjmp_os::kernel::Kernel;
+//!
+//! # fn main() -> Result<(), sjmp_os::error::OsError> {
+//! let mut kernel = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
+//! let pid = kernel.spawn("worker", Creds::new(1000, 1000))?;
+//! kernel.activate(pid)?;
+//! let va = kernel.sys_mmap(pid, 1 << 20, PteFlags::USER | PteFlags::WRITABLE, false)?;
+//! kernel.store_u64(pid, va, 42)?;
+//! assert_eq!(kernel.load_u64(pid, va)?, 42);
+//! # Ok(()) }
+//! ```
+
+pub mod acl;
+pub mod caps;
+pub mod error;
+pub mod kernel;
+pub mod process;
+pub mod sim;
+pub mod vmobject;
+pub mod vmspace;
+
+pub use acl::{Acl, Creds, Mode};
+pub use caps::{CSpace, CapKind, CapRights, CapSlot, Capability, ObjClass};
+pub use error::{CapError, OsError};
+pub use kernel::{Kernel, KernelStats, OsResult, GLOBAL_HI, GLOBAL_LO, PRIVATE_HI, PRIVATE_LO};
+pub use process::{Pid, Process};
+pub use vmobject::{VmObject, VmObjectId};
+pub use vmspace::{MapPolicy, Region, Vmspace, VmspaceId};

@@ -1,0 +1,325 @@
+//! Discrete-event simulation primitives for multi-client experiments.
+//!
+//! The Redis experiment (Section 5.3) runs up to 100 concurrent clients
+//! against 12 cores and a contended segment lock. Rather than real
+//! threads — whose timing would reflect the host, not the modeled machine
+//! — multi-client benchmarks are driven by a deterministic discrete-event
+//! simulation: each client is an actor whose steps cost cycles from the
+//! calibrated model, [`Cores`] models limited parallelism, and
+//! [`SimRwLock`] models the reader/writer segment lock with FIFO handoff.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// An actor identifier within one simulation.
+pub type ActorId = usize;
+
+/// Time-ordered event queue. Ties break by insertion order, making runs
+/// deterministic.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventSlot<T>)>>,
+    seq: u64,
+}
+
+// Wrapper so T itself does not need Ord.
+#[derive(Debug)]
+struct EventSlot<T>(T);
+
+impl<T> PartialEq for EventSlot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for EventSlot<T> {}
+impl<T> PartialOrd for EventSlot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EventSlot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    pub fn push(&mut self, time: u64, payload: T) {
+        self.heap.push(Reverse((time, self.seq, EventSlot(payload))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse((t, _, EventSlot(p)))| (t, p))
+    }
+
+    /// Next event time without popping.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pool of `n` cores: actors reserve a core for a cycle interval; if all
+/// cores are busy the start time slips to the earliest free core.
+#[derive(Debug, Clone)]
+pub struct Cores {
+    busy_until: Vec<u64>,
+}
+
+impl Cores {
+    /// Creates a pool of `n` cores, all free at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one core");
+        Cores { busy_until: vec![0; n] }
+    }
+
+    /// Number of cores.
+    pub fn count(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Reserves a core for `duration` cycles starting no earlier than
+    /// `now`. Returns `(start, end)` of the reservation.
+    pub fn reserve(&mut self, now: u64, duration: u64) -> (u64, u64) {
+        let (idx, &free_at) = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one core");
+        let start = now.max(free_at);
+        let end = start + duration;
+        self.busy_until[idx] = end;
+        (start, end)
+    }
+
+    /// Earliest time any core is free.
+    pub fn earliest_free(&self) -> u64 {
+        self.busy_until.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Lock acquisition mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (reader) access.
+    Shared,
+    /// Exclusive (writer) access.
+    Exclusive,
+}
+
+/// A reader/writer lock for discrete-event simulations: immediate
+/// grant/deny plus a FIFO waiter queue whose wakeups the simulation
+/// schedules.
+///
+/// This is the *segment lock* of Section 3.1: read-only mappings acquire
+/// shared, writable mappings acquire exclusive.
+#[derive(Debug, Default)]
+pub struct SimRwLock {
+    readers: usize,
+    writer: bool,
+    waiters: VecDeque<(ActorId, LockMode)>,
+    /// Peak queue length, for contention reporting.
+    pub max_queue: usize,
+}
+
+impl SimRwLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        SimRwLock::default()
+    }
+
+    /// Attempts to acquire; on failure the actor is queued and `false` is
+    /// returned. FIFO fairness: a reader behind a queued writer waits.
+    pub fn acquire(&mut self, actor: ActorId, mode: LockMode) -> bool {
+        let can = match mode {
+            LockMode::Shared => !self.writer && self.waiters.is_empty(),
+            LockMode::Exclusive => !self.writer && self.readers == 0 && self.waiters.is_empty(),
+        };
+        if can {
+            match mode {
+                LockMode::Shared => self.readers += 1,
+                LockMode::Exclusive => self.writer = true,
+            }
+            true
+        } else {
+            self.waiters.push_back((actor, mode));
+            self.max_queue = self.max_queue.max(self.waiters.len());
+            false
+        }
+    }
+
+    /// Releases a held lock and returns the actors to wake: either one
+    /// writer, or a maximal run of readers.
+    ///
+    /// The returned actors hold the lock already (handoff semantics); the
+    /// simulation just schedules their continuations.
+    pub fn release(&mut self, mode: LockMode) -> Vec<ActorId> {
+        match mode {
+            LockMode::Shared => {
+                debug_assert!(self.readers > 0, "release without hold");
+                self.readers -= 1;
+                if self.readers > 0 {
+                    return Vec::new();
+                }
+            }
+            LockMode::Exclusive => {
+                debug_assert!(self.writer, "release without hold");
+                self.writer = false;
+            }
+        }
+        let mut woken = Vec::new();
+        while let Some(&(actor, m)) = self.waiters.front() {
+            match m {
+                LockMode::Exclusive => {
+                    if woken.is_empty() && self.readers == 0 && !self.writer {
+                        self.writer = true;
+                        self.waiters.pop_front();
+                        woken.push(actor);
+                    }
+                    break;
+                }
+                LockMode::Shared => {
+                    if self.writer {
+                        break;
+                    }
+                    self.readers += 1;
+                    self.waiters.pop_front();
+                    woken.push(actor);
+                }
+            }
+        }
+        woken
+    }
+
+    /// Current reader count.
+    pub fn readers(&self) -> usize {
+        self.readers
+    }
+
+    /// Whether a writer holds the lock.
+    pub fn has_writer(&self) -> bool {
+        self.writer
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(10, "b");
+        q.push(5, "a");
+        q.push(10, "c");
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cores_serialize_when_saturated() {
+        let mut cores = Cores::new(2);
+        assert_eq!(cores.reserve(0, 100), (0, 100));
+        assert_eq!(cores.reserve(0, 100), (0, 100));
+        // Third job waits for a core.
+        assert_eq!(cores.reserve(0, 50), (100, 150));
+        assert_eq!(cores.count(), 2);
+        assert_eq!(cores.earliest_free(), 100);
+    }
+
+    #[test]
+    fn cores_respect_now() {
+        let mut cores = Cores::new(1);
+        assert_eq!(cores.reserve(500, 10), (500, 510));
+    }
+
+    #[test]
+    fn rwlock_multiple_readers() {
+        let mut l = SimRwLock::new();
+        assert!(l.acquire(1, LockMode::Shared));
+        assert!(l.acquire(2, LockMode::Shared));
+        assert_eq!(l.readers(), 2);
+        assert!(l.release(LockMode::Shared).is_empty());
+        assert!(l.release(LockMode::Shared).is_empty());
+    }
+
+    #[test]
+    fn rwlock_writer_excludes() {
+        let mut l = SimRwLock::new();
+        assert!(l.acquire(1, LockMode::Exclusive));
+        assert!(!l.acquire(2, LockMode::Shared));
+        assert!(!l.acquire(3, LockMode::Exclusive));
+        assert_eq!(l.queue_len(), 2);
+        // Release wakes the first waiter only (a reader), then the writer
+        // after the reader releases.
+        let woken = l.release(LockMode::Exclusive);
+        assert_eq!(woken, vec![2]);
+        assert_eq!(l.readers(), 1);
+        let woken = l.release(LockMode::Shared);
+        assert_eq!(woken, vec![3]);
+        assert!(l.has_writer());
+    }
+
+    #[test]
+    fn rwlock_wakes_reader_run() {
+        let mut l = SimRwLock::new();
+        assert!(l.acquire(0, LockMode::Exclusive));
+        assert!(!l.acquire(1, LockMode::Shared));
+        assert!(!l.acquire(2, LockMode::Shared));
+        assert!(!l.acquire(3, LockMode::Exclusive));
+        assert!(!l.acquire(4, LockMode::Shared));
+        let woken = l.release(LockMode::Exclusive);
+        assert_eq!(woken, vec![1, 2], "reader run stops at the queued writer");
+        assert_eq!(l.readers(), 2);
+        assert!(l.release(LockMode::Shared).is_empty());
+        let woken = l.release(LockMode::Shared);
+        assert_eq!(woken, vec![3]);
+    }
+
+    #[test]
+    fn rwlock_fifo_blocks_new_readers_behind_writer() {
+        let mut l = SimRwLock::new();
+        assert!(l.acquire(1, LockMode::Shared));
+        assert!(!l.acquire(2, LockMode::Exclusive));
+        // A new reader may not jump the queued writer.
+        assert!(!l.acquire(3, LockMode::Shared));
+        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.max_queue, 2);
+    }
+}

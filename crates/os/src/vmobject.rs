@@ -1,0 +1,198 @@
+//! BSD-style VM objects: the storage abstraction behind every mapping.
+//!
+//! The DragonFly BSD memory subsystem derives from Mach: each mapping's
+//! region descriptor references a *VM object* which owns the physical
+//! pages (Section 4.1). "A SpaceJMP segment is a wrapper around such an
+//! object, backed only by physical memory, additionally containing global
+//! identifiers (e.g., a name), and protection state. Physical pages are
+//! reserved at the time a segment is created, and are not swappable."
+//!
+//! Our VM objects are physically contiguous, which matches the
+//! reservation-at-creation policy and keeps the virtual-to-physical math
+//! trivial (`pa = base + offset`). Sparse host materialization (see
+//! [`sjmp_mem::phys::PhysMem`]) keeps even terabyte-sized objects cheap.
+
+use sjmp_mem::{MemError, PhysAddr, Pfn, PhysMem, PAGE_SIZE};
+
+/// Identifier of a VM object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmObjectId(pub u64);
+
+/// A physically-backed memory object.
+#[derive(Debug, Clone)]
+pub struct VmObject {
+    id: VmObjectId,
+    base: Pfn,
+    pages: u64,
+    /// Number of vmspace regions currently referencing this object.
+    refs: u64,
+    /// A PML4 slot holding cached translations for this object, if the
+    /// kernel has built them ("a segment may contain a set of cached
+    /// translations to accelerate attachment to an address space").
+    cached_subtree: Option<(Pfn, usize)>,
+}
+
+impl VmObject {
+    /// Allocates a new object of `len` bytes (rounded up to whole pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when physical memory is exhausted
+    /// and `InvalidArgument`-style `BadMapping` for a zero length.
+    pub fn alloc(phys: &mut PhysMem, id: VmObjectId, len: u64) -> Result<Self, MemError> {
+        if len == 0 {
+            return Err(MemError::BadMapping(sjmp_mem::VirtAddr::NULL));
+        }
+        let pages = len.div_ceil(PAGE_SIZE);
+        let base = phys.alloc_contiguous(pages)?;
+        Ok(VmObject { id, base, pages, refs: 0, cached_subtree: None })
+    }
+
+    /// Allocates a new object of `len` bytes from the NVM tier.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfFrames`] if no NVM tier exists or it is full.
+    pub fn alloc_nvm(phys: &mut PhysMem, id: VmObjectId, len: u64) -> Result<Self, MemError> {
+        if len == 0 {
+            return Err(MemError::BadMapping(sjmp_mem::VirtAddr::NULL));
+        }
+        let pages = len.div_ceil(PAGE_SIZE);
+        let base = phys.alloc_contiguous_nvm(pages)?;
+        Ok(VmObject { id, base, pages, refs: 0, cached_subtree: None })
+    }
+
+    /// The object's id.
+    pub fn id(&self) -> VmObjectId {
+        self.id
+    }
+
+    /// First physical address of the backing range.
+    pub fn base(&self) -> PhysAddr {
+        self.base.base()
+    }
+
+    /// Size in pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.pages * PAGE_SIZE
+    }
+
+    /// Whether the object holds zero pages (never true for live objects).
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Physical address of byte `offset` within the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of bounds.
+    pub fn pa(&self, offset: u64) -> PhysAddr {
+        assert!(offset < self.len(), "offset {offset} beyond object of {} bytes", self.len());
+        self.base().add(offset)
+    }
+
+    /// Increments the mapping reference count.
+    pub fn add_ref(&mut self) {
+        self.refs += 1;
+    }
+
+    /// Decrements the mapping reference count; returns the new count.
+    pub fn drop_ref(&mut self) -> u64 {
+        self.refs = self.refs.saturating_sub(1);
+        self.refs
+    }
+
+    /// Current reference count.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Records a cached page-table subtree for fast reattachment.
+    pub fn set_cached_subtree(&mut self, root: Pfn, pml4_slot: usize) {
+        self.cached_subtree = Some((root, pml4_slot));
+    }
+
+    /// The cached subtree, if one was built.
+    pub fn cached_subtree(&self) -> Option<(Pfn, usize)> {
+        self.cached_subtree
+    }
+
+    /// Releases the backing frames. Call only when unreferenced.
+    pub fn free(self, phys: &mut PhysMem) {
+        for i in 0..self.pages {
+            phys.free_frame(Pfn(self.base.0 + i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_pages() {
+        let mut phys = PhysMem::new(1 << 20);
+        let obj = VmObject::alloc(&mut phys, VmObjectId(1), 5000).unwrap();
+        assert_eq!(obj.pages(), 2);
+        assert_eq!(obj.len(), 8192);
+        assert!(!obj.is_empty());
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let mut phys = PhysMem::new(1 << 20);
+        assert!(VmObject::alloc(&mut phys, VmObjectId(1), 0).is_err());
+    }
+
+    #[test]
+    fn pa_math() {
+        let mut phys = PhysMem::new(1 << 20);
+        let obj = VmObject::alloc(&mut phys, VmObjectId(1), 4 * PAGE_SIZE).unwrap();
+        assert_eq!(obj.pa(PAGE_SIZE + 8), obj.base().add(PAGE_SIZE + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond object")]
+    fn pa_bounds_checked() {
+        let mut phys = PhysMem::new(1 << 20);
+        let obj = VmObject::alloc(&mut phys, VmObjectId(1), PAGE_SIZE).unwrap();
+        let _ = obj.pa(PAGE_SIZE);
+    }
+
+    #[test]
+    fn refcounting() {
+        let mut phys = PhysMem::new(1 << 20);
+        let mut obj = VmObject::alloc(&mut phys, VmObjectId(1), PAGE_SIZE).unwrap();
+        obj.add_ref();
+        obj.add_ref();
+        assert_eq!(obj.refs(), 2);
+        assert_eq!(obj.drop_ref(), 1);
+        assert_eq!(obj.drop_ref(), 0);
+        assert_eq!(obj.drop_ref(), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn free_returns_frames() {
+        let mut phys = PhysMem::new(1 << 20);
+        let before = phys.allocated_frames();
+        let obj = VmObject::alloc(&mut phys, VmObjectId(1), 8 * PAGE_SIZE).unwrap();
+        assert_eq!(phys.allocated_frames(), before + 8);
+        obj.free(&mut phys);
+        assert_eq!(phys.allocated_frames(), before);
+    }
+
+    #[test]
+    fn cached_subtree_bookkeeping() {
+        let mut phys = PhysMem::new(1 << 20);
+        let mut obj = VmObject::alloc(&mut phys, VmObjectId(1), PAGE_SIZE).unwrap();
+        assert!(obj.cached_subtree().is_none());
+        obj.set_cached_subtree(Pfn(99), 3);
+        assert_eq!(obj.cached_subtree(), Some((Pfn(99), 3)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Message-passing cluster model: the OpenMPI stand-in for GUPS "MP".
+//!
+//! In the paper's multi-process GUPS design (Section 5.2), "one process
+//! acts as master and the rest as slaves, whereby the master process sends
+//! RPC messages using OpenMPI to the slave process holding the appropriate
+//! portion of physical memory. It then blocks, waiting for the slave to
+//! apply the batch of updates." Each process is pinned to a core, and "at
+//! greater than 36 cores on M3, the performance of MP drops, due to the
+//! busy-wait characteristics \[of\] the OpenMPI implementation."
+//!
+//! [`MpCluster`] models exactly those costs: per-message marshalling and
+//! transfer (intra- or cross-socket depending on the slave's pinning) plus
+//! an oversubscription penalty once there are more processes than cores.
+
+use sjmp_mem::cost::{CostModel, CycleClock, MachineProfile};
+
+/// Per-exchange statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpStats {
+    /// Request/response exchanges completed.
+    pub exchanges: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+}
+
+/// A master plus `slaves` worker processes, each pinned to a core.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_mem::cost::{CostModel, CycleClock, Machine, MachineProfile};
+/// use sjmp_rpc::MpCluster;
+///
+/// let clock = CycleClock::new();
+/// let mut cluster = MpCluster::new(4, MachineProfile::of(Machine::M3),
+///                                  CostModel::default(), clock.clone());
+/// cluster.exchange(2, 512); // ship a 512-byte batch to slave 2
+/// assert!(clock.now() > 0, "the blocking round trip costs cycles");
+/// ```
+#[derive(Debug)]
+pub struct MpCluster {
+    slaves: usize,
+    profile: MachineProfile,
+    cost: CostModel,
+    clock: CycleClock,
+    stats: MpStats,
+    /// Marshalling cost per message (serializing the update batch).
+    pub marshal_per_msg: u64,
+    /// Extra cost factor once processes exceed cores (busy-wait churn).
+    pub oversub_penalty: u64,
+}
+
+impl MpCluster {
+    /// Creates a cluster of one master and `slaves` slaves on `profile`.
+    pub fn new(slaves: usize, profile: MachineProfile, cost: CostModel, clock: CycleClock) -> Self {
+        MpCluster {
+            slaves,
+            profile,
+            cost,
+            clock,
+            stats: MpStats::default(),
+            marshal_per_msg: 600,
+            oversub_penalty: 4000,
+        }
+    }
+
+    /// Number of slave processes.
+    pub fn slaves(&self) -> usize {
+        self.slaves
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MpStats {
+        self.stats
+    }
+
+    /// Whether slave `idx` sits on a different socket than the master
+    /// (core 0). Processes are striped across sockets like the paper's
+    /// pinning.
+    fn cross_socket(&self, slave: usize) -> bool {
+        let cores_per_socket = self.profile.cores_per_socket as usize;
+        !((slave + 1) / cores_per_socket).is_multiple_of(self.profile.sockets as usize)
+    }
+
+    /// One synchronous exchange with `slave`: a request of `req_bytes`
+    /// and an acknowledgment, blocking the master until done. Charges the
+    /// full round trip to the shared clock.
+    pub fn exchange(&mut self, slave: usize, req_bytes: usize) {
+        debug_assert!(slave < self.slaves, "slave index out of range");
+        let lines = (req_bytes.div_ceil(64).max(1)) as u64 + 1; // + ack line
+        let per_line = self.cost.cacheline_transfer(self.cross_socket(slave));
+        let mut cycles = 2 * self.marshal_per_msg + lines * per_line;
+        // More processes than cores: the slave may not be running when the
+        // message arrives; busy-wait scheduling churn adds latency.
+        let total_procs = self.slaves + 1;
+        let cores = self.profile.total_cores() as usize;
+        if total_procs > cores {
+            let over = (total_procs - cores) as u64;
+            cycles += self.oversub_penalty * over.min(64);
+        }
+        self.clock.advance(cycles);
+        self.stats.exchanges += 1;
+        self.stats.bytes += req_bytes as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjmp_mem::cost::Machine;
+
+    fn cluster(slaves: usize) -> (MpCluster, CycleClock) {
+        let clock = CycleClock::new();
+        let c = MpCluster::new(slaves, MachineProfile::of(Machine::M3), CostModel::default(), clock.clone());
+        (c, clock)
+    }
+
+    #[test]
+    fn exchange_costs_cycles() {
+        let (mut c, clock) = cluster(4);
+        c.exchange(0, 128);
+        assert!(clock.now() > 0);
+        assert_eq!(c.stats().exchanges, 1);
+        assert_eq!(c.stats().bytes, 128);
+    }
+
+    #[test]
+    fn remote_slaves_cost_more() {
+        let (mut c, clock) = cluster(35);
+        c.exchange(0, 512); // same socket as master
+        let local = clock.now();
+        clock.reset();
+        c.exchange(20, 512); // striped to the other socket
+        let remote = clock.now();
+        assert!(remote > local, "{remote} vs {local}");
+    }
+
+    #[test]
+    fn oversubscription_penalty_kicks_in_past_core_count() {
+        // M3 has 36 cores; 40 processes must pay the busy-wait penalty.
+        let (mut small, clock_s) = cluster(30);
+        small.exchange(0, 64);
+        let fits = clock_s.now();
+        let (mut big, clock_b) = cluster(64);
+        big.exchange(0, 64);
+        let oversub = clock_b.now();
+        assert!(oversub > fits * 2, "{oversub} vs {fits}");
+    }
+
+    #[test]
+    fn bigger_batches_cost_more() {
+        let (mut c, clock) = cluster(4);
+        c.exchange(0, 64);
+        let small = clock.now();
+        c.exchange(0, 64 * 64);
+        let large = clock.now() - small;
+        assert!(large > small);
+    }
+}

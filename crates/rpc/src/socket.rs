@@ -1,0 +1,138 @@
+//! Simulated UNIX-domain-socket channels.
+//!
+//! Baseline Redis clients "interact with Redis using UNIX domain or
+//! TCP/IP sockets by sending commands" (Section 5.3). Each message on
+//! this path pays a system call, a copy through the kernel socket buffer,
+//! and a wakeup of the peer — the communication overhead RedisJMP elides
+//! by switching into the server's address space instead.
+
+use std::collections::VecDeque;
+
+use sjmp_mem::cost::{CostModel, CycleClock};
+
+/// Statistics for one socket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketStats {
+    /// Messages written.
+    pub writes: u64,
+    /// Messages read.
+    pub reads: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+/// A bidirectional, in-order datagram socket between a client and a
+/// server, with per-message kernel costs charged to the shared clock.
+#[derive(Debug)]
+pub struct SimSocket {
+    to_server: VecDeque<Vec<u8>>,
+    to_client: VecDeque<Vec<u8>>,
+    cost: CostModel,
+    clock: CycleClock,
+    stats: SocketStats,
+}
+
+impl SimSocket {
+    /// Creates a connected socket pair.
+    pub fn new(cost: CostModel, clock: CycleClock) -> Self {
+        SimSocket {
+            to_server: VecDeque::new(),
+            to_client: VecDeque::new(),
+            cost,
+            clock,
+            stats: SocketStats::default(),
+        }
+    }
+
+    fn charge(&mut self, len: usize) {
+        // Syscall + buffer copy (per 64-byte line) + peer wakeup.
+        let lines = (len.div_ceil(64)).max(1) as u64;
+        self.clock.advance(self.cost.socket_msg + lines * self.cost.cache_hit * 2);
+        self.stats.bytes += len as u64;
+    }
+
+    /// Client -> server write.
+    pub fn client_write(&mut self, msg: &[u8]) {
+        self.charge(msg.len());
+        self.stats.writes += 1;
+        self.to_server.push_back(msg.to_vec());
+    }
+
+    /// Server -> client write.
+    pub fn server_write(&mut self, msg: &[u8]) {
+        self.charge(msg.len());
+        self.stats.writes += 1;
+        self.to_client.push_back(msg.to_vec());
+    }
+
+    /// Server-side read.
+    pub fn server_read(&mut self) -> Option<Vec<u8>> {
+        let m = self.to_server.pop_front()?;
+        self.charge(m.len());
+        self.stats.reads += 1;
+        Some(m)
+    }
+
+    /// Client-side read.
+    pub fn client_read(&mut self) -> Option<Vec<u8>> {
+        let m = self.to_client.pop_front()?;
+        self.charge(m.len());
+        self.stats.reads += 1;
+        Some(m)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SocketStats {
+        self.stats
+    }
+
+    /// Cycles one full request/response costs on this socket (4 message
+    /// operations), for analytic throughput models.
+    pub fn round_trip_cost(cost: &CostModel, req_len: usize, resp_len: usize) -> u64 {
+        let lines = |l: usize| (l.div_ceil(64)).max(1) as u64;
+        2 * (cost.socket_msg + lines(req_len) * cost.cache_hit * 2)
+            + 2 * (cost.socket_msg + lines(resp_len) * cost.cache_hit * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_flow() {
+        let clock = CycleClock::new();
+        let mut s = SimSocket::new(CostModel::default(), clock.clone());
+        s.client_write(b"GET k");
+        let req = s.server_read().unwrap();
+        assert_eq!(req, b"GET k");
+        s.server_write(b"$4 data");
+        assert_eq!(s.client_read().unwrap(), b"$4 data");
+        assert!(s.server_read().is_none());
+        assert_eq!(s.stats().writes, 2);
+        assert_eq!(s.stats().reads, 2);
+        assert!(clock.now() >= 4 * CostModel::default().socket_msg);
+    }
+
+    #[test]
+    fn round_trip_cost_matches_live_charging() {
+        let clock = CycleClock::new();
+        let cost = CostModel::default();
+        let mut s = SimSocket::new(cost.clone(), clock.clone());
+        s.client_write(&[0; 100]);
+        s.server_read().unwrap();
+        s.server_write(&[0; 20]);
+        s.client_read().unwrap();
+        assert_eq!(clock.now(), SimSocket::round_trip_cost(&cost, 100, 20));
+    }
+
+    #[test]
+    fn socket_is_much_slower_than_a_switch() {
+        // The premise of RedisJMP: two vas_switches (~2x1127 cycles)
+        // beat four socket operations (~4x3500 cycles).
+        let cost = CostModel::default();
+        let socket = SimSocket::round_trip_cost(&cost, 32, 16);
+        let switches = 2 * cost.vas_switch(sjmp_mem::KernelFlavor::DragonFly, false);
+        assert!(socket > 3 * switches, "{socket} vs {switches}");
+    }
+}

@@ -1,0 +1,400 @@
+//! The `VASvalid` / `VASin` / `VASout` dataflow analysis of Section 4.3.
+//!
+//! "The analysis begins by finding the potentially active VASes at each
+//! program point and the VASes each pointer may be valid in." The transfer
+//! functions follow Figure 5 exactly:
+//!
+//! | instruction      | impact                                            |
+//! |------------------|---------------------------------------------------|
+//! | `switch v`       | `VASout(i) = {v}`                                 |
+//! | `x = vcast y v`  | `VASvalid(x) = {v}`                               |
+//! | `x = alloca`     | `VASvalid(x) = vcommon`                           |
+//! | `x = global`     | `VASvalid(x) = vcommon`                           |
+//! | `x = malloc`     | `VASvalid(x) = VASin(i)`                          |
+//! | `x = y`          | `VASvalid(x) = VASvalid(y)`                       |
+//! | `x = phi y z...` | union of incoming `VASvalid`                      |
+//! | `x = *y`         | `VASin(i)`, or `vunknown` for common-region loads |
+//! | `*x = y`         | no impact                                         |
+//! | `x = foo(...)`   | propagate into params / out of returns            |
+//! | `ret x`          | update callee summaries                           |
+//!
+//! Sets only grow, so a round-robin fixpoint over the whole module
+//! terminates; interprocedural propagation is context-insensitive ("VASes
+//! of pointers across function boundaries are tracked via a global
+//! array" — our per-function summaries play that role).
+
+use std::collections::HashMap;
+
+use crate::ir::{AbstractVas, BlockId, Function, Inst, Module, Reg, VasSet};
+
+/// Analysis results for one module.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// `VASvalid` per function, per register. Registers absent from the
+    /// map are not pointers.
+    pub valid: Vec<HashMap<Reg, VasSet>>,
+    /// `VASin` per function, per block, per instruction index.
+    pub vas_in: Vec<Vec<Vec<VasSet>>>,
+    /// VAS set at each function's entry (union over callsites; function 0
+    /// gets the caller-provided entry set).
+    pub entry: Vec<VasSet>,
+    /// VAS set at each function's returns.
+    pub exit: Vec<VasSet>,
+    /// `VASvalid` of each function's return value.
+    pub ret_valid: Vec<VasSet>,
+    /// Fixpoint iterations used.
+    pub iterations: u32,
+}
+
+impl Analysis {
+    /// Runs the analysis with `main` entered in `entry_vas`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixpoint fails to converge within a generous bound
+    /// (which would indicate a non-monotone transfer bug).
+    pub fn run(module: &Module, entry_vas: VasSet) -> Analysis {
+        let n = module.functions.len();
+        let mut a = Analysis {
+            valid: vec![HashMap::new(); n],
+            vas_in: module
+                .functions
+                .iter()
+                .map(|f| f.blocks.iter().map(|b| vec![VasSet::new(); b.insts.len()]).collect())
+                .collect(),
+            entry: vec![VasSet::new(); n],
+            exit: vec![VasSet::new(); n],
+            ret_valid: vec![VasSet::new(); n],
+            iterations: 0,
+        };
+        a.entry[0] = entry_vas;
+        let limit = 64 + module.inst_count() as u32;
+        loop {
+            a.iterations += 1;
+            assert!(a.iterations <= limit, "analysis failed to converge");
+            let mut changed = false;
+            for (fi, func) in module.functions.iter().enumerate() {
+                changed |= a.process_function(module, fi, func);
+            }
+            if !changed {
+                return a;
+            }
+        }
+    }
+
+    /// The `VASvalid` set of a register (empty = not a pointer).
+    pub fn valid_of(&self, func: usize, reg: Reg) -> VasSet {
+        self.valid[func].get(&reg).cloned().unwrap_or_default()
+    }
+
+    /// The `VASin` set of an instruction.
+    pub fn vas_in_of(&self, func: usize, bb: BlockId, idx: usize) -> &VasSet {
+        &self.vas_in[func][bb.0 as usize][idx]
+    }
+
+    fn union_into(dst: &mut VasSet, src: &VasSet) -> bool {
+        let before = dst.len();
+        dst.extend(src.iter().copied());
+        dst.len() != before
+    }
+
+    fn add_valid(&mut self, func: usize, reg: Reg, set: &VasSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let entry = self.valid[func].entry(reg).or_default();
+        let before = entry.len();
+        entry.extend(set.iter().copied());
+        entry.len() != before
+    }
+
+    fn process_function(&mut self, module: &Module, fi: usize, func: &Function) -> bool {
+        let mut changed = false;
+        // Block-in sets: entry block starts from the function entry set;
+        // others from the union of predecessor outs. We recompute
+        // block-outs as we go, iterating blocks in order (the outer
+        // fixpoint handles back edges).
+        let preds = func.predecessors();
+        let mut block_out: Vec<VasSet> = vec![VasSet::new(); func.blocks.len()];
+        // Seed block_out from the previously recorded vas_in of each
+        // block's terminator so back edges see last iteration's values.
+        for (bi, b) in func.blocks.iter().enumerate() {
+            if let Some(last) = b.insts.len().checked_sub(1) {
+                block_out[bi] = self.vas_in[fi][bi][last].clone();
+                if let Some(Inst::Switch(v)) = b.insts.last() {
+                    block_out[bi] = [AbstractVas::Vas(*v)].into_iter().collect();
+                }
+            }
+        }
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let mut cur = if bi == 0 {
+                self.entry[fi].clone()
+            } else {
+                let mut s = VasSet::new();
+                for p in &preds[bi] {
+                    s.extend(block_out[p.0 as usize].iter().copied());
+                }
+                s
+            };
+            // Phis: join incoming valid sets.
+            for phi in &block.phis {
+                let mut joined = VasSet::new();
+                for (_, r) in &phi.incomings {
+                    joined.extend(self.valid_of(fi, *r));
+                }
+                changed |= self.add_valid(fi, phi.dst, &joined);
+            }
+            for (ii, inst) in block.insts.iter().enumerate() {
+                changed |= Self::union_into(&mut self.vas_in[fi][bi][ii], &cur);
+                match inst {
+                    Inst::Switch(v) => {
+                        cur = [AbstractVas::Vas(*v)].into_iter().collect();
+                    }
+                    Inst::VCast { dst, vas, .. } => {
+                        let s = [AbstractVas::Vas(*vas)].into_iter().collect();
+                        changed |= self.add_valid(fi, *dst, &s);
+                    }
+                    Inst::Alloca { dst, .. } | Inst::Global { dst, .. } => {
+                        let s = [AbstractVas::Common].into_iter().collect();
+                        changed |= self.add_valid(fi, *dst, &s);
+                    }
+                    Inst::Malloc { dst, .. } => {
+                        let c = cur.clone();
+                        changed |= self.add_valid(fi, *dst, &c);
+                    }
+                    Inst::Copy { dst, src } => {
+                        let s = self.valid_of(fi, *src);
+                        changed |= self.add_valid(fi, *dst, &s);
+                    }
+                    Inst::Const { .. } => {}
+                    Inst::Load { dst, addr } => {
+                        let from = self.valid_of(fi, *addr);
+                        let mut s = VasSet::new();
+                        // Loading a pointer out of the common region gives
+                        // a statically unknown pointer; out of VAS memory
+                        // it must be valid in the current VAS.
+                        if from.contains(&AbstractVas::Common) || from.contains(&AbstractVas::Unknown)
+                        {
+                            s.insert(AbstractVas::Unknown);
+                        }
+                        if from.iter().any(|v| matches!(v, AbstractVas::Vas(_))) || from.is_empty() {
+                            s.extend(cur.iter().copied());
+                        }
+                        changed |= self.add_valid(fi, *dst, &s);
+                    }
+                    Inst::Store { .. } => {}
+                    Inst::Call { dst, func: callee, args } => {
+                        let ci = callee.0 as usize;
+                        let c = cur.clone();
+                        changed |= Self::union_into(&mut self.entry[ci], &c);
+                        let callee_fn = &module.functions[ci];
+                        for (p, a) in callee_fn.params.iter().zip(args) {
+                            let s = self.valid_of(fi, *a);
+                            changed |= self.add_valid(ci, *p, &s);
+                        }
+                        if let Some(d) = dst {
+                            let s = self.ret_valid[ci].clone();
+                            changed |= self.add_valid(fi, *d, &s);
+                        }
+                        // Conservative: the callee may or may not switch.
+                        let exit = self.exit[ci].clone();
+                        cur.extend(exit.iter().copied());
+                    }
+                    Inst::Ret(r) => {
+                        if let Some(r) = r {
+                            let s = self.valid_of(fi, *r);
+                            let before = self.ret_valid[fi].len();
+                            self.ret_valid[fi].extend(s.iter().copied());
+                            changed |= self.ret_valid[fi].len() != before;
+                        }
+                        let before = self.exit[fi].len();
+                        self.exit[fi].extend(cur.iter().copied());
+                        changed |= self.exit[fi].len() != before;
+                    }
+                    Inst::Br(_) | Inst::CondBr { .. } => {}
+                    Inst::CheckDeref { .. } | Inst::CheckStore { .. } => {}
+                }
+            }
+            let out_changed = Self::union_into(&mut block_out[bi], &cur);
+            changed |= out_changed;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FuncId, Phi, VasName};
+
+    fn vset(items: &[AbstractVas]) -> VasSet {
+        items.iter().copied().collect()
+    }
+
+    fn v(n: u32) -> AbstractVas {
+        AbstractVas::Vas(VasName(n))
+    }
+
+    fn entry() -> VasSet {
+        vset(&[v(0)])
+    }
+
+    #[test]
+    fn malloc_tracks_current_vas() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let q = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Malloc { dst: q, size: 8 });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.valid_of(0, p), vset(&[v(0)]));
+        assert_eq!(a.valid_of(0, q), vset(&[v(1)]));
+        assert_eq!(a.exit[0], vset(&[v(1)]));
+    }
+
+    #[test]
+    fn alloca_and_global_are_common() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let s = f.fresh_reg();
+        let g = f.fresh_reg();
+        f.push(BlockId(0), Inst::Alloca { dst: s, size: 8 });
+        f.push(BlockId(0), Inst::Global { dst: g, name: "g" });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.valid_of(0, s), vset(&[AbstractVas::Common]));
+        assert_eq!(a.valid_of(0, g), vset(&[AbstractVas::Common]));
+    }
+
+    #[test]
+    fn vcast_overrides() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let q = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::VCast { dst: q, src: p, vas: VasName(7) });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.valid_of(0, q), vset(&[v(7)]));
+    }
+
+    #[test]
+    fn phi_joins_branches() {
+        // if (c) { switch 1; p = malloc } else { switch 2; q = malloc };
+        // r = phi(p, q) — valid in {1, 2}; VASin at the join is {1, 2}.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let c = f.fresh_reg();
+        let p = f.fresh_reg();
+        let q = f.fresh_reg();
+        let r = f.fresh_reg();
+        let t = f.add_block();
+        let e = f.add_block();
+        let j = f.add_block();
+        f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
+        f.push(BlockId(0), Inst::CondBr { cond: c, then_bb: t, else_bb: e });
+        f.push(t, Inst::Switch(VasName(1)));
+        f.push(t, Inst::Malloc { dst: p, size: 8 });
+        f.push(t, Inst::Br(j));
+        f.push(e, Inst::Switch(VasName(2)));
+        f.push(e, Inst::Malloc { dst: q, size: 8 });
+        f.push(e, Inst::Br(j));
+        f.push_phi(j, Phi { dst: r, incomings: vec![(t, p), (e, q)] });
+        f.push(j, Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.valid_of(0, r), vset(&[v(1), v(2)]));
+        assert_eq!(a.vas_in_of(0, j, 0), &vset(&[v(1), v(2)]));
+    }
+
+    #[test]
+    fn loads_from_common_are_unknown() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let s = f.fresh_reg();
+        let x = f.fresh_reg();
+        let h = f.fresh_reg();
+        let y = f.fresh_reg();
+        f.push(BlockId(0), Inst::Alloca { dst: s, size: 8 });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: s });
+        f.push(BlockId(0), Inst::Malloc { dst: h, size: 8 });
+        f.push(BlockId(0), Inst::Load { dst: y, addr: h });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.valid_of(0, x), vset(&[AbstractVas::Unknown]));
+        assert_eq!(a.valid_of(0, y), vset(&[v(0)]), "loads from VAS memory get VASin");
+    }
+
+    #[test]
+    fn interprocedural_propagation() {
+        // main: switch 1; p = malloc; q = callee(p); callee returns its arg.
+        let mut m = Module::new();
+        let mut callee = Function::new("id", 1);
+        let arg = callee.params[0];
+        callee.push(BlockId(0), Inst::Ret(Some(arg)));
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let q = f.fresh_reg();
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Call { dst: Some(q), func: FuncId(1), args: vec![p] });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        m.add_function(callee);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.valid_of(1, arg), vset(&[v(1)]), "param inherits arg validity");
+        assert_eq!(a.valid_of(0, q), vset(&[v(1)]), "return value flows back");
+        assert_eq!(a.entry[1], vset(&[v(1)]), "callee entered in caller's VAS");
+    }
+
+    #[test]
+    fn callee_switch_makes_caller_ambiguous() {
+        // callee switches to VAS 2; after the call, main may be in 1 or 2
+        // (conservative union).
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Call { dst: None, func: FuncId(1), args: vec![] });
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Ret(None));
+        let mut callee = Function::new("sw", 0);
+        callee.push(BlockId(0), Inst::Switch(VasName(2)));
+        callee.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        m.add_function(callee);
+        let a = Analysis::run(&m, entry());
+        assert!(a.valid_of(0, p).contains(&v(2)));
+        assert!(a.valid_of(0, p).contains(&v(1)), "conservative: may not have switched");
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        // A loop alternating switches; VASin at the loop head grows to
+        // {0, 1} and stabilizes.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let c = f.fresh_reg();
+        let head = f.add_block();
+        let body = f.add_block();
+        let done = f.add_block();
+        f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
+        f.push(BlockId(0), Inst::Br(head));
+        f.push(head, Inst::CondBr { cond: c, then_bb: body, else_bb: done });
+        f.push(body, Inst::Switch(VasName(1)));
+        f.push(body, Inst::Br(head));
+        f.push(done, Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        assert_eq!(a.vas_in_of(0, head, 0), &vset(&[v(0), v(1)]));
+        assert!(a.iterations >= 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Unsafe-access detection and check insertion (Section 4.3).
+//!
+//! "Because checking every pointer dereference is too conservative, we
+//! present a compiler analysis to prove when dereferences are safe, and a
+//! transformation that only inserts checks where safety cannot be proven
+//! statically."
+//!
+//! A load/store dereferencing `p` needs a check when any of:
+//!
+//! 1. `|VASvalid(p)| > 1` or `VASvalid(p) ∋ vunknown` — the target VAS is
+//!    ambiguous;
+//! 2. `|VASin(i)| > 1` — the current VAS is ambiguous;
+//! 3. `VASvalid(p) ≠ VASin(i)` — they may differ.
+//!
+//! A store of pointer `v` through `p` needs a check unless
+//! `VASvalid(p) = {vcommon}` (stores to the common region may hold any
+//! pointer) or `|VASvalid(p)| = 1 ∧ VASvalid(p) = VASvalid(v)`.
+//!
+//! Pointers proven common-only are exempt from deref checks
+//! ("dereferencing and storing to [stack/global pointers] is always
+//! safe").
+
+use crate::analysis::Analysis;
+use crate::ir::{AbstractVas, Inst, Module, VasSet};
+
+/// How checks are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckPolicy {
+    /// Insert a check before *every* load and store (the trivial solution
+    /// the paper rejects as too conservative) — the ablation baseline.
+    Naive,
+    /// Insert checks only where the analysis cannot prove safety.
+    Analyzed,
+}
+
+/// Report of a check-insertion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Dereference checks inserted.
+    pub deref_checks: usize,
+    /// Pointer-store checks inserted.
+    pub store_checks: usize,
+    /// Loads and stores in the module.
+    pub mem_ops: usize,
+    /// Memory operations proven safe (no check needed).
+    pub proven_safe: usize,
+}
+
+impl CheckReport {
+    /// Fraction of memory operations requiring a runtime check.
+    pub fn check_ratio(&self) -> f64 {
+        if self.mem_ops == 0 {
+            0.0
+        } else {
+            (self.deref_checks + self.store_checks.min(self.mem_ops)) as f64 / self.mem_ops as f64
+        }
+    }
+}
+
+fn is_common_only(set: &VasSet) -> bool {
+    set.len() == 1 && set.contains(&AbstractVas::Common)
+}
+
+fn deref_needs_check(valid: &VasSet, vas_in: &VasSet) -> bool {
+    if is_common_only(valid) {
+        return false; // stack/global pointers are always safe
+    }
+    if valid.is_empty() {
+        // Not recognizably a pointer produced by a tracked source (e.g. a
+        // constant); be conservative.
+        return true;
+    }
+    valid.len() > 1
+        || valid.contains(&AbstractVas::Unknown)
+        || vas_in.len() > 1
+        || valid != vas_in
+}
+
+fn store_ptr_needs_check(valid_p: &VasSet, valid_v: &VasSet) -> bool {
+    if is_common_only(valid_p) {
+        return false; // rule 1: store to the common region
+    }
+    // rule 2: both provably in the same single VAS
+    !(valid_p.len() == 1
+        && valid_p == valid_v
+        && !valid_p.contains(&AbstractVas::Unknown))
+}
+
+/// Inserts checks into `module` according to `policy`, using `analysis`
+/// when the policy is [`CheckPolicy::Analyzed`].
+///
+/// Returns what was inserted. The module is modified in place: flagged
+/// loads/stores get a [`Inst::CheckDeref`] (and pointer stores a
+/// [`Inst::CheckStore`]) immediately before them.
+pub fn insert_checks(module: &mut Module, analysis: &Analysis, policy: CheckPolicy) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (fi, func) in module.functions.iter_mut().enumerate() {
+        for (bi, block) in func.blocks.iter_mut().enumerate() {
+            let mut new_insts = Vec::with_capacity(block.insts.len());
+            for (ii, inst) in block.insts.iter().enumerate() {
+                match inst {
+                    Inst::Load { addr, .. } => {
+                        report.mem_ops += 1;
+                        let need = match policy {
+                            CheckPolicy::Naive => true,
+                            CheckPolicy::Analyzed => deref_needs_check(
+                                &analysis.valid_of(fi, *addr),
+                                analysis.vas_in_of(fi, crate::ir::BlockId(bi as u32), ii),
+                            ),
+                        };
+                        if need {
+                            new_insts.push(Inst::CheckDeref { addr: *addr });
+                            report.deref_checks += 1;
+                        } else {
+                            report.proven_safe += 1;
+                        }
+                    }
+                    Inst::Store { addr, val } => {
+                        report.mem_ops += 1;
+                        let vas_in = analysis.vas_in_of(fi, crate::ir::BlockId(bi as u32), ii);
+                        let valid_p = analysis.valid_of(fi, *addr);
+                        let valid_v = analysis.valid_of(fi, *val);
+                        let (need_deref, need_store) = match policy {
+                            CheckPolicy::Naive => (true, !valid_v.is_empty()),
+                            CheckPolicy::Analyzed => (
+                                deref_needs_check(&valid_p, vas_in),
+                                // Only pointer stores need the containment
+                                // rule; integer stores have no valid set.
+                                !valid_v.is_empty() && store_ptr_needs_check(&valid_p, &valid_v),
+                            ),
+                        };
+                        if need_deref {
+                            new_insts.push(Inst::CheckDeref { addr: *addr });
+                            report.deref_checks += 1;
+                        }
+                        if need_store {
+                            new_insts.push(Inst::CheckStore { addr: *addr, val: *val });
+                            report.store_checks += 1;
+                        }
+                        if !need_deref && !need_store {
+                            report.proven_safe += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                new_insts.push(inst.clone());
+            }
+            block.insts = new_insts;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::ir::{BlockId, Function, Module, VasName};
+
+    fn entry() -> VasSet {
+        [AbstractVas::Vas(VasName(0))].into_iter().collect()
+    }
+
+    /// p = malloc; *p = 1; x = *p — provably safe, no checks.
+    #[test]
+    fn straightline_same_vas_needs_no_checks() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let one = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Const { dst: one, value: 1 });
+        f.push(BlockId(0), Inst::Store { addr: p, val: one });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        assert_eq!(report.deref_checks + report.store_checks, 0);
+        assert_eq!(report.proven_safe, 2);
+        assert_eq!(m.check_count(), 0);
+    }
+
+    /// p = malloc (in VAS 0); switch 1; x = *p — dereference in the
+    /// wrong VAS: check required.
+    #[test]
+    fn cross_vas_deref_flagged() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        assert_eq!(report.deref_checks, 1);
+    }
+
+    /// Stack pointers are always safe to dereference.
+    #[test]
+    fn common_pointers_not_checked() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let s = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Alloca { dst: s, size: 8 });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Load { dst: x, addr: s });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        assert_eq!(report.deref_checks, 0, "common region valid in every VAS");
+    }
+
+    /// Storing a VAS pointer into common memory is fine; storing a
+    /// cross-VAS pointer into VAS memory needs a store check.
+    #[test]
+    fn pointer_store_rules() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let s = f.fresh_reg();
+        let p = f.fresh_reg();
+        let q = f.fresh_reg();
+        f.push(BlockId(0), Inst::Alloca { dst: s, size: 8 });
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: s, val: p }); // ptr -> common: ok
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Malloc { dst: q, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: q, val: p }); // VAS0 ptr -> VAS1 mem: check
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        assert_eq!(report.store_checks, 1);
+    }
+
+    /// Naive policy checks everything; analysis prunes.
+    #[test]
+    fn analyzed_beats_naive() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let c = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 64 });
+        f.push(BlockId(0), Inst::Const { dst: c, value: 7 });
+        for _ in 0..10 {
+            f.push(BlockId(0), Inst::Store { addr: p, val: c });
+        }
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let mut naive = m.clone();
+        let naive_report = insert_checks(&mut naive, &a, CheckPolicy::Naive);
+        let analyzed_report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        assert_eq!(naive_report.deref_checks, 10);
+        assert_eq!(analyzed_report.deref_checks, 0);
+        assert!(analyzed_report.check_ratio() < naive_report.check_ratio());
+    }
+
+    /// Ambiguous current VAS (branch-dependent switch) forces checks even
+    /// for pointers that are valid somewhere.
+    #[test]
+    fn ambiguous_vas_in_forces_check() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let cond = f.fresh_reg();
+        let p = f.fresh_reg();
+        let x = f.fresh_reg();
+        let t = f.add_block();
+        let j = f.add_block();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Const { dst: cond, value: 1 });
+        f.push(BlockId(0), Inst::CondBr { cond, then_bb: t, else_bb: j });
+        f.push(t, Inst::Switch(VasName(1)));
+        f.push(t, Inst::Br(j));
+        f.push(j, Inst::Load { dst: x, addr: p });
+        f.push(j, Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        assert_eq!(report.deref_checks, 1, "VASin at the load is {{0, 1}}");
+    }
+}

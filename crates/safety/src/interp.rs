@@ -1,0 +1,585 @@
+//! An IR interpreter with tagged pointers: the runtime side of the
+//! safety system, and the ground truth for testing the static analysis.
+//!
+//! Pointers carry the region (VAS or common) they belong to — the paper
+//! tracks this "via tagged pointers (using the unused bits of the
+//! pointer)". Every dereference is validated against the Section 3.3
+//! rules, so an *uninstrumented* unsafe program traps with
+//! [`Trap::UnsafeDeref`]/[`Trap::UnsafeStore`] at the faulting access,
+//! while an *instrumented* program traps earlier, at the inserted check
+//! ([`Trap::CheckFailed`]) — and safe programs run to completion either
+//! way. Check executions are counted so the overhead ablation can price
+//! them.
+
+use std::collections::HashMap;
+
+use crate::ir::{BlockId, FuncId, Inst, Module, Reg, VasName};
+
+/// Where a runtime pointer points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Stack/globals — mapped in every VAS.
+    Common,
+    /// A specific VAS's memory.
+    Vas(VasName),
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(u64),
+    /// A tagged pointer.
+    Ptr {
+        /// Region tag.
+        region: Region,
+        /// Address within the region.
+        addr: u64,
+    },
+}
+
+/// Runtime traps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Dereference of a pointer whose VAS is not active (uninstrumented).
+    UnsafeDeref {
+        /// Region the pointer belongs to.
+        region: Region,
+        /// VAS that was active.
+        current: VasName,
+    },
+    /// Store of a pointer into a region it may not be stored in.
+    UnsafeStore {
+        /// Region of the stored pointer.
+        value_region: Region,
+        /// Region of the target memory.
+        target_region: Region,
+    },
+    /// An inserted check failed (instrumented programs).
+    CheckFailed {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Load of a never-written cell.
+    UninitializedRead(u64),
+    /// Use of a register before definition.
+    UndefinedRegister(Reg),
+    /// Dereference of an integer.
+    NotAPointer,
+    /// Execution exceeded the step budget.
+    StepLimit,
+    /// Phi had no incoming edge for the predecessor taken.
+    BrokenPhi,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::UnsafeDeref { region, current } => {
+                write!(f, "unsafe dereference of {region:?} pointer while in VAS {current:?}")
+            }
+            Trap::UnsafeStore { value_region, target_region } => {
+                write!(f, "unsafe store of {value_region:?} pointer into {target_region:?} memory")
+            }
+            Trap::CheckFailed { reason } => write!(f, "inserted check failed: {reason}"),
+            Trap::UninitializedRead(a) => write!(f, "read of uninitialized address {a:#x}"),
+            Trap::UndefinedRegister(r) => write!(f, "use of undefined register {r:?}"),
+            Trap::NotAPointer => write!(f, "dereference of a non-pointer value"),
+            Trap::StepLimit => write!(f, "step limit exceeded"),
+            Trap::BrokenPhi => write!(f, "phi without matching predecessor"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Check instructions executed.
+    pub checks_executed: u64,
+    /// VAS switches performed.
+    pub switches: u64,
+    /// Loads + stores performed.
+    pub mem_ops: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    prev_block: Option<BlockId>,
+    idx: usize,
+    regs: HashMap<Reg, Value>,
+    ret_to: Option<Reg>,
+}
+
+/// The interpreter.
+pub struct Interp<'m> {
+    module: &'m Module,
+    memory: HashMap<(Region, u64), Value>,
+    heap_next: HashMap<Region, u64>,
+    current: VasName,
+    stats: InterpStats,
+    step_limit: u64,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter for `module`, entering in `entry_vas`.
+    pub fn new(module: &'m Module, entry_vas: VasName) -> Self {
+        Interp {
+            module,
+            memory: HashMap::new(),
+            heap_next: HashMap::new(),
+            current: entry_vas,
+            stats: InterpStats::default(),
+            step_limit: 1_000_000,
+        }
+    }
+
+    /// Overrides the default step budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> InterpStats {
+        self.stats
+    }
+
+    fn alloc(&mut self, region: Region, size: u64) -> u64 {
+        let next = self.heap_next.entry(region).or_insert(0x1000);
+        let addr = *next;
+        *next += size.max(8).div_ceil(16) * 16;
+        addr
+    }
+
+    fn get(regs: &HashMap<Reg, Value>, r: Reg) -> Result<Value, Trap> {
+        regs.get(&r).copied().ok_or(Trap::UndefinedRegister(r))
+    }
+
+    fn deref_ok(&self, region: Region) -> bool {
+        match region {
+            Region::Common => true,
+            Region::Vas(v) => v == self.current,
+        }
+    }
+
+    fn store_ok(target: Region, value: Value) -> bool {
+        let Value::Ptr { region: vr, .. } = value else { return true };
+        match target {
+            Region::Common => true,
+            Region::Vas(t) => vr == Region::Vas(t),
+        }
+    }
+
+    /// Runs `main` (function 0) with integer arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] that aborted execution.
+    pub fn run(&mut self, args: &[u64]) -> Result<Option<Value>, Trap> {
+        let main = &self.module.functions[0];
+        let mut regs = HashMap::new();
+        for (p, a) in main.params.iter().zip(args) {
+            regs.insert(*p, Value::Int(*a));
+        }
+        let mut stack = vec![Frame {
+            func: FuncId(0),
+            block: BlockId(0),
+            prev_block: None,
+            idx: 0,
+            regs,
+            ret_to: None,
+        }];
+        let mut last_ret: Option<Value> = None;
+
+        'outer: while let Some(frame) = stack.last_mut() {
+            let func = &self.module.functions[frame.func.0 as usize];
+            let block = &func.blocks[frame.block.0 as usize];
+            // Evaluate phis when (re-)entering a block.
+            if frame.idx == 0 && !block.phis.is_empty() {
+                let prev = frame.prev_block.ok_or(Trap::BrokenPhi)?;
+                let mut values = Vec::with_capacity(block.phis.len());
+                for phi in &block.phis {
+                    let (_, r) = phi
+                        .incomings
+                        .iter()
+                        .find(|(b, _)| *b == prev)
+                        .ok_or(Trap::BrokenPhi)?;
+                    values.push((phi.dst, Self::get(&frame.regs, *r)?));
+                }
+                for (d, v) in values {
+                    frame.regs.insert(d, v);
+                }
+            }
+            while frame.idx < block.insts.len() {
+                self.stats.steps += 1;
+                if self.stats.steps > self.step_limit {
+                    return Err(Trap::StepLimit);
+                }
+                let inst = &block.insts[frame.idx];
+                frame.idx += 1;
+                match inst {
+                    Inst::Switch(v) => {
+                        self.current = *v;
+                        self.stats.switches += 1;
+                    }
+                    Inst::VCast { dst, src, vas } => {
+                        let v = Self::get(&frame.regs, *src)?;
+                        let addr = match v {
+                            Value::Ptr { addr, .. } => addr,
+                            Value::Int(a) => a,
+                        };
+                        frame.regs.insert(*dst, Value::Ptr { region: Region::Vas(*vas), addr });
+                    }
+                    Inst::Alloca { dst, size } => {
+                        let addr = self.alloc(Region::Common, *size);
+                        frame.regs.insert(*dst, Value::Ptr { region: Region::Common, addr });
+                    }
+                    Inst::Global { dst, .. } => {
+                        let addr = self.alloc(Region::Common, 8);
+                        frame.regs.insert(*dst, Value::Ptr { region: Region::Common, addr });
+                    }
+                    Inst::Malloc { dst, size } => {
+                        let region = Region::Vas(self.current);
+                        let addr = self.alloc(region, *size);
+                        frame.regs.insert(*dst, Value::Ptr { region, addr });
+                    }
+                    Inst::Copy { dst, src } => {
+                        let v = Self::get(&frame.regs, *src)?;
+                        frame.regs.insert(*dst, v);
+                    }
+                    Inst::Const { dst, value } => {
+                        frame.regs.insert(*dst, Value::Int(*value));
+                    }
+                    Inst::Load { dst, addr } => {
+                        self.stats.mem_ops += 1;
+                        let p = Self::get(&frame.regs, *addr)?;
+                        let Value::Ptr { region, addr: a } = p else {
+                            return Err(Trap::NotAPointer);
+                        };
+                        if !self.deref_ok(region) {
+                            return Err(Trap::UnsafeDeref { region, current: self.current });
+                        }
+                        let v = self
+                            .memory
+                            .get(&(region, a))
+                            .copied()
+                            .ok_or(Trap::UninitializedRead(a))?;
+                        frame.regs.insert(*dst, v);
+                    }
+                    Inst::Store { addr, val } => {
+                        self.stats.mem_ops += 1;
+                        let p = Self::get(&frame.regs, *addr)?;
+                        let v = Self::get(&frame.regs, *val)?;
+                        let Value::Ptr { region, addr: a } = p else {
+                            return Err(Trap::NotAPointer);
+                        };
+                        if !self.deref_ok(region) {
+                            return Err(Trap::UnsafeDeref { region, current: self.current });
+                        }
+                        if !Self::store_ok(region, v) {
+                            let Value::Ptr { region: vr, .. } = v else { unreachable!() };
+                            return Err(Trap::UnsafeStore { value_region: vr, target_region: region });
+                        }
+                        self.memory.insert((region, a), v);
+                    }
+                    Inst::CheckDeref { addr } => {
+                        self.stats.checks_executed += 1;
+                        let p = Self::get(&frame.regs, *addr)?;
+                        let Value::Ptr { region, .. } = p else {
+                            return Err(Trap::CheckFailed { reason: "not a pointer" });
+                        };
+                        if !self.deref_ok(region) {
+                            return Err(Trap::CheckFailed { reason: "pointer VAS is not current" });
+                        }
+                    }
+                    Inst::CheckStore { addr, val } => {
+                        self.stats.checks_executed += 1;
+                        let p = Self::get(&frame.regs, *addr)?;
+                        let v = Self::get(&frame.regs, *val)?;
+                        let Value::Ptr { region, .. } = p else {
+                            return Err(Trap::CheckFailed { reason: "not a pointer" });
+                        };
+                        if !Self::store_ok(region, v) {
+                            return Err(Trap::CheckFailed {
+                                reason: "stored pointer escapes its VAS",
+                            });
+                        }
+                    }
+                    Inst::Call { dst, func: callee, args } => {
+                        let callee_fn = &self.module.functions[callee.0 as usize];
+                        let mut regs = HashMap::new();
+                        for (p, a) in callee_fn.params.iter().zip(args) {
+                            regs.insert(*p, Self::get(&frame.regs, *a)?);
+                        }
+                        let ret_to = *dst;
+                        let new_frame = Frame {
+                            func: *callee,
+                            block: BlockId(0),
+                            prev_block: None,
+                            idx: 0,
+                            regs,
+                            ret_to,
+                        };
+                        stack.push(new_frame);
+                        continue 'outer;
+                    }
+                    Inst::Ret(r) => {
+                        let v = match r {
+                            Some(r) => Some(Self::get(&frame.regs, *r)?),
+                            None => None,
+                        };
+                        let ret_to = frame.ret_to;
+                        stack.pop();
+                        if let Some(caller) = stack.last_mut() {
+                            if let (Some(dst), Some(v)) = (ret_to, v) {
+                                caller.regs.insert(dst, v);
+                            }
+                        } else {
+                            last_ret = v;
+                        }
+                        continue 'outer;
+                    }
+                    Inst::Br(b) => {
+                        frame.prev_block = Some(frame.block);
+                        frame.block = *b;
+                        frame.idx = 0;
+                        continue 'outer;
+                    }
+                    Inst::CondBr { cond, then_bb, else_bb } => {
+                        let c = Self::get(&frame.regs, *cond)?;
+                        let taken = match c {
+                            Value::Int(0) => *else_bb,
+                            _ => *then_bb,
+                        };
+                        frame.prev_block = Some(frame.block);
+                        frame.block = taken;
+                        frame.idx = 0;
+                        continue 'outer;
+                    }
+                }
+            }
+            // Fell off a block without a terminator: treat as return.
+            stack.pop();
+        }
+        Ok(last_ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Function, Module};
+
+    fn v0() -> VasName {
+        VasName(0)
+    }
+
+    /// p = malloc; *p = 42; x = *p; ret x.
+    fn safe_program() -> Module {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let c = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Const { dst: c, value: 42 });
+        f.push(BlockId(0), Inst::Store { addr: p, val: c });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+        f.push(BlockId(0), Inst::Ret(Some(x)));
+        m.add_function(f);
+        m
+    }
+
+    /// p = malloc; switch 1; x = *p — unsafe.
+    fn unsafe_program() -> Module {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn safe_program_returns_value() {
+        let m = safe_program();
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(i.run(&[]).unwrap(), Some(Value::Int(42)));
+        assert_eq!(i.stats().mem_ops, 2);
+    }
+
+    #[test]
+    fn unsafe_deref_traps() {
+        let m = unsafe_program();
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(
+            i.run(&[]).unwrap_err(),
+            Trap::UnsafeDeref { region: Region::Vas(v0()), current: VasName(1) }
+        );
+    }
+
+    #[test]
+    fn instrumented_unsafe_traps_at_the_check() {
+        use crate::analysis::Analysis;
+        use crate::checks::{insert_checks, CheckPolicy};
+        let mut m = unsafe_program();
+        let a = Analysis::run(&m, [crate::ir::AbstractVas::Vas(v0())].into_iter().collect());
+        insert_checks(&mut m, &a, CheckPolicy::Analyzed);
+        let mut i = Interp::new(&m, v0());
+        assert!(matches!(i.run(&[]).unwrap_err(), Trap::CheckFailed { .. }));
+        assert_eq!(i.stats().checks_executed, 1);
+    }
+
+    #[test]
+    fn instrumented_safe_program_still_works() {
+        use crate::analysis::Analysis;
+        use crate::checks::{insert_checks, CheckPolicy};
+        let mut m = safe_program();
+        let a = Analysis::run(&m, [crate::ir::AbstractVas::Vas(v0())].into_iter().collect());
+        insert_checks(&mut m, &a, CheckPolicy::Naive);
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(i.run(&[]).unwrap(), Some(Value::Int(42)));
+        assert_eq!(i.stats().checks_executed, 2);
+    }
+
+    #[test]
+    fn vcast_legitimizes_cross_vas_access() {
+        // p = malloc in VAS 0; switch 1; q = vcast p 1... dereference of q
+        // does not trap the check (the tag says VAS 1), but memory at
+        // (VAS1, addr) is uninitialized — demonstrating vcast is an
+        // escape hatch, not a teleporter.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let c = f.fresh_reg();
+        let q = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Const { dst: c, value: 5 });
+        f.push(BlockId(0), Inst::Store { addr: p, val: c });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::VCast { dst: q, src: p, vas: VasName(1) });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: q });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let mut i = Interp::new(&m, v0());
+        assert!(matches!(i.run(&[]).unwrap_err(), Trap::UninitializedRead(_)));
+    }
+
+    #[test]
+    fn common_region_spans_switches() {
+        // A stack slot written in VAS 0 is readable after switching.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let s = f.fresh_reg();
+        let c = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Alloca { dst: s, size: 8 });
+        f.push(BlockId(0), Inst::Const { dst: c, value: 9 });
+        f.push(BlockId(0), Inst::Store { addr: s, val: c });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Load { dst: x, addr: s });
+        f.push(BlockId(0), Inst::Ret(Some(x)));
+        m.add_function(f);
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(i.run(&[]).unwrap(), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn storing_vas_pointer_into_other_vas_traps() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let q = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Malloc { dst: q, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: q, val: p });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(
+            i.run(&[]).unwrap_err(),
+            Trap::UnsafeStore { value_region: Region::Vas(v0()), target_region: Region::Vas(VasName(1)) }
+        );
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        // callee(a) { return a } — main passes 7 through.
+        let mut m = Module::new();
+        let mut main = Function::new("main", 0);
+        let c = main.fresh_reg();
+        let r = main.fresh_reg();
+        main.push(BlockId(0), Inst::Const { dst: c, value: 7 });
+        main.push(BlockId(0), Inst::Call { dst: Some(r), func: FuncId(1), args: vec![c] });
+        main.push(BlockId(0), Inst::Ret(Some(r)));
+        let mut callee = Function::new("id", 1);
+        let a = callee.params[0];
+        callee.push(BlockId(0), Inst::Ret(Some(a)));
+        m.add_function(main);
+        m.add_function(callee);
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(i.run(&[]).unwrap(), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn loop_with_phi_and_condbr() {
+        // i = 0; while (i != 3) i++; ret i — via phi + manual "not equal".
+        // We lack arithmetic, so emulate the loop with a chain of copies:
+        // x = phi(entry: zero, body: three); cond chooses path once.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 1);
+        let cond = f.params[0];
+        let zero = f.fresh_reg();
+        let three = f.fresh_reg();
+        let x = f.fresh_reg();
+        let body = f.add_block();
+        let join = f.add_block();
+        f.push(BlockId(0), Inst::Const { dst: zero, value: 0 });
+        f.push(BlockId(0), Inst::Const { dst: three, value: 3 });
+        f.push(BlockId(0), Inst::CondBr { cond, then_bb: body, else_bb: join });
+        f.push(body, Inst::Br(join));
+        f.push_phi(join, crate::ir::Phi { dst: x, incomings: vec![(BlockId(0), zero), (body, three)] });
+        f.push(join, Inst::Ret(Some(x)));
+        m.add_function(f);
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(i.run(&[1]).unwrap(), Some(Value::Int(3)), "via body");
+        let mut i2 = Interp::new(&m, v0());
+        assert_eq!(i2.run(&[0]).unwrap(), Some(Value::Int(0)), "direct");
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let head = f.add_block();
+        f.push(BlockId(0), Inst::Br(head));
+        f.push(head, Inst::Br(head));
+        m.add_function(f);
+        let mut i = Interp::new(&m, v0()).with_step_limit(100);
+        assert_eq!(i.run(&[]).unwrap_err(), Trap::StepLimit);
+    }
+
+    #[test]
+    fn undefined_register_trap() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let ghost = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Load { dst: x, addr: ghost });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let mut i = Interp::new(&m, v0());
+        assert_eq!(i.run(&[]).unwrap_err(), Trap::UndefinedRegister(ghost));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based test of the safety tool chain: on arbitrary
+//! straight-line multi-VAS programs, the static analysis + inserted
+//! checks must be *sound* — an instrumented program never commits an
+//! unsafe access (it traps at a check first), and instrumentation never
+//! breaks a program that is safe.
+
+use proptest::prelude::*;
+use sjmp_safety::analysis::Analysis;
+use sjmp_safety::checks::{insert_checks, CheckPolicy};
+use sjmp_safety::interp::{Interp, Trap};
+use sjmp_safety::ir::{AbstractVas, BlockId, Function, Inst, Module, VasName};
+
+/// Program-generator actions: a tiny straight-line language that can
+/// produce both safe and unsafe programs.
+#[derive(Debug, Clone)]
+enum Action {
+    Switch(u32),
+    Malloc,
+    Alloca,
+    /// Store a constant through the i-th pointer (if any).
+    StoreConst(usize),
+    /// Load through the i-th pointer.
+    Load(usize),
+    /// Store the j-th pointer through the i-th pointer.
+    StorePtr(usize, usize),
+    /// Copy the i-th pointer to a new register.
+    CopyPtr(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u32..3).prop_map(Action::Switch),
+        Just(Action::Malloc),
+        Just(Action::Alloca),
+        any::<usize>().prop_map(Action::StoreConst),
+        any::<usize>().prop_map(Action::Load),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Action::StorePtr(a, b)),
+        any::<usize>().prop_map(Action::CopyPtr),
+    ]
+}
+
+fn build(actions: &[Action]) -> Module {
+    let mut m = Module::new();
+    let mut f = Function::new("main", 0);
+    let c = f.fresh_reg();
+    f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
+    let mut ptrs = Vec::new();
+    // Seed one pointer so index-based actions always have a target.
+    let seed = f.fresh_reg();
+    f.push(BlockId(0), Inst::Malloc { dst: seed, size: 64 });
+    f.push(BlockId(0), Inst::Store { addr: seed, val: c });
+    ptrs.push(seed);
+    for a in actions {
+        match a {
+            Action::Switch(v) => f.push(BlockId(0), Inst::Switch(VasName(*v))),
+            Action::Malloc => {
+                let p = f.fresh_reg();
+                f.push(BlockId(0), Inst::Malloc { dst: p, size: 64 });
+                // Initialize so later loads are defined.
+                f.push(BlockId(0), Inst::Store { addr: p, val: c });
+                ptrs.push(p);
+            }
+            Action::Alloca => {
+                let p = f.fresh_reg();
+                f.push(BlockId(0), Inst::Alloca { dst: p, size: 64 });
+                f.push(BlockId(0), Inst::Store { addr: p, val: c });
+                ptrs.push(p);
+            }
+            Action::StoreConst(i) => {
+                let p = ptrs[i % ptrs.len()];
+                f.push(BlockId(0), Inst::Store { addr: p, val: c });
+            }
+            Action::Load(i) => {
+                let p = ptrs[i % ptrs.len()];
+                let x = f.fresh_reg();
+                f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+            }
+            Action::StorePtr(i, j) => {
+                let p = ptrs[i % ptrs.len()];
+                let v = ptrs[j % ptrs.len()];
+                f.push(BlockId(0), Inst::Store { addr: p, val: v });
+            }
+            Action::CopyPtr(i) => {
+                let p = ptrs[i % ptrs.len()];
+                let q = f.fresh_reg();
+                f.push(BlockId(0), Inst::Copy { dst: q, src: p });
+                ptrs.push(q);
+            }
+        }
+    }
+    f.push(BlockId(0), Inst::Ret(None));
+    m.add_function(f);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn instrumentation_is_sound(actions in prop::collection::vec(action_strategy(), 0..60)) {
+        let module = build(&actions);
+        let entry: sjmp_safety::VasSet =
+            [AbstractVas::Vas(VasName(0))].into_iter().collect();
+
+        // Ground truth: run uninstrumented.
+        let mut plain = Interp::new(&module, VasName(0)).with_step_limit(100_000);
+        let plain_result = plain.run(&[]);
+
+        // Instrumented run.
+        let analysis = Analysis::run(&module, entry);
+        let mut instrumented = module.clone();
+        insert_checks(&mut instrumented, &analysis, CheckPolicy::Analyzed);
+        let mut checked = Interp::new(&instrumented, VasName(0)).with_step_limit(200_000);
+        let checked_result = checked.run(&[]);
+
+        match plain_result {
+            // Safe program: instrumentation must not change the outcome.
+            Ok(v) => prop_assert_eq!(checked_result, Ok(v)),
+            // Unsafe program: the instrumented version must stop at a
+            // check *before* committing the unsafe access.
+            Err(Trap::UnsafeDeref { .. }) | Err(Trap::UnsafeStore { .. }) => {
+                let stopped_at_check = matches!(checked_result, Err(Trap::CheckFailed { .. }));
+                prop_assert!(
+                    stopped_at_check,
+                    "unsafe access not intercepted: {checked_result:?}"
+                );
+            }
+            // Any other trap (e.g. uninitialized read) must reproduce.
+            Err(other) => prop_assert_eq!(checked_result, Err(other)),
+        }
+    }
+
+    #[test]
+    fn naive_policy_is_also_sound_and_never_cheaper(
+        actions in prop::collection::vec(action_strategy(), 0..40)
+    ) {
+        let module = build(&actions);
+        let entry: sjmp_safety::VasSet =
+            [AbstractVas::Vas(VasName(0))].into_iter().collect();
+        let analysis = Analysis::run(&module, entry);
+        let mut naive = module.clone();
+        let naive_report = insert_checks(&mut naive, &analysis, CheckPolicy::Naive);
+        let mut analyzed = module.clone();
+        let analyzed_report = insert_checks(&mut analyzed, &analysis, CheckPolicy::Analyzed);
+        prop_assert!(analyzed_report.deref_checks <= naive_report.deref_checks);
+        prop_assert!(analyzed.check_count() <= naive.check_count());
+    }
+}

@@ -1,0 +1,77 @@
+//! Sandboxing with address spaces (a Section 7 application: "using
+//! different address spaces to limit access only to trusted code").
+//!
+//! A host process keeps secrets in one VAS and runs an untrusted plugin
+//! against another, restricted VAS that contains only an exchange
+//! segment. Isolation holds on three levels: ACLs keep the plugin from
+//! attaching the secret VAS at all; inside its sandbox the secret's
+//! addresses simply do not translate; and on Barrelfish the host can
+//! revoke the plugin's root-page-table capability at any time, cutting
+//! it off mid-flight.
+//!
+//! Run with: `cargo run --example sandbox`
+
+use spacejmp::prelude::*;
+
+fn main() -> SjResult<()> {
+    // Barrelfish flavor: switches are capability invocations.
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::Barrelfish, Machine::M2));
+
+    let host = sj.kernel_mut().spawn("host", Creds::new(10, 10))?;
+    let plugin = sj.kernel_mut().spawn("plugin", Creds::new(6666, 6666))?;
+    sj.kernel_mut().activate(host)?;
+    sj.kernel_mut().activate(plugin)?;
+
+    // The host's secret VAS: owner-only permissions.
+    let secret_va = VirtAddr::new(0x1000_0000_0000);
+    let secret_vid = sj.vas_create(host, "host-secrets", Mode(0o600))?;
+    let secret_sid = sj.seg_alloc(host, "secret-seg", secret_va, 1 << 20, Mode(0o600))?;
+    sj.seg_attach(host, secret_vid, secret_sid, AttachMode::ReadWrite)?;
+    let host_vh = sj.vas_attach(host, secret_vid)?;
+    sj.vas_switch(host, host_vh)?;
+    sj.kernel_mut().store_u64(host, secret_va, 0x5EC237)?;
+    sj.vas_switch_home(host)?;
+    println!("host:    stored a secret in 'host-secrets' (mode 600)");
+
+    // The sandbox VAS: world-readable exchange segment in its own slot.
+    let exch_va = VirtAddr::new(0x1080_0000_0000);
+    let sandbox_vid = sj.vas_create(host, "sandbox", Mode(0o666))?;
+    let exch_sid = sj.seg_alloc(host, "exchange-seg", exch_va, 64 << 10, Mode(0o666))?;
+    sj.seg_attach(host, sandbox_vid, exch_sid, AttachMode::ReadWrite)?;
+
+    // Layer 1: the ACL stops the plugin from even attaching the secrets.
+    match sj.vas_attach(plugin, secret_vid) {
+        Err(SjError::PermissionDenied) => println!("plugin:  attach('host-secrets') -> permission denied"),
+        other => panic!("expected denial, got {other:?}"),
+    }
+
+    // The plugin runs inside the sandbox and uses the exchange segment.
+    let plugin_vh = sj.vas_attach(plugin, sandbox_vid)?;
+    sj.vas_switch(plugin, plugin_vh)?;
+    sj.kernel_mut().store_u64(plugin, exch_va, 0x9E110)?;
+    println!("plugin:  wrote a request into the exchange segment");
+
+    // Layer 2: inside the sandbox, the secret's address does not exist.
+    match sj.kernel_mut().load_u64(plugin, secret_va) {
+        Err(e) => println!("plugin:  load(secret address) -> {e}"),
+        Ok(v) => panic!("isolation broken: read {v:#x}"),
+    }
+    sj.vas_switch_home(plugin)?;
+
+    // The host serves the request from its side.
+    let host_sandbox_vh = sj.vas_attach(host, sandbox_vid)?;
+    sj.vas_switch(host, host_sandbox_vh)?;
+    let req = sj.kernel_mut().load_u64(host, exch_va)?;
+    sj.kernel_mut().store_u64(host, exch_va.add(8), req + 1)?;
+    sj.vas_switch_home(host)?;
+    println!("host:    served request {req:#x} through the exchange segment");
+
+    // Layer 3 (Barrelfish): revoke the plugin's root-page-table
+    // capability — it can never switch into the sandbox again.
+    sj.revoke_attachment(host, plugin_vh)?;
+    match sj.vas_switch(plugin, plugin_vh) {
+        Err(e) => println!("plugin:  switch after revocation -> {e}"),
+        Ok(()) => panic!("revocation did not hold"),
+    }
+    Ok(())
+}

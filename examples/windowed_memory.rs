@@ -1,0 +1,66 @@
+//! Addressing more memory than the virtual address space exposes
+//! (Section 5.2's motivation, the GUPS pattern).
+//!
+//! One process addresses a "huge" logical table by splitting it into
+//! windows, one VAS per window, all mapped at the *same* virtual address
+//! — so a single pointer expression reaches any part of the table after
+//! a cheap switch, with no remapping on the critical path.
+//!
+//! Run with: `cargo run --example windowed_memory`
+
+use spacejmp::prelude::*;
+
+const WINDOWS: usize = 8;
+const WINDOW_BYTES: u64 = 4 << 20;
+const WINDOW_VA: u64 = 0x1000_0000_0000;
+
+fn main() -> SjResult<()> {
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M3));
+    let pid = sj.kernel_mut().spawn("windowed", Creds::new(1, 1))?;
+
+    // Build one VAS + segment per window. Every segment sits at the same
+    // virtual base — in one traditional address space they would
+    // conflict; as separate VASes they coexist.
+    let mut windows = Vec::new();
+    for w in 0..WINDOWS {
+        let vid = sj.vas_create(pid, &format!("window-{w}"), Mode(0o600))?;
+        let sid = sj.seg_alloc(
+            pid,
+            &format!("window-seg-{w}"),
+            VirtAddr::new(WINDOW_VA),
+            WINDOW_BYTES,
+            Mode(0o600),
+        )?;
+        sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)?;
+        windows.push(sj.vas_attach(pid, vid)?);
+    }
+    println!(
+        "one process, {} windows x {} MiB at the same VA {:#x} = {} MiB of reach",
+        WINDOWS,
+        WINDOW_BYTES >> 20,
+        WINDOW_VA,
+        (WINDOWS as u64 * WINDOW_BYTES) >> 20
+    );
+
+    // Write a signature into every window through the same pointer.
+    let slot = VirtAddr::new(WINDOW_VA + 0x100);
+    for (w, vh) in windows.iter().enumerate() {
+        sj.vas_switch(pid, *vh)?;
+        sj.kernel_mut().store_u64(pid, slot, 0xA0u64 + w as u64)?;
+        sj.vas_switch_home(pid)?;
+    }
+
+    // Read them back, counting cycles per switch.
+    let clock = sj.kernel().clock().clone();
+    let t0 = clock.now();
+    for (w, vh) in windows.iter().enumerate() {
+        sj.vas_switch(pid, *vh)?;
+        let v = sj.kernel_mut().load_u64(pid, slot)?;
+        assert_eq!(v, 0xA0u64 + w as u64);
+        sj.vas_switch_home(pid)?;
+    }
+    let per_round_trip = clock.since(t0) / WINDOWS as u64;
+    println!("window round trip (switch in + load + switch home): ~{per_round_trip} cycles");
+    println!("compare: remapping a window with mmap costs ~100x more (see fig8_gups)");
+    Ok(())
+}
