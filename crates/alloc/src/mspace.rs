@@ -280,7 +280,8 @@ impl<M: MemAccess> Mspace<M> {
     /// live allocation.
     pub fn free(&mut self, ptr: u64) -> Result<(), AllocError> {
         let mut c = ptr.wrapping_sub(8);
-        if ptr < HDR_END + 8 || ptr >= self.total || !ptr.is_multiple_of(8) || !c.is_multiple_of(16) {
+        if ptr < HDR_END + 8 || ptr >= self.total || !ptr.is_multiple_of(8) || !c.is_multiple_of(16)
+        {
             return Err(AllocError::BadPointer(ptr));
         }
         let h = self.header(c);
@@ -292,7 +293,8 @@ impl<M: MemAccess> Mspace<M> {
             return Err(AllocError::BadPointer(ptr));
         }
         let live = self.mem.read_u64(OFF_LIVE);
-        self.mem.write_u64(OFF_LIVE, live.saturating_sub(size - OVERHEAD));
+        self.mem
+            .write_u64(OFF_LIVE, live.saturating_sub(size - OVERHEAD));
         let n = self.mem.read_u64(OFF_COUNT);
         self.mem.write_u64(OFF_COUNT, n.saturating_sub(1));
         // Coalesce with next chunk.
@@ -427,11 +429,17 @@ impl<M: MemAccess> Mspace<M> {
             let h = self.header(c);
             let size = h & SIZE_MASK;
             assert!(size >= MIN_CHUNK, "chunk at {c} too small: {size}");
-            assert!(c + size <= self.total - 16 + MIN_CHUNK, "chunk at {c} overruns");
+            assert!(
+                c + size <= self.total - 16 + MIN_CHUNK,
+                "chunk at {c} overruns"
+            );
             let footer = self.mem.read_u64(c + size - 8);
             assert_eq!(footer, h, "boundary tags disagree at {c}");
             let is_free = h & IN_USE == 0;
-            assert!(!(prev_free && is_free), "adjacent free chunks at {c} not coalesced");
+            assert!(
+                !(prev_free && is_free),
+                "adjacent free chunks at {c} not coalesced"
+            );
             prev_free = is_free;
             c += size;
             count += 1;
@@ -457,7 +465,10 @@ mod tests {
         let mut re = Mspace::attach(mem).unwrap();
         assert_eq!(re.allocation_count(), 0);
         assert!(Mspace::attach(VecMem::new(4096)).is_err());
-        assert!(matches!(Mspace::format(VecMem::new(100)), Err(AllocError::TooSmall)));
+        assert!(matches!(
+            Mspace::format(VecMem::new(100)),
+            Err(AllocError::TooSmall)
+        ));
     }
 
     #[test]

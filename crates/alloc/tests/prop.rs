@@ -1,10 +1,14 @@
-//! Property-based tests for the mspace allocator: arbitrary
+//! Randomized tests for the mspace allocator: arbitrary
 //! malloc/free/realloc sequences must preserve the boundary-tag
 //! invariants, never hand out overlapping memory, and account bytes
 //! exactly.
+//!
+//! Sequences are generated from fixed seeds with [`SimRng`], so every
+//! run explores the same cases and any failure replays exactly (the
+//! offline replacement for the former proptest harness).
 
-use proptest::prelude::*;
-use sjmp_alloc::{Mspace, VecMem};
+use sjmp_alloc::{MemAccess, Mspace, VecMem};
+use sjmp_mem::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,20 +20,23 @@ enum Op {
     Realloc(usize, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..2000).prop_map(Op::Malloc),
-        (1u64..500).prop_map(Op::Calloc),
-        any::<usize>().prop_map(Op::Free),
-        (any::<usize>(), 1u64..1500).prop_map(|(i, s)| Op::Realloc(i, s)),
-    ]
+fn random_ops(rng: &mut SimRng, count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => Op::Malloc(rng.gen_range(1..2000)),
+            1 => Op::Calloc(rng.gen_range(1..500)),
+            2 => Op::Free(rng.index(1 << 16)),
+            _ => Op::Realloc(rng.index(1 << 16), rng.gen_range(1..1500)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_sequences_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn random_sequences_preserve_invariants() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let op_count = rng.index(119) + 1;
+        let ops = random_ops(&mut rng, op_count);
         let mut ms = Mspace::format(VecMem::new(256 * 1024)).unwrap();
         // (ptr, usable_size) of live allocations.
         let mut live: Vec<(u64, u64)> = Vec::new();
@@ -37,15 +44,22 @@ proptest! {
             match op {
                 Op::Malloc(size) | Op::Calloc(size) => {
                     let zeroed = matches!(op, Op::Calloc(_));
-                    let result = if zeroed { ms.calloc(size) } else { ms.malloc(size) };
+                    let result = if zeroed {
+                        ms.calloc(size)
+                    } else {
+                        ms.malloc(size)
+                    };
                     if let Ok(p) = result {
                         let usable = ms.usable_size(p).unwrap();
-                        prop_assert!(usable >= size, "usable {usable} < requested {size}");
+                        assert!(
+                            usable >= size,
+                            "seed {seed}: usable {usable} < requested {size}"
+                        );
                         // No overlap with any live allocation.
                         for &(q, qs) in &live {
-                            prop_assert!(
+                            assert!(
                                 p + usable <= q || q + qs <= p,
-                                "overlap: [{p}, +{usable}) vs [{q}, +{qs})"
+                                "seed {seed}: overlap [{p}, +{usable}) vs [{q}, +{qs})"
                             );
                         }
                         live.push((p, usable));
@@ -63,7 +77,7 @@ proptest! {
                         let (p, _) = live[idx];
                         if let Ok(q) = ms.realloc(p, new_size) {
                             let usable = ms.usable_size(q).unwrap();
-                            prop_assert!(usable >= new_size);
+                            assert!(usable >= new_size, "seed {seed}");
                             live[idx] = (q, usable);
                         }
                     }
@@ -71,29 +85,42 @@ proptest! {
             }
         }
         ms.check_invariants();
-        prop_assert_eq!(ms.allocation_count(), live.len() as u64);
+        assert_eq!(ms.allocation_count(), live.len() as u64, "seed {seed}");
         for (p, _) in live {
             ms.free(p).unwrap();
         }
-        prop_assert_eq!(ms.allocated_bytes(), 0);
+        assert_eq!(ms.allocated_bytes(), 0, "seed {seed}");
         ms.check_invariants();
     }
+}
 
-    #[test]
-    fn full_drain_returns_all_memory(sizes in prop::collection::vec(1u64..800, 1..60)) {
+#[test]
+fn full_drain_returns_all_memory() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xd0a1);
+        let sizes: Vec<u64> = (0..rng.index(59) + 1)
+            .map(|_| rng.gen_range(1..800))
+            .collect();
         let mut ms = Mspace::format(VecMem::new(128 * 1024)).unwrap();
         let baseline = ms.free_bytes();
         let ptrs: Vec<u64> = sizes.iter().filter_map(|&s| ms.malloc(s).ok()).collect();
         for p in ptrs {
             ms.free(p).unwrap();
         }
-        prop_assert_eq!(ms.free_bytes(), baseline, "all memory coalesced back");
+        assert_eq!(
+            ms.free_bytes(),
+            baseline,
+            "seed {seed}: all memory coalesced back"
+        );
         ms.check_invariants();
     }
+}
 
-    #[test]
-    fn data_integrity_across_churn(seed_vals in prop::collection::vec(any::<u64>(), 4..32)) {
-        use sjmp_alloc::MemAccess;
+#[test]
+fn data_integrity_across_churn() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xc4a2);
+        let seed_vals: Vec<u64> = (0..rng.index(28) + 4).map(|_| rng.next_u64()).collect();
         let mut ms = Mspace::format(VecMem::new(64 * 1024)).unwrap();
         // Write a distinct value into each allocation, churn, verify.
         let mut slots = Vec::new();
@@ -115,7 +142,11 @@ proptest! {
             let _ = ms.malloc((i as u64 % 7 + 1) * 40);
         }
         for (p, v) in kept {
-            prop_assert_eq!(ms.mem_mut().read_u64(p), v, "surviving allocation corrupted");
+            assert_eq!(
+                ms.mem_mut().read_u64(p),
+                v,
+                "seed {seed}: surviving allocation corrupted"
+            );
         }
         ms.check_invariants();
     }

@@ -16,7 +16,11 @@ use sjmp_kv::{run_jmp, KvBenchConfig};
 
 fn main() {
     let quick = quick_mode();
-    let clients: &[usize] = if quick { &[1, 12, 48] } else { &[1, 4, 12, 24, 48, 100] };
+    let clients: &[usize] = if quick {
+        &[1, 12, 48]
+    } else {
+        &[1, 4, 12, 24, 48, 100]
+    };
     // (label, per-waiter handoff bounce in cycles)
     let designs: &[(&str, u64)] = &[
         ("queue lock (paper)", 150),

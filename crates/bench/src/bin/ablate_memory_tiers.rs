@@ -19,14 +19,18 @@ use spacejmp_core::{AttachMode, MemTier, SpaceJmp, VasHeap};
 fn run(tier: MemTier, nodes: u64) -> (f64, f64, f64) {
     let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
     sj.kernel_mut().set_nvm_tier(1 << 30);
-    let pid = sj.kernel_mut().spawn("tiered", Creds::new(1, 1)).expect("spawn");
+    let pid = sj
+        .kernel_mut()
+        .spawn("tiered", Creds::new(1, 1))
+        .expect("spawn");
     sj.kernel_mut().activate(pid).expect("activate");
     let base = VirtAddr::new(0x1000_0000_0000);
     let vid = sj.vas_create(pid, "tier-vas", Mode(0o600)).expect("vas");
     let sid = sj
         .seg_alloc_tier(pid, "tier-seg", base, 8 << 20, Mode(0o600), tier)
         .expect("seg");
-    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).expect("attach");
+    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)
+        .expect("attach");
     let vh = sj.vas_attach(pid, vid).expect("vh");
     sj.vas_switch(pid, vh).expect("switch");
     let heap = VasHeap::format(&mut sj, pid, sid).expect("heap");
@@ -41,7 +45,9 @@ fn run(tier: MemTier, nodes: u64) -> (f64, f64, f64) {
     for v in 0..nodes {
         let node = heap.malloc(&mut sj, pid, 16).expect("malloc");
         sj.kernel_mut().store_u64(pid, node, v).expect("store");
-        sj.kernel_mut().store_u64(pid, node.add(8), next.raw()).expect("store");
+        sj.kernel_mut()
+            .store_u64(pid, node.add(8), next.raw())
+            .expect("store");
         next = node;
     }
     heap.set_root(&mut sj, pid, next).expect("root");
@@ -72,12 +78,30 @@ fn run(tier: MemTier, nodes: u64) -> (f64, f64, f64) {
 
 fn main() {
     let nodes = 20_000;
-    heading(&format!("Memory-tier ablation: {nodes}-node linked list in a segment (us, M2)"));
+    heading(&format!(
+        "Memory-tier ablation: {nodes}-node linked list in a segment (us, M2)"
+    ));
     row(&["tier", "build", "walk", "update"], &[6, 10, 10, 10]);
     let (db, dw, du) = run(MemTier::Dram, nodes);
     let (nb, nw, nu) = run(MemTier::Nvm, nodes);
-    row(&["DRAM".to_string(), format!("{db:.1}"), format!("{dw:.1}"), format!("{du:.1}")], &[6, 10, 10, 10]);
-    row(&["NVM".to_string(), format!("{nb:.1}"), format!("{nw:.1}"), format!("{nu:.1}")], &[6, 10, 10, 10]);
+    row(
+        &[
+            "DRAM".to_string(),
+            format!("{db:.1}"),
+            format!("{dw:.1}"),
+            format!("{du:.1}"),
+        ],
+        &[6, 10, 10, 10],
+    );
+    row(
+        &[
+            "NVM".to_string(),
+            format!("{nb:.1}"),
+            format!("{nw:.1}"),
+            format!("{nu:.1}"),
+        ],
+        &[6, 10, 10, 10],
+    );
     row(
         &[
             "ratio".to_string(),

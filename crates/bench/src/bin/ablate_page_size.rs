@@ -24,7 +24,9 @@ fn measure(size: u64, page: PageSize) -> Option<f64> {
     let t0 = kernel.clock().now();
     match page {
         PageSize::Size4K => kernel.sys_mmap(pid, size, flags, false).map(|_| ()),
-        _ => kernel.sys_mmap_sized(pid, size, flags, false, page).map(|_| ()),
+        _ => kernel
+            .sys_mmap_sized(pid, size, flags, false, page)
+            .map(|_| ()),
     }
     .expect("mmap");
     Some(profile.cycles_to_secs(kernel.clock().since(t0)) * 1e3)
@@ -33,7 +35,10 @@ fn measure(size: u64, page: PageSize) -> Option<f64> {
 fn main() {
     let hi = if quick_mode() { 27 } else { 33 };
     heading("Page-size ablation: mmap construction cost (ms, M2)");
-    row(&["size", "4KiB pages", "2MiB pages", "1GiB pages"], &[8, 12, 12, 12]);
+    row(
+        &["size", "4KiB pages", "2MiB pages", "1GiB pages"],
+        &[8, 12, 12, 12],
+    );
     for size in pow2_ticks(21, hi, 2) {
         let fmt = |v: Option<f64>| v.map(|ms| format!("{ms:.4}")).unwrap_or_else(|| "-".into());
         row(

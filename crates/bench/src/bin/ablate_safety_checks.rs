@@ -117,7 +117,15 @@ fn report(name: &str, module: &Module) {
 fn main() {
     heading("Safety-check ablation: naive vs dataflow-pruned instrumentation");
     row(
-        &["program", "mem ops", "naive checks", "pruned checks", "ratio", "naive cyc", "pruned cyc"],
+        &[
+            "program",
+            "mem ops",
+            "naive checks",
+            "pruned checks",
+            "ratio",
+            "naive cyc",
+            "pruned cyc",
+        ],
         &[14, 8, 12, 14, 8, 12, 14],
     );
     report("single-vas", &single_vas_program(500));

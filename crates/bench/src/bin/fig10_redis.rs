@@ -29,15 +29,28 @@ fn kfmt(rps: f64) -> String {
 
 fn fig10a(quick: bool) {
     heading("Figure 10a: GET throughput vs clients (M1, requests/second)");
-    row(&["clients", "RedisJMP", "RedisJMP(tags)", "Redis", "Redis 6x"], &[8, 10, 14, 10, 10]);
-    let clients: &[usize] = if quick { &[1, 8, 24] } else { &[1, 2, 4, 8, 12, 16, 24, 48, 100] };
+    row(
+        &["clients", "RedisJMP", "RedisJMP(tags)", "Redis", "Redis 6x"],
+        &[8, 10, 14, 10, 10],
+    );
+    let clients: &[usize] = if quick {
+        &[1, 8, 24]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 24, 48, 100]
+    };
     for &n in clients {
         let jmp = run_jmp(&cfg(n, 0, false, quick)).expect("jmp");
         let tags = run_jmp(&cfg(n, 0, true, quick)).expect("tags");
         let redis = run_classic(&cfg(n, 0, false, quick), 1).expect("redis");
         let redis6 = run_classic(&cfg(n, 0, false, quick), 6).expect("redis6");
         row(
-            &[n.to_string(), kfmt(jmp.rps), kfmt(tags.rps), kfmt(redis.rps), kfmt(redis6.rps)],
+            &[
+                n.to_string(),
+                kfmt(jmp.rps),
+                kfmt(tags.rps),
+                kfmt(redis.rps),
+                kfmt(redis6.rps),
+            ],
             &[8, 10, 14, 10, 10],
         );
     }
@@ -46,28 +59,45 @@ fn fig10a(quick: bool) {
 fn fig10b(quick: bool) {
     heading("Figure 10b: SET throughput vs clients (M1, requests/second)");
     row(&["clients", "RedisJMP", "Redis"], &[8, 10, 10]);
-    let clients: &[usize] = if quick { &[1, 8, 24] } else { &[1, 2, 4, 8, 12, 16, 24, 48, 100] };
+    let clients: &[usize] = if quick {
+        &[1, 8, 24]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 24, 48, 100]
+    };
     for &n in clients {
         let jmp = run_jmp(&cfg(n, 100, false, quick)).expect("jmp");
         let redis = run_classic(&cfg(n, 100, false, quick), 1).expect("redis");
-        row(&[n.to_string(), kfmt(jmp.rps), kfmt(redis.rps)], &[8, 10, 10]);
+        row(
+            &[n.to_string(), kfmt(jmp.rps), kfmt(redis.rps)],
+            &[8, 10, 10],
+        );
     }
 }
 
 fn fig10c(quick: bool) {
     heading("Figure 10c: mixed GET/SET throughput vs SET share (24 clients, M1)");
     row(&["SET %", "RedisJMP", "Redis"], &[8, 10, 10]);
-    let steps: &[u8] = if quick { &[0, 50, 100] } else { &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] };
+    let steps: &[u8] = if quick {
+        &[0, 50, 100]
+    } else {
+        &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    };
     for &pct in steps {
         let jmp = run_jmp(&cfg(24, pct, false, quick)).expect("jmp");
         let redis = run_classic(&cfg(24, pct, false, quick), 1).expect("redis");
-        row(&[pct.to_string(), kfmt(jmp.rps), kfmt(redis.rps)], &[8, 10, 10]);
+        row(
+            &[pct.to_string(), kfmt(jmp.rps), kfmt(redis.rps)],
+            &[8, 10, 10],
+        );
     }
 }
 
 fn main() {
     let quick = quick_mode();
-    let which: Vec<String> = std::env::args().skip(1).filter(|a| a != "--quick").collect();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quick")
+        .collect();
     let all = which.is_empty() || which.iter().any(|w| w == "all");
     if all || which.iter().any(|w| w == "get") {
         fig10a(quick);

@@ -17,12 +17,20 @@ fn main() {
     let sam = run_pipeline(StorageMode::Sam, &cfg).expect("sam");
     let jmp = run_pipeline(StorageMode::SpaceJmp, &cfg).expect("jmp");
 
-    heading(&format!("Figure 11: time normalized to BAM ({} records)", cfg.records));
+    heading(&format!(
+        "Figure 11: time normalized to BAM ({} records)",
+        cfg.records
+    ));
     row(&["op", "BAM", "SAM", "SpaceJMP"], &[16, 8, 8, 10]);
     let rows = [
         ("flagstat", bam.flagstat, sam.flagstat, jmp.flagstat),
         ("qname sort", bam.qname_sort, sam.qname_sort, jmp.qname_sort),
-        ("coordinate sort", bam.coordinate_sort, sam.coordinate_sort, jmp.coordinate_sort),
+        (
+            "coordinate sort",
+            bam.coordinate_sort,
+            sam.coordinate_sort,
+            jmp.coordinate_sort,
+        ),
         ("index", bam.index, sam.index, jmp.index),
     ];
     for (name, b, s, j) in rows {
@@ -41,7 +49,12 @@ fn main() {
     row(&["op", "BAM", "SAM", "SpaceJMP"], &[16, 10, 10, 10]);
     for (name, b, s, j) in rows {
         row(
-            &[name.to_string(), format!("{b:.4}"), format!("{s:.4}"), format!("{j:.4}")],
+            &[
+                name.to_string(),
+                format!("{b:.4}"),
+                format!("{s:.4}"),
+                format!("{j:.4}"),
+            ],
             &[16, 10, 10, 10],
         );
     }

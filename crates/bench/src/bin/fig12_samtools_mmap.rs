@@ -19,7 +19,10 @@ fn main() {
     let mmap = run_pipeline(StorageMode::Mmap, &cfg).expect("mmap");
     let jmp = run_pipeline(StorageMode::SpaceJmp, &cfg).expect("jmp");
 
-    heading(&format!("Figure 12: mmap vs SpaceJMP, absolute simulated seconds ({} records)", cfg.records));
+    heading(&format!(
+        "Figure 12: mmap vs SpaceJMP, absolute simulated seconds ({} records)",
+        cfg.records
+    ));
     row(&["op", "MMAP[s]", "SpaceJMP[s]", "ratio"], &[16, 10, 12, 8]);
     for (name, m, j) in [
         ("flagstat", mmap.flagstat, jmp.flagstat),
@@ -28,7 +31,12 @@ fn main() {
         ("index", mmap.index, jmp.index),
     ] {
         row(
-            &[name.to_string(), format!("{m:.4}"), format!("{j:.4}"), format!("{:.2}", m / j)],
+            &[
+                name.to_string(),
+                format!("{m:.4}"),
+                format!("{j:.4}"),
+                format!("{:.2}", m / j),
+            ],
             &[16, 10, 12, 8],
         );
     }

@@ -27,7 +27,10 @@ fn measure(size: u64, cached: bool) -> (f64, f64) {
 fn main() {
     let hi = if quick_mode() { 27 } else { 35 };
     heading("Figure 1: mmap/munmap latency vs region size (4 KiB pages, M2)");
-    row(&["size", "map[ms]", "unmap[ms]", "map-cached", "unmap-cached"], &[10, 12, 12, 12, 12]);
+    row(
+        &["size", "map[ms]", "unmap[ms]", "map-cached", "unmap-cached"],
+        &[10, 12, 12, 12, 12],
+    );
     for size in pow2_ticks(15, hi, 2) {
         let (map, unmap) = measure(size, false);
         let (map_c, unmap_c) = measure(size, true);

@@ -7,13 +7,10 @@
 //! switch with tags on, and no context switch. Only the touch itself is
 //! timed (CR3 write cost excluded), as in the figure.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sjmp_bench::{heading, quick_mode, row};
 use sjmp_mem::cost::{CostModel, CycleClock, Machine, MachineProfile};
 use sjmp_mem::paging::{self, PteFlags};
-use sjmp_mem::{Asid, Mmu, PhysMem, VirtAddr};
+use sjmp_mem::{Asid, Mmu, PhysMem, SimRng, VirtAddr};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Series {
@@ -40,7 +37,12 @@ fn run(series: Series, pages: u64, iters: u64) -> f64 {
     .expect("map");
 
     let clock = CycleClock::new();
-    let mut mmu = Mmu::new(profile.tlb_entries, profile.tlb_ways, CostModel::default(), clock.clone());
+    let mut mmu = Mmu::new(
+        profile.tlb_entries,
+        profile.tlb_ways,
+        CostModel::default(),
+        clock.clone(),
+    );
     let asid = match series {
         Series::SwitchTagOn => {
             mmu.set_tagging(true);
@@ -49,7 +51,7 @@ fn run(series: Series, pages: u64, iters: u64) -> f64 {
         _ => Asid::UNTAGGED,
     };
     mmu.load_cr3(root, asid);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SimRng::seed_from_u64(42);
     // Warm the TLB with one pass.
     for p in 0..pages {
         mmu.touch(&mut phys, base.add(p * 4096)).expect("warm");
@@ -70,7 +72,10 @@ fn run(series: Series, pages: u64, iters: u64) -> f64 {
 fn main() {
     let iters = if quick_mode() { 2_000 } else { 20_000 };
     heading("Figure 6: page-touch latency vs working set (M3, cycles)");
-    row(&["pages", "switch(tag off)", "switch(tag on)", "no switch"], &[8, 16, 16, 12]);
+    row(
+        &["pages", "switch(tag off)", "switch(tag on)", "no switch"],
+        &[8, 16, 16, 12],
+    );
     for pages in [64u64, 128, 256, 512, 768, 1024, 1536, 2048] {
         let off = run(Series::SwitchTagOff, pages, iters);
         let on = run(Series::SwitchTagOn, pages, iters);

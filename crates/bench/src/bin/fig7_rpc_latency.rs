@@ -26,14 +26,24 @@ fn urpc_round_trip(placement: Placement, size: usize) -> u64 {
 
 fn spacejmp_round_trip(size: usize) -> u64 {
     let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
-    let pid = sj.kernel_mut().spawn("client", Creds::new(1, 1)).expect("spawn");
+    let pid = sj
+        .kernel_mut()
+        .spawn("client", Creds::new(1, 1))
+        .expect("spawn");
     sj.kernel_mut().activate(pid).expect("activate");
     let va = VirtAddr::new(0x1000_0000_0000);
     let vid = sj.vas_create(pid, "server-vas", Mode(0o660)).expect("vas");
     let sid = sj
-        .seg_alloc(pid, "server-data", va, (size as u64).max(4096).next_power_of_two(), Mode(0o660))
+        .seg_alloc(
+            pid,
+            "server-data",
+            va,
+            (size as u64).max(4096).next_power_of_two(),
+            Mode(0o660),
+        )
         .expect("seg");
-    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).expect("attach");
+    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)
+        .expect("attach");
     let vh = sj.vas_attach(pid, vid).expect("vh");
     // Warm attach path, then measure the request: switch in, read the
     // payload into the process-local buffer, switch home.
@@ -53,7 +63,15 @@ fn main() {
         let l = urpc_round_trip(Placement::IntraSocket, size);
         let x = urpc_round_trip(Placement::CrossSocket, size);
         let s = spacejmp_round_trip(size);
-        row(&[human_bytes(size as u64), l.to_string(), x.to_string(), s.to_string()], &[8, 10, 10, 10]);
+        row(
+            &[
+                human_bytes(size as u64),
+                l.to_string(),
+                x.to_string(),
+                s.to_string(),
+            ],
+            &[8, 10, 10, 10],
+        );
     }
     println!("\npaper: SpaceJMP beaten only by intra-socket URPC for small");
     println!("messages; across sockets the interconnect dominates the switch cost");

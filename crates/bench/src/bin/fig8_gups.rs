@@ -9,11 +9,17 @@ use sjmp_gups::{run, Design, GupsConfig};
 
 fn main() {
     let quick = quick_mode();
-    let window_counts: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let window_counts: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
     let epochs = if quick { 64 } else { 256 };
 
     for &updates in &[64usize, 16] {
-        heading(&format!("Figure 8: GUPS MUPS per process (update set {updates}, M3)"));
+        heading(&format!(
+            "Figure 8: GUPS MUPS per process (update set {updates}, M3)"
+        ));
         row(&["windows", "SpaceJMP", "MP", "MAP"], &[8, 10, 10, 10]);
         for &w in window_counts {
             let cfg = GupsConfig {

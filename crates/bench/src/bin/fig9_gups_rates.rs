@@ -9,7 +9,11 @@ use sjmp_gups::{run_jmp, GupsConfig};
 
 fn main() {
     let quick = quick_mode();
-    let window_counts: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let window_counts: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
     let epochs = if quick { 64 } else { 256 };
 
     for &updates in &[64usize, 16] {

@@ -31,7 +31,10 @@ fn measured_switch(flavor: KernelFlavor, tagged: bool) -> u64 {
 
 fn main() {
     heading("Table 1: machine profiles");
-    row(&["name", "memory", "cores", "freq[GHz]", "TLB"], &[6, 10, 6, 10, 6]);
+    row(
+        &["name", "memory", "cores", "freq[GHz]", "TLB"],
+        &[6, 10, 6, 10, 6],
+    );
     for m in [Machine::M1, Machine::M2, Machine::M3] {
         let p = MachineProfile::of(m);
         row(
@@ -65,8 +68,14 @@ fn main() {
         ],
         &[12, 16, 14],
     );
-    let bsd = (measured_switch(KernelFlavor::DragonFly, false), measured_switch(KernelFlavor::DragonFly, true));
-    let bf = (measured_switch(KernelFlavor::Barrelfish, false), measured_switch(KernelFlavor::Barrelfish, true));
+    let bsd = (
+        measured_switch(KernelFlavor::DragonFly, false),
+        measured_switch(KernelFlavor::DragonFly, true),
+    );
+    let bf = (
+        measured_switch(KernelFlavor::Barrelfish, false),
+        measured_switch(KernelFlavor::Barrelfish, true),
+    );
     row(
         &[
             "vas_switch".to_string(),

@@ -43,7 +43,10 @@ pub fn quick_mode() -> bool {
 
 /// Geometric size ticks `2^lo ..= 2^hi`, stepping the exponent.
 pub fn pow2_ticks(lo: u32, hi: u32, step: u32) -> Vec<u64> {
-    (lo..=hi).step_by(step as usize).map(|e| 1u64 << e).collect()
+    (lo..=hi)
+        .step_by(step as usize)
+        .map(|e| 1u64 << e)
+        .collect()
 }
 
 /// Human-readable byte size.

@@ -20,6 +20,11 @@ pub enum SjError {
     /// A lockable segment is held in a conflicting mode; the switch (or
     /// detach) would block.
     WouldBlock,
+    /// Retrying the switch can never succeed: the waits-for graph of
+    /// blocked switchers contains a cycle (every process in it holds a
+    /// segment lock another member needs). Returned by
+    /// `SpaceJmp::vas_switch_retry` instead of spinning forever.
+    Deadlock,
     /// Caller's credentials do not permit the operation.
     PermissionDenied,
     /// Segment address range conflicts with an existing segment or with
@@ -40,6 +45,7 @@ impl fmt::Display for SjError {
             SjError::BadHandle => write!(f, "handle does not belong to caller"),
             SjError::NotAttached => write!(f, "process is not attached to the VAS"),
             SjError::WouldBlock => write!(f, "segment lock held in a conflicting mode"),
+            SjError::Deadlock => write!(f, "switch would deadlock: cyclic segment-lock wait"),
             SjError::PermissionDenied => write!(f, "permission denied"),
             SjError::AddressConflict(what) => write!(f, "address conflict: {what}"),
             SjError::Busy(what) => write!(f, "object busy: {what}"),

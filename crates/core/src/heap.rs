@@ -39,14 +39,20 @@ impl MemAccess for KernelMem<'_> {
     }
 
     fn read_u64(&mut self, offset: u64) -> u64 {
-        assert!(offset + 8 <= self.size, "allocator access out of segment bounds");
+        assert!(
+            offset + 8 <= self.size,
+            "allocator access out of segment bounds"
+        );
         self.kernel
             .load_u64(self.pid, self.base.add(offset))
             .expect("heap segment must be mapped in the current VAS")
     }
 
     fn write_u64(&mut self, offset: u64, value: u64) {
-        assert!(offset + 8 <= self.size, "allocator access out of segment bounds");
+        assert!(
+            offset + 8 <= self.size,
+            "allocator access out of segment bounds"
+        );
         self.kernel
             .store_u64(self.pid, self.base.add(offset), value)
             .expect("heap segment must be mapped writable in the current VAS")
@@ -77,8 +83,13 @@ impl VasHeap {
     pub fn format(sj: &mut SpaceJmp, pid: Pid, sid: SegId) -> SjResult<VasHeap> {
         let (base, size) = Self::segment_extent(sj, sid)?;
         Self::check_mapped(sj, pid, base)?;
-        Mspace::format(KernelMem { kernel: sj.kernel_mut(), pid, base, size })
-            .map_err(alloc_err)?;
+        Mspace::format(KernelMem {
+            kernel: sj.kernel_mut(),
+            pid,
+            base,
+            size,
+        })
+        .map_err(alloc_err)?;
         Ok(VasHeap { sid, base, size })
     }
 
@@ -91,8 +102,13 @@ impl VasHeap {
     pub fn open(sj: &mut SpaceJmp, pid: Pid, sid: SegId) -> SjResult<VasHeap> {
         let (base, size) = Self::segment_extent(sj, sid)?;
         Self::check_mapped(sj, pid, base)?;
-        Mspace::attach(KernelMem { kernel: sj.kernel_mut(), pid, base, size })
-            .map_err(alloc_err)?;
+        Mspace::attach(KernelMem {
+            kernel: sj.kernel_mut(),
+            pid,
+            base,
+            size,
+        })
+        .map_err(alloc_err)?;
         Ok(VasHeap { sid, base, size })
     }
 
@@ -122,8 +138,13 @@ impl VasHeap {
 
     fn mspace<'a>(&self, sj: &'a mut SpaceJmp, pid: Pid) -> SjResult<Mspace<KernelMem<'a>>> {
         Self::check_mapped(sj, pid, self.base)?;
-        Mspace::attach(KernelMem { kernel: sj.kernel_mut(), pid, base: self.base, size: self.size })
-            .map_err(alloc_err)
+        Mspace::attach(KernelMem {
+            kernel: sj.kernel_mut(),
+            pid,
+            base: self.base,
+            size: self.size,
+        })
+        .map_err(alloc_err)
     }
 
     /// Allocates `size` bytes; returns a virtual address valid in any
@@ -169,13 +190,22 @@ impl VasHeap {
     /// # Errors
     ///
     /// As [`Self::malloc`] and [`Self::free`].
-    pub fn realloc(&self, sj: &mut SpaceJmp, pid: Pid, ptr: VirtAddr, size: u64) -> SjResult<VirtAddr> {
+    pub fn realloc(
+        &self,
+        sj: &mut SpaceJmp,
+        pid: Pid,
+        ptr: VirtAddr,
+        size: u64,
+    ) -> SjResult<VirtAddr> {
         if ptr < self.base || ptr >= self.base.add(self.size) {
             return Err(SjError::InvalidArgument("pointer outside heap segment"));
         }
         let base = self.base;
         let off = ptr.offset_from(base);
-        let new = self.mspace(sj, pid)?.realloc(off, size).map_err(alloc_err)?;
+        let new = self
+            .mspace(sj, pid)?
+            .realloc(off, size)
+            .map_err(alloc_err)?;
         Ok(base.add(new))
     }
 
@@ -223,7 +253,9 @@ impl VasHeap {
 
 fn alloc_err(e: AllocError) -> SjError {
     match e {
-        AllocError::OutOfMemory => SjError::Os(sjmp_os::OsError::Mem(sjmp_mem::MemError::OutOfFrames)),
+        AllocError::OutOfMemory => {
+            SjError::Os(sjmp_os::OsError::Mem(sjmp_mem::MemError::OutOfFrames))
+        }
         AllocError::BadMagic => SjError::InvalidArgument("segment holds no heap"),
         AllocError::TooSmall => SjError::InvalidArgument("segment too small for a heap"),
         AllocError::BadPointer(_) => SjError::InvalidArgument("invalid heap pointer"),

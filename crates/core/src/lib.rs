@@ -39,5 +39,5 @@ pub mod vas;
 pub use error::{SjError, SjResult};
 pub use heap::VasHeap;
 pub use segment::{AttachMode, SegId, Segment};
-pub use spacejmp::{MemTier, SegCtl, SjStats, SpaceJmp, VasCtl};
+pub use spacejmp::{MemTier, RetryPolicy, SegCtl, SjStats, SpaceJmp, VasCtl};
 pub use vas::{Attachment, Vas, VasHandle, VasId};

@@ -120,6 +120,11 @@ impl SegLock {
         self.readers.len()
     }
 
+    /// Processes holding the lock shared (waits-for-graph construction).
+    pub fn readers(&self) -> &[Pid] {
+        &self.readers
+    }
+
     /// The writer, if any.
     pub fn writer(&self) -> Option<Pid> {
         self.writer
@@ -282,7 +287,10 @@ mod tests {
         assert!(l.try_acquire(Pid(1), AttachMode::ReadOnly));
         assert!(l.try_acquire(Pid(2), AttachMode::ReadOnly));
         assert_eq!(l.reader_count(), 2);
-        assert!(!l.try_acquire(Pid(3), AttachMode::ReadWrite), "readers block writer");
+        assert!(
+            !l.try_acquire(Pid(3), AttachMode::ReadWrite),
+            "readers block writer"
+        );
         assert_eq!(l.contentions, 1);
         l.release(Pid(1));
         l.release(Pid(2));
@@ -305,8 +313,14 @@ mod tests {
     fn lock_reentrant_same_process() {
         let mut l = SegLock::default();
         assert!(l.try_acquire(Pid(1), AttachMode::ReadWrite));
-        assert!(l.try_acquire(Pid(1), AttachMode::ReadOnly), "own writer may read");
-        assert!(l.try_acquire(Pid(1), AttachMode::ReadWrite), "re-acquire own write");
+        assert!(
+            l.try_acquire(Pid(1), AttachMode::ReadOnly),
+            "own writer may read"
+        );
+        assert!(
+            l.try_acquire(Pid(1), AttachMode::ReadWrite),
+            "re-acquire own write"
+        );
         assert!(l.held_by(Pid(1)));
         l.release(Pid(1));
         assert!(l.is_free(), "release drops all of a process's holds");
@@ -316,11 +330,17 @@ mod tests {
     fn reader_upgrade_only_when_sole_reader() {
         let mut l = SegLock::default();
         assert!(l.try_acquire(Pid(1), AttachMode::ReadOnly));
-        assert!(l.try_acquire(Pid(1), AttachMode::ReadWrite), "sole reader upgrades");
+        assert!(
+            l.try_acquire(Pid(1), AttachMode::ReadWrite),
+            "sole reader upgrades"
+        );
         let mut l2 = SegLock::default();
         assert!(l2.try_acquire(Pid(1), AttachMode::ReadOnly));
         assert!(l2.try_acquire(Pid(2), AttachMode::ReadOnly));
-        assert!(!l2.try_acquire(Pid(1), AttachMode::ReadWrite), "other readers block upgrade");
+        assert!(
+            !l2.try_acquire(Pid(1), AttachMode::ReadWrite),
+            "other readers block upgrade"
+        );
     }
 
     #[test]

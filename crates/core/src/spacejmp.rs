@@ -18,13 +18,16 @@
 //! Table 2 switch decomposition in [`SpaceJmp::vas_switch`], and one
 //! uncontended lock acquisition per lockable segment.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::KernelFlavor;
 use sjmp_mem::{Access, VirtAddr, PAGE_SIZE};
 use sjmp_os::kernel::{GLOBAL_HI, GLOBAL_LO, PRIVATE_HI};
-use sjmp_mem::KernelFlavor;
-use sjmp_os::{Acl, CapKind, CapRights, Capability, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid, Region, VmspaceId};
+use sjmp_os::{
+    Acl, CapKind, CapRights, Capability, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid, Region,
+    VmspaceId,
+};
 
 use crate::error::{SjError, SjResult};
 use crate::segment::{AttachMode, SegId, Segment};
@@ -78,6 +81,38 @@ pub struct SjStats {
     pub lock_acquisitions: u64,
     /// Switch attempts aborted because a lock was contended.
     pub lock_contentions: u64,
+    /// Switches that succeeded only after backoff ([`SpaceJmp::vas_switch_retry`]).
+    pub retried_switches: u64,
+    /// Switch attempts abandoned as deadlocked.
+    pub deadlocks: u64,
+    /// Crashed processes reclaimed with [`SpaceJmp::reap_process`].
+    pub reaps: u64,
+}
+
+/// Backoff schedule for [`SpaceJmp::vas_switch_retry`].
+///
+/// A contended switch waits `base_backoff_cycles << attempt` simulated
+/// cycles (capped at `base_backoff_cycles << max_backoff_shift`) between
+/// attempts, giving the holder time to switch away, and gives up with
+/// [`SjError::WouldBlock`] after `max_retries` failed attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts after the first before giving up.
+    pub max_retries: u32,
+    /// Cycles charged before the first retry.
+    pub base_backoff_cycles: u64,
+    /// Exponential-backoff cap: shift never exceeds this.
+    pub max_backoff_shift: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 16,
+            base_backoff_cycles: 256,
+            max_backoff_shift: 10,
+        }
+    }
 }
 
 /// The SpaceJMP service: kernel + VAS/segment registries.
@@ -117,6 +152,12 @@ pub struct SpaceJmp {
     /// The VAS each process is currently switched into (absent = its
     /// original, spawn-time address space).
     current: HashMap<Pid, VasHandle>,
+    /// Processes blocked on a contended switch and the attachment they
+    /// want — the nodes of the waits-for graph. A process stays
+    /// registered while its switch keeps failing (including between
+    /// [`SpaceJmp::vas_switch_retry`] calls that gave up) and is removed
+    /// when a switch succeeds, deadlock is declared, or it dies.
+    waiters: HashMap<Pid, VasHandle>,
     next_vid: u64,
     next_sid: u64,
     next_vh: u64,
@@ -144,6 +185,7 @@ impl SpaceJmp {
             vas_names: HashMap::new(),
             seg_names: HashMap::new(),
             current: HashMap::new(),
+            waiters: HashMap::new(),
             next_vid: 1,
             next_sid: 1,
             next_vh: 1,
@@ -227,8 +269,153 @@ impl SpaceJmp {
         for vh in handles {
             self.vas_detach(pid, vh)?;
         }
+        self.waiters.remove(&pid);
         self.kernel.exit(pid)?;
         Ok(())
+    }
+
+    /// Reclaims a process that died *without* cooperating — crashed mid
+    /// system call ([`OsError::Crashed`]) or was killed while switched
+    /// into a shared VAS. Unlike [`Self::exit_process`] this never runs
+    /// code "as" the dead process: it force-releases every segment lock
+    /// the process holds, unwinds its attachment bookkeeping, and then
+    /// has the kernel reclaim its vmspaces, frames, and ASIDs
+    /// ([`sjmp_os::Kernel::kill`]). Other processes blocked on the dead
+    /// process's locks can switch in afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] if `pid` is unknown (e.g. reaped
+    /// twice).
+    pub fn reap_process(&mut self, pid: Pid) -> SjResult<()> {
+        self.kernel.process(pid)?;
+        // 1. Revoke the corpse's segment locks so blocked switchers can
+        //    make progress.
+        for seg in self.segments.values_mut() {
+            seg.lock_mut().release(pid);
+        }
+        // 2. Unwind SpaceJMP bookkeeping: attachments, VAS membership,
+        //    local segment attach counts, switch/waiter state.
+        let handles: Vec<VasHandle> = self
+            .attachments
+            .iter()
+            .filter(|(_, a)| a.pid == pid)
+            .map(|(h, _)| *h)
+            .collect();
+        for vh in handles {
+            let att = self.attachments.remove(&vh).expect("collected above");
+            if let Some(v) = self.vases.get_mut(&att.vid) {
+                v.remove_attachment(pid);
+            }
+            for (sid, _) in &att.local_segments {
+                if let Some(seg) = self.segments.get_mut(sid) {
+                    seg.drop_attach();
+                }
+            }
+        }
+        self.current.remove(&pid);
+        self.waiters.remove(&pid);
+        // 3. Kernel-level reclamation of vmspaces, frames, and ASIDs.
+        self.kernel.kill(pid)?;
+        self.stats.reaps += 1;
+        Ok(())
+    }
+
+    /// Full-system consistency audit: the kernel-level checks of
+    /// [`sjmp_os::Kernel::check_invariants`] (with every live VAS's
+    /// template root declared as an external page-table tree) plus the
+    /// SpaceJMP-layer invariants. Returns one line per violation; an
+    /// empty vector means the system is consistent. The crash-injection
+    /// harness calls this after every injected fault and reap.
+    pub fn check_invariants(&mut self) -> Vec<String> {
+        let roots: Vec<sjmp_mem::Pfn> = self.vases.values().map(Vas::template_root).collect();
+        let mut problems = self.kernel.check_invariants(&roots);
+
+        // Segment locks may only be held by registered processes (a
+        // reaped process must not leave holds behind; a zombie is still
+        // registered, so its holds are legal until the reap).
+        for seg in self.segments.values() {
+            let lock = seg.lock();
+            let holders = lock
+                .writer()
+                .into_iter()
+                .chain(lock.readers().iter().copied());
+            for pid in holders {
+                if self.kernel.process(pid).is_err() {
+                    problems.push(format!(
+                        "segment {:?} lock held by dead process {pid:?}",
+                        seg.sid()
+                    ));
+                }
+            }
+        }
+
+        // Attachment bookkeeping must be mutually consistent.
+        let mut attach_counts: HashMap<SegId, u64> = HashMap::new();
+        for v in self.vases.values() {
+            for (sid, _) in v.segments() {
+                *attach_counts.entry(*sid).or_insert(0) += 1;
+            }
+            for pid in v.attached_pids() {
+                let vh = v.handle_of(pid).expect("attached_pids yields mapped keys");
+                match self.attachments.get(&vh) {
+                    None => problems.push(format!(
+                        "VAS {:?} records attachment {vh:?} for {pid:?} with no attachment entry",
+                        v.vid()
+                    )),
+                    Some(a) if a.pid != pid || a.vid != v.vid() => problems.push(format!(
+                        "attachment {vh:?} disagrees with VAS {:?} about its owner",
+                        v.vid()
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        for (vh, a) in &self.attachments {
+            if self.kernel.process(a.pid).is_err() {
+                problems.push(format!(
+                    "attachment {vh:?} belongs to dead process {:?}",
+                    a.pid
+                ));
+            }
+            if !self.vases.contains_key(&a.vid) {
+                problems.push(format!(
+                    "attachment {vh:?} references destroyed VAS {:?}",
+                    a.vid
+                ));
+            }
+            for (sid, _) in &a.local_segments {
+                *attach_counts.entry(*sid).or_insert(0) += 1;
+            }
+        }
+        for seg in self.segments.values() {
+            let expected = attach_counts.get(&seg.sid()).copied().unwrap_or(0);
+            if seg.attach_count() != expected {
+                problems.push(format!(
+                    "segment {:?} attach count {} but {} attachments reference it",
+                    seg.sid(),
+                    seg.attach_count(),
+                    expected
+                ));
+            }
+        }
+
+        // Switch and waiter state must point at real attachments of live
+        // processes.
+        for (pid, vh) in self.current.iter().chain(self.waiters.iter()) {
+            match self.attachments.get(vh) {
+                None => problems.push(format!("{pid:?} tracks missing attachment {vh:?}")),
+                Some(a) if a.pid != *pid => {
+                    problems.push(format!(
+                        "{pid:?} tracks attachment {vh:?} owned by {:?}",
+                        a.pid
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+
+        problems
     }
 
     // ---- VAS API ---------------------------------------------------------
@@ -247,13 +434,24 @@ impl SpaceJmp {
         let root = paging::new_root(self.kernel.phys_mut()).map_err(OsError::from)?;
         let vid = VasId(self.next_vid);
         self.next_vid += 1;
-        self.vases.insert(vid, Vas::new(vid, name, Acl::new(creds, mode), root));
+        self.vases
+            .insert(vid, Vas::new(vid, name, Acl::new(creds, mode), root));
         self.vas_names.insert(name.to_string(), vid);
         if self.kernel.flavor() == KernelFlavor::Barrelfish {
             // Barrelfish: the creator receives an object capability from
             // the user-level SpaceJMP service.
-            let cap = Capability::new(CapKind::Object { class: ObjClass::Vas, id: vid.0 }, CapRights::ALL);
-            self.kernel.process_mut(pid)?.cspace_mut().insert(cap).map_err(OsError::from)?;
+            let cap = Capability::new(
+                CapKind::Object {
+                    class: ObjClass::Vas,
+                    id: vid.0,
+                },
+                CapRights::ALL,
+            );
+            self.kernel
+                .process_mut(pid)?
+                .cspace_mut()
+                .insert(cap)
+                .map_err(OsError::from)?;
         }
         Ok(vid)
     }
@@ -317,8 +515,47 @@ impl SpaceJmp {
                 }
             }
         }
-        // Build the per-process vmspace instance.
+        // Build the per-process vmspace instance. A failure mid-build
+        // (resource exhaustion, injected fault) must not leak the
+        // half-built vmspace or its object references.
         let space = self.kernel.create_vmspace()?;
+        let root_cap = match self.vas_attach_build(pid, vid, space) {
+            Ok(cap) => cap,
+            Err(e) => {
+                if let Ok(p) = self.kernel.process_mut(pid) {
+                    p.remove_space(space);
+                }
+                let _ = self.kernel.destroy_vmspace(space);
+                return Err(e);
+            }
+        };
+        let vh = VasHandle(self.next_vh);
+        self.next_vh += 1;
+        self.attachments.insert(
+            vh,
+            Attachment {
+                pid,
+                vid,
+                vmspace: space,
+                local_segments: Vec::new(),
+                root_cap,
+            },
+        );
+        self.vas_mut(vid)?.add_attachment(pid, vh);
+        self.stats.attaches += 1;
+        Ok(vh)
+    }
+
+    /// Populates a freshly created vmspace for an attachment: private
+    /// regions, shared subtree links, the optional ASID, and (Barrelfish)
+    /// the root-table capability. [`Self::vas_attach`] unwinds the
+    /// vmspace if any step fails.
+    fn vas_attach_build(
+        &mut self,
+        pid: Pid,
+        vid: VasId,
+        space: VmspaceId,
+    ) -> SjResult<Option<sjmp_os::CapSlot>> {
         self.remap_private_regions(pid, space)?;
         let (template_root, segs, tag_requested) = {
             let v = self.vas(vid)?;
@@ -334,20 +571,25 @@ impl SpaceJmp {
         self.kernel.process_mut(pid)?.add_space(space);
         // Barrelfish: hand the process a capability to its new root page
         // table; vas_switch will be an invocation of this capability.
-        let root_cap = if self.kernel.flavor() == KernelFlavor::Barrelfish {
+        if self.kernel.flavor() == KernelFlavor::Barrelfish {
             let root = self.kernel.vmspace(space)?.root();
-            let cap = Capability::new(CapKind::PageTable { frame: root, level: 4 }, CapRights::ALL);
-            Some(self.kernel.process_mut(pid)?.cspace_mut().insert(cap).map_err(OsError::from)?)
+            let cap = Capability::new(
+                CapKind::PageTable {
+                    frame: root,
+                    level: 4,
+                },
+                CapRights::ALL,
+            );
+            Ok(Some(
+                self.kernel
+                    .process_mut(pid)?
+                    .cspace_mut()
+                    .insert(cap)
+                    .map_err(OsError::from)?,
+            ))
         } else {
-            None
-        };
-        let vh = VasHandle(self.next_vh);
-        self.next_vh += 1;
-        self.attachments
-            .insert(vh, Attachment { pid, vid, vmspace: space, local_segments: Vec::new(), root_cap });
-        self.vas_mut(vid)?.add_attachment(pid, vh);
-        self.stats.attaches += 1;
-        Ok(vh)
+            Ok(None)
+        }
     }
 
     /// `vas_detach(vh)`: drops the attachment and destroys the private
@@ -402,7 +644,14 @@ impl SpaceJmp {
             self.kernel
                 .process(pid)?
                 .cspace()
-                .check(slot, CapRights { read: true, write: true, grant: false })
+                .check(
+                    slot,
+                    CapRights {
+                        read: true,
+                        write: true,
+                        grant: false,
+                    },
+                )
                 .map_err(|e| SjError::Os(OsError::Cap(e)))?;
         }
         // Collect the lock set for the target VAS.
@@ -444,16 +693,149 @@ impl SpaceJmp {
             }
         }
         self.stats.lock_acquisitions += acquired.len() as u64;
+        // Load the new translation root *before* touching the previous
+        // VAS's lock holds: a mid-switch kernel fault then unwinds exactly
+        // like contention. If the process crashed inside the kernel, its
+        // corpse keeps every lock it holds until `reap_process` runs.
+        if let Err(e) = self.kernel.switch_vmspace(pid, att.vmspace) {
+            if e != OsError::Crashed {
+                for a in acquired {
+                    match self.previous_mode(pid, a) {
+                        Some(prev) => self.segment_mut(a)?.lock_mut().downgrade_to(pid, prev),
+                        None => self.segment_mut(a)?.lock_mut().release(pid),
+                    }
+                }
+            }
+            return Err(e.into());
+        }
         // Release locks of the VAS we are leaving (those not re-acquired),
         // and narrow re-acquired holds to the new mode.
         self.release_current_locks(pid, &lock_set)?;
         for (sid, mode) in &lock_set {
             self.segment_mut(*sid)?.lock_mut().downgrade_to(pid, *mode);
         }
-        self.kernel.switch_vmspace(pid, att.vmspace)?;
         self.current.insert(pid, vh);
+        self.waiters.remove(&pid);
         self.stats.switches += 1;
         Ok(())
+    }
+
+    /// [`Self::vas_switch`] with bounded exponential backoff: the policy
+    /// of every SpaceJMP application that must make progress against
+    /// writers (RedisJMP's client switches, multi-process GUPS).
+    ///
+    /// On contention the caller is registered in the waits-for graph and
+    /// the backoff is charged to the machine clock (the simulated analog
+    /// of sleeping). Before each backoff the graph is checked for cycles.
+    ///
+    /// # Errors
+    ///
+    /// * [`SjError::Deadlock`] if the blocked switchers wait on each
+    ///   other in a cycle — retrying can never succeed; the application
+    ///   must release something (switch home) or a crashed holder must
+    ///   be reaped.
+    /// * [`SjError::WouldBlock`] once `policy.max_retries` attempts all
+    ///   failed; the caller stays registered as a waiter.
+    /// * Everything [`Self::vas_switch`] returns.
+    pub fn vas_switch_retry(
+        &mut self,
+        pid: Pid,
+        vh: VasHandle,
+        policy: &RetryPolicy,
+    ) -> SjResult<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.vas_switch(pid, vh) {
+                Err(SjError::WouldBlock) => {
+                    self.waiters.insert(pid, vh);
+                    if self.wait_cycle_exists(pid) {
+                        self.waiters.remove(&pid);
+                        self.stats.deadlocks += 1;
+                        return Err(SjError::Deadlock);
+                    }
+                    if attempt >= policy.max_retries {
+                        // Give up but stay in the waits-for graph: the
+                        // process is still logically blocked, and other
+                        // waiters must be able to see the edge.
+                        return Err(SjError::WouldBlock);
+                    }
+                    let shift = attempt.min(policy.max_backoff_shift);
+                    self.kernel
+                        .clock()
+                        .advance(policy.base_backoff_cycles << shift);
+                    attempt += 1;
+                }
+                other => {
+                    if other.is_ok() && attempt > 0 {
+                        self.stats.retried_switches += 1;
+                    }
+                    return other;
+                }
+            }
+        }
+    }
+
+    /// The lockable segments (and modes) a switch to `vh` must acquire.
+    fn switch_lock_set(&self, vh: VasHandle) -> Vec<(SegId, AttachMode)> {
+        let Some(att) = self.attachments.get(&vh) else {
+            return Vec::new();
+        };
+        let mut set: Vec<(SegId, AttachMode)> = Vec::new();
+        if let Some(v) = self.vases.get(&att.vid) {
+            set.extend(v.segments().iter().copied());
+        }
+        set.extend(att.local_segments.iter().copied());
+        set.retain(|(sid, _)| self.segments.get(sid).is_some_and(Segment::lockable));
+        set
+    }
+
+    /// Processes whose current hold on `sid` blocks `pid` acquiring in
+    /// `mode` (the edges of the waits-for graph).
+    fn conflicting_holders(&self, pid: Pid, sid: SegId, mode: AttachMode) -> Vec<Pid> {
+        let Some(seg) = self.segments.get(&sid) else {
+            return Vec::new();
+        };
+        let lock = seg.lock();
+        let mut out = Vec::new();
+        if let Some(w) = lock.writer() {
+            if w != pid {
+                out.push(w);
+            }
+        }
+        if mode == AttachMode::ReadWrite {
+            out.extend(lock.readers().iter().copied().filter(|&r| r != pid));
+        }
+        out
+    }
+
+    /// Whether following waits-for edges from `start` reaches a cycle:
+    /// waiter → conflicting lock holder → (if that holder is itself
+    /// blocked) the locks *it* wants, and so on. A process that reaches a
+    /// cycle can never be unblocked by waiting.
+    fn wait_cycle_exists(&self, start: Pid) -> bool {
+        fn visit(sj: &SpaceJmp, node: Pid, stack: &mut Vec<Pid>, done: &mut HashSet<Pid>) -> bool {
+            if stack.contains(&node) {
+                return true;
+            }
+            if !done.insert(node) {
+                return false;
+            }
+            let Some(&vh) = sj.waiters.get(&node) else {
+                return false;
+            };
+            stack.push(node);
+            for (sid, mode) in sj.switch_lock_set(vh) {
+                for holder in sj.conflicting_holders(node, sid, mode) {
+                    if visit(sj, holder, stack, done) {
+                        stack.pop();
+                        return true;
+                    }
+                }
+            }
+            stack.pop();
+            false
+        }
+        visit(self, start, &mut Vec::new(), &mut HashSet::new())
     }
 
     /// Switches `pid` back to its original (spawn-time) address space,
@@ -467,6 +849,7 @@ impl SpaceJmp {
         let home = self.kernel.process(pid)?.initial_space();
         self.kernel.switch_vmspace(pid, home)?;
         self.current.remove(&pid);
+        self.waiters.remove(&pid);
         self.stats.switches += 1;
         Ok(())
     }
@@ -526,7 +909,9 @@ impl SpaceJmp {
             }
         }
         let Some(slot) = att.root_cap else {
-            return Err(SjError::InvalidArgument("revocation requires the Barrelfish flavor"));
+            return Err(SjError::InvalidArgument(
+                "revocation requires the Barrelfish flavor",
+            ));
         };
         self.kernel
             .process_mut(att.pid)?
@@ -592,7 +977,13 @@ impl SpaceJmp {
             if !seg.lock().is_free() {
                 return Err(SjError::Busy("segment lock held during save"));
             }
-            (seg.name().to_string(), seg.base(), seg.size(), seg.acl().mode(), seg.object())
+            (
+                seg.name().to_string(),
+                seg.base(),
+                seg.size(),
+                seg.acl().mode(),
+                seg.object(),
+            )
         };
         let mut out = Vec::with_capacity(size as usize + 64);
         out.extend_from_slice(b"SJMPSEG1");
@@ -604,7 +995,10 @@ impl SpaceJmp {
         let pa = self.kernel.vmobject(object)?.base();
         let start = out.len();
         out.resize(start + size as usize, 0);
-        self.kernel.phys_mut().read_bytes(pa, &mut out[start..]).map_err(OsError::from)?;
+        self.kernel
+            .phys_mut()
+            .read_bytes(pa, &mut out[start..])
+            .map_err(OsError::from)?;
         Ok(out)
     }
 
@@ -627,7 +1021,9 @@ impl SpaceJmp {
         if rest.len() < name_len + 20 {
             return Err(err());
         }
-        let name = std::str::from_utf8(&rest[..name_len]).map_err(|_| err())?.to_string();
+        let name = std::str::from_utf8(&rest[..name_len])
+            .map_err(|_| err())?
+            .to_string();
         let rest = &rest[name_len..];
         let base = VirtAddr::new(u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")));
         let size = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
@@ -641,7 +1037,10 @@ impl SpaceJmp {
             let object = self.segment(sid)?.object();
             self.kernel.vmobject(object)?.base()
         };
-        self.kernel.phys_mut().write_bytes(pa, contents).map_err(OsError::from)?;
+        self.kernel
+            .phys_mut()
+            .write_bytes(pa, contents)
+            .map_err(OsError::from)?;
         Ok(sid)
     }
 
@@ -692,7 +1091,9 @@ impl SpaceJmp {
             return Err(SjError::InvalidArgument("zero-length segment"));
         }
         if !base.is_aligned(PAGE_SIZE) {
-            return Err(SjError::InvalidArgument("segment base must be page aligned"));
+            return Err(SjError::InvalidArgument(
+                "segment base must be page aligned",
+            ));
         }
         let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         if base < GLOBAL_LO || base.add(size) > GLOBAL_HI {
@@ -706,15 +1107,30 @@ impl SpaceJmp {
             MemTier::Dram => self.kernel.alloc_object(size)?,
             MemTier::Nvm => self.kernel.alloc_object_nvm(size)?,
         };
+        // "Physical pages are reserved at the time a segment is created":
+        // the backing object outlives any process mapping it, so process
+        // teardown must never reclaim it.
+        self.kernel.vmobject_mut(object)?.set_pinned(true);
         let sid = SegId(self.next_sid);
         self.next_sid += 1;
-        self.segments
-            .insert(sid, Segment::new(sid, name, base, size, object, Acl::new(creds, mode)));
+        self.segments.insert(
+            sid,
+            Segment::new(sid, name, base, size, object, Acl::new(creds, mode)),
+        );
         self.seg_names.insert(name.to_string(), sid);
         if self.kernel.flavor() == KernelFlavor::Barrelfish {
-            let cap =
-                Capability::new(CapKind::Object { class: ObjClass::Segment, id: sid.0 }, CapRights::ALL);
-            self.kernel.process_mut(pid)?.cspace_mut().insert(cap).map_err(OsError::from)?;
+            let cap = Capability::new(
+                CapKind::Object {
+                    class: ObjClass::Segment,
+                    id: sid.0,
+                },
+                CapRights::ALL,
+            );
+            self.kernel
+                .process_mut(pid)?
+                .cspace_mut()
+                .insert(cap)
+                .map_err(OsError::from)?;
         }
         Ok(sid)
     }
@@ -749,6 +1165,7 @@ impl SpaceJmp {
             return Err(SjError::NameTaken(new_name.to_string()));
         }
         let new_obj = self.kernel.alloc_object(size)?;
+        self.kernel.vmobject_mut(new_obj)?.set_pinned(true);
         // Copy contents frame by frame.
         let (src_pa, dst_pa) = {
             let src = self.kernel.vmobject(src_obj)?.base();
@@ -758,13 +1175,24 @@ impl SpaceJmp {
         let phys = self.kernel.phys_mut();
         let mut buf = vec![0u8; PAGE_SIZE as usize];
         for page in 0..size / PAGE_SIZE {
-            phys.read_bytes(src_pa.add(page * PAGE_SIZE), &mut buf).map_err(OsError::from)?;
-            phys.write_bytes(dst_pa.add(page * PAGE_SIZE), &buf).map_err(OsError::from)?;
+            phys.read_bytes(src_pa.add(page * PAGE_SIZE), &mut buf)
+                .map_err(OsError::from)?;
+            phys.write_bytes(dst_pa.add(page * PAGE_SIZE), &buf)
+                .map_err(OsError::from)?;
         }
         let new_sid = SegId(self.next_sid);
         self.next_sid += 1;
-        self.segments
-            .insert(new_sid, Segment::new(new_sid, new_name, base, size, new_obj, Acl::new(creds, mode)));
+        self.segments.insert(
+            new_sid,
+            Segment::new(
+                new_sid,
+                new_name,
+                base,
+                size,
+                new_obj,
+                Acl::new(creds, mode),
+            ),
+        );
         self.seg_names.insert(new_name.to_string(), new_sid);
         Ok(new_sid)
     }
@@ -779,7 +1207,13 @@ impl SpaceJmp {
     /// # Errors
     ///
     /// Permission failures and address conflicts within the VAS.
-    pub fn seg_attach(&mut self, pid: Pid, vid: VasId, sid: SegId, mode: AttachMode) -> SjResult<()> {
+    pub fn seg_attach(
+        &mut self,
+        pid: Pid,
+        vid: VasId,
+        sid: SegId,
+        mode: AttachMode,
+    ) -> SjResult<()> {
         self.kernel.charge_entry();
         let creds = self.kernel.process(pid)?.creds();
         let (base, size, object) = {
@@ -811,8 +1245,16 @@ impl SpaceJmp {
         let template_root = self.vas(vid)?.template_root();
         let pa = self.kernel.vmobject(object)?.base();
         let flags = attach_flags(mode);
-        paging::map_region(self.kernel.phys_mut(), template_root, base, pa, size, sjmp_mem::PageSize::Size4K, flags)
-            .map_err(OsError::from)?;
+        paging::map_region(
+            self.kernel.phys_mut(),
+            template_root,
+            base,
+            pa,
+            size,
+            sjmp_mem::PageSize::Size4K,
+            flags,
+        )
+        .map_err(OsError::from)?;
         self.segment_mut(sid)?.add_attach();
         self.vas_mut(vid)?.add_segment(sid, mode);
         // Propagate to attached processes: link any new PML4 slots and
@@ -838,7 +1280,13 @@ impl SpaceJmp {
     ///
     /// As the global variant, plus [`SjError::AddressConflict`] if the
     /// segment's PML4 slot is occupied by a shared subtree.
-    pub fn seg_attach_local(&mut self, pid: Pid, vh: VasHandle, sid: SegId, mode: AttachMode) -> SjResult<()> {
+    pub fn seg_attach_local(
+        &mut self,
+        pid: Pid,
+        vh: VasHandle,
+        sid: SegId,
+        mode: AttachMode,
+    ) -> SjResult<()> {
         self.kernel.charge_entry();
         let att = self.attachment(vh)?.clone();
         if att.pid != pid {
@@ -869,7 +1317,16 @@ impl SpaceJmp {
         }
         let flags = attach_flags(mode);
         self.kernel
-            .map_object(att.vmspace, object, base, 0, size, flags, MapPolicy::Eager, false)
+            .map_object(
+                att.vmspace,
+                object,
+                base,
+                0,
+                size,
+                flags,
+                MapPolicy::Eager,
+                false,
+            )
             .map_err(|e| match e {
                 OsError::Mem(sjmp_mem::MemError::AlreadyMapped(va)) => {
                     SjError::AddressConflict(format!("address {va} already mapped"))
@@ -913,7 +1370,8 @@ impl SpaceJmp {
             (s.base(), s.size())
         };
         let template_root = self.vas(vid)?.template_root();
-        paging::unmap_region(self.kernel.phys_mut(), template_root, base, size).map_err(OsError::from)?;
+        paging::unmap_region(self.kernel.phys_mut(), template_root, base, size)
+            .map_err(OsError::from)?;
         self.kernel.flush_all_tlbs();
         self.vas_mut(vid)?.remove_segment(sid);
         self.segment_mut(sid)?.drop_attach();
@@ -926,7 +1384,12 @@ impl SpaceJmp {
                 .collect()
         };
         for space in spaces {
-            if self.kernel.vmspace_mut(space)?.remove_region(base).is_some() {
+            if self
+                .kernel
+                .vmspace_mut(space)?
+                .remove_region(base)
+                .is_some()
+            {
                 let obj = self.segment(sid)?.object();
                 self.kernel.vmobject_mut(obj)?.drop_ref();
             }
@@ -1011,7 +1474,12 @@ impl SpaceJmp {
     ) -> SjResult<()> {
         let (base, size, object, slots) = {
             let s = self.segment(sid)?;
-            (s.base(), s.size(), s.object(), s.pml4_slots().collect::<Vec<_>>())
+            (
+                s.base(),
+                s.size(),
+                s.object(),
+                s.pml4_slots().collect::<Vec<_>>(),
+            )
         };
         let root = self.kernel.vmspace(space)?.root();
         for slot in slots {
@@ -1047,8 +1515,12 @@ impl SpaceJmp {
 
     /// Releases locks held for the current VAS, except those in `keep`.
     fn release_current_locks(&mut self, pid: Pid, keep: &[(SegId, AttachMode)]) -> SjResult<()> {
-        let Some(vh) = self.current.get(&pid).copied() else { return Ok(()) };
-        let Some(att) = self.attachments.get(&vh).cloned() else { return Ok(()) };
+        let Some(vh) = self.current.get(&pid).copied() else {
+            return Ok(());
+        };
+        let Some(att) = self.attachments.get(&vh).cloned() else {
+            return Ok(());
+        };
         let mut held: Vec<SegId> = Vec::new();
         if let Some(v) = self.vases.get(&att.vid) {
             held.extend(v.segments().iter().map(|(s, _)| *s));

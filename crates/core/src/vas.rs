@@ -107,7 +107,10 @@ impl Vas {
 
     /// The mode a segment is mapped with, if attached.
     pub fn segment_mode(&self, sid: SegId) -> Option<AttachMode> {
-        self.segments.iter().find(|(s, _)| *s == sid).map(|(_, m)| *m)
+        self.segments
+            .iter()
+            .find(|(s, _)| *s == sid)
+            .map(|(_, m)| *m)
     }
 
     /// Records a global segment attachment.
@@ -165,7 +168,12 @@ mod tests {
     use sjmp_os::{Creds, Mode};
 
     fn vas() -> Vas {
-        Vas::new(VasId(1), "v0", Acl::new(Creds::new(1, 1), Mode(0o660)), Pfn(7))
+        Vas::new(
+            VasId(1),
+            "v0",
+            Acl::new(Creds::new(1, 1), Mode(0o660)),
+            Pfn(7),
+        )
     }
 
     #[test]

@@ -97,8 +97,10 @@ fn readers_share_writers_excluded() {
     let vid_ro = sj.vas_create(p0, "v-ro", Mode(0o660)).unwrap();
     let vid_rw = sj.vas_create(p0, "v-rw", Mode(0o660)).unwrap();
     let sid = sj.seg_alloc(p0, "s", va, 1 << 20, Mode(0o660)).unwrap();
-    sj.seg_attach(p0, vid_ro, sid, AttachMode::ReadOnly).unwrap();
-    sj.seg_attach(p0, vid_rw, sid, AttachMode::ReadWrite).unwrap();
+    sj.seg_attach(p0, vid_ro, sid, AttachMode::ReadOnly)
+        .unwrap();
+    sj.seg_attach(p0, vid_rw, sid, AttachMode::ReadWrite)
+        .unwrap();
 
     // Two readers in the read-only VAS.
     let vh0 = sj.vas_attach(p0, vid_ro).unwrap();
@@ -147,7 +149,10 @@ fn vas_outlives_creating_process() {
     sj.kernel_mut().exit(p0).unwrap();
 
     // A later process finds the VAS by name and sees the data.
-    let p1 = sj.kernel_mut().spawn("later", Creds::new(100, 100)).unwrap();
+    let p1 = sj
+        .kernel_mut()
+        .spawn("later", Creds::new(100, 100))
+        .unwrap();
     sj.kernel_mut().activate(p1).unwrap();
     let vid2 = sj.vas_find("persistent").unwrap();
     assert_eq!(vid2, vid);
@@ -191,16 +196,27 @@ fn seg_detach_removes_translations_everywhere() {
 
     sj.seg_detach(p0, vid, sid).unwrap();
     sj.vas_switch(p1, vh1).unwrap();
-    assert!(sj.kernel_mut().load_u64(p1, va).is_err(), "translation must be gone");
+    assert!(
+        sj.kernel_mut().load_u64(p1, va).is_err(),
+        "translation must be gone"
+    );
 }
 
 #[test]
 fn address_conflicts_rejected() {
     let (mut sj, pid) = setup();
     let vid = sj.vas_create(pid, "v", Mode(0o660)).unwrap();
-    let a = sj.seg_alloc(pid, "a", VirtAddr::new(SEG_BASE), 1 << 20, Mode(0o660)).unwrap();
+    let a = sj
+        .seg_alloc(pid, "a", VirtAddr::new(SEG_BASE), 1 << 20, Mode(0o660))
+        .unwrap();
     let b = sj
-        .seg_alloc(pid, "b", VirtAddr::new(SEG_BASE + (1 << 19)), 1 << 20, Mode(0o660))
+        .seg_alloc(
+            pid,
+            "b",
+            VirtAddr::new(SEG_BASE + (1 << 19)),
+            1 << 20,
+            Mode(0o660),
+        )
         .unwrap();
     sj.seg_attach(pid, vid, a, AttachMode::ReadWrite).unwrap();
     assert!(matches!(
@@ -232,7 +248,10 @@ fn segment_outside_global_range_rejected() {
 #[test]
 fn acl_enforced_on_attach() {
     let (mut sj, p0) = setup();
-    let stranger = sj.kernel_mut().spawn("stranger", Creds::new(999, 999)).unwrap();
+    let stranger = sj
+        .kernel_mut()
+        .spawn("stranger", Creds::new(999, 999))
+        .unwrap();
     let va = VirtAddr::new(SEG_BASE);
     let vid = sj.vas_create(p0, "v", Mode(0o660)).unwrap();
     let sid = sj.seg_alloc(p0, "s", va, 1 << 20, Mode(0o640)).unwrap();
@@ -240,7 +259,10 @@ fn acl_enforced_on_attach() {
     // Stranger may not attach the VAS at all (mode 660 = owner+group).
     assert_eq!(sj.vas_attach(stranger, vid), Err(SjError::PermissionDenied));
     // Group member may read but not write the segment.
-    let group = sj.kernel_mut().spawn("group", Creds::new(500, 100)).unwrap();
+    let group = sj
+        .kernel_mut()
+        .spawn("group", Creds::new(500, 100))
+        .unwrap();
     // VAS maps the segment RW, and group lacks write permission.
     assert_eq!(sj.vas_attach(group, vid), Err(SjError::PermissionDenied));
 }
@@ -279,10 +301,15 @@ fn seg_clone_copies_contents() {
 
     let copy = sj.seg_clone(pid, sid, "s-copy").unwrap();
     let vid2 = sj.vas_create(pid, "v2", Mode(0o660)).unwrap();
-    sj.seg_attach(pid, vid2, copy, AttachMode::ReadWrite).unwrap();
+    sj.seg_attach(pid, vid2, copy, AttachMode::ReadWrite)
+        .unwrap();
     let vh2 = sj.vas_attach(pid, vid2).unwrap();
     sj.vas_switch(pid, vh2).unwrap();
-    assert_eq!(sj.kernel_mut().load_u64(pid, va).unwrap(), 0xc10e, "contents copied");
+    assert_eq!(
+        sj.kernel_mut().load_u64(pid, va).unwrap(),
+        0xc10e,
+        "contents copied"
+    );
     sj.kernel_mut().store_u64(pid, va, 1).unwrap();
     sj.vas_switch_home(pid).unwrap();
 
@@ -301,8 +328,14 @@ fn ctl_destroy_lifecycle() {
     let vh = sj.vas_attach(pid, vid).unwrap();
 
     // Attached VAS cannot be destroyed; attached segment cannot either.
-    assert!(matches!(sj.vas_ctl(pid, VasCtl::Destroy, vid), Err(SjError::Busy(_))));
-    assert!(matches!(sj.seg_ctl(pid, sid, SegCtl::Destroy), Err(SjError::Busy(_))));
+    assert!(matches!(
+        sj.vas_ctl(pid, VasCtl::Destroy, vid),
+        Err(SjError::Busy(_))
+    ));
+    assert!(matches!(
+        sj.seg_ctl(pid, sid, SegCtl::Destroy),
+        Err(SjError::Busy(_))
+    ));
 
     sj.vas_detach(pid, vh).unwrap();
     sj.vas_ctl(pid, VasCtl::Destroy, vid).unwrap();
@@ -335,10 +368,20 @@ fn handles_are_process_scoped() {
 fn duplicate_names_rejected() {
     let (mut sj, pid) = setup();
     sj.vas_create(pid, "v", Mode(0o600)).unwrap();
-    assert!(matches!(sj.vas_create(pid, "v", Mode(0o600)), Err(SjError::NameTaken(_))));
-    sj.seg_alloc(pid, "s", VirtAddr::new(SEG_BASE), 4096, Mode(0o600)).unwrap();
     assert!(matches!(
-        sj.seg_alloc(pid, "s", VirtAddr::new(SEG_BASE + (1 << 30)), 4096, Mode(0o600)),
+        sj.vas_create(pid, "v", Mode(0o600)),
+        Err(SjError::NameTaken(_))
+    ));
+    sj.seg_alloc(pid, "s", VirtAddr::new(SEG_BASE), 4096, Mode(0o600))
+        .unwrap();
+    assert!(matches!(
+        sj.seg_alloc(
+            pid,
+            "s",
+            VirtAddr::new(SEG_BASE + (1 << 30)),
+            4096,
+            Mode(0o600)
+        ),
         Err(SjError::NameTaken(_))
     ));
 }
@@ -389,7 +432,10 @@ fn tagged_vas_keeps_tlb_entries_across_switches() {
         let (mmu, _) = sj.kernel_mut().core_mem(core);
         mmu.stats().walks
     };
-    assert_eq!(walks_after, walks_before, "tagged entries survive the round trip");
+    assert_eq!(
+        walks_after, walks_before,
+        "tagged entries survive the round trip"
+    );
 }
 
 #[test]
@@ -420,9 +466,14 @@ fn heap_allocates_and_persists_across_processes() {
 #[test]
 fn heap_requires_mapping() {
     let (mut sj, pid) = setup();
-    let sid = sj.seg_alloc(pid, "heap", VirtAddr::new(SEG_BASE), 1 << 20, Mode(0o600)).unwrap();
+    let sid = sj
+        .seg_alloc(pid, "heap", VirtAddr::new(SEG_BASE), 1 << 20, Mode(0o600))
+        .unwrap();
     // Not attached to any VAS / not switched in: format must fail cleanly.
-    assert_eq!(VasHeap::format(&mut sj, pid, sid).unwrap_err(), SjError::NotAttached);
+    assert_eq!(
+        VasHeap::format(&mut sj, pid, sid).unwrap_err(),
+        SjError::NotAttached
+    );
 }
 
 #[test]
@@ -434,8 +485,11 @@ fn local_segment_attach_is_private() {
 
     // Scratch segment in a different PML4 slot than the template uses.
     let scratch_base = VirtAddr::new(SEG_BASE + (1u64 << 39));
-    let sid = sj.seg_alloc(p0, "scratch", scratch_base, 1 << 20, Mode(0o660)).unwrap();
-    sj.seg_attach_local(p0, vh0, sid, AttachMode::ReadWrite).unwrap();
+    let sid = sj
+        .seg_alloc(p0, "scratch", scratch_base, 1 << 20, Mode(0o660))
+        .unwrap();
+    sj.seg_attach_local(p0, vh0, sid, AttachMode::ReadWrite)
+        .unwrap();
 
     sj.vas_switch(p0, vh0).unwrap();
     sj.kernel_mut().store_u64(p0, scratch_base, 5).unwrap();
@@ -457,7 +511,13 @@ fn many_vases_per_process() {
     for i in 0..16 {
         let vid = sj.vas_create(pid, &format!("w{i}"), Mode(0o600)).unwrap();
         let sid = sj
-            .seg_alloc(pid, &format!("ws{i}"), VirtAddr::new(SEG_BASE), 256 << 10, Mode(0o600))
+            .seg_alloc(
+                pid,
+                &format!("ws{i}"),
+                VirtAddr::new(SEG_BASE),
+                256 << 10,
+                Mode(0o600),
+            )
             .unwrap();
         sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).unwrap();
         handles.push(sj.vas_attach(pid, vid).unwrap());
@@ -465,12 +525,19 @@ fn many_vases_per_process() {
     // Same virtual address, sixteen different backing windows.
     for (i, vh) in handles.iter().enumerate() {
         sj.vas_switch(pid, *vh).unwrap();
-        sj.kernel_mut().store_u64(pid, VirtAddr::new(SEG_BASE), i as u64).unwrap();
+        sj.kernel_mut()
+            .store_u64(pid, VirtAddr::new(SEG_BASE), i as u64)
+            .unwrap();
         sj.vas_switch_home(pid).unwrap();
     }
     for (i, vh) in handles.iter().enumerate() {
         sj.vas_switch(pid, *vh).unwrap();
-        assert_eq!(sj.kernel_mut().load_u64(pid, VirtAddr::new(SEG_BASE)).unwrap(), i as u64);
+        assert_eq!(
+            sj.kernel_mut()
+                .load_u64(pid, VirtAddr::new(SEG_BASE))
+                .unwrap(),
+            i as u64
+        );
         sj.vas_switch_home(pid).unwrap();
     }
     assert_eq!(sj.stats().switches, 64);
@@ -494,7 +561,10 @@ fn barrelfish_switch_is_a_capability_invocation() {
     assert!(matches!(sj.vas_switch(client, vh), Err(SjError::Os(_))));
     // Non-owners cannot revoke.
     let vh2 = sj.vas_attach(owner, vid).unwrap();
-    assert_eq!(sj.revoke_attachment(client, vh2), Err(SjError::PermissionDenied));
+    assert_eq!(
+        sj.revoke_attachment(client, vh2),
+        Err(SjError::PermissionDenied)
+    );
 }
 
 #[test]
@@ -548,7 +618,10 @@ fn snapshot_requires_quiescent_locks() {
     sj.seg_attach(p0, vid, sid, AttachMode::ReadWrite).unwrap();
     let vh = sj.vas_attach(p1, vid).unwrap();
     sj.vas_switch(p1, vh).unwrap();
-    assert!(matches!(sj.vas_snapshot(p0, vid, "nope"), Err(SjError::Busy(_))));
+    assert!(matches!(
+        sj.vas_snapshot(p0, vid, "nope"),
+        Err(SjError::Busy(_))
+    ));
     sj.vas_switch_home(p1).unwrap();
     sj.vas_snapshot(p0, vid, "ok").unwrap();
 }
@@ -559,12 +632,21 @@ fn local_attach_rejects_template_slots() {
     // the VAS template — private mappings in shared subtrees would leak.
     let (mut sj, pid) = setup();
     let vid = sj.vas_create(pid, "v", Mode(0o660)).unwrap();
-    let global_sid = sj.seg_alloc(pid, "g", VirtAddr::new(SEG_BASE), 4096, Mode(0o660)).unwrap();
-    sj.seg_attach(pid, vid, global_sid, AttachMode::ReadWrite).unwrap();
+    let global_sid = sj
+        .seg_alloc(pid, "g", VirtAddr::new(SEG_BASE), 4096, Mode(0o660))
+        .unwrap();
+    sj.seg_attach(pid, vid, global_sid, AttachMode::ReadWrite)
+        .unwrap();
     let vh = sj.vas_attach(pid, vid).unwrap();
     // Same 512 GiB slot as the global segment -> rejected.
     let clash = sj
-        .seg_alloc(pid, "clash", VirtAddr::new(SEG_BASE + (1 << 20)), 4096, Mode(0o660))
+        .seg_alloc(
+            pid,
+            "clash",
+            VirtAddr::new(SEG_BASE + (1 << 20)),
+            4096,
+            Mode(0o660),
+        )
         .unwrap();
     assert!(matches!(
         sj.seg_attach_local(pid, vh, clash, AttachMode::ReadWrite),
@@ -572,9 +654,16 @@ fn local_attach_rejects_template_slots() {
     ));
     // A different slot works.
     let ok = sj
-        .seg_alloc(pid, "ok", VirtAddr::new(SEG_BASE + (1u64 << 39)), 4096, Mode(0o660))
+        .seg_alloc(
+            pid,
+            "ok",
+            VirtAddr::new(SEG_BASE + (1u64 << 39)),
+            4096,
+            Mode(0o660),
+        )
         .unwrap();
-    sj.seg_attach_local(pid, vh, ok, AttachMode::ReadWrite).unwrap();
+    sj.seg_attach_local(pid, vh, ok, AttachMode::ReadWrite)
+        .unwrap();
 }
 
 #[test]
@@ -597,7 +686,10 @@ fn non_lockable_segments_skip_locking() {
 #[test]
 fn vas_clone_requires_read_permission() {
     let (mut sj, p0) = setup();
-    let stranger = sj.kernel_mut().spawn("stranger", Creds::new(999, 999)).unwrap();
+    let stranger = sj
+        .kernel_mut()
+        .spawn("stranger", Creds::new(999, 999))
+        .unwrap();
     let vid = sj.vas_create(p0, "private", Mode(0o600)).unwrap();
     assert_eq!(
         sj.vas_clone(stranger, vid, "stolen"),
@@ -608,8 +700,13 @@ fn vas_clone_requires_read_permission() {
 #[test]
 fn seg_ctl_permission_enforced() {
     let (mut sj, p0) = setup();
-    let other = sj.kernel_mut().spawn("other", Creds::new(555, 100)).unwrap();
-    let sid = sj.seg_alloc(p0, "s", VirtAddr::new(SEG_BASE), 4096, Mode(0o660)).unwrap();
+    let other = sj
+        .kernel_mut()
+        .spawn("other", Creds::new(555, 100))
+        .unwrap();
+    let sid = sj
+        .seg_alloc(p0, "s", VirtAddr::new(SEG_BASE), 4096, Mode(0o660))
+        .unwrap();
     // Group member may use the segment but not chmod it.
     assert_eq!(
         sj.seg_ctl(other, sid, SegCtl::SetMode(Mode(0o666))),
@@ -650,7 +747,11 @@ fn exit_process_releases_locks_and_attachments() {
     sj.vas_switch(p1, vh1).unwrap();
     sj.kernel_mut().store_u64(p1, va, 1).unwrap();
     assert!(sj.kernel().process(p0).is_err(), "process is gone");
-    assert_eq!(sj.vas(vid).unwrap().attach_count(), 1, "p0's attachment removed");
+    assert_eq!(
+        sj.vas(vid).unwrap().attach_count(),
+        1,
+        "p0's attachment removed"
+    );
 }
 
 #[test]
@@ -659,7 +760,15 @@ fn nvm_segments_cost_more_to_access() {
     let (mut sj, pid) = setup();
     sj.kernel_mut().set_nvm_tier(16 << 20);
     let vid = sj.vas_create(pid, "tiered", Mode(0o600)).unwrap();
-    let dram = sj.seg_alloc(pid, "dram-seg", VirtAddr::new(SEG_BASE), 1 << 20, Mode(0o600)).unwrap();
+    let dram = sj
+        .seg_alloc(
+            pid,
+            "dram-seg",
+            VirtAddr::new(SEG_BASE),
+            1 << 20,
+            Mode(0o600),
+        )
+        .unwrap();
     let nvm = sj
         .seg_alloc_tier(
             pid,
@@ -670,30 +779,49 @@ fn nvm_segments_cost_more_to_access() {
             MemTier::Nvm,
         )
         .unwrap();
-    sj.seg_attach(pid, vid, dram, AttachMode::ReadWrite).unwrap();
+    sj.seg_attach(pid, vid, dram, AttachMode::ReadWrite)
+        .unwrap();
     sj.seg_attach(pid, vid, nvm, AttachMode::ReadWrite).unwrap();
     let vh = sj.vas_attach(pid, vid).unwrap();
     sj.vas_switch(pid, vh).unwrap();
 
     let clock = sj.kernel().clock().clone();
     // Warm both translations first.
-    sj.kernel_mut().store_u64(pid, VirtAddr::new(SEG_BASE), 1).unwrap();
-    sj.kernel_mut().store_u64(pid, VirtAddr::new(SEG_BASE + (1u64 << 39)), 1).unwrap();
+    sj.kernel_mut()
+        .store_u64(pid, VirtAddr::new(SEG_BASE), 1)
+        .unwrap();
+    sj.kernel_mut()
+        .store_u64(pid, VirtAddr::new(SEG_BASE + (1u64 << 39)), 1)
+        .unwrap();
     let t0 = clock.now();
     for i in 0..64u64 {
-        sj.kernel_mut().store_u64(pid, VirtAddr::new(SEG_BASE + i * 8), i).unwrap();
+        sj.kernel_mut()
+            .store_u64(pid, VirtAddr::new(SEG_BASE + i * 8), i)
+            .unwrap();
     }
     let dram_cost = clock.since(t0);
     let t1 = clock.now();
     for i in 0..64u64 {
-        sj.kernel_mut().store_u64(pid, VirtAddr::new(SEG_BASE + (1u64 << 39) + i * 8), i).unwrap();
+        sj.kernel_mut()
+            .store_u64(pid, VirtAddr::new(SEG_BASE + (1u64 << 39) + i * 8), i)
+            .unwrap();
     }
     let nvm_cost = clock.since(t1);
-    assert!(nvm_cost > 5 * dram_cost, "NVM writes {nvm_cost} vs DRAM {dram_cost}");
+    assert!(
+        nvm_cost > 5 * dram_cost,
+        "NVM writes {nvm_cost} vs DRAM {dram_cost}"
+    );
     // Data is intact on both tiers.
-    assert_eq!(sj.kernel_mut().load_u64(pid, VirtAddr::new(SEG_BASE + 8)).unwrap(), 1);
     assert_eq!(
-        sj.kernel_mut().load_u64(pid, VirtAddr::new(SEG_BASE + (1u64 << 39) + 8)).unwrap(),
+        sj.kernel_mut()
+            .load_u64(pid, VirtAddr::new(SEG_BASE + 8))
+            .unwrap(),
+        1
+    );
+    assert_eq!(
+        sj.kernel_mut()
+            .load_u64(pid, VirtAddr::new(SEG_BASE + (1u64 << 39) + 8))
+            .unwrap(),
         1
     );
 }
@@ -703,7 +831,14 @@ fn nvm_requires_a_configured_tier() {
     use spacejmp_core::MemTier;
     let (mut sj, pid) = setup();
     assert!(sj
-        .seg_alloc_tier(pid, "no-tier", VirtAddr::new(SEG_BASE), 4096, Mode(0o600), MemTier::Nvm)
+        .seg_alloc_tier(
+            pid,
+            "no-tier",
+            VirtAddr::new(SEG_BASE),
+            4096,
+            Mode(0o600),
+            MemTier::Nvm
+        )
         .is_err());
 }
 
@@ -766,7 +901,11 @@ fn switch_upgrades_read_hold_to_write_when_sole_reader() {
     sj.vas_switch(p0, vh_ro0).unwrap();
     sj.vas_switch(p1, vh_ro1).unwrap();
     assert_eq!(sj.vas_switch(p0, vh_rw0), Err(SjError::WouldBlock));
-    assert_eq!(sj.segment(sid).unwrap().lock().reader_count(), 2, "hold preserved");
+    assert_eq!(
+        sj.segment(sid).unwrap().lock().reader_count(),
+        2,
+        "hold preserved"
+    );
     // p0 can still read through its current VAS.
     assert!(sj.kernel_mut().load_u64(p0, va).is_ok());
 }
@@ -803,7 +942,8 @@ fn segment_image_survives_a_reboot() {
     let restored = sj2.restore_segment(p2, &image).unwrap();
     assert_eq!(sj2.seg_find("pseg").unwrap(), restored);
     let vid2 = sj2.vas_create(p2, "persist2", Mode(0o660)).unwrap();
-    sj2.seg_attach(p2, vid2, restored, AttachMode::ReadWrite).unwrap();
+    sj2.seg_attach(p2, vid2, restored, AttachMode::ReadWrite)
+        .unwrap();
     let vh2 = sj2.vas_attach(p2, vid2).unwrap();
     sj2.vas_switch(p2, vh2).unwrap();
     let heap2 = VasHeap::open(&mut sj2, p2, restored).unwrap();

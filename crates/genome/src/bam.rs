@@ -45,7 +45,10 @@ impl From<bgzf::BgzfError> for BamError {
 const BASE_CODES: &[u8; 16] = b"=ACMGRSVTWYHKDBN";
 
 fn pack_base(b: u8) -> u8 {
-    BASE_CODES.iter().position(|&c| c == b.to_ascii_uppercase()).unwrap_or(15) as u8
+    BASE_CODES
+        .iter()
+        .position(|&c| c == b.to_ascii_uppercase())
+        .unwrap_or(15) as u8
 }
 
 fn unpack_base(code: u8) -> u8 {
@@ -76,11 +79,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, BamError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn i32(&mut self) -> Result<i32, BamError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(i32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn done(&self) -> bool {
@@ -116,7 +123,11 @@ fn encode_payload(dict: &RefDict, records: &[Record]) -> Vec<u8> {
         let mut i = 0;
         while i < r.seq.len() {
             let hi = pack_base(r.seq[i]) << 4;
-            let lo = if i + 1 < r.seq.len() { pack_base(r.seq[i + 1]) } else { 0 };
+            let lo = if i + 1 < r.seq.len() {
+                pack_base(r.seq[i + 1])
+            } else {
+                0
+            };
             out.push(hi | lo);
             i += 2;
         }
@@ -178,7 +189,16 @@ fn decode_payload(data: &[u8]) -> Result<(RefDict, Vec<Record>), BamError> {
             seq.push(unpack_base(code));
         }
         let qual = rd.take(l_seq)?.to_vec();
-        records.push(Record { qname, flag, tid, pos, mapq, cigar, seq, qual });
+        records.push(Record {
+            qname,
+            flag,
+            tid,
+            pos,
+            mapq,
+            cigar,
+            seq,
+            qual,
+        });
     }
     if !rd.done() {
         return Err(BamError::Corrupt("trailing bytes"));
@@ -206,7 +226,9 @@ mod tests {
     use crate::record::flags;
 
     fn dataset() -> (RefDict, Vec<Record>) {
-        let dict = RefDict { refs: vec![("chr1".into(), 100_000)] };
+        let dict = RefDict {
+            refs: vec![("chr1".into(), 100_000)],
+        };
         let records = vec![
             Record {
                 qname: "r001".into(),
@@ -243,7 +265,9 @@ mod tests {
 
     #[test]
     fn bam_is_smaller_than_sam() {
-        let dict = RefDict { refs: vec![("chr1".into(), 1_000_000)] };
+        let dict = RefDict {
+            refs: vec![("chr1".into(), 1_000_000)],
+        };
         let records: Vec<Record> = (0..2000)
             .map(|i| Record {
                 qname: format!("read{i:07}"),
@@ -258,7 +282,12 @@ mod tests {
             .collect();
         let sam = crate::sam::write_sam(&dict, &records);
         let bam = write_bam(&dict, &records);
-        assert!(bam.len() < sam.len() / 2, "BAM {} vs SAM {}", bam.len(), sam.len());
+        assert!(
+            bam.len() < sam.len() / 2,
+            "BAM {} vs SAM {}",
+            bam.len(),
+            sam.len()
+        );
     }
 
     #[test]

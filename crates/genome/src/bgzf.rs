@@ -214,10 +214,20 @@ mod tests {
 
     #[test]
     fn round_trip_repetitive_compresses_well() {
-        let data: Vec<u8> = b"ACGTACGTACGT".iter().cycle().take(200_000).copied().collect();
+        let data: Vec<u8> = b"ACGTACGTACGT"
+            .iter()
+            .cycle()
+            .take(200_000)
+            .copied()
+            .collect();
         let c = compress(&data);
         assert_eq!(decompress(&c).unwrap(), data);
-        assert!(c.len() < data.len() / 4, "repetitive data must compress: {} -> {}", data.len(), c.len());
+        assert!(
+            c.len() < data.len() / 4,
+            "repetitive data must compress: {} -> {}",
+            data.len(),
+            c.len()
+        );
     }
 
     #[test]
@@ -226,7 +236,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let data: Vec<u8> = (0..150_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();
@@ -239,8 +251,11 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..5000 {
             data.extend_from_slice(
-                format!("read{i:06}\t99\tchr1\t{}\t60\t100M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII\n", i * 37)
-                    .as_bytes(),
+                format!(
+                    "read{i:06}\t99\tchr1\t{}\t60\t100M\t*\t0\t0\tACGTACGTAC\tIIIIIIIIII\n",
+                    i * 37
+                )
+                .as_bytes(),
             );
         }
         let c = compress(&data);
@@ -251,7 +266,10 @@ mod tests {
     #[test]
     fn corrupt_streams_rejected() {
         assert!(decompress(b"").is_err());
-        assert!(decompress(&[1, 0, 0, 0, 0, 0, 0, 0]).is_err(), "missing block");
+        assert!(
+            decompress(&[1, 0, 0, 0, 0, 0, 0, 0]).is_err(),
+            "missing block"
+        );
         let mut c = compress(b"some data that is long enough to matter");
         c.truncate(c.len() - 3);
         assert!(decompress(&c).is_err());

@@ -31,7 +31,10 @@ pub mod vasstore;
 pub mod workload;
 
 pub use modes::{run_pipeline, OpTimes, StorageMode};
-pub use ops::{build_index, coordinate_sort, filter_region, flagstat, pileup, qname_sort, reference_span, LinearIndex, OpWork};
+pub use ops::{
+    build_index, coordinate_sort, filter_region, flagstat, pileup, qname_sort, reference_span,
+    LinearIndex, OpWork,
+};
 pub use record::{CigarOp, Flagstat, Record};
 pub use sam::{read_sam, write_sam, RefDict};
 pub use vasstore::RecStore;

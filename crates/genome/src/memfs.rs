@@ -35,8 +35,11 @@ impl MemFs {
         let obj = kernel.alloc_object(data.len().max(1) as u64)?;
         let pa = kernel.vmobject(obj)?.base();
         kernel.phys_mut().write_bytes(pa, data)?;
-        kernel.clock().advance(Self::copy_cycles(kernel, data.len()));
-        self.files.insert(name.to_string(), (obj, data.len() as u64));
+        kernel
+            .clock()
+            .advance(Self::copy_cycles(kernel, data.len()));
+        self.files
+            .insert(name.to_string(), (obj, data.len() as u64));
         Ok(())
     }
 
@@ -115,8 +118,14 @@ mod tests {
     fn missing_files_error() {
         let mut k = kernel();
         let mut fs = MemFs::new();
-        assert!(matches!(fs.read(&mut k, "nope"), Err(OsError::NoSuchObject)));
-        assert!(matches!(fs.delete(&mut k, "nope"), Err(OsError::NoSuchObject)));
+        assert!(matches!(
+            fs.read(&mut k, "nope"),
+            Err(OsError::NoSuchObject)
+        ));
+        assert!(matches!(
+            fs.delete(&mut k, "nope"),
+            Err(OsError::NoSuchObject)
+        ));
         assert_eq!(fs.size("nope"), None);
     }
 

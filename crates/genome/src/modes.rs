@@ -116,7 +116,9 @@ fn store_segment_bytes(cfg: &WorkloadConfig) -> u64 {
 }
 
 fn charge_sort(kernel: &Kernel, work: ops::OpWork, per_cmp: u64) {
-    kernel.clock().advance(work.comparisons * per_cmp + work.records * charge::SCAN);
+    kernel
+        .clock()
+        .advance(work.comparisons * per_cmp + work.records * charge::SCAN);
 }
 
 /// Runs all four operations under `mode` and reports per-op simulated
@@ -144,7 +146,9 @@ fn parse_file(
     let bytes = fs.read(kernel, name).map_err(spacejmp_core::SjError::Os)?;
     match mode {
         StorageMode::Sam => {
-            kernel.clock().advance(bytes.len() as u64 * charge::SAM_PARSE);
+            kernel
+                .clock()
+                .advance(bytes.len() as u64 * charge::SAM_PARSE);
             sam::read_sam(&bytes).map_err(|_| spacejmp_core::SjError::InvalidArgument("bad SAM"))
         }
         StorageMode::Bam => {
@@ -177,12 +181,15 @@ fn write_file(
             let b = bam::write_bam(dict, records);
             // Charge by payload size: encode + compress.
             let payload: u64 = records.len() as u64 * 96 + 64;
-            kernel.clock().advance(payload * (charge::BAM_ENCODE + charge::COMPRESS));
+            kernel
+                .clock()
+                .advance(payload * (charge::BAM_ENCODE + charge::COMPRESS));
             b
         }
         _ => unreachable!("file pipeline"),
     };
-    fs.write(kernel, name, &bytes).map_err(spacejmp_core::SjError::Os)
+    fs.write(kernel, name, &bytes)
+        .map_err(spacejmp_core::SjError::Os)
 }
 
 fn run_file_pipeline(mode: StorageMode, cfg: &WorkloadConfig) -> SjResult<OpTimes> {
@@ -199,7 +206,8 @@ fn run_file_pipeline(mode: StorageMode, cfg: &WorkloadConfig) -> SjResult<OpTime
     let input = "aln.input";
     {
         let t = kernel.clock().now();
-        fs.write(&mut kernel, input, &staged).map_err(spacejmp_core::SjError::Os)?;
+        fs.write(&mut kernel, input, &staged)
+            .map_err(spacejmp_core::SjError::Os)?;
         // Roll the clock back: staging is setup.
         let _ = t;
         kernel.clock().reset();
@@ -235,10 +243,16 @@ fn run_file_pipeline(mode: StorageMode, cfg: &WorkloadConfig) -> SjResult<OpTime
     let (d, recs) = parse_file(mode, &mut kernel, &fs, "aln.csorted")?;
     let (index, work) = ops::build_index(d.refs.len(), &recs);
     kernel.clock().advance(work.records * charge::SCAN);
-    fs.write(&mut kernel, "aln.index", &index.to_bytes()).map_err(spacejmp_core::SjError::Os)?;
+    fs.write(&mut kernel, "aln.index", &index.to_bytes())
+        .map_err(spacejmp_core::SjError::Os)?;
     let index_time = secs(kernel.clock().since(t3));
 
-    Ok(OpTimes { flagstat, qname_sort, coordinate_sort, index: index_time })
+    Ok(OpTimes {
+        flagstat,
+        qname_sort,
+        coordinate_sort,
+        index: index_time,
+    })
 }
 
 // ---- pointer-rich pipelines (SpaceJMP / Mmap) ------------------------------
@@ -250,7 +264,13 @@ fn build_store(cfg: &WorkloadConfig) -> SjResult<(SpaceJmp, VasId, VmObjectId, u
     let pid = sj.kernel_mut().spawn("loader", Creds::new(1, 1))?;
     sj.kernel_mut().activate(pid)?;
     let vid = sj.vas_create(pid, "samtools-data", Mode(0o660))?;
-    let sid = sj.seg_alloc(pid, "samtools-seg", STORE_VA, store_segment_bytes(cfg), Mode(0o660))?;
+    let sid = sj.seg_alloc(
+        pid,
+        "samtools-seg",
+        STORE_VA,
+        store_segment_bytes(cfg),
+        Mode(0o660),
+    )?;
     sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)?;
     let vh = sj.vas_attach(pid, vid)?;
     sj.vas_switch(pid, vh)?;
@@ -305,7 +325,9 @@ fn run_jmp_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     let t1 = clock.now();
     jmp_op(&mut sj, vid, |sj, pid, store| {
         let work = store.qname_sort(sj, pid)?;
-        sj.kernel().clock().advance(work.comparisons * charge::QNAME_CMP);
+        sj.kernel()
+            .clock()
+            .advance(work.comparisons * charge::QNAME_CMP);
         Ok(())
     })?;
     let qname_sort = secs(clock.since(t1));
@@ -313,7 +335,9 @@ fn run_jmp_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     let t2 = clock.now();
     jmp_op(&mut sj, vid, |sj, pid, store| {
         let work = store.coordinate_sort(sj, pid)?;
-        sj.kernel().clock().advance(work.comparisons * charge::COORD_CMP);
+        sj.kernel()
+            .clock()
+            .advance(work.comparisons * charge::COORD_CMP);
         Ok(())
     })?;
     let coordinate_sort = secs(clock.since(t2));
@@ -326,7 +350,12 @@ fn run_jmp_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     })?;
     let index = secs(clock.since(t3));
 
-    Ok(OpTimes { flagstat, qname_sort, coordinate_sort, index })
+    Ok(OpTimes {
+        flagstat,
+        qname_sort,
+        coordinate_sort,
+        index,
+    })
 }
 
 /// Runs one operation as a fresh process that `mmap`s the store region.
@@ -343,7 +372,16 @@ fn mmap_op<T>(
     // page tables constructed on the critical path (charged). Pages are
     // hot in the page cache (in-memory FS), like the paper's setup.
     let flags = PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE;
-    sj.kernel_mut().map_object(space, object, STORE_VA, 0, size, flags, MapPolicy::Eager, true)?;
+    sj.kernel_mut().map_object(
+        space,
+        object,
+        STORE_VA,
+        0,
+        size,
+        flags,
+        MapPolicy::Eager,
+        true,
+    )?;
     let heap = {
         // The heap handle requires segment bookkeeping; reconstruct the
         // store directly from the mapped region instead.
@@ -375,7 +413,9 @@ fn run_mmap_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     let t1 = clock.now();
     mmap_op(&mut sj, object, size, |sj, pid, store| {
         let work = store.qname_sort(sj, pid)?;
-        sj.kernel().clock().advance(work.comparisons * charge::QNAME_CMP);
+        sj.kernel()
+            .clock()
+            .advance(work.comparisons * charge::QNAME_CMP);
         Ok(())
     })?;
     let qname_sort = secs(clock.since(t1));
@@ -383,7 +423,9 @@ fn run_mmap_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     let t2 = clock.now();
     mmap_op(&mut sj, object, size, |sj, pid, store| {
         let work = store.coordinate_sort(sj, pid)?;
-        sj.kernel().clock().advance(work.comparisons * charge::COORD_CMP);
+        sj.kernel()
+            .clock()
+            .advance(work.comparisons * charge::COORD_CMP);
         Ok(())
     })?;
     let coordinate_sort = secs(clock.since(t2));
@@ -396,7 +438,12 @@ fn run_mmap_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     })?;
     let index = secs(clock.since(t3));
 
-    Ok(OpTimes { flagstat, qname_sort, coordinate_sort, index })
+    Ok(OpTimes {
+        flagstat,
+        qname_sort,
+        coordinate_sort,
+        index,
+    })
 }
 
 #[cfg(test)]
@@ -404,7 +451,10 @@ mod tests {
     use super::*;
 
     fn small() -> WorkloadConfig {
-        WorkloadConfig { records: 2000, ..WorkloadConfig::default() }
+        WorkloadConfig {
+            records: 2000,
+            ..WorkloadConfig::default()
+        }
     }
 
     #[test]
@@ -416,7 +466,12 @@ mod tests {
         for (name, j, s, b) in [
             ("flagstat", jmp.flagstat, samt.flagstat, bamt.flagstat),
             ("qname", jmp.qname_sort, samt.qname_sort, bamt.qname_sort),
-            ("coord", jmp.coordinate_sort, samt.coordinate_sort, bamt.coordinate_sort),
+            (
+                "coord",
+                jmp.coordinate_sort,
+                samt.coordinate_sort,
+                bamt.coordinate_sort,
+            ),
             ("index", jmp.index, samt.index, bamt.index),
         ] {
             assert!(j < s, "{name}: SpaceJMP {j} vs SAM {s}");
@@ -459,7 +514,12 @@ mod tests {
 
     #[test]
     fn normalization_helper() {
-        let a = OpTimes { flagstat: 2.0, qname_sort: 4.0, coordinate_sort: 8.0, index: 1.0 };
+        let a = OpTimes {
+            flagstat: 2.0,
+            qname_sort: 4.0,
+            coordinate_sort: 8.0,
+            index: 1.0,
+        };
         let n = a.normalized_to(&a);
         assert_eq!(n.flagstat, 1.0);
         assert_eq!(n.index, 1.0);

@@ -26,7 +26,13 @@ pub fn flagstat(records: &[Record]) -> (Flagstat, OpWork) {
     for r in records {
         fs.add(r.flag);
     }
-    (fs, OpWork { records: records.len() as u64, comparisons: 0 })
+    (
+        fs,
+        OpWork {
+            records: records.len() as u64,
+            comparisons: 0,
+        },
+    )
 }
 
 /// Sorts records by query name (`samtools sort -n`), stably.
@@ -36,7 +42,10 @@ pub fn qname_sort(records: &mut [Record]) -> OpWork {
         count.set(count.get() + 1);
         a.qname.cmp(&b.qname)
     });
-    OpWork { records: records.len() as u64, comparisons: count.get() }
+    OpWork {
+        records: records.len() as u64,
+        comparisons: count.get(),
+    }
 }
 
 /// Sorts records by (tid, pos) with unmapped reads last
@@ -47,7 +56,10 @@ pub fn coordinate_sort(records: &mut [Record]) -> OpWork {
         count.set(count.get() + 1);
         a.coord_key().cmp(&b.coord_key())
     });
-    OpWork { records: records.len() as u64, comparisons: count.get() }
+    OpWork {
+        records: records.len() as u64,
+        comparisons: count.get(),
+    }
 }
 
 /// Window size of the linear index (like BAI's 16 KiB windows).
@@ -105,7 +117,10 @@ impl LinearIndex {
         let window = (pos / INDEX_WINDOW) as u32;
         let windows = self.refs.get(tid)?;
         let i = windows.partition_point(|&(w, _)| w < window);
-        windows.get(i).filter(|&&(w, _)| w == window).map(|&(_, f)| f)
+        windows
+            .get(i)
+            .filter(|&&(w, _)| w == window)
+            .map(|&(_, f)| f)
     }
 }
 
@@ -116,10 +131,14 @@ impl LinearIndex {
 /// Debug-asserts sortedness.
 pub fn build_index(n_refs: usize, records: &[Record]) -> (LinearIndex, OpWork) {
     debug_assert!(
-        records.windows(2).all(|w| w[0].coord_key() <= w[1].coord_key()),
+        records
+            .windows(2)
+            .all(|w| w[0].coord_key() <= w[1].coord_key()),
         "index requires coordinate-sorted input"
     );
-    let mut index = LinearIndex { refs: vec![Vec::new(); n_refs] };
+    let mut index = LinearIndex {
+        refs: vec![Vec::new(); n_refs],
+    };
     for (ordinal, r) in records.iter().enumerate() {
         if !r.is_mapped() || r.tid < 0 {
             continue;
@@ -130,7 +149,13 @@ pub fn build_index(n_refs: usize, records: &[Record]) -> (LinearIndex, OpWork) {
             windows.push((window, ordinal as u64));
         }
     }
-    (index, OpWork { records: records.len() as u64, comparisons: 0 })
+    (
+        index,
+        OpWork {
+            records: records.len() as u64,
+            comparisons: 0,
+        },
+    )
 }
 
 /// Region query (`samtools view chr:from-to`): returns the ordinals of
@@ -155,7 +180,13 @@ pub fn filter_region(
     };
     let start_idx = windows.partition_point(|&(w, _)| w < first_window);
     let Some(&(_, start_ordinal)) = windows.get(start_idx) else {
-        return (out, OpWork { records: 0, comparisons: 0 });
+        return (
+            out,
+            OpWork {
+                records: 0,
+                comparisons: 0,
+            },
+        );
     };
     for (ordinal, r) in records.iter().enumerate().skip(start_ordinal as usize) {
         scanned += 1;
@@ -166,7 +197,13 @@ pub fn filter_region(
             out.push(ordinal as u64);
         }
     }
-    (out, OpWork { records: scanned, comparisons: 0 })
+    (
+        out,
+        OpWork {
+            records: scanned,
+            comparisons: 0,
+        },
+    )
 }
 
 /// Reference-consuming span of a record (CIGAR `M` + `D` lengths).
@@ -207,7 +244,13 @@ pub fn pileup(n_refs: usize, records: &[Record]) -> (Vec<Vec<u64>>, OpWork) {
             pos += chunk;
         }
     }
-    (cov, OpWork { records: records.len() as u64, comparisons: 0 })
+    (
+        cov,
+        OpWork {
+            records: records.len() as u64,
+            comparisons: 0,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -216,7 +259,11 @@ mod tests {
     use crate::workload::{generate, WorkloadConfig};
 
     fn data(n: usize) -> Vec<Record> {
-        generate(&WorkloadConfig { records: n, ..WorkloadConfig::default() }).1
+        generate(&WorkloadConfig {
+            records: n,
+            ..WorkloadConfig::default()
+        })
+        .1
     }
 
     #[test]
@@ -234,17 +281,26 @@ mod tests {
         let mut recs = data(500);
         let work = qname_sort(&mut recs);
         assert!(recs.windows(2).all(|w| w[0].qname <= w[1].qname));
-        assert!(work.comparisons >= 500, "n log n comparisons: {}", work.comparisons);
+        assert!(
+            work.comparisons >= 500,
+            "n log n comparisons: {}",
+            work.comparisons
+        );
     }
 
     #[test]
     fn coordinate_sort_orders_unmapped_last() {
         let mut recs = data(500);
         let _ = coordinate_sort(&mut recs);
-        assert!(recs.windows(2).all(|w| w[0].coord_key() <= w[1].coord_key()));
+        assert!(recs
+            .windows(2)
+            .all(|w| w[0].coord_key() <= w[1].coord_key()));
         let first_unmapped = recs.iter().position(|r| !r.is_mapped());
         if let Some(i) = first_unmapped {
-            assert!(recs[i..].iter().all(|r| !r.is_mapped()), "unmapped grouped at the end");
+            assert!(
+                recs[i..].iter().all(|r| !r.is_mapped()),
+                "unmapped grouped at the end"
+            );
         }
     }
 
@@ -285,7 +341,11 @@ mod tests {
         let mut recs = data(3000);
         coordinate_sort(&mut recs);
         let (index, _) = build_index(4, &recs);
-        for (tid, from, to) in [(0, 100_000, 5_000_000), (2, 0, 50_000_000), (1, 49_000_000, 50_000_000)] {
+        for (tid, from, to) in [
+            (0, 100_000, 5_000_000),
+            (2, 0, 50_000_000),
+            (1, 49_000_000, 50_000_000),
+        ] {
             let (fast, work) = filter_region(&index, &recs, tid, from, to);
             let slow: Vec<u64> = recs
                 .iter()
@@ -314,11 +374,22 @@ mod tests {
         let mut recs = data(500);
         coordinate_sort(&mut recs);
         let (index, _) = build_index(4, &recs);
-        assert!(filter_region(&index, &recs, -1, 0, 100).0.is_empty(), "unmapped tid");
-        assert!(filter_region(&index, &recs, 0, 100, 100).0.is_empty(), "empty range");
-        assert!(filter_region(&index, &recs, 99, 0, 100).0.is_empty(), "unknown tid");
         assert!(
-            filter_region(&index, &recs, 0, 49_999_999, 50_000_000).0.len()
+            filter_region(&index, &recs, -1, 0, 100).0.is_empty(),
+            "unmapped tid"
+        );
+        assert!(
+            filter_region(&index, &recs, 0, 100, 100).0.is_empty(),
+            "empty range"
+        );
+        assert!(
+            filter_region(&index, &recs, 99, 0, 100).0.is_empty(),
+            "unknown tid"
+        );
+        assert!(
+            filter_region(&index, &recs, 0, 49_999_999, 50_000_000)
+                .0
+                .len()
                 <= recs.len(),
             "tail window"
         );

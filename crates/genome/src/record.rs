@@ -205,7 +205,12 @@ mod tests {
 
     #[test]
     fn cigar_round_trips() {
-        for op in [CigarOp::Match, CigarOp::Ins, CigarOp::Del, CigarOp::SoftClip] {
+        for op in [
+            CigarOp::Match,
+            CigarOp::Ins,
+            CigarOp::Del,
+            CigarOp::SoftClip,
+        ] {
             assert_eq!(CigarOp::from_ch(op.ch()), Some(op));
             assert_eq!(CigarOp::from_code(op.code()), Some(op));
         }

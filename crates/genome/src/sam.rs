@@ -48,17 +48,26 @@ pub fn write_sam(dict: &RefDict, records: &[Record]) -> Vec<u8> {
     }
     for r in records {
         let rname = if r.tid >= 0 {
-            dict.refs.get(r.tid as usize).map(|(n, _)| n.as_str()).unwrap_or("*")
+            dict.refs
+                .get(r.tid as usize)
+                .map(|(n, _)| n.as_str())
+                .unwrap_or("*")
         } else {
             "*"
         };
         let cigar = if r.cigar.is_empty() {
             "*".to_string()
         } else {
-            r.cigar.iter().map(|(n, op)| format!("{n}{}", op.ch())).collect()
+            r.cigar
+                .iter()
+                .map(|(n, op)| format!("{n}{}", op.ch()))
+                .collect()
         };
-        let seq =
-            if r.seq.is_empty() { "*".to_string() } else { String::from_utf8_lossy(&r.seq).into_owned() };
+        let seq = if r.seq.is_empty() {
+            "*".to_string()
+        } else {
+            String::from_utf8_lossy(&r.seq).into_owned()
+        };
         let qual: String = if r.qual.is_empty() {
             "*".to_string()
         } else {
@@ -154,7 +163,11 @@ pub fn read_sam(data: &[u8]) -> Result<(RefDict, Vec<Record>), SamError> {
             pos: fields[3].parse().map_err(|_| SamError::BadNumber("POS"))?,
             mapq: fields[4].parse().map_err(|_| SamError::BadNumber("MAPQ"))?,
             cigar: parse_cigar(fields[5])?,
-            seq: if fields[9] == "*" { Vec::new() } else { fields[9].as_bytes().to_vec() },
+            seq: if fields[9] == "*" {
+                Vec::new()
+            } else {
+                fields[9].as_bytes().to_vec()
+            },
             qual: if fields[10] == "*" {
                 Vec::new()
             } else {
@@ -171,7 +184,9 @@ mod tests {
     use crate::record::flags;
 
     fn dataset() -> (RefDict, Vec<Record>) {
-        let dict = RefDict { refs: vec![("chr1".into(), 100_000), ("chr2".into(), 50_000)] };
+        let dict = RefDict {
+            refs: vec![("chr1".into(), 100_000), ("chr2".into(), 50_000)],
+        };
         let records = vec![
             Record {
                 qname: "read1".into(),
@@ -179,7 +194,11 @@ mod tests {
                 tid: 0,
                 pos: 1234,
                 mapq: 60,
-                cigar: vec![(50, CigarOp::Match), (2, CigarOp::Ins), (48, CigarOp::Match)],
+                cigar: vec![
+                    (50, CigarOp::Match),
+                    (2, CigarOp::Ins),
+                    (48, CigarOp::Match),
+                ],
                 seq: b"ACGTACGT".to_vec(),
                 qual: vec![30, 31, 32, 33, 30, 31, 32, 33],
             },
@@ -218,7 +237,10 @@ mod tests {
 
     #[test]
     fn bad_inputs() {
-        assert!(matches!(read_sam(b"a\tb\tc\n"), Err(SamError::BadFieldCount(3))));
+        assert!(matches!(
+            read_sam(b"a\tb\tc\n"),
+            Err(SamError::BadFieldCount(3))
+        ));
         let line = b"q\tX\t*\t0\t0\t*\t*\t0\t0\t*\t*\n";
         assert!(matches!(read_sam(line), Err(SamError::BadNumber("FLAG"))));
         let badcigar = b"q\t0\t*\t0\t0\t5Q\t*\t0\t0\t*\t*\n";

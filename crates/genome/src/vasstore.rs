@@ -113,16 +113,22 @@ impl RecStore {
     ///
     /// Access errors if the segment is unmapped.
     pub fn count(&self, sj: &mut SpaceJmp, pid: Pid) -> SjResult<u64> {
-        sj.kernel_mut().load_u64(pid, self.header.add(H_COUNT)).map_err(Into::into)
+        sj.kernel_mut()
+            .load_u64(pid, self.header.add(H_COUNT))
+            .map_err(Into::into)
     }
 
     fn entries_ptr(&self, sj: &mut SpaceJmp, pid: Pid) -> SjResult<VirtAddr> {
-        Ok(VirtAddr::new(sj.kernel_mut().load_u64(pid, self.header.add(H_ENTRIES))?))
+        Ok(VirtAddr::new(
+            sj.kernel_mut().load_u64(pid, self.header.add(H_ENTRIES))?,
+        ))
     }
 
     fn entry(&self, sj: &mut SpaceJmp, pid: Pid, i: u64) -> SjResult<VirtAddr> {
         let entries = self.entries_ptr(sj, pid)?;
-        Ok(VirtAddr::new(sj.kernel_mut().load_u64(pid, entries.add(i * 8))?))
+        Ok(VirtAddr::new(
+            sj.kernel_mut().load_u64(pid, entries.add(i * 8))?,
+        ))
     }
 
     /// Appends a record.
@@ -133,7 +139,10 @@ impl RecStore {
     pub fn append(&self, sj: &mut SpaceJmp, pid: Pid, r: &Record) -> SjResult<()> {
         let (count, cap) = {
             let k = sj.kernel_mut();
-            (k.load_u64(pid, self.header.add(H_COUNT))?, k.load_u64(pid, self.header.add(H_CAP))?)
+            (
+                k.load_u64(pid, self.header.add(H_COUNT))?,
+                k.load_u64(pid, self.header.add(H_CAP))?,
+            )
         };
         if count == cap {
             return Err(SjError::InvalidArgument("record store full"));
@@ -151,7 +160,11 @@ impl RecStore {
         let k = sj.kernel_mut();
         k.store_bytes(pid, qname_ptr, r.qname.as_bytes())?;
         k.store_bytes(pid, blob_ptr, &blob)?;
-        k.store_u64(pid, rec.add(R_FLAGS), r.flag as u64 | ((r.mapq as u64) << 16))?;
+        k.store_u64(
+            pid,
+            rec.add(R_FLAGS),
+            r.flag as u64 | ((r.mapq as u64) << 16),
+        )?;
         k.store_u64(pid, rec.add(R_TID), r.tid as i64 as u64)?;
         k.store_u64(pid, rec.add(R_POS), r.pos as i64 as u64)?;
         k.store_u64(pid, rec.add(R_QNAME), qname_ptr.raw())?;
@@ -188,8 +201,15 @@ impl RecStore {
         k.load_bytes(pid, blob_ptr, &mut blob)?;
         let mut cigar = Vec::with_capacity(clen);
         for c in 0..clen {
-            let v = u32::from_le_bytes(blob[slen * 2 + c * 4..slen * 2 + c * 4 + 4].try_into().expect("4 bytes"));
-            cigar.push((v >> 4, CigarOp::from_code(v & 0xf).ok_or(SjError::InvalidArgument("bad cigar"))?));
+            let v = u32::from_le_bytes(
+                blob[slen * 2 + c * 4..slen * 2 + c * 4 + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            );
+            cigar.push((
+                v >> 4,
+                CigarOp::from_code(v & 0xf).ok_or(SjError::InvalidArgument("bad cigar"))?,
+            ));
         }
         Ok(Record {
             qname: String::from_utf8_lossy(&qname).into_owned(),
@@ -219,7 +239,13 @@ impl RecStore {
             let packed = k.load_u64(pid, rec.add(R_FLAGS))?;
             fs.add((packed & 0xffff) as u16);
         }
-        Ok((fs, OpWork { records: count, comparisons: 0 }))
+        Ok((
+            fs,
+            OpWork {
+                records: count,
+                comparisons: 0,
+            },
+        ))
     }
 
     /// Sorts the record table by query name: keys are read through the
@@ -245,9 +271,13 @@ impl RecStore {
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         let comparisons = nlogn(count);
         for (i, (_, rec)) in keyed.iter().enumerate() {
-            sj.kernel_mut().store_u64(pid, entries.add(i as u64 * 8), *rec)?;
+            sj.kernel_mut()
+                .store_u64(pid, entries.add(i as u64 * 8), *rec)?;
         }
-        Ok(OpWork { records: count, comparisons })
+        Ok(OpWork {
+            records: count,
+            comparisons,
+        })
     }
 
     /// Sorts the record table by (tid, pos), unmapped last.
@@ -267,15 +297,22 @@ impl RecStore {
             let key = if unmapped {
                 (i64::MAX, i64::MAX)
             } else {
-                (k.load_u64(pid, rec.add(R_TID))? as i64, k.load_u64(pid, rec.add(R_POS))? as i64)
+                (
+                    k.load_u64(pid, rec.add(R_TID))? as i64,
+                    k.load_u64(pid, rec.add(R_POS))? as i64,
+                )
             };
             keyed.push((key, rec.raw()));
         }
         keyed.sort_by_key(|&(key, _)| key);
         for (i, (_, rec)) in keyed.iter().enumerate() {
-            sj.kernel_mut().store_u64(pid, entries.add(i as u64 * 8), *rec)?;
+            sj.kernel_mut()
+                .store_u64(pid, entries.add(i as u64 * 8), *rec)?;
         }
-        Ok(OpWork { records: count, comparisons: nlogn(count) })
+        Ok(OpWork {
+            records: count,
+            comparisons: nlogn(count),
+        })
     }
 
     /// Builds a linear index over the (coordinate-sorted) store, keeping
@@ -285,10 +322,17 @@ impl RecStore {
     /// # Errors
     ///
     /// Access errors; heap exhaustion for the in-segment copy.
-    pub fn build_index(&self, sj: &mut SpaceJmp, pid: Pid, n_refs: usize) -> SjResult<(LinearIndex, OpWork)> {
+    pub fn build_index(
+        &self,
+        sj: &mut SpaceJmp,
+        pid: Pid,
+        n_refs: usize,
+    ) -> SjResult<(LinearIndex, OpWork)> {
         let count = self.count(sj, pid)?;
         let entries = self.entries_ptr(sj, pid)?;
-        let mut index = LinearIndex { refs: vec![Vec::new(); n_refs] };
+        let mut index = LinearIndex {
+            refs: vec![Vec::new(); n_refs],
+        };
         for i in 0..count {
             let k = sj.kernel_mut();
             let rec = VirtAddr::new(k.load_u64(pid, entries.add(i * 8))?);
@@ -311,7 +355,13 @@ impl RecStore {
         let bytes = index.to_bytes();
         let blob = self.heap.malloc(sj, pid, bytes.len().max(1) as u64)?;
         sj.kernel_mut().store_bytes(pid, blob, &bytes)?;
-        Ok((index, OpWork { records: count, comparisons: 0 }))
+        Ok((
+            index,
+            OpWork {
+                records: count,
+                comparisons: 0,
+            },
+        ))
     }
 }
 
@@ -337,14 +387,23 @@ mod tests {
         sj.kernel_mut().activate(pid).unwrap();
         let vid = sj.vas_create(pid, "genome-vas", Mode(0o660)).unwrap();
         let sid = sj
-            .seg_alloc(pid, "genome-seg", VirtAddr::new(0x1000_0000_0000), 32 << 20, Mode(0o660))
+            .seg_alloc(
+                pid,
+                "genome-seg",
+                VirtAddr::new(0x1000_0000_0000),
+                32 << 20,
+                Mode(0o660),
+            )
             .unwrap();
         sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).unwrap();
         let vh = sj.vas_attach(pid, vid).unwrap();
         sj.vas_switch(pid, vh).unwrap();
         let heap = VasHeap::format(&mut sj, pid, sid).unwrap();
         let store = RecStore::create(&mut sj, pid, heap, records as u64).unwrap();
-        let (_, recs) = generate(&WorkloadConfig { records, ..WorkloadConfig::default() });
+        let (_, recs) = generate(&WorkloadConfig {
+            records,
+            ..WorkloadConfig::default()
+        });
         for r in &recs {
             store.append(&mut sj, pid, r).unwrap();
         }
@@ -356,7 +415,11 @@ mod tests {
         let (mut sj, pid, store, recs) = setup(50);
         assert_eq!(store.count(&mut sj, pid).unwrap(), 50);
         for (i, r) in recs.iter().enumerate() {
-            assert_eq!(&store.read_record(&mut sj, pid, i as u64).unwrap(), r, "record {i}");
+            assert_eq!(
+                &store.read_record(&mut sj, pid, i as u64).unwrap(),
+                r,
+                "record {i}"
+            );
         }
     }
 
@@ -406,7 +469,10 @@ mod tests {
         sj.kernel_mut().exit(pid).unwrap();
 
         // Next "tool" in the workflow: a brand-new process.
-        let p2 = sj.kernel_mut().spawn("next-tool", Creds::new(1, 1)).unwrap();
+        let p2 = sj
+            .kernel_mut()
+            .spawn("next-tool", Creds::new(1, 1))
+            .unwrap();
         sj.kernel_mut().activate(p2).unwrap();
         let vid = sj.vas_find("genome-vas").unwrap();
         let vh = sj.vas_attach(p2, vid).unwrap();

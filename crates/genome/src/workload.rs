@@ -8,8 +8,7 @@
 //! experiments measure serialization and data-structure costs, which
 //! depend on record counts and sizes, not on biological content.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sjmp_mem::SimRng;
 
 use crate::record::{flags, CigarOp, Record};
 use crate::sam::RefDict;
@@ -31,21 +30,34 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { records: 20_000, read_len: 100, chromosomes: 4, chrom_len: 50_000_000, seed: 42 }
+        WorkloadConfig {
+            records: 20_000,
+            read_len: 100,
+            chromosomes: 4,
+            chrom_len: 50_000_000,
+            seed: 42,
+        }
     }
 }
 
 /// Generates a reference dictionary and `cfg.records` reads.
 pub fn generate(cfg: &WorkloadConfig) -> (RefDict, Vec<Record>) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     let dict = RefDict {
-        refs: (0..cfg.chromosomes).map(|i| (format!("chr{}", i + 1), cfg.chrom_len)).collect(),
+        refs: (0..cfg.chromosomes)
+            .map(|i| (format!("chr{}", i + 1), cfg.chrom_len))
+            .collect(),
     };
     let bases = b"ACGT";
     let records = (0..cfg.records)
         .map(|i| {
             let unmapped = rng.gen_ratio(2, 100);
-            let mut flag = flags::PAIRED | if i % 2 == 0 { flags::READ1 } else { flags::READ2 };
+            let mut flag = flags::PAIRED
+                | if i % 2 == 0 {
+                    flags::READ1
+                } else {
+                    flags::READ2
+                };
             if unmapped {
                 flag |= flags::UNMAPPED;
             } else {
@@ -69,8 +81,9 @@ pub fn generate(cfg: &WorkloadConfig) -> (RefDict, Vec<Record>) {
                 (-1, 0)
             } else {
                 (
-                    rng.gen_range(0..cfg.chromosomes) as i32,
-                    rng.gen_range(1..cfg.chrom_len.saturating_sub(cfg.read_len as u32)) as i32,
+                    rng.index(cfg.chromosomes) as i32,
+                    rng.gen_range(1..u64::from(cfg.chrom_len.saturating_sub(cfg.read_len as u32)))
+                        as i32,
                 )
             };
             let cigar = if unmapped {
@@ -78,7 +91,7 @@ pub fn generate(cfg: &WorkloadConfig) -> (RefDict, Vec<Record>) {
             } else if rng.gen_ratio(85, 100) {
                 vec![(cfg.read_len as u32, CigarOp::Match)]
             } else {
-                let clip = rng.gen_range(1..20u32);
+                let clip = rng.gen_range(1..20) as u32;
                 vec![
                     (clip, CigarOp::SoftClip),
                     (cfg.read_len as u32 - clip, CigarOp::Match),
@@ -87,13 +100,23 @@ pub fn generate(cfg: &WorkloadConfig) -> (RefDict, Vec<Record>) {
             Record {
                 // Qnames deliberately out of order (hash-like suffix), so
                 // qname sort has real work to do.
-                qname: format!("HWI:{:06}:{:04}", (i as u64 * 2654435761) % 1_000_000, i % 10_000),
+                qname: format!(
+                    "HWI:{:06}:{:04}",
+                    (i as u64 * 2654435761) % 1_000_000,
+                    i % 10_000
+                ),
                 flag,
                 tid,
                 pos,
-                mapq: if unmapped { 0 } else { rng.gen_range(20..=60) },
-                seq: (0..cfg.read_len).map(|_| bases[rng.gen_range(0..4)]).collect(),
-                qual: (0..cfg.read_len).map(|_| rng.gen_range(20..40)).collect(),
+                mapq: if unmapped {
+                    0
+                } else {
+                    rng.gen_range_inclusive(20, 60) as u8
+                },
+                seq: (0..cfg.read_len).map(|_| bases[rng.index(4)]).collect(),
+                qual: (0..cfg.read_len)
+                    .map(|_| rng.gen_range(20..40) as u8)
+                    .collect(),
                 cigar,
             }
         })
@@ -107,7 +130,10 @@ mod tests {
 
     #[test]
     fn generates_requested_count_deterministically() {
-        let cfg = WorkloadConfig { records: 500, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            records: 500,
+            ..WorkloadConfig::default()
+        };
         let (dict, recs) = generate(&cfg);
         assert_eq!(recs.len(), 500);
         assert_eq!(dict.refs.len(), 4);
@@ -119,11 +145,17 @@ mod tests {
 
     #[test]
     fn realistic_field_mix() {
-        let (_, recs) = generate(&WorkloadConfig { records: 5000, ..WorkloadConfig::default() });
+        let (_, recs) = generate(&WorkloadConfig {
+            records: 5000,
+            ..WorkloadConfig::default()
+        });
         let mapped = recs.iter().filter(|r| r.is_mapped()).count();
         assert!(mapped > 4500, "most reads mapped: {mapped}");
         assert!(mapped < 5000, "some unmapped reads exist");
-        assert!(recs.iter().any(|r| r.cigar.len() == 2), "some soft-clipped reads");
+        assert!(
+            recs.iter().any(|r| r.cigar.len() == 2),
+            "some soft-clipped reads"
+        );
         let qnames_sorted = recs.windows(2).all(|w| w[0].qname <= w[1].qname);
         assert!(!qnames_sorted, "qnames must arrive unsorted");
         for r in recs.iter().filter(|r| r.is_mapped()) {
@@ -136,7 +168,10 @@ mod tests {
 
     #[test]
     fn round_trips_through_both_formats() {
-        let (dict, recs) = generate(&WorkloadConfig { records: 300, ..WorkloadConfig::default() });
+        let (dict, recs) = generate(&WorkloadConfig {
+            records: 300,
+            ..WorkloadConfig::default()
+        });
         let sam = crate::sam::write_sam(&dict, &recs);
         let (d1, r1) = crate::sam::read_sam(&sam).unwrap();
         assert_eq!((&d1, &r1), (&dict, &recs));

@@ -1,78 +1,112 @@
-//! Property-based round-trip tests over the serialization substrates:
-//! the BGZF-style compressor and the SAM/BAM codecs must reproduce
+//! Randomized round-trip tests over the serialization substrates: the
+//! BGZF-style compressor and the SAM/BAM codecs must reproduce
 //! arbitrary inputs exactly.
+//!
+//! Inputs are generated from fixed seeds with [`SimRng`], so every run
+//! explores the same cases and any failure replays exactly.
 
-use proptest::prelude::*;
 use sjmp_genome::record::{flags, CigarOp, Record};
 use sjmp_genome::sam::RefDict;
-use sjmp_genome::{bgzf, bam, sam};
+use sjmp_genome::{bam, bgzf, sam};
+use sjmp_mem::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; rng.index(max_len + 1)];
+    rng.fill_bytes(&mut buf);
+    buf
+}
 
-    #[test]
-    fn bgzf_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..50_000)) {
+#[test]
+fn bgzf_round_trips_arbitrary_bytes() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let data = random_bytes(&mut rng, 50_000);
         let c = bgzf::compress(&data);
-        prop_assert_eq!(bgzf::decompress(&c).unwrap(), data);
+        assert_eq!(bgzf::decompress(&c).unwrap(), data, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bgzf_round_trips_repetitive_bytes(
-        unit in prop::collection::vec(any::<u8>(), 1..16),
-        reps in 1usize..5000,
-    ) {
-        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+#[test]
+fn bgzf_round_trips_repetitive_bytes() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xb62f);
+        let unit = random_bytes(&mut rng, 15);
+        let unit = if unit.is_empty() { vec![7u8] } else { unit };
+        let reps = rng.index(4999) + 1;
+        let data: Vec<u8> = unit
+            .iter()
+            .cycle()
+            .take(unit.len() * reps)
+            .copied()
+            .collect();
         let c = bgzf::compress(&data);
-        prop_assert_eq!(bgzf::decompress(&c).unwrap(), data);
+        assert_eq!(bgzf::decompress(&c).unwrap(), data, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bgzf_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn bgzf_never_panics_on_garbage() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x6a2b);
+        let data = random_bytes(&mut rng, 2000);
         let _ = bgzf::decompress(&data); // must not panic
     }
+}
 
-    #[test]
-    fn sam_and_bam_round_trip_generated_records(recs in records_strategy()) {
-        let dict = RefDict { refs: vec![("chr1".into(), 1 << 26), ("chr2".into(), 1 << 24)] };
+#[test]
+fn sam_and_bam_round_trip_generated_records() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x5a3);
+        let recs = random_records(&mut rng);
+        let dict = RefDict {
+            refs: vec![("chr1".into(), 1 << 26), ("chr2".into(), 1 << 24)],
+        };
         let text = sam::write_sam(&dict, &recs);
         let (d1, r1) = sam::read_sam(&text).unwrap();
-        prop_assert_eq!(&d1, &dict);
-        prop_assert_eq!(&r1, &recs);
+        assert_eq!(&d1, &dict, "seed {seed}");
+        assert_eq!(&r1, &recs, "seed {seed}");
         let bin = bam::write_bam(&dict, &recs);
         let (d2, r2) = bam::read_bam(&bin).unwrap();
-        prop_assert_eq!(&d2, &dict);
-        prop_assert_eq!(&r2, &recs);
+        assert_eq!(&d2, &dict, "seed {seed}");
+        assert_eq!(&r2, &recs, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bam_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn bam_never_panics_on_garbage() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xba41);
+        let data = random_bytes(&mut rng, 2000);
         let _ = bam::read_bam(&data); // must not panic
     }
 }
 
-fn records_strategy() -> impl Strategy<Value = Vec<Record>> {
-    let record = (
-        "[A-Za-z0-9:._-]{1,20}",                  // qname (no tabs/whitespace)
-        any::<u16>(),                             // raw flag bits
-        0i32..2,                                  // tid within the dict
-        1i32..1_000_000,                          // pos
-        any::<u8>(),                              // mapq
-        prop::collection::vec((1u32..200, 0u32..4), 0..4), // cigar
-        prop::collection::vec(prop::sample::select(b"ACGTN".to_vec()), 0..40),
-    )
-        .prop_map(|(qname, rawflag, tid, pos, mapq, cigar_raw, seq)| {
+fn random_records(rng: &mut SimRng) -> Vec<Record> {
+    const QNAME_CHARS: &[u8] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789:._-";
+    (0..rng.index(30))
+        .map(|_| {
+            let qname: String = (0..rng.index(20) + 1)
+                .map(|_| QNAME_CHARS[rng.index(QNAME_CHARS.len())] as char)
+                .collect();
+            let rawflag = rng.next_u64() as u16;
+            let tid = rng.gen_range(0..2) as i32;
+            let pos = rng.gen_range(1..1_000_000) as i32;
+            let mapq = rng.next_u64() as u8;
             let unmapped = rawflag & flags::UNMAPPED != 0;
-            let cigar: Vec<(u32, CigarOp)> = cigar_raw
-                .into_iter()
-                .map(|(n, op)| {
-                    (n, match op {
+            let cigar: Vec<(u32, CigarOp)> = (0..rng.index(4))
+                .map(|_| {
+                    let n = rng.gen_range(1..200) as u32;
+                    let op = match rng.gen_range(0..4) {
                         0 => CigarOp::Match,
                         1 => CigarOp::Ins,
                         2 => CigarOp::Del,
                         _ => CigarOp::SoftClip,
-                    })
+                    };
+                    (n, op)
                 })
                 .collect();
+            let seq: Vec<u8> = (0..rng.index(40)).map(|_| b"ACGTN"[rng.index(5)]).collect();
             let qual: Vec<u8> = seq.iter().map(|&b| (b % 40) + 2).collect();
             Record {
                 qname,
@@ -84,6 +118,6 @@ fn records_strategy() -> impl Strategy<Value = Vec<Record>> {
                 seq,
                 qual,
             }
-        });
-    prop::collection::vec(record, 0..30)
+        })
+        .collect()
 }

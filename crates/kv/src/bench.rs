@@ -15,11 +15,8 @@
 //!    FIFO reader/writer segment lock with handoff and cache-line-bounce
 //!    penalties, and the socket path's per-message kernel costs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sjmp_mem::cost::{CostModel, Machine, MachineProfile};
-use sjmp_mem::KernelFlavor;
+use sjmp_mem::{KernelFlavor, SimRng};
 use sjmp_os::sim::{Cores, EventQueue, LockMode, SimRwLock};
 use sjmp_os::{Creds, Kernel};
 use spacejmp_core::{SjResult, SpaceJmp};
@@ -91,7 +88,11 @@ pub struct Throughput {
 
 fn throughput(profile: &MachineProfile, requests: u64, cycles: u64) -> Throughput {
     let secs = profile.cycles_to_secs(cycles.max(1));
-    Throughput { requests, secs, rps: requests as f64 / secs }
+    Throughput {
+        requests,
+        secs,
+        rps: requests as f64 / secs,
+    }
 }
 
 /// Number of keys preloaded before measuring.
@@ -115,7 +116,9 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
     if tagging {
         sj.kernel_mut().set_tagging(true);
     }
-    let pid = sj.kernel_mut().spawn("bench-client", Creds::new(100, 100))?;
+    let pid = sj
+        .kernel_mut()
+        .spawn("bench-client", Creds::new(100, 100))?;
     sj.kernel_mut().activate(pid)?;
     let mut client = JmpClient::join_with_tags(&mut sj, pid, "measure", 0, tagging)?;
     let payload = vec![b'x'; PAYLOAD];
@@ -143,8 +146,9 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
         server.handle_request(&mut sj2, &cmd)?;
     }
     let clock2 = sj2.kernel().clock().clone();
-    let get_wire: Vec<Vec<u8>> =
-        (0..reps).map(|i| Command::Get(preload_key(i as usize % PRELOAD_KEYS)).encode()).collect();
+    let get_wire: Vec<Vec<u8>> = (0..reps)
+        .map(|i| Command::Get(preload_key(i as usize % PRELOAD_KEYS)).encode())
+        .collect();
     let t2 = clock2.now();
     for w in &get_wire {
         server.handle_request(&mut sj2, w)?;
@@ -159,7 +163,12 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
     }
     let server_set = clock2.since(t3) / reps;
 
-    Ok(OpCosts { jmp_get, jmp_set, server_get, server_set })
+    Ok(OpCosts {
+        jmp_get,
+        jmp_set,
+        server_get,
+        server_set,
+    })
 }
 
 /// Runs the classic socket-served design with `instances` independent
@@ -180,7 +189,11 @@ pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput
     let server_time = |is_set: bool| {
         2 * cost.socket_msg
             + loop_overhead
-            + if is_set { costs.server_set } else { costs.server_get }
+            + if is_set {
+                costs.server_set
+            } else {
+                costs.server_get
+            }
     };
     // Client-side time per request: prepare+write, then read+process.
     let client_pre = cost.socket_msg + 500;
@@ -199,7 +212,7 @@ pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput
         Respond(usize),
     }
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut events: EventQueue<Ev> = EventQueue::new();
     for c in 0..cfg.clients {
         events.push(0, Ev::Ready(c));
@@ -214,7 +227,7 @@ pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput
     while let Some((t, ev)) = events.pop() {
         match ev {
             Ev::Ready(c) => {
-                is_set[c] = rng.gen_range(0..100) < cfg.set_pct as u32;
+                is_set[c] = rng.gen_range(0..100) < u64::from(cfg.set_pct);
                 let (_, pe) = client_cores.reserve(t, client_pre);
                 events.push(pe + wire, Ev::Arrive(c));
             }
@@ -267,7 +280,7 @@ pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
         Release(usize),
     }
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut events: EventQueue<Ev> = EventQueue::new();
     for c in 0..cfg.clients {
         events.push(0, Ev::Start(c));
@@ -283,15 +296,23 @@ pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
     let reader_bounce = cfg.reader_bounce;
     let visit_cycles = move |is_set: bool, readers_now: usize| -> u64 {
         let base = if is_set { costs.jmp_set } else { costs.jmp_get };
-        let bounce = if is_set { 0 } else { readers_now.saturating_sub(1) as u64 * reader_bounce };
+        let bounce = if is_set {
+            0
+        } else {
+            readers_now.saturating_sub(1) as u64 * reader_bounce
+        };
         base + bounce
     };
 
     while let Some((t, ev)) = events.pop() {
         match ev {
             Ev::Start(c) => {
-                let is_set = rng.gen_range(0..100) < cfg.set_pct as u32;
-                mode[c] = if is_set { LockMode::Exclusive } else { LockMode::Shared };
+                let is_set = rng.gen_range(0..100) < u64::from(cfg.set_pct);
+                mode[c] = if is_set {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
                 if lock.acquire(c, mode[c]) {
                     events.push(t, Ev::Begin(c));
                 }
@@ -326,13 +347,21 @@ mod tests {
     use super::*;
 
     fn cfg(clients: usize, set_pct: u8) -> KvBenchConfig {
-        KvBenchConfig { clients, requests_per_client: 60, set_pct, ..KvBenchConfig::default() }
+        KvBenchConfig {
+            clients,
+            requests_per_client: 60,
+            set_pct,
+            ..KvBenchConfig::default()
+        }
     }
 
     #[test]
     fn costs_are_sane() {
         let c = measure_costs(false).unwrap();
-        assert!(c.jmp_get > 2 * 1127, "visit includes two untagged switches: {c:?}");
+        assert!(
+            c.jmp_get > 2 * 1127,
+            "visit includes two untagged switches: {c:?}"
+        );
         assert!(c.jmp_set >= c.jmp_get / 2, "{c:?}");
         assert!(c.server_get > 0 && c.server_set > 0);
         // Tagged switches are cheaper end to end.
@@ -361,7 +390,10 @@ mod tests {
         assert!(many.rps > one.rps, "more clients fill the pipe");
         let more = run_classic(&cfg(80, 0), 1).unwrap();
         let growth = more.rps / many.rps;
-        assert!(growth < 1.3, "single-threaded server is the bottleneck: {growth}");
+        assert!(
+            growth < 1.3,
+            "single-threaded server is the bottleneck: {growth}"
+        );
     }
 
     #[test]
@@ -376,7 +408,12 @@ mod tests {
         let r1 = run_jmp(&cfg(1, 0)).unwrap();
         let r8 = run_jmp(&cfg(8, 0)).unwrap();
         let r40 = run_jmp(&cfg(40, 0)).unwrap();
-        assert!(r8.rps > 2.0 * r1.rps, "parallel readers scale: {} vs {}", r8.rps, r1.rps);
+        assert!(
+            r8.rps > 2.0 * r1.rps,
+            "parallel readers scale: {} vs {}",
+            r8.rps,
+            r1.rps
+        );
         assert!(r40.rps < r8.rps * 4.0, "saturation past the core count");
     }
 
@@ -385,8 +422,18 @@ mod tests {
         let r1 = run_jmp(&cfg(1, 100)).unwrap();
         let r4 = run_jmp(&cfg(4, 100)).unwrap();
         let r60 = run_jmp(&cfg(60, 100)).unwrap();
-        assert!(r4.rps < 2.0 * r1.rps, "writers do not scale: {} vs {}", r4.rps, r1.rps);
-        assert!(r60.rps < r4.rps, "handoff overhead degrades throughput: {} vs {}", r60.rps, r4.rps);
+        assert!(
+            r4.rps < 2.0 * r1.rps,
+            "writers do not scale: {} vs {}",
+            r4.rps,
+            r1.rps
+        );
+        assert!(
+            r60.rps < r4.rps,
+            "handoff overhead degrades throughput: {} vs {}",
+            r60.rps,
+            r4.rps
+        );
     }
 
     #[test]
@@ -394,8 +441,18 @@ mod tests {
         let pure_get = run_jmp(&cfg(24, 0)).unwrap();
         let mixed = run_jmp(&cfg(24, 30)).unwrap();
         let pure_set = run_jmp(&cfg(24, 100)).unwrap();
-        assert!(pure_get.rps > mixed.rps, "{} vs {}", pure_get.rps, mixed.rps);
-        assert!(mixed.rps > pure_set.rps, "{} vs {}", mixed.rps, pure_set.rps);
+        assert!(
+            pure_get.rps > mixed.rps,
+            "{} vs {}",
+            pure_get.rps,
+            mixed.rps
+        );
+        assert!(
+            mixed.rps > pure_set.rps,
+            "{} vs {}",
+            mixed.rps,
+            pure_set.rps
+        );
     }
 
     #[test]

@@ -145,7 +145,11 @@ impl SegDict {
         hash: u64,
         key: &[u8],
     ) -> SjResult<Option<(VirtAddr, VirtAddr)>> {
-        let (tbl_f, cap_f) = if t == 0 { (H_T0, H_CAP0) } else { (H_T1, H_CAP1) };
+        let (tbl_f, cap_f) = if t == 0 {
+            (H_T0, H_CAP0)
+        } else {
+            (H_T1, H_CAP1)
+        };
         let k = sj.kernel_mut();
         let table = k.load_u64(pid, self.h(tbl_f))?;
         if table == 0 {
@@ -231,8 +235,11 @@ impl SegDict {
         }
         // Fresh insert, into table1 if rehashing else table0.
         let rehashing = self.is_rehashing(sj, pid)?;
-        let (tbl_f, cap_f, used_f) =
-            if rehashing { (H_T1, H_CAP1, H_USED1) } else { (H_T0, H_CAP0, H_USED0) };
+        let (tbl_f, cap_f, used_f) = if rehashing {
+            (H_T1, H_CAP1, H_USED1)
+        } else {
+            (H_T0, H_CAP0, H_USED0)
+        };
         let entry = self.heap.malloc(sj, pid, ENTRY_SIZE)?;
         let kptr = self.heap.malloc(sj, pid, key.len().max(1) as u64)?;
         let vptr = self.heap.malloc(sj, pid, val.len().max(1) as u64)?;
@@ -277,7 +284,11 @@ impl SegDict {
                 let k = sj.kernel_mut();
                 let next = k.load_u64(pid, e.add(E_NEXT))?;
                 if prev == VirtAddr::NULL {
-                    let (tbl_f, cap_f) = if t == 0 { (H_T0, H_CAP0) } else { (H_T1, H_CAP1) };
+                    let (tbl_f, cap_f) = if t == 0 {
+                        (H_T0, H_CAP0)
+                    } else {
+                        (H_T1, H_CAP1)
+                    };
                     let table = k.load_u64(pid, self.h(tbl_f))?;
                     let cap = k.load_u64(pid, self.h(cap_f))?;
                     let bucket = VirtAddr::new(table).add((hash & (cap - 1)) * 8);
@@ -306,7 +317,10 @@ impl SegDict {
         }
         let (cap0, used0) = {
             let k = sj.kernel_mut();
-            (k.load_u64(pid, self.h(H_CAP0))?, k.load_u64(pid, self.h(H_USED0))?)
+            (
+                k.load_u64(pid, self.h(H_CAP0))?,
+                k.load_u64(pid, self.h(H_USED0))?,
+            )
         };
         if used0 < cap0 {
             return Ok(());
@@ -397,7 +411,13 @@ mod tests {
         sj.kernel_mut().activate(pid).unwrap();
         let vid = sj.vas_create(pid, "kv", Mode(0o660)).unwrap();
         let sid = sj
-            .seg_alloc(pid, "kv-seg", VirtAddr::new(0x1000_0000_0000), 4 << 20, Mode(0o660))
+            .seg_alloc(
+                pid,
+                "kv-seg",
+                VirtAddr::new(0x1000_0000_0000),
+                4 << 20,
+                Mode(0o660),
+            )
             .unwrap();
         sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).unwrap();
         let vh = sj.vas_attach(pid, vid).unwrap();
@@ -412,7 +432,8 @@ mod tests {
         let (mut sj, pid, dict) = setup();
         let mut stats = DictStats::default();
         assert_eq!(dict.get(&mut sj, pid, b"missing").unwrap(), None);
-        dict.set(&mut sj, pid, b"k1", b"v1", true, &mut stats).unwrap();
+        dict.set(&mut sj, pid, b"k1", b"v1", true, &mut stats)
+            .unwrap();
         assert_eq!(dict.get(&mut sj, pid, b"k1").unwrap(), Some(b"v1".to_vec()));
         assert_eq!(dict.len(&mut sj, pid).unwrap(), 1);
         assert!(dict.del(&mut sj, pid, b"k1", true, &mut stats).unwrap());
@@ -424,9 +445,14 @@ mod tests {
     fn replace_updates_value() {
         let (mut sj, pid, dict) = setup();
         let mut stats = DictStats::default();
-        dict.set(&mut sj, pid, b"k", b"old", true, &mut stats).unwrap();
-        dict.set(&mut sj, pid, b"k", b"newer-value", true, &mut stats).unwrap();
-        assert_eq!(dict.get(&mut sj, pid, b"k").unwrap(), Some(b"newer-value".to_vec()));
+        dict.set(&mut sj, pid, b"k", b"old", true, &mut stats)
+            .unwrap();
+        dict.set(&mut sj, pid, b"k", b"newer-value", true, &mut stats)
+            .unwrap();
+        assert_eq!(
+            dict.get(&mut sj, pid, b"k").unwrap(),
+            Some(b"newer-value".to_vec())
+        );
         assert_eq!(dict.len(&mut sj, pid).unwrap(), 1);
     }
 
@@ -437,7 +463,15 @@ mod tests {
         for i in 0..200u32 {
             let key = format!("key-{i}");
             let val = format!("val-{i}");
-            dict.set(&mut sj, pid, key.as_bytes(), val.as_bytes(), true, &mut stats).unwrap();
+            dict.set(
+                &mut sj,
+                pid,
+                key.as_bytes(),
+                val.as_bytes(),
+                true,
+                &mut stats,
+            )
+            .unwrap();
         }
         assert_eq!(dict.len(&mut sj, pid).unwrap(), 200);
         assert!(stats.resizes >= 1, "must have resized at least once");
@@ -459,16 +493,28 @@ mod tests {
         // Insert many entries with allow_rehash = false: table must not
         // resize (readers may be traversing).
         for i in 0..100u32 {
-            dict.set(&mut sj, pid, format!("k{i}").as_bytes(), b"v", false, &mut stats).unwrap();
+            dict.set(
+                &mut sj,
+                pid,
+                format!("k{i}").as_bytes(),
+                b"v",
+                false,
+                &mut stats,
+            )
+            .unwrap();
         }
         assert_eq!(stats.resizes, 0);
         assert!(!dict.is_rehashing(&mut sj, pid).unwrap());
         // All entries remain reachable despite load factor > 1.
         for i in 0..100u32 {
-            assert!(dict.get(&mut sj, pid, format!("k{i}").as_bytes()).unwrap().is_some());
+            assert!(dict
+                .get(&mut sj, pid, format!("k{i}").as_bytes())
+                .unwrap()
+                .is_some());
         }
         // One write with the exclusive lock picks up the resize.
-        dict.set(&mut sj, pid, b"trigger", b"v", true, &mut stats).unwrap();
+        dict.set(&mut sj, pid, b"trigger", b"v", true, &mut stats)
+            .unwrap();
         assert_eq!(stats.resizes, 1);
     }
 
@@ -477,8 +523,15 @@ mod tests {
         let (mut sj, pid, dict) = setup();
         let mut stats = DictStats::default();
         for i in 0..40u32 {
-            dict.set(&mut sj, pid, format!("k{i}").as_bytes(), format!("v{i}").as_bytes(), true, &mut stats)
-                .unwrap();
+            dict.set(
+                &mut sj,
+                pid,
+                format!("k{i}").as_bytes(),
+                format!("v{i}").as_bytes(),
+                true,
+                &mut stats,
+            )
+            .unwrap();
         }
         // If a rehash is in flight, both tables must serve lookups.
         for i in 0..40u32 {
@@ -493,7 +546,8 @@ mod tests {
     fn persists_across_processes() {
         let (mut sj, pid, dict) = setup();
         let mut stats = DictStats::default();
-        dict.set(&mut sj, pid, b"shared", b"state", true, &mut stats).unwrap();
+        dict.set(&mut sj, pid, b"shared", b"state", true, &mut stats)
+            .unwrap();
         // A second process attaches the same VAS and opens the dict.
         let p2 = sj.kernel_mut().spawn("kv2", Creds::new(1, 1)).unwrap();
         sj.kernel_mut().activate(p2).unwrap();
@@ -504,7 +558,10 @@ mod tests {
         let sid = sj.seg_find("kv-seg").unwrap();
         let heap2 = VasHeap::open(&mut sj, p2, sid).unwrap();
         let dict2 = SegDict::open(&mut sj, p2, heap2).unwrap();
-        assert_eq!(dict2.get(&mut sj, p2, b"shared").unwrap(), Some(b"state".to_vec()));
+        assert_eq!(
+            dict2.get(&mut sj, p2, b"shared").unwrap(),
+            Some(b"state".to_vec())
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use sjmp_mem::VirtAddr;
 use sjmp_os::kernel::GLOBAL_LO;
 use sjmp_os::{Mode, Pid};
-use spacejmp_core::{AttachMode, SjError, SjResult, SpaceJmp, VasHandle, VasHeap};
+use spacejmp_core::{AttachMode, RetryPolicy, SjError, SjResult, SpaceJmp, VasHandle, VasHeap};
 
 use crate::dict::{DictStats, SegDict};
 use crate::resp::{Command, Reply};
@@ -57,6 +57,9 @@ pub struct JmpClient {
     scratch: VasHeap,
     dict: SegDict,
     stats: DictStats,
+    /// Backoff schedule for contended switches; every command retries
+    /// with this before surfacing [`SjError::WouldBlock`].
+    retry: RetryPolicy,
 }
 
 impl JmpClient {
@@ -68,7 +71,12 @@ impl JmpClient {
     /// # Errors
     ///
     /// Propagates SpaceJMP failures.
-    pub fn join(sj: &mut SpaceJmp, pid: Pid, store: &str, client_idx: usize) -> SjResult<JmpClient> {
+    pub fn join(
+        sj: &mut SpaceJmp,
+        pid: Pid,
+        store: &str,
+        client_idx: usize,
+    ) -> SjResult<JmpClient> {
         Self::join_with_tags(sj, pid, store, client_idx, false)
     }
 
@@ -129,7 +137,8 @@ impl JmpClient {
 
         // Initialize or open the store under the write mapping, and
         // format the scratch heap.
-        sj.vas_switch(pid, vh_write)?;
+        let retry = RetryPolicy::default();
+        sj.vas_switch_retry(pid, vh_write, &retry)?;
         let scratch = VasHeap::format(sj, pid, scratch_sid)?;
         let dict = if fresh {
             let heap = VasHeap::format(sj, pid, sid)?;
@@ -139,7 +148,15 @@ impl JmpClient {
             SegDict::open(sj, pid, heap)?
         };
         sj.vas_switch_home(pid)?;
-        Ok(JmpClient { pid, vh_read, vh_write, scratch, dict, stats: DictStats::default() })
+        Ok(JmpClient {
+            pid,
+            vh_read,
+            vh_write,
+            scratch,
+            dict,
+            stats: DictStats::default(),
+            retry,
+        })
     }
 
     /// The client's process.
@@ -176,11 +193,13 @@ impl JmpClient {
     ///
     /// [`SjError::WouldBlock`] when a writer holds the store's lock.
     pub fn get(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> SjResult<Option<Vec<u8>>> {
-        sj.vas_switch(self.pid, self.vh_read)?;
+        sj.vas_switch_retry(self.pid, self.vh_read, &self.retry)?;
         sj.kernel().clock().advance(COMMAND_OVERHEAD);
         let result = (|| {
             let cmd = self.parse_via_scratch(sj, &Command::Get(key.to_vec()))?;
-            let Command::Get(k) = cmd else { unreachable!("encoded a GET") };
+            let Command::Get(k) = cmd else {
+                unreachable!("encoded a GET")
+            };
             self.dict.get(sj, self.pid, &k)
         })();
         sj.vas_switch_home(self.pid)?;
@@ -193,11 +212,13 @@ impl JmpClient {
     ///
     /// [`SjError::WouldBlock`] when readers or a writer hold the lock.
     pub fn set(&mut self, sj: &mut SpaceJmp, key: &[u8], val: &[u8]) -> SjResult<()> {
-        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.vas_switch_retry(self.pid, self.vh_write, &self.retry)?;
         sj.kernel().clock().advance(COMMAND_OVERHEAD);
         let result = (|| {
             let cmd = self.parse_via_scratch(sj, &Command::Set(key.to_vec(), val.to_vec()))?;
-            let Command::Set(k, v) = cmd else { unreachable!("encoded a SET") };
+            let Command::Set(k, v) = cmd else {
+                unreachable!("encoded a SET")
+            };
             // Exclusive lock held: resizing and rehashing permitted.
             self.dict.set(sj, self.pid, &k, &v, true, &mut self.stats)
         })();
@@ -213,7 +234,7 @@ impl JmpClient {
     /// [`SjError::InvalidArgument`] for non-integer values; lock errors
     /// as in [`Self::set`].
     pub fn incr(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> SjResult<i64> {
-        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.vas_switch_retry(self.pid, self.vh_write, &self.retry)?;
         sj.kernel().clock().advance(COMMAND_OVERHEAD);
         let result = (|| {
             let current = match self.dict.get(sj, self.pid, key)? {
@@ -224,7 +245,14 @@ impl JmpClient {
                     .ok_or(SjError::InvalidArgument("value is not an integer"))?,
             };
             let next = current + 1;
-            self.dict.set(sj, self.pid, key, next.to_string().as_bytes(), true, &mut self.stats)?;
+            self.dict.set(
+                sj,
+                self.pid,
+                key,
+                next.to_string().as_bytes(),
+                true,
+                &mut self.stats,
+            )?;
             Ok(next)
         })();
         sj.vas_switch_home(self.pid)?;
@@ -238,13 +266,14 @@ impl JmpClient {
     ///
     /// Lock errors as in [`Self::set`].
     pub fn append(&mut self, sj: &mut SpaceJmp, key: &[u8], val: &[u8]) -> SjResult<usize> {
-        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.vas_switch_retry(self.pid, self.vh_write, &self.retry)?;
         sj.kernel().clock().advance(COMMAND_OVERHEAD);
         let result = (|| {
             let mut cur = self.dict.get(sj, self.pid, key)?.unwrap_or_default();
             cur.extend_from_slice(val);
             let len = cur.len();
-            self.dict.set(sj, self.pid, key, &cur, true, &mut self.stats)?;
+            self.dict
+                .set(sj, self.pid, key, &cur, true, &mut self.stats)?;
             Ok(len)
         })();
         sj.vas_switch_home(self.pid)?;
@@ -257,7 +286,7 @@ impl JmpClient {
     ///
     /// As [`Self::set`].
     pub fn del(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> SjResult<bool> {
-        sj.vas_switch(self.pid, self.vh_write)?;
+        sj.vas_switch_retry(self.pid, self.vh_write, &self.retry)?;
         sj.kernel().clock().advance(COMMAND_OVERHEAD);
         let result = self.dict.del(sj, self.pid, key, true, &mut self.stats);
         sj.vas_switch_home(self.pid)?;
@@ -301,7 +330,10 @@ mod tests {
         let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
         let clients = (0..n)
             .map(|i| {
-                let pid = sj.kernel_mut().spawn(&format!("client{i}"), Creds::new(100, 100)).unwrap();
+                let pid = sj
+                    .kernel_mut()
+                    .spawn(&format!("client{i}"), Creds::new(100, 100))
+                    .unwrap();
                 sj.kernel_mut().activate(pid).unwrap();
                 JmpClient::join(&mut sj, pid, "bench", i).unwrap()
             })
@@ -329,7 +361,10 @@ mod tests {
         }
         // A later write by another client is seen by the first.
         clients[2].set(&mut sj, b"shared", b"updated").unwrap();
-        assert_eq!(clients[0].get(&mut sj, b"shared").unwrap(), Some(b"updated".to_vec()));
+        assert_eq!(
+            clients[0].get(&mut sj, b"shared").unwrap(),
+            Some(b"updated".to_vec())
+        );
     }
 
     #[test]
@@ -342,7 +377,10 @@ mod tests {
         // Client 2 can still read (shared)...
         assert_eq!(clients[2].get(&mut sj, b"k").unwrap(), Some(b"v".to_vec()));
         // ...but cannot write (reader holds the lock).
-        assert_eq!(clients[2].set(&mut sj, b"k", b"x"), Err(SjError::WouldBlock));
+        assert_eq!(
+            clients[2].set(&mut sj, b"k", b"x"),
+            Err(SjError::WouldBlock)
+        );
         sj.vas_switch_home(p1).unwrap();
         clients[2].set(&mut sj, b"k", b"x").unwrap();
     }
@@ -351,10 +389,16 @@ mod tests {
     fn wire_level_requests() {
         let (mut sj, mut clients) = setup(1);
         let set = Command::Set(b"a".to_vec(), b"1".to_vec()).encode();
-        assert_eq!(clients[0].handle_request(&mut sj, &set).unwrap(), b"+OK\r\n");
+        assert_eq!(
+            clients[0].handle_request(&mut sj, &set).unwrap(),
+            b"+OK\r\n"
+        );
         let get = Command::Get(b"a".to_vec()).encode();
         let resp = clients[0].handle_request(&mut sj, &get).unwrap();
-        assert_eq!(Reply::parse(&resp).unwrap(), Reply::Bulk(Some(b"1".to_vec())));
+        assert_eq!(
+            Reply::parse(&resp).unwrap(),
+            Reply::Bulk(Some(b"1".to_vec()))
+        );
     }
 
     #[test]
@@ -362,11 +406,19 @@ mod tests {
         let (mut sj, mut clients) = setup(2);
         for i in 0..150u32 {
             let c = (i % 2) as usize;
-            clients[c].set(&mut sj, format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            clients[c]
+                .set(
+                    &mut sj,
+                    format!("k{i}").as_bytes(),
+                    format!("v{i}").as_bytes(),
+                )
+                .unwrap();
         }
         for i in 0..150u32 {
             assert_eq!(
-                clients[(i % 2) as usize].get(&mut sj, format!("k{i}").as_bytes()).unwrap(),
+                clients[(i % 2) as usize]
+                    .get(&mut sj, format!("k{i}").as_bytes())
+                    .unwrap(),
                 Some(format!("v{i}").into_bytes())
             );
         }
@@ -391,7 +443,10 @@ mod more_tests {
         assert_eq!(c.append(&mut sj, b"s", b"cd").unwrap(), 4);
         assert_eq!(c.get(&mut sj, b"s").unwrap(), Some(b"abcd".to_vec()));
         // INCR on a non-integer is an error and releases the lock.
-        assert!(matches!(c.incr(&mut sj, b"s"), Err(SjError::InvalidArgument(_))));
+        assert!(matches!(
+            c.incr(&mut sj, b"s"),
+            Err(SjError::InvalidArgument(_))
+        ));
         c.set(&mut sj, b"s", b"1").unwrap(); // lock not stuck
     }
 

@@ -140,12 +140,16 @@ impl Reply {
             Some(b'+') => Ok(Reply::Ok),
             Some(b'-') => {
                 let msg = String::from_utf8_lossy(&line[1..]).into_owned();
-                Ok(Reply::Error(msg.strip_prefix("ERR ").unwrap_or(&msg).to_string()))
+                Ok(Reply::Error(
+                    msg.strip_prefix("ERR ").unwrap_or(&msg).to_string(),
+                ))
             }
             Some(b':') => {
                 let s = std::str::from_utf8(&line[1..])
                     .map_err(|_| RespError::Malformed("non-utf8 integer"))?;
-                Ok(Reply::Int(s.parse().map_err(|_| RespError::Malformed("bad integer"))?))
+                Ok(Reply::Int(
+                    s.parse().map_err(|_| RespError::Malformed("bad integer"))?,
+                ))
             }
             Some(b'$') => {
                 let n: i64 = std::str::from_utf8(&line[1..])
@@ -263,7 +267,10 @@ mod tests {
         assert!(Command::parse(b"*1\r\n$3\r\nFOO\r\n").is_err());
         assert!(Command::parse(b"*1\r\n$3\r\nGET\r\n").is_err(), "arity");
         assert!(Command::parse(b"*2\r\n$3\r\nGET\r\n$9\r\nshort\r\n").is_err());
-        assert!(Command::parse(b"+OK\r\n").is_err(), "reply is not a command");
+        assert!(
+            Command::parse(b"+OK\r\n").is_err(),
+            "reply is not a command"
+        );
         assert!(Reply::parse(b"?\r\n").is_err());
         assert!(Reply::parse(b"$5\r\nab\r\n").is_err());
     }

@@ -9,7 +9,7 @@
 use sjmp_mem::VirtAddr;
 use sjmp_os::kernel::GLOBAL_LO;
 use sjmp_os::{Creds, Mode, Pid};
-use spacejmp_core::{AttachMode, SjResult, SpaceJmp, VasHeap};
+use spacejmp_core::{AttachMode, RetryPolicy, SjResult, SpaceJmp, VasHeap};
 
 use crate::dict::{DictStats, SegDict};
 use crate::resp::{Command, Reply};
@@ -41,17 +41,33 @@ impl RedisServer {
     ///
     /// Propagates SpaceJMP failures.
     pub fn launch(sj: &mut SpaceJmp, idx: usize) -> SjResult<RedisServer> {
-        let pid = sj.kernel_mut().spawn(&format!("redis-{idx}"), Creds::new(600, 600))?;
+        let pid = sj
+            .kernel_mut()
+            .spawn(&format!("redis-{idx}"), Creds::new(600, 600))?;
         sj.kernel_mut().activate(pid)?;
         let base = VirtAddr::new(GLOBAL_LO.raw() + (idx as u64) * (1 << 39));
         let vid = sj.vas_create(pid, &format!("redis-vas-{idx}"), Mode(0o600))?;
-        let sid = sj.seg_alloc(pid, &format!("redis-data-{idx}"), base, STORE_SEGMENT_BYTES, Mode(0o600))?;
+        let sid = sj.seg_alloc(
+            pid,
+            &format!("redis-data-{idx}"),
+            base,
+            STORE_SEGMENT_BYTES,
+            Mode(0o600),
+        )?;
         sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)?;
         let vh = sj.vas_attach(pid, vid)?;
-        sj.vas_switch(pid, vh)?;
+        // The store VAS is freshly created, but a restarted instance can
+        // race a not-yet-reaped predecessor's lock — back off rather than
+        // fail the launch.
+        sj.vas_switch_retry(pid, vh, &RetryPolicy::default())?;
         let heap = VasHeap::format(sj, pid, sid)?;
         let dict = SegDict::create(sj, pid, heap)?;
-        Ok(RedisServer { pid, dict, stats: DictStats::default(), requests: 0 })
+        Ok(RedisServer {
+            pid,
+            dict,
+            stats: DictStats::default(),
+            requests: 0,
+        })
     }
 
     /// The server's process id.
@@ -92,13 +108,23 @@ impl RedisServer {
             Command::Incr(k) => {
                 let current = match self.dict.get(sj, pid, k)? {
                     None => 0,
-                    Some(bytes) => match std::str::from_utf8(&bytes).ok().and_then(|s| s.parse::<i64>().ok()) {
+                    Some(bytes) => match std::str::from_utf8(&bytes)
+                        .ok()
+                        .and_then(|s| s.parse::<i64>().ok())
+                    {
                         Some(n) => n,
                         None => return Ok(Reply::Error("value is not an integer".into())),
                     },
                 };
                 let next = current + 1;
-                self.dict.set(sj, pid, k, next.to_string().as_bytes(), true, &mut self.stats)?;
+                self.dict.set(
+                    sj,
+                    pid,
+                    k,
+                    next.to_string().as_bytes(),
+                    true,
+                    &mut self.stats,
+                )?;
                 Reply::Int(next)
             }
             Command::Append(k, v) => {
@@ -145,41 +171,62 @@ mod tests {
             Reply::Bulk(None)
         );
         assert_eq!(
-            s.execute(&mut sj, &Command::Set(b"x".to_vec(), b"1".to_vec())).unwrap(),
+            s.execute(&mut sj, &Command::Set(b"x".to_vec(), b"1".to_vec()))
+                .unwrap(),
             Reply::Ok
         );
         assert_eq!(
             s.execute(&mut sj, &Command::Get(b"x".to_vec())).unwrap(),
             Reply::Bulk(Some(b"1".to_vec()))
         );
-        assert_eq!(s.execute(&mut sj, &Command::Incr(b"x".to_vec())).unwrap(), Reply::Int(2));
         assert_eq!(
-            s.execute(&mut sj, &Command::Append(b"x".to_vec(), b"30".to_vec())).unwrap(),
+            s.execute(&mut sj, &Command::Incr(b"x".to_vec())).unwrap(),
+            Reply::Int(2)
+        );
+        assert_eq!(
+            s.execute(&mut sj, &Command::Append(b"x".to_vec(), b"30".to_vec()))
+                .unwrap(),
             Reply::Int(3)
         );
         assert_eq!(
             s.execute(&mut sj, &Command::Get(b"x".to_vec())).unwrap(),
             Reply::Bulk(Some(b"230".to_vec()))
         );
-        assert_eq!(s.execute(&mut sj, &Command::Del(b"x".to_vec())).unwrap(), Reply::Int(1));
-        assert_eq!(s.execute(&mut sj, &Command::Del(b"x".to_vec())).unwrap(), Reply::Int(0));
+        assert_eq!(
+            s.execute(&mut sj, &Command::Del(b"x".to_vec())).unwrap(),
+            Reply::Int(1)
+        );
+        assert_eq!(
+            s.execute(&mut sj, &Command::Del(b"x".to_vec())).unwrap(),
+            Reply::Int(0)
+        );
     }
 
     #[test]
     fn incr_non_integer_is_an_error() {
         let (mut sj, mut s) = setup();
-        s.execute(&mut sj, &Command::Set(b"x".to_vec(), b"abc".to_vec())).unwrap();
-        assert!(matches!(s.execute(&mut sj, &Command::Incr(b"x".to_vec())).unwrap(), Reply::Error(_)));
+        s.execute(&mut sj, &Command::Set(b"x".to_vec(), b"abc".to_vec()))
+            .unwrap();
+        assert!(matches!(
+            s.execute(&mut sj, &Command::Incr(b"x".to_vec())).unwrap(),
+            Reply::Error(_)
+        ));
     }
 
     #[test]
     fn handle_request_wire_level() {
         let (mut sj, mut s) = setup();
         let set = Command::Set(b"k".to_vec(), b"v".to_vec()).encode();
-        assert_eq!(s.handle_request(&mut sj, &set).unwrap(), b"+OK\r\n".to_vec());
+        assert_eq!(
+            s.handle_request(&mut sj, &set).unwrap(),
+            b"+OK\r\n".to_vec()
+        );
         let get = Command::Get(b"k".to_vec()).encode();
         let resp = s.handle_request(&mut sj, &get).unwrap();
-        assert_eq!(Reply::parse(&resp).unwrap(), Reply::Bulk(Some(b"v".to_vec())));
+        assert_eq!(
+            Reply::parse(&resp).unwrap(),
+            Reply::Bulk(Some(b"v".to_vec()))
+        );
         // Garbage gets an error reply, not a crash.
         let resp = s.handle_request(&mut sj, b"garbage").unwrap();
         assert!(matches!(Reply::parse(&resp).unwrap(), Reply::Error(_)));
@@ -189,11 +236,16 @@ mod tests {
     #[test]
     fn multiple_instances_coexist() {
         let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
-        let mut servers: Vec<RedisServer> =
-            (0..3).map(|i| RedisServer::launch(&mut sj, i).unwrap()).collect();
+        let mut servers: Vec<RedisServer> = (0..3)
+            .map(|i| RedisServer::launch(&mut sj, i).unwrap())
+            .collect();
         for (i, s) in servers.iter_mut().enumerate() {
             let k = format!("inst{i}");
-            s.execute(&mut sj, &Command::Set(k.clone().into_bytes(), vec![i as u8])).unwrap();
+            s.execute(
+                &mut sj,
+                &Command::Set(k.clone().into_bytes(), vec![i as u8]),
+            )
+            .unwrap();
         }
         for (i, s) in servers.iter_mut().enumerate() {
             let k = format!("inst{i}");

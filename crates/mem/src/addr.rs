@@ -238,7 +238,10 @@ impl PhysAddr {
     /// Panics if `raw` exceeds [`PA_BITS`] bits.
     #[inline]
     pub fn new(raw: u64) -> Self {
-        assert!(raw < (1 << PA_BITS), "physical address {raw:#x} exceeds {PA_BITS} bits");
+        assert!(
+            raw < (1 << PA_BITS),
+            "physical address {raw:#x} exceeds {PA_BITS} bits"
+        );
         PhysAddr(raw)
     }
 

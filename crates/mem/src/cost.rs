@@ -374,7 +374,10 @@ mod tests {
         let tables = ptes / 512 + ptes / (512 * 512) + 2;
         let cycles = ptes * c.pte_construct(1 << 30) + tables * c.table_alloc;
         let ms = m2.cycles_to_secs(cycles) * 1e3;
-        assert!((3.0..8.0).contains(&ms), "1 GiB map cost {ms} ms, expected ~5 ms");
+        assert!(
+            (3.0..8.0).contains(&ms),
+            "1 GiB map cost {ms} ms, expected ~5 ms"
+        );
     }
 
     #[test]
@@ -385,7 +388,10 @@ mod tests {
         let tables = ptes / 512 + ptes / (512 * 512) + 2;
         let cycles = ptes * c.pte_construct(64 << 30) + tables * c.table_alloc;
         let s = m2.cycles_to_secs(cycles);
-        assert!((1.2..3.0).contains(&s), "64 GiB map cost {s} s, expected ~2 s");
+        assert!(
+            (1.2..3.0).contains(&s),
+            "64 GiB map cost {s} s, expected ~2 s"
+        );
     }
 
     #[test]
@@ -422,6 +428,9 @@ mod tests {
     fn cold_pte_threshold() {
         let c = CostModel::default();
         assert_eq!(c.pte_construct(1 << 30), c.pte_write);
-        assert_eq!(c.pte_construct(64 << 30), c.pte_write + c.pte_write_cold_extra);
+        assert_eq!(
+            c.pte_construct(64 << 30),
+            c.pte_write + c.pte_write_cold_extra
+        );
     }
 }

@@ -81,8 +81,14 @@ mod tests {
         let errs: Vec<MemError> = vec![
             MemError::OutOfFrames,
             MemError::BadPhysAddr(PhysAddr::new(0x1000)),
-            MemError::PageFault { va: VirtAddr::new(0x2000), access: Access::Write },
-            MemError::ProtectionFault { va: VirtAddr::new(0x2000), access: Access::Read },
+            MemError::PageFault {
+                va: VirtAddr::new(0x2000),
+                access: Access::Write,
+            },
+            MemError::ProtectionFault {
+                va: VirtAddr::new(0x2000),
+                access: Access::Read,
+            },
             MemError::AlreadyMapped(VirtAddr::new(0x3000)),
             MemError::BadMapping(VirtAddr::new(0x4000)),
             MemError::NoAddressSpace,

@@ -49,12 +49,14 @@ pub mod error;
 pub mod mmu;
 pub mod paging;
 pub mod phys;
+pub mod rng;
 pub mod tlb;
 
-pub use addr::{PageSize, PhysAddr, Pfn, VirtAddr, Vpn, PAGE_SIZE};
+pub use addr::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
 pub use cost::{CostModel, CycleClock, KernelFlavor, Machine, MachineProfile};
 pub use error::{Access, MemError};
 pub use mmu::Mmu;
 pub use paging::PteFlags;
 pub use phys::PhysMem;
+pub use rng::SimRng;
 pub use tlb::{Asid, Tlb, TlbStats};

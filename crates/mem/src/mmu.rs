@@ -5,7 +5,7 @@
 //! through the MMU automatically produce the cycle totals that the paper's
 //! figures are computed from.
 
-use crate::addr::{PhysAddr, Pfn, VirtAddr, PAGE_SIZE};
+use crate::addr::{Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
 use crate::cost::{CostModel, CycleClock};
 use crate::error::{Access, MemError};
 use crate::paging::{self, PteFlags};
@@ -150,6 +150,16 @@ impl Mmu {
         self.asid = asid;
     }
 
+    /// Unloads CR3 and flushes the TLB: the address space this core was
+    /// running was destroyed (e.g. its owner was killed), so translations
+    /// through the freed tables must become [`MemError::NoAddressSpace`]
+    /// instead of walks through reused frames.
+    pub fn clear_cr3(&mut self) {
+        self.cr3 = None;
+        self.asid = Asid::UNTAGGED;
+        self.tlb.flush_nonglobal();
+    }
+
     /// Invalidates one page's translation (mapping changed under us).
     pub fn invlpg(&mut self, va: VirtAddr) {
         self.tlb.flush_page(va.vpn());
@@ -199,7 +209,8 @@ impl Mmu {
         }
         let frame_base = PhysAddr::new(tr.pa.raw() & !(PAGE_SIZE - 1));
         let global = tr.flags.contains(PteFlags::GLOBAL);
-        self.tlb.insert(self.asid, va.vpn(), frame_base, tr.flags, global);
+        self.tlb
+            .insert(self.asid, va.vpn(), frame_base, tr.flags, global);
         Ok(frame_base.add(va.page_offset()))
     }
 
@@ -209,7 +220,11 @@ impl Mmu {
     fn charge_data(&self, phys: &PhysMem, pa: PhysAddr, write: bool) {
         let mut cycles = self.cost.cache_hit;
         if phys.is_nvm(pa.pfn()) {
-            cycles += if write { self.cost.nvm_write_extra } else { self.cost.nvm_read_extra };
+            cycles += if write {
+                self.cost.nvm_write_extra
+            } else {
+                self.cost.nvm_read_extra
+            };
         }
         self.clock.advance(cycles);
     }
@@ -244,7 +259,12 @@ impl Mmu {
     ///
     /// Translation errors as in [`Self::translate`], plus
     /// [`MemError::BadPhysAddr`] for misaligned addresses.
-    pub fn write_u64(&mut self, phys: &mut PhysMem, va: VirtAddr, value: u64) -> Result<(), MemError> {
+    pub fn write_u64(
+        &mut self,
+        phys: &mut PhysMem,
+        va: VirtAddr,
+        value: u64,
+    ) -> Result<(), MemError> {
         let pa = self.translate(phys, va, Access::Write)?;
         self.charge_data(phys, pa, true);
         phys.write_u64(pa, value)
@@ -255,7 +275,12 @@ impl Mmu {
     /// # Errors
     ///
     /// Translation errors as in [`Self::translate`].
-    pub fn read_bytes(&mut self, phys: &mut PhysMem, va: VirtAddr, buf: &mut [u8]) -> Result<(), MemError> {
+    pub fn read_bytes(
+        &mut self,
+        phys: &mut PhysMem,
+        va: VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), MemError> {
         let mut done = 0usize;
         while done < buf.len() {
             let cur = va.add(done as u64);
@@ -279,7 +304,12 @@ impl Mmu {
     /// # Errors
     ///
     /// Translation errors as in [`Self::translate`].
-    pub fn write_bytes(&mut self, phys: &mut PhysMem, va: VirtAddr, buf: &[u8]) -> Result<(), MemError> {
+    pub fn write_bytes(
+        &mut self,
+        phys: &mut PhysMem,
+        va: VirtAddr,
+        buf: &[u8],
+    ) -> Result<(), MemError> {
         let mut done = 0usize;
         while done < buf.len() {
             let cur = va.add(done as u64);
@@ -317,7 +347,15 @@ mod tests {
         if writable {
             flags |= PteFlags::WRITABLE;
         }
-        paging::map(phys, root, VirtAddr::new(va), frame.base(), PageSize::Size4K, flags).unwrap();
+        paging::map(
+            phys,
+            root,
+            VirtAddr::new(va),
+            frame.base(),
+            PageSize::Size4K,
+            flags,
+        )
+        .unwrap();
         frame.base()
     }
 
@@ -336,10 +374,12 @@ mod tests {
         map_page(&mut phys, root, 0x1000, true);
         mmu.load_cr3(root, Asid::UNTAGGED);
         let t0 = mmu.clock().now();
-        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         let miss_cost = mmu.clock().since(t0);
         let t1 = mmu.clock().now();
-        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         let hit_cost = mmu.clock().since(t1);
         let c = CostModel::default();
         assert_eq!(miss_cost, c.tlb_lookup + c.tlb_walk);
@@ -356,20 +396,24 @@ mod tests {
 
         // Untagged: reload flushes; retranslation walks again.
         mmu.load_cr3(root, Asid::UNTAGGED);
-        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         mmu.load_cr3(other, Asid::UNTAGGED);
         mmu.load_cr3(root, Asid::UNTAGGED);
-        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         assert_eq!(mmu.stats().walks, 2);
 
         // Tagged: entries survive the round trip.
         let mut mmu2 = Mmu::new(64, 4, CostModel::default(), CycleClock::new());
         mmu2.set_tagging(true);
         mmu2.load_cr3(root, Asid(1));
-        mmu2.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu2.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         mmu2.load_cr3(other, Asid(2));
         mmu2.load_cr3(root, Asid(1));
-        mmu2.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu2.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         assert_eq!(mmu2.stats().walks, 1, "tagged entries survive switches");
     }
 
@@ -379,10 +423,16 @@ mod tests {
         map_page(&mut phys, root, 0x1000, true);
         mmu.set_tagging(true);
         mmu.load_cr3(root, Asid::UNTAGGED);
-        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
         mmu.load_cr3(root, Asid::UNTAGGED);
-        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read).unwrap();
-        assert_eq!(mmu.stats().walks, 2, "reserved tag zero flushes per the paper");
+        mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Read)
+            .unwrap();
+        assert_eq!(
+            mmu.stats().walks,
+            2,
+            "reserved tag zero flushes per the paper"
+        );
     }
 
     #[test]
@@ -406,12 +456,18 @@ mod tests {
         assert!(mmu.read_u64(&mut phys, VirtAddr::new(0x1000)).is_ok());
         assert_eq!(
             mmu.write_u64(&mut phys, VirtAddr::new(0x1000), 1),
-            Err(MemError::ProtectionFault { va: VirtAddr::new(0x1000), access: Access::Write })
+            Err(MemError::ProtectionFault {
+                va: VirtAddr::new(0x1000),
+                access: Access::Write
+            })
         );
         // Also via the TLB-cached path.
         assert_eq!(
             mmu.write_u64(&mut phys, VirtAddr::new(0x1000), 1),
-            Err(MemError::ProtectionFault { va: VirtAddr::new(0x1000), access: Access::Write })
+            Err(MemError::ProtectionFault {
+                va: VirtAddr::new(0x1000),
+                access: Access::Write
+            })
         );
         assert_eq!(mmu.stats().faults, 2);
     }
@@ -422,7 +478,10 @@ mod tests {
         mmu.load_cr3(root, Asid::UNTAGGED);
         assert_eq!(
             mmu.read_u64(&mut phys, VirtAddr::new(0x9000)),
-            Err(MemError::PageFault { va: VirtAddr::new(0x9000), access: Access::Read })
+            Err(MemError::PageFault {
+                va: VirtAddr::new(0x9000),
+                access: Access::Read
+            })
         );
     }
 
@@ -431,9 +490,13 @@ mod tests {
         let (mut phys, mut mmu, root) = setup();
         let pa = map_page(&mut phys, root, 0x1000, true);
         mmu.load_cr3(root, Asid::UNTAGGED);
-        mmu.write_u64(&mut phys, VirtAddr::new(0x1010), 0xfeed).unwrap();
+        mmu.write_u64(&mut phys, VirtAddr::new(0x1010), 0xfeed)
+            .unwrap();
         assert_eq!(phys.read_u64(pa.add(0x10)).unwrap(), 0xfeed);
-        assert_eq!(mmu.read_u64(&mut phys, VirtAddr::new(0x1010)).unwrap(), 0xfeed);
+        assert_eq!(
+            mmu.read_u64(&mut phys, VirtAddr::new(0x1010)).unwrap(),
+            0xfeed
+        );
     }
 
     #[test]
@@ -443,9 +506,11 @@ mod tests {
         map_page(&mut phys, root, 0x2000, true);
         mmu.load_cr3(root, Asid::UNTAGGED);
         let data: Vec<u8> = (0..200u8).collect();
-        mmu.write_bytes(&mut phys, VirtAddr::new(0x2000 - 100), &data).unwrap();
+        mmu.write_bytes(&mut phys, VirtAddr::new(0x2000 - 100), &data)
+            .unwrap();
         let mut out = vec![0u8; 200];
-        mmu.read_bytes(&mut phys, VirtAddr::new(0x2000 - 100), &mut out).unwrap();
+        mmu.read_bytes(&mut phys, VirtAddr::new(0x2000 - 100), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 

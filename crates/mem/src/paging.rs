@@ -11,7 +11,7 @@
 //! this for segments whose translations are cached in the kernel and for
 //! the global OS mappings every address space contains.
 
-use crate::addr::{PageSize, PhysAddr, Pfn, VirtAddr, ENTRIES_PER_TABLE, PAGE_SIZE};
+use crate::addr::{PageSize, Pfn, PhysAddr, VirtAddr, ENTRIES_PER_TABLE, PAGE_SIZE};
 use crate::error::{Access, MemError};
 use crate::phys::PhysMem;
 
@@ -191,7 +191,10 @@ fn ensure_table(
         stats.tables_allocated += 1;
         // Intermediate entries carry the most permissive flags; leaves
         // enforce the real permissions.
-        let e = make_entry(new.base(), PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER);
+        let e = make_entry(
+            new.base(),
+            PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER,
+        );
         write_entry(phys, table, index, e);
         Ok(new)
     }
@@ -225,7 +228,12 @@ pub fn map(
             if entry_present(existing) {
                 return Err(MemError::AlreadyMapped(va));
             }
-            write_entry(phys, pdpt, va.pdpt_index(), make_entry(pa, leaf_flags | PteFlags::HUGE));
+            write_entry(
+                phys,
+                pdpt,
+                va.pdpt_index(),
+                make_entry(pa, leaf_flags | PteFlags::HUGE),
+            );
         }
         PageSize::Size2M => {
             let pdpt = ensure_table(phys, root, va.pml4_index(), &mut stats)
@@ -236,15 +244,20 @@ pub fn map(
             if entry_present(existing) {
                 return Err(MemError::AlreadyMapped(va));
             }
-            write_entry(phys, pd, va.pd_index(), make_entry(pa, leaf_flags | PteFlags::HUGE));
+            write_entry(
+                phys,
+                pd,
+                va.pd_index(),
+                make_entry(pa, leaf_flags | PteFlags::HUGE),
+            );
         }
         PageSize::Size4K => {
             let pdpt = ensure_table(phys, root, va.pml4_index(), &mut stats)
                 .map_err(|e| remap_err(e, va))?;
             let pd = ensure_table(phys, pdpt, va.pdpt_index(), &mut stats)
                 .map_err(|e| remap_err(e, va))?;
-            let pt = ensure_table(phys, pd, va.pd_index(), &mut stats)
-                .map_err(|e| remap_err(e, va))?;
+            let pt =
+                ensure_table(phys, pd, va.pd_index(), &mut stats).map_err(|e| remap_err(e, va))?;
             let existing = read_entry(phys, pt, va.pt_index());
             if entry_present(existing) {
                 return Err(MemError::AlreadyMapped(va));
@@ -280,7 +293,10 @@ pub fn map_region(
     size: PageSize,
     flags: PteFlags,
 ) -> Result<MapStats, MemError> {
-    if len == 0 || !len.is_multiple_of(size.bytes()) || !va.is_aligned(size.bytes()) || !pa.is_aligned(size.bytes())
+    if len == 0
+        || !len.is_multiple_of(size.bytes())
+        || !va.is_aligned(size.bytes())
+        || !pa.is_aligned(size.bytes())
     {
         return Err(MemError::BadMapping(va));
     }
@@ -347,7 +363,10 @@ fn table_is_empty(phys: &mut PhysMem, table: Pfn) -> bool {
 /// Returns [`MemError::PageFault`] if nothing is mapped at `va`.
 pub fn unmap(phys: &mut PhysMem, root: Pfn, va: VirtAddr) -> Result<UnmapStats, MemError> {
     let mut stats = UnmapStats::default();
-    let fault = MemError::PageFault { va, access: Access::Read };
+    let fault = MemError::PageFault {
+        va,
+        access: Access::Read,
+    };
 
     let pml4e = read_entry(phys, root, va.pml4_index());
     if !entry_present(pml4e) {
@@ -416,34 +435,57 @@ pub fn unmap_region(
     let mut stats = UnmapStats::default();
     let mut cur = va;
     let end = va.add(len);
+    // Frees `table` if it became empty, clearing its entry in `parent`.
+    fn reap_if_empty(
+        phys: &mut PhysMem,
+        parent: Pfn,
+        index: usize,
+        table: Pfn,
+        stats: &mut UnmapStats,
+    ) -> bool {
+        if table_is_empty(phys, table) {
+            phys.free_frame(table);
+            write_entry(phys, parent, index, 0);
+            stats.tables_freed += 1;
+            true
+        } else {
+            false
+        }
+    }
     while cur < end {
-        let pml4e = read_entry(phys, root, cur.pml4_index());
+        let pml4_index = cur.pml4_index();
+        let pml4e = read_entry(phys, root, pml4_index);
         if !entry_present(pml4e) {
             cur = VirtAddr::new_unchecked((cur.raw() | 0x7f_ffff_ffff) + 1); // next PML4 slot
             continue;
         }
         let pdpt = entry_addr(pml4e).pfn();
-        let pdpte = read_entry(phys, pdpt, cur.pdpt_index());
+        let pdpt_index = cur.pdpt_index();
+        let pdpte = read_entry(phys, pdpt, pdpt_index);
         if !entry_present(pdpte) || entry_flags(pdpte).contains(PteFlags::HUGE) {
             if entry_present(pdpte) {
-                write_entry(phys, pdpt, cur.pdpt_index(), 0);
+                write_entry(phys, pdpt, pdpt_index, 0);
                 stats.ptes_cleared += 1;
+                reap_if_empty(phys, root, pml4_index, pdpt, &mut stats);
             }
             cur = VirtAddr::new_unchecked((cur.raw() | 0x3fff_ffff) + 1); // next 1 GiB
             continue;
         }
         let pd = entry_addr(pdpte).pfn();
-        let pde = read_entry(phys, pd, cur.pd_index());
+        let pd_index = cur.pd_index();
+        let pde = read_entry(phys, pd, pd_index);
         if !entry_present(pde) || entry_flags(pde).contains(PteFlags::HUGE) {
             if entry_present(pde) {
-                write_entry(phys, pd, cur.pd_index(), 0);
+                write_entry(phys, pd, pd_index, 0);
                 stats.ptes_cleared += 1;
+                if reap_if_empty(phys, pdpt, pdpt_index, pd, &mut stats) {
+                    reap_if_empty(phys, root, pml4_index, pdpt, &mut stats);
+                }
             }
             cur = VirtAddr::new_unchecked((cur.raw() | 0x1f_ffff) + 1); // next 2 MiB
             continue;
         }
         let pt = entry_addr(pde).pfn();
-        let pd_index = cur.pd_index();
         let first = cur.pt_index();
         let in_table = (ENTRIES_PER_TABLE as usize - first) as u64;
         let remaining = (end.raw() - cur.raw()) / PAGE_SIZE;
@@ -459,10 +501,10 @@ pub fn unmap_region(
             }
         }
         cur = cur.add(count * PAGE_SIZE);
-        if table_is_empty(phys, pt) {
-            phys.free_frame(pt);
-            write_entry(phys, pd, pd_index, 0);
-            stats.tables_freed += 1;
+        if reap_if_empty(phys, pd, pd_index, pt, &mut stats)
+            && reap_if_empty(phys, pdpt, pdpt_index, pd, &mut stats)
+        {
+            reap_if_empty(phys, root, pml4_index, pdpt, &mut stats);
         }
     }
     Ok(stats)
@@ -476,7 +518,10 @@ pub fn unmap_region(
 ///
 /// Returns [`MemError::PageFault`] if no translation exists.
 pub fn walk(phys: &mut PhysMem, root: Pfn, va: VirtAddr) -> Result<(Translation, u32), MemError> {
-    let fault = MemError::PageFault { va, access: Access::Read };
+    let fault = MemError::PageFault {
+        va,
+        access: Access::Read,
+    };
     let pml4e = read_entry(phys, root, va.pml4_index());
     if !entry_present(pml4e) {
         return Err(fault);
@@ -556,7 +601,9 @@ pub fn link_subtree(
         if dst == src {
             return Ok(());
         }
-        return Err(MemError::AlreadyMapped(VirtAddr::new_unchecked((pml4_index as u64) << 39)));
+        return Err(MemError::AlreadyMapped(VirtAddr::new_unchecked(
+            (pml4_index as u64) << 39,
+        )));
     }
     write_entry(phys, dst_root, pml4_index, src);
     Ok(())
@@ -570,9 +617,36 @@ pub fn unlink_subtree(phys: &mut PhysMem, root: Pfn, pml4_index: usize) {
 /// Counts the page-table frames reachable from `root` (excluding shared
 /// subtrees counted once).
 pub fn count_table_frames(phys: &mut PhysMem, root: Pfn) -> u64 {
-    let mut count = 1;
     let mut seen = std::collections::HashSet::new();
+    collect_table_frames(phys, root, &[], &mut seen)
+}
+
+/// Like [`count_table_frames`], but skipping the PML4 slots in `skip` —
+/// used by frame-accounting audits to count a vmspace's *private* tables
+/// while attributing shared (linked) subtrees to the root that owns them.
+pub fn count_table_frames_excluding(phys: &mut PhysMem, root: Pfn, skip: &[usize]) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    collect_table_frames(phys, root, skip, &mut seen)
+}
+
+/// Adds every table frame reachable from `root` (skipping the PML4 slots
+/// in `skip`) to `seen` and returns how many were newly added. Audits
+/// that sum table frames across *several* roots share one `seen` set so
+/// subtrees linked into multiple trees are counted exactly once.
+pub fn collect_table_frames(
+    phys: &mut PhysMem,
+    root: Pfn,
+    skip: &[usize],
+    seen: &mut std::collections::HashSet<Pfn>,
+) -> u64 {
+    let mut count = 0;
+    if seen.insert(root) {
+        count += 1;
+    }
     for i in 0..ENTRIES_PER_TABLE as usize {
+        if skip.contains(&i) {
+            continue;
+        }
         let pml4e = read_entry(phys, root, i);
         if !entry_present(pml4e) {
             continue;
@@ -669,8 +743,15 @@ mod tests {
     fn map_2m_and_1g_superpages() {
         let (mut phys, root) = setup();
         let f = PteFlags::WRITABLE | PteFlags::USER;
-        map(&mut phys, root, VirtAddr::new(0x20_0000), PhysAddr::new(0x40_0000), PageSize::Size2M, f)
-            .unwrap();
+        map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x20_0000),
+            PhysAddr::new(0x40_0000),
+            PageSize::Size2M,
+            f,
+        )
+        .unwrap();
         let (t, levels) = walk(&mut phys, root, VirtAddr::new(0x20_0000 + 0x1234)).unwrap();
         assert_eq!(t.pa.raw(), 0x40_0000 + 0x1234);
         assert_eq!(t.size, PageSize::Size2M);
@@ -696,8 +777,23 @@ mod tests {
         let (mut phys, root) = setup();
         let va = VirtAddr::new(0x1000);
         let f = PteFlags::USER;
-        map(&mut phys, root, va, PhysAddr::new(0x2000), PageSize::Size4K, f).unwrap();
-        let err = map(&mut phys, root, va, PhysAddr::new(0x3000), PageSize::Size4K, f);
+        map(
+            &mut phys,
+            root,
+            va,
+            PhysAddr::new(0x2000),
+            PageSize::Size4K,
+            f,
+        )
+        .unwrap();
+        let err = map(
+            &mut phys,
+            root,
+            va,
+            PhysAddr::new(0x3000),
+            PageSize::Size4K,
+            f,
+        );
         assert_eq!(err, Err(MemError::AlreadyMapped(va)));
     }
 
@@ -771,8 +867,15 @@ mod tests {
     fn unmap_frees_empty_tables() {
         let (mut phys, root) = setup();
         let va = VirtAddr::new(0x40_0000);
-        map(&mut phys, root, va, PhysAddr::new(0x2000), PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        map(
+            &mut phys,
+            root,
+            va,
+            PhysAddr::new(0x2000),
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let before = phys.allocated_frames();
         let stats = unmap(&mut phys, root, va).unwrap();
         assert_eq!(stats.ptes_cleared, 1);
@@ -793,8 +896,24 @@ mod tests {
     #[test]
     fn unmap_region_skips_holes() {
         let (mut phys, root) = setup();
-        map(&mut phys, root, VirtAddr::new(0x1000), PhysAddr::new(0x2000), PageSize::Size4K, PteFlags::empty()).unwrap();
-        map(&mut phys, root, VirtAddr::new(0x3000), PhysAddr::new(0x4000), PageSize::Size4K, PteFlags::empty()).unwrap();
+        map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x2000),
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x3000),
+            PhysAddr::new(0x4000),
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let stats = unmap_region(&mut phys, root, VirtAddr::new(0), 16 * 4096).unwrap();
         assert_eq!(stats.ptes_cleared, 2);
         assert!(walk(&mut phys, root, VirtAddr::new(0x1000)).is_err());
@@ -806,14 +925,28 @@ mod tests {
         let (mut phys, root_a) = setup();
         let root_b = new_root(&mut phys).unwrap();
         let va = VirtAddr::new(0x1_0000_0000); // PML4 slot 0, PDPT slot 4
-        map(&mut phys, root_a, va, PhysAddr::new(0x8000), PageSize::Size4K, PteFlags::WRITABLE)
-            .unwrap();
+        map(
+            &mut phys,
+            root_a,
+            va,
+            PhysAddr::new(0x8000),
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         link_subtree(&mut phys, root_b, root_a, va.pml4_index()).unwrap();
         let (t, _) = walk(&mut phys, root_b, va).unwrap();
         assert_eq!(t.pa.raw(), 0x8000);
         // New mappings in the shared subtree become visible in both roots.
-        map(&mut phys, root_a, va.add(4096), PhysAddr::new(0x9000), PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        map(
+            &mut phys,
+            root_a,
+            va.add(4096),
+            PhysAddr::new(0x9000),
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let (t2, _) = walk(&mut phys, root_b, va.add(4096)).unwrap();
         assert_eq!(t2.pa.raw(), 0x9000);
         // Unlink removes visibility from b only.
@@ -827,8 +960,24 @@ mod tests {
         let (mut phys, root_a) = setup();
         let root_b = new_root(&mut phys).unwrap();
         let va = VirtAddr::new(0);
-        map(&mut phys, root_a, va, PhysAddr::new(0x8000), PageSize::Size4K, PteFlags::empty()).unwrap();
-        map(&mut phys, root_b, va, PhysAddr::new(0x9000), PageSize::Size4K, PteFlags::empty()).unwrap();
+        map(
+            &mut phys,
+            root_a,
+            va,
+            PhysAddr::new(0x8000),
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        map(
+            &mut phys,
+            root_b,
+            va,
+            PhysAddr::new(0x9000),
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         assert!(matches!(
             link_subtree(&mut phys, root_b, root_a, 0),
             Err(MemError::AlreadyMapped(_))

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use crate::addr::{PhysAddr, Pfn, PAGE_SIZE};
+use crate::addr::{Pfn, PhysAddr, PAGE_SIZE};
 use crate::error::MemError;
 
 /// One 4 KiB physical frame of simulated DRAM.
@@ -22,7 +22,10 @@ type FrameBox = Box<[u8; PAGE_SIZE as usize]>;
 
 fn zero_frame() -> FrameBox {
     // `vec!` avoids a 4 KiB stack temporary.
-    vec![0u8; PAGE_SIZE as usize].into_boxed_slice().try_into().unwrap()
+    vec![0u8; PAGE_SIZE as usize]
+        .into_boxed_slice()
+        .try_into()
+        .unwrap()
 }
 
 /// Sparse simulated physical memory with a frame allocator.
@@ -61,7 +64,10 @@ impl PhysMem {
     /// Panics if the capacity is smaller than one frame.
     pub fn new(capacity_bytes: u64) -> Self {
         let capacity_frames = capacity_bytes / PAGE_SIZE;
-        assert!(capacity_frames > 0, "physical memory must hold at least one frame");
+        assert!(
+            capacity_frames > 0,
+            "physical memory must hold at least one frame"
+        );
         PhysMem {
             frames: HashMap::new(),
             capacity_frames,
@@ -197,7 +203,11 @@ impl PhysMem {
     ///
     /// Panics if `pfn` is beyond the machine's capacity.
     pub fn frame_bytes_mut(&mut self, pfn: Pfn) -> &mut [u8; PAGE_SIZE as usize] {
-        assert!(pfn.0 < self.capacity_frames, "frame {:?} beyond capacity", pfn);
+        assert!(
+            pfn.0 < self.capacity_frames,
+            "frame {:?} beyond capacity",
+            pfn
+        );
         self.frame(pfn.0)
     }
 
@@ -357,7 +367,8 @@ mod tests {
     fn u64_round_trip_and_alignment() {
         let mut pm = PhysMem::new(16 * PAGE_SIZE);
         let f = pm.alloc_frame().unwrap();
-        pm.write_u64(f.base().add(8), 0x0123_4567_89ab_cdef).unwrap();
+        pm.write_u64(f.base().add(8), 0x0123_4567_89ab_cdef)
+            .unwrap();
         assert_eq!(pm.read_u64(f.base().add(8)).unwrap(), 0x0123_4567_89ab_cdef);
         assert!(pm.read_u64(f.base().add(4)).is_err(), "unaligned u64");
     }
@@ -378,7 +389,8 @@ mod tests {
     fn unwritten_memory_reads_zero_without_materializing() {
         let mut pm = PhysMem::new(1024 * PAGE_SIZE);
         let mut buf = vec![0xffu8; 64];
-        pm.read_bytes(PhysAddr::new(500 * PAGE_SIZE), &mut buf).unwrap();
+        pm.read_bytes(PhysAddr::new(500 * PAGE_SIZE), &mut buf)
+            .unwrap();
         assert!(buf.iter().all(|&b| b == 0));
         assert_eq!(pm.resident_frames(), 0);
     }
@@ -388,9 +400,12 @@ mod tests {
         let mut pm = PhysMem::new(4 * PAGE_SIZE);
         pm.fill(PhysAddr::new(0), 2 * PAGE_SIZE, 0xab).unwrap();
         let mut b = [0u8; 1];
-        pm.read_bytes(PhysAddr::new(PAGE_SIZE + 17), &mut b).unwrap();
+        pm.read_bytes(PhysAddr::new(PAGE_SIZE + 17), &mut b)
+            .unwrap();
         assert_eq!(b[0], 0xab);
-        assert!(pm.fill(PhysAddr::new(3 * PAGE_SIZE), 2 * PAGE_SIZE, 0).is_err());
+        assert!(pm
+            .fill(PhysAddr::new(3 * PAGE_SIZE), 2 * PAGE_SIZE, 0)
+            .is_err());
         // Zero-fill of untouched frames stays sparse.
         let mut pm2 = PhysMem::new(1024 * PAGE_SIZE);
         pm2.fill(PhysAddr::new(0), 512 * PAGE_SIZE, 0).unwrap();

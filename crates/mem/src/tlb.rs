@@ -109,7 +109,10 @@ impl Tlb {
     ///
     /// Panics if `entries` is not a positive multiple of `ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries > 0 && entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        assert!(
+            ways > 0 && entries > 0 && entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         Tlb {
             entries: vec![TlbEntry::default(); entries],
             sets: entries / ways,
@@ -166,13 +169,23 @@ impl Tlb {
     }
 
     /// Inserts a translation (4 KiB granularity), evicting LRU on conflict.
-    pub fn insert(&mut self, asid: Asid, vpn: Vpn, frame_base: PhysAddr, flags: PteFlags, global: bool) {
+    pub fn insert(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        frame_base: PhysAddr,
+        flags: PteFlags,
+        global: bool,
+    ) {
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(vpn);
         let set = &mut self.entries[range];
         // Overwrite an existing entry for the same (vpn, asid) first.
-        if let Some(e) = set.iter_mut().find(|e| e.valid && e.vpn == vpn && e.asid == asid) {
+        if let Some(e) = set
+            .iter_mut()
+            .find(|e| e.valid && e.vpn == vpn && e.asid == asid)
+        {
             e.frame_base = frame_base;
             e.flags = flags;
             e.global = global;
@@ -185,7 +198,15 @@ impl Tlb {
             self.stats.evictions += 1;
             set.iter_mut().min_by_key(|e| e.stamp).expect("ways > 0")
         };
-        *victim = TlbEntry { valid: true, asid, global, vpn, frame_base, flags, stamp: tick };
+        *victim = TlbEntry {
+            valid: true,
+            asid,
+            global,
+            vpn,
+            frame_base,
+            flags,
+            stamp: tick,
+        };
         self.stats.insertions += 1;
     }
 
@@ -240,7 +261,10 @@ mod tests {
         let mut tlb = Tlb::new(8, 2);
         assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
         tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
-        assert_eq!(tlb.lookup(Asid(1), Vpn(1)).unwrap().0, PhysAddr::new(0x1000));
+        assert_eq!(
+            tlb.lookup(Asid(1), Vpn(1)).unwrap().0,
+            PhysAddr::new(0x1000)
+        );
         let s = tlb.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
         assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
@@ -251,8 +275,14 @@ mod tests {
         let mut tlb = Tlb::new(8, 2);
         tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
         tlb.insert(Asid(2), Vpn(2), PhysAddr::new(0x2000), flags(), true);
-        assert!(tlb.lookup(Asid(2), Vpn(1)).is_none(), "private entry, other tag");
-        assert!(tlb.lookup(Asid(1), Vpn(2)).is_some(), "global entry hits any tag");
+        assert!(
+            tlb.lookup(Asid(2), Vpn(1)).is_none(),
+            "private entry, other tag"
+        );
+        assert!(
+            tlb.lookup(Asid(1), Vpn(2)).is_some(),
+            "global entry hits any tag"
+        );
     }
 
     #[test]
@@ -306,7 +336,10 @@ mod tests {
         tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
         tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x5000), flags(), false);
         assert_eq!(tlb.occupancy(), 1);
-        assert_eq!(tlb.lookup(Asid(1), Vpn(1)).unwrap().0, PhysAddr::new(0x5000));
+        assert_eq!(
+            tlb.lookup(Asid(1), Vpn(1)).unwrap().0,
+            PhysAddr::new(0x5000)
+        );
     }
 
     #[test]
@@ -317,13 +350,22 @@ mod tests {
         for round in 0..4 {
             for p in 0..32u64 {
                 if tlb.lookup(Asid(1), Vpn(p)).is_none() {
-                    tlb.insert(Asid(1), Vpn(p), PhysAddr::new(p << PAGE_SHIFT), flags(), false);
+                    tlb.insert(
+                        Asid(1),
+                        Vpn(p),
+                        PhysAddr::new(p << PAGE_SHIFT),
+                        flags(),
+                        false,
+                    );
                 }
                 let _ = round;
             }
         }
         let warm = tlb.stats();
-        assert!(warm.hits >= 32 * 3, "small working set should hit after warmup");
+        assert!(
+            warm.hits >= 32 * 3,
+            "small working set should hit after warmup"
+        );
     }
 
     #[test]

@@ -1,18 +1,24 @@
-//! Property-based tests over the paging and TLB substrate: arbitrary
+//! Randomized tests over the paging and TLB substrate: arbitrary
 //! map/unmap sequences keep the page tables consistent with a shadow
 //! model, and the MMU (TLB + walker) always agrees with a direct walk.
+//!
+//! Cases are generated from fixed seeds with [`SimRng`], so every run
+//! explores the same sequences and any failure replays exactly.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use sjmp_mem::cost::{CostModel, CycleClock};
 use sjmp_mem::paging::{self, PteFlags};
-use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, VirtAddr};
+use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, SimRng, VirtAddr};
 
 #[derive(Debug, Clone)]
 enum Op {
     /// Map page `vpage` to frame `fpage` (both small indices).
-    Map { vpage: u64, fpage: u64, writable: bool },
+    Map {
+        vpage: u64,
+        fpage: u64,
+        writable: bool,
+    },
     /// Unmap page `vpage`.
     Unmap { vpage: u64 },
     /// Translate (read) page `vpage` through the MMU.
@@ -23,20 +29,24 @@ enum Op {
     Reload,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let vp = 0u64..48;
-    let fp = 0u64..64;
-    prop_oneof![
-        (vp.clone(), fp, any::<bool>()).prop_map(|(vpage, fpage, writable)| Op::Map {
-            vpage,
-            fpage,
-            writable
-        }),
-        vp.clone().prop_map(|vpage| Op::Unmap { vpage }),
-        vp.clone().prop_map(|vpage| Op::Read { vpage }),
-        vp.prop_map(|vpage| Op::Write { vpage }),
-        Just(Op::Reload),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.gen_range(0..5) {
+        0 => Op::Map {
+            vpage: rng.gen_range(0..48),
+            fpage: rng.gen_range(0..64),
+            writable: rng.gen_bool(0.5),
+        },
+        1 => Op::Unmap {
+            vpage: rng.gen_range(0..48),
+        },
+        2 => Op::Read {
+            vpage: rng.gen_range(0..48),
+        },
+        3 => Op::Write {
+            vpage: rng.gen_range(0..48),
+        },
+        _ => Op::Reload,
+    }
 }
 
 /// Virtual pages are spread across several PML4/PDPT slots so the walks
@@ -47,11 +57,14 @@ fn vaddr(vpage: u64) -> VirtAddr {
     VirtAddr::new((slot << 39) | (mid << 30) | (vpage << 12))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn paging_matches_shadow_model() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops: Vec<Op> = (0..rng.index(159) + 1)
+            .map(|_| random_op(&mut rng))
+            .collect();
 
-    #[test]
-    fn paging_matches_shadow_model(ops in prop::collection::vec(op_strategy(), 1..160)) {
         let mut phys = PhysMem::new(64 << 20);
         let root = paging::new_root(&mut phys).unwrap();
         let data_base = phys.alloc_contiguous(64).unwrap();
@@ -64,45 +77,71 @@ proptest! {
 
         for op in ops {
             match op {
-                Op::Map { vpage, fpage, writable } => {
+                Op::Map {
+                    vpage,
+                    fpage,
+                    writable,
+                } => {
                     let mut flags = PteFlags::USER;
                     if writable {
                         flags |= PteFlags::WRITABLE;
                     }
                     let pa = sjmp_mem::Pfn(data_base.0 + fpage).base();
-                    let res = paging::map(&mut phys, root, vaddr(vpage), pa, sjmp_mem::PageSize::Size4K, flags);
+                    let res = paging::map(
+                        &mut phys,
+                        root,
+                        vaddr(vpage),
+                        pa,
+                        sjmp_mem::PageSize::Size4K,
+                        flags,
+                    );
                     if let std::collections::hash_map::Entry::Vacant(e) = shadow.entry(vpage) {
-                        prop_assert!(res.is_ok(), "map failed: {res:?}");
+                        assert!(res.is_ok(), "seed {seed}: map failed: {res:?}");
                         e.insert((fpage, writable));
                     } else {
-                        prop_assert!(matches!(res, Err(MemError::AlreadyMapped(_))));
+                        assert!(
+                            matches!(res, Err(MemError::AlreadyMapped(_))),
+                            "seed {seed}: expected AlreadyMapped, got {res:?}"
+                        );
                     }
                 }
                 Op::Unmap { vpage } => {
                     let res = paging::unmap(&mut phys, root, vaddr(vpage));
                     if shadow.remove(&vpage).is_some() {
-                        prop_assert!(res.is_ok());
+                        assert!(res.is_ok(), "seed {seed}: unmap failed: {res:?}");
                         mmu.invlpg(vaddr(vpage));
                     } else {
-                        let faulted = matches!(res, Err(MemError::PageFault { .. }));
-                        prop_assert!(faulted, "expected fault, got {res:?}");
+                        assert!(
+                            matches!(res, Err(MemError::PageFault { .. })),
+                            "seed {seed}: expected fault, got {res:?}"
+                        );
                     }
                 }
                 Op::Read { vpage } | Op::Write { vpage } => {
-                    let access = if matches!(op, Op::Write { .. }) { Access::Write } else { Access::Read };
+                    let access = if matches!(op, Op::Write { .. }) {
+                        Access::Write
+                    } else {
+                        Access::Read
+                    };
                     let res = mmu.translate(&mut phys, vaddr(vpage), access);
                     match shadow.get(&vpage) {
-                        None => prop_assert!(
+                        None => assert!(
                             matches!(res, Err(MemError::PageFault { .. })),
-                            "expected fault, got {res:?}"
+                            "seed {seed}: expected fault, got {res:?}"
                         ),
                         Some(&(fpage, writable)) => {
                             if access == Access::Write && !writable {
-                                let prot = matches!(res, Err(MemError::ProtectionFault { .. }));
-                                prop_assert!(prot, "expected protection fault, got {res:?}");
+                                assert!(
+                                    matches!(res, Err(MemError::ProtectionFault { .. })),
+                                    "seed {seed}: expected protection fault, got {res:?}"
+                                );
                             } else {
                                 let pa = res.unwrap();
-                                prop_assert_eq!(pa.pfn().0, data_base.0 + fpage, "wrong frame");
+                                assert_eq!(
+                                    pa.pfn().0,
+                                    data_base.0 + fpage,
+                                    "seed {seed}: wrong frame"
+                                );
                             }
                         }
                     }
@@ -117,20 +156,25 @@ proptest! {
             match shadow.get(&vpage) {
                 Some(&(fpage, _)) => {
                     let (tr, _) = res.unwrap();
-                    prop_assert_eq!(tr.pa.pfn().0, data_base.0 + fpage);
+                    assert_eq!(tr.pa.pfn().0, data_base.0 + fpage, "seed {seed}");
                 }
-                None => prop_assert!(res.is_err()),
+                None => assert!(res.is_err(), "seed {seed}"),
             }
         }
     }
+}
 
-    #[test]
-    fn tlb_never_contradicts_the_page_tables(
-        pages in prop::collection::vec(0u64..32, 2..40),
-        flush_every in 1usize..8,
-    ) {
-        // Accessing pages in an arbitrary order, with periodic flushes,
-        // the TLB-served translation must equal a fresh walk every time.
+#[test]
+fn tlb_never_contradicts_the_page_tables() {
+    // Accessing pages in an arbitrary order, with periodic flushes,
+    // the TLB-served translation must equal a fresh walk every time.
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x71b);
+        let pages: Vec<u64> = (0..rng.index(38) + 2)
+            .map(|_| rng.gen_range(0..32))
+            .collect();
+        let flush_every = rng.index(7) + 1;
+
         let mut phys = PhysMem::new(16 << 20);
         let root = paging::new_root(&mut phys).unwrap();
         let base = phys.alloc_contiguous(32).unwrap();
@@ -151,7 +195,7 @@ proptest! {
             let va = VirtAddr::new(0x40_0000 + p * 4096 + (i as u64 % 512) * 8);
             let via_mmu = mmu.translate(&mut phys, va, Access::Read).unwrap();
             let (walked, _) = paging::walk(&mut phys, root, va).unwrap();
-            prop_assert_eq!(via_mmu, walked.pa);
+            assert_eq!(via_mmu, walked.pa, "seed {seed}");
             if i % flush_every == 0 {
                 mmu.flush_tlb();
             }

@@ -73,7 +73,11 @@ impl Acl {
     /// assert!(!acl.allows(Creds::new(200, 200), Access::Read));
     /// ```
     pub fn new(owner: Creds, mode: Mode) -> Self {
-        Acl { owner, mode, entries: Vec::new() }
+        Acl {
+            owner,
+            mode,
+            entries: Vec::new(),
+        }
     }
 
     /// The owning credentials.
@@ -139,7 +143,10 @@ mod tests {
         assert!(acl.allows(Creds::new(2, 10), Access::Read));
         assert!(!acl.allows(Creds::new(2, 10), Access::Write));
         assert!(!acl.allows(Creds::new(3, 30), Access::Read));
-        assert!(acl.allows(Creds::new(3, 30), Access::Write), "0o..2 allows other-write");
+        assert!(
+            acl.allows(Creds::new(3, 30), Access::Write),
+            "0o..2 allows other-write"
+        );
     }
 
     #[test]
@@ -158,7 +165,10 @@ mod tests {
         acl.grant_user(6, Mode(0o000));
         assert!(!acl.allows(Creds::new(6, 10), Access::Read));
         acl.revoke_user(6);
-        assert!(!acl.allows(Creds::new(6, 10), Access::Read), "back to group digit (0)");
+        assert!(
+            !acl.allows(Creds::new(6, 10), Access::Read),
+            "back to group digit (0)"
+        );
         // Replacing an entry updates in place.
         acl.grant_user(5, Mode(0o600));
         assert!(acl.allows(Creds::new(5, 99), Access::Write));

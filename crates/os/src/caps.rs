@@ -76,9 +76,17 @@ pub struct CapRights {
 
 impl CapRights {
     /// Full rights.
-    pub const ALL: CapRights = CapRights { read: true, write: true, grant: true };
+    pub const ALL: CapRights = CapRights {
+        read: true,
+        write: true,
+        grant: true,
+    };
     /// Read-only rights.
-    pub const READ: CapRights = CapRights { read: true, write: false, grant: false };
+    pub const READ: CapRights = CapRights {
+        read: true,
+        write: false,
+        grant: false,
+    };
 
     /// Whether `self` covers everything `other` asks for.
     pub fn covers(self, other: CapRights) -> bool {
@@ -101,7 +109,11 @@ pub struct Capability {
 impl Capability {
     /// Creates a live capability.
     pub fn new(kind: CapKind, rights: CapRights) -> Self {
-        Capability { kind, rights, revoked: false }
+        Capability {
+            kind,
+            rights,
+            revoked: false,
+        }
     }
 
     /// Whether the capability is still valid.
@@ -126,12 +138,18 @@ pub struct CSpace {
 impl CSpace {
     /// Creates a CSpace with `n` slots.
     pub fn new(n: usize) -> Self {
-        CSpace { slots: vec![None; n], children: vec![Vec::new(); n] }
+        CSpace {
+            slots: vec![None; n],
+            children: vec![Vec::new(); n],
+        }
     }
 
     /// Finds a free slot.
     fn free_slot(&self) -> Result<usize, CapError> {
-        self.slots.iter().position(|s| s.is_none()).ok_or(CapError::NoSlots)
+        self.slots
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(CapError::NoSlots)
     }
 
     /// Installs a capability, returning its slot.
@@ -207,7 +225,14 @@ impl CSpace {
     ///   or the target kind is not RAM-derivable.
     /// * Lookup/rights errors as in [`Self::check`].
     pub fn retype(&mut self, slot: CapSlot, target: CapKind) -> Result<CapSlot, CapError> {
-        let src = *self.check(slot, CapRights { read: false, write: false, grant: true })?;
+        let src = *self.check(
+            slot,
+            CapRights {
+                read: false,
+                write: false,
+                grant: true,
+            },
+        )?;
         let (base, frames) = match src.kind {
             CapKind::Ram { base, frames } => (base, frames),
             _ => return Err(CapError::BadRetype),
@@ -263,7 +288,13 @@ mod tests {
     use super::*;
 
     fn ram(frames: u64) -> Capability {
-        Capability::new(CapKind::Ram { base: Pfn(100), frames }, CapRights::ALL)
+        Capability::new(
+            CapKind::Ram {
+                base: Pfn(100),
+                frames,
+            },
+            CapRights::ALL,
+        )
     }
 
     #[test]
@@ -287,10 +318,29 @@ mod tests {
     fn retype_ram_to_frame_and_table() {
         let mut cs = CSpace::new(8);
         let r = cs.insert(ram(8)).unwrap();
-        let f = cs.retype(r, CapKind::Frame { base: Pfn(100), frames: 4 }).unwrap();
-        let t = cs.retype(r, CapKind::PageTable { frame: Pfn(104), level: 4 }).unwrap();
+        let f = cs
+            .retype(
+                r,
+                CapKind::Frame {
+                    base: Pfn(100),
+                    frames: 4,
+                },
+            )
+            .unwrap();
+        let t = cs
+            .retype(
+                r,
+                CapKind::PageTable {
+                    frame: Pfn(104),
+                    level: 4,
+                },
+            )
+            .unwrap();
         assert!(matches!(cs.lookup(f).unwrap().kind, CapKind::Frame { .. }));
-        assert!(matches!(cs.lookup(t).unwrap().kind, CapKind::PageTable { level: 4, .. }));
+        assert!(matches!(
+            cs.lookup(t).unwrap().kind,
+            CapKind::PageTable { level: 4, .. }
+        ));
     }
 
     #[test]
@@ -299,18 +349,47 @@ mod tests {
         let r = cs.insert(ram(4)).unwrap();
         // Out of the RAM region.
         assert_eq!(
-            cs.retype(r, CapKind::Frame { base: Pfn(102), frames: 4 }).unwrap_err(),
+            cs.retype(
+                r,
+                CapKind::Frame {
+                    base: Pfn(102),
+                    frames: 4
+                }
+            )
+            .unwrap_err(),
             CapError::BadRetype
         );
         // Frame caps cannot be retyped further.
-        let f = cs.retype(r, CapKind::Frame { base: Pfn(100), frames: 1 }).unwrap();
+        let f = cs
+            .retype(
+                r,
+                CapKind::Frame {
+                    base: Pfn(100),
+                    frames: 1,
+                },
+            )
+            .unwrap();
         assert_eq!(
-            cs.retype(f, CapKind::PageTable { frame: Pfn(100), level: 1 }).unwrap_err(),
+            cs.retype(
+                f,
+                CapKind::PageTable {
+                    frame: Pfn(100),
+                    level: 1
+                }
+            )
+            .unwrap_err(),
             CapError::BadRetype
         );
         // Object kinds are not RAM-derivable.
         assert_eq!(
-            cs.retype(r, CapKind::Object { class: ObjClass::Vas, id: 1 }).unwrap_err(),
+            cs.retype(
+                r,
+                CapKind::Object {
+                    class: ObjClass::Vas,
+                    id: 1
+                }
+            )
+            .unwrap_err(),
             CapError::BadRetype
         );
     }
@@ -322,23 +401,43 @@ mod tests {
         let ro = cs.mint(r, CapRights::READ).unwrap();
         assert_eq!(cs.lookup(ro).unwrap().rights, CapRights::READ);
         // A read-only cap cannot mint (no grant right).
-        assert_eq!(cs.mint(ro, CapRights::READ).unwrap_err(), CapError::InsufficientRights);
+        assert_eq!(
+            cs.mint(ro, CapRights::READ).unwrap_err(),
+            CapError::InsufficientRights
+        );
         // Cannot mint rights you do not have.
         let obj = cs
-            .insert(Capability::new(CapKind::Object { class: ObjClass::Segment, id: 9 }, CapRights {
-                read: true,
-                write: false,
-                grant: true,
-            }))
+            .insert(Capability::new(
+                CapKind::Object {
+                    class: ObjClass::Segment,
+                    id: 9,
+                },
+                CapRights {
+                    read: true,
+                    write: false,
+                    grant: true,
+                },
+            ))
             .unwrap();
-        assert_eq!(cs.mint(obj, CapRights::ALL).unwrap_err(), CapError::InsufficientRights);
+        assert_eq!(
+            cs.mint(obj, CapRights::ALL).unwrap_err(),
+            CapError::InsufficientRights
+        );
     }
 
     #[test]
     fn revoke_cascades_to_descendants() {
         let mut cs = CSpace::new(16);
         let r = cs.insert(ram(8)).unwrap();
-        let f = cs.retype(r, CapKind::Frame { base: Pfn(100), frames: 2 }).unwrap();
+        let f = cs
+            .retype(
+                r,
+                CapKind::Frame {
+                    base: Pfn(100),
+                    frames: 2,
+                },
+            )
+            .unwrap();
         let m = cs.mint(f, CapRights::READ).unwrap();
         assert_eq!(cs.live_count(), 3);
         cs.revoke(r).unwrap();
@@ -352,11 +451,25 @@ mod tests {
     fn check_rights() {
         let mut cs = CSpace::new(4);
         let slot = cs
-            .insert(Capability::new(CapKind::Object { class: ObjClass::Vas, id: 3 }, CapRights::READ))
+            .insert(Capability::new(
+                CapKind::Object {
+                    class: ObjClass::Vas,
+                    id: 3,
+                },
+                CapRights::READ,
+            ))
             .unwrap();
         assert!(cs.check(slot, CapRights::READ).is_ok());
         assert_eq!(
-            cs.check(slot, CapRights { read: true, write: true, grant: false }).unwrap_err(),
+            cs.check(
+                slot,
+                CapRights {
+                    read: true,
+                    write: true,
+                    grant: false
+                }
+            )
+            .unwrap_err(),
             CapError::InsufficientRights
         );
     }

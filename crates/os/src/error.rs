@@ -29,6 +29,11 @@ pub enum OsError {
     WouldBlock,
     /// Out of address-space identifiers.
     OutOfAsids,
+    /// The calling process died abruptly inside the kernel (injected by
+    /// the crash-fault plan). The kernel performed no cleanup: the
+    /// process remains registered, holding its vmspaces and locks, until
+    /// it is reclaimed with `Kernel::kill` or `SpaceJmp::reap_process`.
+    Crashed,
 }
 
 impl fmt::Display for OsError {
@@ -44,6 +49,7 @@ impl fmt::Display for OsError {
             OsError::Cap(e) => write!(f, "capability error: {e}"),
             OsError::WouldBlock => write!(f, "operation would block"),
             OsError::OutOfAsids => write!(f, "out of address space identifiers"),
+            OsError::Crashed => write!(f, "process crashed inside the kernel"),
         }
     }
 }

@@ -21,10 +21,11 @@ use std::collections::HashMap;
 
 use sjmp_mem::cost::{CostModel, CycleClock, KernelFlavor, Machine, MachineProfile};
 use sjmp_mem::paging::{self, PteFlags};
-use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, VirtAddr, PAGE_SIZE};
+use sjmp_mem::{Access, Asid, MemError, Mmu, Pfn, PhysMem, VirtAddr, PAGE_SIZE};
 
 use crate::acl::Creds;
 use crate::error::OsError;
+use crate::fault::{FaultOutcome, FaultPlan, FaultSite};
 use crate::process::{Pid, Process};
 use crate::vmobject::{VmObject, VmObjectId};
 use crate::vmspace::{MapPolicy, Region, Vmspace, VmspaceId};
@@ -88,6 +89,7 @@ pub struct Kernel {
     free_asids: Vec<u16>,
     tagging: bool,
     stats: KernelStats,
+    fault: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -113,7 +115,14 @@ impl Kernel {
         let clock = CycleClock::new();
         let phys = PhysMem::new(profile.mem_bytes);
         let mmus = (0..profile.total_cores())
-            .map(|_| Mmu::new(profile.tlb_entries, profile.tlb_ways, cost.clone(), clock.clone()))
+            .map(|_| {
+                Mmu::new(
+                    profile.tlb_entries,
+                    profile.tlb_ways,
+                    cost.clone(),
+                    clock.clone(),
+                )
+            })
             .collect();
         Kernel {
             flavor,
@@ -132,6 +141,7 @@ impl Kernel {
             free_asids: Vec::new(),
             tagging: false,
             stats: KernelStats::default(),
+            fault: None,
         }
     }
 
@@ -265,8 +275,13 @@ impl Kernel {
             sjmp_mem::PageSize::Size2M => pages / 512 + 2,
             sjmp_mem::PageSize::Size1G => 2,
         };
-        let per_pte = if cached { self.cost.pte_write_cached } else { self.cost.pte_construct(len) };
-        self.clock.advance(pages * per_pte + levels_below * self.cost.table_alloc);
+        let per_pte = if cached {
+            self.cost.pte_write_cached
+        } else {
+            self.cost.pte_construct(len)
+        };
+        self.clock
+            .advance(pages * per_pte + levels_below * self.cost.table_alloc);
     }
 
     fn charge_map(&mut self, len: u64, cached: bool) {
@@ -277,6 +292,46 @@ impl Kernel {
     pub fn charge_entry(&mut self) {
         self.stats.kernel_entries += 1;
         self.clock.advance(self.cost.kernel_entry(self.flavor));
+    }
+
+    /// Installs (or clears) the crash-fault plan consulted at every
+    /// [`FaultSite`]. With no plan installed, fault checks are free.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any (for reading injection counters).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Consults the fault plan at `site`. `Fail` maps to the site's
+    /// natural resource error; `Crash` maps to [`OsError::Crashed`]
+    /// (abrupt process death inside the kernel, no cleanup).
+    fn fault_gate(&mut self, site: FaultSite) -> OsResult<()> {
+        let Some(plan) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        match plan.check(site) {
+            FaultOutcome::Pass => Ok(()),
+            FaultOutcome::Crash => Err(OsError::Crashed),
+            FaultOutcome::Fail => match site {
+                FaultSite::ObjectAlloc
+                | FaultSite::SpaceAlloc
+                | FaultSite::MapRegion
+                | FaultSite::Mmap => Err(OsError::Mem(MemError::OutOfFrames)),
+                FaultSite::Munmap | FaultSite::Switch => Err(OsError::WouldBlock),
+            },
+        }
+    }
+
+    /// Whether the fault plan injects a mid-map failure for this
+    /// `map_region` call (checked separately so the partial-progress
+    /// simulation can run before the error is raised).
+    fn fault_mid_map(&mut self) -> bool {
+        self.fault
+            .as_mut()
+            .is_some_and(|p| p.check(FaultSite::MapRegion) != FaultOutcome::Pass)
     }
 
     /// Allocates a TLB tag. Used by `vas_ctl` tag hints.
@@ -319,10 +374,40 @@ impl Kernel {
         let mut process = Process::new(pid, name, creds, space);
         process.set_core(((pid.0 - 1) as usize) % self.mmus.len());
         self.processes.insert(pid, process);
-        // Private segments: text, globals, stack.
+        if let Err(e) = self.spawn_map_private(space) {
+            // A failed spawn must leave no trace: no half-built process,
+            // no stranded private objects.
+            self.processes.remove(&pid);
+            let objects: Vec<VmObjectId> = self
+                .vmspaces
+                .get(&space)
+                .map(|vs| vs.regions().map(|r| r.object).collect())
+                .unwrap_or_default();
+            let _ = self.destroy_vmspace(space);
+            for obj in objects {
+                if self
+                    .vmobjects
+                    .get(&obj)
+                    .is_some_and(|o| o.refs() == 0 && !o.pinned())
+                {
+                    let _ = self.free_object(obj);
+                }
+            }
+            return Err(e);
+        }
+        Ok(pid)
+    }
+
+    /// Maps the private segments (text, globals, stack) into a fresh
+    /// process's home vmspace.
+    fn spawn_map_private(&mut self, space: VmspaceId) -> OsResult<()> {
         for (base, len, flags) in [
             (TEXT_BASE, 64 * 1024, PteFlags::USER),
-            (DATA_BASE, 64 * 1024, PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE),
+            (
+                DATA_BASE,
+                64 * 1024,
+                PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE,
+            ),
             (
                 VirtAddr::new(STACK_TOP.raw() - STACK_SIZE),
                 STACK_SIZE,
@@ -330,9 +415,15 @@ impl Kernel {
             ),
         ] {
             let obj = self.alloc_object(len)?;
-            self.map_object(space, obj, base, 0, len, flags, MapPolicy::Eager, true)?;
+            if let Err(e) = self.map_object(space, obj, base, 0, len, flags, MapPolicy::Eager, true)
+            {
+                // map_object rolled back its own region and reference;
+                // the object now has no mappings left — free it.
+                let _ = self.free_object(obj);
+                return Err(e);
+            }
         }
-        Ok(pid)
+        Ok(())
     }
 
     /// Terminates a process, destroying its private vmspaces. Shared
@@ -342,12 +433,61 @@ impl Kernel {
     ///
     /// [`OsError::NoSuchProcess`] for unknown pids.
     pub fn exit(&mut self, pid: Pid) -> OsResult<()> {
+        self.teardown_process(pid)
+    }
+
+    /// Reclaims an abruptly-dead process — the kernel-side answer to a
+    /// crash: no cooperation from the process is required or possible.
+    /// Its vmspaces are destroyed (unless another live process still
+    /// holds them), their ASIDs return to the pool, any core still
+    /// running one of the destroyed spaces is parked, and process-private
+    /// objects whose last mapping died with the process are freed.
+    ///
+    /// Segment locks and SpaceJMP attachments are *not* visible at this
+    /// layer; `SpaceJmp::reap_process` revokes those first and then calls
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for unknown (or already-reaped) pids.
+    pub fn kill(&mut self, pid: Pid) -> OsResult<()> {
+        self.teardown_process(pid)
+    }
+
+    /// Shared teardown behind [`Self::exit`] and [`Self::kill`]. Never
+    /// consults the fault plan: reclamation must always run to
+    /// completion.
+    fn teardown_process(&mut self, pid: Pid) -> OsResult<()> {
         let process = self.processes.remove(&pid).ok_or(OsError::NoSuchProcess)?;
+        let mut touched: Vec<VmObjectId> = Vec::new();
         for space in process.spaces() {
-            // Spaces may be shared bookkeeping-wise; destroy only if still
-            // registered.
-            if self.vmspaces.contains_key(space) {
-                self.destroy_vmspace(*space)?;
+            // A vmspace may be attached to several processes; destroy it
+            // only once no live process still holds it.
+            if self.processes.values().any(|p| p.holds_space(*space)) {
+                continue;
+            }
+            let Some(vs) = self.vmspaces.get(space) else {
+                continue;
+            };
+            let root = vs.root();
+            touched.extend(vs.regions().map(|r| r.object));
+            self.destroy_vmspace(*space)?;
+            // Park any core whose CR3 still points at the freed tables.
+            for mmu in &mut self.mmus {
+                if mmu.cr3() == Some(root) {
+                    mmu.clear_cr3();
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for obj in touched {
+            if self
+                .vmobjects
+                .get(&obj)
+                .is_some_and(|o| o.refs() == 0 && !o.pinned())
+            {
+                self.free_object(obj)?;
             }
         }
         Ok(())
@@ -361,6 +501,7 @@ impl Kernel {
     ///
     /// Propagates physical allocation failure.
     pub fn alloc_object(&mut self, len: u64) -> OsResult<VmObjectId> {
+        self.fault_gate(FaultSite::ObjectAlloc)?;
         let id = VmObjectId(self.next_obj);
         self.next_obj += 1;
         let obj = VmObject::alloc(&mut self.phys, id, len)?;
@@ -395,11 +536,12 @@ impl Kernel {
     /// * [`OsError::NoSuchObject`] for unknown ids.
     /// * [`OsError::Conflict`] if still mapped somewhere.
     pub fn free_object(&mut self, id: VmObjectId) -> OsResult<()> {
-        let obj = self.vmobjects.get(&id).ok_or(OsError::NoSuchObject)?;
+        let obj = self.vmobjects.remove(&id).ok_or(OsError::NoSuchObject)?;
         if obj.refs() > 0 {
-            return Err(OsError::Conflict(format!("object {id:?} still mapped")));
+            let err = OsError::Conflict(format!("object {id:?} still mapped"));
+            self.vmobjects.insert(id, obj);
+            return Err(err);
         }
-        let obj = self.vmobjects.remove(&id).expect("checked above");
         obj.free(&mut self.phys);
         Ok(())
     }
@@ -412,6 +554,7 @@ impl Kernel {
     ///
     /// Propagates physical allocation failure.
     pub fn create_vmspace(&mut self) -> OsResult<VmspaceId> {
+        self.fault_gate(FaultSite::SpaceAlloc)?;
         let id = VmspaceId(self.next_space);
         self.next_space += 1;
         let root = paging::new_root(&mut self.phys)?;
@@ -468,24 +611,69 @@ impl Kernel {
         };
         {
             let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
-            vs.insert_region(Region { start: va, len, object: obj, object_offset: obj_offset, flags, policy })?;
+            vs.insert_region(Region {
+                start: va,
+                len,
+                object: obj,
+                object_offset: obj_offset,
+                flags,
+                policy,
+            })?;
         }
         self.vmobject_mut(obj)?.add_ref();
         if policy == MapPolicy::Eager {
             let root = self.vmspace(space)?.root();
-            let stats = paging::map_region(
-                &mut self.phys,
-                root,
-                va,
-                pa,
-                len,
-                sjmp_mem::PageSize::Size4K,
-                flags,
-            )?;
-            if charge {
-                let per_pte = self.cost.pte_construct(len);
-                self.clock
-                    .advance(stats.ptes_written * per_pte + stats.tables_allocated * self.cost.table_alloc);
+            // An injected mid-map fault mimics frame exhaustion partway
+            // through eager construction: the first half of the region
+            // gets mapped, then the call must fail — without leaking the
+            // half-built mapping.
+            let attempt = if self.fault_mid_map() {
+                let half = ((len / 2 / PAGE_SIZE).max(1) * PAGE_SIZE).min(len);
+                let _ = paging::map_region(
+                    &mut self.phys,
+                    root,
+                    va,
+                    pa,
+                    half,
+                    sjmp_mem::PageSize::Size4K,
+                    flags,
+                );
+                Err(MemError::OutOfFrames)
+            } else {
+                paging::map_region(
+                    &mut self.phys,
+                    root,
+                    va,
+                    pa,
+                    len,
+                    sjmp_mem::PageSize::Size4K,
+                    flags,
+                )
+            };
+            match attempt {
+                Ok(stats) => {
+                    if charge {
+                        let per_pte = self.cost.pte_construct(len);
+                        self.clock.advance(
+                            stats.ptes_written * per_pte
+                                + stats.tables_allocated * self.cost.table_alloc,
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Transactional rollback: clear whatever portion got
+                    // mapped (holes are skipped), remove the region, and
+                    // drop the object reference, so a failed map leaves
+                    // no trace.
+                    let _ = paging::unmap_region(&mut self.phys, root, va, len);
+                    if let Some(vs) = self.vmspaces.get_mut(&space) {
+                        vs.remove_region(va);
+                    }
+                    if let Some(o) = self.vmobjects.get_mut(&obj) {
+                        o.drop_ref();
+                    }
+                    return Err(e.into());
+                }
             }
         }
         Ok(())
@@ -500,8 +688,9 @@ impl Kernel {
     pub fn unmap_object(&mut self, space: VmspaceId, va: VirtAddr, charge: bool) -> OsResult<()> {
         let (len, obj, root) = {
             let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
-            let region =
-                vs.remove_region(va).ok_or(OsError::InvalidArgument("no region starts here"))?;
+            let region = vs
+                .remove_region(va)
+                .ok_or(OsError::InvalidArgument("no region starts here"))?;
             (region.len, region.object, vs.root())
         };
         if let Some(o) = self.vmobjects.get_mut(&obj) {
@@ -531,9 +720,16 @@ impl Kernel {
     /// # Errors
     ///
     /// Address-space exhaustion or physical memory exhaustion.
-    pub fn sys_mmap(&mut self, pid: Pid, len: u64, flags: PteFlags, cached: bool) -> OsResult<VirtAddr> {
+    pub fn sys_mmap(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+    ) -> OsResult<VirtAddr> {
         self.charge_entry();
         self.stats.mmaps += 1;
+        self.fault_gate(FaultSite::Mmap)?;
         let space = self.process(pid)?.current_space();
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let va = self
@@ -541,7 +737,12 @@ impl Kernel {
             .find_free(MMAP_BASE, PRIVATE_HI, len)
             .ok_or(OsError::InvalidArgument("out of private address space"))?;
         let obj = self.alloc_object(len)?;
-        self.map_object(space, obj, va, 0, len, flags, MapPolicy::Eager, false)?;
+        if let Err(e) = self.map_object(space, obj, va, 0, len, flags, MapPolicy::Eager, false) {
+            // map_object rolled its own state back; the fresh object has
+            // no other referents, so reclaim it too.
+            let _ = self.free_object(obj);
+            return Err(e);
+        }
         self.charge_map(len, cached);
         Ok(va)
     }
@@ -565,8 +766,11 @@ impl Kernel {
     ) -> OsResult<VirtAddr> {
         self.charge_entry();
         self.stats.mmaps += 1;
+        self.fault_gate(FaultSite::Mmap)?;
         if len == 0 || !len.is_multiple_of(page_size.bytes()) {
-            return Err(OsError::InvalidArgument("length must be a page-size multiple"));
+            return Err(OsError::InvalidArgument(
+                "length must be a page-size multiple",
+            ));
         }
         let space = self.process(pid)?.current_space();
         let va = self
@@ -576,7 +780,7 @@ impl Kernel {
             .align_up(page_size.bytes());
         let obj = self.alloc_object(len)?;
         let pa = self.vmobject(obj)?.base();
-        if !pa.is_aligned(page_size.bytes()) {
+        let (obj, pa, offset) = if !pa.is_aligned(page_size.bytes()) {
             // Contiguous objects start at arbitrary frames; superpage
             // mappings need an aligned backing range. Over-allocate.
             self.free_object(obj)?;
@@ -585,36 +789,35 @@ impl Kernel {
             let aligned = sjmp_mem::PhysAddr::new(
                 (base.raw() + page_size.bytes() - 1) & !(page_size.bytes() - 1),
             );
-            let offset = aligned.raw() - base.raw();
-            {
-                let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
-                vs.insert_region(Region {
-                    start: va,
-                    len,
-                    object: padded,
-                    object_offset: offset,
-                    flags,
-                    policy: MapPolicy::Eager,
-                })?;
-            }
-            self.vmobject_mut(padded)?.add_ref();
-            let root = self.vmspace(space)?.root();
-            paging::map_region(&mut self.phys, root, va, aligned, len, page_size, flags)?;
+            (padded, aligned, aligned.raw() - base.raw())
         } else {
-            {
-                let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
-                vs.insert_region(Region {
-                    start: va,
-                    len,
-                    object: obj,
-                    object_offset: 0,
-                    flags,
-                    policy: MapPolicy::Eager,
-                })?;
+            (obj, pa, 0)
+        };
+        {
+            let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
+            vs.insert_region(Region {
+                start: va,
+                len,
+                object: obj,
+                object_offset: offset,
+                flags,
+                policy: MapPolicy::Eager,
+            })?;
+        }
+        self.vmobject_mut(obj)?.add_ref();
+        let root = self.vmspace(space)?.root();
+        if let Err(e) = paging::map_region(&mut self.phys, root, va, pa, len, page_size, flags) {
+            // Transactional rollback, as in map_object: clear the partial
+            // mapping and reclaim the region and the fresh object.
+            let _ = paging::unmap_region(&mut self.phys, root, va, len);
+            if let Some(vs) = self.vmspaces.get_mut(&space) {
+                vs.remove_region(va);
             }
-            self.vmobject_mut(obj)?.add_ref();
-            let root = self.vmspace(space)?.root();
-            paging::map_region(&mut self.phys, root, va, pa, len, page_size, flags)?;
+            if let Some(o) = self.vmobjects.get_mut(&obj) {
+                o.drop_ref();
+            }
+            let _ = self.free_object(obj);
+            return Err(e.into());
         }
         self.charge_map_sized(len, cached, page_size);
         Ok(va)
@@ -638,12 +841,22 @@ impl Kernel {
     ) -> OsResult<VirtAddr> {
         self.charge_entry();
         self.stats.mmaps += 1;
+        self.fault_gate(FaultSite::Mmap)?;
         let space = self.process(pid)?.current_space();
         let va = self
             .vmspace(space)?
             .find_free(MMAP_BASE, PRIVATE_HI, len)
             .ok_or(OsError::InvalidArgument("out of private address space"))?;
-        self.map_object(space, obj, va, obj_offset, len, flags, MapPolicy::Eager, false)?;
+        self.map_object(
+            space,
+            obj,
+            va,
+            obj_offset,
+            len,
+            flags,
+            MapPolicy::Eager,
+            false,
+        )?;
         self.charge_map(len, cached);
         Ok(va)
     }
@@ -659,6 +872,7 @@ impl Kernel {
     pub fn sys_munmap(&mut self, pid: Pid, va: VirtAddr, cached: bool) -> OsResult<()> {
         self.charge_entry();
         self.stats.munmaps += 1;
+        self.fault_gate(FaultSite::Munmap)?;
         let space = self.process(pid)?.current_space();
         let len = self
             .vmspace(space)?
@@ -668,7 +882,8 @@ impl Kernel {
             .ok_or(OsError::InvalidArgument("no region starts here"))?;
         self.unmap_object(space, va, true)?;
         if !cached {
-            self.clock.advance((len / PAGE_SIZE) * self.cost.page_putback);
+            self.clock
+                .advance((len / PAGE_SIZE) * self.cost.page_putback);
         }
         Ok(())
     }
@@ -696,14 +911,24 @@ impl Kernel {
             }
             let page_va = va.align_down(PAGE_SIZE);
             let offset = region.object_offset + page_va.offset_from(region.start);
-            let obj = self.vmobjects.get(&region.object).ok_or(OsError::NoSuchObject)?;
+            let obj = self
+                .vmobjects
+                .get(&region.object)
+                .ok_or(OsError::NoSuchObject)?;
             (obj.pa(offset), region.flags, vs.root())
         };
         let page_va = va.align_down(PAGE_SIZE);
-        let stats =
-            paging::map(&mut self.phys, root, page_va, pa, sjmp_mem::PageSize::Size4K, flags)?;
+        let stats = paging::map(
+            &mut self.phys,
+            root,
+            page_va,
+            pa,
+            sjmp_mem::PageSize::Size4K,
+            flags,
+        )?;
         self.clock.advance(
-            stats.ptes_written * self.cost.pte_write + stats.tables_allocated * self.cost.table_alloc,
+            stats.ptes_written * self.cost.pte_write
+                + stats.tables_allocated * self.cost.table_alloc,
         );
         Ok(())
     }
@@ -793,6 +1018,7 @@ impl Kernel {
     pub fn switch_vmspace(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
         self.charge_entry();
         self.stats.space_switches += 1;
+        self.fault_gate(FaultSite::Switch)?;
         let core = {
             let p = self.process(pid)?;
             if !p.holds_space(space) {
@@ -805,7 +1031,8 @@ impl Kernel {
             (vs.root(), vs.asid())
         };
         let tagged = self.tagging && asid.is_tagged();
-        self.clock.advance(self.cost.switch_bookkeeping(self.flavor, tagged));
+        self.clock
+            .advance(self.cost.switch_bookkeeping(self.flavor, tagged));
         self.mmus[core].load_cr3(root, asid); // charges the CR3 cost
         self.process_mut(pid)?.set_current_space(space);
         Ok(())
@@ -839,6 +1066,89 @@ impl Kernel {
             self.mmus[core].load_cr3(root, asid);
         }
         Ok(())
+    }
+
+    // ---- invariant audit -------------------------------------------------
+
+    /// Audits kernel bookkeeping — the crash-recovery acceptance check.
+    /// Returns a human-readable list of violations (empty = consistent):
+    ///
+    /// * every region maps a live object, and each object's refcount
+    ///   equals the number of regions mapping it;
+    /// * no unpinned object sits unmapped (leaked frames after teardown);
+    /// * every process references only live vmspaces and is current in a
+    ///   space it holds;
+    /// * every allocated physical frame is owned by exactly one of: a VM
+    ///   object, a vmspace's private page tables, or an
+    ///   `external_roots` tree (the SpaceJMP layer's VAS templates,
+    ///   which own the shared subtrees linked into attached vmspaces).
+    pub fn check_invariants(&mut self, external_roots: &[Pfn]) -> Vec<String> {
+        let mut problems = Vec::new();
+
+        let mut region_refs: HashMap<VmObjectId, u64> = HashMap::new();
+        for vs in self.vmspaces.values() {
+            for r in vs.regions() {
+                *region_refs.entry(r.object).or_insert(0) += 1;
+                if !self.vmobjects.contains_key(&r.object) {
+                    problems.push(format!(
+                        "space {:?} maps object {:?} which does not exist",
+                        vs.id(),
+                        r.object
+                    ));
+                }
+            }
+        }
+        for (id, obj) in &self.vmobjects {
+            let mapped = region_refs.get(id).copied().unwrap_or(0);
+            if obj.refs() != mapped {
+                problems.push(format!(
+                    "object {id:?} refcount {} but {mapped} region(s) map it",
+                    obj.refs()
+                ));
+            }
+            if !obj.pinned() && mapped == 0 {
+                problems.push(format!(
+                    "unpinned object {id:?} has no mappings (leaked frames)"
+                ));
+            }
+        }
+
+        for (pid, p) in &self.processes {
+            for s in p.spaces() {
+                if !self.vmspaces.contains_key(s) {
+                    problems.push(format!("process {pid:?} holds destroyed space {s:?}"));
+                }
+            }
+            if !p.holds_space(p.current_space()) {
+                problems.push(format!(
+                    "process {pid:?} current space is not in its space list"
+                ));
+            }
+        }
+
+        let mut owned_frames = 0u64;
+        for obj in self.vmobjects.values() {
+            owned_frames += obj.pages();
+        }
+        let roots: Vec<(Pfn, Vec<usize>)> = self
+            .vmspaces
+            .values()
+            .map(|vs| (vs.root(), vs.shared_slots().to_vec()))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for root in external_roots {
+            owned_frames += paging::collect_table_frames(&mut self.phys, *root, &[], &mut seen);
+        }
+        for (root, skip) in roots {
+            owned_frames += paging::collect_table_frames(&mut self.phys, root, &skip, &mut seen);
+        }
+        let allocated = self.phys.allocated_frames();
+        if owned_frames != allocated {
+            problems.push(format!(
+                "frame accounting mismatch: {allocated} frames allocated, {owned_frames} owned"
+            ));
+        }
+        problems
     }
 }
 
@@ -887,7 +1197,10 @@ mod tests {
         k.store_u64(pid, va.add(4096), 7).unwrap();
         assert_eq!(k.load_u64(pid, va.add(4096)).unwrap(), 7);
         k.sys_munmap(pid, va, false).unwrap();
-        assert!(matches!(k.load_u64(pid, va.add(4096)), Err(OsError::Mem(MemError::PageFault { .. }))));
+        assert!(matches!(
+            k.load_u64(pid, va.add(4096)),
+            Err(OsError::Mem(MemError::PageFault { .. }))
+        ));
         assert_eq!(k.stats().mmaps, 1);
         assert_eq!(k.stats().munmaps, 1);
     }
@@ -900,13 +1213,21 @@ mod tests {
         let a = k.sys_mmap(pid, 1 << 20, PteFlags::WRITABLE, false).unwrap();
         let small = k.clock().since(t0);
         let t1 = k.clock().now();
-        let b = k.sys_mmap(pid, 16 << 20, PteFlags::WRITABLE, false).unwrap();
+        let b = k
+            .sys_mmap(pid, 16 << 20, PteFlags::WRITABLE, false)
+            .unwrap();
         let large = k.clock().since(t1);
-        assert!(large > 10 * small, "16x size should cost >10x ({small} vs {large})");
+        assert!(
+            large > 10 * small,
+            "16x size should cost >10x ({small} vs {large})"
+        );
         let t2 = k.clock().now();
         k.sys_mmap(pid, 16 << 20, PteFlags::WRITABLE, true).unwrap();
         let cached = k.clock().since(t2);
-        assert!(cached < large / 2, "cached map should be much cheaper ({cached} vs {large})");
+        assert!(
+            cached < large / 2,
+            "cached map should be much cheaper ({cached} vs {large})"
+        );
         let _ = (a, b);
     }
 
@@ -918,8 +1239,17 @@ mod tests {
         let space = k.process(pid).unwrap().current_space();
         let obj = k.alloc_object(8192).unwrap();
         let va = VirtAddr::new(0x2_0000_0000);
-        k.map_object(space, obj, va, 0, 8192, PteFlags::USER | PteFlags::WRITABLE, MapPolicy::Lazy, false)
-            .unwrap();
+        k.map_object(
+            space,
+            obj,
+            va,
+            0,
+            8192,
+            PteFlags::USER | PteFlags::WRITABLE,
+            MapPolicy::Lazy,
+            false,
+        )
+        .unwrap();
         assert_eq!(k.stats().faults_handled, 0);
         k.store_u64(pid, va, 1).unwrap();
         assert_eq!(k.stats().faults_handled, 1);
@@ -935,7 +1265,17 @@ mod tests {
         let space = k.process(pid).unwrap().current_space();
         let obj = k.alloc_object(4096).unwrap();
         let va = VirtAddr::new(0x2_0000_0000);
-        k.map_object(space, obj, va, 0, 4096, PteFlags::USER, MapPolicy::Lazy, false).unwrap();
+        k.map_object(
+            space,
+            obj,
+            va,
+            0,
+            4096,
+            PteFlags::USER,
+            MapPolicy::Lazy,
+            false,
+        )
+        .unwrap();
         assert!(matches!(
             k.store_u64(pid, va, 1),
             Err(OsError::Mem(MemError::ProtectionFault { .. }))
@@ -978,8 +1318,17 @@ mod tests {
         let mut k = kernel();
         let obj = k.alloc_object(4096).unwrap();
         let space = k.create_vmspace().unwrap();
-        k.map_object(space, obj, VirtAddr::new(0x1000), 0, 4096, PteFlags::USER, MapPolicy::Lazy, false)
-            .unwrap();
+        k.map_object(
+            space,
+            obj,
+            VirtAddr::new(0x1000),
+            0,
+            4096,
+            PteFlags::USER,
+            MapPolicy::Lazy,
+            false,
+        )
+        .unwrap();
         assert!(matches!(k.free_object(obj), Err(OsError::Conflict(_))));
         k.unmap_object(space, VirtAddr::new(0x1000), false).unwrap();
         k.free_object(obj).unwrap();
@@ -992,7 +1341,16 @@ mod tests {
         let obj = k.alloc_object(4096).unwrap();
         let space = k.create_vmspace().unwrap();
         assert!(matches!(
-            k.map_object(space, obj, VirtAddr::new(0), 0, 8192, PteFlags::USER, MapPolicy::Lazy, false),
+            k.map_object(
+                space,
+                obj,
+                VirtAddr::new(0),
+                0,
+                8192,
+                PteFlags::USER,
+                MapPolicy::Lazy,
+                false
+            ),
             Err(OsError::InvalidArgument(_))
         ));
     }
@@ -1046,16 +1404,28 @@ mod tests {
             .sys_mmap_sized(pid, 32 << 20, flags, false, sjmp_mem::PageSize::Size2M)
             .unwrap();
         let cost_2m = k.clock().since(t1);
-        assert!(cost_2m * 20 < cost_4k, "2 MiB pages: {cost_2m} vs 4 KiB: {cost_4k}");
+        assert!(
+            cost_2m * 20 < cost_4k,
+            "2 MiB pages: {cost_2m} vs 4 KiB: {cost_4k}"
+        );
         // Both mappings are readable/writable across their extent.
         for va in [small, huge] {
             k.store_u64(pid, va.add((32 << 20) - 8), 7).unwrap();
             assert_eq!(k.load_u64(pid, va.add((32 << 20) - 8)).unwrap(), 7);
         }
-        assert!(huge.is_aligned(2 << 20), "superpage mapping must be aligned");
+        assert!(
+            huge.is_aligned(2 << 20),
+            "superpage mapping must be aligned"
+        );
         // Misaligned length rejected.
         assert!(matches!(
-            k.sys_mmap_sized(pid, (2 << 20) + 4096, flags, false, sjmp_mem::PageSize::Size2M),
+            k.sys_mmap_sized(
+                pid,
+                (2 << 20) + 4096,
+                flags,
+                false,
+                sjmp_mem::PageSize::Size2M
+            ),
             Err(OsError::InvalidArgument(_))
         ));
     }
@@ -1067,5 +1437,136 @@ mod tests {
         let p2 = k.spawn("b", user()).unwrap();
         assert_eq!(k.process(p1).unwrap().core(), 0);
         assert_eq!(k.process(p2).unwrap().core(), 1);
+    }
+
+    #[test]
+    fn exit_reclaims_private_objects_and_frames() {
+        let mut k = kernel();
+        let before = k.phys_mut().allocated_frames();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        k.sys_mmap(pid, 1 << 20, PteFlags::USER | PteFlags::WRITABLE, false)
+            .unwrap();
+        k.exit(pid).unwrap();
+        assert_eq!(
+            k.phys_mut().allocated_frames(),
+            before,
+            "spawn + mmap + exit must return every frame"
+        );
+        assert!(k.check_invariants(&[]).is_empty());
+    }
+
+    #[test]
+    fn exit_spares_vmspaces_other_processes_hold() {
+        let mut k = kernel();
+        let p1 = k.spawn("a", user()).unwrap();
+        let p2 = k.spawn("b", user()).unwrap();
+        let shared = k.create_vmspace().unwrap();
+        k.process_mut(p1).unwrap().add_space(shared);
+        k.process_mut(p2).unwrap().add_space(shared);
+        k.exit(p1).unwrap();
+        assert!(k.vmspace(shared).is_ok(), "p2 still holds the space");
+        k.switch_vmspace(p2, shared).unwrap();
+        k.exit(p2).unwrap();
+        assert!(k.vmspace(shared).is_err(), "last holder's exit destroys it");
+    }
+
+    #[test]
+    fn kill_reclaims_without_process_cooperation() {
+        let mut k = kernel();
+        let before = k.phys_mut().allocated_frames();
+        let pid = k.spawn("victim", user()).unwrap();
+        k.activate(pid).unwrap();
+        let va = k
+            .sys_mmap(pid, 256 * 1024, PteFlags::USER | PteFlags::WRITABLE, false)
+            .unwrap();
+        k.store_u64(pid, va, 1).unwrap();
+        let second = k.create_vmspace().unwrap();
+        k.process_mut(pid).unwrap().add_space(second);
+        k.switch_vmspace(pid, second).unwrap();
+        // Abrupt death: no unmap, no munmap, CR3 still loaded.
+        k.kill(pid).unwrap();
+        assert!(k.process(pid).is_err());
+        assert!(k.vmspace(second).is_err());
+        assert_eq!(k.phys_mut().allocated_frames(), before);
+        assert!(k.check_invariants(&[]).is_empty());
+        assert!(
+            matches!(k.kill(pid), Err(OsError::NoSuchProcess)),
+            "double kill"
+        );
+    }
+
+    #[test]
+    fn mid_map_fault_rolls_back_cleanly() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let frames_before = k.phys_mut().allocated_frames();
+        let mmaps_before = k.stats().mmaps;
+        k.set_fault_plan(Some(
+            crate::fault::FaultPlan::new(1).fail_nth(FaultSite::MapRegion, 1),
+        ));
+        let err = k.sys_mmap(pid, 4 << 20, PteFlags::USER | PteFlags::WRITABLE, false);
+        assert_eq!(err, Err(OsError::Mem(MemError::OutOfFrames)));
+        k.set_fault_plan(None);
+        assert_eq!(
+            k.phys_mut().allocated_frames(),
+            frames_before,
+            "failed mmap must leak no frames"
+        );
+        assert!(k.check_invariants(&[]).is_empty());
+        // The address space is unchanged: the same mmap now succeeds.
+        let va = k
+            .sys_mmap(pid, 4 << 20, PteFlags::USER | PteFlags::WRITABLE, false)
+            .unwrap();
+        k.store_u64(pid, va.add((4 << 20) - 8), 9).unwrap();
+        assert_eq!(k.stats().mmaps, mmaps_before + 2);
+    }
+
+    #[test]
+    fn injected_crash_leaves_zombie_until_killed() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        k.set_fault_plan(Some(
+            crate::fault::FaultPlan::new(1).crash_nth(FaultSite::Mmap, 1),
+        ));
+        assert_eq!(
+            k.sys_mmap(pid, 4096, PteFlags::USER | PteFlags::WRITABLE, false),
+            Err(OsError::Crashed)
+        );
+        // No cleanup happened: the process is still registered.
+        assert!(k.process(pid).is_ok());
+        assert!(
+            k.check_invariants(&[]).is_empty(),
+            "crash at syscall entry is atomic"
+        );
+        k.kill(pid).unwrap();
+        assert!(k.check_invariants(&[]).is_empty());
+    }
+
+    #[test]
+    fn audit_flags_refcount_drift() {
+        let mut k = kernel();
+        let obj = k.alloc_object(4096).unwrap();
+        let space = k.create_vmspace().unwrap();
+        k.map_object(
+            space,
+            obj,
+            VirtAddr::new(0x1000),
+            0,
+            4096,
+            PteFlags::USER,
+            MapPolicy::Lazy,
+            false,
+        )
+        .unwrap();
+        assert!(k.check_invariants(&[]).is_empty());
+        k.vmobject_mut(obj).unwrap().add_ref(); // sabotage
+        let problems = k.check_invariants(&[]);
+        assert!(
+            problems.iter().any(|p| p.contains("refcount")),
+            "{problems:?}"
+        );
     }
 }

@@ -33,6 +33,7 @@
 pub mod acl;
 pub mod caps;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod process;
 pub mod sim;
@@ -42,6 +43,7 @@ pub mod vmspace;
 pub use acl::{Acl, Creds, Mode};
 pub use caps::{CSpace, CapKind, CapRights, CapSlot, Capability, ObjClass};
 pub use error::{CapError, OsError};
+pub use fault::{FaultOutcome, FaultPlan, FaultSite, FaultStats};
 pub use kernel::{Kernel, KernelStats, OsResult, GLOBAL_HI, GLOBAL_LO, PRIVATE_HI, PRIVATE_LO};
 pub use process::{Pid, Process};
 pub use vmobject::{VmObject, VmObjectId};

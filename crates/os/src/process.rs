@@ -81,7 +81,12 @@ impl Process {
     /// Panics if the process does not hold `space` — switching into an
     /// unattached vmspace would be a kernel bug.
     pub fn set_current_space(&mut self, space: VmspaceId) {
-        assert!(self.spaces.contains(&space), "process {:?} does not hold {:?}", self.pid, space);
+        assert!(
+            self.spaces.contains(&space),
+            "process {:?} does not hold {:?}",
+            self.pid,
+            space
+        );
         self.current = space;
     }
 

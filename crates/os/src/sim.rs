@@ -46,12 +46,16 @@ impl<T> Ord for EventSlot<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at absolute `time`.
     pub fn push(&mut self, time: u64, payload: T) {
-        self.heap.push(Reverse((time, self.seq, EventSlot(payload))));
+        self.heap
+            .push(Reverse((time, self.seq, EventSlot(payload))));
         self.seq += 1;
     }
 
@@ -97,7 +101,9 @@ impl Cores {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one core");
-        Cores { busy_until: vec![0; n] }
+        Cores {
+            busy_until: vec![0; n],
+        }
     }
 
     /// Number of cores.

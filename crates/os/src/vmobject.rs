@@ -12,7 +12,7 @@
 //! trivial (`pa = base + offset`). Sparse host materialization (see
 //! [`sjmp_mem::phys::PhysMem`]) keeps even terabyte-sized objects cheap.
 
-use sjmp_mem::{MemError, PhysAddr, Pfn, PhysMem, PAGE_SIZE};
+use sjmp_mem::{MemError, Pfn, PhysAddr, PhysMem, PAGE_SIZE};
 
 /// Identifier of a VM object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,6 +30,11 @@ pub struct VmObject {
     /// kernel has built them ("a segment may contain a set of cached
     /// translations to accelerate attachment to an address space").
     cached_subtree: Option<(Pfn, usize)>,
+    /// Pinned objects outlive the processes mapping them (SpaceJMP
+    /// segments: "physical pages are reserved at the time a segment is
+    /// created"). Unpinned objects are process-private and are reclaimed
+    /// when process teardown drops their last mapping reference.
+    pinned: bool,
 }
 
 impl VmObject {
@@ -45,7 +50,14 @@ impl VmObject {
         }
         let pages = len.div_ceil(PAGE_SIZE);
         let base = phys.alloc_contiguous(pages)?;
-        Ok(VmObject { id, base, pages, refs: 0, cached_subtree: None })
+        Ok(VmObject {
+            id,
+            base,
+            pages,
+            refs: 0,
+            cached_subtree: None,
+            pinned: false,
+        })
     }
 
     /// Allocates a new object of `len` bytes from the NVM tier.
@@ -59,7 +71,14 @@ impl VmObject {
         }
         let pages = len.div_ceil(PAGE_SIZE);
         let base = phys.alloc_contiguous_nvm(pages)?;
-        Ok(VmObject { id, base, pages, refs: 0, cached_subtree: None })
+        Ok(VmObject {
+            id,
+            base,
+            pages,
+            refs: 0,
+            cached_subtree: None,
+            pinned: false,
+        })
     }
 
     /// The object's id.
@@ -93,7 +112,11 @@ impl VmObject {
     ///
     /// Panics if `offset` is out of bounds.
     pub fn pa(&self, offset: u64) -> PhysAddr {
-        assert!(offset < self.len(), "offset {offset} beyond object of {} bytes", self.len());
+        assert!(
+            offset < self.len(),
+            "offset {offset} beyond object of {} bytes",
+            self.len()
+        );
         self.base().add(offset)
     }
 
@@ -111,6 +134,16 @@ impl VmObject {
     /// Current reference count.
     pub fn refs(&self) -> u64 {
         self.refs
+    }
+
+    /// Marks the object as outliving its mappers (segment backing).
+    pub fn set_pinned(&mut self, pinned: bool) {
+        self.pinned = pinned;
+    }
+
+    /// Whether the object survives process teardown at zero references.
+    pub fn pinned(&self) -> bool {
+        self.pinned
     }
 
     /// Records a cached page-table subtree for fast reattachment.

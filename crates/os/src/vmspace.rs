@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use sjmp_mem::{Access, Asid, MemError, PteFlags, VirtAddr, PAGE_SIZE, Pfn};
+use sjmp_mem::{Access, Asid, MemError, Pfn, PteFlags, VirtAddr, PAGE_SIZE};
 
 use crate::vmobject::VmObjectId;
 
@@ -85,7 +85,13 @@ pub struct Vmspace {
 impl Vmspace {
     /// Creates an empty vmspace over an existing root table.
     pub fn new(id: VmspaceId, root: Pfn) -> Self {
-        Vmspace { id, root, asid: Asid::UNTAGGED, regions: BTreeMap::new(), shared_slots: Vec::new() }
+        Vmspace {
+            id,
+            root,
+            asid: Asid::UNTAGGED,
+            regions: BTreeMap::new(),
+            shared_slots: Vec::new(),
+        }
     }
 
     /// This vmspace's id.
@@ -238,9 +244,17 @@ mod tests {
         let mut vs = space();
         vs.insert_region(region(0x10000, 0x4000)).unwrap();
         // Overlapping from below, inside, above, and exact.
-        for (s, l) in [(0xf000, 0x2000), (0x11000, 0x1000), (0x13000, 0x4000), (0x10000, 0x4000)] {
+        for (s, l) in [
+            (0xf000, 0x2000),
+            (0x11000, 0x1000),
+            (0x13000, 0x4000),
+            (0x10000, 0x4000),
+        ] {
             assert!(
-                matches!(vs.insert_region(region(s, l)), Err(MemError::AlreadyMapped(_))),
+                matches!(
+                    vs.insert_region(region(s, l)),
+                    Err(MemError::AlreadyMapped(_))
+                ),
                 "({s:#x},{l:#x}) should overlap"
             );
         }

@@ -111,7 +111,12 @@ mod tests {
 
     fn cluster(slaves: usize) -> (MpCluster, CycleClock) {
         let clock = CycleClock::new();
-        let c = MpCluster::new(slaves, MachineProfile::of(Machine::M3), CostModel::default(), clock.clone());
+        let c = MpCluster::new(
+            slaves,
+            MachineProfile::of(Machine::M3),
+            CostModel::default(),
+            clock.clone(),
+        );
         (c, clock)
     }
 

@@ -47,7 +47,8 @@ impl SimSocket {
     fn charge(&mut self, len: usize) {
         // Syscall + buffer copy (per 64-byte line) + peer wakeup.
         let lines = (len.div_ceil(64)).max(1) as u64;
-        self.clock.advance(self.cost.socket_msg + lines * self.cost.cache_hit * 2);
+        self.clock
+            .advance(self.cost.socket_msg + lines * self.cost.cache_hit * 2);
         self.stats.bytes += len as u64;
     }
 

@@ -92,7 +92,12 @@ impl UrpcChannel {
     /// # Panics
     ///
     /// Panics if `capacity_lines` is zero.
-    pub fn new(capacity_lines: usize, placement: Placement, cost: CostModel, clock: CycleClock) -> Self {
+    pub fn new(
+        capacity_lines: usize,
+        placement: Placement,
+        cost: CostModel,
+        clock: CycleClock,
+    ) -> Self {
         assert!(capacity_lines > 0, "ring must hold at least one line");
         UrpcChannel {
             ring: VecDeque::new(),
@@ -131,7 +136,8 @@ impl UrpcChannel {
             self.stats.stalls += 1;
             return Err(RpcError::ChannelFull);
         }
-        self.clock.advance(self.cost.urpc_sw_overhead + lines as u64 * self.cost.cache_hit);
+        self.clock
+            .advance(self.cost.urpc_sw_overhead + lines as u64 * self.cost.cache_hit);
         self.used_lines += lines;
         self.ring.push_back(msg.to_vec());
         self.stats.sent += 1;
@@ -145,8 +151,11 @@ impl UrpcChannel {
         let msg = self.ring.pop_front()?;
         let lines = Self::lines_for(msg.len());
         self.used_lines -= lines;
-        let per_line = self.cost.cacheline_transfer(self.placement == Placement::CrossSocket);
-        self.clock.advance(self.cost.urpc_sw_overhead + lines as u64 * per_line);
+        let per_line = self
+            .cost
+            .cacheline_transfer(self.placement == Placement::CrossSocket);
+        self.clock
+            .advance(self.cost.urpc_sw_overhead + lines as u64 * per_line);
         self.stats.received += 1;
         Some(msg)
     }
@@ -170,7 +179,12 @@ pub struct UrpcPair {
 
 impl UrpcPair {
     /// Creates a pair of rings with the same geometry and placement.
-    pub fn new(capacity_lines: usize, placement: Placement, cost: CostModel, clock: CycleClock) -> Self {
+    pub fn new(
+        capacity_lines: usize,
+        placement: Placement,
+        cost: CostModel,
+        clock: CycleClock,
+    ) -> Self {
         UrpcPair {
             to_server: UrpcChannel::new(capacity_lines, placement, cost.clone(), clock.clone()),
             to_client: UrpcChannel::new(capacity_lines, placement, cost, clock),
@@ -198,7 +212,10 @@ mod tests {
 
     fn chan(lines: usize, p: Placement) -> (UrpcChannel, CycleClock) {
         let clock = CycleClock::new();
-        (UrpcChannel::new(lines, p, CostModel::default(), clock.clone()), clock)
+        (
+            UrpcChannel::new(lines, p, CostModel::default(), clock.clone()),
+            clock,
+        )
     }
 
     #[test]
@@ -257,7 +274,12 @@ mod tests {
     #[test]
     fn round_trip_pair() {
         let clock = CycleClock::new();
-        let mut pair = UrpcPair::new(4096, Placement::IntraSocket, CostModel::default(), clock.clone());
+        let mut pair = UrpcPair::new(
+            4096,
+            Placement::IntraSocket,
+            CostModel::default(),
+            clock.clone(),
+        );
         let resp = pair.round_trip(&[1; 8], 64).unwrap();
         assert_eq!(resp.len(), 64);
         assert_eq!(pair.to_server.stats().sent, 1);

@@ -60,7 +60,12 @@ impl Analysis {
             vas_in: module
                 .functions
                 .iter()
-                .map(|f| f.blocks.iter().map(|b| vec![VasSet::new(); b.insts.len()]).collect())
+                .map(|f| {
+                    f.blocks
+                        .iter()
+                        .map(|b| vec![VasSet::new(); b.insts.len()])
+                        .collect()
+                })
                 .collect(),
             entry: vec![VasSet::new(); n],
             exit: vec![VasSet::new(); n],
@@ -173,17 +178,23 @@ impl Analysis {
                         // Loading a pointer out of the common region gives
                         // a statically unknown pointer; out of VAS memory
                         // it must be valid in the current VAS.
-                        if from.contains(&AbstractVas::Common) || from.contains(&AbstractVas::Unknown)
+                        if from.contains(&AbstractVas::Common)
+                            || from.contains(&AbstractVas::Unknown)
                         {
                             s.insert(AbstractVas::Unknown);
                         }
-                        if from.iter().any(|v| matches!(v, AbstractVas::Vas(_))) || from.is_empty() {
+                        if from.iter().any(|v| matches!(v, AbstractVas::Vas(_))) || from.is_empty()
+                        {
                             s.extend(cur.iter().copied());
                         }
                         changed |= self.add_valid(fi, *dst, &s);
                     }
                     Inst::Store { .. } => {}
-                    Inst::Call { dst, func: callee, args } => {
+                    Inst::Call {
+                        dst,
+                        func: callee,
+                        args,
+                    } => {
                         let ci = callee.0 as usize;
                         let c = cur.clone();
                         changed |= Self::union_into(&mut self.entry[ci], &c);
@@ -278,7 +289,14 @@ mod tests {
         let p = f.fresh_reg();
         let q = f.fresh_reg();
         f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
-        f.push(BlockId(0), Inst::VCast { dst: q, src: p, vas: VasName(7) });
+        f.push(
+            BlockId(0),
+            Inst::VCast {
+                dst: q,
+                src: p,
+                vas: VasName(7),
+            },
+        );
         f.push(BlockId(0), Inst::Ret(None));
         m.add_function(f);
         let a = Analysis::run(&m, entry());
@@ -299,14 +317,27 @@ mod tests {
         let e = f.add_block();
         let j = f.add_block();
         f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
-        f.push(BlockId(0), Inst::CondBr { cond: c, then_bb: t, else_bb: e });
+        f.push(
+            BlockId(0),
+            Inst::CondBr {
+                cond: c,
+                then_bb: t,
+                else_bb: e,
+            },
+        );
         f.push(t, Inst::Switch(VasName(1)));
         f.push(t, Inst::Malloc { dst: p, size: 8 });
         f.push(t, Inst::Br(j));
         f.push(e, Inst::Switch(VasName(2)));
         f.push(e, Inst::Malloc { dst: q, size: 8 });
         f.push(e, Inst::Br(j));
-        f.push_phi(j, Phi { dst: r, incomings: vec![(t, p), (e, q)] });
+        f.push_phi(
+            j,
+            Phi {
+                dst: r,
+                incomings: vec![(t, p), (e, q)],
+            },
+        );
         f.push(j, Inst::Ret(None));
         m.add_function(f);
         let a = Analysis::run(&m, entry());
@@ -330,7 +361,11 @@ mod tests {
         m.add_function(f);
         let a = Analysis::run(&m, entry());
         assert_eq!(a.valid_of(0, x), vset(&[AbstractVas::Unknown]));
-        assert_eq!(a.valid_of(0, y), vset(&[v(0)]), "loads from VAS memory get VASin");
+        assert_eq!(
+            a.valid_of(0, y),
+            vset(&[v(0)]),
+            "loads from VAS memory get VASin"
+        );
     }
 
     #[test]
@@ -345,12 +380,23 @@ mod tests {
         let q = f.fresh_reg();
         f.push(BlockId(0), Inst::Switch(VasName(1)));
         f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
-        f.push(BlockId(0), Inst::Call { dst: Some(q), func: FuncId(1), args: vec![p] });
+        f.push(
+            BlockId(0),
+            Inst::Call {
+                dst: Some(q),
+                func: FuncId(1),
+                args: vec![p],
+            },
+        );
         f.push(BlockId(0), Inst::Ret(None));
         m.add_function(f);
         m.add_function(callee);
         let a = Analysis::run(&m, entry());
-        assert_eq!(a.valid_of(1, arg), vset(&[v(1)]), "param inherits arg validity");
+        assert_eq!(
+            a.valid_of(1, arg),
+            vset(&[v(1)]),
+            "param inherits arg validity"
+        );
         assert_eq!(a.valid_of(0, q), vset(&[v(1)]), "return value flows back");
         assert_eq!(a.entry[1], vset(&[v(1)]), "callee entered in caller's VAS");
     }
@@ -363,7 +409,14 @@ mod tests {
         let mut f = Function::new("main", 0);
         let p = f.fresh_reg();
         f.push(BlockId(0), Inst::Switch(VasName(1)));
-        f.push(BlockId(0), Inst::Call { dst: None, func: FuncId(1), args: vec![] });
+        f.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                func: FuncId(1),
+                args: vec![],
+            },
+        );
         f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
         f.push(BlockId(0), Inst::Ret(None));
         let mut callee = Function::new("sw", 0);
@@ -373,7 +426,10 @@ mod tests {
         m.add_function(callee);
         let a = Analysis::run(&m, entry());
         assert!(a.valid_of(0, p).contains(&v(2)));
-        assert!(a.valid_of(0, p).contains(&v(1)), "conservative: may not have switched");
+        assert!(
+            a.valid_of(0, p).contains(&v(1)),
+            "conservative: may not have switched"
+        );
     }
 
     #[test]
@@ -388,7 +444,14 @@ mod tests {
         let done = f.add_block();
         f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
         f.push(BlockId(0), Inst::Br(head));
-        f.push(head, Inst::CondBr { cond: c, then_bb: body, else_bb: done });
+        f.push(
+            head,
+            Inst::CondBr {
+                cond: c,
+                then_bb: body,
+                else_bb: done,
+            },
+        );
         f.push(body, Inst::Switch(VasName(1)));
         f.push(body, Inst::Br(head));
         f.push(done, Inst::Ret(None));

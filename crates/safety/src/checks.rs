@@ -70,10 +70,7 @@ fn deref_needs_check(valid: &VasSet, vas_in: &VasSet) -> bool {
         // constant); be conservative.
         return true;
     }
-    valid.len() > 1
-        || valid.contains(&AbstractVas::Unknown)
-        || vas_in.len() > 1
-        || valid != vas_in
+    valid.len() > 1 || valid.contains(&AbstractVas::Unknown) || vas_in.len() > 1 || valid != vas_in
 }
 
 fn store_ptr_needs_check(valid_p: &VasSet, valid_v: &VasSet) -> bool {
@@ -81,9 +78,7 @@ fn store_ptr_needs_check(valid_p: &VasSet, valid_v: &VasSet) -> bool {
         return false; // rule 1: store to the common region
     }
     // rule 2: both provably in the same single VAS
-    !(valid_p.len() == 1
-        && valid_p == valid_v
-        && !valid_p.contains(&AbstractVas::Unknown))
+    !(valid_p.len() == 1 && valid_p == valid_v && !valid_p.contains(&AbstractVas::Unknown))
 }
 
 /// Inserts checks into `module` according to `policy`, using `analysis`
@@ -134,7 +129,10 @@ pub fn insert_checks(module: &mut Module, analysis: &Analysis, policy: CheckPoli
                             report.deref_checks += 1;
                         }
                         if need_store {
-                            new_insts.push(Inst::CheckStore { addr: *addr, val: *val });
+                            new_insts.push(Inst::CheckStore {
+                                addr: *addr,
+                                val: *val,
+                            });
                             report.store_checks += 1;
                         }
                         if !need_deref && !need_store {
@@ -274,8 +272,21 @@ mod tests {
         let t = f.add_block();
         let j = f.add_block();
         f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
-        f.push(BlockId(0), Inst::Const { dst: cond, value: 1 });
-        f.push(BlockId(0), Inst::CondBr { cond, then_bb: t, else_bb: j });
+        f.push(
+            BlockId(0),
+            Inst::Const {
+                dst: cond,
+                value: 1,
+            },
+        );
+        f.push(
+            BlockId(0),
+            Inst::CondBr {
+                cond,
+                then_bb: t,
+                else_bb: j,
+            },
+        );
         f.push(t, Inst::Switch(VasName(1)));
         f.push(t, Inst::Br(j));
         f.push(j, Inst::Load { dst: x, addr: p });

@@ -76,10 +76,19 @@ impl std::fmt::Display for Trap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Trap::UnsafeDeref { region, current } => {
-                write!(f, "unsafe dereference of {region:?} pointer while in VAS {current:?}")
+                write!(
+                    f,
+                    "unsafe dereference of {region:?} pointer while in VAS {current:?}"
+                )
             }
-            Trap::UnsafeStore { value_region, target_region } => {
-                write!(f, "unsafe store of {value_region:?} pointer into {target_region:?} memory")
+            Trap::UnsafeStore {
+                value_region,
+                target_region,
+            } => {
+                write!(
+                    f,
+                    "unsafe store of {value_region:?} pointer into {target_region:?} memory"
+                )
             }
             Trap::CheckFailed { reason } => write!(f, "inserted check failed: {reason}"),
             Trap::UninitializedRead(a) => write!(f, "read of uninitialized address {a:#x}"),
@@ -168,7 +177,9 @@ impl<'m> Interp<'m> {
     }
 
     fn store_ok(target: Region, value: Value) -> bool {
-        let Value::Ptr { region: vr, .. } = value else { return true };
+        let Value::Ptr { region: vr, .. } = value else {
+            return true;
+        };
         match target {
             Region::Common => true,
             Region::Vas(t) => vr == Region::Vas(t),
@@ -233,15 +244,33 @@ impl<'m> Interp<'m> {
                             Value::Ptr { addr, .. } => addr,
                             Value::Int(a) => a,
                         };
-                        frame.regs.insert(*dst, Value::Ptr { region: Region::Vas(*vas), addr });
+                        frame.regs.insert(
+                            *dst,
+                            Value::Ptr {
+                                region: Region::Vas(*vas),
+                                addr,
+                            },
+                        );
                     }
                     Inst::Alloca { dst, size } => {
                         let addr = self.alloc(Region::Common, *size);
-                        frame.regs.insert(*dst, Value::Ptr { region: Region::Common, addr });
+                        frame.regs.insert(
+                            *dst,
+                            Value::Ptr {
+                                region: Region::Common,
+                                addr,
+                            },
+                        );
                     }
                     Inst::Global { dst, .. } => {
                         let addr = self.alloc(Region::Common, 8);
-                        frame.regs.insert(*dst, Value::Ptr { region: Region::Common, addr });
+                        frame.regs.insert(
+                            *dst,
+                            Value::Ptr {
+                                region: Region::Common,
+                                addr,
+                            },
+                        );
                     }
                     Inst::Malloc { dst, size } => {
                         let region = Region::Vas(self.current);
@@ -262,7 +291,10 @@ impl<'m> Interp<'m> {
                             return Err(Trap::NotAPointer);
                         };
                         if !self.deref_ok(region) {
-                            return Err(Trap::UnsafeDeref { region, current: self.current });
+                            return Err(Trap::UnsafeDeref {
+                                region,
+                                current: self.current,
+                            });
                         }
                         let v = self
                             .memory
@@ -279,11 +311,19 @@ impl<'m> Interp<'m> {
                             return Err(Trap::NotAPointer);
                         };
                         if !self.deref_ok(region) {
-                            return Err(Trap::UnsafeDeref { region, current: self.current });
+                            return Err(Trap::UnsafeDeref {
+                                region,
+                                current: self.current,
+                            });
                         }
                         if !Self::store_ok(region, v) {
-                            let Value::Ptr { region: vr, .. } = v else { unreachable!() };
-                            return Err(Trap::UnsafeStore { value_region: vr, target_region: region });
+                            let Value::Ptr { region: vr, .. } = v else {
+                                unreachable!()
+                            };
+                            return Err(Trap::UnsafeStore {
+                                value_region: vr,
+                                target_region: region,
+                            });
                         }
                         self.memory.insert((region, a), v);
                     }
@@ -291,10 +331,14 @@ impl<'m> Interp<'m> {
                         self.stats.checks_executed += 1;
                         let p = Self::get(&frame.regs, *addr)?;
                         let Value::Ptr { region, .. } = p else {
-                            return Err(Trap::CheckFailed { reason: "not a pointer" });
+                            return Err(Trap::CheckFailed {
+                                reason: "not a pointer",
+                            });
                         };
                         if !self.deref_ok(region) {
-                            return Err(Trap::CheckFailed { reason: "pointer VAS is not current" });
+                            return Err(Trap::CheckFailed {
+                                reason: "pointer VAS is not current",
+                            });
                         }
                     }
                     Inst::CheckStore { addr, val } => {
@@ -302,7 +346,9 @@ impl<'m> Interp<'m> {
                         let p = Self::get(&frame.regs, *addr)?;
                         let v = Self::get(&frame.regs, *val)?;
                         let Value::Ptr { region, .. } = p else {
-                            return Err(Trap::CheckFailed { reason: "not a pointer" });
+                            return Err(Trap::CheckFailed {
+                                reason: "not a pointer",
+                            });
                         };
                         if !Self::store_ok(region, v) {
                             return Err(Trap::CheckFailed {
@@ -310,7 +356,11 @@ impl<'m> Interp<'m> {
                             });
                         }
                     }
-                    Inst::Call { dst, func: callee, args } => {
+                    Inst::Call {
+                        dst,
+                        func: callee,
+                        args,
+                    } => {
                         let callee_fn = &self.module.functions[callee.0 as usize];
                         let mut regs = HashMap::new();
                         for (p, a) in callee_fn.params.iter().zip(args) {
@@ -350,7 +400,11 @@ impl<'m> Interp<'m> {
                         frame.idx = 0;
                         continue 'outer;
                     }
-                    Inst::CondBr { cond, then_bb, else_bb } => {
+                    Inst::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         let c = Self::get(&frame.regs, *cond)?;
                         let taken = match c {
                             Value::Int(0) => *else_bb,
@@ -423,7 +477,10 @@ mod tests {
         let mut i = Interp::new(&m, v0());
         assert_eq!(
             i.run(&[]).unwrap_err(),
-            Trap::UnsafeDeref { region: Region::Vas(v0()), current: VasName(1) }
+            Trap::UnsafeDeref {
+                region: Region::Vas(v0()),
+                current: VasName(1)
+            }
         );
     }
 
@@ -432,7 +489,10 @@ mod tests {
         use crate::analysis::Analysis;
         use crate::checks::{insert_checks, CheckPolicy};
         let mut m = unsafe_program();
-        let a = Analysis::run(&m, [crate::ir::AbstractVas::Vas(v0())].into_iter().collect());
+        let a = Analysis::run(
+            &m,
+            [crate::ir::AbstractVas::Vas(v0())].into_iter().collect(),
+        );
         insert_checks(&mut m, &a, CheckPolicy::Analyzed);
         let mut i = Interp::new(&m, v0());
         assert!(matches!(i.run(&[]).unwrap_err(), Trap::CheckFailed { .. }));
@@ -444,7 +504,10 @@ mod tests {
         use crate::analysis::Analysis;
         use crate::checks::{insert_checks, CheckPolicy};
         let mut m = safe_program();
-        let a = Analysis::run(&m, [crate::ir::AbstractVas::Vas(v0())].into_iter().collect());
+        let a = Analysis::run(
+            &m,
+            [crate::ir::AbstractVas::Vas(v0())].into_iter().collect(),
+        );
         insert_checks(&mut m, &a, CheckPolicy::Naive);
         let mut i = Interp::new(&m, v0());
         assert_eq!(i.run(&[]).unwrap(), Some(Value::Int(42)));
@@ -467,12 +530,22 @@ mod tests {
         f.push(BlockId(0), Inst::Const { dst: c, value: 5 });
         f.push(BlockId(0), Inst::Store { addr: p, val: c });
         f.push(BlockId(0), Inst::Switch(VasName(1)));
-        f.push(BlockId(0), Inst::VCast { dst: q, src: p, vas: VasName(1) });
+        f.push(
+            BlockId(0),
+            Inst::VCast {
+                dst: q,
+                src: p,
+                vas: VasName(1),
+            },
+        );
         f.push(BlockId(0), Inst::Load { dst: x, addr: q });
         f.push(BlockId(0), Inst::Ret(None));
         m.add_function(f);
         let mut i = Interp::new(&m, v0());
-        assert!(matches!(i.run(&[]).unwrap_err(), Trap::UninitializedRead(_)));
+        assert!(matches!(
+            i.run(&[]).unwrap_err(),
+            Trap::UninitializedRead(_)
+        ));
     }
 
     #[test]
@@ -509,7 +582,10 @@ mod tests {
         let mut i = Interp::new(&m, v0());
         assert_eq!(
             i.run(&[]).unwrap_err(),
-            Trap::UnsafeStore { value_region: Region::Vas(v0()), target_region: Region::Vas(VasName(1)) }
+            Trap::UnsafeStore {
+                value_region: Region::Vas(v0()),
+                target_region: Region::Vas(VasName(1))
+            }
         );
     }
 
@@ -521,7 +597,14 @@ mod tests {
         let c = main.fresh_reg();
         let r = main.fresh_reg();
         main.push(BlockId(0), Inst::Const { dst: c, value: 7 });
-        main.push(BlockId(0), Inst::Call { dst: Some(r), func: FuncId(1), args: vec![c] });
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: Some(r),
+                func: FuncId(1),
+                args: vec![c],
+            },
+        );
         main.push(BlockId(0), Inst::Ret(Some(r)));
         let mut callee = Function::new("id", 1);
         let a = callee.params[0];
@@ -545,11 +628,36 @@ mod tests {
         let x = f.fresh_reg();
         let body = f.add_block();
         let join = f.add_block();
-        f.push(BlockId(0), Inst::Const { dst: zero, value: 0 });
-        f.push(BlockId(0), Inst::Const { dst: three, value: 3 });
-        f.push(BlockId(0), Inst::CondBr { cond, then_bb: body, else_bb: join });
+        f.push(
+            BlockId(0),
+            Inst::Const {
+                dst: zero,
+                value: 0,
+            },
+        );
+        f.push(
+            BlockId(0),
+            Inst::Const {
+                dst: three,
+                value: 3,
+            },
+        );
+        f.push(
+            BlockId(0),
+            Inst::CondBr {
+                cond,
+                then_bb: body,
+                else_bb: join,
+            },
+        );
         f.push(body, Inst::Br(join));
-        f.push_phi(join, crate::ir::Phi { dst: x, incomings: vec![(BlockId(0), zero), (body, three)] });
+        f.push_phi(
+            join,
+            crate::ir::Phi {
+                dst: x,
+                incomings: vec![(BlockId(0), zero), (body, three)],
+            },
+        );
         f.push(join, Inst::Ret(Some(x)));
         m.add_function(f);
         let mut i = Interp::new(&m, v0());
@@ -576,7 +684,13 @@ mod tests {
         let mut f = Function::new("main", 0);
         let ghost = f.fresh_reg();
         let x = f.fresh_reg();
-        f.push(BlockId(0), Inst::Load { dst: x, addr: ghost });
+        f.push(
+            BlockId(0),
+            Inst::Load {
+                dst: x,
+                addr: ghost,
+            },
+        );
         f.push(BlockId(0), Inst::Ret(None));
         m.add_function(f);
         let mut i = Interp::new(&m, v0());

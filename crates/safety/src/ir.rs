@@ -64,13 +64,21 @@ pub enum Inst {
     /// `*x = y` — store.
     Store { addr: Reg, val: Reg },
     /// `x = foo(y, ...)` — call.
-    Call { dst: Option<Reg>, func: FuncId, args: Vec<Reg> },
+    Call {
+        dst: Option<Reg>,
+        func: FuncId,
+        args: Vec<Reg>,
+    },
     /// `ret x` — return.
     Ret(Option<Reg>),
     /// Unconditional branch.
     Br(BlockId),
     /// Conditional branch on a register (nonzero = then).
-    CondBr { cond: Reg, then_bb: BlockId, else_bb: BlockId },
+    CondBr {
+        cond: Reg,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Inserted check: `addr` must point into the current VAS or the
     /// common region. Traps at runtime otherwise.
     CheckDeref { addr: Reg },
@@ -124,7 +132,9 @@ impl Block {
     pub fn successors(&self) -> Vec<BlockId> {
         match self.insts.last() {
             Some(Inst::Br(b)) => vec![*b],
-            Some(Inst::CondBr { then_bb, else_bb, .. }) => vec![*then_bb, *else_bb],
+            Some(Inst::CondBr {
+                then_bb, else_bb, ..
+            }) => vec![*then_bb, *else_bb],
             _ => Vec::new(),
         }
     }
@@ -231,7 +241,11 @@ impl Module {
 
     /// Total instruction count (for check-density reporting).
     pub fn inst_count(&self) -> usize {
-        self.functions.iter().flat_map(|f| &f.blocks).map(|b| b.insts.len()).sum()
+        self.functions
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.insts.len())
+            .sum()
     }
 
     /// Number of inserted check instructions.
@@ -337,7 +351,14 @@ mod tests {
         let t = f.add_block();
         let e = f.add_block();
         f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
-        f.push(BlockId(0), Inst::CondBr { cond: c, then_bb: t, else_bb: e });
+        f.push(
+            BlockId(0),
+            Inst::CondBr {
+                cond: c,
+                then_bb: t,
+                else_bb: e,
+            },
+        );
         assert_eq!(f.blocks[0].successors(), vec![t, e]);
     }
 }

@@ -54,4 +54,6 @@ pub mod ir;
 pub use analysis::Analysis;
 pub use checks::{insert_checks, CheckPolicy, CheckReport};
 pub use interp::{Interp, InterpStats, Region, Trap, Value};
-pub use ir::{AbstractVas, Block, BlockId, FuncId, Function, Inst, Module, Phi, Reg, VasName, VasSet};
+pub use ir::{
+    AbstractVas, Block, BlockId, FuncId, Function, Inst, Module, Phi, Reg, VasName, VasSet,
+};

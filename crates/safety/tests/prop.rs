@@ -1,10 +1,13 @@
-//! Property-based test of the safety tool chain: on arbitrary
+//! Randomized test of the safety tool chain: on arbitrary
 //! straight-line multi-VAS programs, the static analysis + inserted
 //! checks must be *sound* — an instrumented program never commits an
 //! unsafe access (it traps at a check first), and instrumentation never
 //! breaks a program that is safe.
+//!
+//! Programs are generated from fixed seeds with [`SimRng`], so every
+//! run explores the same cases and any failure replays exactly.
 
-use proptest::prelude::*;
+use sjmp_mem::SimRng;
 use sjmp_safety::analysis::Analysis;
 use sjmp_safety::checks::{insert_checks, CheckPolicy};
 use sjmp_safety::interp::{Interp, Trap};
@@ -27,16 +30,22 @@ enum Action {
     CopyPtr(usize),
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u32..3).prop_map(Action::Switch),
-        Just(Action::Malloc),
-        Just(Action::Alloca),
-        any::<usize>().prop_map(Action::StoreConst),
-        any::<usize>().prop_map(Action::Load),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Action::StorePtr(a, b)),
-        any::<usize>().prop_map(Action::CopyPtr),
-    ]
+fn random_action(rng: &mut SimRng) -> Action {
+    match rng.gen_range(0..7) {
+        0 => Action::Switch(rng.gen_range(0..3) as u32),
+        1 => Action::Malloc,
+        2 => Action::Alloca,
+        3 => Action::StoreConst(rng.next_u64() as usize),
+        4 => Action::Load(rng.next_u64() as usize),
+        5 => Action::StorePtr(rng.next_u64() as usize, rng.next_u64() as usize),
+        _ => Action::CopyPtr(rng.next_u64() as usize),
+    }
+}
+
+fn random_actions(rng: &mut SimRng, max: usize) -> Vec<Action> {
+    (0..rng.index(max + 1))
+        .map(|_| random_action(rng))
+        .collect()
 }
 
 fn build(actions: &[Action]) -> Module {
@@ -47,7 +56,13 @@ fn build(actions: &[Action]) -> Module {
     let mut ptrs = Vec::new();
     // Seed one pointer so index-based actions always have a target.
     let seed = f.fresh_reg();
-    f.push(BlockId(0), Inst::Malloc { dst: seed, size: 64 });
+    f.push(
+        BlockId(0),
+        Inst::Malloc {
+            dst: seed,
+            size: 64,
+        },
+    );
     f.push(BlockId(0), Inst::Store { addr: seed, val: c });
     ptrs.push(seed);
     for a in actions {
@@ -93,14 +108,13 @@ fn build(actions: &[Action]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn instrumentation_is_sound(actions in prop::collection::vec(action_strategy(), 0..60)) {
+#[test]
+fn instrumentation_is_sound() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let actions = random_actions(&mut rng, 59);
         let module = build(&actions);
-        let entry: sjmp_safety::VasSet =
-            [AbstractVas::Vas(VasName(0))].into_iter().collect();
+        let entry: sjmp_safety::VasSet = [AbstractVas::Vas(VasName(0))].into_iter().collect();
 
         // Ground truth: run uninstrumented.
         let mut plain = Interp::new(&module, VasName(0)).with_step_limit(100_000);
@@ -115,34 +129,37 @@ proptest! {
 
         match plain_result {
             // Safe program: instrumentation must not change the outcome.
-            Ok(v) => prop_assert_eq!(checked_result, Ok(v)),
+            Ok(v) => assert_eq!(checked_result, Ok(v), "seed {seed}"),
             // Unsafe program: the instrumented version must stop at a
             // check *before* committing the unsafe access.
             Err(Trap::UnsafeDeref { .. }) | Err(Trap::UnsafeStore { .. }) => {
-                let stopped_at_check = matches!(checked_result, Err(Trap::CheckFailed { .. }));
-                prop_assert!(
-                    stopped_at_check,
-                    "unsafe access not intercepted: {checked_result:?}"
+                assert!(
+                    matches!(checked_result, Err(Trap::CheckFailed { .. })),
+                    "seed {seed}: unsafe access not intercepted: {checked_result:?}"
                 );
             }
             // Any other trap (e.g. uninitialized read) must reproduce.
-            Err(other) => prop_assert_eq!(checked_result, Err(other)),
+            Err(other) => assert_eq!(checked_result, Err(other), "seed {seed}"),
         }
     }
+}
 
-    #[test]
-    fn naive_policy_is_also_sound_and_never_cheaper(
-        actions in prop::collection::vec(action_strategy(), 0..40)
-    ) {
+#[test]
+fn naive_policy_is_also_sound_and_never_cheaper() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x5afe);
+        let actions = random_actions(&mut rng, 39);
         let module = build(&actions);
-        let entry: sjmp_safety::VasSet =
-            [AbstractVas::Vas(VasName(0))].into_iter().collect();
+        let entry: sjmp_safety::VasSet = [AbstractVas::Vas(VasName(0))].into_iter().collect();
         let analysis = Analysis::run(&module, entry);
         let mut naive = module.clone();
         let naive_report = insert_checks(&mut naive, &analysis, CheckPolicy::Naive);
         let mut analyzed = module.clone();
         let analyzed_report = insert_checks(&mut analyzed, &analysis, CheckPolicy::Analyzed);
-        prop_assert!(analyzed_report.deref_checks <= naive_report.deref_checks);
-        prop_assert!(analyzed.check_count() <= naive.check_count());
+        assert!(
+            analyzed_report.deref_checks <= naive_report.deref_checks,
+            "seed {seed}"
+        );
+        assert!(analyzed.check_count() <= naive.check_count(), "seed {seed}");
     }
 }

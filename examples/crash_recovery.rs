@@ -1,0 +1,79 @@
+//! Surviving a process that dies inside a shared VAS.
+//!
+//! A writer crashes mid-`vas_switch` — inside the kernel, holding the
+//! segment's exclusive lock. The corpse blocks every other switcher
+//! until `reap_process` reclaims it; the survivor then switches in and
+//! finds the victim's last committed write still there, because segment
+//! memory is pinned and outlives any process. A whole-system invariant
+//! audit runs after every step.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use spacejmp::os::{FaultPlan, FaultSite, OsError};
+use spacejmp::prelude::*;
+
+fn audit(sj: &mut SpaceJmp, when: &str) {
+    let problems = sj.check_invariants();
+    assert!(problems.is_empty(), "audit {when}: {problems:?}");
+    println!("  audit clean ({when})");
+}
+
+fn main() -> SjResult<()> {
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+
+    let victim = sj.kernel_mut().spawn("victim", Creds::new(100, 100))?;
+    sj.kernel_mut().activate(victim)?;
+    let survivor = sj.kernel_mut().spawn("survivor", Creds::new(100, 100))?;
+    sj.kernel_mut().activate(survivor)?;
+
+    // One shared VAS with a read-write (exclusive-on-switch) segment.
+    let base = VirtAddr::new(0x1000_0000_0000);
+    let vid = sj.vas_create(victim, "shared", Mode(0o666))?;
+    let sid = sj.seg_alloc(victim, "data", base, 1 << 20, Mode(0o666))?;
+    sj.seg_attach(victim, vid, sid, AttachMode::ReadWrite)?;
+    let vh_victim = sj.vas_attach(victim, vid)?;
+    let vh_survivor = sj.vas_attach(survivor, vid)?;
+
+    // The victim switches in, writes, and switches home.
+    sj.vas_switch(victim, vh_victim)?;
+    sj.kernel_mut().store_u64(victim, base, 0xC0FFEE)?;
+    sj.vas_switch_home(victim)?;
+    println!("victim wrote 0xC0FFEE into the shared segment");
+
+    // Arm the fault plan: the victim's next switch crashes inside the
+    // kernel — after the SpaceJMP layer acquired the exclusive lock.
+    sj.kernel_mut()
+        .set_fault_plan(Some(FaultPlan::new(42).crash_nth(FaultSite::Switch, 1)));
+    match sj.vas_switch(victim, vh_victim) {
+        Err(SjError::Os(OsError::Crashed)) => println!("victim crashed mid-switch"),
+        other => panic!("expected a crash, got {other:?}"),
+    }
+    audit(&mut sj, "zombie holding the lock");
+
+    // The corpse still holds the exclusive lock: the survivor bounces,
+    // and bounded retry reports WouldBlock instead of spinning forever.
+    let policy = RetryPolicy::default();
+    match sj.vas_switch_retry(survivor, vh_survivor, &policy) {
+        Err(SjError::WouldBlock) => println!("survivor blocked by the corpse's lock"),
+        other => panic!("expected WouldBlock, got {other:?}"),
+    }
+
+    // Reclaim the corpse: locks released, attachments removed, vmspaces
+    // destroyed, private memory freed. Segment memory is pinned and
+    // survives.
+    sj.reap_process(victim)?;
+    audit(&mut sj, "after reap");
+
+    sj.vas_switch_retry(survivor, vh_survivor, &policy)?;
+    let v = sj.kernel_mut().load_u64(survivor, base)?;
+    println!("survivor switched in and read {v:#x}");
+    assert_eq!(v, 0xC0FFEE);
+    audit(&mut sj, "after recovery");
+
+    let stats = sj.stats();
+    println!(
+        "stats: {} switches, {} reaps, {} retried switches, {} deadlocks",
+        stats.switches, stats.reaps, stats.retried_switches, stats.deadlocks
+    );
+    Ok(())
+}

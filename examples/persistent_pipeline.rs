@@ -44,39 +44,66 @@ fn main() -> SjResult<()> {
     let loader = sj.kernel_mut().spawn("loader", Creds::new(1, 1))?;
     sj.kernel_mut().activate(loader)?;
     let vid = sj.vas_create(loader, "alignments", Mode(0o660))?;
-    let sid = sj.seg_alloc(loader, "alignments-seg", VirtAddr::new(SEG_BASE), 16 << 20, Mode(0o660))?;
+    let sid = sj.seg_alloc(
+        loader,
+        "alignments-seg",
+        VirtAddr::new(SEG_BASE),
+        16 << 20,
+        Mode(0o660),
+    )?;
     sj.seg_attach(loader, vid, sid, AttachMode::ReadWrite)?;
     let vh = sj.vas_attach(loader, vid)?;
     sj.vas_switch(loader, vh)?;
     let heap = VasHeap::format(&mut sj, loader, sid)?;
-    let (_dict, records) = generate(&WorkloadConfig { records: 3000, ..WorkloadConfig::default() });
+    let (_dict, records) = generate(&WorkloadConfig {
+        records: 3000,
+        ..WorkloadConfig::default()
+    });
     let store = RecStore::create(&mut sj, loader, heap, records.len() as u64)?;
     for r in &records {
         store.append(&mut sj, loader, r)?;
     }
-    println!("loader:  stored {} pointer-rich records and exited", records.len());
+    println!(
+        "loader:  stored {} pointer-rich records and exited",
+        records.len()
+    );
     sj.vas_switch_home(loader)?;
     sj.vas_detach(loader, vh)?;
     sj.kernel_mut().exit(loader)?;
 
     // --- tool 2: flagstat ----------------------------------------------------
-    let fs = tool(&mut sj, "flagstat", |sj, pid, store| Ok(store.flagstat(sj, pid)?.0))?;
-    println!("flagstat: {} records, {} mapped, {} proper pairs", fs.total, fs.mapped, fs.proper_pair);
+    let fs = tool(&mut sj, "flagstat", |sj, pid, store| {
+        Ok(store.flagstat(sj, pid)?.0)
+    })?;
+    println!(
+        "flagstat: {} records, {} mapped, {} proper pairs",
+        fs.total, fs.mapped, fs.proper_pair
+    );
 
     // --- tool 3: coordinate sort (in place, results persist) ---------------
-    tool(&mut sj, "sorter", |sj, pid, store| store.coordinate_sort(sj, pid))?;
+    tool(&mut sj, "sorter", |sj, pid, store| {
+        store.coordinate_sort(sj, pid)
+    })?;
     println!("sorter:  coordinate-sorted the store in place and exited");
 
     // --- tool 4: index over the sorted data ---------------------------------
-    let index = tool(&mut sj, "indexer", |sj, pid, store| Ok(store.build_index(sj, pid, 4)?.0))?;
+    let index = tool(&mut sj, "indexer", |sj, pid, store| {
+        Ok(store.build_index(sj, pid, 4)?.0)
+    })?;
     let windows: usize = index.refs.iter().map(|r| r.len()).sum();
     println!("indexer: built a linear index with {windows} windows");
 
     // --- verify the persistence claim ---------------------------------------
     let (first, second) = tool(&mut sj, "verifier", |sj, pid, store| {
-        Ok((store.read_record(sj, pid, 0)?, store.read_record(sj, pid, 1)?))
+        Ok((
+            store.read_record(sj, pid, 0)?,
+            store.read_record(sj, pid, 1)?,
+        ))
     })?;
-    assert!(first.coord_key() <= second.coord_key(), "sorted order persisted");
+    assert!(
+        first.coord_key() <= second.coord_key(),
+        "sorted order persisted"
+    );
     println!("verifier: records still sorted — no tool serialized a single byte");
     Ok(())
 }

@@ -55,7 +55,14 @@ fn main() -> SjResult<()> {
     println!("reader:  found the allocation at {t}, value = {value}");
     assert_eq!(value, 42);
 
-    let switch_cost = sj.kernel().cost().vas_switch(KernelFlavor::DragonFly, false);
-    println!("stats:   {} switches so far, {} cycles each (Table 2)", sj.stats().switches, switch_cost);
+    let switch_cost = sj
+        .kernel()
+        .cost()
+        .vas_switch(KernelFlavor::DragonFly, false);
+    println!(
+        "stats:   {} switches so far, {} cycles each (Table 2)",
+        sj.stats().switches,
+        switch_cost
+    );
     Ok(())
 }

@@ -41,7 +41,9 @@ fn main() -> SjResult<()> {
 
     // Layer 1: the ACL stops the plugin from even attaching the secrets.
     match sj.vas_attach(plugin, secret_vid) {
-        Err(SjError::PermissionDenied) => println!("plugin:  attach('host-secrets') -> permission denied"),
+        Err(SjError::PermissionDenied) => {
+            println!("plugin:  attach('host-secrets') -> permission denied")
+        }
         other => panic!("expected denial, got {other:?}"),
     }
 

@@ -17,7 +17,9 @@ fn main() -> SjResult<()> {
     // one lazily initializes the segment, heap, and hash table.
     let mut clients = Vec::new();
     for i in 0..3 {
-        let pid = sj.kernel_mut().spawn(&format!("client-{i}"), Creds::new(100, 100))?;
+        let pid = sj
+            .kernel_mut()
+            .spawn(&format!("client-{i}"), Creds::new(100, 100))?;
         sj.kernel_mut().activate(pid)?;
         clients.push(JmpClient::join(&mut sj, pid, "demo", i)?);
     }
@@ -35,7 +37,9 @@ fn main() -> SjResult<()> {
     let (p1, rh) = (clients[1].pid(), clients[1].read_handle());
     sj.vas_switch(p1, rh)?;
     match clients[2].set(&mut sj, b"motd", b"contended") {
-        Err(SjError::WouldBlock) => println!("writer blocked while a reader is switched in (lock held)"),
+        Err(SjError::WouldBlock) => {
+            println!("writer blocked while a reader is switched in (lock held)")
+        }
         other => panic!("expected WouldBlock, got {other:?}"),
     }
     sj.vas_switch_home(p1)?;

@@ -78,7 +78,7 @@ pub mod prelude {
     pub use sjmp_mem::{Asid, KernelFlavor, Machine, PteFlags, VirtAddr};
     pub use sjmp_os::{Creds, Kernel, Mode, Pid};
     pub use spacejmp_core::{
-        AttachMode, MemTier, SegCtl, SegId, SjError, SjResult, SpaceJmp, VasCtl, VasHandle,
-        VasHeap, VasId,
+        AttachMode, MemTier, RetryPolicy, SegCtl, SegId, SjError, SjResult, SpaceJmp, VasCtl,
+        VasHandle, VasHeap, VasId,
     };
 }

@@ -9,8 +9,15 @@ use spacejmp::prelude::*;
 const SEG_BASE: u64 = 0x1000_0000_0000;
 
 fn tiny_machine(mem_bytes: u64) -> SpaceJmp {
-    let profile = MachineProfile { mem_bytes, ..MachineProfile::default() };
-    SpaceJmp::new(Kernel::with_profile(KernelFlavor::DragonFly, profile, CostModel::default()))
+    let profile = MachineProfile {
+        mem_bytes,
+        ..MachineProfile::default()
+    };
+    SpaceJmp::new(Kernel::with_profile(
+        KernelFlavor::DragonFly,
+        profile,
+        CostModel::default(),
+    ))
 }
 
 #[test]
@@ -21,12 +28,16 @@ fn physical_exhaustion_fails_cleanly() {
     let err = sj.seg_alloc(pid, "big", VirtAddr::new(SEG_BASE), 64 << 20, Mode(0o600));
     assert!(matches!(err, Err(SjError::Os(OsError::Mem(_)))), "{err:?}");
     // The system is still usable afterwards.
-    let sid = sj.seg_alloc(pid, "small", VirtAddr::new(SEG_BASE), 64 << 10, Mode(0o600)).unwrap();
+    let sid = sj
+        .seg_alloc(pid, "small", VirtAddr::new(SEG_BASE), 64 << 10, Mode(0o600))
+        .unwrap();
     let vid = sj.vas_create(pid, "v", Mode(0o600)).unwrap();
     sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).unwrap();
     let vh = sj.vas_attach(pid, vid).unwrap();
     sj.vas_switch(pid, vh).unwrap();
-    sj.kernel_mut().store_u64(pid, VirtAddr::new(SEG_BASE), 1).unwrap();
+    sj.kernel_mut()
+        .store_u64(pid, VirtAddr::new(SEG_BASE), 1)
+        .unwrap();
 }
 
 #[test]
@@ -36,7 +47,15 @@ fn heap_exhaustion_leaves_dictionary_consistent() {
     sj.kernel_mut().activate(pid).unwrap();
     let vid = sj.vas_create(pid, "v", Mode(0o600)).unwrap();
     // A heap barely larger than the allocator's minimum.
-    let sid = sj.seg_alloc(pid, "tiny-heap", VirtAddr::new(SEG_BASE), 8 << 10, Mode(0o600)).unwrap();
+    let sid = sj
+        .seg_alloc(
+            pid,
+            "tiny-heap",
+            VirtAddr::new(SEG_BASE),
+            8 << 10,
+            Mode(0o600),
+        )
+        .unwrap();
     sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).unwrap();
     let vh = sj.vas_attach(pid, vid).unwrap();
     sj.vas_switch(pid, vh).unwrap();
@@ -64,10 +83,16 @@ fn heap_exhaustion_leaves_dictionary_consistent() {
     }
     // Deleting makes room again.
     for key in &stored {
-        assert!(dict.del(&mut sj, pid, key.as_bytes(), true, &mut stats).unwrap());
+        assert!(dict
+            .del(&mut sj, pid, key.as_bytes(), true, &mut stats)
+            .unwrap());
     }
-    dict.set(&mut sj, pid, b"fresh", b"v", true, &mut stats).unwrap();
-    assert_eq!(dict.get(&mut sj, pid, b"fresh").unwrap(), Some(b"v".to_vec()));
+    dict.set(&mut sj, pid, b"fresh", b"v", true, &mut stats)
+        .unwrap();
+    assert_eq!(
+        dict.get(&mut sj, pid, b"fresh").unwrap(),
+        Some(b"v".to_vec())
+    );
 }
 
 #[test]
@@ -78,7 +103,10 @@ fn asid_exhaustion_reported() {
     for _ in 0..4095 {
         sj.kernel_mut().alloc_asid().unwrap();
     }
-    assert!(matches!(sj.kernel_mut().alloc_asid(), Err(OsError::OutOfAsids)));
+    assert!(matches!(
+        sj.kernel_mut().alloc_asid(),
+        Err(OsError::OutOfAsids)
+    ));
 }
 
 #[test]
@@ -122,9 +150,17 @@ fn lock_rollback_under_partial_contention() {
     sj.kernel_mut().activate(p0).unwrap();
     sj.kernel_mut().activate(p1).unwrap();
 
-    let a = sj.seg_alloc(p0, "a", VirtAddr::new(SEG_BASE), 4096, Mode(0o660)).unwrap();
+    let a = sj
+        .seg_alloc(p0, "a", VirtAddr::new(SEG_BASE), 4096, Mode(0o660))
+        .unwrap();
     let b = sj
-        .seg_alloc(p0, "b", VirtAddr::new(SEG_BASE + (1 << 21)), 4096, Mode(0o660))
+        .seg_alloc(
+            p0,
+            "b",
+            VirtAddr::new(SEG_BASE + (1 << 21)),
+            4096,
+            Mode(0o660),
+        )
         .unwrap();
     // v-both maps a and b; v-b maps only b.
     let v_both = sj.vas_create(p0, "v-both", Mode(0o660)).unwrap();
@@ -140,7 +176,10 @@ fn lock_rollback_under_partial_contention() {
     // p0 tries to enter v-both: acquires a, blocks on b, must roll back.
     let vh_both = sj.vas_attach(p0, v_both).unwrap();
     assert_eq!(sj.vas_switch(p0, vh_both), Err(SjError::WouldBlock));
-    assert!(sj.segment(a).unwrap().lock().is_free(), "a must be rolled back");
+    assert!(
+        sj.segment(a).unwrap().lock().is_free(),
+        "a must be rolled back"
+    );
 
     // After p1 leaves, p0 gets in.
     sj.vas_switch_home(p1).unwrap();
@@ -154,5 +193,8 @@ fn out_of_address_space_for_private_mmaps() {
     // The private arena is ~16 TiB; asking for more in one mapping fails
     // with a clean error rather than wrapping.
     let err = sj.kernel_mut().sys_mmap(pid, 1 << 45, PteFlags::USER, true);
-    assert!(matches!(err, Err(OsError::InvalidArgument(_)) | Err(OsError::Mem(_))), "{err:?}");
+    assert!(
+        matches!(err, Err(OsError::InvalidArgument(_)) | Err(OsError::Mem(_))),
+        "{err:?}"
+    );
 }

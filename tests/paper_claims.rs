@@ -26,7 +26,11 @@ fn table2_switch_costs() {
         let vh = sj.vas_attach(pid, vid).unwrap();
         let t0 = sj.kernel().clock().now();
         sj.vas_switch(pid, vh).unwrap();
-        assert_eq!(sj.kernel().clock().since(t0), expected, "{flavor:?} tagged={tagging}");
+        assert_eq!(
+            sj.kernel().clock().since(t0),
+            expected,
+            "{flavor:?} tagged={tagging}"
+        );
     }
 }
 
@@ -63,10 +67,20 @@ fn addresses_beyond_a_single_va_window() {
 /// window, switching does not.
 #[test]
 fn switching_beats_remapping() {
-    let cfg = GupsConfig { windows: 8, updates_per_set: 16, epochs: 48, ..GupsConfig::default() };
+    let cfg = GupsConfig {
+        windows: 8,
+        updates_per_set: 16,
+        epochs: 48,
+        ..GupsConfig::default()
+    };
     let jmp = gups_run(Design::Jmp, &cfg).unwrap();
     let map = gups_run(Design::Map, &cfg).unwrap();
-    assert!(jmp.mups > 2.0 * map.mups, "JMP {} vs MAP {}", jmp.mups, map.mups);
+    assert!(
+        jmp.mups > 2.0 * map.mups,
+        "JMP {} vs MAP {}",
+        jmp.mups,
+        map.mups
+    );
 }
 
 /// Section 5.3: two switches are far cheaper than a socket round trip —
@@ -91,7 +105,10 @@ fn lockable_segments_across_processes() {
     let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
     let mut clients = Vec::new();
     for i in 0..3 {
-        let pid = sj.kernel_mut().spawn(&format!("c{i}"), Creds::new(100, 100)).unwrap();
+        let pid = sj
+            .kernel_mut()
+            .spawn(&format!("c{i}"), Creds::new(100, 100))
+            .unwrap();
         sj.kernel_mut().activate(pid).unwrap();
         clients.push(JmpClient::join(&mut sj, pid, "locks", i).unwrap());
     }
@@ -102,7 +119,10 @@ fn lockable_segments_across_processes() {
     sj.vas_switch(p0, r0).unwrap();
     sj.vas_switch(p1, r1).unwrap();
     // Writer excluded.
-    assert_eq!(clients[2].set(&mut sj, b"k", b"w"), Err(SjError::WouldBlock));
+    assert_eq!(
+        clients[2].set(&mut sj, b"k", b"w"),
+        Err(SjError::WouldBlock)
+    );
     sj.vas_switch_home(p0).unwrap();
     sj.vas_switch_home(p1).unwrap();
     clients[2].set(&mut sj, b"k", b"w").unwrap();
@@ -120,7 +140,9 @@ fn pointers_survive_process_lifetimes() {
     let pa = sj.kernel_mut().spawn("builder", Creds::new(7, 7)).unwrap();
     sj.kernel_mut().activate(pa).unwrap();
     let vid = sj.vas_create(pa, "list-vas", Mode(0o660)).unwrap();
-    let sid = sj.seg_alloc(pa, "list-seg", seg_base, 1 << 20, Mode(0o660)).unwrap();
+    let sid = sj
+        .seg_alloc(pa, "list-seg", seg_base, 1 << 20, Mode(0o660))
+        .unwrap();
     sj.seg_attach(pa, vid, sid, AttachMode::ReadWrite).unwrap();
     let vh = sj.vas_attach(pa, vid).unwrap();
     sj.vas_switch(pa, vh).unwrap();
@@ -130,7 +152,9 @@ fn pointers_survive_process_lifetimes() {
     for v in (0..3u64).rev() {
         let node = heap.malloc(&mut sj, pa, 16).unwrap();
         sj.kernel_mut().store_u64(pa, node, v * 100).unwrap();
-        sj.kernel_mut().store_u64(pa, node.add(8), next.raw()).unwrap();
+        sj.kernel_mut()
+            .store_u64(pa, node.add(8), next.raw())
+            .unwrap();
         next = node;
     }
     heap.set_root(&mut sj, pa, next).unwrap();
@@ -178,7 +202,10 @@ fn tags_retain_translations() {
         sj.kernel_mut().load_u64(pid, va).unwrap();
     }
     let after = sj.kernel_mut().core_mem(core).0.stats().walks;
-    assert_eq!(after, before, "ten tagged round trips, zero extra page walks");
+    assert_eq!(
+        after, before,
+        "ten tagged round trips, zero extra page walks"
+    );
 }
 
 /// The safety tool chain, end to end: a cross-VAS bug is caught by the
@@ -208,7 +235,10 @@ fn safety_toolchain_end_to_end() {
     let report = insert_checks(&mut buggy, &analysis, CheckPolicy::Analyzed);
     assert_eq!(report.deref_checks, 1);
     let mut interp = Interp::new(&buggy, VasName(0));
-    assert!(matches!(interp.run(&[]).unwrap_err(), Trap::CheckFailed { .. }));
+    assert!(matches!(
+        interp.run(&[]).unwrap_err(),
+        Trap::CheckFailed { .. }
+    ));
 
     // Fixed: switch back before dereferencing.
     let mut fixed = Module::new();
@@ -226,7 +256,11 @@ fn safety_toolchain_end_to_end() {
     fixed.add_function(f);
     let analysis = Analysis::run(&fixed, entry);
     let report = insert_checks(&mut fixed, &analysis, CheckPolicy::Analyzed);
-    assert_eq!(report.deref_checks + report.store_checks, 0, "provably safe");
+    assert_eq!(
+        report.deref_checks + report.store_checks,
+        0,
+        "provably safe"
+    );
     let mut interp = Interp::new(&fixed, VasName(0));
     assert_eq!(
         interp.run(&[]).unwrap(),
