@@ -1,0 +1,158 @@
+//! Memory-pressure ablation (no paper counterpart — §4.1 pins all
+//! segment memory at creation): GUPS and RedisJMP running on
+//! swap-backed demand segments under DRAM oversubscription.
+//!
+//! GUPS sweeps physical memory from the full window working set down to
+//! half of it; RedisJMP runs its store segment on a machine with room
+//! for roughly half the live heap. Both must run to completion with the
+//! eviction/major-fault/OOM counters reported beside the cycle model.
+//!
+//! The process **exits nonzero** if any run aborts or a whole-system
+//! invariant audit fails, so CI uses it as the constrained-memory smoke
+//! test (`cargo run -p sjmp-bench --bin pressure_oversub`).
+
+use sjmp_gups::{run_jmp_constrained, GupsConfig};
+use sjmp_kv::JmpClient;
+use sjmp_mem::cost::{CostModel, KernelFlavor, Machine, MachineProfile};
+use sjmp_mem::PAGE_SIZE;
+use sjmp_os::{Creds, Kernel};
+use spacejmp_core::SpaceJmp;
+
+use sjmp_bench::{heading, quick_mode, row};
+
+/// Frames beyond the window data that cover the process image, scratch
+/// heap, and page tables (see `run_jmp_constrained`'s sizing notes).
+const GUPS_SLACK_FRAMES: u64 = 176;
+
+fn gups(quick: bool) {
+    heading("Oversubscribed GUPS: swappable windows vs DRAM fraction (M3 profile)");
+    let cfg = GupsConfig {
+        windows: 4,
+        window_bytes: 256 << 10,
+        updates_per_set: 16,
+        epochs: if quick { 48 } else { 96 },
+        ..GupsConfig::default()
+    };
+    let data_pages = cfg.windows as u64 * cfg.window_bytes / PAGE_SIZE;
+    let widths = [10, 8, 10, 10, 8, 10, 6];
+    row(
+        &[
+            "dram/data",
+            "MUPS",
+            "evictions",
+            "maj-faults",
+            "passes",
+            "swap-slots",
+            "oom",
+        ],
+        &widths,
+    );
+    for (label, num, den) in [("1.00x", 1, 1), ("0.75x", 3, 4), ("0.50x", 1, 2)] {
+        let mem_frames = data_pages * num / den + GUPS_SLACK_FRAMES;
+        let (r, p) = run_jmp_constrained(&cfg, mem_frames, None)
+            .expect("oversubscribed GUPS must run to completion");
+        assert_eq!(
+            r.updates,
+            (cfg.epochs * cfg.updates_per_set) as u64,
+            "constrained run dropped updates"
+        );
+        row(
+            &[
+                label.to_string(),
+                format!("{:.2}", r.mups),
+                p.evictions.to_string(),
+                p.major_faults.to_string(),
+                p.reclaim_passes.to_string(),
+                p.swap_slots_used.to_string(),
+                p.oom_kills.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\npinned segments (the paper's §4.1 rule) cannot even allocate below");
+    println!("1.00x; demand segments trade MUPS for completion via the swap device");
+}
+
+fn redis(quick: bool) {
+    heading("Oversubscribed RedisJMP: swappable store, ~2x more live heap than DRAM (M1 profile)");
+    // Two clients' pinned footprint is ~290 frames; the 300 x 2 KiB
+    // values touch ~170 store pages. 380 frames leaves room for about
+    // half the store working set (the sizing from the kv crate's
+    // pressure test).
+    let mut profile = MachineProfile::of(Machine::M1);
+    profile.mem_bytes = 380 * PAGE_SIZE;
+    let freq = profile.freq_hz as f64;
+    let mut sj = SpaceJmp::new(Kernel::with_profile(
+        KernelFlavor::DragonFly,
+        profile,
+        CostModel::default(),
+    ));
+    sj.kernel_mut().set_low_watermark(Some(8));
+    let mut clients = Vec::new();
+    for i in 0..2 {
+        let pid = sj
+            .kernel_mut()
+            .spawn(&format!("rc{i}"), Creds::new(100, 100))
+            .expect("spawn");
+        sj.kernel_mut().activate(pid).expect("activate");
+        clients.push(JmpClient::join_opts(&mut sj, pid, "oversub", i, false, true).expect("join"));
+    }
+
+    let sets: u32 = if quick { 150 } else { 300 };
+    let val = vec![0x5au8; 2048];
+    let start = sj.kernel_mut().clock().now();
+    for i in 0..sets {
+        let c = (i % 2) as usize;
+        clients[c]
+            .set(&mut sj, format!("key{i}").as_bytes(), &val)
+            .expect("SET under pressure");
+    }
+    let set_cycles = sj.kernel_mut().clock().now() - start;
+    for i in (0..sets).step_by(13) {
+        let got = clients[(i % 2) as usize]
+            .get(&mut sj, format!("key{i}").as_bytes())
+            .expect("GET under pressure");
+        assert_eq!(
+            got.as_deref(),
+            Some(val.as_slice()),
+            "key{i} corrupted by swap"
+        );
+    }
+
+    let stats = sj.kernel_mut().sys_phys_stats();
+    let problems = sj.check_invariants();
+    assert!(
+        problems.is_empty(),
+        "invariant audit failed:\n{}",
+        problems.join("\n")
+    );
+
+    let widths = [10, 10, 10, 10, 10];
+    row(
+        &[
+            "SET rps",
+            "evictions",
+            "maj-faults",
+            "swap-slots",
+            "denials",
+        ],
+        &widths,
+    );
+    row(
+        &[
+            format!("{:.0}K", f64::from(sets) * freq / set_cycles as f64 / 1e3),
+            stats.evictions.to_string(),
+            stats.major_faults.to_string(),
+            stats.swap_slots_used.to_string(),
+            stats.quota_denials.to_string(),
+        ],
+        &widths,
+    );
+    println!("\nall {sets} SETs completed and sampled GETs verified; audit clean");
+}
+
+fn main() {
+    let quick = quick_mode();
+    gups(quick);
+    redis(quick);
+}

@@ -26,7 +26,7 @@ use sjmp_mem::{Access, VirtAddr, PAGE_SIZE};
 use sjmp_os::kernel::{GLOBAL_HI, GLOBAL_LO, PRIVATE_HI};
 use sjmp_os::{
     Acl, CapKind, CapRights, Capability, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid, Region,
-    VmspaceId,
+    VmObjectId, VmspaceId,
 };
 
 use crate::error::{SjError, SjResult};
@@ -87,6 +87,8 @@ pub struct SjStats {
     pub deadlocks: u64,
     /// Crashed processes reclaimed with [`SpaceJmp::reap_process`].
     pub reaps: u64,
+    /// Processes sacrificed by [`SpaceJmp::oom_kill`].
+    pub oom_kills: u64,
 }
 
 /// Backoff schedule for [`SpaceJmp::vas_switch_retry`].
@@ -319,6 +321,27 @@ impl SpaceJmp {
         self.kernel.kill(pid)?;
         self.stats.reaps += 1;
         Ok(())
+    }
+
+    /// The OOM killer: invoked when reclaim cannot satisfy an allocation
+    /// ([`OsError::OutOfMemory`]). Selects the victim with the largest
+    /// resident set ([`sjmp_os::Kernel::select_oom_victim`]), skipping the
+    /// processes in `protect`, and reclaims it through
+    /// [`Self::reap_process`] — so a victim switched into a shared VAS
+    /// releases its segment locks and blocked switchers make progress.
+    /// Returns the victim, or `None` when no eligible process holds any
+    /// resident frames (killing would free nothing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::reap_process`] failures.
+    pub fn oom_kill(&mut self, protect: &[Pid]) -> SjResult<Option<Pid>> {
+        let Some(victim) = self.kernel.select_oom_victim(protect) else {
+            return Ok(None);
+        };
+        self.reap_process(victim)?;
+        self.stats.oom_kills += 1;
+        Ok(Some(victim))
     }
 
     /// Full-system consistency audit: the kernel-level checks of
@@ -880,8 +903,15 @@ impl SpaceJmp {
                 let v = self.vases.remove(&vid).expect("checked above");
                 self.vas_names.remove(v.name());
                 for (sid, _) in v.segments() {
-                    if let Some(seg) = self.segments.get_mut(sid) {
+                    let object = self.segments.get_mut(sid).map(|seg| {
                         seg.drop_attach();
+                        seg.object()
+                    });
+                    // The template tree is about to be freed; a swappable
+                    // segment's eviction hook must not walk it afterwards.
+                    if let Some(object) = object {
+                        self.kernel
+                            .unregister_external_mapping(object, v.template_root());
                     }
                 }
                 paging::free_tables(self.kernel.phys_mut(), v.template_root(), &[]);
@@ -985,6 +1015,11 @@ impl SpaceJmp {
                 seg.object(),
             )
         };
+        if !self.kernel.vmobject(object)?.is_contiguous() {
+            return Err(SjError::InvalidArgument(
+                "cannot save a demand-paged (swappable) segment",
+            ));
+        }
         let mut out = Vec::with_capacity(size as usize + 64);
         out.extend_from_slice(b"SJMPSEG1");
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -1084,6 +1119,56 @@ impl SpaceJmp {
         tier: MemTier,
     ) -> SjResult<SegId> {
         self.kernel.charge_entry();
+        let size = self.seg_validate(name, base, size)?;
+        self.kernel.process(pid)?;
+        let object = match tier {
+            MemTier::Dram => self.kernel.alloc_object(size)?,
+            MemTier::Nvm => self.kernel.alloc_object_nvm(size)?,
+        };
+        // "Physical pages are reserved at the time a segment is created":
+        // the backing object outlives any process mapping it, so process
+        // teardown must never reclaim it.
+        self.kernel.vmobject_mut(object)?.set_pinned(true);
+        self.seg_register(pid, name, base, size, object, mode)
+    }
+
+    /// Like [`Self::seg_alloc`], but demand-paged and **swappable**: no
+    /// physical frames are reserved up front, pages materialize on first
+    /// touch, and under memory pressure the kernel's clock reclaimer may
+    /// evict them to the swap device. This deliberately relaxes the
+    /// paper's "physical pages are reserved at the time a segment is
+    /// created" rule, making pinning a measurable trade-off: a pinned
+    /// segment never swaps but aborts allocation when memory is
+    /// exhausted, a swappable one survives oversubscription at swap-in
+    /// cost. The backing object is owned by the creator (for quota
+    /// accounting and OOM badness) and marked *preserved*, so like any
+    /// segment it outlives process teardown until `seg_ctl(Destroy)`.
+    ///
+    /// Swappable segments cannot be cloned, saved, or restored (those
+    /// operations require eagerly reserved contiguous frames).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::seg_alloc`].
+    pub fn seg_alloc_swappable(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        base: VirtAddr,
+        size: u64,
+        mode: Mode,
+    ) -> SjResult<SegId> {
+        self.kernel.charge_entry();
+        let size = self.seg_validate(name, base, size)?;
+        self.kernel.process(pid)?;
+        let object = self.kernel.alloc_object_demand(Some(pid), size)?;
+        self.kernel.vmobject_mut(object)?.set_preserved(true);
+        self.seg_register(pid, name, base, size, object, mode)
+    }
+
+    /// Shared argument validation for segment allocation; returns the
+    /// page-rounded size.
+    fn seg_validate(&self, name: &str, base: VirtAddr, size: u64) -> SjResult<u64> {
         if self.seg_names.contains_key(name) {
             return Err(SjError::NameTaken(name.to_string()));
         }
@@ -1102,15 +1187,21 @@ impl SpaceJmp {
                 base.add(size)
             )));
         }
+        Ok(size)
+    }
+
+    /// Registers a segment descriptor over an allocated backing object
+    /// and (Barrelfish) hands the creator its object capability.
+    fn seg_register(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        base: VirtAddr,
+        size: u64,
+        object: VmObjectId,
+        mode: Mode,
+    ) -> SjResult<SegId> {
         let creds = self.kernel.process(pid)?.creds();
-        let object = match tier {
-            MemTier::Dram => self.kernel.alloc_object(size)?,
-            MemTier::Nvm => self.kernel.alloc_object_nvm(size)?,
-        };
-        // "Physical pages are reserved at the time a segment is created":
-        // the backing object outlives any process mapping it, so process
-        // teardown must never reclaim it.
-        self.kernel.vmobject_mut(object)?.set_pinned(true);
         let sid = SegId(self.next_sid);
         self.next_sid += 1;
         self.segments.insert(
@@ -1163,6 +1254,11 @@ impl SpaceJmp {
         };
         if self.seg_names.contains_key(new_name) {
             return Err(SjError::NameTaken(new_name.to_string()));
+        }
+        if !self.kernel.vmobject(src_obj)?.is_contiguous() {
+            return Err(SjError::InvalidArgument(
+                "cannot clone a demand-paged (swappable) segment",
+            ));
         }
         let new_obj = self.kernel.alloc_object(size)?;
         self.kernel.vmobject_mut(new_obj)?.set_pinned(true);
@@ -1243,18 +1339,35 @@ impl SpaceJmp {
         }
         // Map into the template tables.
         let template_root = self.vas(vid)?.template_root();
-        let pa = self.kernel.vmobject(object)?.base();
         let flags = attach_flags(mode);
-        paging::map_region(
-            self.kernel.phys_mut(),
-            template_root,
-            base,
-            pa,
-            size,
-            sjmp_mem::PageSize::Size4K,
-            flags,
-        )
-        .map_err(OsError::from)?;
+        if self.kernel.vmobject(object)?.is_contiguous() {
+            let pa = self.kernel.vmobject(object)?.base();
+            paging::map_region(
+                self.kernel.phys_mut(),
+                template_root,
+                base,
+                pa,
+                size,
+                sjmp_mem::PageSize::Size4K,
+                flags,
+            )
+            .map_err(OsError::from)?;
+        } else {
+            // Demand-paged (swappable) segment: there is nothing to map
+            // yet — leaves are installed by the major-fault path as pages
+            // materialize. Populate the PML4 slot(s) so subtree sharing
+            // has a tree to link, and register the template root so the
+            // reclaimer can clear evicted leaves once for every process
+            // sharing this tree.
+            let first = base.pml4_index();
+            let last = base.add(size - 1).pml4_index();
+            for slot in first..=last {
+                paging::ensure_root_slot(self.kernel.phys_mut(), template_root, slot)
+                    .map_err(OsError::from)?;
+            }
+            self.kernel
+                .register_external_mapping(object, template_root, base);
+        }
         self.segment_mut(sid)?.add_attach();
         self.vas_mut(vid)?.add_segment(sid, mode);
         // Propagate to attached processes: link any new PML4 slots and
@@ -1365,13 +1478,15 @@ impl SpaceJmp {
         if !self.segment(sid)?.lock().is_free() {
             return Err(SjError::Busy("segment lock held"));
         }
-        let (base, size) = {
+        let (base, size, object) = {
             let s = self.segment(sid)?;
-            (s.base(), s.size())
+            (s.base(), s.size(), s.object())
         };
         let template_root = self.vas(vid)?.template_root();
         paging::unmap_region(self.kernel.phys_mut(), template_root, base, size)
             .map_err(OsError::from)?;
+        self.kernel
+            .unregister_external_mapping(object, template_root);
         self.kernel.flush_all_tlbs();
         self.vas_mut(vid)?.remove_segment(sid);
         self.segment_mut(sid)?.drop_attach();

@@ -94,17 +94,45 @@ impl JmpClient {
         client_idx: usize,
         tagged: bool,
     ) -> SjResult<JmpClient> {
+        Self::join_opts(sj, pid, store, client_idx, tagged, false)
+    }
+
+    /// Like [`Self::join_with_tags`], optionally backing a **fresh**
+    /// store with a swappable, demand-paged segment
+    /// ([`SpaceJmp::seg_alloc_swappable`]) instead of pinned frames: the
+    /// constrained-memory configuration. The store then survives DRAM
+    /// oversubscription — cold store pages are evicted to swap and
+    /// faulted back on access — at swap cycle cost. `swappable_store` is
+    /// ignored when the store already exists; clients share whatever
+    /// backing the first client chose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SpaceJMP failures.
+    pub fn join_opts(
+        sj: &mut SpaceJmp,
+        pid: Pid,
+        store: &str,
+        client_idx: usize,
+        tagged: bool,
+        swappable_store: bool,
+    ) -> SjResult<JmpClient> {
         let store_base = VirtAddr::new(GLOBAL_LO.raw() + STORE_SLOT * (1 << 39));
         let (sid, fresh) = match sj.seg_find(&format!("jmp-store-{store}")) {
             Ok(sid) => (sid, false),
             Err(SjError::NotFound) => {
-                let sid = sj.seg_alloc(
-                    pid,
-                    &format!("jmp-store-{store}"),
-                    store_base,
-                    STORE_SEGMENT_BYTES,
-                    Mode(0o666),
-                )?;
+                let name = format!("jmp-store-{store}");
+                let sid = if swappable_store {
+                    sj.seg_alloc_swappable(
+                        pid,
+                        &name,
+                        store_base,
+                        STORE_SEGMENT_BYTES,
+                        Mode(0o666),
+                    )?
+                } else {
+                    sj.seg_alloc(pid, &name, store_base, STORE_SEGMENT_BYTES, Mode(0o666))?
+                };
                 (sid, true)
             }
             Err(e) => return Err(e),
@@ -448,6 +476,54 @@ mod more_tests {
             Err(SjError::InvalidArgument(_))
         ));
         c.set(&mut sj, b"s", b"1").unwrap(); // lock not stuck
+    }
+
+    #[test]
+    fn pressured_store_survives_2x_oversubscription() {
+        use sjmp_mem::cost::{CostModel, MachineProfile};
+        use sjmp_mem::PAGE_SIZE;
+        // Roughly: two clients' pinned footprint (spawn segments,
+        // scratch heaps, page tables for five vmspaces each — about 290
+        // frames) plus *half* the ~170 store pages the writes below
+        // touch: the store working set oversubscribes what DRAM has
+        // left for it by about 2x and must swap.
+        let mut profile = MachineProfile::of(Machine::M1);
+        profile.mem_bytes = 380 * PAGE_SIZE;
+        let mut sj = SpaceJmp::new(Kernel::with_profile(
+            KernelFlavor::DragonFly,
+            profile,
+            CostModel::default(),
+        ));
+        sj.kernel_mut().set_low_watermark(Some(8));
+        let mut clients = Vec::new();
+        for i in 0..2 {
+            let pid = sj
+                .kernel_mut()
+                .spawn(&format!("pc{i}"), Creds::new(100, 100))
+                .unwrap();
+            sj.kernel_mut().activate(pid).unwrap();
+            clients.push(JmpClient::join_opts(&mut sj, pid, "pressed", i, false, true).unwrap());
+        }
+        // ~2 KiB values x 300 keys: the live heap inside the store
+        // segment far exceeds the frames left after the pinned footprint.
+        let val = vec![0xabu8; 2048];
+        for i in 0..300u32 {
+            let c = (i % 2) as usize;
+            clients[c]
+                .set(&mut sj, format!("key{i}").as_bytes(), &val)
+                .unwrap();
+        }
+        for i in (0..300u32).step_by(17) {
+            let got = clients[(i % 2) as usize]
+                .get(&mut sj, format!("key{i}").as_bytes())
+                .unwrap();
+            assert_eq!(got, Some(val.clone()), "key{i} corrupted by swap");
+        }
+        let stats = sj.kernel_mut().sys_phys_stats();
+        assert!(stats.evictions > 0, "store never swapped: not constrained");
+        assert!(stats.major_faults > 0, "no page ever came back from swap");
+        let problems = sj.check_invariants();
+        assert!(problems.is_empty(), "audit failed: {problems:?}");
     }
 
     #[test]

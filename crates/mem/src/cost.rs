@@ -204,6 +204,15 @@ pub struct CostModel {
     pub lock_uncontended: u64,
     /// Handing a contended lock to the next waiter.
     pub lock_handoff: u64,
+    /// Writing one evicted 4 KiB page to the simulated swap device
+    /// (queue + DMA of a page to a fast NVMe-class device at ~2.5 GHz).
+    pub swap_out_page: u64,
+    /// Reading one page back from swap on a major fault. Reads sit on the
+    /// fault critical path and include device latency, so they cost more
+    /// than the (batchable) write-out.
+    pub swap_in_page: u64,
+    /// Examining one page during a clock (second-chance) reclaim scan.
+    pub reclaim_scan_page: u64,
 }
 
 impl Default for CostModel {
@@ -244,6 +253,12 @@ impl Default for CostModel {
             nvm_write_extra: 55,
             lock_uncontended: 40,
             lock_handoff: 300,
+            // Swap device anchors: ~24 us write / ~40 us read at 2.5 GHz,
+            // the latency class of a fast NVMe SSD. Only charged on the
+            // memory-pressure paths, so existing cost totals are unchanged.
+            swap_out_page: 60_000,
+            swap_in_page: 100_000,
+            reclaim_scan_page: 20,
         }
     }
 }
@@ -422,6 +437,18 @@ mod tests {
         let m = MachineProfile::of(Machine::M2);
         assert_eq!(m.secs_to_cycles(1.0), 2_500_000_000);
         assert!((m.cycles_to_secs(2_500_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_costs_dwarf_dram_but_not_table2() {
+        // Swap traffic is charged only on pressure paths; a major fault
+        // must cost orders of magnitude more than a DRAM access yet the
+        // Table 2 switch totals (checked above) stay untouched.
+        let c = CostModel::default();
+        assert!(c.swap_in_page > 100 * c.dram_access);
+        assert!(c.swap_out_page > 100 * c.dram_access);
+        assert!(c.swap_in_page > c.swap_out_page, "reads are latency-bound");
+        assert!(c.reclaim_scan_page < c.tlb_walk);
     }
 
     #[test]

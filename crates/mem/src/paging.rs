@@ -34,6 +34,11 @@ impl PteFlags {
     pub const HUGE: PteFlags = PteFlags(1 << 7);
     /// Entry is global: survives untagged TLB flushes.
     pub const GLOBAL: PteFlags = PteFlags(1 << 8);
+    /// Software bit (x86-64 ignores bits 9-11 of non-present entries): the
+    /// page this entry mapped was swapped out. The entry is *not* present;
+    /// the authoritative page location lives in the backing VM object, the
+    /// marker only distinguishes "swapped" from "never mapped" for audits.
+    pub const SWAPPED: PteFlags = PteFlags(1 << 9);
     /// Entry forbids instruction fetch.
     pub const NO_EXECUTE: PteFlags = PteFlags(1 << 63);
 
@@ -49,7 +54,7 @@ impl PteFlags {
 
     /// Builds flags from raw bits, keeping only flag positions.
     pub const fn from_bits_truncate(bits: u64) -> Self {
-        PteFlags(bits & (0x1e7 | (1 << 63)))
+        PteFlags(bits & (0x3e7 | (1 << 63)))
     }
 
     /// Whether all flags in `other` are set in `self`.
@@ -349,6 +354,75 @@ pub fn map_region(
         cur_pa = cur_pa.add(count * PAGE_SIZE);
     }
     Ok(stats)
+}
+
+/// Clears the present bit of the 4 KiB leaf entry for `va`, leaving a
+/// non-present [`PteFlags::SWAPPED`] marker behind, and returns the frame
+/// the entry pointed at. Unlike [`unmap`], table nodes are *not* reaped:
+/// eviction runs against leaf tables that may be linked into several
+/// roots, and freeing a node here would leave the other roots dangling.
+///
+/// Returns `None` when no 4 KiB translation exists (never mapped, already
+/// evicted, or covered by a superpage — superpages are never evicted).
+pub fn clear_leaf(phys: &mut PhysMem, root: Pfn, va: VirtAddr) -> Option<Pfn> {
+    let pml4e = read_entry(phys, root, va.pml4_index());
+    if !entry_present(pml4e) {
+        return None;
+    }
+    let pdpte = read_entry(phys, entry_addr(pml4e).pfn(), va.pdpt_index());
+    if !entry_present(pdpte) || entry_flags(pdpte).contains(PteFlags::HUGE) {
+        return None;
+    }
+    let pde = read_entry(phys, entry_addr(pdpte).pfn(), va.pd_index());
+    if !entry_present(pde) || entry_flags(pde).contains(PteFlags::HUGE) {
+        return None;
+    }
+    let pt = entry_addr(pde).pfn();
+    let pte = read_entry(phys, pt, va.pt_index());
+    if !entry_present(pte) {
+        return None;
+    }
+    write_entry(phys, pt, va.pt_index(), PteFlags::SWAPPED.bits());
+    Some(entry_addr(pte).pfn())
+}
+
+/// Whether the leaf entry for `va` carries the non-present
+/// [`PteFlags::SWAPPED`] marker left by [`clear_leaf`].
+pub fn leaf_is_swap_marked(phys: &mut PhysMem, root: Pfn, va: VirtAddr) -> bool {
+    let pml4e = read_entry(phys, root, va.pml4_index());
+    if !entry_present(pml4e) {
+        return false;
+    }
+    let pdpte = read_entry(phys, entry_addr(pml4e).pfn(), va.pdpt_index());
+    if !entry_present(pdpte) || entry_flags(pdpte).contains(PteFlags::HUGE) {
+        return false;
+    }
+    let pde = read_entry(phys, entry_addr(pdpte).pfn(), va.pd_index());
+    if !entry_present(pde) || entry_flags(pde).contains(PteFlags::HUGE) {
+        return false;
+    }
+    let pte = read_entry(phys, entry_addr(pde).pfn(), va.pt_index());
+    !entry_present(pte) && entry_flags(pte).contains(PteFlags::SWAPPED)
+}
+
+/// Ensures the PML4 slot `pml4_index` of `root` points at a (possibly
+/// empty) PDPT, allocating one if absent, and returns it plus whether an
+/// allocation happened. Demand-paged segments have no translations at
+/// attach time, but subtree sharing ([`link_subtree`]) needs the slot
+/// populated so that later faults build tables *inside* the shared tree.
+///
+/// # Errors
+///
+/// Returns [`MemError::OutOfFrames`] if the PDPT cannot be allocated and
+/// [`MemError::AlreadyMapped`] if the slot holds a 1 GiB superpage.
+pub fn ensure_root_slot(
+    phys: &mut PhysMem,
+    root: Pfn,
+    pml4_index: usize,
+) -> Result<(Pfn, bool), MemError> {
+    let mut stats = MapStats::default();
+    let pdpt = ensure_table(phys, root, pml4_index, &mut stats)?;
+    Ok((pdpt, stats.tables_allocated > 0))
 }
 
 fn table_is_empty(phys: &mut PhysMem, table: Pfn) -> bool {
@@ -1008,6 +1082,70 @@ mod tests {
         let before = phys.allocated_frames();
         free_tables(&mut phys, root, &[]);
         assert_eq!(phys.allocated_frames(), before - 4);
+    }
+
+    #[test]
+    fn clear_leaf_marks_and_allows_remap() {
+        let (mut phys, root) = setup();
+        let va = VirtAddr::new(0x40_0000);
+        map(
+            &mut phys,
+            root,
+            va,
+            PhysAddr::new(0x2000),
+            PageSize::Size4K,
+            PteFlags::USER,
+        )
+        .unwrap();
+        let tables = count_table_frames(&mut phys, root);
+        assert_eq!(clear_leaf(&mut phys, root, va), Some(Pfn(2)));
+        assert!(leaf_is_swap_marked(&mut phys, root, va));
+        assert!(walk(&mut phys, root, va).is_err(), "entry is non-present");
+        assert_eq!(
+            count_table_frames(&mut phys, root),
+            tables,
+            "tables survive eviction"
+        );
+        // Second clear is a no-op; remap overwrites the marker.
+        assert_eq!(clear_leaf(&mut phys, root, va), None);
+        map(
+            &mut phys,
+            root,
+            va,
+            PhysAddr::new(0x5000),
+            PageSize::Size4K,
+            PteFlags::USER,
+        )
+        .unwrap();
+        assert!(!leaf_is_swap_marked(&mut phys, root, va));
+        let (t, _) = walk(&mut phys, root, va).unwrap();
+        assert_eq!(t.pa.raw(), 0x5000);
+    }
+
+    #[test]
+    fn ensure_root_slot_is_idempotent_and_linkable() {
+        let (mut phys, root) = setup();
+        let (pdpt, allocated) = ensure_root_slot(&mut phys, root, 3).unwrap();
+        assert!(allocated);
+        let (pdpt2, allocated2) = ensure_root_slot(&mut phys, root, 3).unwrap();
+        assert_eq!(pdpt, pdpt2);
+        assert!(!allocated2);
+        // An empty-but-present slot can be linked into another root, and
+        // mappings built later through either root are shared.
+        let other = new_root(&mut phys).unwrap();
+        link_subtree(&mut phys, other, root, 3).unwrap();
+        let va = VirtAddr::new_unchecked(3u64 << 39);
+        map(
+            &mut phys,
+            other,
+            va,
+            PhysAddr::new(0x8000),
+            PageSize::Size4K,
+            PteFlags::USER,
+        )
+        .unwrap();
+        let (t, _) = walk(&mut phys, root, va).unwrap();
+        assert_eq!(t.pa.raw(), 0x8000);
     }
 
     #[test]

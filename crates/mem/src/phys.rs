@@ -53,6 +53,12 @@ pub struct PhysMem {
     nvm_boundary: Option<u64>,
     /// Bump pointer for NVM allocations (grows from the boundary up).
     next_nvm_frame: u64,
+    /// Simulated swap device: slot -> saved page image. `None` records a
+    /// page that was entirely zero, so swapped-out untouched pages stay
+    /// sparse just like resident ones.
+    swap: HashMap<u64, Option<FrameBox>>,
+    next_swap_slot: u64,
+    free_swap_slots: Vec<u64>,
 }
 
 impl PhysMem {
@@ -77,6 +83,9 @@ impl PhysMem {
             allocated: 0,
             nvm_boundary: None,
             next_nvm_frame: 0,
+            swap: HashMap::new(),
+            next_swap_slot: 0,
+            free_swap_slots: Vec::new(),
         }
     }
 
@@ -123,6 +132,11 @@ impl PhysMem {
     /// Total capacity in frames.
     pub fn capacity_frames(&self) -> u64 {
         self.capacity_frames
+    }
+
+    /// Size of the configured NVM tier in frames (0 when no tier exists).
+    pub fn nvm_frames(&self) -> u64 {
+        self.nvm_boundary.map_or(0, |b| self.capacity_frames - b)
     }
 
     /// Number of frames handed out by [`Self::alloc_frame`] and not freed.
@@ -180,6 +194,71 @@ impl PhysMem {
         self.frames.remove(&pfn.0);
         self.free_list.push(pfn.0);
         self.allocated = self.allocated.saturating_sub(1);
+    }
+
+    /// DRAM frames [`Self::alloc_frame`] can still hand out (remaining
+    /// bump region plus the free list). Contiguous allocations may fail
+    /// earlier: they draw only on the bump region.
+    pub fn free_frames(&self) -> u64 {
+        let bump_left = self
+            .nvm_boundary
+            .unwrap_or(self.capacity_frames)
+            .saturating_sub(self.next_frame);
+        bump_left + self.free_list.len() as u64
+    }
+
+    /// Saves `pfn`'s content to the swap device, frees the frame, and
+    /// returns the swap slot holding the image. The caller (the kernel's
+    /// reclaim path) is responsible for having unmapped the frame first.
+    pub fn swap_out(&mut self, pfn: Pfn) -> u64 {
+        let image = self.frames.remove(&pfn.0);
+        let slot = self.free_swap_slots.pop().unwrap_or_else(|| {
+            let s = self.next_swap_slot;
+            self.next_swap_slot += 1;
+            s
+        });
+        self.swap.insert(slot, image);
+        self.free_list.push(pfn.0);
+        self.allocated = self.allocated.saturating_sub(1);
+        slot
+    }
+
+    /// Reads a page image back from swap into a freshly allocated frame
+    /// and releases the slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when no frame can be allocated;
+    /// the slot is left intact so the fault can be retried after reclaim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` holds no image — swapping in a slot twice (or one
+    /// never produced by [`Self::swap_out`]) is a kernel bug.
+    pub fn swap_in(&mut self, slot: u64) -> Result<Pfn, MemError> {
+        assert!(
+            self.swap.contains_key(&slot),
+            "swap-in of empty slot {slot}"
+        );
+        let pfn = self.alloc_frame()?;
+        if let Some(image) = self.swap.remove(&slot).flatten() {
+            self.frames.insert(pfn.0, image);
+        }
+        self.free_swap_slots.push(slot);
+        Ok(pfn)
+    }
+
+    /// Discards a swapped page image without reading it back (the backing
+    /// object was freed while the page was swapped out).
+    pub fn discard_swap_slot(&mut self, slot: u64) {
+        if self.swap.remove(&slot).is_some() {
+            self.free_swap_slots.push(slot);
+        }
+    }
+
+    /// Number of swap slots currently holding page images.
+    pub fn swap_slots_used(&self) -> u64 {
+        self.swap.len() as u64
     }
 
     fn check(&self, pa: PhysAddr, len: u64) -> Result<(), MemError> {
@@ -393,6 +472,57 @@ mod tests {
             .unwrap();
         assert!(buf.iter().all(|&b| b == 0));
         assert_eq!(pm.resident_frames(), 0);
+    }
+
+    #[test]
+    fn swap_round_trip_preserves_content() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let f = pm.alloc_frame().unwrap();
+        pm.write_u64(f.base().add(16), 0xfeed_f00d).unwrap();
+        let before = pm.allocated_frames();
+        let slot = pm.swap_out(f);
+        assert_eq!(pm.allocated_frames(), before - 1, "frame freed");
+        assert_eq!(pm.swap_slots_used(), 1);
+        let back = pm.swap_in(slot).unwrap();
+        assert_eq!(pm.read_u64(back.base().add(16)).unwrap(), 0xfeed_f00d);
+        assert_eq!(pm.swap_slots_used(), 0, "slot released");
+        assert_eq!(pm.allocated_frames(), before);
+    }
+
+    #[test]
+    fn swap_of_untouched_frame_stays_sparse() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let f = pm.alloc_frame().unwrap();
+        let slot = pm.swap_out(f);
+        assert_eq!(pm.resident_frames(), 0, "zero page stored without bytes");
+        let back = pm.swap_in(slot).unwrap();
+        assert_eq!(pm.read_u64(back.base()).unwrap(), 0);
+    }
+
+    #[test]
+    fn swap_slots_are_reused() {
+        let mut pm = PhysMem::new(16 * PAGE_SIZE);
+        let a = pm.alloc_frame().unwrap();
+        let slot = pm.swap_out(a);
+        let _ = pm.swap_in(slot).unwrap();
+        let b = pm.alloc_frame().unwrap();
+        assert_eq!(pm.swap_out(b), slot, "freed slot reused");
+        pm.discard_swap_slot(slot);
+        assert_eq!(pm.swap_slots_used(), 0);
+    }
+
+    #[test]
+    fn swap_out_makes_room_for_alloc() {
+        // 3-frame machine (frame 0 reserved): exhaust it, swap one out,
+        // and the freed frame satisfies the next allocation.
+        let mut pm = PhysMem::new(3 * PAGE_SIZE);
+        let a = pm.alloc_frame().unwrap();
+        let _b = pm.alloc_frame().unwrap();
+        assert!(pm.alloc_frame().is_err());
+        assert_eq!(pm.free_frames(), 0);
+        let _slot = pm.swap_out(a);
+        assert_eq!(pm.free_frames(), 1);
+        assert_eq!(pm.alloc_frame().unwrap(), a);
     }
 
     #[test]

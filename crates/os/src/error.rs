@@ -4,6 +4,9 @@ use std::fmt;
 
 use sjmp_mem::MemError;
 
+use crate::process::Pid;
+use crate::vmspace::VmspaceId;
+
 /// Errors returned by kernel operations (system calls and capability
 /// invocations).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +37,33 @@ pub enum OsError {
     /// process remains registered, holding its vmspaces and locks, until
     /// it is reclaimed with `Kernel::kill` or `SpaceJmp::reap_process`.
     Crashed,
+    /// Physical memory is exhausted and reclaim could not free enough
+    /// frames. Unlike the bare `Mem(OutOfFrames)`, this names the culprit
+    /// so OOM diagnostics are actionable.
+    OutOfMemory {
+        /// Process whose request failed, if a process was involved.
+        pid: Option<Pid>,
+        /// Address space the request was against, if any.
+        space: Option<VmspaceId>,
+        /// Bytes the failed request asked for.
+        bytes: u64,
+        /// Frames the allocator could still supply at failure time.
+        frames_free: u64,
+    },
+    /// The request would push the process past its memory quota and
+    /// reclaiming the process's own pages could not make room. The
+    /// workload is expected to free memory (or wait for reclaim) and
+    /// retry.
+    QuotaExceeded {
+        /// Process that hit its quota.
+        pid: Pid,
+        /// The configured quota, in frames.
+        limit_frames: u64,
+        /// Frames the process had resident when the request was made.
+        used_frames: u64,
+        /// Frames the failed request asked for.
+        requested_frames: u64,
+    },
 }
 
 impl fmt::Display for OsError {
@@ -50,6 +80,35 @@ impl fmt::Display for OsError {
             OsError::WouldBlock => write!(f, "operation would block"),
             OsError::OutOfAsids => write!(f, "out of address space identifiers"),
             OsError::Crashed => write!(f, "process crashed inside the kernel"),
+            OsError::OutOfMemory {
+                pid,
+                space,
+                bytes,
+                frames_free,
+            } => {
+                write!(f, "out of memory: ")?;
+                match pid {
+                    Some(p) => write!(f, "pid {} ", p.0)?,
+                    None => write!(f, "kernel ")?,
+                }
+                if let Some(s) = space {
+                    write!(f, "(vmspace {}) ", s.0)?;
+                }
+                write!(
+                    f,
+                    "requested {bytes} bytes with {frames_free} frames free after reclaim"
+                )
+            }
+            OsError::QuotaExceeded {
+                pid,
+                limit_frames,
+                used_frames,
+                requested_frames,
+            } => write!(
+                f,
+                "memory quota exceeded: pid {} has {used_frames}/{limit_frames} frames resident, requested {requested_frames} more",
+                pid.0
+            ),
         }
     }
 }
@@ -121,6 +180,26 @@ mod tests {
         let c = OsError::from(CapError::BadRetype);
         assert!(c.to_string().contains("invalid retype"));
         assert!(OsError::NoSuchProcess.source().is_none());
+    }
+
+    #[test]
+    fn oom_errors_name_the_culprit() {
+        let e = OsError::OutOfMemory {
+            pid: Some(Pid(7)),
+            space: Some(VmspaceId(3)),
+            bytes: 8192,
+            frames_free: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pid 7") && s.contains("8192") && s.contains("1 frames free"));
+        let q = OsError::QuotaExceeded {
+            pid: Pid(9),
+            limit_frames: 10,
+            used_frames: 10,
+            requested_frames: 2,
+        };
+        let s = q.to_string();
+        assert!(s.contains("pid 9") && s.contains("10/10") && s.contains("2 more"));
     }
 
     #[test]

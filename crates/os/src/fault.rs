@@ -21,7 +21,10 @@
 //!   sites report frame exhaustion ([`sjmp_mem::MemError::OutOfFrames`]);
 //!   the switch and munmap sites report a transient
 //!   [`crate::OsError::WouldBlock`]. The kernel must leave no partial
-//!   state behind (the transactional-`mmap` obligation).
+//!   state behind (the transactional-`mmap` obligation). The
+//!   [`FaultSite::FrameAlloc`] site is special: its failures simulate
+//!   *transient* frame exhaustion, which the kernel absorbs by running a
+//!   reclaim pass and retrying instead of surfacing an error.
 //! * [`FaultOutcome::Crash`] — the calling process dies abruptly inside
 //!   the kernel. The call returns [`crate::OsError::Crashed`] and the
 //!   kernel performs *no* cleanup: the process is a zombie holding
@@ -48,17 +51,23 @@ pub enum FaultSite {
     Munmap,
     /// `switch_vmspace` entry.
     Switch,
+    /// Physical frame allocation inside the kernel's pressure-checked
+    /// paths: a `Fail` injects a *transient* `OutOfFrames` that forces a
+    /// reclaim pass before the allocation is retried, exercising eviction
+    /// deterministically even when memory is plentiful.
+    FrameAlloc,
 }
 
 impl FaultSite {
     /// All sites, for iteration in reports.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::ObjectAlloc,
         FaultSite::SpaceAlloc,
         FaultSite::MapRegion,
         FaultSite::Mmap,
         FaultSite::Munmap,
         FaultSite::Switch,
+        FaultSite::FrameAlloc,
     ];
 }
 

@@ -44,7 +44,9 @@ pub use acl::{Acl, Creds, Mode};
 pub use caps::{CSpace, CapKind, CapRights, CapSlot, Capability, ObjClass};
 pub use error::{CapError, OsError};
 pub use fault::{FaultOutcome, FaultPlan, FaultSite, FaultStats};
-pub use kernel::{Kernel, KernelStats, OsResult, GLOBAL_HI, GLOBAL_LO, PRIVATE_HI, PRIVATE_LO};
+pub use kernel::{
+    Kernel, KernelStats, OsResult, PhysStats, GLOBAL_HI, GLOBAL_LO, PRIVATE_HI, PRIVATE_LO,
+};
 pub use process::{Pid, Process};
-pub use vmobject::{VmObject, VmObjectId};
+pub use vmobject::{PageSource, PageState, VmObject, VmObjectId};
 pub use vmspace::{MapPolicy, Region, Vmspace, VmspaceId};

@@ -26,7 +26,13 @@ fn physical_exhaustion_fails_cleanly() {
     let mut sj = tiny_machine(2 << 20);
     let pid = sj.kernel_mut().spawn("p", Creds::new(1, 1)).unwrap();
     let err = sj.seg_alloc(pid, "big", VirtAddr::new(SEG_BASE), 64 << 20, Mode(0o600));
-    assert!(matches!(err, Err(SjError::Os(OsError::Mem(_)))), "{err:?}");
+    assert!(
+        matches!(
+            err,
+            Err(SjError::Os(OsError::Mem(_) | OsError::OutOfMemory { .. }))
+        ),
+        "{err:?}"
+    );
     // The system is still usable afterwards.
     let sid = sj
         .seg_alloc(pid, "small", VirtAddr::new(SEG_BASE), 64 << 10, Mode(0o600))
