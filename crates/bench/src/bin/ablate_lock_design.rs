@@ -11,7 +11,7 @@
 //! more scalable designs (smaller per-waiter penalties, as an MCS-style
 //! local-spin lock would achieve).
 
-use sjmp_bench::{heading, quick_mode, row};
+use sjmp_bench::{quick_mode, Report};
 use sjmp_kv::{run_jmp, KvBenchConfig};
 
 fn main() {
@@ -28,10 +28,11 @@ fn main() {
         ("ideal handoff", 0),
     ];
 
-    heading("Lock-design ablation: SET throughput (requests/second) vs clients");
+    let mut report = Report::new("ablate_lock_design");
+    report.heading("Lock-design ablation: SET throughput (requests/second) vs clients");
     let mut header = vec!["clients".to_string()];
     header.extend(designs.iter().map(|(n, _)| n.to_string()));
-    row(&header, &[8, 18, 12, 14]);
+    report.header(&header, &[8, 18, 12, 14]);
     for &n in clients {
         let mut cells = vec![n.to_string()];
         for &(_, bounce) in designs {
@@ -45,9 +46,10 @@ fn main() {
             let t = run_jmp(&cfg).expect("run");
             cells.push(format!("{:.0}K", t.rps / 1e3));
         }
-        row(&cells, &[8, 18, 12, 14]);
+        report.row(&cells, &[8, 18, 12, 14]);
     }
-    println!("\nwriters always serialize on the exclusive segment lock, but the");
-    println!("decline with client count is a property of the lock's handoff cost —");
-    println!("a scalable lock keeps SET throughput flat, as the paper anticipated");
+    report.note("\nwriters always serialize on the exclusive segment lock, but the");
+    report.note("decline with client count is a property of the lock's handoff cost —");
+    report.note("a scalable lock keeps SET throughput flat, as the paper anticipated");
+    report.finish();
 }

@@ -9,7 +9,7 @@
 //! memory system." Segments make tier placement a one-line decision;
 //! this ablation shows what each placement costs.
 
-use sjmp_bench::{heading, row};
+use sjmp_bench::Report;
 use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
 use sjmp_os::{Creds, Kernel, Mode};
 use spacejmp_core::{AttachMode, MemTier, SpaceJmp, VasHeap};
@@ -78,13 +78,14 @@ fn run(tier: MemTier, nodes: u64) -> (f64, f64, f64) {
 
 fn main() {
     let nodes = 20_000;
-    heading(&format!(
+    let mut report = Report::new("ablate_memory_tiers");
+    report.heading(&format!(
         "Memory-tier ablation: {nodes}-node linked list in a segment (us, M2)"
     ));
-    row(&["tier", "build", "walk", "update"], &[6, 10, 10, 10]);
+    report.header(&["tier", "build", "walk", "update"], &[6, 10, 10, 10]);
     let (db, dw, du) = run(MemTier::Dram, nodes);
     let (nb, nw, nu) = run(MemTier::Nvm, nodes);
-    row(
+    report.row(
         &[
             "DRAM".to_string(),
             format!("{db:.1}"),
@@ -93,7 +94,7 @@ fn main() {
         ],
         &[6, 10, 10, 10],
     );
-    row(
+    report.row(
         &[
             "NVM".to_string(),
             format!("{nb:.1}"),
@@ -102,7 +103,7 @@ fn main() {
         ],
         &[6, 10, 10, 10],
     );
-    row(
+    report.row(
         &[
             "ratio".to_string(),
             format!("{:.2}", nb / db),
@@ -111,6 +112,7 @@ fn main() {
         ],
         &[6, 10, 10, 10],
     );
-    println!("\nwrite-heavy phases feel NVM's write asymmetry hardest; placement");
-    println!("is a per-segment decision — exactly the control SpaceJMP gives");
+    report.note("\nwrite-heavy phases feel NVM's write asymmetry hardest; placement");
+    report.note("is a per-segment decision — exactly the control SpaceJMP gives");
+    report.finish();
 }

@@ -9,7 +9,7 @@
 //! fewer leaf entries), the alternative SpaceJMP's switch-don't-remap
 //! design competes against.
 
-use sjmp_bench::{heading, human_bytes, pow2_ticks, quick_mode, row};
+use sjmp_bench::{human_bytes, pow2_ticks, quick_mode, Report};
 use sjmp_mem::{KernelFlavor, Machine, PageSize, PteFlags};
 use sjmp_os::{Creds, Kernel};
 
@@ -34,14 +34,15 @@ fn measure(size: u64, page: PageSize) -> Option<f64> {
 
 fn main() {
     let hi = if quick_mode() { 27 } else { 33 };
-    heading("Page-size ablation: mmap construction cost (ms, M2)");
-    row(
+    let mut report = Report::new("ablate_page_size");
+    report.heading("Page-size ablation: mmap construction cost (ms, M2)");
+    report.header(
         &["size", "4KiB pages", "2MiB pages", "1GiB pages"],
         &[8, 12, 12, 12],
     );
     for size in pow2_ticks(21, hi, 2) {
         let fmt = |v: Option<f64>| v.map(|ms| format!("{ms:.4}")).unwrap_or_else(|| "-".into());
-        row(
+        report.row(
             &[
                 human_bytes(size),
                 fmt(measure(size, PageSize::Size4K)),
@@ -51,7 +52,8 @@ fn main() {
             &[8, 12, 12, 12],
         );
     }
-    println!("\nsuperpages cut construction cost by the entry-count ratio, but the");
-    println!("paper's point stands: SpaceJMP removes the construction from the");
-    println!("critical path entirely (a switch costs ~1127 cycles regardless of size)");
+    report.note("\nsuperpages cut construction cost by the entry-count ratio, but the");
+    report.note("paper's point stands: SpaceJMP removes the construction from the");
+    report.note("critical path entirely (a switch costs ~1127 cycles regardless of size)");
+    report.finish();
 }

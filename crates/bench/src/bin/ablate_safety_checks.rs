@@ -7,7 +7,7 @@
 //! ablation quantifies it on synthetic programs of increasing
 //! multi-VAS complexity.
 
-use sjmp_bench::{heading, row};
+use sjmp_bench::Report;
 use sjmp_safety::analysis::Analysis;
 use sjmp_safety::checks::{insert_checks, CheckPolicy};
 use sjmp_safety::interp::Interp;
@@ -82,7 +82,7 @@ fn escaping_program(rounds: usize) -> Module {
 /// branch).
 const CHECK_COST_CYCLES: u64 = 6;
 
-fn report(name: &str, module: &Module) {
+fn report(out: &mut Report, name: &str, module: &Module) {
     let entry = [AbstractVas::Vas(VasName(0))].into_iter().collect();
     let analysis = Analysis::run(module, entry);
 
@@ -100,7 +100,7 @@ fn report(name: &str, module: &Module) {
 
     let dyn_naive = interp_naive.stats().checks_executed;
     let dyn_analyzed = interp_analyzed.stats().checks_executed;
-    row(
+    out.row(
         &[
             name.to_string(),
             naive_report.mem_ops.to_string(),
@@ -115,8 +115,9 @@ fn report(name: &str, module: &Module) {
 }
 
 fn main() {
-    heading("Safety-check ablation: naive vs dataflow-pruned instrumentation");
-    row(
+    let mut out = Report::new("ablate_safety_checks");
+    out.heading("Safety-check ablation: naive vs dataflow-pruned instrumentation");
+    out.header(
         &[
             "program",
             "mem ops",
@@ -128,10 +129,11 @@ fn main() {
         ],
         &[14, 8, 12, 14, 8, 12, 14],
     );
-    report("single-vas", &single_vas_program(500));
-    report("windowed", &windowed_program(16, 50));
-    report("escaping", &escaping_program(300));
-    println!("\nthe analysis removes every check from single-VAS code, keeps");
-    println!("windowed code check-free by tracking switches, and degrades to");
-    println!("checking only genuinely ambiguous accesses when pointers escape");
+    report(&mut out, "single-vas", &single_vas_program(500));
+    report(&mut out, "windowed", &windowed_program(16, 50));
+    report(&mut out, "escaping", &escaping_program(300));
+    out.note("\nthe analysis removes every check from single-VAS code, keeps");
+    out.note("windowed code check-free by tracking switches, and degrades to");
+    out.note("checking only genuinely ambiguous accesses when pointers escape");
+    out.finish();
 }

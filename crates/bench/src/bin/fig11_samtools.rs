@@ -5,7 +5,7 @@
 //! absolute simulated seconds are printed too. Dataset sizes are scaled
 //! from the paper's 3.1 GiB SAM / 0.9 GiB BAM (see DESIGN.md).
 
-use sjmp_bench::{heading, quick_mode, row};
+use sjmp_bench::{quick_mode, Report};
 use sjmp_genome::{run_pipeline, StorageMode, WorkloadConfig};
 
 fn main() {
@@ -17,11 +17,12 @@ fn main() {
     let sam = run_pipeline(StorageMode::Sam, &cfg).expect("sam");
     let jmp = run_pipeline(StorageMode::SpaceJmp, &cfg).expect("jmp");
 
-    heading(&format!(
+    let mut report = Report::new("fig11_samtools");
+    report.heading(&format!(
         "Figure 11: time normalized to BAM ({} records)",
         cfg.records
     ));
-    row(&["op", "BAM", "SAM", "SpaceJMP"], &[16, 8, 8, 10]);
+    report.header(&["op", "BAM", "SAM", "SpaceJMP"], &[16, 8, 8, 10]);
     let rows = [
         ("flagstat", bam.flagstat, sam.flagstat, jmp.flagstat),
         ("qname sort", bam.qname_sort, sam.qname_sort, jmp.qname_sort),
@@ -34,7 +35,7 @@ fn main() {
         ("index", bam.index, sam.index, jmp.index),
     ];
     for (name, b, s, j) in rows {
-        row(
+        report.row(
             &[
                 name.to_string(),
                 "1.00".to_string(),
@@ -45,10 +46,10 @@ fn main() {
         );
     }
 
-    heading("absolute simulated seconds");
-    row(&["op", "BAM", "SAM", "SpaceJMP"], &[16, 10, 10, 10]);
+    report.heading("absolute simulated seconds");
+    report.header(&["op", "BAM", "SAM", "SpaceJMP"], &[16, 10, 10, 10]);
     for (name, b, s, j) in rows {
-        row(
+        report.row(
             &[
                 name.to_string(),
                 format!("{b:.4}"),
@@ -58,6 +59,7 @@ fn main() {
             &[16, 10, 10, 10],
         );
     }
-    println!("\npaper: keeping data in memory with SpaceJMP yields significant");
-    println!("speedup over both serialized formats for every operation");
+    report.note("\npaper: keeping data in memory with SpaceJMP yields significant");
+    report.note("speedup over both serialized formats for every operation");
+    report.finish();
 }

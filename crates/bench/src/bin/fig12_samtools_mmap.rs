@@ -8,7 +8,7 @@
 //! sort 5.48 vs 5.03; index 14.77 vs 14.88). Our dataset is scaled, so
 //! absolute values differ; the *ratios* are the reproduced result.
 
-use sjmp_bench::{heading, quick_mode, row};
+use sjmp_bench::{quick_mode, Report};
 use sjmp_genome::{run_pipeline, StorageMode, WorkloadConfig};
 
 fn main() {
@@ -19,18 +19,19 @@ fn main() {
     let mmap = run_pipeline(StorageMode::Mmap, &cfg).expect("mmap");
     let jmp = run_pipeline(StorageMode::SpaceJmp, &cfg).expect("jmp");
 
-    heading(&format!(
+    let mut report = Report::new("fig12_samtools_mmap");
+    report.heading(&format!(
         "Figure 12: mmap vs SpaceJMP, absolute simulated seconds ({} records)",
         cfg.records
     ));
-    row(&["op", "MMAP[s]", "SpaceJMP[s]", "ratio"], &[16, 10, 12, 8]);
+    report.header(&["op", "MMAP[s]", "SpaceJMP[s]", "ratio"], &[16, 10, 12, 8]);
     for (name, m, j) in [
         ("flagstat", mmap.flagstat, jmp.flagstat),
         ("qname sort", mmap.qname_sort, jmp.qname_sort),
         ("coordinate sort", mmap.coordinate_sort, jmp.coordinate_sort),
         ("index", mmap.index, jmp.index),
     ] {
-        row(
+        report.row(
             &[
                 name.to_string(),
                 format!("{m:.4}"),
@@ -40,7 +41,8 @@ fn main() {
             &[16, 10, 12, 8],
         );
     }
-    println!("\npaper ratios (mmap/SpaceJMP): flagstat 1.49, qname 1.02,");
-    println!("coordinate 1.09, index 0.99 — comparable overall, with the fixed");
-    println!("mapping cost visible only in the short-running flagstat");
+    report.note("\npaper ratios (mmap/SpaceJMP): flagstat 1.49, qname 1.02,");
+    report.note("coordinate 1.09, index 0.99 — comparable overall, with the fixed");
+    report.note("mapping cost visible only in the short-running flagstat");
+    report.finish();
 }

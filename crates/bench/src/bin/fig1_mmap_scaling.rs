@@ -6,7 +6,7 @@
 //! Regions sweep 2^15..2^35 bytes as in the figure (use `--quick` for a
 //! shorter sweep). Times are simulated milliseconds on machine M2.
 
-use sjmp_bench::{heading, human_bytes, pow2_ticks, quick_mode, row};
+use sjmp_bench::{human_bytes, pow2_ticks, quick_mode, Report};
 use sjmp_mem::{KernelFlavor, Machine, PteFlags};
 use sjmp_os::{Creds, Kernel};
 
@@ -26,15 +26,16 @@ fn measure(size: u64, cached: bool) -> (f64, f64) {
 
 fn main() {
     let hi = if quick_mode() { 27 } else { 35 };
-    heading("Figure 1: mmap/munmap latency vs region size (4 KiB pages, M2)");
-    row(
+    let mut report = Report::new("fig1_mmap_scaling");
+    report.heading("Figure 1: mmap/munmap latency vs region size (4 KiB pages, M2)");
+    report.header(
         &["size", "map[ms]", "unmap[ms]", "map-cached", "unmap-cached"],
         &[10, 12, 12, 12, 12],
     );
     for size in pow2_ticks(15, hi, 2) {
         let (map, unmap) = measure(size, false);
         let (map_c, unmap_c) = measure(size, true);
-        row(
+        report.row(
             &[
                 human_bytes(size),
                 format!("{map:.4}"),
@@ -45,5 +46,6 @@ fn main() {
             &[10, 12, 12, 12, 12],
         );
     }
-    println!("\npaper anchors: 1 GiB ~ 5 ms; 64 GiB ~ 2000 ms (uncached map)");
+    report.note("\npaper anchors: 1 GiB ~ 5 ms; 64 GiB ~ 2000 ms (uncached map)");
+    report.finish();
 }

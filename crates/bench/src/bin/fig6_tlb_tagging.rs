@@ -7,7 +7,7 @@
 //! switch with tags on, and no context switch. Only the touch itself is
 //! timed (CR3 write cost excluded), as in the figure.
 
-use sjmp_bench::{heading, quick_mode, row};
+use sjmp_bench::{quick_mode, Report};
 use sjmp_mem::cost::{CostModel, CycleClock, Machine, MachineProfile};
 use sjmp_mem::paging::{self, PteFlags};
 use sjmp_mem::{Asid, Mmu, PhysMem, SimRng, VirtAddr};
@@ -71,8 +71,9 @@ fn run(series: Series, pages: u64, iters: u64) -> f64 {
 
 fn main() {
     let iters = if quick_mode() { 2_000 } else { 20_000 };
-    heading("Figure 6: page-touch latency vs working set (M3, cycles)");
-    row(
+    let mut report = Report::new("fig6_tlb_tagging");
+    report.heading("Figure 6: page-touch latency vs working set (M3, cycles)");
+    report.header(
         &["pages", "switch(tag off)", "switch(tag on)", "no switch"],
         &[8, 16, 16, 12],
     );
@@ -80,7 +81,7 @@ fn main() {
         let off = run(Series::SwitchTagOff, pages, iters);
         let on = run(Series::SwitchTagOn, pages, iters);
         let none = run(Series::NoSwitch, pages, iters);
-        row(
+        report.row(
             &[
                 pages.to_string(),
                 format!("{off:.1}"),
@@ -90,6 +91,7 @@ fn main() {
             &[8, 16, 16, 12],
         );
     }
-    println!("\npaper: tag-off flat and high; tag-on tracks no-switch until the");
-    println!("working set exceeds TLB capacity (M3: 1024 entries), then all converge");
+    report.note("\npaper: tag-off flat and high; tag-on tracks no-switch until the");
+    report.note("working set exceeds TLB capacity (M3: 1024 entries), then all converge");
+    report.finish();
 }

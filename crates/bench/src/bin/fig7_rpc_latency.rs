@@ -6,26 +6,33 @@
 //! accessing the data directly by copying it into the process-local
 //! address space." Series: URPC intra-socket (`URPC L`), URPC
 //! cross-socket (`URPC X`), and SpaceJMP (switch + copy + switch back).
+//!
+//! With `SJMP_TRACE=1` the URPC and SpaceJMP paths both record events
+//! (RPC send/recv spans, VAS switches) and the trace of the final row is
+//! exported to `results/fig7_rpc_latency.trace.json`.
 
-use sjmp_bench::{heading, human_bytes, row};
-use sjmp_mem::cost::{CostModel, CycleClock};
+use sjmp_bench::{export_trace, human_bytes, trace_from_env, Report};
+use sjmp_mem::cost::{CostModel, CycleClock, MachineProfile};
 use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
 use sjmp_os::{Creds, Kernel, Mode};
 use sjmp_rpc::urpc::{Placement, UrpcPair};
+use sjmp_trace::Tracer;
 use spacejmp_core::{AttachMode, SpaceJmp};
 
-fn urpc_round_trip(placement: Placement, size: usize) -> u64 {
+fn urpc_round_trip(placement: Placement, size: usize, tracer: &Tracer) -> u64 {
     let clock = CycleClock::new();
     // Ring sized like the Barrelfish channels: large enough for the
     // payload (latency past the buffer size grows, as the paper notes).
     let mut pair = UrpcPair::new(8192, placement, CostModel::default(), clock.clone());
+    pair.set_tracer(tracer.clone());
     let t0 = clock.now();
     pair.round_trip(&[0u8; 8], size).expect("round trip");
     clock.since(t0)
 }
 
-fn spacejmp_round_trip(size: usize) -> u64 {
+fn spacejmp_round_trip(size: usize, tracer: &Tracer) -> u64 {
     let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    sj.set_tracer(tracer.clone());
     let pid = sj
         .kernel_mut()
         .spawn("client", Creds::new(1, 1))
@@ -57,13 +64,16 @@ fn spacejmp_round_trip(size: usize) -> u64 {
 }
 
 fn main() {
-    heading("Figure 7: local RPC latency vs transfer size (M2, cycles)");
-    row(&["size", "URPC L", "URPC X", "SpaceJMP"], &[8, 10, 10, 10]);
+    let tracer = trace_from_env();
+    let mut report = Report::new("fig7_rpc_latency");
+    report.heading("Figure 7: local RPC latency vs transfer size (M2, cycles)");
+    report.header(&["size", "URPC L", "URPC X", "SpaceJMP"], &[8, 10, 10, 10]);
     for size in [4usize, 64, 1024, 4096, 65536, 262144] {
-        let l = urpc_round_trip(Placement::IntraSocket, size);
-        let x = urpc_round_trip(Placement::CrossSocket, size);
-        let s = spacejmp_round_trip(size);
-        row(
+        tracer.clear();
+        let l = urpc_round_trip(Placement::IntraSocket, size, &tracer);
+        let x = urpc_round_trip(Placement::CrossSocket, size, &tracer);
+        let s = spacejmp_round_trip(size, &tracer);
+        report.row(
             &[
                 human_bytes(size as u64),
                 l.to_string(),
@@ -73,6 +83,12 @@ fn main() {
             &[8, 10, 10, 10],
         );
     }
-    println!("\npaper: SpaceJMP beaten only by intra-socket URPC for small");
-    println!("messages; across sockets the interconnect dominates the switch cost");
+    report.note("\npaper: SpaceJMP beaten only by intra-socket URPC for small");
+    report.note("messages; across sockets the interconnect dominates the switch cost");
+    report.finish();
+    export_trace(
+        "fig7_rpc_latency",
+        &tracer,
+        MachineProfile::of(Machine::M2).freq_hz,
+    );
 }

@@ -3,12 +3,20 @@
 //!
 //! Series: SpaceJMP, MP (multi-process message passing), MAP (remap on
 //! window change), each for update-set sizes 64 and 16.
+//!
+//! With `SJMP_TRACE=1` every run records kernel/TLB/switch events; the
+//! trace of a dedicated SpaceJMP run (4 windows) is exported to
+//! `results/fig8_gups.trace.json` (Chrome `trace_event` format) and
+//! `results/fig8_gups.metrics.json`.
 
-use sjmp_bench::{heading, quick_mode, row};
+use sjmp_bench::{export_trace, quick_mode, trace_from_env, Report};
 use sjmp_gups::{run, Design, GupsConfig};
+use sjmp_mem::cost::MachineProfile;
 
 fn main() {
     let quick = quick_mode();
+    let tracer = trace_from_env();
+    let mut report = Report::new("fig8_gups");
     let window_counts: &[usize] = if quick {
         &[1, 4, 16]
     } else {
@@ -17,21 +25,22 @@ fn main() {
     let epochs = if quick { 64 } else { 256 };
 
     for &updates in &[64usize, 16] {
-        heading(&format!(
+        report.heading(&format!(
             "Figure 8: GUPS MUPS per process (update set {updates}, M3)"
         ));
-        row(&["windows", "SpaceJMP", "MP", "MAP"], &[8, 10, 10, 10]);
+        report.header(&["windows", "SpaceJMP", "MP", "MAP"], &[8, 10, 10, 10]);
         for &w in window_counts {
             let cfg = GupsConfig {
                 windows: w,
                 updates_per_set: updates,
                 epochs,
+                tracer: tracer.clone(),
                 ..GupsConfig::default()
             };
             let jmp = run(Design::Jmp, &cfg).expect("jmp");
             let mp = run(Design::Mp, &cfg).expect("mp");
             let map = run(Design::Map, &cfg).expect("map");
-            row(
+            report.row(
                 &[
                     w.to_string(),
                     format!("{:.1}", jmp.mups),
@@ -42,6 +51,25 @@ fn main() {
             );
         }
     }
-    println!("\npaper: all equal at 1 window; MAP collapses immediately;");
-    println!("SpaceJMP >= MP throughout; MP drops past 36 processes (M3 cores)");
+    report.note("\npaper: all equal at 1 window; MAP collapses immediately;");
+    report.note("SpaceJMP >= MP throughout; MP drops past 36 processes (M3 cores)");
+    report.finish();
+
+    if tracer.enabled() {
+        // Dedicated traced run so the exported trace is a single JMP
+        // workload (the sweep above clears the tracer per run).
+        let cfg = GupsConfig {
+            windows: 4,
+            updates_per_set: 16,
+            epochs: 64,
+            tracer: tracer.clone(),
+            ..GupsConfig::default()
+        };
+        run(Design::Jmp, &cfg).expect("traced jmp run");
+        export_trace(
+            "fig8_gups",
+            &tracer,
+            MachineProfile::of(cfg.machine).freq_hz,
+        );
+    }
 }

@@ -9,33 +9,38 @@
 //!
 //! The process **exits nonzero** if any run aborts or a whole-system
 //! invariant audit fails, so CI uses it as the constrained-memory smoke
-//! test (`cargo run -p sjmp-bench --bin pressure_oversub`).
+//! test (`cargo run -p sjmp-bench --bin pressure_oversub`). With
+//! `SJMP_TRACE=1` the RedisJMP-under-pressure phase records eviction,
+//! major-fault, and swap-I/O events and exports them to
+//! `results/pressure_oversub.trace.json`.
 
 use sjmp_gups::{run_jmp_constrained, GupsConfig};
 use sjmp_kv::JmpClient;
 use sjmp_mem::cost::{CostModel, KernelFlavor, Machine, MachineProfile};
 use sjmp_mem::PAGE_SIZE;
 use sjmp_os::{Creds, Kernel};
+use sjmp_trace::Tracer;
 use spacejmp_core::SpaceJmp;
 
-use sjmp_bench::{heading, quick_mode, row};
+use sjmp_bench::{export_trace, quick_mode, trace_from_env, Report};
 
 /// Frames beyond the window data that cover the process image, scratch
 /// heap, and page tables (see `run_jmp_constrained`'s sizing notes).
 const GUPS_SLACK_FRAMES: u64 = 176;
 
-fn gups(quick: bool) {
-    heading("Oversubscribed GUPS: swappable windows vs DRAM fraction (M3 profile)");
+fn gups(report: &mut Report, quick: bool, tracer: &Tracer) {
+    report.heading("Oversubscribed GUPS: swappable windows vs DRAM fraction (M3 profile)");
     let cfg = GupsConfig {
         windows: 4,
         window_bytes: 256 << 10,
         updates_per_set: 16,
         epochs: if quick { 48 } else { 96 },
+        tracer: tracer.clone(),
         ..GupsConfig::default()
     };
     let data_pages = cfg.windows as u64 * cfg.window_bytes / PAGE_SIZE;
     let widths = [10, 8, 10, 10, 8, 10, 6];
-    row(
+    report.header(
         &[
             "dram/data",
             "MUPS",
@@ -56,7 +61,7 @@ fn gups(quick: bool) {
             (cfg.epochs * cfg.updates_per_set) as u64,
             "constrained run dropped updates"
         );
-        row(
+        report.row(
             &[
                 label.to_string(),
                 format!("{:.2}", r.mups),
@@ -69,12 +74,14 @@ fn gups(quick: bool) {
             &widths,
         );
     }
-    println!("\npinned segments (the paper's §4.1 rule) cannot even allocate below");
-    println!("1.00x; demand segments trade MUPS for completion via the swap device");
+    report.note("\npinned segments (the paper's §4.1 rule) cannot even allocate below");
+    report.note("1.00x; demand segments trade MUPS for completion via the swap device");
 }
 
-fn redis(quick: bool) {
-    heading("Oversubscribed RedisJMP: swappable store, ~2x more live heap than DRAM (M1 profile)");
+fn redis(report: &mut Report, quick: bool, tracer: &Tracer) {
+    report.heading(
+        "Oversubscribed RedisJMP: swappable store, ~2x more live heap than DRAM (M1 profile)",
+    );
     // Two clients' pinned footprint is ~290 frames; the 300 x 2 KiB
     // values touch ~170 store pages. 380 frames leaves room for about
     // half the store working set (the sizing from the kv crate's
@@ -87,6 +94,10 @@ fn redis(quick: bool) {
         profile,
         CostModel::default(),
     ));
+    // The pressure phase is what the trace should cover: evictions,
+    // major faults, swap I/O all fire from here on.
+    tracer.clear();
+    sj.set_tracer(tracer.clone());
     sj.kernel_mut().set_low_watermark(Some(8));
     let mut clients = Vec::new();
     for i in 0..2 {
@@ -128,7 +139,7 @@ fn redis(quick: bool) {
     );
 
     let widths = [10, 10, 10, 10, 10];
-    row(
+    report.header(
         &[
             "SET rps",
             "evictions",
@@ -138,7 +149,7 @@ fn redis(quick: bool) {
         ],
         &widths,
     );
-    row(
+    report.row(
         &[
             format!("{:.0}K", f64::from(sets) * freq / set_cycles as f64 / 1e3),
             stats.evictions.to_string(),
@@ -148,11 +159,21 @@ fn redis(quick: bool) {
         ],
         &widths,
     );
-    println!("\nall {sets} SETs completed and sampled GETs verified; audit clean");
+    report.note(&format!(
+        "\nall {sets} SETs completed and sampled GETs verified; audit clean"
+    ));
 }
 
 fn main() {
     let quick = quick_mode();
-    gups(quick);
-    redis(quick);
+    let tracer = trace_from_env();
+    let mut report = Report::new("pressure_oversub");
+    gups(&mut report, quick, &tracer);
+    redis(&mut report, quick, &tracer);
+    report.finish();
+    export_trace(
+        "pressure_oversub",
+        &tracer,
+        MachineProfile::of(Machine::M1).freq_hz,
+    );
 }

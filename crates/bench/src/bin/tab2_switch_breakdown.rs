@@ -5,15 +5,24 @@
 //! (1127/807 DragonFly, 664/462 Barrelfish). The `vas_switch` row here is
 //! *measured* by switching through the real SpaceJMP path, not quoted
 //! from the cost model.
+//!
+//! With `SJMP_TRACE=1` each measured switch also runs under the event
+//! tracer, and an extra section reconstructs the Table 2 decomposition
+//! *from the trace alone* (summing the `kernel_entry`, `switch_book`,
+//! and `cr3_load` span durations inside the switch). The DragonFly
+//! untagged trace is exported to
+//! `results/tab2_switch_breakdown.trace.json` (Chrome `trace_event`).
 
-use sjmp_bench::{heading, human_bytes, row};
+use sjmp_bench::{export_trace, heading, human_bytes, trace_from_env, Report};
 use sjmp_mem::cost::{CostModel, Machine, MachineProfile};
 use sjmp_mem::KernelFlavor;
 use sjmp_os::{Creds, Kernel, Mode};
+use sjmp_trace::Tracer;
 use spacejmp_core::{SpaceJmp, VasCtl};
 
-fn measured_switch(flavor: KernelFlavor, tagged: bool) -> u64 {
+fn measured_switch(flavor: KernelFlavor, tagged: bool, tracer: &Tracer) -> u64 {
     let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+    sj.set_tracer(tracer.clone());
     if tagged {
         sj.kernel_mut().set_tagging(true);
     }
@@ -24,20 +33,30 @@ fn measured_switch(flavor: KernelFlavor, tagged: bool) -> u64 {
         sj.vas_ctl(pid, VasCtl::RequestTag, vid).expect("tag");
     }
     let vh = sj.vas_attach(pid, vid).expect("attach");
+    // Trace exactly one switch: drop the setup's events.
+    tracer.clear();
     let t0 = sj.kernel().clock().now();
     sj.vas_switch(pid, vh).expect("switch");
     sj.kernel().clock().since(t0)
 }
 
+/// Sum of all recorded durations for span kind `name` in the tracer's
+/// metrics (the trace-derived cycle total of that phase).
+fn span_sum(tracer: &Tracer, name: &str) -> u64 {
+    tracer.snapshot().histogram(name).map_or(0, |h| h.sum)
+}
+
 fn main() {
-    heading("Table 1: machine profiles");
-    row(
+    let tracer = trace_from_env();
+    let mut report = Report::new("tab2_switch_breakdown");
+    report.heading("Table 1: machine profiles");
+    report.header(
         &["name", "memory", "cores", "freq[GHz]", "TLB"],
         &[6, 10, 6, 10, 6],
     );
     for m in [Machine::M1, Machine::M2, Machine::M3] {
         let p = MachineProfile::of(m);
-        row(
+        report.row(
             &[
                 p.name.to_string(),
                 human_bytes(p.mem_bytes),
@@ -49,10 +68,10 @@ fn main() {
         );
     }
 
-    heading("Table 2: context-switch breakdown on M2 (cycles; tagged in parentheses)");
+    report.heading("Table 2: context-switch breakdown on M2 (cycles; tagged in parentheses)");
     let c = CostModel::default();
-    row(&["operation", "DragonFly BSD", "Barrelfish"], &[12, 16, 14]);
-    row(
+    report.header(&["operation", "DragonFly BSD", "Barrelfish"], &[12, 16, 14]);
+    report.row(
         &[
             "CR3 load".to_string(),
             format!("{} ({})", c.cr3_load(false), c.cr3_load(true)),
@@ -60,7 +79,7 @@ fn main() {
         ],
         &[12, 16, 14],
     );
-    row(
+    report.row(
         &[
             "system call".to_string(),
             c.kernel_entry(KernelFlavor::DragonFly).to_string(),
@@ -68,21 +87,71 @@ fn main() {
         ],
         &[12, 16, 14],
     );
-    let bsd = (
-        measured_switch(KernelFlavor::DragonFly, false),
-        measured_switch(KernelFlavor::DragonFly, true),
-    );
-    let bf = (
-        measured_switch(KernelFlavor::Barrelfish, false),
-        measured_switch(KernelFlavor::Barrelfish, true),
-    );
-    row(
+    // Each configuration gets a fresh tracer so its trace holds exactly
+    // one switch; the shared env tracer only gates whether they trace.
+    let configs = [
+        ("DragonFly", KernelFlavor::DragonFly, false),
+        ("DragonFly(tags)", KernelFlavor::DragonFly, true),
+        ("Barrelfish", KernelFlavor::Barrelfish, false),
+        ("Barrelfish(tags)", KernelFlavor::Barrelfish, true),
+    ];
+    let mut measured = Vec::new();
+    let mut traces = Vec::new();
+    for (label, flavor, tagged) in configs {
+        let t = if tracer.enabled() {
+            Tracer::new(4096)
+        } else {
+            Tracer::disabled()
+        };
+        measured.push(measured_switch(flavor, tagged, &t));
+        traces.push((label, t));
+    }
+    report.row(
         &[
             "vas_switch".to_string(),
-            format!("{} ({})", bsd.0, bsd.1),
-            format!("{} ({})", bf.0, bf.1),
+            format!("{} ({})", measured[0], measured[1]),
+            format!("{} ({})", measured[2], measured[3]),
         ],
         &[12, 16, 14],
     );
-    println!("\npaper: vas_switch 1127 (807) DragonFly, 664 (462) Barrelfish");
+    report.note("\npaper: vas_switch 1127 (807) DragonFly, 664 (462) Barrelfish");
+
+    if tracer.enabled() {
+        report.heading("Table 2 (trace-derived): spans summed from the event stream (cycles)");
+        report.header(
+            &["config", "kernel entry", "bookkeeping", "CR3 load", "total"],
+            &[16, 12, 12, 10, 8],
+        );
+        for ((label, t), &cycles) in traces.iter().zip(&measured) {
+            let entry = span_sum(t, "kernel_entry");
+            let book = span_sum(t, "switch_book");
+            let cr3 = span_sum(t, "cr3_load");
+            report.row(
+                &[
+                    label.to_string(),
+                    entry.to_string(),
+                    book.to_string(),
+                    cr3.to_string(),
+                    (entry + book + cr3).to_string(),
+                ],
+                &[16, 12, 12, 10, 8],
+            );
+            assert_eq!(
+                entry + book + cr3,
+                cycles,
+                "{label}: trace-derived breakdown must equal the measured switch"
+            );
+        }
+        report.note("trace-derived totals assert equality with the measured switches");
+    }
+    report.finish();
+
+    if tracer.enabled() {
+        heading("trace export (DragonFly untagged switch)");
+        export_trace(
+            "tab2_switch_breakdown",
+            &traces[0].1,
+            MachineProfile::of(Machine::M2).freq_hz,
+        );
+    }
 }

@@ -1,0 +1,91 @@
+//! CI gate for the machine-readable outputs: verifies that the
+//! `results/` files a traced benchmark run produces parse as JSON and
+//! carry the required keys.
+//!
+//! Usage: `validate_results <bench-name>...` — for each name, checks
+//! `results/<name>.json` (bench report: `bench`, `sections` with
+//! `columns`/`rows`, `notes`), `results/<name>.trace.json` (Chrome
+//! `trace_event`: non-empty `traceEvents`), and
+//! `results/<name>.metrics.json` (`counters`, `histograms`). Exits
+//! nonzero with a message naming the first violation.
+
+use std::process::ExitCode;
+
+use sjmp_trace::Json;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))
+}
+
+fn require<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{path}: missing required key \"{key}\""))
+}
+
+fn check_report(name: &str) -> Result<(), String> {
+    let path = format!("results/{name}.json");
+    let doc = load(&path)?;
+    require(&doc, &path, "bench")?;
+    require(&doc, &path, "notes")?;
+    let sections = require(&doc, &path, "sections")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"sections\" is not an array"))?;
+    if sections.is_empty() {
+        return Err(format!("{path}: no sections recorded"));
+    }
+    for s in sections {
+        require(s, &path, "title")?;
+        require(s, &path, "columns")?;
+        let rows = require(s, &path, "rows")?
+            .as_arr()
+            .ok_or_else(|| format!("{path}: section \"rows\" is not an array"))?;
+        if rows.is_empty() {
+            return Err(format!("{path}: a section has no rows"));
+        }
+    }
+    Ok(())
+}
+
+fn check_trace(name: &str) -> Result<(), String> {
+    let path = format!("results/{name}.trace.json");
+    let doc = load(&path)?;
+    let events = require(&doc, &path, "traceEvents")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"traceEvents\" is not an array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: trace is empty"));
+    }
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            require(ev, &path, key)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_metrics(name: &str) -> Result<(), String> {
+    let path = format!("results/{name}.metrics.json");
+    let doc = load(&path)?;
+    require(&doc, &path, "counters")?;
+    require(&doc, &path, "histograms")?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty() {
+        eprintln!("usage: validate_results <bench-name>...");
+        return ExitCode::FAILURE;
+    }
+    for name in &names {
+        for check in [check_report, check_trace, check_metrics] {
+            if let Err(e) = check(name) {
+                eprintln!("FAIL {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("ok: results/{name}{{.json,.trace.json,.metrics.json}}");
+    }
+    ExitCode::SUCCESS
+}

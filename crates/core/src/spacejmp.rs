@@ -28,6 +28,7 @@ use sjmp_os::{
     Acl, CapKind, CapRights, Capability, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid, Region,
     VmObjectId, VmspaceId,
 };
+use sjmp_trace::{EventKind, MetricsSnapshot, Tracer};
 
 use crate::error::{SjError, SjResult};
 use crate::segment::{AttachMode, SegId, Segment};
@@ -89,6 +90,23 @@ pub struct SjStats {
     pub reaps: u64,
     /// Processes sacrificed by [`SpaceJmp::oom_kill`].
     pub oom_kills: u64,
+}
+
+impl SjStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the
+    /// same instance), for phase measurements.
+    pub fn delta_since(&self, earlier: &SjStats) -> SjStats {
+        SjStats {
+            switches: self.switches - earlier.switches,
+            attaches: self.attaches - earlier.attaches,
+            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
+            lock_contentions: self.lock_contentions - earlier.lock_contentions,
+            retried_switches: self.retried_switches - earlier.retried_switches,
+            deadlocks: self.deadlocks - earlier.deadlocks,
+            reaps: self.reaps - earlier.reaps,
+            oom_kills: self.oom_kills - earlier.oom_kills,
+        }
+    }
 }
 
 /// Backoff schedule for [`SpaceJmp::vas_switch_retry`].
@@ -210,6 +228,35 @@ impl SpaceJmp {
         self.stats
     }
 
+    /// Installs `tracer` on the kernel and every simulated MMU, so VAS
+    /// operations, syscalls, and TLB events all land in one event stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.kernel.set_tracer(tracer);
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        self.kernel.tracer()
+    }
+
+    /// One consolidated metrics snapshot: the kernel's
+    /// [`sjmp_os::KernelSnapshot`] counters plus the SpaceJMP-layer
+    /// [`SjStats`] under `sj.*` names. Charges no kernel entry; callers
+    /// wanting syscall semantics should pair it with
+    /// [`sjmp_os::Kernel::sys_stats`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = self.kernel.stats_snapshot().to_metrics();
+        m.set_counter("sj.switches", self.stats.switches);
+        m.set_counter("sj.attaches", self.stats.attaches);
+        m.set_counter("sj.lock_acquisitions", self.stats.lock_acquisitions);
+        m.set_counter("sj.lock_contentions", self.stats.lock_contentions);
+        m.set_counter("sj.retried_switches", self.stats.retried_switches);
+        m.set_counter("sj.deadlocks", self.stats.deadlocks);
+        m.set_counter("sj.reaps", self.stats.reaps);
+        m.set_counter("sj.oom_kills", self.stats.oom_kills);
+        m
+    }
+
     /// The VAS registry entry for `vid`.
     ///
     /// # Errors
@@ -290,6 +337,14 @@ impl SpaceJmp {
     /// [`OsError::NoSuchProcess`] if `pid` is unknown (e.g. reaped
     /// twice).
     pub fn reap_process(&mut self, pid: Pid) -> SjResult<()> {
+        let tracer = self.kernel.tracer().clone();
+        tracer.begin(self.kernel.clock().now(), 0, EventKind::Reap, pid.0);
+        let r = self.reap_process_inner(pid);
+        tracer.end(self.kernel.clock().now(), 0, EventKind::Reap, pid.0);
+        r
+    }
+
+    fn reap_process_inner(&mut self, pid: Pid) -> SjResult<()> {
         self.kernel.process(pid)?;
         // 1. Revoke the corpse's segment locks so blocked switchers can
         //    make progress.
@@ -339,8 +394,32 @@ impl SpaceJmp {
         let Some(victim) = self.kernel.select_oom_victim(protect) else {
             return Ok(None);
         };
+        let tracer = self.kernel.tracer().clone();
+        // Badness is the selection criterion itself: the victim's resident
+        // set. Captured before the reap so the decision is auditable.
+        let (badness, free_before) = if tracer.enabled() {
+            (
+                self.kernel.resident_frames_of(victim),
+                self.kernel.stats_snapshot().phys.free_frames,
+            )
+        } else {
+            (0, 0)
+        };
         self.reap_process(victim)?;
         self.stats.oom_kills += 1;
+        if tracer.enabled() {
+            let freed = self
+                .kernel
+                .stats_snapshot()
+                .phys
+                .free_frames
+                .saturating_sub(free_before);
+            let now = self.kernel.clock().now();
+            tracer.instant(now, 0, EventKind::OomKill, victim.0, badness);
+            tracer.add("oom.kills", 1);
+            tracer.add(&format!("oom.pages_freed.pid{}", victim.0), freed);
+            tracer.add(&format!("oom.badness.pid{}", victim.0), badness);
+        }
         Ok(Some(victim))
     }
 
@@ -519,6 +598,14 @@ impl SpaceJmp {
     ///
     /// Permission failures; resource exhaustion.
     pub fn vas_attach(&mut self, pid: Pid, vid: VasId) -> SjResult<VasHandle> {
+        let tracer = self.kernel.tracer().clone();
+        tracer.begin(self.kernel.clock().now(), 0, EventKind::VasAttach, vid.0);
+        let r = self.vas_attach_inner(pid, vid);
+        tracer.end(self.kernel.clock().now(), 0, EventKind::VasAttach, vid.0);
+        r
+    }
+
+    fn vas_attach_inner(&mut self, pid: Pid, vid: VasId) -> SjResult<VasHandle> {
         self.kernel.charge_entry();
         let creds = self.kernel.process(pid)?.creds();
         {
@@ -623,6 +710,14 @@ impl SpaceJmp {
     /// [`SjError::Busy`] if currently switched in; [`SjError::BadHandle`]
     /// if `vh` is not `pid`'s.
     pub fn vas_detach(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let tracer = self.kernel.tracer().clone();
+        tracer.begin(self.kernel.clock().now(), 0, EventKind::VasDetach, vh.0);
+        let r = self.vas_detach_inner(pid, vh);
+        tracer.end(self.kernel.clock().now(), 0, EventKind::VasDetach, vh.0);
+        r
+    }
+
+    fn vas_detach_inner(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
         self.kernel.charge_entry();
         let att = self.attachment(vh)?.clone();
         if att.pid != pid {
@@ -655,6 +750,15 @@ impl SpaceJmp {
     /// [`SjError::WouldBlock`] if any segment lock is contended; no locks
     /// are held on return in that case.
     pub fn vas_switch(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let tracer = self.kernel.tracer().clone();
+        tracer.begin(self.kernel.clock().now(), 0, EventKind::VasSwitch, pid.0);
+        let r = self.vas_switch_inner(pid, vh);
+        tracer.end(self.kernel.clock().now(), 0, EventKind::VasSwitch, pid.0);
+        r
+    }
+
+    fn vas_switch_inner(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let tracer = self.kernel.tracer().clone();
         let att = self.attachments.get(&vh).ok_or(SjError::NotFound)?.clone();
         if att.pid != pid {
             return Err(SjError::BadHandle);
@@ -699,7 +803,21 @@ impl SpaceJmp {
             if seg.lock_mut().try_acquire(pid, *mode) {
                 acquired.push(*sid);
                 self.kernel.clock().advance(lock_cost);
+                tracer.instant(
+                    self.kernel.clock().now(),
+                    0,
+                    EventKind::LockAcquire,
+                    sid.0,
+                    pid.0,
+                );
             } else {
+                tracer.instant(
+                    self.kernel.clock().now(),
+                    0,
+                    EventKind::LockContention,
+                    sid.0,
+                    pid.0,
+                );
                 for a in acquired {
                     // Roll back: restore the hold the previous VAS needs,
                     // or release entirely.
@@ -787,6 +905,13 @@ impl SpaceJmp {
                         .clock()
                         .advance(policy.base_backoff_cycles << shift);
                     attempt += 1;
+                    self.kernel.tracer().instant(
+                        self.kernel.clock().now(),
+                        0,
+                        EventKind::SwitchRetry,
+                        pid.0,
+                        u64::from(attempt),
+                    );
                 }
                 other => {
                     if other.is_ok() && attempt > 0 {
@@ -1636,6 +1761,7 @@ impl SpaceJmp {
         let Some(att) = self.attachments.get(&vh).cloned() else {
             return Ok(());
         };
+        let tracer = self.kernel.tracer().clone();
         let mut held: Vec<SegId> = Vec::new();
         if let Some(v) = self.vases.get(&att.vid) {
             held.extend(v.segments().iter().map(|(s, _)| *s));
@@ -1646,7 +1772,18 @@ impl SpaceJmp {
                 continue;
             }
             if let Some(seg) = self.segments.get_mut(&sid) {
-                seg.lock_mut().release(pid);
+                let lock = seg.lock_mut();
+                let held = lock.writer() == Some(pid) || lock.readers().contains(&pid);
+                lock.release(pid);
+                if held {
+                    tracer.instant(
+                        self.kernel.clock().now(),
+                        0,
+                        EventKind::LockRelease,
+                        sid.0,
+                        pid.0,
+                    );
+                }
             }
         }
         Ok(())

@@ -19,6 +19,7 @@ use sjmp_mem::cost::{CostModel, Machine, MachineProfile};
 use sjmp_mem::{KernelFlavor, SimRng};
 use sjmp_os::sim::{Cores, EventQueue, LockMode, SimRwLock};
 use sjmp_os::{Creds, Kernel};
+use sjmp_trace::Tracer;
 use spacejmp_core::{SjResult, SpaceJmp};
 
 use crate::jmp::JmpClient;
@@ -59,6 +60,9 @@ pub struct KvBenchConfig {
     pub waiter_bounce: u64,
     /// Extra cycles per concurrent reader on shared acquisition.
     pub reader_bounce: u64,
+    /// Event tracer installed on the cost-measurement kernels (the DES
+    /// replay itself never touches a kernel). Disabled by default.
+    pub tracer: Tracer,
 }
 
 impl Default for KvBenchConfig {
@@ -71,6 +75,7 @@ impl Default for KvBenchConfig {
             seed: 7,
             waiter_bounce: WAITER_BOUNCE,
             reader_bounce: READER_BOUNCE,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -111,8 +116,20 @@ fn preload_key(i: usize) -> Vec<u8> {
 ///
 /// Propagates setup failures.
 pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
+    measure_costs_traced(tagging, Tracer::disabled())
+}
+
+/// [`measure_costs`] with a tracer installed on both measurement kernels,
+/// so the RedisJMP visit (switches, locks, dictionary walks) shows up in
+/// the event stream.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn measure_costs_traced(tagging: bool, tracer: Tracer) -> SjResult<OpCosts> {
     // RedisJMP path.
     let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    sj.set_tracer(tracer.clone());
     if tagging {
         sj.kernel_mut().set_tagging(true);
     }
@@ -140,6 +157,7 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
 
     // Classic server path (no sockets; those are added analytically).
     let mut sj2 = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    sj2.set_tracer(tracer);
     let mut server = RedisServer::launch(&mut sj2, 0)?;
     for i in 0..PRELOAD_KEYS {
         let cmd = Command::Set(preload_key(i), payload.clone()).encode();
@@ -178,7 +196,7 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
 ///
 /// Propagates measurement failures.
 pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput> {
-    let costs = measure_costs(false)?;
+    let costs = measure_costs_traced(false, cfg.tracer.clone())?;
     let profile = MachineProfile::of(Machine::M1);
     let cost = CostModel::default();
     let cores = profile.total_cores() as usize;
@@ -265,7 +283,7 @@ const WAITER_BOUNCE: u64 = 150;
 ///
 /// Propagates measurement failures.
 pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
-    let costs = measure_costs(cfg.tagging)?;
+    let costs = measure_costs_traced(cfg.tagging, cfg.tracer.clone())?;
     let profile = MachineProfile::of(Machine::M1);
     let cost = CostModel::default();
     let cores = profile.total_cores() as usize;

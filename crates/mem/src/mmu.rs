@@ -11,6 +11,7 @@ use crate::error::{Access, MemError};
 use crate::paging::{self, PteFlags};
 use crate::phys::PhysMem;
 use crate::tlb::{Asid, Tlb, TlbStats};
+use sjmp_trace::{EventKind, Tracer};
 
 /// MMU event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,6 +24,19 @@ pub struct MmuStats {
     pub walks: u64,
     /// Faults raised (page + protection).
     pub faults: u64,
+}
+
+impl MmuStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the
+    /// same MMU), for phase measurements without resetting.
+    pub fn delta_since(&self, earlier: &MmuStats) -> MmuStats {
+        MmuStats {
+            cr3_loads: self.cr3_loads - earlier.cr3_loads,
+            translations: self.translations - earlier.translations,
+            walks: self.walks - earlier.walks,
+            faults: self.faults - earlier.faults,
+        }
+    }
 }
 
 /// A simulated per-core MMU.
@@ -58,6 +72,8 @@ pub struct Mmu {
     cost: CostModel,
     clock: CycleClock,
     stats: MmuStats,
+    tracer: Tracer,
+    core_id: u32,
 }
 
 impl Mmu {
@@ -71,7 +87,16 @@ impl Mmu {
             cost,
             clock,
             stats: MmuStats::default(),
+            tracer: Tracer::disabled(),
+            core_id: 0,
         }
+    }
+
+    /// Attaches a tracer; `core_id` stamps this MMU's events with the
+    /// hardware thread it models. Tracing never advances the clock.
+    pub fn set_tracer(&mut self, tracer: Tracer, core_id: u32) {
+        self.tracer = tracer;
+        self.core_id = core_id;
     }
 
     /// Enables or disables TLB tagging (PCID). With tagging off, or with
@@ -137,6 +162,12 @@ impl Mmu {
     /// entries belonging to other tags survive.
     pub fn load_cr3(&mut self, root: Pfn, asid: Asid) {
         let tagged = self.tagging && asid.is_tagged();
+        self.tracer.begin(
+            self.clock.now(),
+            self.core_id,
+            EventKind::Cr3Load,
+            u64::from(asid.0),
+        );
         self.clock.advance(self.cost.cr3_load(tagged));
         self.stats.cr3_loads += 1;
         if !tagged {
@@ -145,9 +176,22 @@ impl Mmu {
             } else {
                 self.tlb.flush_nonglobal();
             }
+            self.tracer.instant(
+                self.clock.now(),
+                self.core_id,
+                EventKind::TlbFlush,
+                u64::from(asid.0),
+                0,
+            );
         }
         self.cr3 = Some(root);
         self.asid = asid;
+        self.tracer.end(
+            self.clock.now(),
+            self.core_id,
+            EventKind::Cr3Load,
+            u64::from(asid.0),
+        );
     }
 
     /// Unloads CR3 and flushes the TLB: the address space this core was
@@ -158,6 +202,8 @@ impl Mmu {
         self.cr3 = None;
         self.asid = Asid::UNTAGGED;
         self.tlb.flush_nonglobal();
+        self.tracer
+            .instant(self.clock.now(), self.core_id, EventKind::TlbFlush, 0, 0);
     }
 
     /// Invalidates one page's translation (mapping changed under us).
@@ -168,6 +214,8 @@ impl Mmu {
     /// Flushes all non-global TLB entries (explicit shootdown).
     pub fn flush_tlb(&mut self) {
         self.tlb.flush_nonglobal();
+        self.tracer
+            .instant(self.clock.now(), self.core_id, EventKind::TlbFlush, 0, 0);
     }
 
     /// Translates `va` for `access`, charging TLB and walk costs.
@@ -191,18 +239,33 @@ impl Mmu {
                 self.stats.faults += 1;
                 return Err(MemError::ProtectionFault { va, access });
             }
+            self.tracer.instant(
+                self.clock.now(),
+                self.core_id,
+                EventKind::TlbHit,
+                u64::from(self.asid.0),
+                0,
+            );
             return Ok(frame_base.add(va.page_offset()));
         }
         // TLB miss: walk the tables.
         self.stats.walks += 1;
+        let asid = u64::from(self.asid.0);
+        self.tracer
+            .instant(self.clock.now(), self.core_id, EventKind::TlbMiss, asid, 0);
+        self.tracer
+            .begin(self.clock.now(), self.core_id, EventKind::PageWalk, asid);
         self.clock.advance(self.cost.tlb_walk);
-        let (tr, _levels) = paging::walk(phys, root, va).map_err(|e| {
+        let walked = paging::walk(phys, root, va).map_err(|e| {
             self.stats.faults += 1;
             match e {
                 MemError::PageFault { va, .. } => MemError::PageFault { va, access },
                 other => other,
             }
-        })?;
+        });
+        self.tracer
+            .end(self.clock.now(), self.core_id, EventKind::PageWalk, asid);
+        let (tr, _levels) = walked?;
         if !tr.flags.permits(access) {
             self.stats.faults += 1;
             return Err(MemError::ProtectionFault { va, access });

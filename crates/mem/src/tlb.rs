@@ -77,6 +77,20 @@ impl TlbStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Counters accumulated since `earlier` (an older snapshot of the
+    /// same TLB). Lets benchmarks measure a phase without resetting
+    /// the live counters out from under other observers.
+    pub fn delta_since(&self, earlier: &TlbStats) -> TlbStats {
+        TlbStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            flushes: self.flushes - earlier.flushes,
+            asid_flushes: self.asid_flushes - earlier.asid_flushes,
+            evictions: self.evictions - earlier.evictions,
+            insertions: self.insertions - earlier.insertions,
+        }
+    }
 }
 
 /// The TLB proper.

@@ -113,6 +113,15 @@ impl FaultStats {
     pub fn total(&self) -> u64 {
         self.failures + self.crashes
     }
+
+    /// Faults injected since `earlier` (an older snapshot of the same
+    /// plan), for phase measurements.
+    pub fn delta_since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            failures: self.failures - earlier.failures,
+            crashes: self.crashes - earlier.crashes,
+        }
+    }
 }
 
 /// A seeded, deterministic schedule of injected faults.

@@ -20,8 +20,11 @@
 use std::collections::HashMap;
 
 use sjmp_mem::cost::{CostModel, CycleClock, KernelFlavor, Machine, MachineProfile};
+use sjmp_mem::mmu::MmuStats;
 use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::tlb::TlbStats;
 use sjmp_mem::{Access, Asid, MemError, Mmu, Pfn, PhysMem, VirtAddr, PAGE_SIZE};
+use sjmp_trace::{EventKind, MetricsSnapshot, Tracer};
 
 use crate::acl::Creds;
 use crate::error::OsError;
@@ -83,6 +86,25 @@ pub struct KernelStats {
     pub quota_denials: u64,
 }
 
+impl KernelStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the
+    /// same kernel), so benchmarks can measure a phase instead of
+    /// cumulative-since-boot totals.
+    pub fn delta_since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            kernel_entries: self.kernel_entries - earlier.kernel_entries,
+            space_switches: self.space_switches - earlier.space_switches,
+            faults_handled: self.faults_handled - earlier.faults_handled,
+            mmaps: self.mmaps - earlier.mmaps,
+            munmaps: self.munmaps - earlier.munmaps,
+            evictions: self.evictions - earlier.evictions,
+            major_faults: self.major_faults - earlier.major_faults,
+            reclaim_passes: self.reclaim_passes - earlier.reclaim_passes,
+            quota_denials: self.quota_denials - earlier.quota_denials,
+        }
+    }
+}
+
 /// Snapshot of physical-memory and pressure state, returned by
 /// [`Kernel::sys_phys_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,6 +127,91 @@ pub struct PhysStats {
     pub reclaim_passes: u64,
     /// Quota denials since boot.
     pub quota_denials: u64,
+}
+
+/// One consolidated kernel-state snapshot, returned by
+/// [`Kernel::sys_stats`]: every scattered counter family — kernel,
+/// physical memory, per-core MMU/TLB (summed), injected faults — plus
+/// the clock, in one syscall. Supports [`KernelSnapshot::delta_since`]
+/// for phase measurement and flattens to a uniform
+/// [`MetricsSnapshot`] for machine-readable export.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelSnapshot {
+    /// Simulated cycles elapsed since boot (or the last clock reset).
+    pub cycles: u64,
+    /// Kernel event counters.
+    pub kernel: KernelStats,
+    /// Physical-memory and pressure counters.
+    pub phys: PhysStats,
+    /// MMU counters summed over all cores.
+    pub mmu: MmuStats,
+    /// TLB counters summed over all cores.
+    pub tlb: TlbStats,
+    /// Injected-fault counters (zero when no plan is installed).
+    pub faults: crate::fault::FaultStats,
+}
+
+impl KernelSnapshot {
+    /// Counters accumulated since `earlier` (an older snapshot of the
+    /// same kernel). Gauge-like fields (`phys` occupancy, `cycles`…)
+    /// keep `self`'s current values; monotonic counters subtract.
+    pub fn delta_since(&self, earlier: &KernelSnapshot) -> KernelSnapshot {
+        KernelSnapshot {
+            cycles: self.cycles - earlier.cycles,
+            kernel: self.kernel.delta_since(&earlier.kernel),
+            phys: PhysStats {
+                // Occupancy figures are gauges: report the current
+                // values, not a meaningless difference.
+                total_frames: self.phys.total_frames,
+                allocated_frames: self.phys.allocated_frames,
+                free_frames: self.phys.free_frames,
+                nvm_frames: self.phys.nvm_frames,
+                swap_slots_used: self.phys.swap_slots_used,
+                evictions: self.phys.evictions - earlier.phys.evictions,
+                major_faults: self.phys.major_faults - earlier.phys.major_faults,
+                reclaim_passes: self.phys.reclaim_passes - earlier.phys.reclaim_passes,
+                quota_denials: self.phys.quota_denials - earlier.phys.quota_denials,
+            },
+            mmu: self.mmu.delta_since(&earlier.mmu),
+            tlb: self.tlb.delta_since(&earlier.tlb),
+            faults: self.faults.delta_since(&earlier.faults),
+        }
+    }
+
+    /// Flattens every counter into a uniform [`MetricsSnapshot`]
+    /// (names like `kernel.space_switches`, `tlb.misses`), the form
+    /// the exporters serialize.
+    pub fn to_metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::default();
+        m.set_counter("clock.cycles", self.cycles);
+        m.set_counter("kernel.entries", self.kernel.kernel_entries);
+        m.set_counter("kernel.space_switches", self.kernel.space_switches);
+        m.set_counter("kernel.faults_handled", self.kernel.faults_handled);
+        m.set_counter("kernel.mmaps", self.kernel.mmaps);
+        m.set_counter("kernel.munmaps", self.kernel.munmaps);
+        m.set_counter("kernel.evictions", self.kernel.evictions);
+        m.set_counter("kernel.major_faults", self.kernel.major_faults);
+        m.set_counter("kernel.reclaim_passes", self.kernel.reclaim_passes);
+        m.set_counter("kernel.quota_denials", self.kernel.quota_denials);
+        m.set_counter("phys.total_frames", self.phys.total_frames);
+        m.set_counter("phys.allocated_frames", self.phys.allocated_frames);
+        m.set_counter("phys.free_frames", self.phys.free_frames);
+        m.set_counter("phys.nvm_frames", self.phys.nvm_frames);
+        m.set_counter("phys.swap_slots_used", self.phys.swap_slots_used);
+        m.set_counter("mmu.cr3_loads", self.mmu.cr3_loads);
+        m.set_counter("mmu.translations", self.mmu.translations);
+        m.set_counter("mmu.walks", self.mmu.walks);
+        m.set_counter("mmu.faults", self.mmu.faults);
+        m.set_counter("tlb.hits", self.tlb.hits);
+        m.set_counter("tlb.misses", self.tlb.misses);
+        m.set_counter("tlb.flushes", self.tlb.flushes);
+        m.set_counter("tlb.asid_flushes", self.tlb.asid_flushes);
+        m.set_counter("tlb.evictions", self.tlb.evictions);
+        m.set_counter("tlb.insertions", self.tlb.insertions);
+        m.set_counter("fault_plan.failures", self.faults.failures);
+        m.set_counter("fault_plan.crashes", self.faults.crashes);
+        m
+    }
 }
 
 /// The simulated kernel and machine.
@@ -138,6 +245,9 @@ pub struct Kernel {
     /// leaf PTEs there too; clearing the template leaf once covers every
     /// vmspace that links the shared subtree.
     external_maps: HashMap<VmObjectId, Vec<(Pfn, VirtAddr)>>,
+    /// Structured event tracer (disabled by default; never advances
+    /// the clock, so tracing cannot perturb modeled costs).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -194,7 +304,25 @@ impl Kernel {
             low_watermark: None,
             reclaim_cursor: (0, 0),
             external_maps: HashMap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer to the kernel and every core's MMU. Pass
+    /// [`Tracer::disabled`] to stop tracing. Recording events never
+    /// advances the cycle clock, so modeled costs are bit-identical
+    /// with tracing on or off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (core, mmu) in self.mmus.iter_mut().enumerate() {
+            mmu.set_tracer(tracer.clone(), core as u32);
+        }
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled unless [`Self::set_tracer`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     // ---- accessors -----------------------------------------------------
@@ -343,7 +471,11 @@ impl Kernel {
     /// Charges one kernel entry (syscall or capability invocation).
     pub fn charge_entry(&mut self) {
         self.stats.kernel_entries += 1;
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::KernelEntry, 0);
         self.clock.advance(self.cost.kernel_entry(self.flavor));
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::KernelEntry, 0);
     }
 
     /// Installs (or clears) the crash-fault plan consulted at every
@@ -894,6 +1026,20 @@ impl Kernel {
         flags: PteFlags,
         cached: bool,
     ) -> OsResult<VirtAddr> {
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::Mmap, pid.0);
+        let result = self.sys_mmap_inner(pid, len, flags, cached);
+        self.tracer.end(self.clock.now(), 0, EventKind::Mmap, pid.0);
+        result
+    }
+
+    fn sys_mmap_inner(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+    ) -> OsResult<VirtAddr> {
         self.charge_entry();
         self.stats.mmaps += 1;
         self.fault_gate(FaultSite::Mmap)?;
@@ -1047,6 +1193,15 @@ impl Kernel {
     ///
     /// [`OsError::InvalidArgument`] if `va` does not start a mapping.
     pub fn sys_munmap(&mut self, pid: Pid, va: VirtAddr, cached: bool) -> OsResult<()> {
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::Munmap, pid.0);
+        let result = self.sys_munmap_inner(pid, va, cached);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::Munmap, pid.0);
+        result
+    }
+
+    fn sys_munmap_inner(&mut self, pid: Pid, va: VirtAddr, cached: bool) -> OsResult<()> {
         self.charge_entry();
         self.stats.munmaps += 1;
         self.fault_gate(FaultSite::Munmap)?;
@@ -1083,6 +1238,15 @@ impl Kernel {
     ///   the object's owner past its quota.
     /// * [`OsError::OutOfMemory`] if reclaim cannot produce a frame.
     pub fn handle_fault(&mut self, pid: Pid, va: VirtAddr, access: Access) -> OsResult<()> {
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::PageFault, pid.0);
+        let result = self.handle_fault_inner(pid, va, access);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::PageFault, pid.0);
+        result
+    }
+
+    fn handle_fault_inner(&mut self, pid: Pid, va: VirtAddr, access: Access) -> OsResult<()> {
         self.charge_entry();
         self.stats.faults_handled += 1;
         let space = self.process(pid)?.current_space();
@@ -1119,7 +1283,18 @@ impl Kernel {
             let (pfn, source) = self.fault_in_with_reclaim(pid, space, obj_id, page_index)?;
             if source == PageSource::SwappedIn {
                 self.stats.major_faults += 1;
+                self.tracer.instant(
+                    self.clock.now(),
+                    0,
+                    EventKind::MajorFault,
+                    pid.0,
+                    page_index,
+                );
+                self.tracer
+                    .begin(self.clock.now(), 0, EventKind::SwapIn, obj_id.0);
                 self.clock.advance(self.cost.swap_in_page);
+                self.tracer
+                    .end(self.clock.now(), 0, EventKind::SwapIn, obj_id.0);
             }
             pfn.base()
         };
@@ -1260,6 +1435,15 @@ impl Kernel {
     /// * [`OsError::PermissionDenied`] if the process does not hold the
     ///   space.
     pub fn switch_vmspace(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::SwitchVmspace, pid.0);
+        let result = self.switch_vmspace_inner(pid, space);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::SwitchVmspace, pid.0);
+        result
+    }
+
+    fn switch_vmspace_inner(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
         self.charge_entry();
         self.stats.space_switches += 1;
         self.fault_gate(FaultSite::Switch)?;
@@ -1275,8 +1459,12 @@ impl Kernel {
             (vs.root(), vs.asid())
         };
         let tagged = self.tagging && asid.is_tagged();
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::SwitchBook, pid.0);
         self.clock
             .advance(self.cost.switch_bookkeeping(self.flavor, tagged));
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::SwitchBook, pid.0);
         self.mmus[core].load_cr3(root, asid); // charges the CR3 cost
         self.process_mut(pid)?.set_current_space(space);
         Ok(())
@@ -1413,6 +1601,15 @@ impl Kernel {
     /// path); unreferenced pages are evicted to swap. Scans at most two
     /// full revolutions and returns the number of frames freed.
     pub fn reclaim(&mut self, target_frames: u64) -> u64 {
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::ReclaimPass, target_frames);
+        let freed = self.reclaim_inner(target_frames);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::ReclaimPass, freed);
+        freed
+    }
+
+    fn reclaim_inner(&mut self, target_frames: u64) -> u64 {
         self.stats.reclaim_passes += 1;
         let mut candidates: Vec<(VmObjectId, u64)> = self
             .vmobjects
@@ -1465,9 +1662,12 @@ impl Kernel {
                 cleared = true;
             } else if obj.frame_of_page(page).is_some() {
                 self.clear_page_mappings(id, page);
+                self.record_eviction(obj.owner(), id);
                 obj.evict_page(page, &mut self.phys);
                 self.stats.evictions += 1;
                 self.clock.advance(self.cost.swap_out_page);
+                self.tracer
+                    .end(self.clock.now(), 0, EventKind::SwapOut, id.0);
                 freed += 1;
                 cleared = true;
             }
@@ -1515,9 +1715,12 @@ impl Kernel {
                 obj.make_paged();
                 if obj.frame_of_page(page).is_some() {
                     self.clear_page_mappings(id, page);
+                    self.record_eviction(obj.owner(), id);
                     obj.evict_page(page, &mut self.phys);
                     self.stats.evictions += 1;
                     self.clock.advance(self.cost.swap_out_page);
+                    self.tracer
+                        .end(self.clock.now(), 0, EventKind::SwapOut, id.0);
                     freed += 1;
                     cleared = true;
                 }
@@ -1528,6 +1731,24 @@ impl Kernel {
             self.flush_all_tlbs();
         }
         freed
+    }
+
+    /// Per-victim eviction telemetry: an [`EventKind::Evict`] instant
+    /// naming the owning process and object, a per-victim page
+    /// counter, and the opening of the [`EventKind::SwapOut`] span the
+    /// caller closes after charging the swap-write cost. Eviction and
+    /// OOM decisions were previously invisible per victim; this is
+    /// what makes them auditable from the trace.
+    fn record_eviction(&mut self, owner: Option<Pid>, obj: VmObjectId) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let now = self.clock.now();
+        let owner_pid = owner.map_or(0, |p| p.0);
+        self.tracer
+            .instant(now, 0, EventKind::Evict, owner_pid, obj.0);
+        self.tracer.add(&format!("evict.pages.pid{owner_pid}"), 1);
+        self.tracer.begin(now, 0, EventKind::SwapOut, obj.0);
     }
 
     /// Runs reclaim if free frames would dip below the low watermark
@@ -1563,6 +1784,8 @@ impl Kernel {
             return Ok(());
         }
         self.stats.quota_denials += 1;
+        self.tracer
+            .instant(self.clock.now(), 0, EventKind::QuotaDenial, pid.0, used);
         Err(OsError::QuotaExceeded {
             pid,
             limit_frames: limit,
@@ -1643,6 +1866,55 @@ impl Kernel {
     pub fn sys_reclaim(&mut self, frames: u64) -> u64 {
         self.charge_entry();
         self.reclaim(frames)
+    }
+
+    /// Reports one consolidated snapshot of every kernel counter
+    /// family — the `sys_stats` syscall. Pairs of snapshots subtract
+    /// with [`KernelSnapshot::delta_since`] to measure a phase;
+    /// [`KernelSnapshot::to_metrics`] flattens one for export.
+    pub fn sys_stats(&mut self) -> KernelSnapshot {
+        self.charge_entry();
+        self.stats_snapshot()
+    }
+
+    /// The same consolidated snapshot as [`Self::sys_stats`] without
+    /// the kernel-entry charge, for observers that must not perturb
+    /// the clock (exporters, invariant checks, tests).
+    pub fn stats_snapshot(&self) -> KernelSnapshot {
+        let mut mmu = MmuStats::default();
+        let mut tlb = TlbStats::default();
+        for m in &self.mmus {
+            let ms = m.stats();
+            mmu.cr3_loads += ms.cr3_loads;
+            mmu.translations += ms.translations;
+            mmu.walks += ms.walks;
+            mmu.faults += ms.faults;
+            let ts = m.tlb_stats();
+            tlb.hits += ts.hits;
+            tlb.misses += ts.misses;
+            tlb.flushes += ts.flushes;
+            tlb.asid_flushes += ts.asid_flushes;
+            tlb.evictions += ts.evictions;
+            tlb.insertions += ts.insertions;
+        }
+        KernelSnapshot {
+            cycles: self.clock.now(),
+            kernel: self.stats,
+            phys: PhysStats {
+                total_frames: self.phys.capacity_frames(),
+                allocated_frames: self.phys.allocated_frames(),
+                free_frames: self.phys.free_frames(),
+                nvm_frames: self.phys.nvm_frames(),
+                swap_slots_used: self.phys.swap_slots_used(),
+                evictions: self.stats.evictions,
+                major_faults: self.stats.major_faults,
+                reclaim_passes: self.stats.reclaim_passes,
+                quota_denials: self.stats.quota_denials,
+            },
+            mmu,
+            tlb,
+            faults: self.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
+        }
     }
 
     // ---- invariant audit -------------------------------------------------

@@ -45,7 +45,8 @@ pub use caps::{CSpace, CapKind, CapRights, CapSlot, Capability, ObjClass};
 pub use error::{CapError, OsError};
 pub use fault::{FaultOutcome, FaultPlan, FaultSite, FaultStats};
 pub use kernel::{
-    Kernel, KernelStats, OsResult, PhysStats, GLOBAL_HI, GLOBAL_LO, PRIVATE_HI, PRIVATE_LO,
+    Kernel, KernelSnapshot, KernelStats, OsResult, PhysStats, GLOBAL_HI, GLOBAL_LO, PRIVATE_HI,
+    PRIVATE_LO,
 };
 pub use process::{Pid, Process};
 pub use vmobject::{PageSource, PageState, VmObject, VmObjectId};

@@ -13,6 +13,7 @@
 //! an oversubscription penalty once there are more processes than cores.
 
 use sjmp_mem::cost::{CostModel, CycleClock, MachineProfile};
+use sjmp_trace::{EventKind, Tracer};
 
 /// Per-exchange statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +45,7 @@ pub struct MpCluster {
     cost: CostModel,
     clock: CycleClock,
     stats: MpStats,
+    tracer: Tracer,
     /// Marshalling cost per message (serializing the update batch).
     pub marshal_per_msg: u64,
     /// Extra cost factor once processes exceed cores (busy-wait churn).
@@ -59,9 +61,15 @@ impl MpCluster {
             cost,
             clock,
             stats: MpStats::default(),
+            tracer: Tracer::disabled(),
             marshal_per_msg: 600,
             oversub_penalty: 4000,
         }
+    }
+
+    /// Installs a tracer; each exchange becomes an `RpcSend` span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of slave processes.
@@ -98,7 +106,11 @@ impl MpCluster {
             let over = (total_procs - cores) as u64;
             cycles += self.oversub_penalty * over.min(64);
         }
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::RpcSend, slave as u64);
         self.clock.advance(cycles);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::RpcSend, slave as u64);
         self.stats.exchanges += 1;
         self.stats.bytes += req_bytes as u64;
     }

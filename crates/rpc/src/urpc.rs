@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use sjmp_mem::cost::{CostModel, CycleClock};
+use sjmp_trace::{EventKind, Tracer};
 
 /// Cache line size of the simulated machines.
 pub const CACHE_LINE: usize = 64;
@@ -60,6 +61,19 @@ pub struct ChannelStats {
     pub stalls: u64,
 }
 
+impl ChannelStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the
+    /// same channel), for phase measurements.
+    pub fn delta_since(&self, earlier: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            sent: self.sent - earlier.sent,
+            received: self.received - earlier.received,
+            lines: self.lines - earlier.lines,
+            stalls: self.stalls - earlier.stalls,
+        }
+    }
+}
+
 /// One direction of a URPC channel.
 ///
 /// # Examples
@@ -84,6 +98,7 @@ pub struct UrpcChannel {
     cost: CostModel,
     clock: CycleClock,
     stats: ChannelStats,
+    tracer: Tracer,
 }
 
 impl UrpcChannel {
@@ -107,7 +122,13 @@ impl UrpcChannel {
             cost,
             clock,
             stats: ChannelStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer; `RpcSend`/`RpcRecv` spans cover each transfer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of cache lines a message of `len` bytes occupies.
@@ -136,8 +157,12 @@ impl UrpcChannel {
             self.stats.stalls += 1;
             return Err(RpcError::ChannelFull);
         }
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::RpcSend, lines as u64);
         self.clock
             .advance(self.cost.urpc_sw_overhead + lines as u64 * self.cost.cache_hit);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::RpcSend, lines as u64);
         self.used_lines += lines;
         self.ring.push_back(msg.to_vec());
         self.stats.sent += 1;
@@ -154,8 +179,12 @@ impl UrpcChannel {
         let per_line = self
             .cost
             .cacheline_transfer(self.placement == Placement::CrossSocket);
+        self.tracer
+            .begin(self.clock.now(), 0, EventKind::RpcRecv, lines as u64);
         self.clock
             .advance(self.cost.urpc_sw_overhead + lines as u64 * per_line);
+        self.tracer
+            .end(self.clock.now(), 0, EventKind::RpcRecv, lines as u64);
         self.stats.received += 1;
         Some(msg)
     }
@@ -189,6 +218,12 @@ impl UrpcPair {
             to_server: UrpcChannel::new(capacity_lines, placement, cost.clone(), clock.clone()),
             to_client: UrpcChannel::new(capacity_lines, placement, cost, clock),
         }
+    }
+
+    /// Installs a tracer on both rings.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.to_server.set_tracer(tracer.clone());
+        self.to_client.set_tracer(tracer);
     }
 
     /// Performs one RPC exchange: request out, response back. The server

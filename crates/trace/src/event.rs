@@ -1,0 +1,213 @@
+//! Fixed-size structured trace events.
+//!
+//! An [`Event`] is 32 bytes of `Copy` data: a cycle timestamp, the
+//! hardware thread (core) it happened on, an [`EventKind`], a
+//! [`Phase`], and two untyped argument words whose meaning is
+//! per-kind (documented on each variant). Keeping events fixed-size
+//! and allocation-free is what lets the ring buffer overwrite in place
+//! and the tracer stay off the modeled-cost path.
+
+/// Whether an event opens a span, closes one, or stands alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Opens a span; must be closed by an [`Phase::End`] of the same
+    /// kind on the same core.
+    Begin,
+    /// Closes the most recent open span of the same kind on the same
+    /// core.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+impl Phase {
+    /// The Chrome `trace_event` phase letter.
+    pub fn chrome_ph(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// What happened. Variants are grouped by the crate that emits them.
+///
+/// The `arg0`/`arg1` conventions are: identifiers (pid, VAS id,
+/// segment id, ASID) in `arg0`, magnitudes (pages, bytes, badness) in
+/// `arg1`, zero when unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    // ---- sjmp-os::kernel ----
+    /// Syscall entry cost (`charge_entry`); span. `arg0` = pid.
+    KernelEntry,
+    /// `switch_vmspace` body; span. `arg0` = pid, `arg1` = vmspace id.
+    SwitchVmspace,
+    /// Switch bookkeeping portion of a switch; span. `arg0` = pid.
+    SwitchBook,
+    /// `sys_mmap`/`sys_mmap_sized`; span. `arg0` = pid, `arg1` = bytes.
+    Mmap,
+    /// `sys_munmap`; span. `arg0` = pid.
+    Munmap,
+    /// `handle_fault`; span. `arg0` = pid, `arg1` = faulting page index.
+    PageFault,
+    /// A fault that required swap-in; instant. `arg0` = pid.
+    MajorFault,
+    /// Swap device read on the fault path; span. `arg0` = object id.
+    SwapIn,
+    /// Swap device write during eviction; span. `arg0` = object id.
+    SwapOut,
+    /// One pass of the low-watermark reclaimer; span. `arg0` = target
+    /// frames, `arg1` = frames actually freed.
+    ReclaimPass,
+    /// One page evicted; instant. `arg0` = owning pid, `arg1` = object id.
+    Evict,
+    /// A resident-quota denial; instant. `arg0` = pid.
+    QuotaDenial,
+    /// OOM killer chose a victim; instant. `arg0` = victim pid,
+    /// `arg1` = badness (resident frames at selection).
+    OomKill,
+
+    // ---- sjmp-mem ----
+    /// TLB lookup hit; instant. `arg0` = ASID.
+    TlbHit,
+    /// TLB lookup miss; instant. `arg0` = ASID.
+    TlbMiss,
+    /// TLB flush; instant. `arg0` = ASID (0 = full non-global flush).
+    TlbFlush,
+    /// Page-table walk after a TLB miss; span. `arg0` = ASID.
+    PageWalk,
+    /// CR3 load; span. `arg0` = new ASID, `arg1` = 1 if tagged mode.
+    Cr3Load,
+
+    // ---- spacejmp-core ----
+    /// `vas_switch` end to end; span. `arg0` = pid, `arg1` = VAS id.
+    VasSwitch,
+    /// `vas_attach`; span. `arg0` = pid, `arg1` = VAS id.
+    VasAttach,
+    /// `vas_detach`; span. `arg0` = pid, `arg1` = VAS id.
+    VasDetach,
+    /// Segment lock acquired; instant. `arg0` = segment id, `arg1` = pid.
+    LockAcquire,
+    /// Segment lock released; instant. `arg0` = segment id, `arg1` = pid.
+    LockRelease,
+    /// Lock-set acquisition lost to contention; instant. `arg0` = pid.
+    LockContention,
+    /// A `vas_switch_retry` backoff turn; instant. `arg0` = pid,
+    /// `arg1` = attempt number.
+    SwitchRetry,
+    /// `reap_process` teardown of a dead process; span. `arg0` = pid.
+    Reap,
+
+    // ---- sjmp-rpc ----
+    /// URPC/message send; span. `arg0` = payload bytes.
+    RpcSend,
+    /// URPC/message receive; span. `arg0` = payload bytes.
+    RpcRecv,
+}
+
+impl EventKind {
+    /// Every kind, for iteration in exporters and reports.
+    pub const ALL: [EventKind; 28] = [
+        EventKind::KernelEntry,
+        EventKind::SwitchVmspace,
+        EventKind::SwitchBook,
+        EventKind::Mmap,
+        EventKind::Munmap,
+        EventKind::PageFault,
+        EventKind::MajorFault,
+        EventKind::SwapIn,
+        EventKind::SwapOut,
+        EventKind::ReclaimPass,
+        EventKind::Evict,
+        EventKind::QuotaDenial,
+        EventKind::OomKill,
+        EventKind::TlbHit,
+        EventKind::TlbMiss,
+        EventKind::TlbFlush,
+        EventKind::PageWalk,
+        EventKind::Cr3Load,
+        EventKind::VasSwitch,
+        EventKind::VasAttach,
+        EventKind::VasDetach,
+        EventKind::LockAcquire,
+        EventKind::LockRelease,
+        EventKind::LockContention,
+        EventKind::SwitchRetry,
+        EventKind::Reap,
+        EventKind::RpcSend,
+        EventKind::RpcRecv,
+    ];
+
+    /// Stable snake_case name used for metric keys and trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::KernelEntry => "kernel_entry",
+            EventKind::SwitchVmspace => "switch_vmspace",
+            EventKind::SwitchBook => "switch_book",
+            EventKind::Mmap => "mmap",
+            EventKind::Munmap => "munmap",
+            EventKind::PageFault => "page_fault",
+            EventKind::MajorFault => "major_fault",
+            EventKind::SwapIn => "swap_in",
+            EventKind::SwapOut => "swap_out",
+            EventKind::ReclaimPass => "reclaim_pass",
+            EventKind::Evict => "evict",
+            EventKind::QuotaDenial => "quota_denial",
+            EventKind::OomKill => "oom_kill",
+            EventKind::TlbHit => "tlb_hit",
+            EventKind::TlbMiss => "tlb_miss",
+            EventKind::TlbFlush => "tlb_flush",
+            EventKind::PageWalk => "page_walk",
+            EventKind::Cr3Load => "cr3_load",
+            EventKind::VasSwitch => "vas_switch",
+            EventKind::VasAttach => "vas_attach",
+            EventKind::VasDetach => "vas_detach",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::LockRelease => "lock_release",
+            EventKind::LockContention => "lock_contention",
+            EventKind::SwitchRetry => "switch_retry",
+            EventKind::Reap => "reap",
+            EventKind::RpcSend => "rpc_send",
+            EventKind::RpcRecv => "rpc_recv",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle timestamp (from the caller's `CycleClock`).
+    pub ts: u64,
+    /// Hardware thread the event happened on.
+    pub core: u32,
+    /// Span phase.
+    pub phase: Phase,
+    /// What happened.
+    pub kind: EventKind,
+    /// First argument word; meaning is per-kind.
+    pub arg0: u64,
+    /// Second argument word; meaning is per-kind.
+    pub arg1: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_cover_all() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in EventKind::ALL {
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+        }
+        assert_eq!(seen.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn chrome_phase_letters() {
+        assert_eq!(Phase::Begin.chrome_ph(), "B");
+        assert_eq!(Phase::End.chrome_ph(), "E");
+        assert_eq!(Phase::Instant.chrome_ph(), "i");
+    }
+}

@@ -1,0 +1,307 @@
+//! Unified metrics registry: monotonic counters and log₂ cycle
+//! histograms with snapshot/delta semantics.
+//!
+//! The scattered `*Stats` structs around the workspace are cumulative
+//! since boot, which makes phase measurements ("how many TLB misses in
+//! phase 2?") awkward: the caller has to subtract by hand, field by
+//! field. The registry replaces that with two uniform primitives —
+//! named `u64` counters and named [`Histogram`]s of cycle durations —
+//! and a [`MetricsSnapshot`] that supports `delta(&earlier)`, so a
+//! phase is measured by snapshotting before and after and subtracting
+//! once.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Number of histogram buckets: bucket `i` counts values whose bit
+/// length is `i` (value 0 lands in bucket 0, so `u64` needs 65).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of cycle durations.
+///
+/// Bucket `i` counts values `v` with `2^(i-1) <= v < 2^i` (bucket 0
+/// counts zeros), so the full `u64` range is covered in 65 buckets —
+/// coarse at the top, precise where syscall costs actually live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Log₂ buckets; see the type docs for the boundaries.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The counts recorded since `earlier` (which must be an older
+    /// snapshot of the same histogram). Min/max cannot be subtracted,
+    /// so the delta keeps `self`'s: they stay correct when all
+    /// recording happened after `earlier`, which is the snapshot/delta
+    /// contract.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: [0; HIST_BUCKETS],
+        };
+        for i in 0..HIST_BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        if out.count == 0 {
+            out.min = u64::MAX;
+            out.max = 0;
+        }
+        out
+    }
+
+    /// Flat JSON form (non-empty buckets only, keyed by upper bound).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("count".to_string(), Json::from_u64(self.count)),
+            ("sum".to_string(), Json::from_u64(self.sum)),
+            (
+                "min".to_string(),
+                Json::from_u64(if self.count == 0 { 0 } else { self.min }),
+            ),
+            ("max".to_string(), Json::from_u64(self.max)),
+            ("mean".to_string(), Json::Float(self.mean())),
+        ];
+        let mut buckets = Vec::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n != 0 {
+                // Upper bound of bucket i is 2^i - 1 (bucket 0 holds 0).
+                let le = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                buckets.push(Json::Obj(vec![
+                    ("le".to_string(), Json::Float(le as f64)),
+                    ("n".to_string(), Json::from_u64(n)),
+                ]));
+            }
+        }
+        obj.push(("buckets".to_string(), Json::Arr(buckets)));
+        Json::Obj(obj)
+    }
+}
+
+/// Mutable registry of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Records a cycle duration into the histogram `name`.
+    pub fn record(&mut self, name: &str, cycles: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(cycles);
+        } else {
+            let mut h = Histogram::default();
+            h.record(cycles);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Drops all counters and histograms.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Cycle histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Sets a counter directly (used when folding external `*Stats`
+    /// structs into one consolidated snapshot).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histogram counts subtract; names present only in `self` pass
+    /// through unchanged.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, &v) in &self.counters {
+            let base = earlier.counters.get(name).copied().unwrap_or(0);
+            out.counters.insert(name.clone(), v.saturating_sub(base));
+        }
+        for (name, h) in &self.histograms {
+            let d = match earlier.histograms.get(name) {
+                Some(e) => h.delta(e),
+                None => *h,
+            };
+            out.histograms.insert(name.clone(), d);
+        }
+        out
+    }
+
+    /// Flat JSON dump: `{"counters": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::from_u64(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".to_string(), counters),
+            ("histograms".to_string(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_and_deltas() {
+        let mut h = Histogram::default();
+        h.record(100);
+        h.record(700);
+        let early = h;
+        h.record(1127);
+        let d = h.delta(&early);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 1127);
+        assert_eq!(d.buckets[Histogram::bucket_index(1127)], 1);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 1127);
+    }
+
+    #[test]
+    fn registry_snapshot_delta() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("tlb.misses", 5);
+        reg.record("vas_switch", 1127);
+        let s1 = reg.snapshot();
+        reg.add("tlb.misses", 3);
+        reg.add("tlb.hits", 10);
+        reg.record("vas_switch", 807);
+        let s2 = reg.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.counter("tlb.misses"), 3);
+        assert_eq!(d.counter("tlb.hits"), 10);
+        let h = d.histogram("vas_switch").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 807);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("evictions", 2);
+        reg.record("swap_out", 60_000);
+        let j = reg.snapshot().to_json();
+        let text = j.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("counters").and_then(|c| c.get("evictions")),
+            Some(&Json::Int(2))
+        );
+        let hist = back.get("histograms").and_then(|h| h.get("swap_out"));
+        assert!(hist.is_some());
+        assert_eq!(hist.unwrap().get("count"), Some(&Json::Int(1)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixed-capacity overwrite-oldest event ring.
+//!
+//! The tracer must be safe to leave enabled across arbitrarily long
+//! runs, so the buffer never grows: once full, each push overwrites
+//! the oldest event and bumps a `dropped` counter so exporters can
+//! report truncation honestly instead of silently presenting a
+//! partial trace as complete.
+
+use crate::event::Event;
+
+/// A bounded ring of [`Event`]s that overwrites its oldest entry when
+/// full.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: Vec<Event>,
+    /// Index of the oldest live event (only meaningful once full).
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Live events in recording order (oldest first).
+    pub fn to_vec(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Discards all events and resets the dropped counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts,
+            core: 0,
+            phase: Phase::Instant,
+            kind: EventKind::TlbHit,
+            arg0: 0,
+            arg1: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_order_below_capacity() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = Ring::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Ring::new(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(9));
+        assert_eq!(r.to_vec()[0].ts, 9);
+    }
+}

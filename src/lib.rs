@@ -71,6 +71,7 @@ pub use sjmp_mem as mem;
 pub use sjmp_os as os;
 pub use sjmp_rpc as rpc;
 pub use sjmp_safety as safety;
+pub use sjmp_trace as trace;
 pub use spacejmp_core as core;
 
 /// The common imports for SpaceJMP programs.

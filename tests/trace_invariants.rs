@@ -1,0 +1,181 @@
+//! Invariants of the `sjmp-trace` event stream, checked against real
+//! workloads driven through the full simulated stack:
+//!
+//! * every `Begin` has a matching `End` (no unmatched ends, no spans
+//!   left open once the workload returns to steady state);
+//! * timestamps are monotonic per hardware thread;
+//! * the per-switch cycle breakdown reconstructed from the trace agrees
+//!   with the cost model's Table 2 decomposition within 1%;
+//! * installing a tracer changes **zero** modeled cycles — the clock
+//!   readings of a traced run are bit-identical to an untraced one.
+
+use spacejmp::gups::{run_jmp, GupsConfig};
+use spacejmp::prelude::*;
+use spacejmp::trace::{Phase, Tracer};
+
+/// A small multi-VAS workload touching the paths the tracer
+/// instruments: attach, switch, segment locks, faults, TLB traffic.
+/// Returns the final simulated cycle count.
+fn workload(tracer: Tracer) -> u64 {
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    sj.set_tracer(tracer);
+    let pid = sj
+        .kernel_mut()
+        .spawn("inv", Creds::new(100, 100))
+        .expect("spawn");
+    sj.kernel_mut().activate(pid).expect("activate");
+
+    let mut handles = Vec::new();
+    for w in 0..3u64 {
+        let va = VirtAddr::new(0x1000_0000_0000 + (w << 32));
+        let vid = sj
+            .vas_create(pid, &format!("v{w}"), Mode(0o660))
+            .expect("vas");
+        let sid = sj
+            .seg_alloc(pid, &format!("s{w}"), va, 1 << 20, Mode(0o660))
+            .expect("seg");
+        sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)
+            .expect("seg attach");
+        handles.push((sj.vas_attach(pid, vid).expect("vas attach"), va));
+    }
+    for round in 0..4u64 {
+        for &(vh, va) in &handles {
+            sj.vas_switch(pid, vh).expect("switch");
+            sj.kernel_mut()
+                .store_u64(pid, va.add(round * 4096), round)
+                .expect("store");
+        }
+    }
+    sj.vas_switch_home(pid).expect("home");
+    for &(vh, _) in &handles {
+        sj.vas_detach(pid, vh).expect("detach");
+    }
+    sj.kernel().clock().now()
+}
+
+#[test]
+fn every_begin_has_a_matching_end() {
+    let tracer = Tracer::new(1 << 16);
+    workload(tracer.clone());
+    assert!(!tracer.events().is_empty(), "workload produced no events");
+    assert_eq!(tracer.dropped(), 0, "ring too small for the workload");
+    assert_eq!(tracer.unmatched_ends(), 0, "End without a Begin");
+    assert!(
+        tracer.open_spans().is_empty(),
+        "spans left open: {:?}",
+        tracer.open_spans()
+    );
+    // Replay the stream with a per-(core, kind) depth counter: it must
+    // never go negative and must finish at zero everywhere.
+    let mut depth = std::collections::HashMap::new();
+    for ev in tracer.events() {
+        let d = depth.entry((ev.core, ev.kind)).or_insert(0i64);
+        match ev.phase {
+            Phase::Begin => *d += 1,
+            Phase::End => {
+                *d -= 1;
+                assert!(*d >= 0, "unbalanced {:?} on core {}", ev.kind, ev.core);
+            }
+            Phase::Instant => {}
+        }
+    }
+    for ((core, kind), d) in depth {
+        assert_eq!(d, 0, "{kind:?} on core {core} ended at depth {d}");
+    }
+}
+
+#[test]
+fn timestamps_are_monotonic_per_core() {
+    let tracer = Tracer::new(1 << 16);
+    workload(tracer.clone());
+    let mut last = std::collections::HashMap::new();
+    for ev in tracer.events() {
+        let prev = last.insert(ev.core, ev.ts);
+        if let Some(prev) = prev {
+            assert!(
+                ev.ts >= prev,
+                "time ran backwards on core {}: {} -> {}",
+                ev.core,
+                prev,
+                ev.ts
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_breakdown_matches_cost_model_within_one_percent() {
+    use spacejmp::mem::cost::CostModel;
+    use spacejmp::mem::KernelFlavor as Flavor;
+
+    let model = CostModel::default();
+    for (flavor, tagged) in [
+        (Flavor::DragonFly, false),
+        (Flavor::DragonFly, true),
+        (Flavor::Barrelfish, false),
+        (Flavor::Barrelfish, true),
+    ] {
+        let tracer = Tracer::new(4096);
+        let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+        sj.set_tracer(tracer.clone());
+        if tagged {
+            sj.kernel_mut().set_tagging(true);
+        }
+        let pid = sj
+            .kernel_mut()
+            .spawn("t2", Creds::new(1, 1))
+            .expect("spawn");
+        sj.kernel_mut().activate(pid).expect("activate");
+        let vid = sj.vas_create(pid, "v", Mode(0o600)).expect("vas");
+        if tagged {
+            sj.vas_ctl(pid, VasCtl::RequestTag, vid).expect("tag");
+        }
+        let vh = sj.vas_attach(pid, vid).expect("attach");
+        tracer.clear();
+        let t0 = sj.kernel().clock().now();
+        sj.vas_switch(pid, vh).expect("switch");
+        let switch_cycles = sj.kernel().clock().since(t0);
+
+        let snap = tracer.snapshot();
+        let sum = |name: &str| snap.histogram(name).map_or(0, |h| h.sum);
+        let derived = sum("kernel_entry") + sum("switch_book") + sum("cr3_load");
+        let err = switch_cycles.abs_diff(derived);
+        assert!(
+            err * 100 <= switch_cycles,
+            "{flavor:?} tagged={tagged}: trace-derived {derived} vs measured \
+             {switch_cycles} (> 1% apart)"
+        );
+        // The entry and CR3 phases individually match the Table 2 model.
+        assert_eq!(sum("kernel_entry"), model.kernel_entry(flavor));
+        assert_eq!(sum("cr3_load"), model.cr3_load(tagged));
+        // The whole switch appears as one enclosing vas_switch span.
+        assert_eq!(sum("vas_switch"), switch_cycles);
+    }
+}
+
+#[test]
+fn tracing_adds_zero_modeled_cycles() {
+    let untraced = workload(Tracer::disabled());
+    let traced = workload(Tracer::new(1 << 16));
+    assert_eq!(
+        untraced, traced,
+        "enabling the tracer perturbed the modeled clock"
+    );
+
+    // Same property across a full GUPS run: MUPS and cycle totals are
+    // derived from the clock, so they must be bit-identical too.
+    let cfg = GupsConfig {
+        windows: 4,
+        updates_per_set: 16,
+        epochs: 32,
+        ..GupsConfig::default()
+    };
+    let plain = run_jmp(&cfg).expect("untraced gups");
+    let traced_cfg = GupsConfig {
+        tracer: Tracer::new(1 << 18),
+        ..cfg
+    };
+    let traced = run_jmp(&traced_cfg).expect("traced gups");
+    assert_eq!(plain.cycles, traced.cycles, "GUPS cycle totals diverged");
+    assert!((plain.mups - traced.mups).abs() < f64::EPSILON);
+}
