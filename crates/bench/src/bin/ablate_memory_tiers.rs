@@ -10,14 +10,14 @@
 //! this ablation shows what each placement costs.
 
 use sjmp_bench::Report;
-use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
+use sjmp_mem::{KernelFlavor, MachineId, VirtAddr};
 use sjmp_os::{Creds, Kernel, Mode};
 use spacejmp_core::{AttachMode, MemTier, SpaceJmp, VasHeap};
 
 /// One workload: a linked list built, walked, and updated in a segment on
 /// the given tier. Returns (build, walk, update) simulated microseconds.
 fn run(tier: MemTier, nodes: u64) -> (f64, f64, f64) {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     sj.kernel_mut().set_nvm_tier(1 << 30);
     let pid = sj
         .kernel_mut()

@@ -10,14 +10,14 @@
 //! design competes against.
 
 use sjmp_bench::{human_bytes, pow2_ticks, quick_mode, Report};
-use sjmp_mem::{KernelFlavor, Machine, PageSize, PteFlags};
+use sjmp_mem::{KernelFlavor, MachineId, PageSize, PteFlags};
 use sjmp_os::{Creds, Kernel};
 
 fn measure(size: u64, page: PageSize) -> Option<f64> {
     if !size.is_multiple_of(page.bytes()) {
         return None;
     }
-    let mut kernel = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
+    let mut kernel = Kernel::new(KernelFlavor::DragonFly, MachineId::M2);
     let pid = kernel.spawn("ablate", Creds::new(1, 1)).expect("spawn");
     let profile = kernel.profile().clone();
     let flags = PteFlags::USER | PteFlags::WRITABLE;

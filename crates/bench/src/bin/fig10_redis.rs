@@ -16,7 +16,7 @@
 
 use sjmp_bench::{export_trace, quick_mode, trace_from_env, Report};
 use sjmp_kv::{run_classic, run_jmp, KvBenchConfig};
-use sjmp_mem::cost::{Machine, MachineProfile};
+use sjmp_mem::cost::{MachineId, MachineProfile};
 use sjmp_trace::Tracer;
 
 fn cfg(clients: usize, set_pct: u8, tagging: bool, quick: bool, tracer: &Tracer) -> KvBenchConfig {
@@ -131,7 +131,7 @@ fn main() {
         export_trace(
             "fig10_redis",
             &tracer,
-            MachineProfile::of(Machine::M1).freq_hz,
+            MachineProfile::of(MachineId::M1).freq_hz,
         );
     }
 }

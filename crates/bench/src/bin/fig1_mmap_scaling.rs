@@ -7,11 +7,11 @@
 //! shorter sweep). Times are simulated milliseconds on machine M2.
 
 use sjmp_bench::{human_bytes, pow2_ticks, quick_mode, Report};
-use sjmp_mem::{KernelFlavor, Machine, PteFlags};
+use sjmp_mem::{KernelFlavor, MachineId, PteFlags};
 use sjmp_os::{Creds, Kernel};
 
 fn measure(size: u64, cached: bool) -> (f64, f64) {
-    let mut kernel = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
+    let mut kernel = Kernel::new(KernelFlavor::DragonFly, MachineId::M2);
     let pid = kernel.spawn("fig1", Creds::new(1, 1)).expect("spawn");
     let profile = kernel.profile().clone();
     let flags = PteFlags::USER | PteFlags::WRITABLE;

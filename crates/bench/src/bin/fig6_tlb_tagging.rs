@@ -8,7 +8,7 @@
 //! timed (CR3 write cost excluded), as in the figure.
 
 use sjmp_bench::{quick_mode, Report};
-use sjmp_mem::cost::{CostModel, CycleClock, Machine, MachineProfile};
+use sjmp_mem::cost::{CostModel, CycleClock, MachineId, MachineProfile};
 use sjmp_mem::paging::{self, PteFlags};
 use sjmp_mem::{Asid, Mmu, PhysMem, SimRng, VirtAddr};
 
@@ -20,7 +20,7 @@ enum Series {
 }
 
 fn run(series: Series, pages: u64, iters: u64) -> f64 {
-    let profile = MachineProfile::of(Machine::M3);
+    let profile = MachineProfile::of(MachineId::M3);
     let mut phys = PhysMem::new(1 << 30);
     let root = paging::new_root(&mut phys).expect("root");
     let base = VirtAddr::new(0x1000_0000);

@@ -12,26 +12,36 @@
 //! exported to `results/fig7_rpc_latency.trace.json`.
 
 use sjmp_bench::{export_trace, human_bytes, trace_from_env, Report};
-use sjmp_mem::cost::{CostModel, CycleClock, MachineProfile};
-use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
+use sjmp_mem::cost::{CoreClocks, CoreCtx, CostModel, MachineProfile};
+use sjmp_mem::{KernelFlavor, MachineId, VirtAddr};
 use sjmp_os::{Creds, Kernel, Mode};
 use sjmp_rpc::urpc::{Placement, UrpcPair};
 use sjmp_trace::Tracer;
 use spacejmp_core::{AttachMode, SpaceJmp};
 
 fn urpc_round_trip(placement: Placement, size: usize, tracer: &Tracer) -> u64 {
-    let clock = CycleClock::new();
+    // Client and server are pinned to different cores, per the paper's
+    // setup; for the cross-socket series the server's core sits on the
+    // other socket (the placement carries the transfer cost).
+    let clocks = CoreClocks::new(2);
     // Ring sized like the Barrelfish channels: large enough for the
     // payload (latency past the buffer size grows, as the paper notes).
-    let mut pair = UrpcPair::new(8192, placement, CostModel::default(), clock.clone());
+    let mut pair = UrpcPair::new(
+        8192,
+        placement,
+        CostModel::default(),
+        clocks.clone(),
+        CoreCtx::new(0),
+        CoreCtx::new(1),
+    );
     pair.set_tracer(tracer.clone());
-    let t0 = clock.now();
+    let t0 = clocks.now();
     pair.round_trip(&[0u8; 8], size).expect("round trip");
-    clock.since(t0)
+    clocks.now() - t0
 }
 
 fn spacejmp_round_trip(size: usize, tracer: &Tracer) -> u64 {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     sj.set_tracer(tracer.clone());
     let pid = sj
         .kernel_mut()
@@ -89,6 +99,6 @@ fn main() {
     export_trace(
         "fig7_rpc_latency",
         &tracer,
-        MachineProfile::of(Machine::M2).freq_hz,
+        MachineProfile::of(MachineId::M2).freq_hz,
     );
 }

@@ -16,7 +16,7 @@
 
 use sjmp_gups::{run_jmp_constrained, GupsConfig};
 use sjmp_kv::JmpClient;
-use sjmp_mem::cost::{CostModel, KernelFlavor, Machine, MachineProfile};
+use sjmp_mem::cost::{CostModel, KernelFlavor, MachineId, MachineProfile};
 use sjmp_mem::PAGE_SIZE;
 use sjmp_os::{Creds, Kernel};
 use sjmp_trace::Tracer;
@@ -86,7 +86,7 @@ fn redis(report: &mut Report, quick: bool, tracer: &Tracer) {
     // values touch ~170 store pages. 380 frames leaves room for about
     // half the store working set (the sizing from the kv crate's
     // pressure test).
-    let mut profile = MachineProfile::of(Machine::M1);
+    let mut profile = MachineProfile::of(MachineId::M1);
     profile.mem_bytes = 380 * PAGE_SIZE;
     let freq = profile.freq_hz as f64;
     let mut sj = SpaceJmp::new(Kernel::with_profile(
@@ -174,6 +174,6 @@ fn main() {
     export_trace(
         "pressure_oversub",
         &tracer,
-        MachineProfile::of(Machine::M1).freq_hz,
+        MachineProfile::of(MachineId::M1).freq_hz,
     );
 }

@@ -14,14 +14,14 @@
 //! `results/tab2_switch_breakdown.trace.json` (Chrome `trace_event`).
 
 use sjmp_bench::{export_trace, heading, human_bytes, trace_from_env, Report};
-use sjmp_mem::cost::{CostModel, Machine, MachineProfile};
+use sjmp_mem::cost::{CostModel, MachineId, MachineProfile};
 use sjmp_mem::KernelFlavor;
 use sjmp_os::{Creds, Kernel, Mode};
 use sjmp_trace::Tracer;
 use spacejmp_core::{SpaceJmp, VasCtl};
 
 fn measured_switch(flavor: KernelFlavor, tagged: bool, tracer: &Tracer) -> u64 {
-    let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(flavor, MachineId::M2));
     sj.set_tracer(tracer.clone());
     if tagged {
         sj.kernel_mut().set_tagging(true);
@@ -54,7 +54,7 @@ fn main() {
         &["name", "memory", "cores", "freq[GHz]", "TLB"],
         &[6, 10, 6, 10, 6],
     );
-    for m in [Machine::M1, Machine::M2, Machine::M3] {
+    for m in [MachineId::M1, MachineId::M2, MachineId::M3] {
         let p = MachineProfile::of(m);
         report.row(
             &[
@@ -151,7 +151,7 @@ fn main() {
         export_trace(
             "tab2_switch_breakdown",
             &traces[0].1,
-            MachineProfile::of(Machine::M2).freq_hz,
+            MachineProfile::of(MachineId::M2).freq_hz,
         );
     }
 }

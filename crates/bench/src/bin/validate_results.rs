@@ -8,10 +8,17 @@
 //! `trace_event`: non-empty `traceEvents`), and
 //! `results/<name>.metrics.json` (`counters`, `histograms`). Exits
 //! nonzero with a message naming the first violation.
+//!
+//! `validate_results --all` instead scans `results/` and validates every
+//! bench report found there; trace and metrics files are validated only
+//! where they exist (tracing is opt-in per run).
 
 use std::process::ExitCode;
 
 use sjmp_trace::Json;
+
+/// One validation pass over a named benchmark's output file.
+type Check = fn(&str) -> Result<(), String>;
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -72,20 +79,67 @@ fn check_metrics(name: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let names: Vec<String> = std::env::args().skip(1).collect();
+/// Every bench name with a report file in `results/`, i.e. `<name>.json`
+/// excluding the `.trace.json` / `.metrics.json` side files.
+fn all_report_names() -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries = std::fs::read_dir("results").map_err(|e| format!("results/: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("results/: {e}"))?;
+        let file = entry.file_name();
+        let file = file.to_string_lossy();
+        if let Some(name) = file.strip_suffix(".json") {
+            if !name.ends_with(".trace") && !name.ends_with(".metrics") {
+                names.push(name.to_string());
+            }
+        }
+    }
     if names.is_empty() {
-        eprintln!("usage: validate_results <bench-name>...");
+        return Err("results/: no bench reports found".into());
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate_results --all | <bench-name>...");
         return ExitCode::FAILURE;
     }
+    let sweep = args.iter().any(|a| a == "--all");
+    let names = if sweep {
+        match all_report_names() {
+            Ok(names) => names,
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args
+    };
     for name in &names {
-        for check in [check_report, check_trace, check_metrics] {
+        // Named invocations demand the full traced triple; the sweep
+        // validates whatever each benchmark actually produced.
+        let side_files_required =
+            !sweep || std::path::Path::new(&format!("results/{name}.trace.json")).exists();
+        let checks: &[Check] = if side_files_required {
+            &[check_report, check_trace, check_metrics]
+        } else {
+            &[check_report]
+        };
+        for check in checks {
             if let Err(e) = check(name) {
                 eprintln!("FAIL {e}");
                 return ExitCode::FAILURE;
             }
         }
-        println!("ok: results/{name}{{.json,.trace.json,.metrics.json}}");
+        if side_files_required {
+            println!("ok: results/{name}{{.json,.trace.json,.metrics.json}}");
+        } else {
+            println!("ok: results/{name}.json");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -25,8 +25,8 @@ use sjmp_mem::KernelFlavor;
 use sjmp_mem::{Access, VirtAddr, PAGE_SIZE};
 use sjmp_os::kernel::{GLOBAL_HI, GLOBAL_LO, PRIVATE_HI};
 use sjmp_os::{
-    Acl, CapKind, CapRights, Capability, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid, Region,
-    VmObjectId, VmspaceId,
+    Acl, CapKind, CapRights, Capability, CoreCtx, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid,
+    Region, VmObjectId, VmspaceId,
 };
 use sjmp_trace::{EventKind, MetricsSnapshot, Tracer};
 
@@ -142,12 +142,12 @@ impl Default for RetryPolicy {
 /// The canonical usage from the paper's Figure 4:
 ///
 /// ```
-/// use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
+/// use sjmp_mem::{KernelFlavor, MachineId, VirtAddr};
 /// use sjmp_os::{Creds, Kernel, Mode};
 /// use spacejmp_core::{AttachMode, SpaceJmp};
 ///
 /// # fn main() -> Result<(), spacejmp_core::SjError> {
-/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
 /// let pid = sj.kernel_mut().spawn("app", Creds::new(100, 100))?;
 ///
 /// // va = 0xC0DE...; sz = 32 MiB (scaled from the paper's 1<<35).
@@ -337,10 +337,13 @@ impl SpaceJmp {
     /// [`OsError::NoSuchProcess`] if `pid` is unknown (e.g. reaped
     /// twice).
     pub fn reap_process(&mut self, pid: Pid) -> SjResult<()> {
+        // Reaping is kernel housekeeping — it never runs "as" the dead
+        // process — so, like reclaim, it executes on the boot core.
+        let ctx = CoreCtx::BOOT;
         let tracer = self.kernel.tracer().clone();
-        tracer.begin(self.kernel.clock().now(), 0, EventKind::Reap, pid.0);
+        tracer.begin(self.now_on(ctx), ctx.core as u32, EventKind::Reap, pid.0);
         let r = self.reap_process_inner(pid);
-        tracer.end(self.kernel.clock().now(), 0, EventKind::Reap, pid.0);
+        tracer.end(self.now_on(ctx), ctx.core as u32, EventKind::Reap, pid.0);
         r
     }
 
@@ -414,8 +417,16 @@ impl SpaceJmp {
                 .phys
                 .free_frames
                 .saturating_sub(free_before);
-            let now = self.kernel.clock().now();
-            tracer.instant(now, 0, EventKind::OomKill, victim.0, badness);
+            // Like the reap it triggers, the OOM killer is boot-core
+            // housekeeping.
+            let ctx = CoreCtx::BOOT;
+            tracer.instant(
+                self.now_on(ctx),
+                ctx.core as u32,
+                EventKind::OomKill,
+                victim.0,
+                badness,
+            );
             tracer.add("oom.kills", 1);
             tracer.add(&format!("oom.pages_freed.pid{}", victim.0), freed);
             tracer.add(&format!("oom.badness.pid{}", victim.0), badness);
@@ -528,7 +539,7 @@ impl SpaceJmp {
     ///
     /// [`SjError::NameTaken`] if `name` is registered.
     pub fn vas_create(&mut self, pid: Pid, name: &str, mode: Mode) -> SjResult<VasId> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         if self.vas_names.contains_key(name) {
             return Err(SjError::NameTaken(name.to_string()));
         }
@@ -564,6 +575,8 @@ impl SpaceJmp {
     ///
     /// [`SjError::NotFound`] if no VAS has that name.
     pub fn vas_find(&mut self, name: &str) -> SjResult<VasId> {
+        // No calling pid in the paper's signature: the lookup is billed to
+        // the boot core.
         self.kernel.charge_entry();
         self.vas_names.get(name).copied().ok_or(SjError::NotFound)
     }
@@ -598,15 +611,26 @@ impl SpaceJmp {
     ///
     /// Permission failures; resource exhaustion.
     pub fn vas_attach(&mut self, pid: Pid, vid: VasId) -> SjResult<VasHandle> {
+        let ctx = self.ctx(pid);
         let tracer = self.kernel.tracer().clone();
-        tracer.begin(self.kernel.clock().now(), 0, EventKind::VasAttach, vid.0);
+        tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasAttach,
+            vid.0,
+        );
         let r = self.vas_attach_inner(pid, vid);
-        tracer.end(self.kernel.clock().now(), 0, EventKind::VasAttach, vid.0);
+        tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasAttach,
+            vid.0,
+        );
         r
     }
 
     fn vas_attach_inner(&mut self, pid: Pid, vid: VasId) -> SjResult<VasHandle> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         {
             let v = self.vas(vid)?;
@@ -671,8 +695,9 @@ impl SpaceJmp {
             let v = self.vas(vid)?;
             (v.template_root(), v.segments().to_vec(), v.tag_requested())
         };
+        let ctx = self.ctx(pid);
         for (sid, mode) in &segs {
-            self.link_segment(space, template_root, *sid, *mode)?;
+            self.link_segment(ctx, space, template_root, *sid, *mode)?;
         }
         if tag_requested && self.kernel.tagging() {
             let asid = self.kernel.alloc_asid()?;
@@ -710,15 +735,26 @@ impl SpaceJmp {
     /// [`SjError::Busy`] if currently switched in; [`SjError::BadHandle`]
     /// if `vh` is not `pid`'s.
     pub fn vas_detach(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let ctx = self.ctx(pid);
         let tracer = self.kernel.tracer().clone();
-        tracer.begin(self.kernel.clock().now(), 0, EventKind::VasDetach, vh.0);
+        tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasDetach,
+            vh.0,
+        );
         let r = self.vas_detach_inner(pid, vh);
-        tracer.end(self.kernel.clock().now(), 0, EventKind::VasDetach, vh.0);
+        tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasDetach,
+            vh.0,
+        );
         r
     }
 
     fn vas_detach_inner(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let att = self.attachment(vh)?.clone();
         if att.pid != pid {
             return Err(SjError::BadHandle);
@@ -750,14 +786,26 @@ impl SpaceJmp {
     /// [`SjError::WouldBlock`] if any segment lock is contended; no locks
     /// are held on return in that case.
     pub fn vas_switch(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let ctx = self.ctx(pid);
         let tracer = self.kernel.tracer().clone();
-        tracer.begin(self.kernel.clock().now(), 0, EventKind::VasSwitch, pid.0);
+        tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasSwitch,
+            pid.0,
+        );
         let r = self.vas_switch_inner(pid, vh);
-        tracer.end(self.kernel.clock().now(), 0, EventKind::VasSwitch, pid.0);
+        tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasSwitch,
+            pid.0,
+        );
         r
     }
 
     fn vas_switch_inner(&mut self, pid: Pid, vh: VasHandle) -> SjResult<()> {
+        let ctx = self.ctx(pid);
         let tracer = self.kernel.tracer().clone();
         let att = self.attachments.get(&vh).ok_or(SjError::NotFound)?.clone();
         if att.pid != pid {
@@ -802,18 +850,18 @@ impl SpaceJmp {
             let seg = self.segment_mut(*sid)?;
             if seg.lock_mut().try_acquire(pid, *mode) {
                 acquired.push(*sid);
-                self.kernel.clock().advance(lock_cost);
+                self.kernel.clocks().advance(ctx.core, lock_cost);
                 tracer.instant(
-                    self.kernel.clock().now(),
-                    0,
+                    self.now_on(ctx),
+                    ctx.core as u32,
                     EventKind::LockAcquire,
                     sid.0,
                     pid.0,
                 );
             } else {
                 tracer.instant(
-                    self.kernel.clock().now(),
-                    0,
+                    self.now_on(ctx),
+                    ctx.core as u32,
                     EventKind::LockContention,
                     sid.0,
                     pid.0,
@@ -900,14 +948,15 @@ impl SpaceJmp {
                         // waiters must be able to see the edge.
                         return Err(SjError::WouldBlock);
                     }
+                    let ctx = self.ctx(pid);
                     let shift = attempt.min(policy.max_backoff_shift);
                     self.kernel
-                        .clock()
-                        .advance(policy.base_backoff_cycles << shift);
+                        .clocks()
+                        .advance(ctx.core, policy.base_backoff_cycles << shift);
                     attempt += 1;
                     self.kernel.tracer().instant(
-                        self.kernel.clock().now(),
-                        0,
+                        self.now_on(ctx),
+                        ctx.core as u32,
                         EventKind::SwitchRetry,
                         pid.0,
                         u64::from(attempt),
@@ -1008,7 +1057,7 @@ impl SpaceJmp {
     ///
     /// Permission failures; [`SjError::Busy`] destroying an attached VAS.
     pub fn vas_ctl(&mut self, pid: Pid, cmd: VasCtl, vid: VasId) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         {
             let v = self.vas(vid)?;
@@ -1054,7 +1103,7 @@ impl SpaceJmp {
     /// * [`SjError::PermissionDenied`] if `owner` does not own the VAS
     ///   (root excepted) or the kernel is not the Barrelfish flavor.
     pub fn revoke_attachment(&mut self, owner: Pid, vh: VasHandle) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(owner));
         let att = self.attachment(vh)?.clone();
         let creds = self.kernel.process(owner)?.creds();
         {
@@ -1122,7 +1171,7 @@ impl SpaceJmp {
     ///
     /// Permission failures; [`SjError::Busy`] while the lock is held.
     pub fn save_segment(&mut self, pid: Pid, sid: SegId) -> SjResult<Vec<u8>> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         let (name, base, size, mode, object) = {
             let seg = self.segment(sid)?;
@@ -1243,7 +1292,7 @@ impl SpaceJmp {
         mode: Mode,
         tier: MemTier,
     ) -> SjResult<SegId> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let size = self.seg_validate(name, base, size)?;
         self.kernel.process(pid)?;
         let object = match tier {
@@ -1283,7 +1332,7 @@ impl SpaceJmp {
         size: u64,
         mode: Mode,
     ) -> SjResult<SegId> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let size = self.seg_validate(name, base, size)?;
         self.kernel.process(pid)?;
         let object = self.kernel.alloc_object_demand(Some(pid), size)?;
@@ -1357,6 +1406,7 @@ impl SpaceJmp {
     ///
     /// [`SjError::NotFound`] if no segment has that name.
     pub fn seg_find(&mut self, name: &str) -> SjResult<SegId> {
+        // As vas_find: no calling pid, billed to the boot core.
         self.kernel.charge_entry();
         self.seg_names.get(name).copied().ok_or(SjError::NotFound)
     }
@@ -1368,7 +1418,7 @@ impl SpaceJmp {
     ///
     /// Permission and allocation failures.
     pub fn seg_clone(&mut self, pid: Pid, sid: SegId, new_name: &str) -> SjResult<SegId> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         let (base, size, mode, src_obj) = {
             let s = self.segment(sid)?;
@@ -1435,7 +1485,7 @@ impl SpaceJmp {
         sid: SegId,
         mode: AttachMode,
     ) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         let (base, size, object) = {
             let seg = self.segment(sid)?;
@@ -1504,8 +1554,9 @@ impl SpaceJmp {
                 .filter_map(|h| self.attachments.get(&h).map(|a| a.vmspace))
                 .collect()
         };
+        let ctx = self.ctx(pid);
         for space in spaces {
-            self.link_segment(space, template_root, sid, mode)?;
+            self.link_segment(ctx, space, template_root, sid, mode)?;
         }
         Ok(())
     }
@@ -1525,7 +1576,7 @@ impl SpaceJmp {
         sid: SegId,
         mode: AttachMode,
     ) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let att = self.attachment(vh)?.clone();
         if att.pid != pid {
             return Err(SjError::BadHandle);
@@ -1563,7 +1614,7 @@ impl SpaceJmp {
                 size,
                 flags,
                 MapPolicy::Eager,
-                false,
+                None,
             )
             .map_err(|e| match e {
                 OsError::Mem(sjmp_mem::MemError::AlreadyMapped(va)) => {
@@ -1589,7 +1640,7 @@ impl SpaceJmp {
     /// Permission failures; [`SjError::Busy`] if the segment's lock is
     /// held by anyone switched into this VAS.
     pub fn seg_detach(&mut self, pid: Pid, vid: VasId, sid: SegId) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         {
             let v = self.vas(vid)?;
@@ -1644,7 +1695,7 @@ impl SpaceJmp {
     /// Permission failures; [`SjError::Busy`] destroying an attached or
     /// locked segment.
     pub fn seg_ctl(&mut self, pid: Pid, sid: SegId, cmd: SegCtl) -> SjResult<()> {
-        self.kernel.charge_entry();
+        self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
         {
             let s = self.segment(sid)?;
@@ -1676,6 +1727,20 @@ impl SpaceJmp {
 
     // ---- helpers ----------------------------------------------------------
 
+    /// The hardware thread `pid` executes on (its pinned core), falling
+    /// back to the boot core when the process is unknown (e.g. already
+    /// mid-reap) — the caller still needs a truthful core to charge and
+    /// stamp.
+    fn ctx(&self, pid: Pid) -> CoreCtx {
+        self.kernel.ctx_of(pid).unwrap_or(CoreCtx::BOOT)
+    }
+
+    /// Core `ctx`'s current cycle count (trace timestamps must come from
+    /// the clock of the core an event is stamped with).
+    fn now_on(&self, ctx: CoreCtx) -> u64 {
+        self.kernel.clocks().now_on(ctx.core)
+    }
+
     /// Maps the process's private regions (text/data/stack/heap) into a
     /// new vmspace instance — the runtime-library bookkeeping of
     /// Section 4.1.
@@ -1697,7 +1762,7 @@ impl SpaceJmp {
                 r.len,
                 r.flags,
                 MapPolicy::Eager,
-                false,
+                None,
             )?;
         }
         Ok(())
@@ -1707,6 +1772,7 @@ impl SpaceJmp {
     /// records the region.
     fn link_segment(
         &mut self,
+        ctx: CoreCtx,
         space: VmspaceId,
         template_root: sjmp_mem::Pfn,
         sid: SegId,
@@ -1726,7 +1792,8 @@ impl SpaceJmp {
             paging::link_subtree(self.kernel.phys_mut(), root, template_root, slot)
                 .map_err(OsError::from)?;
             self.kernel.vmspace_mut(space)?.mark_shared_slot(slot);
-            self.kernel.clock().advance(self.kernel.cost().table_splice);
+            let splice = self.kernel.cost().table_splice;
+            self.kernel.clocks().advance(ctx.core, splice);
         }
         let vs = self.kernel.vmspace_mut(space)?;
         vs.insert_region(Region {
@@ -1761,6 +1828,7 @@ impl SpaceJmp {
         let Some(att) = self.attachments.get(&vh).cloned() else {
             return Ok(());
         };
+        let ctx = self.ctx(pid);
         let tracer = self.kernel.tracer().clone();
         let mut held: Vec<SegId> = Vec::new();
         if let Some(v) = self.vases.get(&att.vid) {
@@ -1777,8 +1845,8 @@ impl SpaceJmp {
                 lock.release(pid);
                 if held {
                     tracer.instant(
-                        self.kernel.clock().now(),
-                        0,
+                        self.now_on(ctx),
+                        ctx.core as u32,
                         EventKind::LockRelease,
                         sid.0,
                         pid.0,

@@ -2,14 +2,14 @@
 //! (Sections 3.1-3.2): first-class VASes, lockable segments, switching,
 //! sharing, persistence beyond process lifetime, and the heap runtime.
 
-use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
+use sjmp_mem::{KernelFlavor, MachineId, VirtAddr};
 use sjmp_os::{Creds, Kernel, Mode, Pid};
 use spacejmp_core::{AttachMode, SegCtl, SjError, SpaceJmp, VasCtl, VasHeap};
 
 const SEG_BASE: u64 = 0x1000_0000_0000;
 
 fn setup() -> (SpaceJmp, Pid) {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let pid = sj.kernel_mut().spawn("p0", Creds::new(100, 100)).unwrap();
     sj.kernel_mut().activate(pid).unwrap();
     (sj, pid)
@@ -392,7 +392,7 @@ fn switch_costs_match_table2_per_flavor() {
         (KernelFlavor::DragonFly, false, 1127u64),
         (KernelFlavor::Barrelfish, false, 664),
     ] {
-        let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+        let mut sj = SpaceJmp::new(Kernel::new(flavor, MachineId::M2));
         if tagging {
             sj.kernel_mut().set_tagging(true);
         }
@@ -545,7 +545,7 @@ fn many_vases_per_process() {
 
 #[test]
 fn barrelfish_switch_is_a_capability_invocation() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::Barrelfish, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::Barrelfish, MachineId::M2));
     let owner = sj.kernel_mut().spawn("owner", Creds::new(1, 1)).unwrap();
     let client = sj.kernel_mut().spawn("client", Creds::new(2, 100)).unwrap();
     sj.kernel_mut().activate(client).unwrap();

@@ -86,10 +86,10 @@ impl MemFs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_mem::{KernelFlavor, MachineId};
 
     fn kernel() -> Kernel {
-        Kernel::new(KernelFlavor::DragonFly, Machine::M2)
+        Kernel::new(KernelFlavor::DragonFly, MachineId::M2)
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! memory traffic of the SpaceJMP/Mmap modes is charged naturally by the
 //! simulated MMU.
 
-use sjmp_mem::cost::Machine;
+use sjmp_mem::cost::MachineId;
 use sjmp_mem::{KernelFlavor, PteFlags, VirtAddr};
 use sjmp_os::{Creds, Kernel, MapPolicy, Mode, Pid, VmObjectId};
 use spacejmp_core::{AttachMode, SjResult, SpaceJmp, VasHeap, VasId};
@@ -121,6 +121,22 @@ fn charge_sort(kernel: &Kernel, work: ops::OpWork, per_cmp: u64) {
         .advance(work.comparisons * per_cmp + work.records * charge::SCAN);
 }
 
+/// Charges host-side compute to the core `pid` is pinned on (each op runs
+/// as a fresh process, and processes round-robin across the machine's
+/// hardware threads).
+fn charge_compute(sj: &SpaceJmp, pid: Pid, cycles: u64) {
+    let core = sj.kernel().ctx_of(pid).map_or(0, |c| c.core);
+    sj.kernel().clocks().advance(core, cycles);
+}
+
+/// Elapsed simulated cycles across every core. The pointer-rich pipelines
+/// are serial (one process at a time), but successive processes pin to
+/// different cores, so a single core's clock misses most of the work; the
+/// sum over cores is the serial elapsed time.
+fn total_cycles(sj: &SpaceJmp) -> u64 {
+    sj.kernel().total_cycles()
+}
+
 /// Runs all four operations under `mode` and reports per-op simulated
 /// seconds.
 ///
@@ -193,7 +209,7 @@ fn write_file(
 }
 
 fn run_file_pipeline(mode: StorageMode, cfg: &WorkloadConfig) -> SjResult<OpTimes> {
-    let mut kernel = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
+    let mut kernel = Kernel::new(KernelFlavor::DragonFly, MachineId::M2);
     let mut fs = MemFs::new();
     let (dict, records) = generate(cfg);
     // Stage the input file without charging (dataset creation is not part
@@ -260,7 +276,7 @@ fn run_file_pipeline(mode: StorageMode, cfg: &WorkloadConfig) -> SjResult<OpTime
 /// Creates the populated store and returns the SpaceJMP service plus the
 /// VAS id and backing object. Population is setup, not measured.
 fn build_store(cfg: &WorkloadConfig) -> SjResult<(SpaceJmp, VasId, VmObjectId, usize)> {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let pid = sj.kernel_mut().spawn("loader", Creds::new(1, 1))?;
     sj.kernel_mut().activate(pid)?;
     let vid = sj.vas_create(pid, "samtools-data", Mode(0o660))?;
@@ -284,7 +300,7 @@ fn build_store(cfg: &WorkloadConfig) -> SjResult<(SpaceJmp, VasId, VmObjectId, u
     sj.vas_detach(pid, vh)?;
     sj.kernel_mut().exit(pid)?;
     let object = sj.segment(sid)?.object();
-    sj.kernel_mut().clock().reset();
+    sj.kernel().reset_clocks();
     Ok((sj, vid, object, dict.refs.len()))
 }
 
@@ -311,44 +327,39 @@ fn jmp_op<T>(
 fn run_jmp_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     let (mut sj, vid, _obj, n_refs) = build_store(cfg)?;
     let profile = sj.kernel().profile().clone();
-    let clock = sj.kernel().clock().clone();
     let secs = |c: u64| profile.cycles_to_secs(c);
 
-    let t0 = clock.now();
+    let t0 = total_cycles(&sj);
     jmp_op(&mut sj, vid, |sj, pid, store| {
         let (_, work) = store.flagstat(sj, pid)?;
-        sj.kernel().clock().advance(work.records * charge::SCAN);
+        charge_compute(sj, pid, work.records * charge::SCAN);
         Ok(())
     })?;
-    let flagstat = secs(clock.since(t0));
+    let flagstat = secs(total_cycles(&sj) - t0);
 
-    let t1 = clock.now();
+    let t1 = total_cycles(&sj);
     jmp_op(&mut sj, vid, |sj, pid, store| {
         let work = store.qname_sort(sj, pid)?;
-        sj.kernel()
-            .clock()
-            .advance(work.comparisons * charge::QNAME_CMP);
+        charge_compute(sj, pid, work.comparisons * charge::QNAME_CMP);
         Ok(())
     })?;
-    let qname_sort = secs(clock.since(t1));
+    let qname_sort = secs(total_cycles(&sj) - t1);
 
-    let t2 = clock.now();
+    let t2 = total_cycles(&sj);
     jmp_op(&mut sj, vid, |sj, pid, store| {
         let work = store.coordinate_sort(sj, pid)?;
-        sj.kernel()
-            .clock()
-            .advance(work.comparisons * charge::COORD_CMP);
+        charge_compute(sj, pid, work.comparisons * charge::COORD_CMP);
         Ok(())
     })?;
-    let coordinate_sort = secs(clock.since(t2));
+    let coordinate_sort = secs(total_cycles(&sj) - t2);
 
-    let t3 = clock.now();
+    let t3 = total_cycles(&sj);
     jmp_op(&mut sj, vid, |sj, pid, store| {
         let (_, work) = store.build_index(sj, pid, n_refs)?;
-        sj.kernel().clock().advance(work.records * charge::SCAN);
+        charge_compute(sj, pid, work.records * charge::SCAN);
         Ok(())
     })?;
-    let index = secs(clock.since(t3));
+    let index = secs(total_cycles(&sj) - t3);
 
     Ok(OpTimes {
         flagstat,
@@ -372,6 +383,7 @@ fn mmap_op<T>(
     // page tables constructed on the critical path (charged). Pages are
     // hot in the page cache (in-memory FS), like the paper's setup.
     let flags = PteFlags::USER | PteFlags::WRITABLE | PteFlags::NO_EXECUTE;
+    let ctx = sj.kernel().ctx_of(pid)?;
     sj.kernel_mut().map_object(
         space,
         object,
@@ -380,7 +392,7 @@ fn mmap_op<T>(
         size,
         flags,
         MapPolicy::Eager,
-        true,
+        Some(ctx),
     )?;
     let heap = {
         // The heap handle requires segment bookkeeping; reconstruct the
@@ -390,7 +402,7 @@ fn mmap_op<T>(
     };
     let store = RecStore::open(sj, pid, heap)?;
     let result = op(sj, pid, store)?;
-    sj.kernel_mut().unmap_object(space, STORE_VA, true)?;
+    sj.kernel_mut().unmap_object(space, STORE_VA, Some(ctx))?;
     sj.kernel_mut().exit(pid)?;
     Ok(result)
 }
@@ -399,44 +411,39 @@ fn run_mmap_pipeline(cfg: &WorkloadConfig) -> SjResult<OpTimes> {
     let (mut sj, _vid, object, n_refs) = build_store(cfg)?;
     let size = store_segment_bytes(cfg);
     let profile = sj.kernel().profile().clone();
-    let clock = sj.kernel().clock().clone();
     let secs = |c: u64| profile.cycles_to_secs(c);
 
-    let t0 = clock.now();
+    let t0 = total_cycles(&sj);
     mmap_op(&mut sj, object, size, |sj, pid, store| {
         let (_, work) = store.flagstat(sj, pid)?;
-        sj.kernel().clock().advance(work.records * charge::SCAN);
+        charge_compute(sj, pid, work.records * charge::SCAN);
         Ok(())
     })?;
-    let flagstat = secs(clock.since(t0));
+    let flagstat = secs(total_cycles(&sj) - t0);
 
-    let t1 = clock.now();
+    let t1 = total_cycles(&sj);
     mmap_op(&mut sj, object, size, |sj, pid, store| {
         let work = store.qname_sort(sj, pid)?;
-        sj.kernel()
-            .clock()
-            .advance(work.comparisons * charge::QNAME_CMP);
+        charge_compute(sj, pid, work.comparisons * charge::QNAME_CMP);
         Ok(())
     })?;
-    let qname_sort = secs(clock.since(t1));
+    let qname_sort = secs(total_cycles(&sj) - t1);
 
-    let t2 = clock.now();
+    let t2 = total_cycles(&sj);
     mmap_op(&mut sj, object, size, |sj, pid, store| {
         let work = store.coordinate_sort(sj, pid)?;
-        sj.kernel()
-            .clock()
-            .advance(work.comparisons * charge::COORD_CMP);
+        charge_compute(sj, pid, work.comparisons * charge::COORD_CMP);
         Ok(())
     })?;
-    let coordinate_sort = secs(clock.since(t2));
+    let coordinate_sort = secs(total_cycles(&sj) - t2);
 
-    let t3 = clock.now();
+    let t3 = total_cycles(&sj);
     mmap_op(&mut sj, object, size, |sj, pid, store| {
         let (_, work) = store.build_index(sj, pid, n_refs)?;
-        sj.kernel().clock().advance(work.records * charge::SCAN);
+        charge_compute(sj, pid, work.records * charge::SCAN);
         Ok(())
     })?;
-    let index = secs(clock.since(t3));
+    let index = secs(total_cycles(&sj) - t3);
 
     Ok(OpTimes {
         flagstat,

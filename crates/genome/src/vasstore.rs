@@ -44,13 +44,13 @@ const RECORD_SIZE: u64 = 64;
 /// # Examples
 ///
 /// ```
-/// use sjmp_mem::{KernelFlavor, Machine, VirtAddr};
+/// use sjmp_mem::{KernelFlavor, MachineId, VirtAddr};
 /// use sjmp_os::{Creds, Kernel, Mode};
 /// use spacejmp_core::{AttachMode, SpaceJmp, VasHeap};
 /// use sjmp_genome::{generate, RecStore, WorkloadConfig};
 ///
 /// # fn main() -> Result<(), spacejmp_core::SjError> {
-/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
 /// let pid = sj.kernel_mut().spawn("tool", Creds::new(1, 1))?;
 /// sj.kernel_mut().activate(pid)?;
 /// let vid = sj.vas_create(pid, "aln", Mode(0o660))?;
@@ -377,12 +377,12 @@ fn nlogn(n: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::workload::{generate, WorkloadConfig};
-    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_mem::{KernelFlavor, MachineId};
     use sjmp_os::{Creds, Kernel, Mode};
     use spacejmp_core::AttachMode;
 
     fn setup(records: usize) -> (SpaceJmp, Pid, RecStore, Vec<Record>) {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
         let pid = sj.kernel_mut().spawn("genome", Creds::new(1, 1)).unwrap();
         sj.kernel_mut().activate(pid).unwrap();
         let vid = sj.vas_create(pid, "genome-vas", Mode(0o660)).unwrap();

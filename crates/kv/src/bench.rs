@@ -15,10 +15,10 @@
 //!    FIFO reader/writer segment lock with handoff and cache-line-bounce
 //!    penalties, and the socket path's per-message kernel costs.
 
-use sjmp_mem::cost::{CostModel, Machine, MachineProfile};
+use sjmp_mem::cost::{CostModel, MachineId, MachineProfile};
 use sjmp_mem::{KernelFlavor, SimRng};
-use sjmp_os::sim::{Cores, EventQueue, LockMode, SimRwLock};
 use sjmp_os::{Creds, Kernel};
+use sjmp_sim::{ClosedLoop, Cores, LockMode, Sim, SimRwLock};
 use sjmp_trace::Tracer;
 use spacejmp_core::{SjResult, SpaceJmp};
 
@@ -128,7 +128,7 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
 /// Propagates setup failures.
 pub fn measure_costs_traced(tagging: bool, tracer: Tracer) -> SjResult<OpCosts> {
     // RedisJMP path.
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
     sj.set_tracer(tracer.clone());
     if tagging {
         sj.kernel_mut().set_tagging(true);
@@ -156,7 +156,7 @@ pub fn measure_costs_traced(tagging: bool, tracer: Tracer) -> SjResult<OpCosts> 
     let jmp_set = clock.since(t1) / reps;
 
     // Classic server path (no sockets; those are added analytically).
-    let mut sj2 = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    let mut sj2 = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
     sj2.set_tracer(tracer);
     let mut server = RedisServer::launch(&mut sj2, 0)?;
     for i in 0..PRELOAD_KEYS {
@@ -197,7 +197,7 @@ pub fn measure_costs_traced(tagging: bool, tracer: Tracer) -> SjResult<OpCosts> 
 /// Propagates measurement failures.
 pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput> {
     let costs = measure_costs_traced(false, cfg.tracer.clone())?;
-    let profile = MachineProfile::of(Machine::M1);
+    let profile = MachineProfile::of(MachineId::M1);
     let cost = CostModel::default();
     let cores = profile.total_cores() as usize;
 
@@ -231,43 +231,36 @@ pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput
     }
 
     let mut rng = SimRng::seed_from_u64(cfg.seed);
-    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut sim: Sim<Ev> = Sim::new();
     for c in 0..cfg.clients {
-        events.push(0, Ev::Ready(c));
+        sim.schedule(0, Ev::Ready(c));
     }
     let mut server_free = vec![0u64; instances];
     let mut client_cores = Cores::new(cores.saturating_sub(instances).max(1));
-    let mut remaining = vec![cfg.requests_per_client; cfg.clients];
+    let mut population = ClosedLoop::new(cfg.clients, cfg.requests_per_client);
     let mut is_set = vec![false; cfg.clients];
-    let mut done = 0u64;
-    let mut end = 0u64;
 
-    while let Some((t, ev)) = events.pop() {
-        match ev {
-            Ev::Ready(c) => {
-                is_set[c] = rng.gen_range(0..100) < u64::from(cfg.set_pct);
-                let (_, pe) = client_cores.reserve(t, client_pre);
-                events.push(pe + wire, Ev::Arrive(c));
-            }
-            Ev::Arrive(c) => {
-                let s = c % instances;
-                let start = server_free[s].max(t);
-                let finish = start + server_time(is_set[c]);
-                server_free[s] = finish;
-                events.push(finish + wire, Ev::Respond(c));
-            }
-            Ev::Respond(c) => {
-                let (_, re) = client_cores.reserve(t, client_post);
-                done += 1;
-                end = end.max(re);
-                remaining[c] -= 1;
-                if remaining[c] > 0 {
-                    events.push(re, Ev::Ready(c));
-                }
+    sim.run(|sim, t, ev| match ev {
+        Ev::Ready(c) => {
+            is_set[c] = rng.gen_range(0..100) < u64::from(cfg.set_pct);
+            let (_, pe) = client_cores.reserve(t, client_pre);
+            sim.schedule(pe + wire, Ev::Arrive(c));
+        }
+        Ev::Arrive(c) => {
+            let s = c % instances;
+            let start = server_free[s].max(t);
+            let finish = start + server_time(is_set[c]);
+            server_free[s] = finish;
+            sim.schedule(finish + wire, Ev::Respond(c));
+        }
+        Ev::Respond(c) => {
+            let (_, re) = client_cores.reserve(t, client_post);
+            if population.complete(c, re) {
+                sim.schedule(re, Ev::Ready(c));
             }
         }
-    }
-    Ok(throughput(&profile, done, end))
+    });
+    Ok(throughput(&profile, population.done(), population.end()))
 }
 
 /// Extra cycles a shared-lock acquisition pays per already-active reader
@@ -284,7 +277,7 @@ const WAITER_BOUNCE: u64 = 150;
 /// Propagates measurement failures.
 pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
     let costs = measure_costs_traced(cfg.tagging, cfg.tracer.clone())?;
-    let profile = MachineProfile::of(Machine::M1);
+    let profile = MachineProfile::of(MachineId::M1);
     let cost = CostModel::default();
     let cores = profile.total_cores() as usize;
 
@@ -299,16 +292,14 @@ pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
     }
 
     let mut rng = SimRng::seed_from_u64(cfg.seed);
-    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut sim: Sim<Ev> = Sim::new();
     for c in 0..cfg.clients {
-        events.push(0, Ev::Start(c));
+        sim.schedule(0, Ev::Start(c));
     }
     let mut lock = SimRwLock::new();
     let mut pool = Cores::new(cores);
     let mut mode = vec![LockMode::Shared; cfg.clients];
-    let mut remaining = vec![cfg.requests_per_client; cfg.clients];
-    let mut done = 0u64;
-    let mut end = 0u64;
+    let mut population = ClosedLoop::new(cfg.clients, cfg.requests_per_client);
 
     // Cycles of the visit once the lock is granted.
     let reader_bounce = cfg.reader_bounce;
@@ -322,7 +313,7 @@ pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
         base + bounce
     };
 
-    while let Some((t, ev)) = events.pop() {
+    sim.run(|sim, t, ev| {
         match ev {
             Ev::Start(c) => {
                 let is_set = rng.gen_range(0..100) < u64::from(cfg.set_pct);
@@ -332,7 +323,7 @@ pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
                     LockMode::Shared
                 };
                 if lock.acquire(c, mode[c]) {
-                    events.push(t, Ev::Begin(c));
+                    sim.schedule(t, Ev::Begin(c));
                 }
                 // else: parked in the lock queue; woken on release.
             }
@@ -340,24 +331,21 @@ pub fn run_jmp(cfg: &KvBenchConfig) -> SjResult<Throughput> {
                 let is_set = mode[c] == LockMode::Exclusive;
                 let dur = visit_cycles(is_set, lock.readers());
                 let (_, e) = pool.reserve(t, dur);
-                events.push(e, Ev::Release(c));
+                sim.schedule(e, Ev::Release(c));
             }
             Ev::Release(c) => {
-                done += 1;
-                end = end.max(t);
                 let woken = lock.release(mode[c]);
                 let handoff = cost.lock_handoff + lock.queue_len() as u64 * cfg.waiter_bounce;
                 for w in woken {
-                    events.push(t + handoff, Ev::Begin(w));
+                    sim.schedule(t + handoff, Ev::Begin(w));
                 }
-                remaining[c] -= 1;
-                if remaining[c] > 0 {
-                    events.push(t, Ev::Start(c));
+                if population.complete(c, t) {
+                    sim.schedule(t, Ev::Start(c));
                 }
             }
         }
-    }
-    Ok(throughput(&profile, done, end))
+    });
+    Ok(throughput(&profile, population.done(), population.end()))
 }
 
 #[cfg(test)]

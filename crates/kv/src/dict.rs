@@ -401,12 +401,12 @@ impl SegDict {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_mem::{KernelFlavor, MachineId};
     use sjmp_os::{Creds, Kernel, Mode};
     use spacejmp_core::AttachMode;
 
     fn setup() -> (SpaceJmp, Pid, SegDict) {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
         let pid = sj.kernel_mut().spawn("kv", Creds::new(1, 1)).unwrap();
         sj.kernel_mut().activate(pid).unwrap();
         let vid = sj.vas_create(pid, "kv", Mode(0o660)).unwrap();

@@ -33,13 +33,13 @@ const SCRATCH_SLOT_BASE: u64 = 8;
 /// # Examples
 ///
 /// ```
-/// use sjmp_mem::{KernelFlavor, Machine};
+/// use sjmp_mem::{KernelFlavor, MachineId};
 /// use sjmp_os::{Creds, Kernel};
 /// use sjmp_kv::JmpClient;
 /// use spacejmp_core::SpaceJmp;
 ///
 /// # fn main() -> Result<(), spacejmp_core::SjError> {
-/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+/// let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
 /// let pid = sj.kernel_mut().spawn("client", Creds::new(100, 100))?;
 /// sj.kernel_mut().activate(pid)?;
 ///
@@ -351,11 +351,11 @@ impl JmpClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_mem::{KernelFlavor, MachineId};
     use sjmp_os::{Creds, Kernel};
 
     fn setup(n: usize) -> (SpaceJmp, Vec<JmpClient>) {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
         let clients = (0..n)
             .map(|i| {
                 let pid = sj
@@ -456,12 +456,12 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
-    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_mem::{KernelFlavor, MachineId};
     use sjmp_os::{Creds, Kernel};
 
     #[test]
     fn incr_and_append() {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
         let pid = sj.kernel_mut().spawn("c", Creds::new(1, 1)).unwrap();
         sj.kernel_mut().activate(pid).unwrap();
         let mut c = JmpClient::join(&mut sj, pid, "ia", 0).unwrap();
@@ -487,7 +487,7 @@ mod more_tests {
         // frames) plus *half* the ~170 store pages the writes below
         // touch: the store working set oversubscribes what DRAM has
         // left for it by about 2x and must swap.
-        let mut profile = MachineProfile::of(Machine::M1);
+        let mut profile = MachineProfile::of(MachineId::M1);
         profile.mem_bytes = 380 * PAGE_SIZE;
         let mut sj = SpaceJmp::new(Kernel::with_profile(
             KernelFlavor::DragonFly,
@@ -528,7 +528,7 @@ mod more_tests {
 
     #[test]
     fn wire_level_incr_append() {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
         let pid = sj.kernel_mut().spawn("c", Creds::new(1, 1)).unwrap();
         sj.kernel_mut().activate(pid).unwrap();
         let mut c = JmpClient::join(&mut sj, pid, "wire", 0).unwrap();

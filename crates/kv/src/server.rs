@@ -154,11 +154,11 @@ impl RedisServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjmp_mem::{KernelFlavor, Machine};
+    use sjmp_mem::{KernelFlavor, MachineId};
     use sjmp_os::Kernel;
 
     fn setup() -> (SpaceJmp, RedisServer) {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
         let server = RedisServer::launch(&mut sj, 0).unwrap();
         (sj, server)
     }
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn multiple_instances_coexist() {
-        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+        let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
         let mut servers: Vec<RedisServer> = (0..3)
             .map(|i| RedisServer::launch(&mut sj, i).unwrap())
             .collect();

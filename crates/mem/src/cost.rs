@@ -16,8 +16,7 @@
 //!
 //! Per-machine parameters (Table 1) live in [`MachineProfile`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+pub use sjmp_sim::{CoreClocks, CoreCtx, CycleClock};
 
 /// Which operating-system personality mediates kernel entry.
 ///
@@ -44,7 +43,7 @@ impl KernelFlavor {
 
 /// One of the paper's evaluation machines (Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Machine {
+pub enum MachineId {
     /// M1: 92 GiB, 2x12-core Xeon X5650, 2.66 GHz.
     M1,
     /// M2: 256 GiB, 2x10-core Xeon E5-2670v2, 2.50 GHz.
@@ -75,11 +74,11 @@ pub struct MachineProfile {
 
 impl MachineProfile {
     /// Profile for one of the paper's machines.
-    pub fn of(machine: Machine) -> Self {
+    pub fn of(machine: MachineId) -> Self {
         match machine {
             // The X5650 is a 6-core part; Section 5.3 calls M1 "the
             // twelve core machine" (Table 1's "2x12c" counts threads).
-            Machine::M1 => MachineProfile {
+            MachineId::M1 => MachineProfile {
                 name: "M1",
                 mem_bytes: 92 << 30,
                 sockets: 2,
@@ -88,7 +87,7 @@ impl MachineProfile {
                 tlb_entries: 512,
                 tlb_ways: 4,
             },
-            Machine::M2 => MachineProfile {
+            MachineId::M2 => MachineProfile {
                 name: "M2",
                 mem_bytes: 256 << 30,
                 sockets: 2,
@@ -97,7 +96,7 @@ impl MachineProfile {
                 tlb_entries: 512,
                 tlb_ways: 4,
             },
-            Machine::M3 => MachineProfile {
+            MachineId::M3 => MachineProfile {
                 name: "M3",
                 mem_bytes: 512 << 30,
                 sockets: 2,
@@ -128,7 +127,7 @@ impl MachineProfile {
 impl Default for MachineProfile {
     /// Defaults to M2, the machine the paper's Table 2 was measured on.
     fn default() -> Self {
-        MachineProfile::of(Machine::M2)
+        MachineProfile::of(MachineId::M2)
     }
 }
 
@@ -315,54 +314,6 @@ impl CostModel {
     }
 }
 
-/// Shared simulated cycle counter.
-///
-/// Clones share the same counter, so the MMU, the kernel, and workloads can
-/// all charge cycles to one timeline. The counter is atomic, making the
-/// clock `Send + Sync` for multi-threaded tests, but the simulation itself
-/// is logically single-timeline.
-///
-/// # Examples
-///
-/// ```
-/// use sjmp_mem::cost::CycleClock;
-/// let clock = CycleClock::new();
-/// let view = clock.clone();
-/// clock.advance(100);
-/// assert_eq!(view.now(), 100);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct CycleClock(Arc<AtomicU64>);
-
-impl CycleClock {
-    /// Creates a clock at cycle zero.
-    pub fn new() -> Self {
-        CycleClock(Arc::new(AtomicU64::new(0)))
-    }
-
-    /// Current simulated cycle.
-    #[inline]
-    pub fn now(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    /// Advances the clock by `cycles`.
-    #[inline]
-    pub fn advance(&self, cycles: u64) {
-        self.0.fetch_add(cycles, Ordering::Relaxed);
-    }
-
-    /// Resets the clock to zero (useful between benchmark phases).
-    pub fn reset(&self) {
-        self.0.store(0, Ordering::Relaxed);
-    }
-
-    /// Cycles elapsed since `start`.
-    pub fn since(&self, start: u64) -> u64 {
-        self.now().saturating_sub(start)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,7 +335,7 @@ mod tests {
     fn figure1_anchor_one_gib() {
         // 1 GiB of 4 KiB pages = 262144 PTEs; should land near 5 ms on M2.
         let c = CostModel::default();
-        let m2 = MachineProfile::of(Machine::M2);
+        let m2 = MachineProfile::of(MachineId::M2);
         let ptes = (1u64 << 30) / 4096;
         let tables = ptes / 512 + ptes / (512 * 512) + 2;
         let cycles = ptes * c.pte_construct(1 << 30) + tables * c.table_alloc;
@@ -398,7 +349,7 @@ mod tests {
     #[test]
     fn figure1_anchor_sixty_four_gib() {
         let c = CostModel::default();
-        let m2 = MachineProfile::of(Machine::M2);
+        let m2 = MachineProfile::of(MachineId::M2);
         let ptes = (64u64 << 30) / 4096;
         let tables = ptes / 512 + ptes / (512 * 512) + 2;
         let cycles = ptes * c.pte_construct(64 << 30) + tables * c.table_alloc;
@@ -411,30 +362,18 @@ mod tests {
 
     #[test]
     fn machine_profiles_match_table1() {
-        let m1 = MachineProfile::of(Machine::M1);
+        let m1 = MachineProfile::of(MachineId::M1);
         assert_eq!(m1.mem_bytes, 92 << 30);
         assert_eq!(m1.total_cores(), 12);
-        let m3 = MachineProfile::of(Machine::M3);
+        let m3 = MachineProfile::of(MachineId::M3);
         assert_eq!(m3.total_cores(), 36);
         assert_eq!(m3.freq_hz, 2_300_000_000);
-        assert_eq!(MachineProfile::default(), MachineProfile::of(Machine::M2));
-    }
-
-    #[test]
-    fn clock_is_shared_between_clones() {
-        let c = CycleClock::new();
-        let view = c.clone();
-        c.advance(10);
-        view.advance(5);
-        assert_eq!(c.now(), 15);
-        assert_eq!(c.since(10), 5);
-        c.reset();
-        assert_eq!(view.now(), 0);
+        assert_eq!(MachineProfile::default(), MachineProfile::of(MachineId::M2));
     }
 
     #[test]
     fn cycle_second_round_trip() {
-        let m = MachineProfile::of(Machine::M2);
+        let m = MachineProfile::of(MachineId::M2);
         assert_eq!(m.secs_to_cycles(1.0), 2_500_000_000);
         assert!((m.cycles_to_secs(2_500_000_000) - 1.0).abs() < 1e-9);
     }

@@ -46,6 +46,7 @@
 pub mod addr;
 pub mod cost;
 pub mod error;
+pub mod machine;
 pub mod mmu;
 pub mod paging;
 pub mod phys;
@@ -53,8 +54,11 @@ pub mod rng;
 pub mod tlb;
 
 pub use addr::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
-pub use cost::{CostModel, CycleClock, KernelFlavor, Machine, MachineProfile};
+pub use cost::{
+    CoreClocks, CoreCtx, CostModel, CycleClock, KernelFlavor, MachineId, MachineProfile,
+};
 pub use error::{Access, MemError};
+pub use machine::Machine;
 pub use mmu::Mmu;
 pub use paging::PteFlags;
 pub use phys::PhysMem;

@@ -1,8 +1,9 @@
 //! The simulated kernel: processes, address spaces, and system calls.
 //!
-//! [`Kernel`] assembles the machine (physical memory, one MMU per core, a
-//! shared cycle clock) and implements the classical OS surface SpaceJMP
-//! builds on and is compared against:
+//! [`Kernel`] assembles the machine (physical memory plus a
+//! [`Machine`] of hardware threads — one MMU and one cycle clock per
+//! core) and implements the classical OS surface SpaceJMP builds on and
+//! is compared against:
 //!
 //! * `mmap`/`munmap` with **eager page-table construction** — the legacy
 //!   path whose cost Figure 1 measures and which the MAP design of the
@@ -16,10 +17,24 @@
 //! The SpaceJMP object model (VASes, lockable segments) lives one layer up
 //! in `spacejmp-core`, exactly as the paper layers it over the BSD memory
 //! subsystem.
+//!
+//! # Core attribution
+//!
+//! Every syscall executes on an explicit hardware thread, named by a
+//! [`CoreCtx`]. The pid-taking entry points resolve the context from the
+//! process's pinned core ([`Kernel::ctx_of`]); the `*_on` variants take
+//! it explicitly. All modeled costs — kernel entry, page-table walks and
+//! construction, faults, swaps — accrue to the executing core's clock,
+//! and every trace event is stamped with that core. The reclaim scan is
+//! the one exception: it runs kswapd-style on the boot core
+//! ([`CoreCtx::BOOT`]) regardless of who triggered it.
 
 use std::collections::HashMap;
 
-use sjmp_mem::cost::{CostModel, CycleClock, KernelFlavor, Machine, MachineProfile};
+use sjmp_mem::cost::{
+    CoreClocks, CoreCtx, CostModel, CycleClock, KernelFlavor, MachineId, MachineProfile,
+};
+use sjmp_mem::machine::Machine;
 use sjmp_mem::mmu::MmuStats;
 use sjmp_mem::paging::{self, PteFlags};
 use sjmp_mem::tlb::TlbStats;
@@ -137,7 +152,10 @@ pub struct PhysStats {
 /// [`MetricsSnapshot`] for machine-readable export.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KernelSnapshot {
-    /// Simulated cycles elapsed since boot (or the last clock reset).
+    /// Total CPU cycles: the per-core clocks summed over every hardware
+    /// thread since boot (or the last clock reset). For wall-clock time
+    /// under concurrency use [`Kernel::now`] (the per-core maximum);
+    /// the two coincide for single-core workloads.
     pub cycles: u64,
     /// Kernel event counters.
     pub kernel: KernelStats,
@@ -217,11 +235,11 @@ impl KernelSnapshot {
 /// The simulated kernel and machine.
 pub struct Kernel {
     flavor: KernelFlavor,
-    profile: MachineProfile,
     cost: CostModel,
-    clock: CycleClock,
     phys: PhysMem,
-    mmus: Vec<Mmu>,
+    /// The hardware threads: one MMU (private TLB + CR3 + stats) and one
+    /// cycle clock per core.
+    machine: Machine,
     processes: HashMap<Pid, Process>,
     vmobjects: HashMap<VmObjectId, VmObject>,
     vmspaces: HashMap<VmspaceId, Vmspace>,
@@ -254,41 +272,29 @@ impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Kernel")
             .field("flavor", &self.flavor)
-            .field("machine", &self.profile.name)
+            .field("machine", &self.machine.profile().name)
             .field("processes", &self.processes.len())
             .field("vmspaces", &self.vmspaces.len())
-            .field("clock", &self.clock.now())
+            .field("clock", &self.machine.clocks().now())
             .finish()
     }
 }
 
 impl Kernel {
     /// Boots a kernel of the given flavor on one of the paper's machines.
-    pub fn new(flavor: KernelFlavor, machine: Machine) -> Self {
+    pub fn new(flavor: KernelFlavor, machine: MachineId) -> Self {
         Self::with_profile(flavor, MachineProfile::of(machine), CostModel::default())
     }
 
     /// Boots with a custom machine profile and cost model.
     pub fn with_profile(flavor: KernelFlavor, profile: MachineProfile, cost: CostModel) -> Self {
-        let clock = CycleClock::new();
         let phys = PhysMem::new(profile.mem_bytes);
-        let mmus = (0..profile.total_cores())
-            .map(|_| {
-                Mmu::new(
-                    profile.tlb_entries,
-                    profile.tlb_ways,
-                    cost.clone(),
-                    clock.clone(),
-                )
-            })
-            .collect();
+        let machine = Machine::new(profile, &cost);
         Kernel {
             flavor,
-            profile,
             cost,
-            clock,
             phys,
-            mmus,
+            machine,
             processes: HashMap::new(),
             vmobjects: HashMap::new(),
             vmspaces: HashMap::new(),
@@ -313,9 +319,7 @@ impl Kernel {
     /// advances the cycle clock, so modeled costs are bit-identical
     /// with tracing on or off.
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        for (core, mmu) in self.mmus.iter_mut().enumerate() {
-            mmu.set_tracer(tracer.clone(), core as u32);
-        }
+        self.machine.set_tracer(&tracer);
         self.tracer = tracer;
     }
 
@@ -334,7 +338,7 @@ impl Kernel {
 
     /// The machine profile.
     pub fn profile(&self) -> &MachineProfile {
-        &self.profile
+        self.machine.profile()
     }
 
     /// The cost model.
@@ -342,9 +346,56 @@ impl Kernel {
         &self.cost
     }
 
-    /// The shared cycle clock.
+    /// The boot core's (core 0's) cycle clock. Single-actor workloads pin
+    /// pid 1 to core 0, so this remains the natural clock for them; for
+    /// multi-core workloads prefer [`Self::now`] / [`Self::total_cycles`].
     pub fn clock(&self) -> &CycleClock {
-        &self.clock
+        self.machine.clocks().clock(CoreCtx::BOOT.core)
+    }
+
+    /// The full per-core clock set (clones share the counters).
+    pub fn clocks(&self) -> &CoreClocks {
+        self.machine.clocks()
+    }
+
+    /// The simulated machine: one MMU and one clock per hardware thread.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the simulated machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Number of hardware threads on this machine.
+    pub fn num_cores(&self) -> usize {
+        self.machine.num_cores()
+    }
+
+    /// Global wall-clock time: the maximum over the per-core clocks.
+    pub fn now(&self) -> u64 {
+        self.machine.clocks().now()
+    }
+
+    /// Total CPU cycles: the per-core clocks summed.
+    pub fn total_cycles(&self) -> u64 {
+        self.machine.clocks().total()
+    }
+
+    /// Resets every core's clock to zero (benchmark warm-up boundary).
+    pub fn reset_clocks(&self) {
+        self.machine.clocks().reset();
+    }
+
+    /// The executing-core context for `pid`: the core the scheduler
+    /// pinned the process to at spawn.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for unknown pids.
+    pub fn ctx_of(&self, pid: Pid) -> OsResult<CoreCtx> {
+        Ok(CoreCtx::new(self.process(pid)?.core()))
     }
 
     /// Kernel event counters.
@@ -360,9 +411,7 @@ impl Kernel {
     /// Enables or disables TLB tagging on every core.
     pub fn set_tagging(&mut self, enabled: bool) {
         self.tagging = enabled;
-        for mmu in &mut self.mmus {
-            mmu.set_tagging(enabled);
-        }
+        self.machine.set_tagging(enabled);
     }
 
     /// Split borrow of one core's MMU and physical memory, for direct
@@ -372,7 +421,7 @@ impl Kernel {
     ///
     /// Panics if `core` is out of range.
     pub fn core_mem(&mut self, core: usize) -> (&mut Mmu, &mut PhysMem) {
-        (&mut self.mmus[core], &mut self.phys)
+        (self.machine.mmu_mut(core), &mut self.phys)
     }
 
     /// MMU and physical memory for the core `pid` is pinned to.
@@ -382,7 +431,7 @@ impl Kernel {
     /// [`OsError::NoSuchProcess`] for unknown pids.
     pub fn mem_of(&mut self, pid: Pid) -> OsResult<(&mut Mmu, &mut PhysMem)> {
         let core = self.process(pid)?.core();
-        Ok((&mut self.mmus[core], &mut self.phys))
+        Ok((self.machine.mmu_mut(core), &mut self.phys))
     }
 
     /// Direct access to physical memory (kernel-internal work).
@@ -444,11 +493,28 @@ impl Kernel {
         self.vmobjects.get_mut(&id).ok_or(OsError::NoSuchObject)
     }
 
+    /// Current time on the clock of `ctx`'s core.
+    fn now_on(&self, ctx: CoreCtx) -> u64 {
+        self.machine.clocks().now_on(ctx.core)
+    }
+
+    /// Advances the clock of `ctx`'s core — the single choke point for
+    /// charging kernel work to the hardware thread that executes it.
+    fn charge(&self, ctx: CoreCtx, cycles: u64) {
+        self.machine.clocks().advance(ctx.core, cycles);
+    }
+
     /// Charges page-table construction for an eager mapping of `len`
     /// bytes: the plain series of Figure 1, or the cheaper `cached` rate
     /// when the pages are already hot in the page cache. Superpages
     /// write proportionally fewer entries.
-    fn charge_map_sized(&mut self, len: u64, cached: bool, page_size: sjmp_mem::PageSize) {
+    fn charge_map_sized(
+        &mut self,
+        ctx: CoreCtx,
+        len: u64,
+        cached: bool,
+        page_size: sjmp_mem::PageSize,
+    ) {
         let pages = len / page_size.bytes();
         let levels_below = match page_size {
             sjmp_mem::PageSize::Size4K => pages / 512 + pages / (512 * 512) + 2,
@@ -460,22 +526,29 @@ impl Kernel {
         } else {
             self.cost.pte_construct(len)
         };
-        self.clock
-            .advance(pages * per_pte + levels_below * self.cost.table_alloc);
+        self.charge(ctx, pages * per_pte + levels_below * self.cost.table_alloc);
     }
 
-    fn charge_map(&mut self, len: u64, cached: bool) {
-        self.charge_map_sized(len, cached, sjmp_mem::PageSize::Size4K);
+    fn charge_map(&mut self, ctx: CoreCtx, len: u64, cached: bool) {
+        self.charge_map_sized(ctx, len, cached, sjmp_mem::PageSize::Size4K);
     }
 
-    /// Charges one kernel entry (syscall or capability invocation).
+    /// Charges one kernel entry (syscall or capability invocation) on the
+    /// boot core. Prefer [`Self::charge_entry_on`] when the executing
+    /// core is known.
     pub fn charge_entry(&mut self) {
+        self.charge_entry_on(CoreCtx::BOOT);
+    }
+
+    /// Charges one kernel entry to `ctx`'s core, stamping the trace span
+    /// with the executing core.
+    pub fn charge_entry_on(&mut self, ctx: CoreCtx) {
         self.stats.kernel_entries += 1;
         self.tracer
-            .begin(self.clock.now(), 0, EventKind::KernelEntry, 0);
-        self.clock.advance(self.cost.kernel_entry(self.flavor));
+            .begin(self.now_on(ctx), ctx.core as u32, EventKind::KernelEntry, 0);
+        self.charge(ctx, self.cost.kernel_entry(self.flavor));
         self.tracer
-            .end(self.clock.now(), 0, EventKind::KernelEntry, 0);
+            .end(self.now_on(ctx), ctx.core as u32, EventKind::KernelEntry, 0);
     }
 
     /// Installs (or clears) the crash-fault plan consulted at every
@@ -575,7 +648,7 @@ impl Kernel {
         self.next_pid += 1;
         let space = self.create_vmspace()?;
         let mut process = Process::new(pid, name, creds, space);
-        process.set_core(((pid.0 - 1) as usize) % self.mmus.len());
+        process.set_core(((pid.0 - 1) as usize) % self.machine.num_cores());
         self.processes.insert(pid, process);
         if let Err(e) = self.spawn_map_private(pid, space) {
             // A failed spawn must leave no trace: no half-built process,
@@ -602,8 +675,10 @@ impl Kernel {
     }
 
     /// Maps the private segments (text, globals, stack) into a fresh
-    /// process's home vmspace.
+    /// process's home vmspace. Construction is charged to the core the
+    /// process is pinned to.
     fn spawn_map_private(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
+        let ctx = self.ctx_of(pid)?;
         for (base, len, flags) in [
             (TEXT_BASE, 64 * 1024, PteFlags::USER),
             (
@@ -618,7 +693,8 @@ impl Kernel {
             ),
         ] {
             let obj = self.alloc_object_owned(Some(pid), len)?;
-            if let Err(e) = self.map_object(space, obj, base, 0, len, flags, MapPolicy::Eager, true)
+            if let Err(e) =
+                self.map_object(space, obj, base, 0, len, flags, MapPolicy::Eager, Some(ctx))
             {
                 // map_object rolled back its own region and reference;
                 // the object now has no mappings left — free it.
@@ -676,7 +752,7 @@ impl Kernel {
             touched.extend(vs.regions().map(|r| r.object));
             self.destroy_vmspace(*space)?;
             // Park any core whose CR3 still points at the freed tables.
-            for mmu in &mut self.mmus {
+            for mmu in self.machine.mmus_mut() {
                 if mmu.cr3() == Some(root) {
                     mmu.clear_cr3();
                 }
@@ -825,8 +901,9 @@ impl Kernel {
 
     /// Maps `len` bytes of `obj` starting at `obj_offset` into `space` at
     /// `va`. With [`MapPolicy::Eager`] the page tables are constructed
-    /// immediately; `charge` controls whether construction cycles are
-    /// billed (setup code passes `false`, measured paths `true`).
+    /// immediately; `charge` names the core billed for construction
+    /// cycles (setup code passes `None`, measured paths the executing
+    /// core).
     ///
     /// # Errors
     ///
@@ -843,7 +920,7 @@ impl Kernel {
         len: u64,
         flags: PteFlags,
         policy: MapPolicy,
-        charge: bool,
+        charge: Option<CoreCtx>,
     ) -> OsResult<()> {
         let contiguous_pa = {
             let o = self.vmobject(obj)?;
@@ -902,9 +979,10 @@ impl Kernel {
             };
             match attempt {
                 Ok(stats) => {
-                    if charge {
+                    if let Some(ctx) = charge {
                         let per_pte = self.cost.pte_construct(len);
-                        self.clock.advance(
+                        self.charge(
+                            ctx,
                             stats.ptes_written * per_pte
                                 + stats.tables_allocated * self.cost.table_alloc,
                         );
@@ -979,12 +1057,18 @@ impl Kernel {
     }
 
     /// Removes the mapping starting at `va` from `space`, clearing its
-    /// page-table entries.
+    /// page-table entries. `charge` names the core billed for the PTE
+    /// clears (`None` for uncharged setup/teardown).
     ///
     /// # Errors
     ///
     /// [`OsError::InvalidArgument`] if no region starts at `va`.
-    pub fn unmap_object(&mut self, space: VmspaceId, va: VirtAddr, charge: bool) -> OsResult<()> {
+    pub fn unmap_object(
+        &mut self,
+        space: VmspaceId,
+        va: VirtAddr,
+        charge: Option<CoreCtx>,
+    ) -> OsResult<()> {
         let (len, obj, root) = {
             let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
             let region = vs
@@ -996,13 +1080,11 @@ impl Kernel {
             o.drop_ref();
         }
         let stats = paging::unmap_region(&mut self.phys, root, va, len)?;
-        if charge {
-            self.clock.advance(stats.ptes_cleared * self.cost.pte_clear);
+        if let Some(ctx) = charge {
+            self.charge(ctx, stats.ptes_cleared * self.cost.pte_clear);
         }
         // Invalidate stale TLB entries on every core (shootdown).
-        for mmu in &mut self.mmus {
-            mmu.flush_tlb();
-        }
+        self.flush_all_tlbs();
         Ok(())
     }
 
@@ -1026,21 +1108,40 @@ impl Kernel {
         flags: PteFlags,
         cached: bool,
     ) -> OsResult<VirtAddr> {
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::Mmap, pid.0);
-        let result = self.sys_mmap_inner(pid, len, flags, cached);
-        self.tracer.end(self.clock.now(), 0, EventKind::Mmap, pid.0);
-        result
+        let ctx = self.ctx_of(pid)?;
+        self.sys_mmap_on(ctx, pid, len, flags, cached)
     }
 
-    fn sys_mmap_inner(
+    /// [`Self::sys_mmap`] with an explicit executing core.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sys_mmap`].
+    pub fn sys_mmap_on(
         &mut self,
+        ctx: CoreCtx,
         pid: Pid,
         len: u64,
         flags: PteFlags,
         cached: bool,
     ) -> OsResult<VirtAddr> {
-        self.charge_entry();
+        self.tracer
+            .begin(self.now_on(ctx), ctx.core as u32, EventKind::Mmap, pid.0);
+        let result = self.sys_mmap_inner(ctx, pid, len, flags, cached);
+        self.tracer
+            .end(self.now_on(ctx), ctx.core as u32, EventKind::Mmap, pid.0);
+        result
+    }
+
+    fn sys_mmap_inner(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+    ) -> OsResult<VirtAddr> {
+        self.charge_entry_on(ctx);
         self.stats.mmaps += 1;
         self.fault_gate(FaultSite::Mmap)?;
         let space = self.process(pid)?.current_space();
@@ -1050,13 +1151,13 @@ impl Kernel {
             .find_free(MMAP_BASE, PRIVATE_HI, len)
             .ok_or(OsError::InvalidArgument("out of private address space"))?;
         let obj = self.alloc_object_owned(Some(pid), len)?;
-        if let Err(e) = self.map_object(space, obj, va, 0, len, flags, MapPolicy::Eager, false) {
+        if let Err(e) = self.map_object(space, obj, va, 0, len, flags, MapPolicy::Eager, None) {
             // map_object rolled its own state back; the fresh object has
             // no other referents, so reclaim it too.
             let _ = self.free_object(obj);
             return Err(e);
         }
-        self.charge_map(len, cached);
+        self.charge_map(ctx, len, cached);
         Ok(va)
     }
 
@@ -1077,7 +1178,26 @@ impl Kernel {
         cached: bool,
         page_size: sjmp_mem::PageSize,
     ) -> OsResult<VirtAddr> {
-        self.charge_entry();
+        let ctx = self.ctx_of(pid)?;
+        self.sys_mmap_sized_on(ctx, pid, len, flags, cached, page_size)
+    }
+
+    /// [`Self::sys_mmap_sized`] with an explicit executing core.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sys_mmap_sized`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn sys_mmap_sized_on(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+        page_size: sjmp_mem::PageSize,
+    ) -> OsResult<VirtAddr> {
+        self.charge_entry_on(ctx);
         self.stats.mmaps += 1;
         self.fault_gate(FaultSite::Mmap)?;
         if len == 0 || !len.is_multiple_of(page_size.bytes()) {
@@ -1142,7 +1262,7 @@ impl Kernel {
             let _ = self.free_object(obj);
             return Err(e.into());
         }
-        self.charge_map_sized(len, cached, page_size);
+        self.charge_map_sized(ctx, len, cached, page_size);
         Ok(va)
     }
 
@@ -1162,7 +1282,27 @@ impl Kernel {
         flags: PteFlags,
         cached: bool,
     ) -> OsResult<VirtAddr> {
-        self.charge_entry();
+        let ctx = self.ctx_of(pid)?;
+        self.sys_mmap_object_on(ctx, pid, obj, obj_offset, len, flags, cached)
+    }
+
+    /// [`Self::sys_mmap_object`] with an explicit executing core.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sys_mmap`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn sys_mmap_object_on(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        obj: VmObjectId,
+        obj_offset: u64,
+        len: u64,
+        flags: PteFlags,
+        cached: bool,
+    ) -> OsResult<VirtAddr> {
+        self.charge_entry_on(ctx);
         self.stats.mmaps += 1;
         self.fault_gate(FaultSite::Mmap)?;
         let space = self.process(pid)?.current_space();
@@ -1178,9 +1318,9 @@ impl Kernel {
             len,
             flags,
             MapPolicy::Eager,
-            false,
+            None,
         )?;
-        self.charge_map(len, cached);
+        self.charge_map(ctx, len, cached);
         Ok(va)
     }
 
@@ -1193,16 +1333,38 @@ impl Kernel {
     ///
     /// [`OsError::InvalidArgument`] if `va` does not start a mapping.
     pub fn sys_munmap(&mut self, pid: Pid, va: VirtAddr, cached: bool) -> OsResult<()> {
+        let ctx = self.ctx_of(pid)?;
+        self.sys_munmap_on(ctx, pid, va, cached)
+    }
+
+    /// [`Self::sys_munmap`] with an explicit executing core.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sys_munmap`].
+    pub fn sys_munmap_on(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        va: VirtAddr,
+        cached: bool,
+    ) -> OsResult<()> {
         self.tracer
-            .begin(self.clock.now(), 0, EventKind::Munmap, pid.0);
-        let result = self.sys_munmap_inner(pid, va, cached);
+            .begin(self.now_on(ctx), ctx.core as u32, EventKind::Munmap, pid.0);
+        let result = self.sys_munmap_inner(ctx, pid, va, cached);
         self.tracer
-            .end(self.clock.now(), 0, EventKind::Munmap, pid.0);
+            .end(self.now_on(ctx), ctx.core as u32, EventKind::Munmap, pid.0);
         result
     }
 
-    fn sys_munmap_inner(&mut self, pid: Pid, va: VirtAddr, cached: bool) -> OsResult<()> {
-        self.charge_entry();
+    fn sys_munmap_inner(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        va: VirtAddr,
+        cached: bool,
+    ) -> OsResult<()> {
+        self.charge_entry_on(ctx);
         self.stats.munmaps += 1;
         self.fault_gate(FaultSite::Munmap)?;
         let space = self.process(pid)?.current_space();
@@ -1212,10 +1374,9 @@ impl Kernel {
             .filter(|r| r.start == va)
             .map(|r| r.len)
             .ok_or(OsError::InvalidArgument("no region starts here"))?;
-        self.unmap_object(space, va, true)?;
+        self.unmap_object(space, va, Some(ctx))?;
         if !cached {
-            self.clock
-                .advance((len / PAGE_SIZE) * self.cost.page_putback);
+            self.charge(ctx, (len / PAGE_SIZE) * self.cost.page_putback);
         }
         Ok(())
     }
@@ -1238,16 +1399,46 @@ impl Kernel {
     ///   the object's owner past its quota.
     /// * [`OsError::OutOfMemory`] if reclaim cannot produce a frame.
     pub fn handle_fault(&mut self, pid: Pid, va: VirtAddr, access: Access) -> OsResult<()> {
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::PageFault, pid.0);
-        let result = self.handle_fault_inner(pid, va, access);
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::PageFault, pid.0);
+        let ctx = self.ctx_of(pid)?;
+        self.handle_fault_on(ctx, pid, va, access)
+    }
+
+    /// [`Self::handle_fault`] with an explicit executing core.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::handle_fault`].
+    pub fn handle_fault_on(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        va: VirtAddr,
+        access: Access,
+    ) -> OsResult<()> {
+        self.tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::PageFault,
+            pid.0,
+        );
+        let result = self.handle_fault_inner(ctx, pid, va, access);
+        self.tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::PageFault,
+            pid.0,
+        );
         result
     }
 
-    fn handle_fault_inner(&mut self, pid: Pid, va: VirtAddr, access: Access) -> OsResult<()> {
-        self.charge_entry();
+    fn handle_fault_inner(
+        &mut self,
+        ctx: CoreCtx,
+        pid: Pid,
+        va: VirtAddr,
+        access: Access,
+    ) -> OsResult<()> {
+        self.charge_entry_on(ctx);
         self.stats.faults_handled += 1;
         let space = self.process(pid)?.current_space();
         let (obj_id, page_index, flags, root) = {
@@ -1284,17 +1475,25 @@ impl Kernel {
             if source == PageSource::SwappedIn {
                 self.stats.major_faults += 1;
                 self.tracer.instant(
-                    self.clock.now(),
-                    0,
+                    self.now_on(ctx),
+                    ctx.core as u32,
                     EventKind::MajorFault,
                     pid.0,
                     page_index,
                 );
-                self.tracer
-                    .begin(self.clock.now(), 0, EventKind::SwapIn, obj_id.0);
-                self.clock.advance(self.cost.swap_in_page);
-                self.tracer
-                    .end(self.clock.now(), 0, EventKind::SwapIn, obj_id.0);
+                self.tracer.begin(
+                    self.now_on(ctx),
+                    ctx.core as u32,
+                    EventKind::SwapIn,
+                    obj_id.0,
+                );
+                self.charge(ctx, self.cost.swap_in_page);
+                self.tracer.end(
+                    self.now_on(ctx),
+                    ctx.core as u32,
+                    EventKind::SwapIn,
+                    obj_id.0,
+                );
             }
             pfn.base()
         };
@@ -1307,7 +1506,8 @@ impl Kernel {
             sjmp_mem::PageSize::Size4K,
             flags,
         )?;
-        self.clock.advance(
+        self.charge(
+            ctx,
             stats.ptes_written * self.cost.pte_write
                 + stats.tables_allocated * self.cost.table_alloc,
         );
@@ -1435,37 +1635,63 @@ impl Kernel {
     /// * [`OsError::PermissionDenied`] if the process does not hold the
     ///   space.
     pub fn switch_vmspace(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::SwitchVmspace, pid.0);
-        let result = self.switch_vmspace_inner(pid, space);
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::SwitchVmspace, pid.0);
+        let ctx = self.ctx_of(pid)?;
+        self.switch_vmspace_on(ctx, pid, space)
+    }
+
+    /// [`Self::switch_vmspace`] with an explicit executing core. The CR3
+    /// load (and any TLB flush it implies) lands on `ctx`'s core only —
+    /// switching on core A can neither warm nor flush core B's TLB.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::switch_vmspace`].
+    pub fn switch_vmspace_on(&mut self, ctx: CoreCtx, pid: Pid, space: VmspaceId) -> OsResult<()> {
+        self.tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SwitchVmspace,
+            pid.0,
+        );
+        let result = self.switch_vmspace_inner(ctx, pid, space);
+        self.tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SwitchVmspace,
+            pid.0,
+        );
         result
     }
 
-    fn switch_vmspace_inner(&mut self, pid: Pid, space: VmspaceId) -> OsResult<()> {
-        self.charge_entry();
+    fn switch_vmspace_inner(&mut self, ctx: CoreCtx, pid: Pid, space: VmspaceId) -> OsResult<()> {
+        self.charge_entry_on(ctx);
         self.stats.space_switches += 1;
         self.fault_gate(FaultSite::Switch)?;
-        let core = {
+        {
             let p = self.process(pid)?;
             if !p.holds_space(space) {
                 return Err(OsError::PermissionDenied);
             }
-            p.core()
-        };
+        }
         let (root, asid) = {
             let vs = self.vmspace(space)?;
             (vs.root(), vs.asid())
         };
         let tagged = self.tagging && asid.is_tagged();
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::SwitchBook, pid.0);
-        self.clock
-            .advance(self.cost.switch_bookkeeping(self.flavor, tagged));
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::SwitchBook, pid.0);
-        self.mmus[core].load_cr3(root, asid); // charges the CR3 cost
+        self.tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SwitchBook,
+            pid.0,
+        );
+        self.charge(ctx, self.cost.switch_bookkeeping(self.flavor, tagged));
+        self.tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SwitchBook,
+            pid.0,
+        );
+        self.machine.mmu_mut(ctx.core).load_cr3(root, asid); // charges the CR3 cost
         self.process_mut(pid)?.set_current_space(space);
         Ok(())
     }
@@ -1473,7 +1699,7 @@ impl Kernel {
     /// Flushes every core's TLB (global shootdown after shared-mapping
     /// changes).
     pub fn flush_all_tlbs(&mut self) {
-        for mmu in &mut self.mmus {
+        for mmu in self.machine.mmus_mut() {
             mmu.flush_tlb();
         }
     }
@@ -1494,8 +1720,8 @@ impl Kernel {
             let vs = self.vmspace(space)?;
             (vs.root(), vs.asid())
         };
-        if self.mmus[core].cr3() != Some(root) {
-            self.mmus[core].load_cr3(root, asid);
+        if self.machine.mmu(core).cr3() != Some(root) {
+            self.machine.mmu_mut(core).load_cr3(root, asid);
         }
         Ok(())
     }
@@ -1601,11 +1827,22 @@ impl Kernel {
     /// path); unreferenced pages are evicted to swap. Scans at most two
     /// full revolutions and returns the number of frames freed.
     pub fn reclaim(&mut self, target_frames: u64) -> u64 {
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::ReclaimPass, target_frames);
+        // The reclaim scan runs kswapd-style on the boot core, whichever
+        // core's allocation triggered it.
+        let ctx = CoreCtx::BOOT;
+        self.tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::ReclaimPass,
+            target_frames,
+        );
         let freed = self.reclaim_inner(target_frames);
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::ReclaimPass, freed);
+        self.tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::ReclaimPass,
+            freed,
+        );
         freed
     }
 
@@ -1648,7 +1885,7 @@ impl Kernel {
                 continue;
             }
             steps += 1;
-            self.clock.advance(self.cost.reclaim_scan_page);
+            self.charge(CoreCtx::BOOT, self.cost.reclaim_scan_page);
             let Some(mut obj) = self.vmobjects.remove(&id) else {
                 ci += 1;
                 page = 0;
@@ -1665,9 +1902,13 @@ impl Kernel {
                 self.record_eviction(obj.owner(), id);
                 obj.evict_page(page, &mut self.phys);
                 self.stats.evictions += 1;
-                self.clock.advance(self.cost.swap_out_page);
-                self.tracer
-                    .end(self.clock.now(), 0, EventKind::SwapOut, id.0);
+                self.charge(CoreCtx::BOOT, self.cost.swap_out_page);
+                self.tracer.end(
+                    self.now_on(CoreCtx::BOOT),
+                    CoreCtx::BOOT.core as u32,
+                    EventKind::SwapOut,
+                    id.0,
+                );
                 freed += 1;
                 cleared = true;
             }
@@ -1708,7 +1949,7 @@ impl Kernel {
                 if freed >= target {
                     break 'outer;
                 }
-                self.clock.advance(self.cost.reclaim_scan_page);
+                self.charge(CoreCtx::BOOT, self.cost.reclaim_scan_page);
                 let Some(mut obj) = self.vmobjects.remove(&id) else {
                     continue 'outer;
                 };
@@ -1718,9 +1959,13 @@ impl Kernel {
                     self.record_eviction(obj.owner(), id);
                     obj.evict_page(page, &mut self.phys);
                     self.stats.evictions += 1;
-                    self.clock.advance(self.cost.swap_out_page);
-                    self.tracer
-                        .end(self.clock.now(), 0, EventKind::SwapOut, id.0);
+                    self.charge(CoreCtx::BOOT, self.cost.swap_out_page);
+                    self.tracer.end(
+                        self.now_on(CoreCtx::BOOT),
+                        CoreCtx::BOOT.core as u32,
+                        EventKind::SwapOut,
+                        id.0,
+                    );
                     freed += 1;
                     cleared = true;
                 }
@@ -1743,12 +1988,13 @@ impl Kernel {
         if !self.tracer.enabled() {
             return;
         }
-        let now = self.clock.now();
+        let core = CoreCtx::BOOT.core as u32;
+        let now = self.now_on(CoreCtx::BOOT);
         let owner_pid = owner.map_or(0, |p| p.0);
         self.tracer
-            .instant(now, 0, EventKind::Evict, owner_pid, obj.0);
+            .instant(now, core, EventKind::Evict, owner_pid, obj.0);
         self.tracer.add(&format!("evict.pages.pid{owner_pid}"), 1);
-        self.tracer.begin(now, 0, EventKind::SwapOut, obj.0);
+        self.tracer.begin(now, core, EventKind::SwapOut, obj.0);
     }
 
     /// Runs reclaim if free frames would dip below the low watermark
@@ -1784,8 +2030,14 @@ impl Kernel {
             return Ok(());
         }
         self.stats.quota_denials += 1;
-        self.tracer
-            .instant(self.clock.now(), 0, EventKind::QuotaDenial, pid.0, used);
+        let ctx = self.ctx_of(pid).unwrap_or(CoreCtx::BOOT);
+        self.tracer.instant(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::QuotaDenial,
+            pid.0,
+            used,
+        );
         Err(OsError::QuotaExceeded {
             pid,
             limit_frames: limit,
@@ -1883,7 +2135,7 @@ impl Kernel {
     pub fn stats_snapshot(&self) -> KernelSnapshot {
         let mut mmu = MmuStats::default();
         let mut tlb = TlbStats::default();
-        for m in &self.mmus {
+        for m in self.machine.mmus() {
             let ms = m.stats();
             mmu.cr3_loads += ms.cr3_loads;
             mmu.translations += ms.translations;
@@ -1898,7 +2150,9 @@ impl Kernel {
             tlb.insertions += ts.insertions;
         }
         KernelSnapshot {
-            cycles: self.clock.now(),
+            // Total CPU cycles over every hardware thread; equals the
+            // boot-core clock for single-core workloads.
+            cycles: self.machine.clocks().total(),
             kernel: self.stats,
             phys: PhysStats {
                 total_frames: self.phys.capacity_frames(),
@@ -2017,7 +2271,7 @@ mod tests {
     use super::*;
 
     fn kernel() -> Kernel {
-        Kernel::new(KernelFlavor::DragonFly, Machine::M2)
+        Kernel::new(KernelFlavor::DragonFly, MachineId::M2)
     }
 
     fn user() -> Creds {
@@ -2107,7 +2361,7 @@ mod tests {
             8192,
             PteFlags::USER | PteFlags::WRITABLE,
             MapPolicy::Lazy,
-            false,
+            None,
         )
         .unwrap();
         assert_eq!(k.stats().faults_handled, 0);
@@ -2133,7 +2387,7 @@ mod tests {
             4096,
             PteFlags::USER,
             MapPolicy::Lazy,
-            false,
+            None,
         )
         .unwrap();
         assert!(matches!(
@@ -2150,7 +2404,7 @@ mod tests {
             (KernelFlavor::Barrelfish, false, 664),
             (KernelFlavor::Barrelfish, true, 462),
         ] {
-            let mut k = Kernel::new(flavor, Machine::M2);
+            let mut k = Kernel::new(flavor, MachineId::M2);
             k.set_tagging(tagged);
             let pid = k.spawn("p", user()).unwrap();
             let second = k.create_vmspace().unwrap();
@@ -2186,11 +2440,11 @@ mod tests {
             4096,
             PteFlags::USER,
             MapPolicy::Lazy,
-            false,
+            None,
         )
         .unwrap();
         assert!(matches!(k.free_object(obj), Err(OsError::Conflict(_))));
-        k.unmap_object(space, VirtAddr::new(0x1000), false).unwrap();
+        k.unmap_object(space, VirtAddr::new(0x1000), None).unwrap();
         k.free_object(obj).unwrap();
         assert!(matches!(k.free_object(obj), Err(OsError::NoSuchObject)));
     }
@@ -2209,7 +2463,7 @@ mod tests {
                 8192,
                 PteFlags::USER,
                 MapPolicy::Lazy,
-                false
+                None
             ),
             Err(OsError::InvalidArgument(_))
         ));
@@ -2240,8 +2494,8 @@ mod tests {
 
     #[test]
     fn kernel_entry_cost_differs_by_flavor() {
-        let mut bsd = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
-        let mut bf = Kernel::new(KernelFlavor::Barrelfish, Machine::M2);
+        let mut bsd = Kernel::new(KernelFlavor::DragonFly, MachineId::M2);
+        let mut bf = Kernel::new(KernelFlavor::Barrelfish, MachineId::M2);
         let t0 = bsd.clock().now();
         bsd.charge_entry();
         assert_eq!(bsd.clock().since(t0), 357);
@@ -2439,7 +2693,7 @@ mod tests {
             obj_pages * PAGE_SIZE,
             PteFlags::USER | PteFlags::WRITABLE,
             MapPolicy::Lazy,
-            false,
+            None,
         )
         .unwrap();
         (pid, va)
@@ -2552,7 +2806,7 @@ mod tests {
             32 * PAGE_SIZE,
             PteFlags::USER | PteFlags::WRITABLE,
             MapPolicy::Lazy,
-            false,
+            None,
         )
         .unwrap();
         for i in 0..32u64 {
@@ -2662,7 +2916,7 @@ mod tests {
             4096,
             PteFlags::USER,
             MapPolicy::Lazy,
-            false,
+            None,
         )
         .unwrap();
         assert!(k.check_invariants(&[]).is_empty());

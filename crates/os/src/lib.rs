@@ -4,9 +4,12 @@
 //! DragonFly BSD and Barrelfish. This crate reproduces the kernel layer
 //! those prototypes modify: processes with **multiple vmspace instances**,
 //! BSD-style VM objects, eager/lazy page-table management over the
-//! simulated hardware of [`sjmp_mem`], per-flavor kernel-entry costs, a
-//! miniature capability system for the Barrelfish personality, and
-//! discrete-event primitives for multi-client experiments.
+//! simulated hardware of [`sjmp_mem`], per-flavor kernel-entry costs, and
+//! a miniature capability system for the Barrelfish personality. The
+//! discrete-event primitives multi-actor experiments run on live in the
+//! `sjmp-sim` crate; syscalls here take a [`CoreCtx`] (directly via the
+//! `*_on` variants, or resolved from the process's pinned core) so every
+//! modeled cost lands on the executing hardware thread's clock.
 //!
 //! The SpaceJMP abstractions themselves (first-class VASes, lockable
 //! segments, the Figure 3 API) live in the `spacejmp-core` crate, layered
@@ -16,12 +19,12 @@
 //! # Examples
 //!
 //! ```
-//! use sjmp_mem::{KernelFlavor, Machine, PteFlags};
+//! use sjmp_mem::{KernelFlavor, MachineId, PteFlags};
 //! use sjmp_os::acl::Creds;
 //! use sjmp_os::kernel::Kernel;
 //!
 //! # fn main() -> Result<(), sjmp_os::error::OsError> {
-//! let mut kernel = Kernel::new(KernelFlavor::DragonFly, Machine::M2);
+//! let mut kernel = Kernel::new(KernelFlavor::DragonFly, MachineId::M2);
 //! let pid = kernel.spawn("worker", Creds::new(1000, 1000))?;
 //! kernel.activate(pid)?;
 //! let va = kernel.sys_mmap(pid, 1 << 20, PteFlags::USER | PteFlags::WRITABLE, false)?;
@@ -36,7 +39,6 @@ pub mod error;
 pub mod fault;
 pub mod kernel;
 pub mod process;
-pub mod sim;
 pub mod vmobject;
 pub mod vmspace;
 
@@ -49,5 +51,6 @@ pub use kernel::{
     PRIVATE_LO,
 };
 pub use process::{Pid, Process};
+pub use sjmp_mem::cost::CoreCtx;
 pub use vmobject::{PageSource, PageState, VmObject, VmObjectId};
 pub use vmspace::{MapPolicy, Region, Vmspace, VmspaceId};

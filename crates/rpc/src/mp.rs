@@ -8,11 +8,17 @@
 //! greater than 36 cores on M3, the performance of MP drops, due to the
 //! busy-wait characteristics \[of\] the OpenMPI implementation."
 //!
-//! [`MpCluster`] models exactly those costs: per-message marshalling and
-//! transfer (intra- or cross-socket depending on the slave's pinning) plus
-//! an oversubscription penalty once there are more processes than cores.
+//! [`MpCluster`] models exactly those costs on the per-core clocks of a
+//! [`CoreClocks`] set: the master core pays marshalling, the request
+//! transfer (intra- or cross-socket depending on the slave's pinning),
+//! and the blocking wait for the acknowledgment; the slave core catches
+//! up to the request's arrival, pays unmarshalling, applies the batch
+//! (charged by the caller between [`MpCluster::send_batch`] and
+//! [`MpCluster::complete`]), and sends the ack. Oversubscription past the
+//! machine's core count is charged to the blocked master (busy-wait
+//! churn).
 
-use sjmp_mem::cost::{CostModel, CycleClock, MachineProfile};
+use sjmp_mem::cost::{CoreClocks, CoreCtx, CostModel, MachineProfile};
 use sjmp_trace::{EventKind, Tracer};
 
 /// Per-exchange statistics.
@@ -26,24 +32,30 @@ pub struct MpStats {
 
 /// A master plus `slaves` worker processes, each pinned to a core.
 ///
+/// Slave `k` runs on hardware thread `(master.core + k + 1) % cores`, the
+/// same striping the kernel uses when processes are spawned master-first
+/// — with more processes than cores, several slaves share one.
+///
 /// # Examples
 ///
 /// ```
-/// use sjmp_mem::cost::{CostModel, CycleClock, Machine, MachineProfile};
+/// use sjmp_mem::cost::{CoreClocks, CoreCtx, CostModel, MachineId, MachineProfile};
 /// use sjmp_rpc::MpCluster;
 ///
-/// let clock = CycleClock::new();
-/// let mut cluster = MpCluster::new(4, MachineProfile::of(Machine::M3),
-///                                  CostModel::default(), clock.clone());
+/// let profile = MachineProfile::of(MachineId::M3);
+/// let clocks = CoreClocks::new(profile.total_cores() as usize);
+/// let mut cluster = MpCluster::new(4, profile, CostModel::default(),
+///                                  clocks.clone(), CoreCtx::BOOT);
 /// cluster.exchange(2, 512); // ship a 512-byte batch to slave 2
-/// assert!(clock.now() > 0, "the blocking round trip costs cycles");
+/// assert!(clocks.now() > 0, "the blocking round trip costs cycles");
 /// ```
 #[derive(Debug)]
 pub struct MpCluster {
     slaves: usize,
     profile: MachineProfile,
     cost: CostModel,
-    clock: CycleClock,
+    clocks: CoreClocks,
+    master: CoreCtx,
     stats: MpStats,
     tracer: Tracer,
     /// Marshalling cost per message (serializing the update batch).
@@ -53,13 +65,21 @@ pub struct MpCluster {
 }
 
 impl MpCluster {
-    /// Creates a cluster of one master and `slaves` slaves on `profile`.
-    pub fn new(slaves: usize, profile: MachineProfile, cost: CostModel, clock: CycleClock) -> Self {
+    /// Creates a cluster of one master (on `master`'s core) and `slaves`
+    /// slaves on `profile`, charging the per-core `clocks`.
+    pub fn new(
+        slaves: usize,
+        profile: MachineProfile,
+        cost: CostModel,
+        clocks: CoreClocks,
+        master: CoreCtx,
+    ) -> Self {
         MpCluster {
             slaves,
             profile,
             cost,
-            clock,
+            clocks,
+            master,
             stats: MpStats::default(),
             tracer: Tracer::disabled(),
             marshal_per_msg: 600,
@@ -67,7 +87,8 @@ impl MpCluster {
         }
     }
 
-    /// Installs a tracer; each exchange becomes an `RpcSend` span.
+    /// Installs a tracer; each exchange becomes an `RpcSend` span on the
+    /// master's core and an `RpcRecv` span on the slave's.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
@@ -77,100 +98,169 @@ impl MpCluster {
         self.slaves
     }
 
+    /// The hardware thread slave `idx` is pinned to.
+    pub fn slave_core(&self, slave: usize) -> usize {
+        (self.master.core + slave + 1) % self.profile.total_cores() as usize
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> MpStats {
         self.stats
     }
 
-    /// Whether slave `idx` sits on a different socket than the master
-    /// (core 0). Processes are striped across sockets like the paper's
-    /// pinning.
+    /// Whether slave `idx` sits on a different socket than the master.
+    /// Processes are striped across sockets like the paper's pinning.
     fn cross_socket(&self, slave: usize) -> bool {
         let cores_per_socket = self.profile.cores_per_socket as usize;
         !((slave + 1) / cores_per_socket).is_multiple_of(self.profile.sockets as usize)
     }
 
-    /// One synchronous exchange with `slave`: a request of `req_bytes`
-    /// and an acknowledgment, blocking the master until done. Charges the
-    /// full round trip to the shared clock.
-    pub fn exchange(&mut self, slave: usize, req_bytes: usize) {
+    /// Ships a `req_bytes` request to `slave`: the master core pays
+    /// marshalling plus the line transfers, then the slave core catches
+    /// up to the request's arrival and pays unmarshalling. Work charged
+    /// to the slave's core between this call and [`Self::complete`]
+    /// models the slave applying the batch.
+    pub fn send_batch(&mut self, slave: usize, req_bytes: usize) {
         debug_assert!(slave < self.slaves, "slave index out of range");
-        let lines = (req_bytes.div_ceil(64).max(1)) as u64 + 1; // + ack line
+        let lines = (req_bytes.div_ceil(64).max(1)) as u64;
         let per_line = self.cost.cacheline_transfer(self.cross_socket(slave));
-        let mut cycles = 2 * self.marshal_per_msg + lines * per_line;
-        // More processes than cores: the slave may not be running when the
-        // message arrives; busy-wait scheduling churn adds latency.
+        let m = self.master.core;
+        self.tracer.begin(
+            self.clocks.now_on(m),
+            m as u32,
+            EventKind::RpcSend,
+            slave as u64,
+        );
+        self.clocks
+            .advance(m, self.marshal_per_msg + lines * per_line);
+        self.tracer.end(
+            self.clocks.now_on(m),
+            m as u32,
+            EventKind::RpcSend,
+            slave as u64,
+        );
+        // The request is visible to the slave once the last line lands.
+        let s = self.slave_core(slave);
+        self.clocks.catch_up(s, self.clocks.now_on(m));
+        self.clocks.advance(s, self.marshal_per_msg);
+        self.stats.bytes += req_bytes as u64;
+    }
+
+    /// Completes the exchange: the slave sends its acknowledgment line
+    /// and the blocked master catches up to its arrival, paying the ack
+    /// transfer plus any busy-wait oversubscription churn.
+    pub fn complete(&mut self, slave: usize) {
+        debug_assert!(slave < self.slaves, "slave index out of range");
+        let per_line = self.cost.cacheline_transfer(self.cross_socket(slave));
+        let s = self.slave_core(slave);
+        let m = self.master.core;
+        self.tracer.begin(
+            self.clocks.now_on(s),
+            s as u32,
+            EventKind::RpcRecv,
+            slave as u64,
+        );
+        self.tracer.end(
+            self.clocks.now_on(s),
+            s as u32,
+            EventKind::RpcRecv,
+            slave as u64,
+        );
+        // Master blocked for the ack; it resumes when the line arrives.
+        self.clocks.catch_up(m, self.clocks.now_on(s));
+        let mut cycles = per_line;
+        // More processes than cores: the slave may not have been running
+        // when the message arrived; busy-wait scheduling churn adds
+        // latency on the blocked master.
         let total_procs = self.slaves + 1;
         let cores = self.profile.total_cores() as usize;
         if total_procs > cores {
             let over = (total_procs - cores) as u64;
             cycles += self.oversub_penalty * over.min(64);
         }
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::RpcSend, slave as u64);
-        self.clock.advance(cycles);
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::RpcSend, slave as u64);
+        self.clocks.advance(m, cycles);
         self.stats.exchanges += 1;
-        self.stats.bytes += req_bytes as u64;
+    }
+
+    /// One synchronous exchange with `slave`: request out, batch applied
+    /// instantaneously, acknowledgment back ([`Self::send_batch`] then
+    /// [`Self::complete`] with no slave-side work in between).
+    pub fn exchange(&mut self, slave: usize, req_bytes: usize) {
+        self.send_batch(slave, req_bytes);
+        self.complete(slave);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sjmp_mem::cost::Machine;
+    use sjmp_mem::cost::MachineId;
 
-    fn cluster(slaves: usize) -> (MpCluster, CycleClock) {
-        let clock = CycleClock::new();
+    fn cluster(slaves: usize) -> (MpCluster, CoreClocks) {
+        let profile = MachineProfile::of(MachineId::M3);
+        let clocks = CoreClocks::new(profile.total_cores() as usize);
         let c = MpCluster::new(
             slaves,
-            MachineProfile::of(Machine::M3),
+            profile,
             CostModel::default(),
-            clock.clone(),
+            clocks.clone(),
+            CoreCtx::BOOT,
         );
-        (c, clock)
+        (c, clocks)
     }
 
     #[test]
     fn exchange_costs_cycles() {
-        let (mut c, clock) = cluster(4);
+        let (mut c, clocks) = cluster(4);
         c.exchange(0, 128);
-        assert!(clock.now() > 0);
+        assert!(clocks.now() > 0);
         assert_eq!(c.stats().exchanges, 1);
         assert_eq!(c.stats().bytes, 128);
     }
 
     #[test]
+    fn exchange_lands_on_master_and_slave_cores_only() {
+        let (mut c, clocks) = cluster(4);
+        c.exchange(2, 512);
+        assert!(clocks.now_on(0) > 0, "master core pays the round trip");
+        assert!(clocks.now_on(3) > 0, "slave 2 runs on core 3");
+        assert_eq!(clocks.now_on(1), 0, "uninvolved cores stay idle");
+        assert!(
+            clocks.now_on(0) >= clocks.now_on(3),
+            "the blocked master finishes after the slave's ack"
+        );
+    }
+
+    #[test]
     fn remote_slaves_cost_more() {
-        let (mut c, clock) = cluster(35);
+        let (mut c, clocks) = cluster(35);
         c.exchange(0, 512); // same socket as master
-        let local = clock.now();
-        clock.reset();
+        let local = clocks.now();
+        clocks.reset();
         c.exchange(20, 512); // striped to the other socket
-        let remote = clock.now();
+        let remote = clocks.now();
         assert!(remote > local, "{remote} vs {local}");
     }
 
     #[test]
     fn oversubscription_penalty_kicks_in_past_core_count() {
         // M3 has 36 cores; 40 processes must pay the busy-wait penalty.
-        let (mut small, clock_s) = cluster(30);
+        let (mut small, clocks_s) = cluster(30);
         small.exchange(0, 64);
-        let fits = clock_s.now();
-        let (mut big, clock_b) = cluster(64);
+        let fits = clocks_s.now();
+        let (mut big, clocks_b) = cluster(64);
         big.exchange(0, 64);
-        let oversub = clock_b.now();
+        let oversub = clocks_b.now();
         assert!(oversub > fits * 2, "{oversub} vs {fits}");
     }
 
     #[test]
     fn bigger_batches_cost_more() {
-        let (mut c, clock) = cluster(4);
+        let (mut c, clocks) = cluster(4);
         c.exchange(0, 64);
-        let small = clock.now();
+        let small = clocks.now();
         c.exchange(0, 64 * 64);
-        let large = clock.now() - small;
+        let large = clocks.now() - small;
         assert!(large > small);
     }
 }

@@ -7,10 +7,16 @@
 //! that channel: a bounded ring of 64-byte lines, one direction per ring,
 //! with transfer costs depending on whether producer and consumer share a
 //! socket (`URPC L` vs `URPC X` in the figure).
+//!
+//! Each endpoint is pinned to a hardware thread and charges its own core
+//! clock in a shared [`CoreClocks`] set: the producer pays the stores into
+//! the shared lines, and the polling consumer — which cannot observe a
+//! line before it is written — first spins forward to the moment the
+//! message became visible, then pays the coherence transfers to pull it.
 
 use std::collections::VecDeque;
 
-use sjmp_mem::cost::{CostModel, CycleClock};
+use sjmp_mem::cost::{CoreClocks, CoreCtx, CostModel};
 use sjmp_trace::{EventKind, Tracer};
 
 /// Cache line size of the simulated machines.
@@ -74,35 +80,42 @@ impl ChannelStats {
     }
 }
 
-/// One direction of a URPC channel.
+/// One direction of a URPC channel, producer and consumer each pinned to
+/// a hardware thread.
 ///
 /// # Examples
 ///
 /// ```
-/// use sjmp_mem::cost::{CostModel, CycleClock};
+/// use sjmp_mem::cost::{CoreClocks, CoreCtx, CostModel};
 /// use sjmp_rpc::urpc::{Placement, UrpcChannel};
 ///
-/// let clock = CycleClock::new();
+/// let clocks = CoreClocks::new(2);
 /// let mut ch = UrpcChannel::new(64, Placement::IntraSocket,
-///                               CostModel::default(), clock.clone());
+///                               CostModel::default(), clocks.clone(),
+///                               CoreCtx::new(0), CoreCtx::new(1));
 /// ch.send(b"hello").unwrap();
 /// assert_eq!(ch.recv().unwrap(), b"hello");
-/// assert!(clock.now() > 0, "transfers cost cycles");
+/// assert!(clocks.now() > 0, "transfers cost cycles");
 /// ```
 #[derive(Debug)]
 pub struct UrpcChannel {
-    ring: VecDeque<Vec<u8>>,
+    /// Messages in flight, each with the cycle its last line became
+    /// visible to the polling consumer.
+    ring: VecDeque<(Vec<u8>, u64)>,
     capacity_lines: usize,
     used_lines: usize,
     placement: Placement,
     cost: CostModel,
-    clock: CycleClock,
+    clocks: CoreClocks,
+    producer: CoreCtx,
+    consumer: CoreCtx,
     stats: ChannelStats,
     tracer: Tracer,
 }
 
 impl UrpcChannel {
-    /// Creates a channel whose ring holds `capacity_lines` cache lines.
+    /// Creates a channel whose ring holds `capacity_lines` cache lines,
+    /// written from `producer`'s core and polled from `consumer`'s.
     ///
     /// # Panics
     ///
@@ -111,7 +124,9 @@ impl UrpcChannel {
         capacity_lines: usize,
         placement: Placement,
         cost: CostModel,
-        clock: CycleClock,
+        clocks: CoreClocks,
+        producer: CoreCtx,
+        consumer: CoreCtx,
     ) -> Self {
         assert!(capacity_lines > 0, "ring must hold at least one line");
         UrpcChannel {
@@ -120,13 +135,16 @@ impl UrpcChannel {
             used_lines: 0,
             placement,
             cost,
-            clock,
+            clocks,
+            producer,
+            consumer,
             stats: ChannelStats::default(),
             tracer: Tracer::disabled(),
         }
     }
 
-    /// Installs a tracer; `RpcSend`/`RpcRecv` spans cover each transfer.
+    /// Installs a tracer; `RpcSend` spans land on the producer's core and
+    /// `RpcRecv` spans on the consumer's.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
@@ -141,8 +159,8 @@ impl UrpcChannel {
         self.stats
     }
 
-    /// Enqueues a message, charging the producer-side costs (stores into
-    /// the shared lines plus fixed software overhead).
+    /// Enqueues a message, charging the producer's core (stores into the
+    /// shared lines plus fixed software overhead).
     ///
     /// # Errors
     ///
@@ -157,34 +175,55 @@ impl UrpcChannel {
             self.stats.stalls += 1;
             return Err(RpcError::ChannelFull);
         }
+        let p = self.producer.core;
+        self.tracer.begin(
+            self.clocks.now_on(p),
+            p as u32,
+            EventKind::RpcSend,
+            lines as u64,
+        );
+        self.clocks.advance(
+            p,
+            self.cost.urpc_sw_overhead + lines as u64 * self.cost.cache_hit,
+        );
+        let ready = self.clocks.now_on(p);
         self.tracer
-            .begin(self.clock.now(), 0, EventKind::RpcSend, lines as u64);
-        self.clock
-            .advance(self.cost.urpc_sw_overhead + lines as u64 * self.cost.cache_hit);
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::RpcSend, lines as u64);
+            .end(ready, p as u32, EventKind::RpcSend, lines as u64);
         self.used_lines += lines;
-        self.ring.push_back(msg.to_vec());
+        self.ring.push_back((msg.to_vec(), ready));
         self.stats.sent += 1;
         self.stats.lines += lines as u64;
         Ok(())
     }
 
-    /// Polls for the next message, charging the consumer-side costs (one
-    /// coherence transfer per line).
+    /// Polls for the next message, charging the consumer's core: it spins
+    /// until the message's lines are visible, then pays one coherence
+    /// transfer per line.
     pub fn recv(&mut self) -> Option<Vec<u8>> {
-        let msg = self.ring.pop_front()?;
+        let (msg, ready) = self.ring.pop_front()?;
         let lines = Self::lines_for(msg.len());
         self.used_lines -= lines;
         let per_line = self
             .cost
             .cacheline_transfer(self.placement == Placement::CrossSocket);
-        self.tracer
-            .begin(self.clock.now(), 0, EventKind::RpcRecv, lines as u64);
-        self.clock
-            .advance(self.cost.urpc_sw_overhead + lines as u64 * per_line);
-        self.tracer
-            .end(self.clock.now(), 0, EventKind::RpcRecv, lines as u64);
+        let c = self.consumer.core;
+        // The polling consumer cannot see the presence flag before the
+        // producer's final store lands.
+        self.clocks.catch_up(c, ready);
+        self.tracer.begin(
+            self.clocks.now_on(c),
+            c as u32,
+            EventKind::RpcRecv,
+            lines as u64,
+        );
+        self.clocks
+            .advance(c, self.cost.urpc_sw_overhead + lines as u64 * per_line);
+        self.tracer.end(
+            self.clocks.now_on(c),
+            c as u32,
+            EventKind::RpcRecv,
+            lines as u64,
+        );
         self.stats.received += 1;
         Some(msg)
     }
@@ -207,16 +246,26 @@ pub struct UrpcPair {
 }
 
 impl UrpcPair {
-    /// Creates a pair of rings with the same geometry and placement.
+    /// Creates a pair of rings with the same geometry and placement,
+    /// connecting the `client`'s core to the `server`'s.
     pub fn new(
         capacity_lines: usize,
         placement: Placement,
         cost: CostModel,
-        clock: CycleClock,
+        clocks: CoreClocks,
+        client: CoreCtx,
+        server: CoreCtx,
     ) -> Self {
         UrpcPair {
-            to_server: UrpcChannel::new(capacity_lines, placement, cost.clone(), clock.clone()),
-            to_client: UrpcChannel::new(capacity_lines, placement, cost, clock),
+            to_server: UrpcChannel::new(
+                capacity_lines,
+                placement,
+                cost.clone(),
+                clocks.clone(),
+                client,
+                server,
+            ),
+            to_client: UrpcChannel::new(capacity_lines, placement, cost, clocks, server, client),
         }
     }
 
@@ -228,7 +277,8 @@ impl UrpcPair {
 
     /// Performs one RPC exchange: request out, response back. The server
     /// side is simulated inline (it echoes a response of `resp_len`
-    /// bytes), so the cycles charged cover the full round trip.
+    /// bytes), so the cycles charged cover the full round trip across
+    /// both cores.
     ///
     /// # Errors
     ///
@@ -245,11 +295,18 @@ impl UrpcPair {
 mod tests {
     use super::*;
 
-    fn chan(lines: usize, p: Placement) -> (UrpcChannel, CycleClock) {
-        let clock = CycleClock::new();
+    fn chan(lines: usize, p: Placement) -> (UrpcChannel, CoreClocks) {
+        let clocks = CoreClocks::new(2);
         (
-            UrpcChannel::new(lines, p, CostModel::default(), clock.clone()),
-            clock,
+            UrpcChannel::new(
+                lines,
+                p,
+                CostModel::default(),
+                clocks.clone(),
+                CoreCtx::new(0),
+                CoreCtx::new(1),
+            ),
+            clocks,
         )
     }
 
@@ -285,40 +342,57 @@ mod tests {
 
     #[test]
     fn cross_socket_costs_more() {
-        let (mut local, clock_l) = chan(256, Placement::IntraSocket);
-        let (mut cross, clock_x) = chan(256, Placement::CrossSocket);
+        let (mut local, clocks_l) = chan(256, Placement::IntraSocket);
+        let (mut cross, clocks_x) = chan(256, Placement::CrossSocket);
         local.send(&[0; 4096]).unwrap();
         local.recv().unwrap();
         cross.send(&[0; 4096]).unwrap();
         cross.recv().unwrap();
-        assert!(clock_x.now() > clock_l.now(), "interconnect dominates");
+        assert!(clocks_x.now() > clocks_l.now(), "interconnect dominates");
     }
 
     #[test]
     fn larger_messages_cost_more() {
-        let (mut ch, clock) = chan(4096, Placement::IntraSocket);
+        let (mut ch, clocks) = chan(4096, Placement::IntraSocket);
         ch.send(&[0; 64]).unwrap();
         ch.recv().unwrap();
-        let small = clock.now();
+        let small = clocks.now();
         ch.send(&[0; 65536]).unwrap();
         ch.recv().unwrap();
-        let large = clock.now() - small;
+        let large = clocks.now() - small;
         assert!(large > small * 10);
     }
 
     #[test]
+    fn producer_and_consumer_charge_their_own_cores() {
+        let (mut ch, clocks) = chan(256, Placement::IntraSocket);
+        ch.send(&[0; 4096]).unwrap();
+        let sent = clocks.now_on(0);
+        assert!(sent > 0, "producer pays the stores");
+        assert_eq!(clocks.now_on(1), 0, "consumer idle until it polls");
+        ch.recv().unwrap();
+        assert_eq!(clocks.now_on(0), sent, "recv never charges the producer");
+        assert!(
+            clocks.now_on(1) > sent,
+            "consumer spins to visibility, then pays the transfers"
+        );
+    }
+
+    #[test]
     fn round_trip_pair() {
-        let clock = CycleClock::new();
+        let clocks = CoreClocks::new(2);
         let mut pair = UrpcPair::new(
             4096,
             Placement::IntraSocket,
             CostModel::default(),
-            clock.clone(),
+            clocks.clone(),
+            CoreCtx::new(0),
+            CoreCtx::new(1),
         );
         let resp = pair.round_trip(&[1; 8], 64).unwrap();
         assert_eq!(resp.len(), 64);
         assert_eq!(pair.to_server.stats().sent, 1);
         assert_eq!(pair.to_client.stats().received, 1);
-        assert!(clock.now() > 0);
+        assert!(clocks.now() > 0);
     }
 }

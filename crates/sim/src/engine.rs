@@ -1,0 +1,149 @@
+//! The event-driven simulation driver and the closed-loop client engine.
+//!
+//! [`Sim`] drains an [`EventQueue`] through a handler closure; the handler
+//! schedules follow-on events back into the same queue. [`ClosedLoop`]
+//! factors out the bookkeeping every closed-loop throughput benchmark
+//! repeats: a fixed client population, a fixed number of requests per
+//! client, completion counting, and the end-of-run timestamp that the
+//! throughput figure divides by.
+
+use crate::event::EventQueue;
+
+/// A deterministic event-driven simulation over payload type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_sim::Sim;
+/// let mut sim: Sim<u32> = Sim::new();
+/// sim.schedule(0, 1);
+/// let mut fired = Vec::new();
+/// sim.run(|sim, t, n| {
+///     fired.push((t, n));
+///     if n < 3 {
+///         sim.schedule(t + 10, n + 1);
+///     }
+/// });
+/// assert_eq!(fired, vec![(0, 1), (10, 2), (20, 3)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sim<E> {
+    events: EventQueue<E>,
+    now: u64,
+}
+
+impl<E> Sim<E> {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            events: EventQueue::new(),
+            now: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    pub fn schedule(&mut self, time: u64, event: E) {
+        self.events.push(time, event);
+    }
+
+    /// The time of the event currently being handled (zero before the
+    /// first event fires).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drains the queue: pops the earliest event and hands it to
+    /// `handler` together with the simulation (so the handler can
+    /// schedule follow-ons), until no events remain.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Sim<E>, u64, E)) {
+        while let Some((t, ev)) = self.events.pop() {
+            self.now = t;
+            handler(self, t, ev);
+        }
+    }
+}
+
+/// Bookkeeping for a closed-loop client population: `clients` actors each
+/// issue `per_client` requests back to back; the run ends when the last
+/// response lands.
+#[derive(Debug)]
+pub struct ClosedLoop {
+    remaining: Vec<usize>,
+    done: u64,
+    end: u64,
+}
+
+impl ClosedLoop {
+    /// A population of `clients` clients with `per_client` requests each.
+    pub fn new(clients: usize, per_client: usize) -> Self {
+        ClosedLoop {
+            remaining: vec![per_client; clients],
+            done: 0,
+            end: 0,
+        }
+    }
+
+    /// Number of clients in the population.
+    pub fn clients(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Records that `client` completed a request at time `t`. Returns
+    /// `true` if the client has more requests and should immediately
+    /// issue the next one (the closed loop).
+    pub fn complete(&mut self, client: usize, t: u64) -> bool {
+        self.done += 1;
+        self.end = self.end.max(t);
+        self.remaining[client] -= 1;
+        self.remaining[client] > 0
+    }
+
+    /// Requests completed so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// Completion time of the latest finished request.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_runs_to_exhaustion_in_time_order() {
+        let mut sim: Sim<&str> = Sim::new();
+        sim.schedule(30, "late");
+        sim.schedule(10, "early");
+        let mut order = Vec::new();
+        sim.run(|sim, t, ev| {
+            order.push((t, ev));
+            if ev == "early" {
+                sim.schedule(t + 5, "follow-on");
+            }
+        });
+        assert_eq!(order, vec![(10, "early"), (15, "follow-on"), (30, "late")]);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.now(), 30);
+    }
+
+    #[test]
+    fn closed_loop_counts_and_tracks_end() {
+        let mut loop_ = ClosedLoop::new(2, 2);
+        assert_eq!(loop_.clients(), 2);
+        assert!(loop_.complete(0, 100), "first of two: goes again");
+        assert!(!loop_.complete(0, 250), "second of two: client retires");
+        assert!(loop_.complete(1, 90));
+        assert!(!loop_.complete(1, 180));
+        assert_eq!(loop_.done(), 4);
+        assert_eq!(loop_.end(), 250, "end is the latest completion");
+    }
+}

@@ -1,0 +1,156 @@
+//! The time-ordered event queue at the heart of the engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Time-ordered event queue. Ties break by insertion order, making runs
+/// deterministic.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<EventSlot<T>>>,
+    seq: u64,
+}
+
+/// One scheduled event with its ordering key.
+///
+/// # Determinism contract
+///
+/// Events are totally ordered by the key `(time, seq)`: earliest `time`
+/// first, and among events scheduled for the same cycle, the one pushed
+/// first pops first (`seq` is the queue's monotonically increasing
+/// insertion counter). The payload `T` never participates in the
+/// comparison, so it needs no `Ord` and — crucially — cannot perturb the
+/// order: two runs that push the same events at the same times in the
+/// same program order pop them in exactly the same order, which is what
+/// keeps every benchmark bit-reproducible.
+#[derive(Debug)]
+struct EventSlot<T> {
+    time: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> EventSlot<T> {
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl<T> PartialEq for EventSlot<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for EventSlot<T> {}
+impl<T> PartialOrd for EventSlot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EventSlot<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    pub fn push(&mut self, time: u64, payload: T) {
+        self.heap.push(Reverse(EventSlot {
+            time,
+            seq: self.seq,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap
+            .pop()
+            .map(|Reverse(slot)| (slot.time, slot.payload))
+    }
+
+    /// Next event time without popping.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(slot)| slot.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(10, "b");
+        q.push(5, "a");
+        q.push(10, "c");
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slot_ordering_is_key_based() {
+        // The slot key drives the comparison directly (the old degenerate
+        // impl compared every slot equal and leaned on the tuple wrapper);
+        // same-time events must still order by insertion.
+        let a = EventSlot {
+            time: 5,
+            seq: 0,
+            payload: (),
+        };
+        let b = EventSlot {
+            time: 5,
+            seq: 1,
+            payload: (),
+        };
+        let c = EventSlot {
+            time: 6,
+            seq: 0,
+            payload: (),
+        };
+        assert!(a < b, "ties break by insertion order");
+        assert!(b < c, "time dominates insertion order");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn heavy_tie_storm_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..1000 {
+            q.push(42, i);
+        }
+        for i in 0..1000 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+}

@@ -1,136 +1,9 @@
-//! Discrete-event simulation primitives for multi-client experiments.
-//!
-//! The Redis experiment (Section 5.3) runs up to 100 concurrent clients
-//! against 12 cores and a contended segment lock. Rather than real
-//! threads — whose timing would reflect the host, not the modeled machine
-//! — multi-client benchmarks are driven by a deterministic discrete-event
-//! simulation: each client is an actor whose steps cost cycles from the
-//! calibrated model, [`Cores`] models limited parallelism, and
-//! [`SimRwLock`] models the reader/writer segment lock with FIFO handoff.
+//! The simulated reader/writer segment lock.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// An actor identifier within one simulation.
 pub type ActorId = usize;
-
-/// Time-ordered event queue. Ties break by insertion order, making runs
-/// deterministic.
-#[derive(Debug)]
-pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<(u64, u64, EventSlot<T>)>>,
-    seq: u64,
-}
-
-// Wrapper so T itself does not need Ord.
-#[derive(Debug)]
-struct EventSlot<T>(T);
-
-impl<T> PartialEq for EventSlot<T> {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl<T> Eq for EventSlot<T> {}
-impl<T> PartialOrd for EventSlot<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for EventSlot<T> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
-}
-
-impl<T> EventQueue<T> {
-    /// Creates an empty queue.
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
-    }
-
-    /// Schedules `payload` at absolute `time`.
-    pub fn push(&mut self, time: u64, payload: T) {
-        self.heap
-            .push(Reverse((time, self.seq, EventSlot(payload))));
-        self.seq += 1;
-    }
-
-    /// Pops the earliest event.
-    pub fn pop(&mut self) -> Option<(u64, T)> {
-        self.heap.pop().map(|Reverse((t, _, EventSlot(p)))| (t, p))
-    }
-
-    /// Next event time without popping.
-    pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-impl<T> Default for EventQueue<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// A pool of `n` cores: actors reserve a core for a cycle interval; if all
-/// cores are busy the start time slips to the earliest free core.
-#[derive(Debug, Clone)]
-pub struct Cores {
-    busy_until: Vec<u64>,
-}
-
-impl Cores {
-    /// Creates a pool of `n` cores, all free at time zero.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
-    pub fn new(n: usize) -> Self {
-        assert!(n > 0, "need at least one core");
-        Cores {
-            busy_until: vec![0; n],
-        }
-    }
-
-    /// Number of cores.
-    pub fn count(&self) -> usize {
-        self.busy_until.len()
-    }
-
-    /// Reserves a core for `duration` cycles starting no earlier than
-    /// `now`. Returns `(start, end)` of the reservation.
-    pub fn reserve(&mut self, now: u64, duration: u64) -> (u64, u64) {
-        let (idx, &free_at) = self
-            .busy_until
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("at least one core");
-        let start = now.max(free_at);
-        let end = start + duration;
-        self.busy_until[idx] = end;
-        (start, end)
-    }
-
-    /// Earliest time any core is free.
-    pub fn earliest_free(&self) -> u64 {
-        self.busy_until.iter().copied().min().unwrap_or(0)
-    }
-}
 
 /// Lock acquisition mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,36 +117,6 @@ impl SimRwLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn event_queue_orders_by_time_then_insertion() {
-        let mut q = EventQueue::new();
-        q.push(10, "b");
-        q.push(5, "a");
-        q.push(10, "c");
-        assert_eq!(q.peek_time(), Some(5));
-        assert_eq!(q.pop(), Some((5, "a")));
-        assert_eq!(q.pop(), Some((10, "b")));
-        assert_eq!(q.pop(), Some((10, "c")));
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn cores_serialize_when_saturated() {
-        let mut cores = Cores::new(2);
-        assert_eq!(cores.reserve(0, 100), (0, 100));
-        assert_eq!(cores.reserve(0, 100), (0, 100));
-        // Third job waits for a core.
-        assert_eq!(cores.reserve(0, 50), (100, 150));
-        assert_eq!(cores.count(), 2);
-        assert_eq!(cores.earliest_free(), 100);
-    }
-
-    #[test]
-    fn cores_respect_now() {
-        let mut cores = Cores::new(1);
-        assert_eq!(cores.reserve(500, 10), (500, 510));
-    }
 
     #[test]
     fn rwlock_multiple_readers() {

@@ -19,7 +19,7 @@ fn audit(sj: &mut SpaceJmp, when: &str) {
 }
 
 fn main() -> SjResult<()> {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
 
     let victim = sj.kernel_mut().spawn("victim", Creds::new(100, 100))?;
     sj.kernel_mut().activate(victim)?;

@@ -38,7 +38,7 @@ fn tool<T>(
 }
 
 fn main() -> SjResult<()> {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
 
     // --- tool 1: the loader ------------------------------------------------
     let loader = sj.kernel_mut().spawn("loader", Creds::new(1, 1))?;

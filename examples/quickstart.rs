@@ -11,7 +11,7 @@ use spacejmp::prelude::*;
 
 fn main() -> SjResult<()> {
     // Boot a DragonFly-flavored kernel on the paper's machine M2.
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
 
     // --- process one: create and populate -------------------------------
     let p0 = sj.kernel_mut().spawn("writer", Creds::new(100, 100))?;

@@ -15,7 +15,7 @@ use spacejmp::prelude::*;
 
 fn main() -> SjResult<()> {
     // Barrelfish flavor: switches are capability invocations.
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::Barrelfish, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::Barrelfish, MachineId::M2));
 
     let host = sj.kernel_mut().spawn("host", Creds::new(10, 10))?;
     let plugin = sj.kernel_mut().spawn("plugin", Creds::new(6666, 6666))?;

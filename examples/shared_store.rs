@@ -11,7 +11,7 @@ use spacejmp::kv::JmpClient;
 use spacejmp::prelude::*;
 
 fn main() -> SjResult<()> {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
 
     // Three independent client processes join the same store. The first
     // one lazily initializes the segment, heap, and hash table.

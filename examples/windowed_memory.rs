@@ -15,7 +15,7 @@ const WINDOW_BYTES: u64 = 4 << 20;
 const WINDOW_VA: u64 = 0x1000_0000_0000;
 
 fn main() -> SjResult<()> {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M3));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M3));
     let pid = sj.kernel_mut().spawn("windowed", Creds::new(1, 1))?;
 
     // Build one VAS + segment per window. Every segment sits at the same

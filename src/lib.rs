@@ -19,9 +19,12 @@
 //! * [`mem`] — simulated hardware: sparse physical memory, 4-level page
 //!   tables, an ASID-tagged TLB, per-core MMUs, and a cycle cost model
 //!   calibrated from the paper's Tables 1-2 and Figure 1;
-//! * [`os`] — the kernel substrate: processes with multiple vmspaces, VM
-//!   objects, mmap/munmap, faults, capabilities (Barrelfish flavor), and
-//!   discrete-event primitives;
+//! * [`sim`] — the deterministic multi-core simulation engine: per-core
+//!   cycle clocks, the event queue, busy-core reservation, and FIFO
+//!   reader-writer locks shared by every layer above;
+//! * [`os`] — the kernel substrate: processes pinned to cores, multiple
+//!   vmspaces, VM objects, mmap/munmap, faults, and capabilities
+//!   (Barrelfish flavor);
 //! * [`core`] — **the paper's contribution**: first-class VASes, lockable
 //!   segments, and the Figure 3 API (`vas_create/attach/switch/...`,
 //!   `seg_alloc/attach/...`), plus segment-resident heaps;
@@ -44,7 +47,7 @@
 //! use spacejmp::prelude::*;
 //!
 //! # fn main() -> Result<(), spacejmp::core::SjError> {
-//! let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+//! let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
 //! let pid = sj.kernel_mut().spawn("app", Creds::new(100, 100))?;
 //!
 //! let va = VirtAddr::new(0x1000_C0DE_0000);
@@ -71,12 +74,13 @@ pub use sjmp_mem as mem;
 pub use sjmp_os as os;
 pub use sjmp_rpc as rpc;
 pub use sjmp_safety as safety;
+pub use sjmp_sim as sim;
 pub use sjmp_trace as trace;
 pub use spacejmp_core as core;
 
 /// The common imports for SpaceJMP programs.
 pub mod prelude {
-    pub use sjmp_mem::{Asid, KernelFlavor, Machine, PteFlags, VirtAddr};
+    pub use sjmp_mem::{Asid, CoreCtx, KernelFlavor, Machine, MachineId, PteFlags, VirtAddr};
     pub use sjmp_os::{Creds, Kernel, Mode, Pid};
     pub use spacejmp_core::{
         AttachMode, MemTier, RetryPolicy, SegCtl, SegId, SjError, SjResult, SpaceJmp, VasCtl,

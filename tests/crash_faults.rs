@@ -16,7 +16,7 @@ const SEG_BASE: u64 = 0x1000_0000_0000;
 const SLOT: u64 = 1 << 39;
 
 fn boot() -> SpaceJmp {
-    SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1))
+    SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1))
 }
 
 fn spawn(sj: &mut SpaceJmp, name: &str) -> Pid {

@@ -48,7 +48,7 @@ fn physical_exhaustion_fails_cleanly() {
 
 #[test]
 fn heap_exhaustion_leaves_dictionary_consistent() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let pid = sj.kernel_mut().spawn("kv", Creds::new(1, 1)).unwrap();
     sj.kernel_mut().activate(pid).unwrap();
     let vid = sj.vas_create(pid, "v", Mode(0o600)).unwrap();
@@ -103,7 +103,7 @@ fn heap_exhaustion_leaves_dictionary_consistent() {
 
 #[test]
 fn asid_exhaustion_reported() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     sj.kernel_mut().set_tagging(true);
     // Drain the 4095-tag pool directly.
     for _ in 0..4095 {
@@ -117,7 +117,7 @@ fn asid_exhaustion_reported() {
 
 #[test]
 fn faults_outside_any_region_are_fatal_to_the_access() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let pid = sj.kernel_mut().spawn("p", Creds::new(1, 1)).unwrap();
     sj.kernel_mut().activate(pid).unwrap();
     // Wild pointer into unmapped space: clean error, process survives.
@@ -131,7 +131,7 @@ fn faults_outside_any_region_are_fatal_to_the_access() {
 
 #[test]
 fn double_detach_and_stale_handles() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let pid = sj.kernel_mut().spawn("p", Creds::new(1, 1)).unwrap();
     sj.kernel_mut().activate(pid).unwrap();
     let vid = sj.vas_create(pid, "v", Mode(0o600)).unwrap();
@@ -150,7 +150,7 @@ fn lock_rollback_under_partial_contention() {
     // A switch that acquires some locks and then hits contention must
     // roll back completely: no lock may remain held by the failed
     // switcher.
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let p0 = sj.kernel_mut().spawn("p0", Creds::new(1, 1)).unwrap();
     let p1 = sj.kernel_mut().spawn("p1", Creds::new(1, 1)).unwrap();
     sj.kernel_mut().activate(p0).unwrap();
@@ -194,7 +194,7 @@ fn lock_rollback_under_partial_contention() {
 
 #[test]
 fn out_of_address_space_for_private_mmaps() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let pid = sj.kernel_mut().spawn("p", Creds::new(1, 1)).unwrap();
     // The private arena is ~16 TiB; asking for more in one mapping fails
     // with a clean error rather than wrapping.

@@ -16,7 +16,7 @@ use spacejmp::prelude::*;
 const SEG_BASE: u64 = 0x1000_0000_0000;
 
 fn boot() -> SpaceJmp {
-    SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1))
+    SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1))
 }
 
 /// A machine with exactly `frames` physical frames, otherwise M1-like.

@@ -15,7 +15,7 @@ fn table2_switch_costs() {
         (KernelFlavor::Barrelfish, false, 664),
         (KernelFlavor::Barrelfish, true, 462),
     ] {
-        let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+        let mut sj = SpaceJmp::new(Kernel::new(flavor, MachineId::M2));
         sj.kernel_mut().set_tagging(tagging);
         let pid = sj.kernel_mut().spawn("p", Creds::new(1, 1)).unwrap();
         sj.kernel_mut().activate(pid).unwrap();
@@ -39,7 +39,7 @@ fn table2_switch_costs() {
 /// disjoint physical windows through one VA.
 #[test]
 fn addresses_beyond_a_single_va_window() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M3));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M3));
     let pid = sj.kernel_mut().spawn("big", Creds::new(1, 1)).unwrap();
     let va = VirtAddr::new(0x1000_0000_0000);
     let mut handles = Vec::new();
@@ -102,7 +102,7 @@ fn switch_pair_beats_socket_round_trip() {
 /// exclusion across *processes*.
 #[test]
 fn lockable_segments_across_processes() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M1));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
     let mut clients = Vec::new();
     for i in 0..3 {
         let pid = sj
@@ -133,7 +133,7 @@ fn lockable_segments_across_processes() {
 /// with pointers intact (no serialization, no swizzling).
 #[test]
 fn pointers_survive_process_lifetimes() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     let seg_base = VirtAddr::new(0x1000_0000_0000);
 
     // Process A builds a linked list in a VAS-resident heap.
@@ -182,7 +182,7 @@ fn pointers_survive_process_lifetimes() {
 /// Section 4.4 + Figure 6: tags retain translations across switches.
 #[test]
 fn tags_retain_translations() {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     sj.kernel_mut().set_tagging(true);
     let pid = sj.kernel_mut().spawn("t", Creds::new(1, 1)).unwrap();
     sj.kernel_mut().activate(pid).unwrap();

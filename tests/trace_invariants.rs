@@ -4,6 +4,8 @@
 //! * every `Begin` has a matching `End` (no unmatched ends, no spans
 //!   left open once the workload returns to steady state);
 //! * timestamps are monotonic per hardware thread;
+//! * events are attributed to the hardware thread that executed them —
+//!   a syscall running on core 1 never claims core 0;
 //! * the per-switch cycle breakdown reconstructed from the trace agrees
 //!   with the cost model's Table 2 decomposition within 1%;
 //! * installing a tracer changes **zero** modeled cycles — the clock
@@ -17,7 +19,7 @@ use spacejmp::trace::{Phase, Tracer};
 /// instruments: attach, switch, segment locks, faults, TLB traffic.
 /// Returns the final simulated cycle count.
 fn workload(tracer: Tracer) -> u64 {
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, Machine::M2));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
     sj.set_tracer(tracer);
     let pid = sj
         .kernel_mut()
@@ -104,6 +106,56 @@ fn timestamps_are_monotonic_per_core() {
 }
 
 #[test]
+fn kernel_events_claim_the_executing_core() {
+    // The first process pins to core 0, the second to core 1. Everything
+    // the second does goes through kernel paths that once hard-coded
+    // `core: 0` in their trace events; none of them may claim core 0
+    // while executing on another hardware thread.
+    let tracer = Tracer::new(1 << 16);
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
+    sj.set_tracer(tracer.clone());
+    let _first = sj
+        .kernel_mut()
+        .spawn("boot-core", Creds::new(1, 1))
+        .expect("spawn");
+    let pid = sj
+        .kernel_mut()
+        .spawn("second-core", Creds::new(1, 1))
+        .expect("spawn");
+    sj.kernel_mut().activate(pid).expect("activate");
+    let core = sj.kernel().ctx_of(pid).expect("ctx").core as u32;
+    assert_ne!(core, 0, "the second process must pin off the boot core");
+
+    let va = VirtAddr::new(0x2000_0000_0000);
+    let vid = sj.vas_create(pid, "v", Mode(0o660)).expect("vas");
+    let sid = sj
+        .seg_alloc(pid, "s", va, 1 << 20, Mode(0o660))
+        .expect("seg");
+    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)
+        .expect("seg attach");
+    let vh = sj.vas_attach(pid, vid).expect("vas attach");
+    tracer.clear();
+    sj.vas_switch(pid, vh).expect("switch");
+    for i in 0..4u64 {
+        sj.kernel_mut()
+            .store_u64(pid, va.add(i * 4096), i)
+            .expect("store");
+    }
+    sj.vas_switch_home(pid).expect("home");
+    sj.vas_detach(pid, vh).expect("detach");
+
+    let events = tracer.events();
+    assert!(!events.is_empty(), "workload produced no events");
+    for ev in &events {
+        assert_eq!(
+            ev.core, core,
+            "{:?} executed on core {core} but was attributed to core {}",
+            ev.kind, ev.core
+        );
+    }
+}
+
+#[test]
 fn trace_breakdown_matches_cost_model_within_one_percent() {
     use spacejmp::mem::cost::CostModel;
     use spacejmp::mem::KernelFlavor as Flavor;
@@ -116,7 +168,7 @@ fn trace_breakdown_matches_cost_model_within_one_percent() {
         (Flavor::Barrelfish, true),
     ] {
         let tracer = Tracer::new(4096);
-        let mut sj = SpaceJmp::new(Kernel::new(flavor, Machine::M2));
+        let mut sj = SpaceJmp::new(Kernel::new(flavor, MachineId::M2));
         sj.set_tracer(tracer.clone());
         if tagged {
             sj.kernel_mut().set_tagging(true);
