@@ -1,0 +1,238 @@
+//! Offline audit passes over live kernel state (`sjmp-lint`'s other
+//! half: what can be checked without a trace).
+//!
+//! These are invariants of the SpaceJMP design that no single syscall
+//! can check — they span segments, VASes, vmspaces, and the physical
+//! page tables:
+//!
+//! * **unlocked-shared-write** — a writable segment reachable by two
+//!   or more processes with its lock discipline turned off
+//!   (`seg_ctl` made it non-lockable). Every access to it is a
+//!   potential race the switch-time locking protocol cannot prevent.
+//! * **stale-pte** — a swapped-out page of a demand-paged object that
+//!   still has a *present* translation in some VAS template: a
+//!   use-after-evict waiting to happen (reads would hit a recycled
+//!   frame).
+//! * **asid-alias** — two vmspaces of different VASes sharing one
+//!   tagged ASID: the TLB would serve one VAS's translations to the
+//!   other without a flush.
+//! * **template-divergence** — an attachment's vmspace whose shared
+//!   PML4 slot no longer points at the same subtree as its VAS's
+//!   template: updates to the VAS (new segments, reclaim) stop
+//!   propagating to that process (Section 4.2's propagation contract).
+//!
+//! All passes iterate sorted id lists so findings are deterministic.
+
+use std::collections::BTreeMap;
+
+use sjmp_mem::{paging, PAGE_SIZE};
+use sjmp_os::vmobject::PageState;
+use spacejmp_core::{AttachMode, SpaceJmp};
+
+use crate::report::Finding;
+
+/// Runs every kernel audit pass and returns all findings, in pass
+/// order. A healthy kernel yields an empty vector.
+pub fn lint_kernel(sj: &mut SpaceJmp) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(unlocked_shared_writable(sj));
+    findings.extend(stale_ptes(sj));
+    findings.extend(asid_aliases(sj));
+    findings.extend(template_divergence(sj));
+    findings
+}
+
+/// Writable segment, lock discipline off, reachable by ≥ 2 processes.
+fn unlocked_shared_writable(sj: &SpaceJmp) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for sid in sj.segment_ids() {
+        let Ok(seg) = sj.segment(sid) else { continue };
+        if seg.lockable() {
+            continue;
+        }
+        let mut writers: Vec<u64> = Vec::new();
+        for vid in sj.vas_ids() {
+            let Ok(vas) = sj.vas(vid) else { continue };
+            if vas.segment_mode(sid) == Some(AttachMode::ReadWrite) {
+                writers.extend(vas.attached_pids().map(|p| p.0));
+            }
+        }
+        for vh in sj.attachment_handles() {
+            let Ok(att) = sj.attachment(vh) else { continue };
+            if att
+                .local_segments
+                .iter()
+                .any(|&(s, m)| s == sid && m == AttachMode::ReadWrite)
+            {
+                writers.push(att.pid.0);
+            }
+        }
+        writers.sort_unstable();
+        writers.dedup();
+        if writers.len() >= 2 {
+            findings.push(
+                Finding::new(
+                    "unlocked-shared-write",
+                    format!(
+                        "segment {} is writable by {} processes but not lockable: \
+                         switch-time locking cannot order its accesses",
+                        sid.0,
+                        writers.len(),
+                    ),
+                )
+                .segments([sid.0])
+                .pids(writers),
+            );
+        }
+    }
+    findings
+}
+
+/// Swapped pages of segment-backing objects must not keep present
+/// translations in any VAS template.
+fn stale_ptes(sj: &mut SpaceJmp) -> Vec<Finding> {
+    // Collect the work list first (immutable pass), then walk page
+    // tables (needs &mut PhysMem).
+    struct Check {
+        sid: u64,
+        base: u64,
+        page: u64,
+        root: sjmp_mem::Pfn,
+    }
+    let mut checks: Vec<Check> = Vec::new();
+    for sid in sj.segment_ids() {
+        let Ok(seg) = sj.segment(sid) else { continue };
+        let object = seg.object();
+        let (base, pages) = (seg.base(), seg.size() / PAGE_SIZE);
+        let Ok(obj) = sj.kernel().vmobject(object) else {
+            continue;
+        };
+        if obj.is_contiguous() || obj.swapped_pages() == 0 {
+            continue;
+        }
+        let swapped: Vec<u64> = (0..pages.min(obj.pages()))
+            .filter(|&i| matches!(obj.page_state(i), PageState::Swapped { .. }))
+            .collect();
+        if swapped.is_empty() {
+            continue;
+        }
+        for vid in sj.vas_ids() {
+            let Ok(vas) = sj.vas(vid) else { continue };
+            if vas.segment_mode(sid).is_none() {
+                continue;
+            }
+            checks.extend(swapped.iter().map(|&page| Check {
+                sid: sid.0,
+                base: base.raw(),
+                page,
+                root: vas.template_root(),
+            }));
+        }
+    }
+    let phys = sj.kernel_mut().phys_mut();
+    let mut findings = Vec::new();
+    for c in checks {
+        let va = sjmp_mem::VirtAddr::new(c.base + c.page * PAGE_SIZE);
+        if paging::walk(phys, c.root, va).is_ok() && !paging::leaf_is_swap_marked(phys, c.root, va)
+        {
+            findings.push(
+                Finding::new(
+                    "stale-pte",
+                    format!(
+                        "page {} of segment {} is swapped out but still has a \
+                         present translation at {va:?}",
+                        c.page, c.sid,
+                    ),
+                )
+                .segments([c.sid]),
+            );
+        }
+    }
+    findings
+}
+
+/// Tagged ASIDs must be unique across vmspaces of different VASes.
+fn asid_aliases(sj: &SpaceJmp) -> Vec<Finding> {
+    // Which VAS (if any) owns each attachment vmspace.
+    let mut owner: BTreeMap<u64, u64> = BTreeMap::new();
+    for vh in sj.attachment_handles() {
+        if let Ok(att) = sj.attachment(vh) {
+            owner.insert(att.vmspace.0, att.vid.0);
+        }
+    }
+    let mut by_asid: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+    for vs in sj.kernel().vmspace_ids() {
+        let Ok(space) = sj.kernel().vmspace(vs) else {
+            continue;
+        };
+        if space.asid().is_tagged() {
+            by_asid.entry(space.asid().0).or_default().push(vs.0);
+        }
+    }
+    let mut findings = Vec::new();
+    for (asid, spaces) in by_asid {
+        let owners: Vec<Option<u64>> = spaces.iter().map(|s| owner.get(s).copied()).collect();
+        let mut distinct = owners.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if spaces.len() >= 2 && distinct.len() >= 2 {
+            findings.push(Finding::new(
+                "asid-alias",
+                format!(
+                    "tagged ASID {asid} is shared by vmspaces {spaces:?} belonging \
+                     to different VASes: TLB entries would leak across them"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Every attachment's shared PML4 slots must match its VAS template.
+fn template_divergence(sj: &mut SpaceJmp) -> Vec<Finding> {
+    struct Check {
+        pid: u64,
+        vid: u64,
+        root: sjmp_mem::Pfn,
+        template: sjmp_mem::Pfn,
+        slots: Vec<usize>,
+    }
+    let mut checks: Vec<Check> = Vec::new();
+    for vh in sj.attachment_handles() {
+        let Ok(att) = sj.attachment(vh) else { continue };
+        let Ok(vas) = sj.vas(att.vid) else { continue };
+        let Ok(space) = sj.kernel().vmspace(att.vmspace) else {
+            continue;
+        };
+        checks.push(Check {
+            pid: att.pid.0,
+            vid: att.vid.0,
+            root: space.root(),
+            template: vas.template_root(),
+            slots: space.shared_slots().to_vec(),
+        });
+    }
+    let phys = sj.kernel_mut().phys_mut();
+    let mut findings = Vec::new();
+    for c in checks {
+        for slot in c.slots {
+            let in_template = paging::root_slot_entry(phys, c.template, slot);
+            let in_space = paging::root_slot_entry(phys, c.root, slot);
+            if in_template.is_some() && in_space != in_template {
+                findings.push(
+                    Finding::new(
+                        "template-divergence",
+                        format!(
+                            "pid {}'s vmspace shares PML4 slot {slot} of VAS {} but \
+                             points at {in_space:?} instead of the template's \
+                             {in_template:?}: VAS updates no longer propagate",
+                            c.pid, c.vid,
+                        ),
+                    )
+                    .pids([c.pid]),
+                );
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,271 @@
+//! Goodlock-style lock-order analysis over replayed traces.
+//!
+//! `vas_switch` acquires the target VAS's whole lock set while still
+//! holding the previous VAS's locks (acquire-then-release, so a
+//! mid-switch crash unwinds cleanly). Processes that switch *directly*
+//! between VASes in opposite orders therefore create the classic
+//! deadlock shape: P1 holds `s1` wanting `s2`, P2 holds `s2` wanting
+//! `s1`. The runtime defuses actual cycles with try-acquire + rollback
+//! and the waits-for graph, but that costs livelock-prone retries; the
+//! point of Goodlock is to report the *potential* cycle even on runs
+//! where the timing never lined up.
+//!
+//! The replay builds a directed graph: an edge `a → b` (witnessed by
+//! pid P) means P at some point attempted or completed acquiring `b`
+//! while holding `a`. Any cycle in the graph is a potential deadlock —
+//! **unless** every edge in it was witnessed by one single process.
+//! A lone process cycling through VASes in both orders creates both
+//! edge directions, but one process cannot deadlock with itself under
+//! try-acquire-with-rollback, so a cycle is only reported when its
+//! edges were witnessed by at least two distinct pids.
+//!
+//! Contended attempts ([`EventKind::LockContention`]) contribute edges
+//! but not holds — exactly the attempts most likely to be half of a
+//! real inversion.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sjmp_trace::{Event, EventKind};
+
+use crate::report::Finding;
+
+/// Replays `events` and returns one `lock-order-cycle` finding per
+/// strongly connected component of the lock-order graph whose edges
+/// were witnessed by at least two distinct processes.
+pub fn detect_lock_order_cycles(events: &[Event]) -> Vec<Finding> {
+    // held-by-pid replay; edge (a, b) → witnessing pids.
+    let mut held: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut edges: BTreeMap<(u64, u64), BTreeSet<u64>> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::LockAcquire | EventKind::LockContention => {
+                let (sid, pid) = (ev.arg0, ev.arg1);
+                let h = held.entry(pid).or_default();
+                for &prior in h.iter() {
+                    if prior != sid {
+                        edges.entry((prior, sid)).or_default().insert(pid);
+                    }
+                }
+                if ev.kind == EventKind::LockAcquire {
+                    h.insert(sid);
+                }
+            }
+            EventKind::LockRelease => {
+                held.entry(ev.arg1).or_default().remove(&ev.arg0);
+            }
+            _ => {}
+        }
+    }
+
+    // Strongly connected components (Kosaraju). Node set = every
+    // segment appearing in an edge, in sorted order for determinism.
+    let nodes: Vec<u64> = edges
+        .keys()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let fwd: BTreeMap<u64, Vec<u64>> = adjacency(edges.keys().copied());
+    let rev: BTreeMap<u64, Vec<u64>> = adjacency(edges.keys().map(|&(a, b)| (b, a)));
+
+    let mut order = Vec::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for &n in &nodes {
+        dfs_postorder(n, &fwd, &mut seen, &mut order);
+    }
+    let mut findings = Vec::new();
+    let mut assigned: BTreeSet<u64> = BTreeSet::new();
+    for &n in order.iter().rev() {
+        if assigned.contains(&n) {
+            continue;
+        }
+        let mut component = Vec::new();
+        dfs_postorder(n, &rev, &mut assigned, &mut component);
+        if component.len() < 2 {
+            continue; // a segment alone cannot form an inversion
+        }
+        component.sort_unstable();
+        let members: BTreeSet<u64> = component.iter().copied().collect();
+        let witnesses: BTreeSet<u64> = edges
+            .iter()
+            .filter(|((a, b), _)| members.contains(a) && members.contains(b))
+            .flat_map(|(_, pids)| pids.iter().copied())
+            .collect();
+        if witnesses.len() < 2 {
+            continue; // single-process both-ways switching is benign
+        }
+        findings.push(
+            Finding::new(
+                "lock-order-cycle",
+                format!(
+                    "segments {component:?} are acquired in conflicting orders by \
+                     processes {:?}: a potential vas_switch deadlock",
+                    witnesses.iter().collect::<Vec<_>>(),
+                ),
+            )
+            .segments(component)
+            .pids(witnesses),
+        );
+    }
+    findings
+}
+
+fn adjacency(edges: impl Iterator<Item = (u64, u64)>) -> BTreeMap<u64, Vec<u64>> {
+    let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    adj
+}
+
+fn dfs_postorder(
+    start: u64,
+    adj: &BTreeMap<u64, Vec<u64>>,
+    seen: &mut BTreeSet<u64>,
+    out: &mut Vec<u64>,
+) {
+    if !seen.insert(start) {
+        return;
+    }
+    // Iterative DFS recording post-order (graphs are tiny but trace
+    // replays should never recurse unboundedly).
+    let mut stack = vec![(start, 0usize)];
+    while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+        let next = adj.get(&node).and_then(|succs| {
+            while *idx < succs.len() {
+                let s = succs[*idx];
+                *idx += 1;
+                if seen.insert(s) {
+                    return Some(s);
+                }
+            }
+            None
+        });
+        match next {
+            Some(s) => stack.push((s, 0)),
+            None => {
+                out.push(node);
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjmp_trace::Phase;
+
+    fn acquire(ts: u64, core: u32, sid: u64, pid: u64) -> Event {
+        ev(ts, core, EventKind::LockAcquire, sid, pid)
+    }
+
+    fn release(ts: u64, core: u32, sid: u64, pid: u64) -> Event {
+        ev(ts, core, EventKind::LockRelease, sid, pid)
+    }
+
+    fn ev(ts: u64, core: u32, kind: EventKind, arg0: u64, arg1: u64) -> Event {
+        Event {
+            ts,
+            core,
+            phase: Phase::Instant,
+            kind,
+            arg0,
+            arg1,
+        }
+    }
+
+    #[test]
+    fn two_pid_inversion_is_a_cycle() {
+        // P1: hold 1, take 2.  P2: hold 2, take 1 (sequentially — the
+        // analysis must flag the *potential* even though nothing hung).
+        let e = vec![
+            acquire(0, 0, 1, 10),
+            acquire(1, 0, 2, 10),
+            release(2, 0, 2, 10),
+            release(3, 0, 1, 10),
+            acquire(4, 1, 2, 11),
+            acquire(5, 1, 1, 11),
+            release(6, 1, 1, 11),
+            release(7, 1, 2, 11),
+        ];
+        let f = detect_lock_order_cycles(&e);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lock-order-cycle");
+        assert_eq!(f[0].segments, vec![1, 2]);
+        assert_eq!(f[0].pids, vec![10, 11]);
+    }
+
+    #[test]
+    fn single_pid_both_orders_is_benign() {
+        // One process switching A→B then B→A: both edges exist but only
+        // one witness — must not be reported.
+        let e = vec![
+            acquire(0, 0, 1, 10),
+            acquire(1, 0, 2, 10),
+            release(2, 0, 1, 10),
+            release(3, 0, 2, 10),
+            acquire(4, 0, 2, 10),
+            acquire(5, 0, 1, 10),
+            release(6, 0, 2, 10),
+            release(7, 0, 1, 10),
+        ];
+        assert!(detect_lock_order_cycles(&e).is_empty());
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let e = vec![
+            acquire(0, 0, 1, 10),
+            acquire(1, 0, 2, 10),
+            release(2, 0, 2, 10),
+            release(3, 0, 1, 10),
+            acquire(4, 1, 1, 11),
+            acquire(5, 1, 2, 11),
+            release(6, 1, 2, 11),
+            release(7, 1, 1, 11),
+        ];
+        assert!(detect_lock_order_cycles(&e).is_empty());
+    }
+
+    #[test]
+    fn contention_attempt_contributes_the_edge() {
+        // P2's attempt on 1 while holding 2 is rolled back by the
+        // runtime (contention) — the potential cycle must still show.
+        let e = vec![
+            acquire(0, 0, 1, 10),
+            acquire(1, 0, 2, 10),
+            release(2, 0, 2, 10),
+            release(3, 0, 1, 10),
+            acquire(4, 1, 2, 11),
+            ev(5, 1, EventKind::LockContention, 1, 11),
+            release(6, 1, 2, 11),
+        ];
+        let f = detect_lock_order_cycles(&e);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].segments, vec![1, 2]);
+    }
+
+    #[test]
+    fn three_way_rotation_is_one_cycle() {
+        // P1: 1→2, P2: 2→3, P3: 3→1 — one SCC {1,2,3}, three witnesses.
+        let e = vec![
+            acquire(0, 0, 1, 10),
+            acquire(1, 0, 2, 10),
+            release(2, 0, 2, 10),
+            release(3, 0, 1, 10),
+            acquire(4, 1, 2, 11),
+            acquire(5, 1, 3, 11),
+            release(6, 1, 3, 11),
+            release(7, 1, 2, 11),
+            acquire(8, 2, 3, 12),
+            acquire(9, 2, 1, 12),
+            release(10, 2, 1, 12),
+            release(11, 2, 3, 12),
+        ];
+        let f = detect_lock_order_cycles(&e);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].segments, vec![1, 2, 3]);
+        assert_eq!(f[0].pids, vec![10, 11, 12]);
+    }
+}

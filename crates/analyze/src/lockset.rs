@@ -1,0 +1,674 @@
+//! Interprocedural lockset dataflow over the `sjmp-safety` IR.
+//!
+//! The paper's safety story (Section 3.3) has two halves: the *VAS*
+//! half — is this pointer valid in the active address space? — solved
+//! by `sjmp_safety::Analysis`, and the *sharing* half — is this access
+//! to a shared segment ordered against other processes? The paper
+//! leans on segment locks acquired at switch time for the second half;
+//! this pass proves, per load/store, whether that discipline is
+//! actually followed.
+//!
+//! Two classic lockset facts are computed at every program point:
+//!
+//! * **must-held** — locks held on *every* path to the point. Starts
+//!   at ⊤ (all segments), `lock s` adds, `unlock s` removes, and
+//!   control-flow joins intersect. Only shrinks across iterations.
+//! * **may-held** — locks held on *some* path. Starts empty, joins
+//!   union. Only grows.
+//!
+//! Both are propagated interprocedurally the same way the VAS analysis
+//! does: a callee's entry state is the meet (must: ∩, may: ∪) over its
+//! callsites, and a call's out-state is the callee's exit state.
+//!
+//! Which segment an access touches comes from a flow-insensitive
+//! points-to pre-pass seeded at `x = segaddr s` and propagated through
+//! copies, phis, vcasts, and calls. Pointers laundered through memory
+//! (stored then reloaded) are *not* tracked — such accesses classify
+//! from an empty points-to set, i.e. as [`AccessClass::NotShared`].
+//! This mirrors the VAS analysis, which also degrades to `vunknown` on
+//! loads from memory; programs wanting precision keep segment pointers
+//! in registers.
+//!
+//! Each load/store then classifies as:
+//!
+//! * [`AccessClass::NotShared`] — the address cannot point into a
+//!   shared segment;
+//! * [`AccessClass::ProvenGuarded`] — every segment it may touch is in
+//!   the must-held set: the access is race-free by lock discipline;
+//! * [`AccessClass::ProvenRacy`] — it touches a shared segment and
+//!   *no* lock of that segment is even may-held: a proven discipline
+//!   violation;
+//! * [`AccessClass::Unknown`] — anything in between (e.g. a lock held
+//!   on one branch only).
+
+use std::collections::BTreeSet;
+
+use sjmp_safety::ir::{BlockId, Inst, Module, Reg, SegName};
+
+/// Verdict for one load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// The address cannot point into a shared segment.
+    NotShared,
+    /// Every shared segment the address may touch is must-locked.
+    ProvenGuarded,
+    /// Touches a shared segment with provably no lock held on it.
+    ProvenRacy,
+    /// Cannot prove either way.
+    Unknown,
+}
+
+/// Aggregate counts over a module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocksetSummary {
+    /// Loads and stores in the module.
+    pub mem_ops: usize,
+    /// Accesses proven not to touch shared segments.
+    pub not_shared: usize,
+    /// Accesses proven guarded by lock discipline.
+    pub guarded: usize,
+    /// Accesses proven to violate lock discipline.
+    pub racy: usize,
+    /// Accesses the analysis cannot classify.
+    pub unknown: usize,
+}
+
+impl LocksetSummary {
+    /// Accesses the pass proved race-free (not shared, or guarded):
+    /// the analysis's "no dynamic check needed" count, comparable to
+    /// `CheckReport::proven_safe` from the VAS analysis.
+    pub fn proven(&self) -> usize {
+        self.not_shared + self.guarded
+    }
+}
+
+/// Must-held lockset: `None` is ⊤ (top: every segment — the initial
+/// optimistic value at unvisited points), `Some(s)` a concrete set.
+type Must = Option<BTreeSet<SegName>>;
+
+fn meet_must(dst: &mut Must, src: &Must) -> bool {
+    match (dst.as_mut(), src) {
+        (_, None) => false,
+        (None, Some(s)) => {
+            *dst = Some(s.clone());
+            true
+        }
+        (Some(d), Some(s)) => {
+            let before = d.len();
+            d.retain(|x| s.contains(x));
+            d.len() != before
+        }
+    }
+}
+
+fn union_may(dst: &mut BTreeSet<SegName>, src: &BTreeSet<SegName>) -> bool {
+    let before = dst.len();
+    dst.extend(src.iter().copied());
+    dst.len() != before
+}
+
+/// Per-point dataflow state.
+#[derive(Debug, Clone, Default)]
+struct State {
+    must: Must,
+    may: BTreeSet<SegName>,
+}
+
+impl State {
+    fn entry() -> State {
+        State {
+            must: Some(BTreeSet::new()),
+            may: BTreeSet::new(),
+        }
+    }
+
+    fn meet_from(&mut self, other: &State) -> bool {
+        meet_must(&mut self.must, &other.must) | union_may(&mut self.may, &other.may)
+    }
+
+    fn apply(&mut self, inst: &Inst, exits: &[State]) {
+        match inst {
+            Inst::Lock(s) => {
+                if let Some(m) = self.must.as_mut() {
+                    m.insert(*s);
+                }
+                self.may.insert(*s);
+            }
+            Inst::Unlock(s) => {
+                if let Some(m) = self.must.as_mut() {
+                    m.remove(s);
+                }
+                self.may.remove(s);
+            }
+            Inst::Call { func, .. } => {
+                // The callee's exit state is absolute (it already
+                // flows from the meet over callsite entries), so it
+                // replaces must; may unions in whatever the callee
+                // might have left held.
+                let exit = &exits[func.0 as usize];
+                self.must = exit.must.clone();
+                self.may.extend(exit.may.iter().copied());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Results of the lockset pass over one module.
+#[derive(Debug, Clone)]
+pub struct Lockset {
+    /// Classification per function, per block, per instruction index;
+    /// `None` for instructions that are not loads or stores.
+    classes: Vec<Vec<Vec<Option<AccessClass>>>>,
+    /// Fixpoint iterations used.
+    pub iterations: u32,
+}
+
+impl Lockset {
+    /// Runs the pass. Main (function 0) enters holding no locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixpoint fails to converge within a generous
+    /// bound (a non-monotone transfer bug).
+    pub fn run(module: &Module) -> Lockset {
+        let pts = points_to(module);
+        let n = module.functions.len();
+        // Per-instruction in-states, ⊤-initialized; entry/exit summaries.
+        let mut in_states: Vec<Vec<Vec<State>>> = module
+            .functions
+            .iter()
+            .map(|f| {
+                f.blocks
+                    .iter()
+                    .map(|b| vec![State::default(); b.insts.len()])
+                    .collect()
+            })
+            .collect();
+        let mut entries = vec![State::default(); n];
+        let mut exits = vec![State::default(); n];
+        entries[0] = State::entry();
+
+        let limit = 64 + module.inst_count() as u32;
+        let mut iterations = 0u32;
+        loop {
+            iterations += 1;
+            assert!(iterations <= limit, "lockset analysis failed to converge");
+            let mut changed = false;
+            for (fi, func) in module.functions.iter().enumerate() {
+                let preds = func.predecessors();
+                // Block-out states from last iteration's stored
+                // terminator in-state (no terminator changes locksets).
+                let mut block_out: Vec<State> = func
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, b)| match b.insts.len().checked_sub(1) {
+                        Some(last) => {
+                            let mut s = in_states[fi][bi][last].clone();
+                            s.apply(&b.insts[last], &exits);
+                            s
+                        }
+                        None => State::default(),
+                    })
+                    .collect();
+                for (bi, block) in func.blocks.iter().enumerate() {
+                    let mut cur = if bi == 0 {
+                        entries[fi].clone()
+                    } else {
+                        let mut s = State::default();
+                        for p in &preds[bi] {
+                            s.meet_from(&block_out[p.0 as usize]);
+                        }
+                        s
+                    };
+                    for (ii, inst) in block.insts.iter().enumerate() {
+                        changed |= in_states[fi][bi][ii].meet_from(&cur);
+                        if let Inst::Call { func: callee, .. } = inst {
+                            changed |= entries[callee.0 as usize].meet_from(&cur);
+                        }
+                        if let Inst::Ret(_) = inst {
+                            changed |= exits[fi].meet_from(&cur);
+                        }
+                        cur.apply(inst, &exits);
+                    }
+                    changed |= block_out[bi].meet_from(&cur);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Classify every memory operation from its fixpoint in-state.
+        let classes = module
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(fi, func)| {
+                func.blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, block)| {
+                        block
+                            .insts
+                            .iter()
+                            .enumerate()
+                            .map(|(ii, inst)| {
+                                let addr = match inst {
+                                    Inst::Load { addr, .. } | Inst::Store { addr, .. } => *addr,
+                                    _ => return None,
+                                };
+                                Some(classify(pts[fi].get(&addr), &in_states[fi][bi][ii]))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Lockset {
+            classes,
+            iterations,
+        }
+    }
+
+    /// The classification of one instruction (`None` if it is not a
+    /// load or store).
+    pub fn class_of(&self, func: usize, bb: BlockId, idx: usize) -> Option<AccessClass> {
+        self.classes[func][bb.0 as usize][idx]
+    }
+
+    /// Aggregate counts over the whole module.
+    pub fn summary(&self) -> LocksetSummary {
+        let mut s = LocksetSummary::default();
+        for c in self.classes.iter().flatten().flatten().flatten() {
+            s.mem_ops += 1;
+            match c {
+                AccessClass::NotShared => s.not_shared += 1,
+                AccessClass::ProvenGuarded => s.guarded += 1,
+                AccessClass::ProvenRacy => s.racy += 1,
+                AccessClass::Unknown => s.unknown += 1,
+            }
+        }
+        s
+    }
+}
+
+fn classify(pts: Option<&BTreeSet<SegName>>, state: &State) -> AccessClass {
+    let Some(pts) = pts.filter(|p| !p.is_empty()) else {
+        return AccessClass::NotShared;
+    };
+    let guarded = match &state.must {
+        None => true, // unreachable point: vacuously guarded
+        Some(must) => pts.iter().all(|s| must.contains(s)),
+    };
+    if guarded {
+        AccessClass::ProvenGuarded
+    } else if pts.iter().all(|s| !state.may.contains(s)) {
+        AccessClass::ProvenRacy
+    } else {
+        AccessClass::Unknown
+    }
+}
+
+/// Flow-insensitive may-point-to over segment bases: which segments
+/// can each register address? Seeded by `segaddr`, propagated through
+/// copies, phis, vcasts, and call boundaries; loads are not tracked
+/// (see the module docs).
+fn points_to(module: &Module) -> Vec<std::collections::HashMap<Reg, BTreeSet<SegName>>> {
+    let n = module.functions.len();
+    let mut pts: Vec<std::collections::HashMap<Reg, BTreeSet<SegName>>> =
+        vec![std::collections::HashMap::new(); n];
+    let mut ret_pts: Vec<BTreeSet<SegName>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    let union_reg = |map: &mut std::collections::HashMap<Reg, BTreeSet<SegName>>,
+                     dst: Reg,
+                     src: &BTreeSet<SegName>|
+     -> bool {
+        if src.is_empty() {
+            return false;
+        }
+        let e = map.entry(dst).or_default();
+        let before = e.len();
+        e.extend(src.iter().copied());
+        e.len() != before
+    };
+    while changed {
+        changed = false;
+        for (fi, func) in module.functions.iter().enumerate() {
+            for block in &func.blocks {
+                for phi in &block.phis {
+                    let mut joined = BTreeSet::new();
+                    for (_, r) in &phi.incomings {
+                        if let Some(s) = pts[fi].get(r) {
+                            joined.extend(s.iter().copied());
+                        }
+                    }
+                    changed |= union_reg(&mut pts[fi], phi.dst, &joined);
+                }
+                for inst in &block.insts {
+                    match inst {
+                        Inst::SegAddr { dst, seg } => {
+                            let s = [*seg].into_iter().collect();
+                            changed |= union_reg(&mut pts[fi], *dst, &s);
+                        }
+                        Inst::Copy { dst, src } | Inst::VCast { dst, src, .. } => {
+                            let s = pts[fi].get(src).cloned().unwrap_or_default();
+                            changed |= union_reg(&mut pts[fi], *dst, &s);
+                        }
+                        Inst::Call {
+                            dst,
+                            func: callee,
+                            args,
+                        } => {
+                            let ci = callee.0 as usize;
+                            let params = module.functions[ci].params.clone();
+                            for (p, a) in params.iter().zip(args) {
+                                let s = pts[fi].get(a).cloned().unwrap_or_default();
+                                changed |= union_reg(&mut pts[ci], *p, &s);
+                            }
+                            if let Some(d) = dst {
+                                let s = ret_pts[ci].clone();
+                                changed |= union_reg(&mut pts[fi], *d, &s);
+                            }
+                        }
+                        Inst::Ret(Some(r)) => {
+                            let s = pts[fi].get(r).cloned().unwrap_or_default();
+                            let before = ret_pts[fi].len();
+                            ret_pts[fi].extend(s.iter().copied());
+                            changed |= ret_pts[fi].len() != before;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjmp_safety::analysis::Analysis;
+    use sjmp_safety::checks::{insert_checks, CheckPolicy};
+    use sjmp_safety::ir::{AbstractVas, FuncId, Function, Phi, VasName};
+
+    #[test]
+    fn straight_line_guarded_then_racy() {
+        // p = segaddr 0; lock 0; *p = v; unlock 0; *p = v
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let v = f.fresh_reg();
+        f.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: p,
+                seg: SegName(0),
+            },
+        );
+        f.push(BlockId(0), Inst::Const { dst: v, value: 1 });
+        f.push(BlockId(0), Inst::Lock(SegName(0)));
+        f.push(BlockId(0), Inst::Store { addr: p, val: v });
+        f.push(BlockId(0), Inst::Unlock(SegName(0)));
+        f.push(BlockId(0), Inst::Store { addr: p, val: v });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let l = Lockset::run(&m);
+        assert_eq!(
+            l.class_of(0, BlockId(0), 3),
+            Some(AccessClass::ProvenGuarded)
+        );
+        assert_eq!(l.class_of(0, BlockId(0), 5), Some(AccessClass::ProvenRacy));
+        let s = l.summary();
+        assert_eq!((s.mem_ops, s.guarded, s.racy), (2, 1, 1));
+    }
+
+    #[test]
+    fn one_sided_lock_is_unknown_at_join() {
+        // if (c) lock 0;  *p = v  — held on one path only.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let c = f.fresh_reg();
+        let p = f.fresh_reg();
+        let v = f.fresh_reg();
+        let locked = f.add_block();
+        let join = f.add_block();
+        f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
+        f.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: p,
+                seg: SegName(0),
+            },
+        );
+        f.push(BlockId(0), Inst::Const { dst: v, value: 1 });
+        f.push(
+            BlockId(0),
+            Inst::CondBr {
+                cond: c,
+                then_bb: locked,
+                else_bb: join,
+            },
+        );
+        f.push(locked, Inst::Lock(SegName(0)));
+        f.push(locked, Inst::Br(join));
+        f.push(join, Inst::Store { addr: p, val: v });
+        f.push(join, Inst::Ret(None));
+        m.add_function(f);
+        let l = Lockset::run(&m);
+        assert_eq!(l.class_of(0, join, 0), Some(AccessClass::Unknown));
+    }
+
+    #[test]
+    fn private_memory_is_not_shared() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: p });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let l = Lockset::run(&m);
+        assert_eq!(l.class_of(0, BlockId(0), 1), Some(AccessClass::NotShared));
+    }
+
+    #[test]
+    fn callee_inherits_meet_over_callsites() {
+        // helper(q): *q = 0 — called once under lock, once without.
+        // The callee access must degrade to Unknown (not guarded).
+        let mut m = Module::new();
+        let mut main = Function::new("main", 0);
+        let p = main.fresh_reg();
+        main.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: p,
+                seg: SegName(3),
+            },
+        );
+        main.push(BlockId(0), Inst::Lock(SegName(3)));
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                func: FuncId(1),
+                args: vec![p],
+            },
+        );
+        main.push(BlockId(0), Inst::Unlock(SegName(3)));
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                func: FuncId(1),
+                args: vec![p],
+            },
+        );
+        main.push(BlockId(0), Inst::Ret(None));
+        m.add_function(main);
+        let mut helper = Function::new("helper", 1);
+        let q = helper.params[0];
+        let z = helper.fresh_reg();
+        helper.push(BlockId(0), Inst::Const { dst: z, value: 0 });
+        helper.push(BlockId(0), Inst::Store { addr: q, val: z });
+        helper.push(BlockId(0), Inst::Ret(None));
+        m.add_function(helper);
+        let l = Lockset::run(&m);
+        assert_eq!(l.class_of(1, BlockId(0), 1), Some(AccessClass::Unknown));
+    }
+
+    #[test]
+    fn guarded_callee_stays_guarded() {
+        // Every callsite holds the lock: the callee access is proven.
+        let mut m = Module::new();
+        let mut main = Function::new("main", 0);
+        let p = main.fresh_reg();
+        main.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: p,
+                seg: SegName(3),
+            },
+        );
+        main.push(BlockId(0), Inst::Lock(SegName(3)));
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                func: FuncId(1),
+                args: vec![p],
+            },
+        );
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                func: FuncId(1),
+                args: vec![p],
+            },
+        );
+        main.push(BlockId(0), Inst::Unlock(SegName(3)));
+        main.push(BlockId(0), Inst::Ret(None));
+        m.add_function(main);
+        let mut helper = Function::new("helper", 1);
+        let q = helper.params[0];
+        let x = helper.fresh_reg();
+        helper.push(BlockId(0), Inst::Load { dst: x, addr: q });
+        helper.push(BlockId(0), Inst::Ret(None));
+        m.add_function(helper);
+        let l = Lockset::run(&m);
+        assert_eq!(
+            l.class_of(1, BlockId(0), 0),
+            Some(AccessClass::ProvenGuarded)
+        );
+    }
+
+    #[test]
+    fn loop_converges_with_phi() {
+        // A loop whose body locks, accesses, unlocks each iteration.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let c = f.fresh_reg();
+        let p0 = f.fresh_reg();
+        let p1 = f.fresh_reg();
+        let v = f.fresh_reg();
+        let head = f.add_block();
+        let body = f.add_block();
+        let done = f.add_block();
+        f.push(BlockId(0), Inst::Const { dst: c, value: 1 });
+        f.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: p0,
+                seg: SegName(1),
+            },
+        );
+        f.push(BlockId(0), Inst::Const { dst: v, value: 7 });
+        f.push(BlockId(0), Inst::Br(head));
+        f.push_phi(
+            head,
+            Phi {
+                dst: p1,
+                incomings: vec![(BlockId(0), p0), (body, p1)],
+            },
+        );
+        f.push(
+            head,
+            Inst::CondBr {
+                cond: c,
+                then_bb: body,
+                else_bb: done,
+            },
+        );
+        f.push(body, Inst::Lock(SegName(1)));
+        f.push(body, Inst::Store { addr: p1, val: v });
+        f.push(body, Inst::Unlock(SegName(1)));
+        f.push(body, Inst::Br(head));
+        f.push(done, Inst::Ret(None));
+        m.add_function(f);
+        let l = Lockset::run(&m);
+        assert_eq!(l.class_of(0, body, 1), Some(AccessClass::ProvenGuarded));
+        assert!(l.iterations >= 2);
+    }
+
+    #[test]
+    fn proves_at_least_what_the_vas_analysis_elides() {
+        // A lock-annotated module mixing private and shared accesses:
+        // the lockset proof obligation (ISSUE acceptance criterion) is
+        // that it proves at least as many accesses race-free as the
+        // VAS analysis elides checks for under CheckPolicy::Analyzed.
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let stack = f.fresh_reg();
+        let seg = f.fresh_reg();
+        let v = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(
+            BlockId(0),
+            Inst::Alloca {
+                dst: stack,
+                size: 8,
+            },
+        );
+        f.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: seg,
+                seg: SegName(0),
+            },
+        );
+        f.push(BlockId(0), Inst::Const { dst: v, value: 9 });
+        f.push(
+            BlockId(0),
+            Inst::Store {
+                addr: stack,
+                val: v,
+            },
+        );
+        f.push(BlockId(0), Inst::Lock(SegName(0)));
+        f.push(BlockId(0), Inst::Store { addr: seg, val: v });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: seg });
+        f.push(BlockId(0), Inst::Unlock(SegName(0)));
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+
+        let entry = [AbstractVas::Vas(VasName(0))].into_iter().collect();
+        let analysis = Analysis::run(&m, entry);
+        let mut checked = m.clone();
+        let report = insert_checks(&mut checked, &analysis, CheckPolicy::Analyzed);
+
+        let l = Lockset::run(&m);
+        let s = l.summary();
+        assert_eq!(s.mem_ops, report.mem_ops);
+        assert!(
+            s.proven() >= report.proven_safe,
+            "lockset proved {} < VAS elision {}",
+            s.proven(),
+            report.proven_safe
+        );
+        assert_eq!(s.racy, 0);
+    }
+}

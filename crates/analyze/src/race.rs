@@ -1,0 +1,359 @@
+//! Trace-replay data-race detection: hybrid lockset + vector clocks.
+//!
+//! Replays an `sjmp-trace` event stream and checks every committed
+//! shared-memory access ([`EventKind::MemRead`] / [`EventKind::MemWrite`])
+//! against a per-word shadow state, FastTrack style:
+//!
+//! * each **core** carries a vector clock; a memory access on core `c`
+//!   is a new epoch `(c, k)`;
+//! * segment locks induce happens-before: a [`EventKind::LockRelease`]
+//!   publishes the releasing core's clock into the lock, a
+//!   [`EventKind::LockAcquire`] joins it into the acquiring core's
+//!   clock (events on one core are totally ordered by the trace);
+//! * each access also records the accessor's *lockset* (the segment
+//!   locks its pid held at the time).
+//!
+//! Two accesses to the same word of the same segment **race** when they
+//! come from different cores, neither happens-before the other, their
+//! locksets are disjoint, and at least one is a write. Requiring both
+//! conditions (the hybrid) avoids the pure-lockset false positives on
+//! hand-off patterns the GUPS turn rotation uses.
+//!
+//! Attributing a virtual address to a segment needs the accessor's
+//! active VAS — SpaceJMP deliberately maps different segments at the
+//! *same* address in different VASes (Section 3.2's fixed-address
+//! sharing). The replay therefore tracks [`EventKind::SegRegister`] /
+//! [`EventKind::SegExtent`] (segment geometry), [`EventKind::SegAttach`]
+//! (segment → VAS membership) and [`EventKind::VasEnter`] (pid → VAS).
+//! Accesses that cannot be attributed (process at home, or a segment
+//! attached process-locally) are skipped — the detector prefers
+//! missing a race over inventing one.
+//!
+//! [`EventKind::LockSkip`] markers are ignored by design: the injected
+//! race must be found from the access stream alone.
+//!
+//! A reaped process's locks are force-released *without* trace events
+//! (the corpse's releases happen in kernel teardown); the replay
+//! tolerates the resulting unpaired acquires because locksets are
+//! tracked per pid and a dead pid makes no further accesses.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sjmp_trace::{Event, EventKind};
+
+use crate::report::Finding;
+
+/// A vector clock indexed by core id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    fn tick(&mut self, core: usize) {
+        if self.0.len() <= core {
+            self.0.resize(core + 1, 0);
+        }
+        self.0[core] += 1;
+    }
+
+    fn get(&self, core: usize) -> u64 {
+        self.0.get(core).copied().unwrap_or(0)
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+}
+
+/// One recorded access in the shadow state.
+#[derive(Debug, Clone)]
+struct Access {
+    core: u32,
+    /// The accessor core's local clock at the access (its epoch).
+    epoch: u64,
+    pid: u64,
+    ts: u64,
+    locks: BTreeSet<u64>,
+}
+
+impl Access {
+    /// Whether this access happens-before a context whose core clock
+    /// vector is `vc` (epoch test: the observer has seen our epoch).
+    fn ordered_before(&self, vc: &VectorClock) -> bool {
+        vc.get(self.core as usize) >= self.epoch
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Shadow {
+    last_write: Option<Access>,
+    /// Most recent read per core since the last write.
+    reads: BTreeMap<u32, Access>,
+}
+
+fn vc_of(vcs: &mut Vec<VectorClock>, core: usize) -> &mut VectorClock {
+    if vcs.len() <= core {
+        vcs.resize(core + 1, VectorClock::default());
+    }
+    &mut vcs[core]
+}
+
+/// Replays `events` and returns one `data-race` finding per racy
+/// segment (the first race found on it, with exact word, pids, and
+/// cores in the message).
+pub fn detect_races(events: &[Event]) -> Vec<Finding> {
+    // Segment geometry and membership, learned from the stream.
+    let mut seg_base: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seg_size: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut vas_segs: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut cur_vas: HashMap<u64, u64> = HashMap::new();
+    let mut held: HashMap<u64, BTreeSet<u64>> = HashMap::new();
+    // Happens-before state.
+    let mut core_vc: Vec<VectorClock> = Vec::new();
+    let mut lock_vc: HashMap<u64, VectorClock> = HashMap::new();
+    // Per (segment, word) shadow cells.
+    let mut shadow: HashMap<(u64, u64), Shadow> = HashMap::new();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut flagged: BTreeSet<u64> = BTreeSet::new();
+
+    for ev in events {
+        let core = ev.core as usize;
+        match ev.kind {
+            EventKind::SegRegister => {
+                seg_base.insert(ev.arg0, ev.arg1);
+            }
+            EventKind::SegExtent => {
+                seg_size.insert(ev.arg0, ev.arg1);
+            }
+            EventKind::SegAttach => {
+                let segs = vas_segs.entry(ev.arg1).or_default();
+                if !segs.contains(&ev.arg0) {
+                    segs.push(ev.arg0);
+                }
+            }
+            EventKind::VasEnter => {
+                if ev.arg1 == 0 {
+                    cur_vas.remove(&ev.arg0);
+                } else {
+                    cur_vas.insert(ev.arg0, ev.arg1);
+                }
+            }
+            EventKind::LockAcquire => {
+                let (sid, pid) = (ev.arg0, ev.arg1);
+                held.entry(pid).or_default().insert(sid);
+                if let Some(lvc) = lock_vc.get(&sid) {
+                    let lvc = lvc.clone();
+                    vc_of(&mut core_vc, core).join(&lvc);
+                }
+                vc_of(&mut core_vc, core).tick(core);
+            }
+            EventKind::LockRelease => {
+                let (sid, pid) = (ev.arg0, ev.arg1);
+                held.entry(pid).or_default().remove(&sid);
+                let vc = vc_of(&mut core_vc, core);
+                vc.tick(core);
+                let snapshot = vc.clone();
+                lock_vc.entry(sid).or_default().join(&snapshot);
+            }
+            EventKind::MemRead | EventKind::MemWrite => {
+                let (va, pid) = (ev.arg0, ev.arg1);
+                let is_write = ev.kind == EventKind::MemWrite;
+                let Some(&vid) = cur_vas.get(&pid) else {
+                    continue;
+                };
+                let Some(sid) =
+                    vas_segs.get(&vid).into_iter().flatten().copied().find(|s| {
+                        match (seg_base.get(s), seg_size.get(s)) {
+                            (Some(&b), Some(&len)) => va >= b && va < b + len,
+                            _ => false,
+                        }
+                    })
+                else {
+                    continue;
+                };
+                let locks = held.get(&pid).cloned().unwrap_or_default();
+                let vc = vc_of(&mut core_vc, core);
+                vc.tick(core);
+                let me = Access {
+                    core: ev.core,
+                    epoch: vc.get(core),
+                    pid,
+                    ts: ev.ts,
+                    locks,
+                };
+                let vc = vc.clone();
+                let cell = shadow.entry((sid, va)).or_default();
+
+                let races_with = |other: &Access| -> bool {
+                    other.core != me.core
+                        && other.pid != me.pid
+                        && !other.ordered_before(&vc)
+                        && other.locks.intersection(&me.locks).next().is_none()
+                };
+                let mut opponent: Option<&Access> = None;
+                if let Some(w) = cell.last_write.as_ref() {
+                    if races_with(w) {
+                        opponent = Some(w);
+                    }
+                }
+                if is_write && opponent.is_none() {
+                    opponent = cell.reads.values().find(|r| races_with(r));
+                }
+                if let Some(other) = opponent {
+                    if flagged.insert(sid) {
+                        findings.push(
+                            Finding::new(
+                                "data-race",
+                                format!(
+                                    "unordered conflicting accesses to word {va:#x} of \
+                                     segment {sid}: pid {} on core {} (cycle {}) vs \
+                                     pid {} on core {} (cycle {}), disjoint locksets",
+                                    other.pid, other.core, other.ts, me.pid, me.core, me.ts,
+                                ),
+                            )
+                            .segments([sid])
+                            .pids([other.pid, me.pid])
+                            .cores([u64::from(other.core), u64::from(me.core)]),
+                        );
+                    }
+                }
+                if is_write {
+                    cell.reads.clear();
+                    cell.last_write = Some(me);
+                } else {
+                    cell.reads.insert(ev.core, me);
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjmp_trace::Phase;
+
+    fn instant(ts: u64, core: u32, kind: EventKind, arg0: u64, arg1: u64) -> Event {
+        Event {
+            ts,
+            core,
+            phase: Phase::Instant,
+            kind,
+            arg0,
+            arg1,
+        }
+    }
+
+    /// Both processes lock segment 1 around their writes: clean.
+    #[test]
+    fn locked_handoff_is_not_a_race() {
+        let e = vec![
+            instant(0, 0, EventKind::SegRegister, 1, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 1, 0x1000),
+            instant(0, 0, EventKind::SegAttach, 1, 7),
+            instant(1, 0, EventKind::LockAcquire, 1, 10),
+            instant(2, 0, EventKind::VasEnter, 10, 7),
+            instant(3, 0, EventKind::MemWrite, 0x1008, 10),
+            instant(4, 0, EventKind::VasEnter, 10, 0),
+            instant(5, 0, EventKind::LockRelease, 1, 10),
+            instant(6, 1, EventKind::LockAcquire, 1, 11),
+            instant(7, 1, EventKind::VasEnter, 11, 7),
+            instant(8, 1, EventKind::MemWrite, 0x1008, 11),
+            instant(9, 1, EventKind::VasEnter, 11, 0),
+            instant(10, 1, EventKind::LockRelease, 1, 11),
+        ];
+        assert!(detect_races(&e).is_empty());
+    }
+
+    /// Second writer never takes the lock: a race, attributed exactly.
+    #[test]
+    fn unlocked_write_races() {
+        let e = vec![
+            instant(0, 0, EventKind::SegRegister, 1, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 1, 0x1000),
+            instant(0, 0, EventKind::SegAttach, 1, 7),
+            instant(1, 0, EventKind::LockAcquire, 1, 10),
+            instant(2, 0, EventKind::VasEnter, 10, 7),
+            instant(3, 0, EventKind::MemWrite, 0x1008, 10),
+            // pid 11 switched in without acquiring (lock elided).
+            instant(4, 1, EventKind::VasEnter, 11, 7),
+            instant(5, 1, EventKind::MemWrite, 0x1008, 11),
+        ];
+        let f = detect_races(&e);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "data-race");
+        assert_eq!(f[0].segments, vec![1]);
+        assert_eq!(f[0].pids, vec![10, 11]);
+        assert_eq!(f[0].cores, vec![0, 1]);
+    }
+
+    /// Same address, *different* VASes → different segments: clean.
+    #[test]
+    fn same_address_in_different_vases_is_not_a_race() {
+        let e = vec![
+            instant(0, 0, EventKind::SegRegister, 1, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 1, 0x1000),
+            instant(0, 0, EventKind::SegRegister, 2, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 2, 0x1000),
+            instant(0, 0, EventKind::SegAttach, 1, 7),
+            instant(0, 0, EventKind::SegAttach, 2, 8),
+            instant(1, 0, EventKind::VasEnter, 10, 7),
+            instant(2, 0, EventKind::MemWrite, 0x1008, 10),
+            instant(3, 1, EventKind::VasEnter, 11, 8),
+            instant(4, 1, EventKind::MemWrite, 0x1008, 11),
+        ];
+        assert!(detect_races(&e).is_empty());
+    }
+
+    /// Reads do not race with reads.
+    #[test]
+    fn concurrent_reads_are_clean() {
+        let e = vec![
+            instant(0, 0, EventKind::SegRegister, 1, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 1, 0x1000),
+            instant(0, 0, EventKind::SegAttach, 1, 7),
+            instant(1, 0, EventKind::VasEnter, 10, 7),
+            instant(2, 0, EventKind::MemRead, 0x1008, 10),
+            instant(3, 1, EventKind::VasEnter, 11, 7),
+            instant(4, 1, EventKind::MemRead, 0x1008, 11),
+        ];
+        assert!(detect_races(&e).is_empty());
+    }
+
+    /// An unlocked read against an unlocked write is still a race.
+    #[test]
+    fn read_write_race_detected() {
+        let e = vec![
+            instant(0, 0, EventKind::SegRegister, 1, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 1, 0x1000),
+            instant(0, 0, EventKind::SegAttach, 1, 7),
+            instant(1, 0, EventKind::VasEnter, 10, 7),
+            instant(2, 0, EventKind::MemWrite, 0x1010, 10),
+            instant(3, 1, EventKind::VasEnter, 11, 7),
+            instant(4, 1, EventKind::MemRead, 0x1010, 11),
+        ];
+        let f = detect_races(&e);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].segments, vec![1]);
+    }
+
+    /// Unattributable accesses (no VasEnter) are skipped, not guessed.
+    #[test]
+    fn home_accesses_are_skipped() {
+        let e = vec![
+            instant(0, 0, EventKind::SegRegister, 1, 0x1000),
+            instant(0, 0, EventKind::SegExtent, 1, 0x1000),
+            instant(0, 0, EventKind::SegAttach, 1, 7),
+            instant(2, 0, EventKind::MemWrite, 0x1008, 10),
+            instant(4, 1, EventKind::MemWrite, 0x1008, 11),
+        ];
+        assert!(detect_races(&e).is_empty());
+    }
+}

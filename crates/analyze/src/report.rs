@@ -1,0 +1,119 @@
+//! Findings: the common currency of every analyzer in this crate.
+//!
+//! The static lockset pass, the trace-replay race detector, the
+//! lock-order graph, and the kernel linter all report their results as
+//! [`Finding`]s so one report schema (`results/analyze_report.json`)
+//! covers them all.
+
+use sjmp_trace::Json;
+
+/// One problem an analyzer found. A finding names the rule that fired
+/// and pins the blame as precisely as the analyzer can: the shared
+/// segment involved, the processes, and (for trace replay) the cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable rule identifier (`data-race`, `lock-order-cycle`,
+    /// `unlocked-shared-write`, `stale-pte`, `asid-alias`,
+    /// `template-divergence`, ...).
+    pub rule: &'static str,
+    /// Human-readable description of this instance.
+    pub message: String,
+    /// The shared segment(s) involved, by raw segment id, sorted.
+    pub segments: Vec<u64>,
+    /// The processes involved, by raw pid, sorted.
+    pub pids: Vec<u64>,
+    /// The cores involved (trace replay only), sorted.
+    pub cores: Vec<u64>,
+}
+
+impl Finding {
+    /// A finding with no blame attached yet.
+    pub fn new(rule: &'static str, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            message: message.into(),
+            segments: Vec::new(),
+            pids: Vec::new(),
+            cores: Vec::new(),
+        }
+    }
+
+    /// Attaches segment ids (sorted and deduplicated).
+    #[must_use]
+    pub fn segments(mut self, segments: impl IntoIterator<Item = u64>) -> Finding {
+        self.segments.extend(segments);
+        self.segments.sort_unstable();
+        self.segments.dedup();
+        self
+    }
+
+    /// Attaches pids (sorted and deduplicated).
+    #[must_use]
+    pub fn pids(mut self, pids: impl IntoIterator<Item = u64>) -> Finding {
+        self.pids.extend(pids);
+        self.pids.sort_unstable();
+        self.pids.dedup();
+        self
+    }
+
+    /// Attaches cores (sorted and deduplicated).
+    #[must_use]
+    pub fn cores(mut self, cores: impl IntoIterator<Item = u64>) -> Finding {
+        self.cores.extend(cores);
+        self.cores.sort_unstable();
+        self.cores.dedup();
+        self
+    }
+
+    /// Renders the finding for `analyze_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".into(), Json::str(self.rule)),
+            ("message".into(), Json::str(&self.message)),
+            (
+                "segments".into(),
+                Json::Arr(self.segments.iter().map(|&s| Json::from_u64(s)).collect()),
+            ),
+            (
+                "pids".into(),
+                Json::Arr(self.pids.iter().map(|&p| Json::from_u64(p)).collect()),
+            ),
+            (
+                "cores".into(),
+                Json::Arr(self.cores.iter().map(|&c| Json::from_u64(c)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_sort_and_dedup() {
+        let f = Finding::new("data-race", "racy write")
+            .segments([3, 1, 3])
+            .pids([9, 2, 9])
+            .cores([1, 0, 1]);
+        assert_eq!(f.segments, vec![1, 3]);
+        assert_eq!(f.pids, vec![2, 9]);
+        assert_eq!(f.cores, vec![0, 1]);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let f = Finding::new("stale-pte", "boom").segments([7]);
+        let j = f.to_json();
+        assert_eq!(j.get("rule").and_then(Json::as_str), Some("stale-pte"));
+        assert_eq!(j.get("message").and_then(Json::as_str), Some("boom"));
+        assert_eq!(
+            j.get("segments").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("pids").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! `sjmp-lint`: replays exported traces through the `sjmp-analyze`
+//! detectors and emits a machine-readable findings report.
+//!
+//! Usage: `sjmp_lint <bench-name>... | --all`
+//!
+//! For each name, loads `results/<name>.trace.json` (the Chrome
+//! `trace_event` document `export_trace` wrote), reconstructs the event
+//! stream with `parse_chrome_trace`, and runs the data-race and
+//! lock-order analyses. `--all` scans `results/` for every
+//! `*.trace.json`. The combined report is written to
+//! `results/analyze_report.json`:
+//!
+//! ```json
+//! {
+//!   "tool": "sjmp-lint",
+//!   "traces": [
+//!     { "name": "fig8_gups", "events": 123, "dropped": 0,
+//!       "skipped_incomplete": false, "findings": [ ... ] }
+//!   ],
+//!   "findings_total": 0
+//! }
+//! ```
+//!
+//! Exit status is nonzero if any finding was reported (CI treats a
+//! finding on a stock benchmark trace as a regression) or any trace
+//! failed to load.
+
+use std::process::ExitCode;
+
+use sjmp_analyze::analyze_trace;
+use sjmp_trace::{parse_chrome_trace, Json};
+
+fn trace_names_from_dir() -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries = std::fs::read_dir("results").map_err(|e| format!("results/: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("results/: {e}"))?;
+        let file = entry.file_name();
+        let file = file.to_string_lossy();
+        if let Some(name) = file.strip_suffix(".trace.json") {
+            names.push(name.to_string());
+        }
+    }
+    if names.is_empty() {
+        return Err("results/: no *.trace.json files found".into());
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn analyze_one(name: &str) -> Result<(Json, usize), String> {
+    let path = format!("results/{name}.trace.json");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let parsed = parse_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let analysis = analyze_trace(&parsed.events, parsed.dropped);
+    let count = analysis.findings.len();
+    let entry = Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("events".into(), Json::from_u64(parsed.events.len() as u64)),
+        ("dropped".into(), Json::from_u64(parsed.dropped)),
+        (
+            "skipped_incomplete".into(),
+            Json::Bool(analysis.skipped_incomplete),
+        ),
+        (
+            "findings".into(),
+            Json::Arr(analysis.findings.iter().map(|f| f.to_json()).collect()),
+        ),
+    ]);
+    for f in &analysis.findings {
+        eprintln!("FINDING [{name}] {}: {}", f.rule, f.message);
+    }
+    if analysis.skipped_incomplete {
+        eprintln!(
+            "note: {name}: trace dropped {} events; replay skipped",
+            parsed.dropped
+        );
+    }
+    Ok((entry, count))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: sjmp_lint --all | <bench-name>...");
+        return ExitCode::FAILURE;
+    }
+    let names = if args.iter().any(|a| a == "--all") {
+        match trace_names_from_dir() {
+            Ok(names) => names,
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args
+    };
+
+    let mut traces = Vec::new();
+    let mut total = 0usize;
+    let mut load_failures = false;
+    for name in &names {
+        match analyze_one(name) {
+            Ok((entry, count)) => {
+                total += count;
+                traces.push(entry);
+                println!(
+                    "{}: results/{name}.trace.json ({count} findings)",
+                    if count == 0 { "ok" } else { "RACY" },
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                load_failures = true;
+            }
+        }
+    }
+    let report = Json::Obj(vec![
+        ("tool".into(), Json::str("sjmp-lint")),
+        ("traces".into(), Json::Arr(traces)),
+        ("findings_total".into(), Json::from_u64(total as u64)),
+    ]);
+    let path = "results/analyze_report.json";
+    if let Err(e) = std::fs::write(path, report.pretty()) {
+        eprintln!("FAIL {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path} ({total} findings total)");
+    if total > 0 || load_failures {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

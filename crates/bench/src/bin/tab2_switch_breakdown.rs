@@ -33,8 +33,10 @@ fn measured_switch(flavor: KernelFlavor, tagged: bool, tracer: &Tracer) -> u64 {
         sj.vas_ctl(pid, VasCtl::RequestTag, vid).expect("tag");
     }
     let vh = sj.vas_attach(pid, vid).expect("attach");
-    // Trace exactly one switch: drop the setup's events.
+    // Trace exactly one switch: drop the setup's events, then restate
+    // the topology so replay tools can still attribute addresses.
     tracer.clear();
+    sj.trace_topology();
     let t0 = sj.kernel().clock().now();
     sj.vas_switch(pid, vh).expect("switch");
     sj.kernel().clock().since(t0)

@@ -79,8 +79,42 @@ fn check_metrics(name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema gate for `results/analyze_report.json` (the `sjmp_lint`
+/// output): `tool`, a `traces` array whose entries carry
+/// `name`/`events`/`dropped`/`findings`, and `findings_total`.
+fn check_analyze_report() -> Result<(), String> {
+    let path = "results/analyze_report.json";
+    let doc = load(path)?;
+    let tool = require(&doc, path, "tool")?
+        .as_str()
+        .ok_or_else(|| format!("{path}: \"tool\" is not a string"))?;
+    if tool != "sjmp-lint" {
+        return Err(format!("{path}: unexpected tool \"{tool}\""));
+    }
+    require(&doc, path, "findings_total")?;
+    let traces = require(&doc, path, "traces")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"traces\" is not an array"))?;
+    for t in traces {
+        for key in ["name", "events", "dropped", "skipped_incomplete"] {
+            require(t, path, key)?;
+        }
+        let findings = require(t, path, "findings")?
+            .as_arr()
+            .ok_or_else(|| format!("{path}: \"findings\" is not an array"))?;
+        for f in findings {
+            for key in ["rule", "message", "segments", "pids", "cores"] {
+                require(f, path, key)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Every bench name with a report file in `results/`, i.e. `<name>.json`
-/// excluding the `.trace.json` / `.metrics.json` side files.
+/// excluding the `.trace.json` / `.metrics.json` side files and the
+/// `analyze_report.json` findings report (which has its own schema and
+/// gate, [`check_analyze_report`]).
 fn all_report_names() -> Result<Vec<String>, String> {
     let mut names = Vec::new();
     let entries = std::fs::read_dir("results").map_err(|e| format!("results/: {e}"))?;
@@ -89,7 +123,8 @@ fn all_report_names() -> Result<Vec<String>, String> {
         let file = entry.file_name();
         let file = file.to_string_lossy();
         if let Some(name) = file.strip_suffix(".json") {
-            if !name.ends_with(".trace") && !name.ends_with(".metrics") {
+            if !name.ends_with(".trace") && !name.ends_with(".metrics") && name != "analyze_report"
+            {
                 names.push(name.to_string());
             }
         }
@@ -140,6 +175,16 @@ fn main() -> ExitCode {
         } else {
             println!("ok: results/{name}.json");
         }
+    }
+    // The findings report is validated whenever present (the sweep) or
+    // when explicitly named `analyze_report` above would have failed the
+    // bench-report schema — it rides along with --all.
+    if sweep && std::path::Path::new("results/analyze_report.json").exists() {
+        if let Err(e) = check_analyze_report() {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("ok: results/analyze_report.json");
     }
     ExitCode::SUCCESS
 }

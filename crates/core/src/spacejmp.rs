@@ -25,8 +25,8 @@ use sjmp_mem::KernelFlavor;
 use sjmp_mem::{Access, VirtAddr, PAGE_SIZE};
 use sjmp_os::kernel::{GLOBAL_HI, GLOBAL_LO, PRIVATE_HI};
 use sjmp_os::{
-    Acl, CapKind, CapRights, Capability, CoreCtx, Kernel, MapPolicy, Mode, ObjClass, OsError, Pid,
-    Region, VmObjectId, VmspaceId,
+    Acl, CapKind, CapRights, Capability, CoreCtx, FaultOutcome, FaultSite, Kernel, MapPolicy, Mode,
+    ObjClass, OsError, Pid, Region, VmObjectId, VmspaceId,
 };
 use sjmp_trace::{EventKind, MetricsSnapshot, Tracer};
 
@@ -82,6 +82,9 @@ pub struct SjStats {
     pub lock_acquisitions: u64,
     /// Switch attempts aborted because a lock was contended.
     pub lock_contentions: u64,
+    /// Lock acquisitions elided by [`FaultSite::SegLock`] injection —
+    /// each one is a seeded race the analyzer must find.
+    pub lock_skips: u64,
     /// Switches that succeeded only after backoff ([`SpaceJmp::vas_switch_retry`]).
     pub retried_switches: u64,
     /// Switch attempts abandoned as deadlocked.
@@ -101,6 +104,7 @@ impl SjStats {
             attaches: self.attaches - earlier.attaches,
             lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
             lock_contentions: self.lock_contentions - earlier.lock_contentions,
+            lock_skips: self.lock_skips - earlier.lock_skips,
             retried_switches: self.retried_switches - earlier.retried_switches,
             deadlocks: self.deadlocks - earlier.deadlocks,
             reaps: self.reaps - earlier.reaps,
@@ -239,6 +243,41 @@ impl SpaceJmp {
         self.kernel.tracer()
     }
 
+    /// Re-emits the instants describing the kernel's *current* VAS
+    /// topology: `SegRegister`/`SegExtent` (segment geometry),
+    /// `SegAttach` (VAS membership), and `VasEnter` for any process
+    /// presently switched into a VAS. Trace replays attribute raw word
+    /// addresses to segments from these events, so a harness that
+    /// clears the trace ring after warm-up must call this afterwards or
+    /// the retained stream opens with no address map. Charges no
+    /// modeled cycles; events land on core 0 at its current clock.
+    pub fn trace_topology(&self) {
+        let tracer = self.kernel.tracer().clone();
+        if !tracer.enabled() {
+            return;
+        }
+        let ts = self.kernel.clocks().now_on(0);
+        for sid in self.segment_ids() {
+            let Ok(seg) = self.segment(sid) else { continue };
+            tracer.instant(ts, 0, EventKind::SegRegister, sid.0, seg.base().raw());
+            tracer.instant(ts, 0, EventKind::SegExtent, sid.0, seg.size());
+        }
+        for vid in self.vas_ids() {
+            let Ok(vas) = self.vas(vid) else { continue };
+            for &(sid, _) in vas.segments() {
+                tracer.instant(ts, 0, EventKind::SegAttach, sid.0, vid.0);
+            }
+        }
+        let mut entered: Vec<(Pid, VasHandle)> =
+            self.current.iter().map(|(p, vh)| (*p, *vh)).collect();
+        entered.sort_unstable();
+        for (pid, vh) in entered {
+            if let Ok(att) = self.attachment(vh) {
+                tracer.instant(ts, 0, EventKind::VasEnter, pid.0, att.vid.0);
+            }
+        }
+    }
+
     /// One consolidated metrics snapshot: the kernel's
     /// [`sjmp_os::KernelSnapshot`] counters plus the SpaceJMP-layer
     /// [`SjStats`] under `sj.*` names. Charges no kernel entry; callers
@@ -250,6 +289,7 @@ impl SpaceJmp {
         m.set_counter("sj.attaches", self.stats.attaches);
         m.set_counter("sj.lock_acquisitions", self.stats.lock_acquisitions);
         m.set_counter("sj.lock_contentions", self.stats.lock_contentions);
+        m.set_counter("sj.lock_skips", self.stats.lock_skips);
         m.set_counter("sj.retried_switches", self.stats.retried_switches);
         m.set_counter("sj.deadlocks", self.stats.deadlocks);
         m.set_counter("sj.reaps", self.stats.reaps);
@@ -295,6 +335,29 @@ impl SpaceJmp {
     /// The VAS a process is currently switched into, if any.
     pub fn current_vas(&self, pid: Pid) -> Option<VasHandle> {
         self.current.get(&pid).copied()
+    }
+
+    /// Every registered segment id, sorted. Offline audits
+    /// (`sjmp-analyze`'s kernel linter) walk these; sorting keeps their
+    /// findings deterministic.
+    pub fn segment_ids(&self) -> Vec<SegId> {
+        let mut ids: Vec<SegId> = self.segments.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Every registered VAS id, sorted (see [`Self::segment_ids`]).
+    pub fn vas_ids(&self) -> Vec<VasId> {
+        let mut ids: Vec<VasId> = self.vases.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Every live attachment handle, sorted (see [`Self::segment_ids`]).
+    pub fn attachment_handles(&self) -> Vec<VasHandle> {
+        let mut hs: Vec<VasHandle> = self.attachments.keys().copied().collect();
+        hs.sort();
+        hs
     }
 
     /// Terminates a process SpaceJMP-cleanly: switches it home (releasing
@@ -841,6 +904,27 @@ impl SpaceJmp {
                 lock_set.push((*sid, *mode));
             }
         }
+        // Seeded race injection: a `Fail` at the SegLock site *elides*
+        // that segment's acquisition — the switch proceeds, the process
+        // runs in the shared VAS without the lock, and the downstream
+        // release/downgrade paths never see the segment. The LockSkip
+        // instant is a diagnostic for test harnesses; the race detector
+        // must find the resulting unguarded accesses on its own.
+        lock_set.retain(|(sid, _)| {
+            if self.kernel.fault_outcome(FaultSite::SegLock) == FaultOutcome::Fail {
+                self.stats.lock_skips += 1;
+                tracer.instant(
+                    self.kernel.clocks().now_on(ctx.core),
+                    ctx.core as u32,
+                    EventKind::LockSkip,
+                    sid.0,
+                    pid.0,
+                );
+                false
+            } else {
+                true
+            }
+        });
         // Try-acquire all; roll back on contention. `try_acquire` is
         // re-entrant, so segments also held for the previous VAS succeed
         // (including upgrades when no other reader is present).
@@ -906,6 +990,13 @@ impl SpaceJmp {
         self.current.insert(pid, vh);
         self.waiters.remove(&pid);
         self.stats.switches += 1;
+        tracer.instant(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasEnter,
+            pid.0,
+            att.vid.0,
+        );
         Ok(())
     }
 
@@ -1048,6 +1139,14 @@ impl SpaceJmp {
         self.current.remove(&pid);
         self.waiters.remove(&pid);
         self.stats.switches += 1;
+        let ctx = self.ctx(pid);
+        self.kernel.tracer().instant(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::VasEnter,
+            pid.0,
+            0,
+        );
         Ok(())
     }
 
@@ -1383,6 +1482,17 @@ impl SpaceJmp {
             Segment::new(sid, name, base, size, object, Acl::new(creds, mode)),
         );
         self.seg_names.insert(name.to_string(), sid);
+        // Announce the segment's geometry so trace replays can map raw
+        // word addresses back to segments. Two instants because an event
+        // carries only two argument words: SegRegister = (sid, base),
+        // SegExtent = (sid, size).
+        let tracer = self.kernel.tracer().clone();
+        if tracer.enabled() {
+            let ctx = self.ctx(pid);
+            let (ts, core) = (self.now_on(ctx), ctx.core as u32);
+            tracer.instant(ts, core, EventKind::SegRegister, sid.0, base.raw());
+            tracer.instant(ts, core, EventKind::SegExtent, sid.0, size);
+        }
         if self.kernel.flavor() == KernelFlavor::Barrelfish {
             let cap = Capability::new(
                 CapKind::Object {
@@ -1558,6 +1668,13 @@ impl SpaceJmp {
         for space in spaces {
             self.link_segment(ctx, space, template_root, sid, mode)?;
         }
+        self.kernel.tracer().instant(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SegAttach,
+            sid.0,
+            vid.0,
+        );
         Ok(())
     }
 

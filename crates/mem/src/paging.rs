@@ -688,6 +688,15 @@ pub fn unlink_subtree(phys: &mut PhysMem, root: Pfn, pml4_index: usize) {
     write_entry(phys, root, pml4_index, 0);
 }
 
+/// The table frame a root's PML4 slot points to, or `None` if the slot
+/// is empty. Offline audits use this to verify that an attached
+/// vmspace's shared slots still reference the template's subtrees
+/// (CoW-divergence would show as a different frame in the same slot).
+pub fn root_slot_entry(phys: &mut PhysMem, root: Pfn, pml4_index: usize) -> Option<Pfn> {
+    let e = read_entry(phys, root, pml4_index);
+    entry_present(e).then(|| entry_addr(e).pfn())
+}
+
 /// Counts the page-table frames reachable from `root` (excluding shared
 /// subtrees counted once).
 pub fn count_table_frames(phys: &mut PhysMem, root: Pfn) -> u64 {

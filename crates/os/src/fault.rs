@@ -56,11 +56,18 @@ pub enum FaultSite {
     /// reclaim pass before the allocation is retried, exercising eviction
     /// deterministically even when memory is plentiful.
     FrameAlloc,
+    /// Per-segment lock acquisition inside `vas_switch`: a `Fail` does
+    /// not fail the switch — it *elides* the acquisition, so the caller
+    /// proceeds into the shared VAS without holding that segment's
+    /// lock. This is a seeded race injector: the resulting unguarded
+    /// accesses are exactly what `sjmp-analyze`'s trace-replay detector
+    /// must find.
+    SegLock,
 }
 
 impl FaultSite {
     /// All sites, for iteration in reports.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::ObjectAlloc,
         FaultSite::SpaceAlloc,
         FaultSite::MapRegion,
@@ -68,6 +75,7 @@ impl FaultSite {
         FaultSite::Munmap,
         FaultSite::Switch,
         FaultSite::FrameAlloc,
+        FaultSite::SegLock,
     ];
 }
 

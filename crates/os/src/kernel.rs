@@ -493,6 +493,28 @@ impl Kernel {
         self.vmobjects.get_mut(&id).ok_or(OsError::NoSuchObject)
     }
 
+    /// Every live process id, sorted. Offline audits (`sjmp-analyze`)
+    /// walk these; sorting keeps their findings deterministic.
+    pub fn process_ids(&self) -> Vec<Pid> {
+        let mut ids: Vec<Pid> = self.processes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Every live vmspace id, sorted (see [`Self::process_ids`]).
+    pub fn vmspace_ids(&self) -> Vec<VmspaceId> {
+        let mut ids: Vec<VmspaceId> = self.vmspaces.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Every live VM object id, sorted (see [`Self::process_ids`]).
+    pub fn vmobject_ids(&self) -> Vec<VmObjectId> {
+        let mut ids: Vec<VmObjectId> = self.vmobjects.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
     /// Current time on the clock of `ctx`'s core.
     fn now_on(&self, ctx: CoreCtx) -> u64 {
         self.machine.clocks().now_on(ctx.core)
@@ -578,8 +600,22 @@ impl Kernel {
                 | FaultSite::MapRegion
                 | FaultSite::Mmap
                 | FaultSite::FrameAlloc => Err(OsError::Mem(MemError::OutOfFrames)),
-                FaultSite::Munmap | FaultSite::Switch => Err(OsError::WouldBlock),
+                FaultSite::Munmap | FaultSite::Switch | FaultSite::SegLock => {
+                    Err(OsError::WouldBlock)
+                }
             },
+        }
+    }
+
+    /// Consults the fault plan at `site` and hands the raw outcome to
+    /// the caller, for sites whose injected behavior is not an error
+    /// return (e.g. [`FaultSite::SegLock`], where a `Fail` elides a
+    /// lock acquisition in the SpaceJMP layer rather than failing the
+    /// switch). With no plan installed this is free and always `Pass`.
+    pub fn fault_outcome(&mut self, site: FaultSite) -> FaultOutcome {
+        match self.fault.as_mut() {
+            Some(plan) => plan.check(site),
+            None => FaultOutcome::Pass,
         }
     }
 
@@ -1562,7 +1598,10 @@ impl Kernel {
         loop {
             let (mmu, phys) = self.mem_of(pid)?;
             match mmu.read_u64(phys, va) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.trace_mem_access(pid, va, EventKind::MemRead);
+                    return Ok(v);
+                }
                 Err(MemError::PageFault { .. }) => self.handle_fault(pid, va, Access::Read)?,
                 Err(e) => return Err(e.into()),
             }
@@ -1579,11 +1618,28 @@ impl Kernel {
         loop {
             let (mmu, phys) = self.mem_of(pid)?;
             match mmu.write_u64(phys, va, value) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.trace_mem_access(pid, va, EventKind::MemWrite);
+                    return Ok(());
+                }
                 Err(MemError::PageFault { .. }) => self.handle_fault(pid, va, Access::Write)?,
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Records a committed word access for replay analysis. Only global
+    /// (shared-segment) addresses are recorded — private traffic cannot
+    /// race across processes and would swamp the ring — and recording
+    /// charges no modeled cycles, preserving the zero-cost-tracing
+    /// invariant.
+    fn trace_mem_access(&mut self, pid: Pid, va: VirtAddr, kind: EventKind) {
+        if !self.tracer.enabled() || va < GLOBAL_LO || va >= GLOBAL_HI {
+            return;
+        }
+        let Ok(ctx) = self.ctx_of(pid) else { return };
+        self.tracer
+            .instant(self.now_on(ctx), ctx.core as u32, kind, va.raw(), pid.0);
     }
 
     /// Reads `buf.len()` bytes at `va` in `pid`'s current space, faulting

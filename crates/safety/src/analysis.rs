@@ -224,6 +224,16 @@ impl Analysis {
                     }
                     Inst::Br(_) | Inst::CondBr { .. } => {}
                     Inst::CheckDeref { .. } | Inst::CheckStore { .. } => {}
+                    // Locking is invisible to the VAS analysis: shared
+                    // segments are mapped at the same address in every
+                    // attaching VAS, so a segment base is common-region
+                    // valid and lock/unlock change no VAS state. The
+                    // lockset analysis (sjmp-analyze) owns these.
+                    Inst::Lock(_) | Inst::Unlock(_) => {}
+                    Inst::SegAddr { dst, .. } => {
+                        let s = [AbstractVas::Common].into_iter().collect();
+                        changed |= self.add_valid(fi, *dst, &s);
+                    }
                 }
             }
             let out_changed = Self::union_into(&mut block_out[bi], &cur);

@@ -11,9 +11,16 @@
 //! way. Check executions are counted so the overhead ablation can price
 //! them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use crate::ir::{BlockId, FuncId, Inst, Module, Reg, VasName};
+use crate::ir::{BlockId, FuncId, Inst, Module, Reg, SegName, VasName};
+
+/// Base address of shared-segment memory in the common region. Far
+/// above anything the bump allocator hands out, so segment cells never
+/// collide with allocas/globals.
+const SEG_BASE: u64 = 0x5360_0000;
+/// Address span reserved per segment name.
+const SEG_SPAN: u64 = 0x1_0000;
 
 /// Where a runtime pointer points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +77,8 @@ pub enum Trap {
     StepLimit,
     /// Phi had no incoming edge for the predecessor taken.
     BrokenPhi,
+    /// `unlock s` of a segment lock the program does not hold.
+    UnlockNotHeld(SegName),
 }
 
 impl std::fmt::Display for Trap {
@@ -96,6 +105,7 @@ impl std::fmt::Display for Trap {
             Trap::NotAPointer => write!(f, "dereference of a non-pointer value"),
             Trap::StepLimit => write!(f, "step limit exceeded"),
             Trap::BrokenPhi => write!(f, "phi without matching predecessor"),
+            Trap::UnlockNotHeld(s) => write!(f, "unlock of segment {s:?} that is not held"),
         }
     }
 }
@@ -113,6 +123,8 @@ pub struct InterpStats {
     pub switches: u64,
     /// Loads + stores performed.
     pub mem_ops: u64,
+    /// Segment lock/unlock operations performed.
+    pub lock_ops: u64,
 }
 
 struct Frame {
@@ -130,6 +142,7 @@ pub struct Interp<'m> {
     memory: HashMap<(Region, u64), Value>,
     heap_next: HashMap<Region, u64>,
     current: VasName,
+    held: BTreeSet<SegName>,
     stats: InterpStats,
     step_limit: u64,
 }
@@ -142,6 +155,7 @@ impl<'m> Interp<'m> {
             memory: HashMap::new(),
             heap_next: HashMap::new(),
             current: entry_vas,
+            held: BTreeSet::new(),
             stats: InterpStats::default(),
             step_limit: 1_000_000,
         }
@@ -156,6 +170,11 @@ impl<'m> Interp<'m> {
     /// Execution statistics.
     pub fn stats(&self) -> InterpStats {
         self.stats
+    }
+
+    /// Segment locks currently held (for end-of-run leak assertions).
+    pub fn held_locks(&self) -> &BTreeSet<SegName> {
+        &self.held
     }
 
     fn alloc(&mut self, region: Region, size: u64) -> u64 {
@@ -355,6 +374,32 @@ impl<'m> Interp<'m> {
                                 reason: "stored pointer escapes its VAS",
                             });
                         }
+                    }
+                    Inst::Lock(s) => {
+                        // Runtime segment locks are re-entrant for their
+                        // holder, so a repeated lock is a no-op, not a
+                        // self-deadlock.
+                        self.stats.lock_ops += 1;
+                        self.held.insert(*s);
+                    }
+                    Inst::Unlock(s) => {
+                        self.stats.lock_ops += 1;
+                        if !self.held.remove(s) {
+                            return Err(Trap::UnlockNotHeld(*s));
+                        }
+                    }
+                    Inst::SegAddr { dst, seg } => {
+                        // Shared segments live at fixed common-region
+                        // addresses: the same name resolves to the same
+                        // cell in every VAS, which is what makes
+                        // unsynchronized cross-process access meaningful.
+                        frame.regs.insert(
+                            *dst,
+                            Value::Ptr {
+                                region: Region::Common,
+                                addr: SEG_BASE + u64::from(seg.0) * SEG_SPAN,
+                            },
+                        );
                     }
                     Inst::Call {
                         dst,

@@ -25,6 +25,13 @@ pub struct FuncId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VasName(pub u32);
 
+/// A lockable shared segment named in the program text (`lock s`,
+/// `unlock s`, `x = segaddr s`). Segments are the paper's unit of
+/// sharing (Section 3.2); the lockset analysis is defined over these
+/// names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegName(pub u32);
+
 /// Abstract VAS values used by the analysis (Section 4.3):
 /// concrete VAS ids, plus `vcommon` and `vunknown`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,6 +92,16 @@ pub enum Inst {
     /// Inserted check: storing `val` through `addr` must satisfy the
     /// Section 3.3 store rules. Traps at runtime otherwise.
     CheckStore { addr: Reg, val: Reg },
+    /// `lock s` — acquire shared segment `s`'s lock (blocking).
+    Lock(SegName),
+    /// `unlock s` — release shared segment `s`'s lock.
+    Unlock(SegName),
+    /// `x = segaddr s` — base address of shared segment `s`. Shared
+    /// segments are mapped at the same address in every VAS that
+    /// attaches them, so the result lives in the common region for
+    /// `VASvalid` purposes; whether dereferences through it are *safe*
+    /// is the lockset analysis's question, not the VAS analysis's.
+    SegAddr { dst: Reg, seg: SegName },
 }
 
 impl Inst {
@@ -97,6 +114,7 @@ impl Inst {
             | Inst::Malloc { dst, .. }
             | Inst::Copy { dst, .. }
             | Inst::Const { dst, .. }
+            | Inst::SegAddr { dst, .. }
             | Inst::Load { dst, .. } => Some(*dst),
             Inst::Call { dst, .. } => *dst,
             _ => None,

@@ -55,5 +55,5 @@ pub use analysis::Analysis;
 pub use checks::{insert_checks, CheckPolicy, CheckReport};
 pub use interp::{Interp, InterpStats, Region, Trap, Value};
 pub use ir::{
-    AbstractVas, Block, BlockId, FuncId, Function, Inst, Module, Phi, Reg, VasName, VasSet,
+    AbstractVas, Block, BlockId, FuncId, Function, Inst, Module, Phi, Reg, SegName, VasName, VasSet,
 };

@@ -67,6 +67,12 @@ pub enum EventKind {
     /// OOM killer chose a victim; instant. `arg0` = victim pid,
     /// `arg1` = badness (resident frames at selection).
     OomKill,
+    /// A committed `load_u64` from the global (shared-segment) range;
+    /// instant. `arg0` = virtual address, `arg1` = pid.
+    MemRead,
+    /// A committed `store_u64` to the global (shared-segment) range;
+    /// instant. `arg0` = virtual address, `arg1` = pid.
+    MemWrite,
 
     // ---- sjmp-mem ----
     /// TLB lookup hit; instant. `arg0` = ASID.
@@ -91,8 +97,33 @@ pub enum EventKind {
     LockAcquire,
     /// Segment lock released; instant. `arg0` = segment id, `arg1` = pid.
     LockRelease,
-    /// Lock-set acquisition lost to contention; instant. `arg0` = pid.
+    /// Lock-set acquisition lost to contention; instant.
+    /// `arg0` = segment id, `arg1` = pid.
     LockContention,
+    /// A lock acquisition elided by fault injection
+    /// (`FaultSite::SegLock`); instant. `arg0` = segment id,
+    /// `arg1` = pid. Diagnostic only — analyzers must find the
+    /// resulting race from the access stream, not from this marker.
+    LockSkip,
+    /// A segment came into existence (`seg_register`); instant.
+    /// `arg0` = segment id, `arg1` = base virtual address.
+    SegRegister,
+    /// Companion to [`EventKind::SegRegister`] carrying the magnitude
+    /// that does not fit in one event; instant. `arg0` = segment id,
+    /// `arg1` = size in bytes.
+    SegExtent,
+    /// A segment attached to a VAS (`seg_attach`, the global variant);
+    /// instant. `arg0` = segment id, `arg1` = VAS id. Together with
+    /// [`EventKind::VasEnter`] this lets replay tools resolve which
+    /// segment a virtual address belongs to — different VASes may map
+    /// different segments at the same address.
+    SegAttach,
+    /// A process committed a switch into a VAS; instant. `arg0` = pid,
+    /// `arg1` = VAS id (0 = the process's private home space). Unlike
+    /// the [`EventKind::VasSwitch`] span, which brackets the whole
+    /// attempt including failures, this fires only once the new
+    /// translation root is actually loaded.
+    VasEnter,
     /// A `vas_switch_retry` backoff turn; instant. `arg0` = pid,
     /// `arg1` = attempt number.
     SwitchRetry,
@@ -108,7 +139,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, for iteration in exporters and reports.
-    pub const ALL: [EventKind; 28] = [
+    pub const ALL: [EventKind; 35] = [
         EventKind::KernelEntry,
         EventKind::SwitchVmspace,
         EventKind::SwitchBook,
@@ -122,6 +153,8 @@ impl EventKind {
         EventKind::Evict,
         EventKind::QuotaDenial,
         EventKind::OomKill,
+        EventKind::MemRead,
+        EventKind::MemWrite,
         EventKind::TlbHit,
         EventKind::TlbMiss,
         EventKind::TlbFlush,
@@ -133,6 +166,11 @@ impl EventKind {
         EventKind::LockAcquire,
         EventKind::LockRelease,
         EventKind::LockContention,
+        EventKind::LockSkip,
+        EventKind::SegRegister,
+        EventKind::SegExtent,
+        EventKind::SegAttach,
+        EventKind::VasEnter,
         EventKind::SwitchRetry,
         EventKind::Reap,
         EventKind::RpcSend,
@@ -155,6 +193,8 @@ impl EventKind {
             EventKind::Evict => "evict",
             EventKind::QuotaDenial => "quota_denial",
             EventKind::OomKill => "oom_kill",
+            EventKind::MemRead => "mem_read",
+            EventKind::MemWrite => "mem_write",
             EventKind::TlbHit => "tlb_hit",
             EventKind::TlbMiss => "tlb_miss",
             EventKind::TlbFlush => "tlb_flush",
@@ -166,11 +206,22 @@ impl EventKind {
             EventKind::LockAcquire => "lock_acquire",
             EventKind::LockRelease => "lock_release",
             EventKind::LockContention => "lock_contention",
+            EventKind::LockSkip => "lock_skip",
+            EventKind::SegRegister => "seg_register",
+            EventKind::SegExtent => "seg_extent",
+            EventKind::SegAttach => "seg_attach",
+            EventKind::VasEnter => "vas_enter",
             EventKind::SwitchRetry => "switch_retry",
             EventKind::Reap => "reap",
             EventKind::RpcSend => "rpc_send",
             EventKind::RpcRecv => "rpc_recv",
         }
+    }
+
+    /// Inverse of [`EventKind::name`]; `None` for unknown names. Trace
+    /// importers use this so exported documents round-trip losslessly.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -202,6 +253,14 @@ mod tests {
             assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
         }
         assert_eq!(seen.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn from_name_round_trips_every_kind() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("no_such_kind"), None);
     }
 
     #[test]

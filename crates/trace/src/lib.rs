@@ -53,7 +53,7 @@ pub mod metrics;
 pub mod ring;
 pub mod tracer;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, parse_chrome_trace, ParsedTrace};
 pub use event::{Event, EventKind, Phase};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};

@@ -36,7 +36,10 @@
 //! * [`rpc`] — the communication baselines (URPC rings, message passing,
 //!   sockets);
 //! * [`gups`], [`kv`], [`genome`] — the three evaluation applications:
-//!   GUPS, Redis/RedisJMP, and the SAMTools workflow.
+//!   GUPS, Redis/RedisJMP, and the SAMTools workflow;
+//! * [`analyze`] — the race & lock-order analyzer: a static lockset
+//!   pass over the safety IR, trace-replay data-race and deadlock-cycle
+//!   detection, and kernel audit lints (driven by `sjmp-lint`).
 //!
 //! # Quickstart
 //!
@@ -67,6 +70,7 @@
 //! the full paper-vs-measured index.
 
 pub use sjmp_alloc as alloc;
+pub use sjmp_analyze as analyze;
 pub use sjmp_genome as genome;
 pub use sjmp_gups as gups;
 pub use sjmp_kv as kv;

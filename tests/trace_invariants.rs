@@ -11,9 +11,9 @@
 //! * installing a tracer changes **zero** modeled cycles — the clock
 //!   readings of a traced run are bit-identical to an untraced one.
 
-use spacejmp::gups::{run_jmp, GupsConfig};
+use spacejmp::gups::{run_jmp, run_jmp_shared, GupsConfig};
 use spacejmp::prelude::*;
-use spacejmp::trace::{Phase, Tracer};
+use spacejmp::trace::{Event, EventKind, Phase, Tracer};
 
 /// A small multi-VAS workload touching the paths the tracer
 /// instruments: attach, switch, segment locks, faults, TLB traffic.
@@ -153,6 +153,93 @@ fn kernel_events_claim_the_executing_core() {
             ev.kind, ev.core
         );
     }
+}
+
+/// Replays the lock events of `events` against per-(pid, segment) hold
+/// depths: a `LockRelease` must match a prior `LockAcquire` (re-entrant
+/// acquires are legal and stack), every hold must be released by the
+/// end, and lock events must be monotonically ordered per core.
+fn check_lock_events(events: &[Event]) -> usize {
+    let mut depth = std::collections::HashMap::new();
+    let mut last_ts = std::collections::HashMap::new();
+    let mut lock_events = 0usize;
+    for ev in events {
+        let is_lock = matches!(
+            ev.kind,
+            EventKind::LockAcquire
+                | EventKind::LockRelease
+                | EventKind::LockContention
+                | EventKind::LockSkip
+        );
+        if !is_lock {
+            continue;
+        }
+        lock_events += 1;
+        // (sid, pid) = (arg0, arg1) on every lock event kind.
+        let key = (ev.arg1, ev.arg0);
+        match ev.kind {
+            EventKind::LockAcquire => *depth.entry(key).or_insert(0i64) += 1,
+            EventKind::LockRelease => {
+                let d = depth.entry(key).or_insert(0i64);
+                *d -= 1;
+                assert!(
+                    *d >= 0,
+                    "pid {} released segment {} it did not hold",
+                    ev.arg1,
+                    ev.arg0
+                );
+            }
+            _ => {}
+        }
+        if let Some(prev) = last_ts.insert(ev.core, ev.ts) {
+            assert!(
+                ev.ts >= prev,
+                "lock events ran backwards on core {}: {} -> {}",
+                ev.core,
+                prev,
+                ev.ts
+            );
+        }
+    }
+    for ((pid, sid), d) in depth {
+        assert_eq!(d, 0, "pid {pid} left segment {sid} held at depth {d}");
+    }
+    lock_events
+}
+
+#[test]
+fn lock_events_pair_and_stay_ordered_per_core() {
+    // Single process cycling three lockable-segment VASes: every switch
+    // acquires the target's lock and releases the previous one.
+    let tracer = Tracer::new(1 << 16);
+    workload(tracer.clone());
+    assert_eq!(tracer.dropped(), 0, "ring too small for the workload");
+    let n = check_lock_events(&tracer.events());
+    assert!(n > 0, "multi-VAS workload took no segment locks");
+
+    // Multi-core: a shared-VAS GUPS run hands window locks between
+    // workers pinned to different cores; the same pairing and per-core
+    // ordering invariants must hold across the hand-offs.
+    let tracer = Tracer::new(1 << 16);
+    let cfg = GupsConfig {
+        windows: 2,
+        window_bytes: 1 << 20,
+        updates_per_set: 4,
+        epochs: 24,
+        tracer: tracer.clone(),
+        ..GupsConfig::default()
+    };
+    run_jmp_shared(&cfg, 3).expect("shared gups");
+    assert_eq!(tracer.dropped(), 0, "ring too small for the workload");
+    let events = tracer.events();
+    let n = check_lock_events(&events);
+    assert!(n > 0, "shared GUPS took no window locks");
+    let cores: std::collections::HashSet<u32> = events
+        .iter()
+        .filter(|ev| ev.kind == EventKind::LockAcquire)
+        .map(|ev| ev.core)
+        .collect();
+    assert!(cores.len() >= 2, "lock traffic stayed on one core");
 }
 
 #[test]
