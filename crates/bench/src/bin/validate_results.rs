@@ -111,6 +111,84 @@ fn check_analyze_report() -> Result<(), String> {
     Ok(())
 }
 
+/// Schema gate for the durability reports. `results/crash_sweep.json`
+/// must carry all three sweep phases (block-write crash points, flush
+/// barriers, seeded faults), every `recovered` cell must read `old` or
+/// `new` (never a hybrid), and the verdict note must report zero
+/// violations. `results/warm_restart.json` must carry the phase table
+/// and the cold-vs-warm comparison with a `speedup` column.
+fn check_durability(name: &str) -> Result<(), String> {
+    let path = format!("results/{name}.json");
+    let doc = load(&path)?;
+    let sections = require(&doc, &path, "sections")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"sections\" is not an array"))?;
+    let titled = |needle: &str| -> Result<&Json, String> {
+        sections
+            .iter()
+            .find(|s| {
+                s.get("title")
+                    .and_then(Json::as_str)
+                    .is_some_and(|t| t.contains(needle))
+            })
+            .ok_or_else(|| format!("{path}: no section titled like \"{needle}\""))
+    };
+    let column = |section: &Json, col: &str| -> Result<usize, String> {
+        section
+            .get("columns")
+            .and_then(Json::as_arr)
+            .and_then(|cols| {
+                cols.iter()
+                    .position(|c| c.as_str().is_some_and(|s| s == col))
+            })
+            .ok_or_else(|| format!("{path}: missing column \"{col}\""))
+    };
+    match name {
+        "crash_sweep" => {
+            for needle in [
+                "Crash at every block write",
+                "Crash at each flush barrier",
+                "Seeded torn writes",
+            ] {
+                let section = titled(needle)?;
+                let at = column(section, "recovered")?;
+                let rows = require(section, &path, "rows")?
+                    .as_arr()
+                    .ok_or_else(|| format!("{path}: section \"rows\" is not an array"))?;
+                for row in rows {
+                    let cell = row.as_arr().and_then(|r| r.get(at)).and_then(Json::as_str);
+                    if cell != Some("old") && cell != Some("new") {
+                        return Err(format!(
+                            "{path}: \"{needle}\" row recovered {cell:?}, want old|new"
+                        ));
+                    }
+                }
+            }
+            let notes = require(&doc, &path, "notes")?
+                .as_arr()
+                .ok_or_else(|| format!("{path}: \"notes\" is not an array"))?;
+            let clean = notes
+                .iter()
+                .any(|n| n.as_str().is_some_and(|s| s.starts_with("violations: 0")));
+            if !clean {
+                return Err(format!(
+                    "{path}: verdict note \"violations: 0 ...\" missing"
+                ));
+            }
+        }
+        "warm_restart" => {
+            let phases = titled("RedisJMP warm restart")?;
+            for col in ["vas_save", "recovery", "vas_load"] {
+                column(phases, col)?;
+            }
+            let compare = titled("cold rebuild vs warm restart")?;
+            column(compare, "speedup")?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Every bench name with a report file in `results/`, i.e. `<name>.json`
 /// excluding the `.trace.json` / `.metrics.json` side files and the
 /// `analyze_report.json` findings report (which has its own schema and
@@ -169,6 +247,11 @@ fn main() -> ExitCode {
                 eprintln!("FAIL {e}");
                 return ExitCode::FAILURE;
             }
+        }
+        // The durability reports carry extra, bench-specific guarantees.
+        if let Err(e) = check_durability(name) {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
         }
         if side_files_required {
             println!("ok: results/{name}{{.json,.trace.json,.metrics.json}}");

@@ -1,0 +1,186 @@
+//! The page-granular swap device, re-based onto [`BlockDev`].
+//!
+//! PR 2 kept swap images in a bare `HashMap<u64, Option<FrameBox>>`
+//! inside the physical-memory model; this moves the bytes onto the
+//! simulated block device (one block per page) while preserving the
+//! exact slot semantics the kernel's invariant audit depends on:
+//!
+//! * zero pages stay **sparse** — storing `None` allocates a slot but
+//!   performs no device IO at all;
+//! * freed slot numbers are reused (lowest-overhead free list);
+//! * swap contents are volatile across a machine restart (swap backs
+//!   *anonymous* memory), so writes stay in the device cache and are
+//!   never flushed — `crash()` clearing them is the correct model.
+//!
+//! Swap IO is charged through the cost model's `swap_in_page` /
+//! `swap_out_page` entries on the fault path, not per block, so this
+//! re-backing changes zero modeled cycles; the device only adds the
+//! `blk` activity counters.
+
+use std::collections::HashMap;
+
+use crate::dev::{BlkStats, BlockDev, WriteFault};
+
+/// A swap device: numbered page slots over a block device.
+#[derive(Debug, Clone)]
+pub struct SwapDev {
+    dev: BlockDev,
+    /// Slot -> whether the slot has device-resident bytes (`false`
+    /// marks a sparse all-zero page that never touched the device).
+    slots: HashMap<u64, bool>,
+    next_slot: u64,
+    free: Vec<u64>,
+}
+
+impl SwapDev {
+    /// Creates an empty swap device with `page_bytes`-sized slots.
+    pub fn new(page_bytes: u64) -> Self {
+        SwapDev {
+            dev: BlockDev::new(page_bytes),
+            slots: HashMap::new(),
+            next_slot: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores a page image, returning its slot. `None` records a
+    /// sparse all-zero page without any device IO.
+    pub fn store(&mut self, image: Option<&[u8]>) -> u64 {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        match image {
+            Some(bytes) => {
+                self.dev.write_block(slot, bytes, WriteFault::None);
+                self.slots.insert(slot, true);
+            }
+            None => {
+                self.slots.insert(slot, false);
+            }
+        }
+        slot
+    }
+
+    /// Whether `slot` is occupied.
+    pub fn contains(&self, slot: u64) -> bool {
+        self.slots.contains_key(&slot)
+    }
+
+    /// Removes a slot and returns its bytes (`None` for a sparse zero
+    /// page). Panics if the slot is empty — the caller is the kernel,
+    /// and swapping in an unoccupied slot is a kernel bug.
+    pub fn take(&mut self, slot: u64) -> Option<Vec<u8>> {
+        let has_bytes = self
+            .slots
+            .remove(&slot)
+            .unwrap_or_else(|| panic!("swap-in of empty slot {slot}"));
+        self.free.push(slot);
+        if has_bytes {
+            let mut buf = vec![0u8; self.dev.block_size() as usize];
+            self.dev.read_block(slot, &mut buf);
+            Some(buf)
+        } else {
+            None
+        }
+    }
+
+    /// Reads a slot's page into `buf` without consuming the slot.
+    /// Returns `Some(true)` if bytes were read from the device,
+    /// `Some(false)` for a sparse zero page (buf is zero-filled), and
+    /// `None` if the slot is empty.
+    pub fn peek(&mut self, slot: u64, buf: &mut [u8]) -> Option<bool> {
+        match self.slots.get(&slot) {
+            Some(true) => {
+                self.dev.read_block(slot, buf);
+                Some(true)
+            }
+            Some(false) => {
+                buf.fill(0);
+                Some(false)
+            }
+            None => None,
+        }
+    }
+
+    /// Frees a slot if occupied; returns whether it was.
+    pub fn discard(&mut self, slot: u64) -> bool {
+        if self.slots.remove(&slot).is_some() {
+            self.free.push(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn used(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Device activity counters.
+    pub fn stats(&self) -> BlkStats {
+        self.dev.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_take_round_trip() {
+        let mut sw = SwapDev::new(4096);
+        let page: Vec<u8> = (0..4096).map(|i| i as u8).collect();
+        let slot = sw.store(Some(&page));
+        assert!(sw.contains(slot));
+        assert_eq!(sw.used(), 1);
+        assert_eq!(sw.take(slot), Some(page));
+        assert_eq!(sw.used(), 0);
+    }
+
+    #[test]
+    fn zero_pages_stay_sparse() {
+        let mut sw = SwapDev::new(4096);
+        let slot = sw.store(None);
+        assert_eq!(
+            sw.stats().writes,
+            0,
+            "sparse store must not touch the device"
+        );
+        let mut buf = vec![0xffu8; 4096];
+        assert_eq!(sw.peek(slot, &mut buf), Some(false));
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(sw.take(slot), None);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut sw = SwapDev::new(4096);
+        let a = sw.store(None);
+        let b = sw.store(Some(&[7u8; 4096]));
+        sw.take(a);
+        let c = sw.store(Some(&[9u8; 4096]));
+        assert_eq!(c, a, "freed slot number must be reused");
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut sw = SwapDev::new(4096);
+        let slot = sw.store(Some(&[3u8; 4096]));
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(sw.peek(slot, &mut buf), Some(true));
+        assert_eq!(buf[100], 3);
+        assert!(sw.contains(slot), "peek must leave the slot intact");
+        assert_eq!(sw.peek(999, &mut buf), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap-in of empty slot 5")]
+    fn taking_an_empty_slot_panics() {
+        let mut sw = SwapDev::new(4096);
+        sw.take(5);
+    }
+}

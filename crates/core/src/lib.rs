@@ -32,12 +32,14 @@
 
 pub mod error;
 pub mod heap;
+pub mod image;
 pub mod segment;
 pub mod spacejmp;
 pub mod vas;
 
 pub use error::{SjError, SjResult};
 pub use heap::VasHeap;
+pub use image::{Catalog, SegmentImage, VasImage};
 pub use segment::{AttachMode, SegId, Segment};
 pub use spacejmp::{MemTier, RetryPolicy, SegCtl, SjStats, SpaceJmp, VasCtl};
 pub use vas::{Attachment, Vas, VasHandle, VasId};

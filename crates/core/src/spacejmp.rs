@@ -30,7 +30,10 @@ use sjmp_os::{
 };
 use sjmp_trace::{EventKind, MetricsSnapshot, Tracer};
 
+use sjmp_os::PageState;
+
 use crate::error::{SjError, SjResult};
+use crate::image::{Catalog, SegmentImage, VasImage};
 use crate::segment::{AttachMode, SegId, Segment};
 use crate::vas::{Attachment, Vas, VasHandle, VasId};
 
@@ -1288,11 +1291,6 @@ impl SpaceJmp {
                 seg.object(),
             )
         };
-        if !self.kernel.vmobject(object)?.is_contiguous() {
-            return Err(SjError::InvalidArgument(
-                "cannot save a demand-paged (swappable) segment",
-            ));
-        }
         let mut out = Vec::with_capacity(size as usize + 64);
         out.extend_from_slice(b"SJMPSEG1");
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -1300,13 +1298,17 @@ impl SpaceJmp {
         out.extend_from_slice(&base.raw().to_le_bytes());
         out.extend_from_slice(&size.to_le_bytes());
         out.extend_from_slice(&(mode.0 as u32).to_le_bytes());
-        let pa = self.kernel.vmobject(object)?.base();
         let start = out.len();
         out.resize(start + size as usize, 0);
-        self.kernel
-            .phys_mut()
-            .read_bytes(pa, &mut out[start..])
-            .map_err(OsError::from)?;
+        // Page-by-page read handles every backing uniformly: contiguous
+        // segments read straight from their frames, demand-paged ones
+        // fill zero pages with zeros and fetch evicted pages back
+        // through the swap device without faulting them in.
+        for index in 0..size / PAGE_SIZE {
+            let at = start + (index * PAGE_SIZE) as usize;
+            self.kernel
+                .read_object_page(object, index, &mut out[at..at + PAGE_SIZE as usize])?;
+        }
         Ok(out)
     }
 
@@ -1350,6 +1352,206 @@ impl SpaceJmp {
             .write_bytes(pa, contents)
             .map_err(OsError::from)?;
         Ok(sid)
+    }
+
+    /// `vas_save(vid)`: persists a VAS to the kernel's snapshot disk,
+    /// completing the paper's Section 7 future-work item — "the
+    /// persistency of multiple virtual address spaces (for example,
+    /// across reboots)". The whole VAS (permission mode, every attached
+    /// segment's geometry, flags, and contents — including pages
+    /// currently evicted to swap, which are read back through the swap
+    /// device) is serialized into a sparse [`VasImage`], merged into
+    /// the disk's [`Catalog`] under the VAS's name, and committed as a
+    /// new snapshot generation through the write-ahead journal. The
+    /// commit is atomic under power loss: after a crash at *any* block
+    /// boundary, recovery yields either the previous catalog or this
+    /// one, never a hybrid. Returns the committed generation.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures; [`SjError::Busy`] while any segment lock is
+    /// held (the image must be quiescent);
+    /// [`sjmp_os::OsError::Crashed`] when an injected block-IO crash
+    /// fault aborts the commit mid-sequence.
+    pub fn vas_save(&mut self, pid: Pid, vid: VasId) -> SjResult<u64> {
+        self.kernel.charge_entry_on(self.ctx(pid));
+        let ctx = self.ctx(pid);
+        let tracer = self.kernel.tracer().clone();
+        tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SnapshotSave,
+            vid.0,
+        );
+        let result = self.vas_save_inner(pid, vid, ctx);
+        tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SnapshotSave,
+            vid.0,
+        );
+        result
+    }
+
+    fn vas_save_inner(&mut self, pid: Pid, vid: VasId, ctx: CoreCtx) -> SjResult<u64> {
+        let creds = self.kernel.process(pid)?.creds();
+        let (name, mode, segs) = {
+            let v = self.vas(vid)?;
+            if !v.acl().allows(creds, Access::Read) {
+                return Err(SjError::PermissionDenied);
+            }
+            (v.name().to_string(), v.acl().mode(), v.segments().to_vec())
+        };
+        // As vas_snapshot: locks must be quiescent for a consistent image.
+        for (sid, _) in &segs {
+            if !self.segment(*sid)?.lock().is_free() {
+                return Err(SjError::Busy("segment lock held during save"));
+            }
+        }
+        let mut segments = Vec::with_capacity(segs.len());
+        for (sid, attach_mode) in segs {
+            segments.push(self.serialize_segment(ctx, sid, attach_mode)?);
+        }
+        let image = VasImage {
+            mode: mode.0,
+            segments,
+        };
+        // Read-modify-write the catalog so other saved VASes survive
+        // this save; the snapshot store's generation machinery makes
+        // the whole read-back + commit copy-on-write.
+        let payload = self.kernel.disk_read(ctx);
+        let mut catalog = Catalog::decode(&payload)
+            .ok_or(SjError::InvalidArgument("corrupt snapshot catalog on disk"))?;
+        catalog.upsert(&name, image.encode());
+        let generation = self.kernel.disk_commit(ctx, &catalog.encode())?;
+        Ok(generation)
+    }
+
+    /// Serializes one attached segment into a sparse [`SegmentImage`].
+    /// Zero pages are elided; pages evicted to swap are read back
+    /// through the swap device (charged and traced as swap-ins) without
+    /// disturbing their evicted state.
+    fn serialize_segment(
+        &mut self,
+        ctx: CoreCtx,
+        sid: SegId,
+        attach_mode: AttachMode,
+    ) -> SjResult<SegmentImage> {
+        let (name, base, size, mode, lockable, object) = {
+            let s = self.segment(sid)?;
+            (
+                s.name().to_string(),
+                s.base(),
+                s.size(),
+                s.acl().mode(),
+                s.lockable(),
+                s.object(),
+            )
+        };
+        let swappable = self.kernel.vmobject(object)?.swappable();
+        let mut pages = Vec::new();
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        for index in 0..size / PAGE_SIZE {
+            if let PageState::Swapped { .. } = self.kernel.vmobject(object)?.page_state(index) {
+                let tracer = self.kernel.tracer().clone();
+                tracer.begin(
+                    self.now_on(ctx),
+                    ctx.core as u32,
+                    EventKind::SwapIn,
+                    object.0,
+                );
+                let cycles = self.kernel.cost().swap_in_page;
+                self.kernel.clocks().advance(ctx.core, cycles);
+                tracer.end(
+                    self.now_on(ctx),
+                    ctx.core as u32,
+                    EventKind::SwapIn,
+                    object.0,
+                );
+            }
+            self.kernel.read_object_page(object, index, &mut buf)?;
+            if buf.iter().all(|&b| b == 0) {
+                continue;
+            }
+            pages.push((index, buf.clone()));
+        }
+        Ok(SegmentImage {
+            name,
+            base: base.raw(),
+            size,
+            writable: attach_mode == AttachMode::ReadWrite,
+            mode: mode.0,
+            lockable,
+            swappable,
+            pages,
+        })
+    }
+
+    /// `vas_load(name)`: reattaches a VAS saved with [`Self::vas_save`]
+    /// from the kernel's snapshot disk — typically on a freshly booted
+    /// machine whose kernel was handed the surviving [`sjmp_blk::BlockDev`]
+    /// via [`Kernel::attach_disk`]. The VAS, its segments (at their
+    /// original bases, with their original names, modes, lockability,
+    /// and swappability), and all saved page contents reappear; because
+    /// segment bases are part of their identity, pointers stored inside
+    /// the segments are valid immediately. Returns the new [`VasId`].
+    ///
+    /// # Errors
+    ///
+    /// [`SjError::NotFound`] when no saved VAS has that name;
+    /// [`SjError::InvalidArgument`] for corrupt catalog bytes;
+    /// [`SjError::NameTaken`] when the VAS or one of its segment names
+    /// is already registered; allocation failures.
+    pub fn vas_load(&mut self, pid: Pid, name: &str) -> SjResult<VasId> {
+        self.kernel.charge_entry_on(self.ctx(pid));
+        let ctx = self.ctx(pid);
+        let tracer = self.kernel.tracer().clone();
+        tracer.begin(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SnapshotLoad,
+            pid.0,
+        );
+        let result = self.vas_load_inner(pid, name, ctx);
+        tracer.end(
+            self.now_on(ctx),
+            ctx.core as u32,
+            EventKind::SnapshotLoad,
+            pid.0,
+        );
+        result
+    }
+
+    fn vas_load_inner(&mut self, pid: Pid, name: &str, ctx: CoreCtx) -> SjResult<VasId> {
+        let payload = self.kernel.disk_read(ctx);
+        let catalog = Catalog::decode(&payload)
+            .ok_or(SjError::InvalidArgument("corrupt snapshot catalog on disk"))?;
+        let bytes = catalog.get(name).ok_or(SjError::NotFound)?;
+        let image = VasImage::decode(bytes)
+            .ok_or(SjError::InvalidArgument("corrupt VAS image in catalog"))?;
+        let vid = self.vas_create(pid, name, Mode(image.mode))?;
+        for seg in &image.segments {
+            let base = VirtAddr::new(seg.base);
+            let sid = if seg.swappable {
+                self.seg_alloc_swappable(pid, &seg.name, base, seg.size, Mode(seg.mode))?
+            } else {
+                self.seg_alloc(pid, &seg.name, base, seg.size, Mode(seg.mode))?
+            };
+            if !seg.lockable {
+                self.segment_mut(sid)?.set_lockable(false);
+            }
+            let object = self.segment(sid)?.object();
+            for (index, data) in &seg.pages {
+                self.kernel.write_object_page(object, *index, data)?;
+            }
+            let mode = if seg.writable {
+                AttachMode::ReadWrite
+            } else {
+                AttachMode::ReadOnly
+            };
+            self.seg_attach(pid, vid, sid, mode)?;
+        }
+        Ok(vid)
     }
 
     // ---- Segment API -------------------------------------------------------
@@ -1417,8 +1619,10 @@ impl SpaceJmp {
     /// accounting and OOM badness) and marked *preserved*, so like any
     /// segment it outlives process teardown until `seg_ctl(Destroy)`.
     ///
-    /// Swappable segments cannot be cloned, saved, or restored (those
-    /// operations require eagerly reserved contiguous frames).
+    /// Swappable segments clone ([`Self::seg_clone`] copies page states,
+    /// swap slots included), save, and persist ([`Self::vas_save`])
+    /// like any other segment; evicted pages are read back through the
+    /// swap device as needed.
     ///
     /// # Errors
     ///
@@ -1540,27 +1744,37 @@ impl SpaceJmp {
         if self.seg_names.contains_key(new_name) {
             return Err(SjError::NameTaken(new_name.to_string()));
         }
-        if !self.kernel.vmobject(src_obj)?.is_contiguous() {
-            return Err(SjError::InvalidArgument(
-                "cannot clone a demand-paged (swappable) segment",
-            ));
-        }
-        let new_obj = self.kernel.alloc_object(size)?;
-        self.kernel.vmobject_mut(new_obj)?.set_pinned(true);
-        // Copy contents frame by frame.
-        let (src_pa, dst_pa) = {
-            let src = self.kernel.vmobject(src_obj)?.base();
-            let dst = self.kernel.vmobject(new_obj)?.base();
-            (src, dst)
+        let new_obj = if self.kernel.vmobject(src_obj)?.is_contiguous() {
+            let new_obj = self.kernel.alloc_object(size)?;
+            self.kernel.vmobject_mut(new_obj)?.set_pinned(true);
+            // Copy contents frame by frame.
+            let (src_pa, dst_pa) = {
+                let src = self.kernel.vmobject(src_obj)?.base();
+                let dst = self.kernel.vmobject(new_obj)?.base();
+                (src, dst)
+            };
+            let phys = self.kernel.phys_mut();
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            for page in 0..size / PAGE_SIZE {
+                phys.read_bytes(src_pa.add(page * PAGE_SIZE), &mut buf)
+                    .map_err(OsError::from)?;
+                phys.write_bytes(dst_pa.add(page * PAGE_SIZE), &buf)
+                    .map_err(OsError::from)?;
+            }
+            new_obj
+        } else {
+            // Demand-paged (swappable) segment: duplicate page by page,
+            // preserving each page's state — zero pages stay sparse,
+            // evicted pages are copied swap-slot to swap-slot — so the
+            // clone neither faults pages in nor disturbs memory
+            // pressure. Flags mirror seg_alloc_swappable's backing.
+            let new_obj = self.kernel.duplicate_paged_object(src_obj)?;
+            let o = self.kernel.vmobject_mut(new_obj)?;
+            o.set_preserved(true);
+            o.set_swappable(true);
+            o.set_owner(Some(pid));
+            new_obj
         };
-        let phys = self.kernel.phys_mut();
-        let mut buf = vec![0u8; PAGE_SIZE as usize];
-        for page in 0..size / PAGE_SIZE {
-            phys.read_bytes(src_pa.add(page * PAGE_SIZE), &mut buf)
-                .map_err(OsError::from)?;
-            phys.write_bytes(dst_pa.add(page * PAGE_SIZE), &buf)
-                .map_err(OsError::from)?;
-        }
         let new_sid = SegId(self.next_sid);
         self.next_sid += 1;
         self.segments.insert(

@@ -14,6 +14,8 @@
 
 use std::collections::HashMap;
 
+use sjmp_blk::{BlkStats, SwapDev};
+
 use crate::addr::{Pfn, PhysAddr, PAGE_SIZE};
 use crate::error::MemError;
 
@@ -53,12 +55,11 @@ pub struct PhysMem {
     nvm_boundary: Option<u64>,
     /// Bump pointer for NVM allocations (grows from the boundary up).
     next_nvm_frame: u64,
-    /// Simulated swap device: slot -> saved page image. `None` records a
-    /// page that was entirely zero, so swapped-out untouched pages stay
+    /// Simulated swap device, backed by the `sjmp-blk` block device
+    /// (one block per page). A slot without device bytes records a page
+    /// that was entirely zero, so swapped-out untouched pages stay
     /// sparse just like resident ones.
-    swap: HashMap<u64, Option<FrameBox>>,
-    next_swap_slot: u64,
-    free_swap_slots: Vec<u64>,
+    swap: SwapDev,
 }
 
 impl PhysMem {
@@ -83,9 +84,7 @@ impl PhysMem {
             allocated: 0,
             nvm_boundary: None,
             next_nvm_frame: 0,
-            swap: HashMap::new(),
-            next_swap_slot: 0,
-            free_swap_slots: Vec::new(),
+            swap: SwapDev::new(PAGE_SIZE),
         }
     }
 
@@ -212,12 +211,7 @@ impl PhysMem {
     /// reclaim path) is responsible for having unmapped the frame first.
     pub fn swap_out(&mut self, pfn: Pfn) -> u64 {
         let image = self.frames.remove(&pfn.0);
-        let slot = self.free_swap_slots.pop().unwrap_or_else(|| {
-            let s = self.next_swap_slot;
-            self.next_swap_slot += 1;
-            s
-        });
-        self.swap.insert(slot, image);
+        let slot = self.swap.store(image.as_deref().map(|f| f.as_slice()));
         self.free_list.push(pfn.0);
         self.allocated = self.allocated.saturating_sub(1);
         slot
@@ -236,29 +230,44 @@ impl PhysMem {
     /// Panics if `slot` holds no image — swapping in a slot twice (or one
     /// never produced by [`Self::swap_out`]) is a kernel bug.
     pub fn swap_in(&mut self, slot: u64) -> Result<Pfn, MemError> {
-        assert!(
-            self.swap.contains_key(&slot),
-            "swap-in of empty slot {slot}"
-        );
+        assert!(self.swap.contains(slot), "swap-in of empty slot {slot}");
         let pfn = self.alloc_frame()?;
-        if let Some(image) = self.swap.remove(&slot).flatten() {
-            self.frames.insert(pfn.0, image);
+        if let Some(image) = self.swap.take(slot) {
+            let boxed: FrameBox = image.into_boxed_slice().try_into().unwrap();
+            self.frames.insert(pfn.0, boxed);
         }
-        self.free_swap_slots.push(slot);
         Ok(pfn)
     }
 
     /// Discards a swapped page image without reading it back (the backing
     /// object was freed while the page was swapped out).
     pub fn discard_swap_slot(&mut self, slot: u64) {
-        if self.swap.remove(&slot).is_some() {
-            self.free_swap_slots.push(slot);
-        }
+        self.swap.discard(slot);
     }
 
     /// Number of swap slots currently holding page images.
     pub fn swap_slots_used(&self) -> u64 {
-        self.swap.len() as u64
+        self.swap.used()
+    }
+
+    /// Reads a swapped page image into `buf` without consuming the
+    /// slot (snapshot serialization reads swapped contents back through
+    /// the swap path without faulting them in). Returns `false` if the
+    /// slot is empty. A sparse zero page zero-fills `buf`.
+    pub fn read_swap_slot(&mut self, slot: u64, buf: &mut [u8]) -> bool {
+        self.swap.peek(slot, buf).is_some()
+    }
+
+    /// Stores a page image directly into a fresh swap slot (object
+    /// duplication preserves `Swapped` page states without faulting
+    /// them in). `None` records a sparse all-zero page.
+    pub fn store_swap_slot(&mut self, image: Option<&[u8]>) -> u64 {
+        self.swap.store(image)
+    }
+
+    /// Block-device activity counters of the swap device.
+    pub fn swap_blk_stats(&self) -> BlkStats {
+        self.swap.stats()
     }
 
     fn check(&self, pa: PhysAddr, len: u64) -> Result<(), MemError> {

@@ -63,11 +63,22 @@ pub enum FaultSite {
     /// accesses are exactly what `sjmp-analyze`'s trace-replay detector
     /// must find.
     SegLock,
+    /// One block write on the snapshot disk (`vas_save`'s commit path):
+    /// a `Fail` does not fail the call — it *tears* the write (new
+    /// first half, old second half) while the device reports success,
+    /// so the corruption is only discoverable by recovery's checksums.
+    /// A `Crash` is power loss after the n-th block: the commit aborts
+    /// mid-sequence with [`crate::OsError::Crashed`].
+    BlkWrite,
+    /// One flush barrier on the snapshot disk: a `Fail` silently drops
+    /// the barrier (pending blocks stay volatile); a `Crash` is power
+    /// loss at the barrier.
+    BlkFlush,
 }
 
 impl FaultSite {
     /// All sites, for iteration in reports.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::ObjectAlloc,
         FaultSite::SpaceAlloc,
         FaultSite::MapRegion,
@@ -76,6 +87,8 @@ impl FaultSite {
         FaultSite::Switch,
         FaultSite::FrameAlloc,
         FaultSite::SegLock,
+        FaultSite::BlkWrite,
+        FaultSite::BlkFlush,
     ];
 }
 

@@ -31,6 +31,7 @@
 
 use std::collections::HashMap;
 
+use sjmp_blk::{BlkError, BlkHooks, BlkStats, BlockDev, FlushFault, SnapshotStore, WriteFault};
 use sjmp_mem::cost::{
     CoreClocks, CoreCtx, CostModel, CycleClock, KernelFlavor, MachineId, MachineProfile,
 };
@@ -77,6 +78,10 @@ pub type OsResult<T> = Result<T, OsError>;
 /// Frames a single pressure-triggered reclaim pass tries to free: enough
 /// to amortize the scan without purging the whole machine.
 const RECLAIM_BATCH: u64 = 16;
+
+/// Block size of the snapshot disk (matches the page size, like the
+/// 4 KiB-sector NVMe devices the cost model is calibrated against).
+pub const DISK_BLOCK_SIZE: u64 = 4096;
 
 /// Counters for kernel events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -167,6 +172,8 @@ pub struct KernelSnapshot {
     pub tlb: TlbStats,
     /// Injected-fault counters (zero when no plan is installed).
     pub faults: crate::fault::FaultStats,
+    /// Block-device counters: snapshot disk plus swap device.
+    pub blk: BlkStats,
 }
 
 impl KernelSnapshot {
@@ -193,6 +200,7 @@ impl KernelSnapshot {
             mmu: self.mmu.delta_since(&earlier.mmu),
             tlb: self.tlb.delta_since(&earlier.tlb),
             faults: self.faults.delta_since(&earlier.faults),
+            blk: self.blk.delta_since(&earlier.blk),
         }
     }
 
@@ -228,6 +236,12 @@ impl KernelSnapshot {
         m.set_counter("tlb.insertions", self.tlb.insertions);
         m.set_counter("fault_plan.failures", self.faults.failures);
         m.set_counter("fault_plan.crashes", self.faults.crashes);
+        m.set_counter("blk.reads", self.blk.reads);
+        m.set_counter("blk.writes", self.blk.writes);
+        m.set_counter("blk.flushes", self.blk.flushes);
+        m.set_counter("blk.torn_writes", self.blk.torn_writes);
+        m.set_counter("blk.dropped_flushes", self.blk.dropped_flushes);
+        m.set_counter("blk.journal_replays", self.blk.journal_replays);
         m
     }
 }
@@ -266,6 +280,10 @@ pub struct Kernel {
     /// Structured event tracer (disabled by default; never advances
     /// the clock, so tracing cannot perturb modeled costs).
     tracer: Tracer,
+    /// The snapshot disk: a crash-consistent store for serialized VAS
+    /// images, surviving machine restarts via
+    /// [`Kernel::take_disk`]/[`Kernel::attach_disk`].
+    disk: SnapshotStore,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -311,6 +329,7 @@ impl Kernel {
             reclaim_cursor: (0, 0),
             external_maps: HashMap::new(),
             tracer: Tracer::disabled(),
+            disk: SnapshotStore::new(BlockDev::new(DISK_BLOCK_SIZE)),
         }
     }
 
@@ -600,9 +619,11 @@ impl Kernel {
                 | FaultSite::MapRegion
                 | FaultSite::Mmap
                 | FaultSite::FrameAlloc => Err(OsError::Mem(MemError::OutOfFrames)),
-                FaultSite::Munmap | FaultSite::Switch | FaultSite::SegLock => {
-                    Err(OsError::WouldBlock)
-                }
+                FaultSite::Munmap
+                | FaultSite::Switch
+                | FaultSite::SegLock
+                | FaultSite::BlkWrite
+                | FaultSite::BlkFlush => Err(OsError::WouldBlock),
             },
         }
     }
@@ -2224,7 +2245,218 @@ impl Kernel {
             mmu,
             tlb,
             faults: self.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
+            blk: self.disk.stats().combined(&self.phys.swap_blk_stats()),
         }
+    }
+
+    // ---- durability: the snapshot disk -----------------------------------
+
+    /// Commits `payload` as the next snapshot generation on the disk,
+    /// returning the generation number. Every block write, journal
+    /// record, and flush barrier is cycle-charged to `ctx`'s core and
+    /// consults the fault plan's [`FaultSite::BlkWrite`] /
+    /// [`FaultSite::BlkFlush`] sites: an injected `Fail` silently tears
+    /// the write (or drops the barrier), an injected `Crash` aborts the
+    /// commit mid-sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Crashed`] when a crash fault fires; the device then
+    /// holds a partial commit that recovery resolves to exactly the old
+    /// or the new snapshot.
+    pub fn disk_commit(&mut self, ctx: CoreCtx, payload: &[u8]) -> OsResult<u64> {
+        let mut disk = std::mem::replace(
+            &mut self.disk,
+            SnapshotStore::new(BlockDev::new(DISK_BLOCK_SIZE)),
+        );
+        let result = disk.commit(payload, &mut KernelBlkHooks { k: self, ctx });
+        self.disk = disk;
+        match result {
+            Ok(generation) => {
+                self.tracer.instant(
+                    self.now_on(ctx),
+                    ctx.core as u32,
+                    EventKind::SnapshotCommit,
+                    generation,
+                    payload.len() as u64,
+                );
+                Ok(generation)
+            }
+            Err(BlkError::Crashed) => Err(OsError::Crashed),
+        }
+    }
+
+    /// Reads back the current snapshot payload, charging block reads
+    /// to `ctx`'s core. Empty before the first commit.
+    pub fn disk_read(&mut self, ctx: CoreCtx) -> Vec<u8> {
+        let mut disk = std::mem::replace(
+            &mut self.disk,
+            SnapshotStore::new(BlockDev::new(DISK_BLOCK_SIZE)),
+        );
+        let payload = disk.read_payload(&mut KernelBlkHooks { k: self, ctx });
+        self.disk = disk;
+        payload
+    }
+
+    /// The current committed snapshot generation (0 = nothing saved).
+    pub fn disk_generation(&self) -> u64 {
+        self.disk.generation()
+    }
+
+    /// Block counters of the snapshot disk alone (the `blk` group in
+    /// [`KernelSnapshot`] also folds in the swap device).
+    pub fn disk_stats(&self) -> BlkStats {
+        self.disk.stats()
+    }
+
+    /// Detaches the snapshot disk, leaving the kernel with a fresh
+    /// empty one. The restart protocol: `take_disk()`, then
+    /// [`BlockDev::crash`] to drop unflushed blocks, then
+    /// [`Kernel::attach_disk`] on a newly booted kernel.
+    pub fn take_disk(&mut self) -> BlockDev {
+        std::mem::replace(
+            &mut self.disk,
+            SnapshotStore::new(BlockDev::new(DISK_BLOCK_SIZE)),
+        )
+        .into_dev()
+    }
+
+    /// Attaches `dev` and runs snapshot recovery on the boot core:
+    /// candidate superblocks and journal records are checksum-validated
+    /// (reading their payloads), the highest surviving generation wins,
+    /// and a journal-sourced winner is replayed into its superblock.
+    /// Returns the number of journal replays performed (0 or 1).
+    pub fn attach_disk(&mut self, dev: BlockDev) -> u64 {
+        let ctx = CoreCtx::BOOT;
+        let (disk, replays) = SnapshotStore::open(dev, &mut KernelBlkHooks { k: self, ctx });
+        self.disk = disk;
+        if replays > 0 {
+            self.tracer.instant(
+                self.now_on(ctx),
+                ctx.core as u32,
+                EventKind::JournalReplay,
+                replays,
+                self.disk.generation(),
+            );
+        }
+        replays
+    }
+
+    // ---- object page IO (snapshot serialization) -------------------------
+
+    /// Reads one page of a VM object into `buf` without changing its
+    /// page state: resident pages (and contiguous objects) read from
+    /// DRAM, swapped pages read back through the swap device, zero
+    /// pages zero-fill. `buf` must be exactly one page.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchObject`] for unknown ids.
+    pub fn read_object_page(
+        &mut self,
+        id: VmObjectId,
+        page_index: u64,
+        buf: &mut [u8],
+    ) -> OsResult<()> {
+        assert_eq!(buf.len() as u64, PAGE_SIZE, "buf must be one page");
+        match self.vmobject(id)?.page_state(page_index) {
+            PageState::Resident { pfn, .. } => self.phys.read_bytes(pfn.base(), buf)?,
+            PageState::Zero => buf.fill(0),
+            PageState::Swapped { slot } => {
+                let found = self.phys.read_swap_slot(slot, buf);
+                assert!(found, "swapped page names empty slot {slot}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes one page of data into a VM object, faulting the page in
+    /// first when it is not resident — the snapshot restore path.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchObject`] for unknown ids; allocation errors
+    /// from the fault-in.
+    pub fn write_object_page(
+        &mut self,
+        id: VmObjectId,
+        page_index: u64,
+        data: &[u8],
+    ) -> OsResult<()> {
+        assert!(data.len() as u64 <= PAGE_SIZE, "data exceeds one page");
+        let pa = match self.vmobject(id)?.page_state(page_index) {
+            PageState::Resident { pfn, .. } => pfn.base(),
+            _ => {
+                let mut obj = self.vmobjects.remove(&id).ok_or(OsError::NoSuchObject)?;
+                let result = obj.fault_in_page(page_index, &mut self.phys);
+                self.vmobjects.insert(id, obj);
+                result?.0.base()
+            }
+        };
+        self.phys.write_bytes(pa, data)?;
+        Ok(())
+    }
+
+    /// Duplicates a demand-paged object page by page, preserving each
+    /// page's state: `Zero` stays zero (no frame), `Resident` copies
+    /// the frame, `Swapped` copies the swap image into a fresh slot —
+    /// neither side is faulted in, so cloning a partially-evicted
+    /// segment does not disturb memory pressure. The new object is
+    /// demand-paged, unowned, and unmapped; the caller sets
+    /// preserved/swappable/owner flags.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchObject`] for unknown ids; frame exhaustion
+    /// while copying resident pages (already-copied pages are freed).
+    pub fn duplicate_paged_object(&mut self, src: VmObjectId) -> OsResult<VmObjectId> {
+        self.fault_gate(FaultSite::ObjectAlloc)?;
+        let (pages, len) = {
+            let o = self.vmobject(src)?;
+            (o.pages(), o.len())
+        };
+        let id = VmObjectId(self.next_obj);
+        self.next_obj += 1;
+        let mut dst = VmObject::alloc_demand(id, len)?;
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        for i in 0..pages {
+            match self.vmobject(src)?.page_state(i) {
+                PageState::Zero => {}
+                PageState::Resident { pfn, .. } => {
+                    let new = match self.phys.alloc_frame() {
+                        Ok(f) => f,
+                        Err(e) => {
+                            dst.free(&mut self.phys);
+                            return Err(e.into());
+                        }
+                    };
+                    self.phys.read_bytes(pfn.base(), &mut buf)?;
+                    self.phys.write_bytes(new.base(), &buf)?;
+                    dst.install_page_state(
+                        i,
+                        PageState::Resident {
+                            pfn: new,
+                            referenced: true,
+                        },
+                    );
+                }
+                PageState::Swapped { slot } => {
+                    let materialized = self.phys.read_swap_slot(slot, &mut buf);
+                    assert!(materialized, "swapped page names empty slot {slot}");
+                    // An all-zero image stays sparse in the new slot,
+                    // like the original zero-page eviction did.
+                    let image = if buf.iter().all(|&b| b == 0) {
+                        None
+                    } else {
+                        Some(buf.as_slice())
+                    };
+                    let new_slot = self.phys.store_swap_slot(image);
+                    dst.install_page_state(i, PageState::Swapped { slot: new_slot });
+                }
+            }
+        }
+        self.vmobjects.insert(id, dst);
+        Ok(id)
     }
 
     // ---- invariant audit -------------------------------------------------
@@ -2319,6 +2551,75 @@ impl Kernel {
             ));
         }
         problems
+    }
+}
+
+/// Kernel-side interposition on snapshot-disk IO: every block read,
+/// write, and flush barrier issued by [`SnapshotStore`] is charged to
+/// the executing core, wrapped in a trace span, and (for writes and
+/// flushes) run past the fault plan. Crash outcomes are returned to
+/// the store as [`WriteFault::Crash`] / [`FlushFault::Crash`] — power
+/// died, so nothing is charged and no span is emitted.
+struct KernelBlkHooks<'a> {
+    k: &'a mut Kernel,
+    ctx: CoreCtx,
+}
+
+impl BlkHooks for KernelBlkHooks<'_> {
+    fn on_read(&mut self, lba: u64) {
+        let ctx = self.ctx;
+        let core = ctx.core as u32;
+        self.k
+            .tracer
+            .begin(self.k.now_on(ctx), core, EventKind::BlkRead, lba);
+        self.k.charge(ctx, self.k.cost.blk_read_block);
+        self.k
+            .tracer
+            .end(self.k.now_on(ctx), core, EventKind::BlkRead, lba);
+    }
+
+    fn on_write(&mut self, lba: u64) -> WriteFault {
+        let ctx = self.ctx;
+        let core = ctx.core as u32;
+        match self.k.fault_outcome(FaultSite::BlkWrite) {
+            FaultOutcome::Crash => WriteFault::Crash,
+            outcome => {
+                self.k
+                    .tracer
+                    .begin(self.k.now_on(ctx), core, EventKind::BlkWrite, lba);
+                self.k.charge(ctx, self.k.cost.blk_write_block);
+                self.k
+                    .tracer
+                    .end(self.k.now_on(ctx), core, EventKind::BlkWrite, lba);
+                if outcome == FaultOutcome::Fail {
+                    WriteFault::Torn
+                } else {
+                    WriteFault::None
+                }
+            }
+        }
+    }
+
+    fn on_flush(&mut self) -> FlushFault {
+        let ctx = self.ctx;
+        let core = ctx.core as u32;
+        match self.k.fault_outcome(FaultSite::BlkFlush) {
+            FaultOutcome::Crash => FlushFault::Crash,
+            outcome => {
+                self.k
+                    .tracer
+                    .begin(self.k.now_on(ctx), core, EventKind::BlkFlush, 0);
+                self.k.charge(ctx, self.k.cost.blk_flush);
+                self.k
+                    .tracer
+                    .end(self.k.now_on(ctx), core, EventKind::BlkFlush, 0);
+                if outcome == FaultOutcome::Fail {
+                    FlushFault::Dropped
+                } else {
+                    FlushFault::None
+                }
+            }
+        }
     }
 }
 

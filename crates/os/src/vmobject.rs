@@ -309,6 +309,22 @@ impl VmObject {
         }
     }
 
+    /// Installs `state` for page `index` directly — the object
+    /// duplication path preserves `Zero`/`Swapped` states without
+    /// faulting pages in. The caller owns the bookkeeping: the frame or
+    /// swap slot named by `state` transfers to this object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or the object is contiguous.
+    pub(crate) fn install_page_state(&mut self, index: u64, state: PageState) {
+        assert!(index < self.pages, "page {index} beyond object");
+        match &mut self.backing {
+            Backing::Contiguous { .. } => panic!("install_page_state on contiguous object"),
+            Backing::Paged { states } => states[index as usize] = state,
+        }
+    }
+
     /// Clock second-chance test: if page `index` is resident with its
     /// referenced bit set, clears the bit and returns `true` (the page
     /// survives this pass). Returns `false` for unreferenced, non-resident

@@ -135,11 +135,31 @@ pub enum EventKind {
     RpcSend,
     /// URPC/message receive; span. `arg0` = payload bytes.
     RpcRecv,
+
+    // ---- sjmp-blk (emitted by the kernel's block-IO hooks) ----
+    /// One block read from the snapshot disk; span. `arg0` = LBA.
+    BlkRead,
+    /// One block write to the snapshot disk; span. `arg0` = LBA.
+    BlkWrite,
+    /// One flush barrier on the snapshot disk; span.
+    BlkFlush,
+    /// Recovery replayed the write-ahead journal into the superblock;
+    /// instant. `arg0` = replays performed, `arg1` = recovered
+    /// generation.
+    JournalReplay,
+    /// A snapshot generation committed durably; instant.
+    /// `arg0` = generation, `arg1` = payload bytes.
+    SnapshotCommit,
+    /// `vas_save` end to end; span. `arg0` = pid, `arg1` = VAS id.
+    SnapshotSave,
+    /// `vas_load` end to end; span. `arg0` = pid, `arg1` = VAS id (the
+    /// freshly created one; 0 on the failing end of the span).
+    SnapshotLoad,
 }
 
 impl EventKind {
     /// Every kind, for iteration in exporters and reports.
-    pub const ALL: [EventKind; 35] = [
+    pub const ALL: [EventKind; 42] = [
         EventKind::KernelEntry,
         EventKind::SwitchVmspace,
         EventKind::SwitchBook,
@@ -175,6 +195,13 @@ impl EventKind {
         EventKind::Reap,
         EventKind::RpcSend,
         EventKind::RpcRecv,
+        EventKind::BlkRead,
+        EventKind::BlkWrite,
+        EventKind::BlkFlush,
+        EventKind::JournalReplay,
+        EventKind::SnapshotCommit,
+        EventKind::SnapshotSave,
+        EventKind::SnapshotLoad,
     ];
 
     /// Stable snake_case name used for metric keys and trace export.
@@ -215,6 +242,13 @@ impl EventKind {
             EventKind::Reap => "reap",
             EventKind::RpcSend => "rpc_send",
             EventKind::RpcRecv => "rpc_recv",
+            EventKind::BlkRead => "blk_read",
+            EventKind::BlkWrite => "blk_write",
+            EventKind::BlkFlush => "blk_flush",
+            EventKind::JournalReplay => "journal_replay",
+            EventKind::SnapshotCommit => "snapshot_commit",
+            EventKind::SnapshotSave => "snapshot_save",
+            EventKind::SnapshotLoad => "snapshot_load",
         }
     }
 

@@ -22,6 +22,10 @@
 //! * [`sim`] — the deterministic multi-core simulation engine: per-core
 //!   cycle clocks, the event queue, busy-core reservation, and FIFO
 //!   reader-writer locks shared by every layer above;
+//! * [`blk`] — the durability substrate: a simulated block device with
+//!   explicit flush barriers and crash semantics, a write-ahead journal,
+//!   and the crash-consistent snapshot store behind swap and
+//!   `vas_save`/`vas_load`;
 //! * [`os`] — the kernel substrate: processes pinned to cores, multiple
 //!   vmspaces, VM objects, mmap/munmap, faults, and capabilities
 //!   (Barrelfish flavor);
@@ -71,6 +75,7 @@
 
 pub use sjmp_alloc as alloc;
 pub use sjmp_analyze as analyze;
+pub use sjmp_blk as blk;
 pub use sjmp_genome as genome;
 pub use sjmp_gups as gups;
 pub use sjmp_kv as kv;

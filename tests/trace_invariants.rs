@@ -55,6 +55,63 @@ fn workload(tracer: Tracer) -> u64 {
     sj.kernel().clock().now()
 }
 
+/// A durability workload: build a VAS, save it twice (the second time
+/// with the final flush barrier dropped), power-cycle the machine, run
+/// journal-replay recovery, and load the VAS back. Touches every blk
+/// and snapshot event kind. Returns the combined cycle count of both
+/// boots (for the zero-cost-tracing check).
+fn durable_workload(tracer: Tracer) -> u64 {
+    use spacejmp::os::{FaultPlan, FaultSite};
+
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M2));
+    sj.set_tracer(tracer.clone());
+    let pid = sj
+        .kernel_mut()
+        .spawn("dur", Creds::new(100, 100))
+        .expect("spawn");
+    sj.kernel_mut().activate(pid).expect("activate");
+
+    let base = VirtAddr::new(0x1000_0000_0000);
+    let vid = sj.vas_create(pid, "dur-v", Mode(0o660)).expect("vas");
+    let sid = sj
+        .seg_alloc(pid, "dur-s", base, 4 << 12, Mode(0o660))
+        .expect("seg");
+    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite)
+        .expect("seg attach");
+    let vh = sj.vas_attach(pid, vid).expect("vas attach");
+    sj.vas_switch(pid, vh).expect("switch");
+    for page in 0..4u64 {
+        sj.kernel_mut()
+            .store_u64(pid, base.add(page * 4096), page + 1)
+            .expect("store");
+    }
+    sj.vas_switch_home(pid).expect("home");
+    sj.vas_save(pid, vid).expect("save");
+    // Second save with the superblock flush dropped: the journal is
+    // durable but the superblock is not, so the next boot replays.
+    sj.kernel_mut()
+        .set_fault_plan(Some(FaultPlan::new(3).fail_nth(FaultSite::BlkFlush, 3)));
+    sj.vas_save(pid, vid).expect("save with dropped flush");
+    sj.kernel_mut().set_fault_plan(None);
+    let first_boot = sj.kernel().clock().now();
+
+    // Power loss + reboot: recovery and the reload are traced too.
+    let mut dev = sj.kernel_mut().take_disk();
+    dev.crash();
+    let mut kernel = Kernel::new(KernelFlavor::DragonFly, MachineId::M2);
+    kernel.set_tracer(tracer);
+    let replays = kernel.attach_disk(dev);
+    assert_eq!(replays, 1, "dropped superblock flush must replay");
+    let mut sj2 = SpaceJmp::new(kernel);
+    let pid2 = sj2
+        .kernel_mut()
+        .spawn("dur2", Creds::new(100, 100))
+        .expect("spawn 2");
+    sj2.kernel_mut().activate(pid2).expect("activate 2");
+    sj2.vas_load(pid2, "dur-v").expect("load");
+    first_boot + sj2.kernel().clock().now()
+}
+
 #[test]
 fn every_begin_has_a_matching_end() {
     let tracer = Tracer::new(1 << 16);
@@ -292,6 +349,72 @@ fn trace_breakdown_matches_cost_model_within_one_percent() {
     }
 }
 
+/// Block-IO and snapshot spans obey the same pairing discipline as
+/// every other span, and the stream carries the full durability story:
+/// reads, writes, flushes, the `SnapshotCommit`s, and the
+/// `JournalReplay` of the post-crash boot. The encoded chrome trace
+/// round-trips through the parser (`sjmp_lint`'s ingestion path), so
+/// offline tooling accepts the new event kinds.
+#[test]
+fn blk_and_snapshot_spans_pair_and_round_trip() {
+    use spacejmp::trace::chrome::{chrome_trace, parse_chrome_trace};
+
+    let tracer = Tracer::new(1 << 18);
+    durable_workload(tracer.clone());
+    assert_eq!(tracer.dropped(), 0, "ring too small for the workload");
+    let events = tracer.events();
+
+    let span_kinds = [
+        EventKind::BlkRead,
+        EventKind::BlkWrite,
+        EventKind::BlkFlush,
+        EventKind::SnapshotSave,
+        EventKind::SnapshotLoad,
+    ];
+    let mut depth = std::collections::HashMap::new();
+    let mut seen = std::collections::HashMap::new();
+    for ev in &events {
+        if !span_kinds.contains(&ev.kind) {
+            continue;
+        }
+        *seen.entry(ev.kind).or_insert(0u64) += 1;
+        let d = depth.entry((ev.core, ev.kind)).or_insert(0i64);
+        match ev.phase {
+            Phase::Begin => *d += 1,
+            Phase::End => {
+                *d -= 1;
+                assert!(*d >= 0, "unbalanced {:?} on core {}", ev.kind, ev.core);
+            }
+            Phase::Instant => panic!("{:?} must be a span, not an instant", ev.kind),
+        }
+    }
+    for ((core, kind), d) in depth {
+        assert_eq!(d, 0, "{kind:?} on core {core} ended at depth {d}");
+    }
+    for kind in span_kinds {
+        assert!(
+            seen.get(&kind).copied().unwrap_or(0) >= 2,
+            "workload emitted no {kind:?} pair"
+        );
+    }
+    let commits = events
+        .iter()
+        .filter(|ev| ev.kind == EventKind::SnapshotCommit)
+        .count();
+    assert_eq!(commits, 2, "one SnapshotCommit instant per vas_save");
+    let replay = events
+        .iter()
+        .find(|ev| ev.kind == EventKind::JournalReplay)
+        .expect("recovery emitted no JournalReplay");
+    assert_eq!(replay.phase, Phase::Instant);
+    assert_eq!(replay.arg0, 1, "exactly one replay");
+
+    // The offline path: encode → parse must keep every event.
+    let doc = chrome_trace(&events, 2.5e9, tracer.dropped());
+    let parsed = parse_chrome_trace(&doc).expect("lint ingestion rejected the trace");
+    assert_eq!(parsed.events.len(), events.len());
+}
+
 #[test]
 fn tracing_adds_zero_modeled_cycles() {
     let untraced = workload(Tracer::disabled());
@@ -299,6 +422,16 @@ fn tracing_adds_zero_modeled_cycles() {
     assert_eq!(
         untraced, traced,
         "enabling the tracer perturbed the modeled clock"
+    );
+
+    // The durability paths (block IO, journal replay, snapshot
+    // save/load) charge unconditionally too: a traced save/restart/load
+    // cycle ends at the same combined clock as an untraced one.
+    let untraced = durable_workload(Tracer::disabled());
+    let traced = durable_workload(Tracer::new(1 << 18));
+    assert_eq!(
+        untraced, traced,
+        "tracing the durability paths perturbed the modeled clock"
     );
 
     // Same property across a full GUPS run: MUPS and cycle totals are
