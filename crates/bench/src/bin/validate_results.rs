@@ -189,6 +189,66 @@ fn check_durability(name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema gate for `results/overload.json`: a saturation-sweep section
+/// per machine (M1/M2/M3) whose columns carry the goodput and tail
+/// columns, the bursty and degraded sections, and the self-check
+/// verdict note `overload verdict: PASS` (the bin exits nonzero — and
+/// writes a FAIL verdict — when goodput at 2x saturation drops below
+/// 90% of goodput at saturation).
+fn check_overload(name: &str) -> Result<(), String> {
+    if name != "overload" {
+        return Ok(());
+    }
+    let path = format!("results/{name}.json");
+    let doc = load(&path)?;
+    let sections = require(&doc, &path, "sections")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"sections\" is not an array"))?;
+    let titled = |needle: &str| -> Result<&Json, String> {
+        sections
+            .iter()
+            .find(|s| {
+                s.get("title")
+                    .and_then(Json::as_str)
+                    .is_some_and(|t| t.contains(needle))
+            })
+            .ok_or_else(|| format!("{path}: no section titled like \"{needle}\""))
+    };
+    for machine in ["M1", "M2", "M3"] {
+        let section = titled(&format!("Saturation sweep: {machine}"))?;
+        let cols = section
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: sweep section has no columns"))?;
+        for col in ["load", "offered/s", "goodput/s", "shed%", "p999us"] {
+            if !cols.iter().any(|c| c.as_str() == Some(col)) {
+                return Err(format!("{path}: {machine} sweep missing column \"{col}\""));
+            }
+        }
+        let rows = require(section, &path, "rows")?
+            .as_arr()
+            .ok_or_else(|| format!("{path}: sweep \"rows\" is not an array"))?;
+        if rows.len() < 3 {
+            return Err(format!(
+                "{path}: {machine} sweep has {} load points, want >= 3",
+                rows.len()
+            ));
+        }
+    }
+    titled("Bursty arrivals")?;
+    titled("Degraded mode")?;
+    let notes = require(&doc, &path, "notes")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"notes\" is not an array"))?;
+    let pass = notes
+        .iter()
+        .any(|n| n.as_str() == Some("overload verdict: PASS"));
+    if !pass {
+        return Err(format!("{path}: note \"overload verdict: PASS\" missing"));
+    }
+    Ok(())
+}
+
 /// Every bench name with a report file in `results/`, i.e. `<name>.json`
 /// excluding the `.trace.json` / `.metrics.json` side files and the
 /// `analyze_report.json` findings report (which has its own schema and
@@ -248,8 +308,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        // The durability reports carry extra, bench-specific guarantees.
+        // The durability and overload reports carry extra,
+        // bench-specific guarantees.
         if let Err(e) = check_durability(name) {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = check_overload(name) {
             eprintln!("FAIL {e}");
             return ExitCode::FAILURE;
         }

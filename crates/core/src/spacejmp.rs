@@ -235,6 +235,27 @@ impl SpaceJmp {
         self.stats
     }
 
+    /// Processes currently blocked inside `vas_switch` waiting for a
+    /// contended segment lock. This is the switch-path queue depth an
+    /// admission controller compares against its bound: every waiter
+    /// here is a request already consuming a core while making no
+    /// progress. Charges no modeled cycles.
+    pub fn switch_wait_depth(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Blocked switchers whose target VAS would lock `sid` — the
+    /// per-segment share of [`switch_wait_depth`](Self::switch_wait_depth).
+    /// A sharded store maps each shard to one lockable store segment, so
+    /// this is the shard's queue-depth health signal. Charges no modeled
+    /// cycles.
+    pub fn seg_wait_depth(&self, sid: SegId) -> usize {
+        self.waiters
+            .values()
+            .filter(|&&vh| self.switch_lock_set(vh).iter().any(|&(s, _)| s == sid))
+            .count()
+    }
+
     /// Installs `tracer` on the kernel and every simulated MMU, so VAS
     /// operations, syscalls, and TLB events all land in one event stream.
     pub fn set_tracer(&mut self, tracer: Tracer) {

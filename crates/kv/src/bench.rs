@@ -127,8 +127,20 @@ pub fn measure_costs(tagging: bool) -> SjResult<OpCosts> {
 ///
 /// Propagates setup failures.
 pub fn measure_costs_traced(tagging: bool, tracer: Tracer) -> SjResult<OpCosts> {
+    measure_costs_on(MachineId::M1, tagging, tracer)
+}
+
+/// [`measure_costs_traced`] on an arbitrary machine profile: the same
+/// live measurement, but the kernels charge the chosen machine's cost
+/// model, so the overload sweeps can replay per-op costs for M1/M2/M3
+/// instead of assuming the Figure 10 machine.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn measure_costs_on(machine: MachineId, tagging: bool, tracer: Tracer) -> SjResult<OpCosts> {
     // RedisJMP path.
-    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, machine));
     sj.set_tracer(tracer.clone());
     if tagging {
         sj.kernel_mut().set_tagging(true);
@@ -156,7 +168,7 @@ pub fn measure_costs_traced(tagging: bool, tracer: Tracer) -> SjResult<OpCosts> 
     let jmp_set = clock.since(t1) / reps;
 
     // Classic server path (no sockets; those are added analytically).
-    let mut sj2 = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
+    let mut sj2 = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, machine));
     sj2.set_tracer(tracer);
     let mut server = RedisServer::launch(&mut sj2, 0)?;
     for i in 0..PRELOAD_KEYS {
@@ -265,9 +277,9 @@ pub fn run_classic(cfg: &KvBenchConfig, instances: usize) -> SjResult<Throughput
 
 /// Extra cycles a shared-lock acquisition pays per already-active reader
 /// (cache-line bouncing on the reader count).
-const READER_BOUNCE: u64 = 250;
+pub(crate) const READER_BOUNCE: u64 = 250;
 /// Extra cycles per queued waiter when a contended lock is handed off.
-const WAITER_BOUNCE: u64 = 150;
+pub(crate) const WAITER_BOUNCE: u64 = 150;
 
 /// Runs the RedisJMP design: N closed-loop clients switching into the
 /// store VAS, serialized by the segment lock for writes.

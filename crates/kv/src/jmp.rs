@@ -23,10 +23,37 @@ use crate::server::{COMMAND_OVERHEAD, STORE_SEGMENT_BYTES};
 
 /// Scratch heap size per client.
 const SCRATCH_BYTES: u64 = 64 << 10;
-/// PML4 slot index where the store segment lives.
+/// PML4 slot index where the (unsharded) store segment lives.
 const STORE_SLOT: u64 = 0;
 /// First PML4 slot used for client scratch segments.
 const SCRATCH_SLOT_BASE: u64 = 8;
+
+/// Options for [`JmpClient::join_cfg`], the fully general join.
+///
+/// The defaults reproduce [`JmpClient::join`]: untagged, pinned store
+/// frames, store slot 0. A sharded deployment
+/// ([`crate::shard::ShardedKv`]) gives each shard its own `store_slot`
+/// so every shard's segment occupies a distinct 512 GiB PML4 slot of
+/// the global half and they can all be attached side by side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinOpts {
+    /// Request TLB tags for both VASes (`RedisJMP (Tags)`).
+    pub tagged: bool,
+    /// Back a fresh store with a swappable, demand-paged segment.
+    pub swappable_store: bool,
+    /// PML4 slot (512 GiB stride above `GLOBAL_LO`) for the store.
+    pub store_slot: u64,
+}
+
+impl Default for JoinOpts {
+    fn default() -> Self {
+        JoinOpts {
+            tagged: false,
+            swappable_store: false,
+            store_slot: STORE_SLOT,
+        }
+    }
+}
 
 /// A RedisJMP client handle.
 ///
@@ -117,7 +144,38 @@ impl JmpClient {
         tagged: bool,
         swappable_store: bool,
     ) -> SjResult<JmpClient> {
-        let store_base = VirtAddr::new(GLOBAL_LO.raw() + STORE_SLOT * (1 << 39));
+        Self::join_cfg(
+            sj,
+            pid,
+            store,
+            client_idx,
+            JoinOpts {
+                tagged,
+                swappable_store,
+                ..JoinOpts::default()
+            },
+        )
+    }
+
+    /// The fully general join: every knob in one [`JoinOpts`]. All other
+    /// join variants delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SpaceJMP failures.
+    pub fn join_cfg(
+        sj: &mut SpaceJmp,
+        pid: Pid,
+        store: &str,
+        client_idx: usize,
+        opts: JoinOpts,
+    ) -> SjResult<JmpClient> {
+        let JoinOpts {
+            tagged,
+            swappable_store,
+            store_slot,
+        } = opts;
+        let store_base = VirtAddr::new(GLOBAL_LO.raw() + store_slot * (1 << 39));
         let (sid, fresh) = match sj.seg_find(&format!("jmp-store-{store}")) {
             Ok(sid) => (sid, false),
             Err(SjError::NotFound) => {

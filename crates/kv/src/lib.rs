@@ -22,15 +22,30 @@
 //! [`mod@bench`] regenerates Figure 10 (GET/SET throughput vs. client count
 //! and the mixed-ratio sweep) with a deterministic discrete-event
 //! simulation fed by per-op costs measured from these code paths.
+//!
+//! Beyond the paper's closed loops, [`mod@shard`] scales RedisJMP out —
+//! the store consistent-hash-sharded over multiple segments/VASes with
+//! admission control and pressure-driven read-only degradation — and
+//! [`mod@overload`] drives the sharded store with *open-loop* traffic
+//! (Poisson and bursty arrivals) to measure goodput, shed rate, and
+//! tail latency across the saturation point.
 
 pub mod bench;
 pub mod dict;
 pub mod jmp;
+pub mod overload;
 pub mod resp;
 pub mod server;
+pub mod shard;
 
-pub use bench::{measure_costs, run_classic, run_jmp, KvBenchConfig, OpCosts, Throughput};
+pub use bench::{
+    measure_costs, measure_costs_on, run_classic, run_jmp, KvBenchConfig, OpCosts, Throughput,
+};
 pub use dict::{DictStats, SegDict};
-pub use jmp::JmpClient;
+pub use jmp::{JmpClient, JoinOpts};
+pub use overload::{
+    rps_to_mean_gap, run_overload, run_overload_at, saturation_rps, OverloadConfig, OverloadResult,
+};
 pub use resp::{Command, Reply, RespError};
 pub use server::RedisServer;
+pub use shard::{RejectReason, ShardError, ShardHealth, ShardRouter, ShardedKv, MAX_SHARDS};

@@ -125,6 +125,38 @@ impl KernelStats {
     }
 }
 
+/// Free-frame multiple of the low watermark below which pressure reads
+/// [`PressureLevel::Elevated`].
+const PRESSURE_ELEVATED_FACTOR: u64 = 4;
+
+/// Memory-pressure level derived from free frames vs. the low
+/// watermark, reported by [`Kernel::mem_pressure`]. Overload-control
+/// layers use it to degrade service (e.g. flip a shard read-only)
+/// instead of running into quota denials and the OOM killer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PressureLevel {
+    /// Free memory comfortably above the watermark.
+    #[default]
+    Normal,
+    /// Free memory within [`PRESSURE_ELEVATED_FACTOR`]× the watermark:
+    /// reclaim will start soon; shed optional work.
+    Elevated,
+    /// Free memory at or below the watermark: reclaim is active and the
+    /// OOM killer is the next escalation; stop accepting writes.
+    Critical,
+}
+
+impl PressureLevel {
+    /// Short lowercase name (`normal`/`elevated`/`critical`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Elevated => "elevated",
+            PressureLevel::Critical => "critical",
+        }
+    }
+}
+
 /// Snapshot of physical-memory and pressure state, returned by
 /// [`Kernel::sys_phys_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -1814,6 +1846,32 @@ impl Kernel {
     /// The configured low watermark, if pressure handling is enabled.
     pub fn low_watermark(&self) -> Option<u64> {
         self.low_watermark
+    }
+
+    /// The current memory-pressure level, the health signal admission
+    /// control polls to flip shards into degraded (read-only) mode
+    /// before the OOM killer has to act.
+    ///
+    /// Reading the signal is free: it is a pure function of allocator
+    /// state (free frames vs. the low watermark), charged to no clock,
+    /// so pollers cannot perturb modeled costs. With pressure handling
+    /// disabled (`low_watermark = None`) the level is always
+    /// [`PressureLevel::Normal`]: nothing ever reclaims, so nothing can
+    /// meaningfully be "under pressure".
+    pub fn mem_pressure(&self) -> PressureLevel {
+        let Some(lw) = self.low_watermark else {
+            return PressureLevel::Normal;
+        };
+        let free = self.phys.free_frames();
+        if free <= lw {
+            // The reclaim loop is (or is about to be) scanning on every
+            // allocation; the next step up is the OOM killer.
+            PressureLevel::Critical
+        } else if free <= lw.saturating_mul(PRESSURE_ELEVATED_FACTOR) {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Normal
+        }
     }
 
     /// Sets (or clears) `pid`'s memory quota in resident frames.

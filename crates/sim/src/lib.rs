@@ -20,7 +20,13 @@
 //!   `(time, insertion order)`; [`Sim`] drains it through a handler;
 //!   [`Cores`] models a bounded core pool; [`SimRwLock`] models the FIFO
 //!   reader/writer segment lock; [`ClosedLoop`] tracks the classic
-//!   closed-loop client population used by the throughput benchmarks.
+//!   closed-loop client population used by the throughput benchmarks;
+//!   [`OpenLoop`] generates Poisson or bursty open-loop arrival
+//!   sequences for the overload experiments, where offered load is
+//!   decoupled from service completions.
+//! * **Randomness** — [`SimRng`] is the workspace's seeded PRNG;
+//!   workloads, fault plans, and arrival processes all draw from it so
+//!   any run can be replayed exactly.
 //!
 //! The crate is dependency-free and sits below `sjmp-mem`: the MMU, the
 //! kernel, and the workloads all charge cycles to clocks defined here.
@@ -29,10 +35,14 @@ pub mod clock;
 pub mod cores;
 pub mod engine;
 pub mod event;
+pub mod openloop;
+pub mod rng;
 pub mod rwlock;
 
 pub use clock::{CoreClocks, CoreCtx, CycleClock};
 pub use cores::Cores;
 pub use engine::{ClosedLoop, Sim};
 pub use event::EventQueue;
+pub use openloop::{Arrival, OpenLoop};
+pub use rng::SimRng;
 pub use rwlock::{ActorId, LockMode, SimRwLock};

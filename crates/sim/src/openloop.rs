@@ -1,0 +1,270 @@
+//! Open-loop traffic generation: arrival processes decoupled from
+//! service completions.
+//!
+//! The closed loop ([`crate::ClosedLoop`]) structurally cannot overload
+//! a system: a client only issues its next request after the previous
+//! one returns, so offered load self-throttles to service capacity and
+//! queues never grow beyond the client population. Capacity planning
+//! needs the opposite — an **open loop**, where arrivals follow an
+//! external stochastic process regardless of how the system is doing.
+//! Only an open loop exposes tail latency and overload collapse.
+//!
+//! [`OpenLoop`] generates a deterministic arrival sequence from a seed:
+//! each arrival is a `(time, client)` pair, with interarrival gaps drawn
+//! from a [`Arrival`] process (Poisson, or bursty on/off-modulated
+//! Poisson) and the issuing client drawn uniformly from a population far
+//! larger than the machine's core count. The driver is pull-based:
+//! benchmarks call [`OpenLoop::next_arrival`] from inside their event
+//! handler and schedule the returned arrival, so the event queue holds
+//! one pending arrival at a time instead of millions.
+
+use crate::rng::SimRng;
+
+/// Fixed-point denominator for interarrival sampling: gaps are sampled
+/// in units of 1/2^16 cycles and accumulated exactly, so arrival times
+/// are integers and two runs with one seed are bit-identical.
+const GAP_FRAC_BITS: u32 = 16;
+
+/// An arrival process: the distribution of gaps between request
+/// arrivals, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Memoryless arrivals at a constant average rate: exponential
+    /// interarrival gaps with the given mean (cycles). The standard
+    /// model for large independent client populations.
+    Poisson {
+        /// Mean cycles between arrivals (1 / rate).
+        mean_gap: f64,
+    },
+    /// On/off-modulated Poisson: bursts of `on_cycles` at a *higher*
+    /// instantaneous rate separated by silent windows of `off_cycles`.
+    /// The mean gap *during a burst* is `mean_gap * on / (on + off)`,
+    /// so the long-run average rate matches the plain Poisson process
+    /// with the same `mean_gap` — same offered load, burstier shape.
+    Bursty {
+        /// Long-run mean cycles between arrivals.
+        mean_gap: f64,
+        /// Length of each burst window in cycles.
+        on_cycles: u64,
+        /// Length of each silent window in cycles.
+        off_cycles: u64,
+    },
+}
+
+impl Arrival {
+    /// Long-run mean interarrival gap in cycles.
+    pub fn mean_gap(&self) -> f64 {
+        match *self {
+            Arrival::Poisson { mean_gap } | Arrival::Bursty { mean_gap, .. } => mean_gap,
+        }
+    }
+}
+
+/// A deterministic open-loop arrival source: `requests` arrivals spread
+/// over `clients` client ids.
+///
+/// # Examples
+///
+/// ```
+/// use sjmp_sim::{Arrival, OpenLoop};
+/// let mut src = OpenLoop::new(Arrival::Poisson { mean_gap: 100.0 }, 1000, 50, 7);
+/// let mut last = 0;
+/// let mut n = 0;
+/// while let Some((t, client)) = src.next_arrival() {
+///     assert!(t >= last, "arrival times are monotone");
+///     assert!(client < 1000);
+///     last = t;
+///     n += 1;
+/// }
+/// assert_eq!(n, 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    kind: Arrival,
+    rng: SimRng,
+    clients: usize,
+    remaining: usize,
+    /// Next arrival time in 1/2^16-cycle fixed point.
+    clock_fp: u64,
+}
+
+impl OpenLoop {
+    /// An arrival source issuing `requests` arrivals from `clients`
+    /// client ids, deterministically derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero or the process's mean gap is not a
+    /// positive finite number.
+    pub fn new(kind: Arrival, clients: usize, requests: usize, seed: u64) -> Self {
+        assert!(clients > 0, "need at least one client");
+        let mean = kind.mean_gap();
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean interarrival gap must be positive"
+        );
+        if let Arrival::Bursty {
+            on_cycles,
+            off_cycles,
+            ..
+        } = kind
+        {
+            assert!(on_cycles > 0, "burst window must be nonempty");
+            assert!(off_cycles > 0, "silent window must be nonempty");
+        }
+        OpenLoop {
+            kind,
+            rng: SimRng::seed_from_u64(seed),
+            clients,
+            remaining: requests,
+            clock_fp: 0,
+        }
+    }
+
+    /// Number of client ids in the population.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Arrivals not yet generated.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// A unit-mean exponential sample with 53 bits of uniformity.
+    fn exp_sample(&mut self) -> f64 {
+        // u in (0, 1]: never zero, so ln is finite.
+        let u = ((self.rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        -u.ln()
+    }
+
+    /// The next `(time, client)` arrival, or `None` when the request
+    /// budget is exhausted. Times are nondecreasing.
+    pub fn next_arrival(&mut self) -> Option<(u64, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let gap = match self.kind {
+            Arrival::Poisson { mean_gap } => self.exp_sample() * mean_gap,
+            Arrival::Bursty {
+                mean_gap,
+                on_cycles,
+                off_cycles,
+                ..
+            } => {
+                // Inside a burst the instantaneous rate is scaled up so
+                // the long-run average matches `mean_gap`.
+                let duty = on_cycles as f64 / (on_cycles + off_cycles) as f64;
+                self.exp_sample() * mean_gap * duty
+            }
+        };
+        // Exact fixed-point accumulation keeps the sequence bit-stable.
+        let gap_fp = (gap * (1u64 << GAP_FRAC_BITS) as f64).max(0.0) as u64;
+        self.clock_fp = self.clock_fp.saturating_add(gap_fp.max(1));
+        if let Arrival::Bursty {
+            on_cycles,
+            off_cycles,
+            ..
+        } = self.kind
+        {
+            // If the sampled time falls into a silent window, slide it
+            // to the start of the next burst.
+            let period_fp = (on_cycles + off_cycles) << GAP_FRAC_BITS;
+            let on_fp = on_cycles << GAP_FRAC_BITS;
+            let phase = self.clock_fp % period_fp;
+            if phase >= on_fp {
+                self.clock_fp += period_fp - phase;
+            }
+        }
+        let t = self.clock_fp >> GAP_FRAC_BITS;
+        let client = self.rng.index(self.clients);
+        Some((t, client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_is_close() {
+        let n = 20_000usize;
+        let mut src = OpenLoop::new(Arrival::Poisson { mean_gap: 500.0 }, 64, n, 42);
+        let mut last = 0u64;
+        while let Some((t, _)) = src.next_arrival() {
+            assert!(t >= last);
+            last = t;
+        }
+        let mean = last as f64 / n as f64;
+        assert!(
+            (425.0..575.0).contains(&mean),
+            "empirical mean gap {mean}, want ~500"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let collect = |seed| {
+            let mut src = OpenLoop::new(Arrival::Poisson { mean_gap: 120.0 }, 1000, 500, seed);
+            let mut v = Vec::new();
+            while let Some(a) = src.next_arrival() {
+                v.push(a);
+            }
+            v
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn clients_cover_the_population() {
+        let mut src = OpenLoop::new(Arrival::Poisson { mean_gap: 10.0 }, 8, 2000, 3);
+        let mut seen = [false; 8];
+        while let Some((_, c)) = src.next_arrival() {
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all clients issue: {seen:?}");
+    }
+
+    #[test]
+    fn bursty_avoids_silent_windows_and_keeps_the_average() {
+        let n = 20_000usize;
+        let (on, off) = (10_000u64, 30_000u64);
+        let mut src = OpenLoop::new(
+            Arrival::Bursty {
+                mean_gap: 400.0,
+                on_cycles: on,
+                off_cycles: off,
+            },
+            64,
+            n,
+            7,
+        );
+        let mut last = 0u64;
+        while let Some((t, _)) = src.next_arrival() {
+            assert!(
+                t % (on + off) < on,
+                "arrival at {t} lands in a silent window"
+            );
+            assert!(t >= last);
+            last = t;
+        }
+        let mean = last as f64 / n as f64;
+        assert!(
+            (320.0..480.0).contains(&mean),
+            "long-run mean gap {mean}, want ~400"
+        );
+    }
+
+    #[test]
+    fn budget_is_exact() {
+        let mut src = OpenLoop::new(Arrival::Poisson { mean_gap: 50.0 }, 4, 3, 1);
+        assert_eq!(src.remaining(), 3);
+        assert!(src.next_arrival().is_some());
+        assert!(src.next_arrival().is_some());
+        assert!(src.next_arrival().is_some());
+        assert_eq!(src.next_arrival(), None);
+        assert_eq!(src.remaining(), 0);
+    }
+}

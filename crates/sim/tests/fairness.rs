@@ -1,0 +1,146 @@
+//! Fairness guarantees of the engine primitives the overload path leans
+//! on: the admission queue is only bounded if `SimRwLock` hands the lock
+//! over in strict FIFO order, and reruns are only bit-identical if
+//! `EventQueue` breaks `(time, seq)` ties by insertion order under every
+//! interleaving of pushes and pops.
+
+use sjmp_sim::{EventQueue, LockMode, Sim, SimRwLock};
+
+#[test]
+fn event_queue_tie_storm_interleaved_with_pops_stays_fifo() {
+    // Pushing and popping at one timestamp must preserve program order:
+    // the seq counter keeps counting across pops, so later pushes sort
+    // after earlier ones even when the heap has drained in between.
+    let mut q = EventQueue::new();
+    q.push(100, 0u32);
+    q.push(100, 1);
+    assert_eq!(q.pop(), Some((100, 0)));
+    q.push(100, 2);
+    q.push(100, 3);
+    assert_eq!(q.pop(), Some((100, 1)));
+    assert_eq!(q.pop(), Some((100, 2)));
+    q.push(100, 4);
+    assert_eq!(q.pop(), Some((100, 3)));
+    assert_eq!(q.pop(), Some((100, 4)));
+    assert_eq!(q.pop(), None);
+}
+
+#[test]
+fn event_queue_equal_times_never_reorder_across_time_levels() {
+    // A mixed workload: ties at several timestamps pushed out of time
+    // order. Every tie class must pop in push order.
+    let mut q = EventQueue::new();
+    for (t, id) in [(5u64, "a0"), (3, "b0"), (5, "a1"), (3, "b1"), (5, "a2")] {
+        q.push(t, id);
+    }
+    let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+    assert_eq!(
+        drained,
+        vec![(3, "b0"), (3, "b1"), (5, "a0"), (5, "a1"), (5, "a2")]
+    );
+}
+
+#[test]
+fn sim_handler_scheduling_at_now_runs_after_earlier_ties() {
+    // An event scheduled *at the current time* from inside the handler
+    // must run after events already queued for that time (insertion
+    // order), not preempt them — the property the lock-handoff events
+    // of the overload engine rely on.
+    let mut sim: Sim<&str> = Sim::new();
+    sim.schedule(10, "first");
+    sim.schedule(10, "second");
+    let mut order = Vec::new();
+    sim.run(|sim, t, ev| {
+        order.push(ev);
+        if ev == "first" {
+            sim.schedule(t, "follow-on");
+        }
+    });
+    assert_eq!(order, vec!["first", "second", "follow-on"]);
+}
+
+#[test]
+fn rwlock_writers_hand_off_in_arrival_order() {
+    let mut l = SimRwLock::new();
+    assert!(l.acquire(0, LockMode::Exclusive));
+    for w in 1..=4 {
+        assert!(!l.acquire(w, LockMode::Exclusive));
+    }
+    // Each release wakes exactly the next writer in FIFO order, and the
+    // woken writer already holds the lock (handoff semantics).
+    let mut granted = Vec::new();
+    let mut mode = LockMode::Exclusive;
+    loop {
+        let woken = l.release(mode);
+        if woken.is_empty() {
+            break;
+        }
+        assert_eq!(woken.len(), 1, "one writer at a time");
+        assert!(l.has_writer(), "handoff: the woken writer holds the lock");
+        granted.push(woken[0]);
+        mode = LockMode::Exclusive;
+    }
+    assert_eq!(granted, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn rwlock_no_reader_starvation_of_queued_writer() {
+    // Readers arriving after a queued writer must park behind it — a
+    // continuous GET stream cannot starve a SET.
+    let mut l = SimRwLock::new();
+    assert!(l.acquire(1, LockMode::Shared));
+    assert!(!l.acquire(2, LockMode::Exclusive));
+    for r in 3..=6 {
+        assert!(!l.acquire(r, LockMode::Shared), "reader {r} must queue");
+    }
+    // The reader's release hands the lock to the writer first...
+    assert_eq!(l.release(LockMode::Shared), vec![2]);
+    assert!(l.has_writer());
+    // ...and the writer's release wakes the whole parked reader run.
+    assert_eq!(l.release(LockMode::Exclusive), vec![3, 4, 5, 6]);
+    assert_eq!(l.readers(), 4);
+}
+
+#[test]
+fn rwlock_alternating_classes_preserve_fifo_batches() {
+    // Queue: W, R, R, W, R — wakeups must come out as [W], [R, R], [W],
+    // [R]: writers singly, reader runs maximally but never past the
+    // next queued writer.
+    let mut l = SimRwLock::new();
+    assert!(l.acquire(0, LockMode::Exclusive));
+    assert!(!l.acquire(1, LockMode::Exclusive));
+    assert!(!l.acquire(2, LockMode::Shared));
+    assert!(!l.acquire(3, LockMode::Shared));
+    assert!(!l.acquire(4, LockMode::Exclusive));
+    assert!(!l.acquire(5, LockMode::Shared));
+    assert_eq!(l.max_queue, 5);
+
+    assert_eq!(l.release(LockMode::Exclusive), vec![1]);
+    assert_eq!(l.release(LockMode::Exclusive), vec![2, 3]);
+    assert!(
+        l.release(LockMode::Shared).is_empty(),
+        "run not yet drained"
+    );
+    assert_eq!(l.release(LockMode::Shared), vec![4]);
+    assert_eq!(l.release(LockMode::Exclusive), vec![5]);
+    assert_eq!(l.release(LockMode::Shared), Vec::<usize>::new());
+    assert_eq!(l.queue_len(), 0);
+    assert_eq!(l.readers(), 0);
+    assert!(!l.has_writer());
+}
+
+#[test]
+fn rwlock_queue_depth_is_the_admission_signal() {
+    // The overload engine bounds admission on queue_len(); it must track
+    // parks and wakeups exactly.
+    let mut l = SimRwLock::new();
+    assert!(l.acquire(0, LockMode::Exclusive));
+    for a in 1..=8 {
+        assert!(!l.acquire(a, LockMode::Shared));
+        assert_eq!(l.queue_len(), a);
+    }
+    let woken = l.release(LockMode::Exclusive);
+    assert_eq!(woken.len(), 8, "whole reader run wakes");
+    assert_eq!(l.queue_len(), 0);
+    assert_eq!(l.max_queue, 8, "peak depth is retained for reporting");
+}

@@ -73,6 +73,57 @@ impl Histogram {
         }
     }
 
+    /// Upper bound of the bucket holding the inclusive one-based rank
+    /// (`1..=count`).
+    fn rank_upper_bound(&self, rank: u64) -> u64 {
+        debug_assert!(rank >= 1 && rank <= self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds values of bit length i: [2^(i-1), 2^i).
+                return if i >= 64 {
+                    u64::MAX
+                } else if i == 0 {
+                    0
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`) as a **conservative
+    /// upper bound**: the log₂ bucket boundary at the percentile rank,
+    /// clamped to the exact recorded `[min, max]`.
+    ///
+    /// The returned value `r` brackets the true percentile `v` as
+    /// `v <= r < 2 * v` — the relative error of one power-of-two bucket
+    /// — and is exact whenever the rank lands in the min or max bucket
+    /// after clamping (in particular p0 and p100 are exact). Because `r`
+    /// never under-reports, `r <= deadline` proves the true tail meets
+    /// the deadline, which is how the overload benchmarks gate p999.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Inclusive nearest-rank definition: the smallest value with at
+        // least ceil(p/100 * count) observations at or below it.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Rank 1 is the smallest recorded value and rank `count` the
+        // largest — both are tracked exactly, so report them exactly.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        self.rank_upper_bound(rank).clamp(self.min, self.max)
+    }
+
     /// The counts recorded since `earlier` (which must be an older
     /// snapshot of the same histogram). Min/max cannot be subtracted,
     /// so the delta keeps `self`'s: they stay correct when all
@@ -268,6 +319,53 @@ mod tests {
         assert_eq!(h.count, 3);
         assert_eq!(h.min, 100);
         assert_eq!(h.max, 1127);
+    }
+
+    #[test]
+    fn percentiles_are_conservative_and_bucket_bounded() {
+        let mut h = Histogram::default();
+        // 90 fast ops at 1000 cycles, 9 at 5000, one straggler at 70000.
+        for _ in 0..90 {
+            h.record(1000);
+        }
+        for _ in 0..9 {
+            h.record(5000);
+        }
+        h.record(70_000);
+        // p50 rank lands in the 1000-cycle bucket: upper bound 1023.
+        let p50 = h.percentile(50.0);
+        assert!((1000..2000).contains(&p50), "p50 = {p50}");
+        // p99 rank 99 lands in the 5000 bucket: bound within 2x.
+        let p99 = h.percentile(99.0);
+        assert!((5000..10_000).contains(&p99), "p99 = {p99}");
+        // p100 clamps to the exact max; p0 to the exact min.
+        assert_eq!(h.percentile(100.0), 70_000);
+        assert_eq!(h.percentile(0.0), 1000);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(h.percentile(250.0), 70_000);
+        assert_eq!(Histogram::default().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentile_single_value_is_exact() {
+        let mut h = Histogram::default();
+        h.record(1127);
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 1127, "p{p}");
+        }
+    }
+
+    #[test]
+    fn p999_separates_the_tail() {
+        let mut h = Histogram::default();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(1 << 20);
+        // Rank 999 of 1000 is still the fast bucket...
+        assert!(h.percentile(99.8) < 200);
+        // ...while p99.9 and above reach the straggler's bucket.
+        assert!(h.percentile(99.95) >= 1 << 20);
     }
 
     #[test]
