@@ -15,6 +15,12 @@
 //! violation exits nonzero, so CI catches an overload-control
 //! regression without parsing the tables.
 //!
+//! A final section runs with request tracing on and prints **tail
+//! exemplars**: the slowest within-deadline requests with latency
+//! decomposed into backoff / queue / switch / service phases
+//! (gated to sum to the end-to-end latency within 1%), plus the full
+//! span trees as machine-readable notes in `results/overload.json`.
+//!
 //! `--quick` shrinks the sweep for CI. With `SJMP_TRACE=1` the
 //! cost-measurement kernels record events, exported to
 //! `results/overload.trace.json` / `.metrics.json`.
@@ -36,17 +42,18 @@ const SHARDS: usize = 4;
 /// Relative deadline budget in cycles (~0.75 ms at 2.66 GHz).
 const DEADLINE: u64 = 2_000_000;
 
-const SWEEP_COLS: [&str; 8] = [
+const SWEEP_COLS: [&str; 9] = [
     "load",
     "offered/s",
     "goodput/s",
     "shed%",
     "p50us",
     "p99us",
+    "p999lo",
     "p999us",
     "maxq",
 ];
-const SWEEP_W: [usize; 8] = [7, 11, 11, 7, 8, 8, 8, 6];
+const SWEEP_W: [usize; 9] = [7, 11, 11, 7, 8, 8, 8, 8, 6];
 
 fn base_cfg(machine: MachineId, quick: bool, tracer: &Tracer) -> OverloadConfig {
     OverloadConfig {
@@ -74,7 +81,10 @@ fn sweep_row(report: &mut Report, machine: MachineId, label: &str, r: &OverloadR
             format!("{:.1}", r.shed_rate * 100.0),
             format!("{:.0}", us(machine, r.p50)),
             format!("{:.0}", us(machine, r.p99)),
-            format!("{:.0}", us(machine, r.p999)),
+            // The exact bracket around the true p999: the log2-bucket
+            // lower edge and the conservative upper bound the gates use.
+            format!("{:.0}", us(machine, r.p999_bounds.0)),
+            format!("{:.0}", us(machine, r.p999_bounds.1)),
             r.max_queue.to_string(),
         ],
         &SWEEP_W,
@@ -210,6 +220,88 @@ fn degraded_section(report: &mut Report, quick: bool, tracer: &Tracer) -> Result
     Ok(())
 }
 
+/// Tail forensics: re-run the M1 sweep point past saturation with
+/// request tracing on and decompose the slowest within-deadline
+/// completions into backoff / queue / switch / service. Self-gates that
+/// the phase decomposition sums to the end-to-end latency within 1%
+/// (it is exact by construction; the gate catches reassembly drift)
+/// and that shedding is spread fairly over the uniform client
+/// population.
+fn exemplar_section(report: &mut Report, quick: bool, tracer: &Tracer) -> Result<(), String> {
+    let machine = MachineId::M1;
+    let mut cfg = base_cfg(machine, quick, tracer);
+    cfg.trace_requests = true;
+    cfg.exemplars = 5;
+    let costs =
+        measure_costs_on(machine, false, tracer.clone()).map_err(|e| format!("costs: {e:?}"))?;
+    let sat = saturation_rps(&costs, machine, SET_PCT, SHARDS);
+    let r = run_overload_at(&cfg, 1.5 * sat).map_err(|e| format!("exemplars: {e:?}"))?;
+    report.heading(&format!(
+        "Tail exemplars: {machine:?} at 1.50x saturation (slowest within-deadline requests)"
+    ));
+    let w = [5usize, 7, 10, 10, 10, 10, 10, 8];
+    report.header(
+        &[
+            "rank",
+            "req",
+            "latency_us",
+            "backoff_us",
+            "queue_us",
+            "switch_us",
+            "service_us",
+            "retries",
+        ],
+        &w,
+    );
+    if r.exemplars.is_empty() {
+        return Err("no tail exemplars captured with request tracing on".into());
+    }
+    for (rank, ex) in r.exemplars.iter().enumerate() {
+        let total = ex.phases.total();
+        let err = total.abs_diff(ex.latency());
+        if err * 100 > ex.latency().max(1) {
+            return Err(format!(
+                "exemplar {}: phases sum to {total} but latency is {} (>1% off)",
+                ex.id,
+                ex.latency()
+            ));
+        }
+        report.row(
+            &[
+                (rank + 1).to_string(),
+                ex.id.to_string(),
+                format!("{:.1}", us(machine, ex.latency())),
+                format!("{:.1}", us(machine, ex.phases.backoff)),
+                format!("{:.1}", us(machine, ex.phases.queue)),
+                format!("{:.1}", us(machine, ex.phases.switch)),
+                format!("{:.1}", us(machine, ex.phases.service)),
+                ex.retries.to_string(),
+            ],
+            &w,
+        );
+    }
+    // The full span trees, machine-readable, for forensic replay.
+    for ex in &r.exemplars {
+        let mut line = String::from("exemplar: ");
+        ex.to_json().write(&mut line);
+        report.note(&line);
+    }
+    report.note(&format!(
+        "exemplar decomposition gate: backoff+queue+switch+service == latency (±1%) for all {} spans",
+        r.exemplars.len()
+    ));
+    if r.shed > 0 {
+        let mean = r.shed as f64 / r.client_sheds.len() as f64;
+        report.note(&format!(
+            "shed fairness: {} sheds over {} clients, heaviest client {} (mean {mean:.3})",
+            r.shed,
+            r.client_sheds.len(),
+            r.max_client_sheds
+        ));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let quick = quick_mode();
     let tracer = trace_from_env();
@@ -220,6 +312,7 @@ fn run() -> Result<(), String> {
     }
     bursty_section(&mut report, quick, &tracer)?;
     degraded_section(&mut report, quick, &tracer)?;
+    exemplar_section(&mut report, quick, &tracer)?;
 
     report.note("\nopen loop: arrivals keep coming at the offered rate; without");
     report.note("admission control, queues past saturation grow without bound and");

@@ -1,0 +1,169 @@
+//! `selfperf` — the self-performance trajectory harness.
+//!
+//! Every other bench binary measures the *simulated* machine; this one
+//! measures the *simulator*: host wall-clock nanoseconds spent per
+//! simulated cycle, for one representative run of each major workload
+//! family (GUPS, the RedisJMP closed loop, the SAMTools pipeline, and
+//! the open-loop overload engine). The ratio is the number future
+//! speedup work (translation caching, ROADMAP item 2) must drive down
+//! — and the number CI watches so a "harmless" refactor that makes
+//! every simulated run 3× slower on the host gets caught.
+//!
+//! Two outputs:
+//!
+//! * `results/selfperf.json` — the usual [`Report`] twin of the table
+//!   printed below (schema-gated by `validate_results`).
+//! * `BENCH_selfperf.json` at the repo root — the **trajectory**: one
+//!   entry per run, appended, so the host cost of the suite can be
+//!   plotted across commits. Host times are machine-dependent, so CI
+//!   schema-gates this file but never byte-compares it.
+//!
+//! `--quick` shrinks every workload for CI smoke runs; the recorded
+//! entry is marked `"quick": true` so trajectory plots can separate
+//! the two populations.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use sjmp_bench::{quick_mode, Report};
+use sjmp_genome::{run_pipeline, StorageMode, WorkloadConfig};
+use sjmp_gups::{run as run_gups, Design, GupsConfig};
+use sjmp_kv::{run_jmp, run_overload, KvBenchConfig, OverloadConfig};
+use sjmp_mem::cost::{MachineId, MachineProfile};
+use sjmp_sim::Arrival;
+use sjmp_trace::Json;
+
+/// One workload's host-vs-simulated measurement.
+struct Probe {
+    name: &'static str,
+    sim_cycles: u64,
+    host_ns: u64,
+}
+
+impl Probe {
+    /// Host nanoseconds per simulated cycle — the trajectory metric.
+    fn ns_per_cycle(&self) -> f64 {
+        self.host_ns as f64 / self.sim_cycles.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::str(self.name)),
+            ("sim_cycles".into(), Json::from_u64(self.sim_cycles)),
+            ("host_ns".into(), Json::from_u64(self.host_ns)),
+            ("ns_per_sim_cycle".into(), Json::Float(self.ns_per_cycle())),
+        ])
+    }
+}
+
+/// Times `f` on the host; `f` returns the simulated cycles it covered.
+fn probe(name: &'static str, f: impl FnOnce() -> u64) -> Probe {
+    let t0 = Instant::now();
+    let sim_cycles = f();
+    let host_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Probe {
+        name,
+        sim_cycles,
+        host_ns,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+
+    let gups = probe("gups", || {
+        let cfg = GupsConfig {
+            windows: 8,
+            epochs: if quick { 32 } else { 192 },
+            ..GupsConfig::default()
+        };
+        run_gups(Design::Jmp, &cfg).expect("gups").cycles
+    });
+
+    let kv = probe("kv", || {
+        let cfg = KvBenchConfig {
+            clients: 8,
+            requests_per_client: if quick { 100 } else { 400 },
+            set_pct: 10,
+            ..KvBenchConfig::default()
+        };
+        run_jmp(&cfg).expect("kv").cycles
+    });
+
+    let genome = probe("genome", || {
+        let cfg = WorkloadConfig {
+            records: if quick { 2_000 } else { 8_000 },
+            ..WorkloadConfig::default()
+        };
+        let t = run_pipeline(StorageMode::SpaceJmp, &cfg).expect("genome");
+        // OpTimes reports simulated seconds (M2); recover cycles.
+        let total_secs = t.flagstat + t.qname_sort + t.coordinate_sort + t.index;
+        MachineProfile::of(MachineId::M2).secs_to_cycles(total_secs)
+    });
+
+    let overload = probe("overload", || {
+        let cfg = OverloadConfig {
+            requests: if quick { 4_000 } else { 16_000 },
+            clients: 2_000,
+            arrival: Arrival::Poisson { mean_gap: 1_500.0 },
+            ..OverloadConfig::default()
+        };
+        let res = run_overload(&cfg).expect("overload");
+        MachineProfile::of(cfg.machine).secs_to_cycles(res.secs)
+    });
+
+    let probes = [gups, kv, genome, overload];
+
+    let mut report = Report::new("selfperf");
+    report.heading(&format!(
+        "Self-perf: host cost per simulated cycle ({})",
+        if quick { "quick" } else { "full" }
+    ));
+    let w = &[10usize, 14, 12, 16];
+    report.header(&["workload", "sim cycles", "host ms", "ns/sim-cycle"], w);
+    for p in &probes {
+        report.row(
+            &[
+                p.name.to_string(),
+                p.sim_cycles.to_string(),
+                format!("{:.1}", p.host_ns as f64 / 1e6),
+                format!("{:.4}", p.ns_per_cycle()),
+            ],
+            w,
+        );
+    }
+    report.note("host times vary by machine; compare trends, not absolutes");
+    report.note("trajectory: BENCH_selfperf.json (one entry per run)");
+    report.finish();
+
+    append_trajectory(&probes, quick);
+}
+
+/// Appends this run to the `BENCH_selfperf.json` trajectory at the repo
+/// root (created on first run). Malformed existing content is replaced
+/// rather than crashing the harness: the trajectory is telemetry, not
+/// ground truth.
+fn append_trajectory(probes: &[Probe], quick: bool) {
+    const PATH: &str = "BENCH_selfperf.json";
+    let mut runs: Vec<Json> = std::fs::read_to_string(PATH)
+        .ok()
+        .and_then(|s| Json::parse(&s).ok())
+        .and_then(|doc| doc.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec))
+        .unwrap_or_default();
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    runs.push(Json::Obj(vec![
+        ("unix_secs".into(), Json::from_u64(unix_secs)),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "workloads".into(),
+            Json::Arr(probes.iter().map(Probe::to_json).collect()),
+        ),
+    ]));
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("selfperf")),
+        ("runs".into(), Json::Arr(runs)),
+    ]);
+    std::fs::write(PATH, doc.pretty()).expect("write BENCH_selfperf.json");
+    println!("appended run to {PATH}");
+}

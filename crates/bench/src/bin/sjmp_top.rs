@@ -1,0 +1,135 @@
+//! `sjmp-top` — cycle attribution for any traced run.
+//!
+//! Point it at a Chrome trace exported by a bench binary (run one with
+//! `SJMP_TRACE=1` to get `results/<name>.trace.json`) and it answers
+//! "where did the cycles go": a per-subsystem table in the style of
+//! `top` (translation vs locks vs block IO vs VAS switching ...), and a
+//! collapsed-stack file (`results/<name>.folded`) in the standard
+//! flamegraph format — one `core0;vas_switch;cr3_load 130` line per
+//! distinct span stack, feeding straight into `flamegraph.pl` or
+//! speedscope.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sjmp-bench --bin sjmp_top -- results/overload.trace.json
+//! cargo run -p sjmp-bench --bin sjmp_top -- overload        # same file
+//! ```
+//!
+//! Cycle attribution is *self time*: a span's cycles minus its open
+//! children's, so the table's total equals wall cycles spanned by
+//! instrumented code and nothing is double-counted
+//! ([`sjmp_trace::fold_stacks`]).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sjmp_bench::{heading, results_dir, row};
+use sjmp_trace::{fold_stacks, parse_chrome_trace, Json};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sjmp_top <results/NAME.trace.json | NAME>");
+    eprintln!("  (export a trace first: SJMP_TRACE=1 cargo run -p sjmp-bench --bin NAME)");
+    ExitCode::FAILURE
+}
+
+/// Top stacks to print inline (the `.folded` file has all of them).
+const TOP_STACKS: usize = 12;
+
+fn main() -> ExitCode {
+    let Some(arg) = std::env::args().nth(1) else {
+        return usage();
+    };
+    if arg == "--help" || arg == "-h" {
+        return usage();
+    }
+    // A literal path wins; a bare name means results/<name>.trace.json.
+    let path = if PathBuf::from(&arg).is_file() {
+        PathBuf::from(&arg)
+    } else {
+        results_dir().join(format!("{arg}.trace.json"))
+    };
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sjmp_top: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sjmp_top: {} is not JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match parse_chrome_trace(&doc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sjmp_top: {} is not a trace export: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let profile = fold_stacks(&trace.events);
+    if trace.dropped > 0 {
+        eprintln!(
+            "warning: {} events were dropped from the ring; attribution is best-effort",
+            trace.dropped
+        );
+    }
+    if profile.malformed > 0 {
+        eprintln!(
+            "warning: {} out-of-order span closes; stacks are best-effort",
+            profile.malformed
+        );
+    }
+
+    heading(&format!("sjmp-top: {}", path.display()));
+    println!(
+        "{} events, {} span cycles attributed",
+        trace.events.len(),
+        profile.total_self
+    );
+
+    heading("Cycles by subsystem");
+    let w = &[14usize, 14, 7, 10];
+    row(&["subsystem", "self cycles", "share", "instants"], w);
+    for r in profile.subsystem_table() {
+        row(
+            &[
+                r.subsystem.name().to_string(),
+                r.self_cycles.to_string(),
+                format!("{:.1}%", r.share * 100.0),
+                r.instants.to_string(),
+            ],
+            w,
+        );
+    }
+
+    heading(&format!("Hottest stacks (top {TOP_STACKS})"));
+    let mut stacks: Vec<(&String, &u64)> = profile.stacks.iter().collect();
+    stacks.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    let sw = &[44usize, 14];
+    row(&["stack", "self cycles"], sw);
+    for (stack, cycles) in stacks.iter().take(TOP_STACKS) {
+        row(&[stack.as_str(), cycles.to_string().as_str()], sw);
+    }
+
+    // The full folded profile, flamegraph.pl-ready.
+    let stem = path.file_name().and_then(|n| n.to_str()).map_or_else(
+        || "trace".to_string(),
+        |n| n.trim_end_matches(".trace.json").to_string(),
+    );
+    let folded_path = results_dir().join(format!("{stem}.folded"));
+    if let Err(e) = std::fs::write(&folded_path, profile.collapsed()) {
+        eprintln!("sjmp_top: cannot write {}: {e}", folded_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nwrote {} ({} stacks; render with flamegraph.pl or speedscope)",
+        folded_path.display(),
+        profile.stacks.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -11,7 +11,11 @@
 //!
 //! `validate_results --all` instead scans `results/` and validates every
 //! bench report found there; trace and metrics files are validated only
-//! where they exist (tracing is opt-in per run).
+//! where they exist (tracing is opt-in per run). The sweep also runs the
+//! stale-results check: every bench binary under `crates/bench/src/bin/`
+//! must have a committed report, and every committed report must have a
+//! matching binary — a report whose producer was deleted (or a bench
+//! added without regenerating `results/`) fails the gate.
 
 use std::process::ExitCode;
 
@@ -220,7 +224,14 @@ fn check_overload(name: &str) -> Result<(), String> {
             .get("columns")
             .and_then(Json::as_arr)
             .ok_or_else(|| format!("{path}: sweep section has no columns"))?;
-        for col in ["load", "offered/s", "goodput/s", "shed%", "p999us"] {
+        for col in [
+            "load",
+            "offered/s",
+            "goodput/s",
+            "shed%",
+            "p999lo",
+            "p999us",
+        ] {
             if !cols.iter().any(|c| c.as_str() == Some(col)) {
                 return Err(format!("{path}: {machine} sweep missing column \"{col}\""));
             }
@@ -237,6 +248,24 @@ fn check_overload(name: &str) -> Result<(), String> {
     }
     titled("Bursty arrivals")?;
     titled("Degraded mode")?;
+    // The tail-forensics section: slowest within-deadline requests with
+    // their latency decomposed into backoff/queue/switch/service.
+    let exemplars = titled("Tail exemplars")?;
+    let cols = exemplars
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: exemplar section has no columns"))?;
+    for col in [
+        "latency_us",
+        "backoff_us",
+        "queue_us",
+        "switch_us",
+        "service_us",
+    ] {
+        if !cols.iter().any(|c| c.as_str() == Some(col)) {
+            return Err(format!("{path}: exemplar section missing column \"{col}\""));
+        }
+    }
     let notes = require(&doc, &path, "notes")?
         .as_arr()
         .ok_or_else(|| format!("{path}: \"notes\" is not an array"))?;
@@ -245,6 +274,130 @@ fn check_overload(name: &str) -> Result<(), String> {
         .any(|n| n.as_str() == Some("overload verdict: PASS"));
     if !pass {
         return Err(format!("{path}: note \"overload verdict: PASS\" missing"));
+    }
+    Ok(())
+}
+
+/// The four workload families the self-perf harness must cover.
+const SELFPERF_WORKLOADS: [&str; 4] = ["gups", "kv", "genome", "overload"];
+
+/// Schema gate for `results/selfperf.json` (the per-run table) and the
+/// `BENCH_selfperf.json` trajectory at the repo root. Host times are
+/// machine-dependent, so this validates shape only — the table must
+/// carry the `ns/sim-cycle` column with a row per workload family, and
+/// every trajectory entry must record `ns_per_sim_cycle` for all four
+/// families. Nothing here compares values.
+fn check_selfperf(name: &str) -> Result<(), String> {
+    if name != "selfperf" {
+        return Ok(());
+    }
+    let path = format!("results/{name}.json");
+    let doc = load(&path)?;
+    let sections = require(&doc, &path, "sections")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"sections\" is not an array"))?;
+    let section = sections
+        .first()
+        .ok_or_else(|| format!("{path}: no sections recorded"))?;
+    let cols = section
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: selfperf section has no columns"))?;
+    for col in ["workload", "sim cycles", "host ms", "ns/sim-cycle"] {
+        if !cols.iter().any(|c| c.as_str() == Some(col)) {
+            return Err(format!("{path}: selfperf missing column \"{col}\""));
+        }
+    }
+    let rows = require(section, &path, "rows")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: selfperf \"rows\" is not an array"))?;
+    for workload in SELFPERF_WORKLOADS {
+        let found = rows.iter().any(|r| {
+            r.as_arr()
+                .and_then(|cells| cells.first())
+                .and_then(Json::as_str)
+                == Some(workload)
+        });
+        if !found {
+            return Err(format!("{path}: no row for workload \"{workload}\""));
+        }
+    }
+    check_selfperf_trajectory()
+}
+
+/// The trajectory file lives at the repo root (next to the other
+/// `BENCH_*.json` style artifacts), one appended entry per run.
+fn check_selfperf_trajectory() -> Result<(), String> {
+    let path = "BENCH_selfperf.json";
+    let doc = load(path)?;
+    let bench = require(&doc, path, "bench")?
+        .as_str()
+        .ok_or_else(|| format!("{path}: \"bench\" is not a string"))?;
+    if bench != "selfperf" {
+        return Err(format!("{path}: unexpected bench \"{bench}\""));
+    }
+    let runs = require(&doc, path, "runs")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"runs\" is not an array"))?;
+    if runs.is_empty() {
+        return Err(format!("{path}: trajectory has no runs"));
+    }
+    for run in runs {
+        require(run, path, "unix_secs")?;
+        require(run, path, "quick")?;
+        let workloads = require(run, path, "workloads")?
+            .as_arr()
+            .ok_or_else(|| format!("{path}: \"workloads\" is not an array"))?;
+        for want in SELFPERF_WORKLOADS {
+            let entry = workloads
+                .iter()
+                .find(|w| w.get("workload").and_then(Json::as_str) == Some(want))
+                .ok_or_else(|| format!("{path}: a run is missing workload \"{want}\""))?;
+            for key in ["sim_cycles", "host_ns", "ns_per_sim_cycle"] {
+                require(entry, path, key)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Bench binaries that are tools over other benches' outputs rather
+/// than report producers: `validate_results` (this gate), `sjmp_lint`
+/// (writes `analyze_report.json`, own schema), `sjmp_top` (writes
+/// `.folded` profiles).
+const TOOL_BINS: [&str; 3] = ["validate_results", "sjmp_lint", "sjmp_top"];
+
+/// Stale-results detection, both directions: a committed report whose
+/// producing binary no longer exists is stale (it can never be
+/// regenerated), and a bench binary with no committed report means
+/// `results/` was not regenerated after the bench landed.
+fn check_stale(report_names: &[String]) -> Result<(), String> {
+    let bin_dir = "crates/bench/src/bin";
+    let entries = std::fs::read_dir(bin_dir).map_err(|e| format!("{bin_dir}/: {e}"))?;
+    let mut bins = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{bin_dir}/: {e}"))?;
+        let file = entry.file_name();
+        let file = file.to_string_lossy();
+        if let Some(stem) = file.strip_suffix(".rs") {
+            if !TOOL_BINS.contains(&stem) {
+                bins.push(stem.to_string());
+            }
+        }
+    }
+    for name in report_names {
+        if !bins.iter().any(|b| b == name) {
+            return Err(format!(
+                "results/{name}.json is stale: no bench binary {bin_dir}/{name}.rs produces it"
+            ));
+        }
+    }
+    for bin in &bins {
+        if !report_names.contains(bin) {
+            return Err(format!(
+                "{bin_dir}/{bin}.rs has no committed report: run it to produce results/{bin}.json"
+            ));
+        }
     }
     Ok(())
 }
@@ -294,9 +447,11 @@ fn main() -> ExitCode {
     };
     for name in &names {
         // Named invocations demand the full traced triple; the sweep
-        // validates whatever each benchmark actually produced.
-        let side_files_required =
-            !sweep || std::path::Path::new(&format!("results/{name}.trace.json")).exists();
+        // validates whatever each benchmark actually produced. The
+        // self-perf harness measures the host, not the machine — it has
+        // no event stream to export, so no triple is demanded.
+        let side_files_required = (!sweep && name != "selfperf")
+            || std::path::Path::new(&format!("results/{name}.trace.json")).exists();
         let checks: &[Check] = if side_files_required {
             &[check_report, check_trace, check_metrics]
         } else {
@@ -318,6 +473,10 @@ fn main() -> ExitCode {
             eprintln!("FAIL {e}");
             return ExitCode::FAILURE;
         }
+        if let Err(e) = check_selfperf(name) {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
+        }
         if side_files_required {
             println!("ok: results/{name}{{.json,.trace.json,.metrics.json}}");
         } else {
@@ -333,6 +492,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("ok: results/analyze_report.json");
+    }
+    // Stale detection needs both sides of the pairing, so it only runs
+    // in the sweep, and only from a checkout (CI runs at the repo root;
+    // a bare results/ copy has no bin dir to pair against).
+    if sweep && std::path::Path::new("crates/bench/src/bin").is_dir() {
+        if let Err(e) = check_stale(&names) {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("ok: results/ and crates/bench/src/bin/ pair 1:1 (no stale reports)");
     }
     ExitCode::SUCCESS
 }

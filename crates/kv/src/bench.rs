@@ -33,6 +33,11 @@ pub struct OpCosts {
     pub jmp_get: u64,
     /// Full RedisJMP SET visit (exclusive lock path).
     pub jmp_set: u64,
+    /// The VAS-switch round trip (switch in + switch home) of one
+    /// visit, measured with no command work between the switches. This
+    /// is the `switch` component request-span decomposition reports;
+    /// the rest of `jmp_get`/`jmp_set` is shard service.
+    pub jmp_switch: u64,
     /// Server-side GET handling (parse + dict + encode, no socket).
     pub server_get: u64,
     /// Server-side SET handling.
@@ -85,6 +90,8 @@ impl Default for KvBenchConfig {
 pub struct Throughput {
     /// Requests completed.
     pub requests: u64,
+    /// Simulated cycles of the whole run (the DES end time).
+    pub cycles: u64,
     /// Simulated wall time.
     pub secs: f64,
     /// Requests per second (the Figure 10 y-axis).
@@ -95,6 +102,7 @@ fn throughput(profile: &MachineProfile, requests: u64, cycles: u64) -> Throughpu
     let secs = profile.cycles_to_secs(cycles.max(1));
     Throughput {
         requests,
+        cycles: cycles.max(1),
         secs,
         rps: requests as f64 / secs,
     }
@@ -166,6 +174,16 @@ pub fn measure_costs_on(machine: MachineId, tagging: bool, tracer: Tracer) -> Sj
         client.set(&mut sj, &preload_key(i as usize % PRELOAD_KEYS), &payload)?;
     }
     let jmp_set = clock.since(t1) / reps;
+    // Pure switch round trips (no command between the switches),
+    // isolating the VAS-switch share of a visit. Measured last so the
+    // get/set numbers above are unaffected by the extra traffic.
+    let retry = spacejmp_core::RetryPolicy::default();
+    let t_sw = clock.now();
+    for _ in 0..reps {
+        sj.vas_switch_retry(pid, client.read_handle(), &retry)?;
+        sj.vas_switch_home(pid)?;
+    }
+    let jmp_switch = clock.since(t_sw) / reps;
 
     // Classic server path (no sockets; those are added analytically).
     let mut sj2 = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, machine));
@@ -196,6 +214,7 @@ pub fn measure_costs_on(machine: MachineId, tagging: bool, tracer: Tracer) -> Sj
     Ok(OpCosts {
         jmp_get,
         jmp_set,
+        jmp_switch,
         server_get,
         server_set,
     })
@@ -382,6 +401,10 @@ mod tests {
         );
         assert!(c.jmp_set >= c.jmp_get / 2, "{c:?}");
         assert!(c.server_get > 0 && c.server_set > 0);
+        assert!(
+            c.jmp_switch >= 2 * 1127 && c.jmp_switch < c.jmp_get,
+            "switch round trip is a proper part of a visit: {c:?}"
+        );
         // Tagged switches are cheaper end to end.
         let tagged = measure_costs(true).unwrap();
         assert!(tagged.jmp_get < c.jmp_get, "tagged {tagged:?} vs {c:?}");

@@ -37,7 +37,9 @@
 
 use sjmp_mem::cost::{CostModel, MachineId, MachineProfile};
 use sjmp_sim::{Arrival, Cores, LockMode, OpenLoop, Sim, SimRng, SimRwLock};
-use sjmp_trace::{Histogram, Tracer};
+use sjmp_trace::{
+    assemble_requests, slowest_completed, Event, EventKind, Histogram, Phase, RequestSpan, Tracer,
+};
 use spacejmp_core::{RetryPolicy, SjResult};
 
 use crate::bench::{measure_costs_on, OpCosts, READER_BOUNCE, WAITER_BOUNCE};
@@ -83,8 +85,16 @@ pub struct OverloadConfig {
     /// Extra cycles per concurrent reader on shared acquisition.
     pub reader_bounce: u64,
     /// Tracer for the cost-measurement kernels (the DES replay itself
-    /// never touches a kernel).
+    /// never touches a kernel). When enabled, the DES also mirrors its
+    /// `Req*` lifecycle instants here for Chrome export.
     pub tracer: Tracer,
+    /// Record per-request causal spans (`Req*` events) and reassemble
+    /// tail exemplars. Pure observation: simulated cycles are
+    /// bit-identical with this on or off.
+    pub trace_requests: bool,
+    /// How many slowest-completion span trees to keep as tail
+    /// exemplars (only with `trace_requests`).
+    pub exemplars: usize,
 }
 
 impl Default for OverloadConfig {
@@ -113,6 +123,8 @@ impl Default for OverloadConfig {
             waiter_bounce: WAITER_BOUNCE,
             reader_bounce: READER_BOUNCE,
             tracer: Tracer::disabled(),
+            trace_requests: false,
+            exemplars: 3,
         }
     }
 }
@@ -149,10 +161,26 @@ pub struct OverloadResult {
     pub p99: u64,
     /// 99.9th percentile latency (cycles).
     pub p999: u64,
+    /// Exact bracket around the true p50 (see
+    /// [`Histogram::percentile_bounds`]).
+    pub p50_bounds: (u64, u64),
+    /// Exact bracket around the true p99.
+    pub p99_bounds: (u64, u64),
+    /// Exact bracket around the true p99.9.
+    pub p999_bounds: (u64, u64),
     /// Peak admission-queue depth over all shards.
     pub max_queue: usize,
     /// Latency histogram of within-deadline completions.
     pub latency: Histogram,
+    /// Terminal sheds per client id (fairness accounting: with uniform
+    /// arrivals no client should absorb a disproportionate share).
+    pub client_sheds: Vec<u64>,
+    /// The heaviest single client's terminal-shed count.
+    pub max_client_sheds: u64,
+    /// Span trees of the slowest within-deadline completions, with
+    /// latency decomposed into backoff/queue/switch/service. Empty
+    /// unless [`OverloadConfig::trace_requests`] is set.
+    pub exemplars: Vec<RequestSpan>,
 }
 
 impl OverloadResult {
@@ -196,6 +224,42 @@ struct Req {
     is_set: bool,
     arrived: u64,
     attempts: u32,
+    /// Issuing client id (for fairness accounting of sheds).
+    client: usize,
+    /// Core the visit was dispatched on (for `ReqComplete` attribution).
+    core: u32,
+}
+
+/// Shed-reason codes carried in `ReqShed.arg1` (decoded by
+/// [`sjmp_trace::ReqOutcome::from_shed_code`]).
+const SHED_QUEUE: u64 = 0;
+const SHED_DEADLINE: u64 = 1;
+const SHED_UNAVAILABLE: u64 = 2;
+
+/// Emits one request-lifecycle instant into the local span buffer (when
+/// request tracing is on) and mirrors it to the run's tracer (when
+/// enabled) so Chrome exports carry the same stream. Pure observation:
+/// touches no clock, core pool, or RNG.
+fn emit(
+    buf: &mut Option<Vec<Event>>,
+    tracer: &Tracer,
+    ts: u64,
+    core: u32,
+    kind: EventKind,
+    arg0: u64,
+    arg1: u64,
+) {
+    if let Some(v) = buf {
+        v.push(Event {
+            ts,
+            core,
+            phase: Phase::Instant,
+            kind,
+            arg0,
+            arg1,
+        });
+    }
+    tracer.instant(ts, core, kind, arg0, arg1);
 }
 
 /// Runs one open-loop overload experiment.
@@ -250,11 +314,20 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
         p50: 0,
         p99: 0,
         p999: 0,
+        p50_bounds: (0, 0),
+        p99_bounds: (0, 0),
+        p999_bounds: (0, 0),
         max_queue: 0,
         latency: Histogram::default(),
+        client_sheds: vec![0; cfg.clients],
+        max_client_sheds: 0,
+        exemplars: Vec::new(),
     };
     let mut last_arrival = 0u64;
     let mut end_time = 0u64;
+    // Span buffer for request tracing; the sim never reads it back, so
+    // the simulated schedule is bit-identical whether it exists or not.
+    let mut spans: Option<Vec<Event>> = cfg.trace_requests.then(Vec::new);
 
     let reader_bounce = cfg.reader_bounce;
     let visit_cycles = move |is_set: bool, readers_now: usize| -> u64 {
@@ -273,9 +346,15 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
 
     let mut sim: Sim<Ev> = Sim::new();
     // Pull-based arrival chain: exactly one pending arrival in the
-    // queue at any moment; each Arrive schedules its successor.
-    if let Some((t, _client)) = arrivals.next_arrival() {
+    // queue at any moment; each Arrive schedules its successor. The
+    // pending arrival's client id rides alongside in `next_client`
+    // (the minted ReqId always equals the request index, checked in
+    // the Arrive handler).
+    let mut next_client = 0usize;
+    if let Some((id, t, client)) = arrivals.next_arrival_tagged() {
+        debug_assert_eq!(id, 0);
         last_arrival = t;
+        next_client = client;
         sim.schedule(t, Ev::Arrive(0));
     }
 
@@ -287,11 +366,21 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                      rng: &mut SimRng,
                      res: &mut OverloadResult,
                      reqs: &mut [Req],
+                     spans: &mut Option<Vec<Event>>,
                      r: usize,
                      t: u64| {
             let req = &mut reqs[r];
             if req.is_set && degraded(req.shard, t) {
                 res.degraded_rejects += 1;
+                emit(
+                    spans,
+                    &cfg.tracer,
+                    t,
+                    0,
+                    EventKind::ReqShed,
+                    r as u64,
+                    SHED_UNAVAILABLE,
+                );
                 return;
             }
             let lock = &mut locks[req.shard];
@@ -304,13 +393,41 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                     let jitter = rng.gen_range(0..backoff.max(1));
                     req.attempts += 1;
                     res.retries += 1;
+                    emit(
+                        spans,
+                        &cfg.tracer,
+                        t,
+                        0,
+                        EventKind::ReqRetry,
+                        r as u64,
+                        u64::from(req.attempts),
+                    );
                     sim.schedule(t + backoff + jitter, Ev::Retry(r));
                 } else {
                     res.shed += 1;
+                    res.client_sheds[req.client] += 1;
+                    emit(
+                        spans,
+                        &cfg.tracer,
+                        t,
+                        0,
+                        EventKind::ReqShed,
+                        r as u64,
+                        SHED_QUEUE,
+                    );
                 }
                 return;
             }
             res.admitted += 1;
+            emit(
+                spans,
+                &cfg.tracer,
+                t,
+                0,
+                EventKind::ReqAdmit,
+                r as u64,
+                req.shard as u64,
+            );
             let mode = if req.is_set {
                 LockMode::Exclusive
             } else {
@@ -327,6 +444,7 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                 // Materialize this request and pre-schedule the next
                 // arrival so the open loop never stalls.
                 debug_assert_eq!(r, reqs.len());
+                let client = next_client;
                 let is_set = rng.gen_range(0..100) < u64::from(cfg.set_pct);
                 let key = format!("key:{:06}", rng.index(KEYSPACE));
                 reqs.push(Req {
@@ -334,16 +452,33 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                     is_set,
                     arrived: t,
                     attempts: 0,
+                    client,
+                    core: 0,
                 });
                 res.offered += 1;
-                if let Some((ta, _client)) = arrivals.next_arrival() {
+                emit(
+                    &mut spans,
+                    &cfg.tracer,
+                    t,
+                    0,
+                    EventKind::ReqArrive,
+                    r as u64,
+                    client as u64,
+                );
+                if let Some((id, ta, c)) = arrivals.next_arrival_tagged() {
+                    debug_assert_eq!(id as usize, reqs.len());
                     last_arrival = ta;
+                    next_client = c;
                     sim.schedule(ta, Ev::Arrive(reqs.len()));
                 }
-                admit(sim, &mut locks, &mut rng, &mut res, &mut reqs, r, t);
+                admit(
+                    sim, &mut locks, &mut rng, &mut res, &mut reqs, &mut spans, r, t,
+                );
             }
             Ev::Retry(r) => {
-                admit(sim, &mut locks, &mut rng, &mut res, &mut reqs, r, t);
+                admit(
+                    sim, &mut locks, &mut rng, &mut res, &mut reqs, &mut spans, r, t,
+                );
             }
             Ev::Begin(r) => {
                 let req = &reqs[r];
@@ -351,6 +486,15 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                     // Head-of-line drop: the client gave up while we
                     // queued; release without burning a core.
                     res.deadline_rejects += 1;
+                    emit(
+                        &mut spans,
+                        &cfg.tracer,
+                        t,
+                        0,
+                        EventKind::ReqShed,
+                        r as u64,
+                        SHED_DEADLINE,
+                    );
                     let mode = if req.is_set {
                         LockMode::Exclusive
                     } else {
@@ -367,7 +511,20 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                     return;
                 }
                 let dur = visit_cycles(req.is_set, locks[req.shard].readers());
-                let (_, e) = pool.reserve(t, dur);
+                let (core, start, e) = pool.reserve_on(t, dur);
+                reqs[r].core = core as u32;
+                // The dispatch instant carries the VAS-switch share of
+                // the visit in arg1, letting span reassembly split the
+                // service phase from switch overhead.
+                emit(
+                    &mut spans,
+                    &cfg.tracer,
+                    start,
+                    core as u32,
+                    EventKind::ReqDispatch,
+                    r as u64,
+                    costs.jmp_switch.min(dur),
+                );
                 sim.schedule(e, Ev::Release(r));
             }
             Ev::Release(r) => {
@@ -385,13 +542,23 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
                     sim.schedule(t + handoff, Ev::Begin(w));
                 }
                 let latency = t - req.arrived;
-                if latency <= cfg.deadline {
+                let within = latency <= cfg.deadline;
+                if within {
                     res.completed += 1;
                     res.latency.record(latency);
                 } else {
                     // Completed, but past deadline: wasted work.
                     res.deadline_rejects += 1;
                 }
+                emit(
+                    &mut spans,
+                    &cfg.tracer,
+                    t,
+                    req.core,
+                    EventKind::ReqComplete,
+                    r as u64,
+                    u64::from(within),
+                );
                 end_time = end_time.max(t);
             }
         }
@@ -410,7 +577,18 @@ pub fn run_overload(cfg: &OverloadConfig) -> SjResult<OverloadResult> {
     res.p50 = res.latency.percentile(50.0);
     res.p99 = res.latency.percentile(99.0);
     res.p999 = res.latency.percentile(99.9);
+    res.p50_bounds = res.latency.percentile_bounds(50.0);
+    res.p99_bounds = res.latency.percentile_bounds(99.0);
+    res.p999_bounds = res.latency.percentile_bounds(99.9);
     res.max_queue = locks.iter().map(|l| l.max_queue).max().unwrap_or(0);
+    res.max_client_sheds = res.client_sheds.iter().copied().max().unwrap_or(0);
+    if let Some(events) = &spans {
+        let assembled = assemble_requests(events);
+        res.exemplars = slowest_completed(&assembled, cfg.exemplars)
+            .into_iter()
+            .cloned()
+            .collect();
+    }
     debug_assert!(res.accounted(), "request accounting leak: {res:?}");
     Ok(res)
 }
@@ -533,5 +711,94 @@ mod tests {
         assert_eq!(RejectReason::Shed.name(), "shed");
         assert_eq!(RejectReason::DeadlineExceeded.name(), "deadline_exceeded");
         assert_eq!(RejectReason::ShardUnavailable.name(), "shard_unavailable");
+    }
+
+    #[test]
+    fn request_tracing_does_not_perturb_the_schedule() {
+        let costs = measure_costs_on(MachineId::M1, false, Tracer::disabled()).unwrap();
+        let sat = saturation_rps(&costs, MachineId::M1, 10, 4);
+        let off = run_overload_at(&small(3000), 1.8 * sat).unwrap();
+        let on = run_overload_at(
+            &OverloadConfig {
+                trace_requests: true,
+                ..small(3000)
+            },
+            1.8 * sat,
+        )
+        .unwrap();
+        assert_eq!(off.offered, on.offered);
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.shed, on.shed);
+        assert_eq!(off.retries, on.retries);
+        assert_eq!(off.deadline_rejects, on.deadline_rejects);
+        assert_eq!(off.latency, on.latency);
+        assert_eq!(off.p999, on.p999);
+        assert!(off.exemplars.is_empty(), "no spans without tracing");
+        assert!(!on.exemplars.is_empty(), "tracing captures tail exemplars");
+    }
+
+    #[test]
+    fn exemplar_phases_partition_latency_exactly() {
+        let costs = measure_costs_on(MachineId::M1, false, Tracer::disabled()).unwrap();
+        let sat = saturation_rps(&costs, MachineId::M1, 10, 4);
+        let res = run_overload_at(
+            &OverloadConfig {
+                trace_requests: true,
+                exemplars: 5,
+                ..small(3000)
+            },
+            2.0 * sat,
+        )
+        .unwrap();
+        assert!(!res.exemplars.is_empty());
+        // Exemplars are the slowest completions, slowest first.
+        let mut last = u64::MAX;
+        for ex in &res.exemplars {
+            assert!(ex.latency() <= last);
+            last = ex.latency();
+            assert_eq!(
+                ex.phases.total(),
+                ex.latency(),
+                "backoff+queue+switch+service must partition latency: {ex:?}"
+            );
+            assert!(ex.phases.switch > 0, "every visit pays the VAS switch");
+            assert!(ex.phases.service > 0, "{ex:?}");
+        }
+        assert_eq!(res.exemplars[0].latency(), res.latency.max);
+    }
+
+    #[test]
+    fn sheds_are_counted_per_client_and_fairly_spread() {
+        let costs = measure_costs_on(MachineId::M1, false, Tracer::disabled()).unwrap();
+        let sat = saturation_rps(&costs, MachineId::M1, 10, 4);
+        let res = run_overload_at(&small(6000), 3.0 * sat).unwrap();
+        assert!(res.shed > 0, "3x saturation must shed: {res:?}");
+        assert_eq!(
+            res.client_sheds.iter().sum::<u64>(),
+            res.shed,
+            "per-client tallies must sum to the total"
+        );
+        // Uniform arrivals over 1000 clients: no single client may
+        // absorb a disproportionate share of the sheds.
+        let mean = res.shed as f64 / res.client_sheds.len() as f64;
+        assert!(
+            (res.max_client_sheds as f64) <= 8.0 * mean + 4.0,
+            "one client absorbed {} of {} sheds (mean {mean:.2})",
+            res.max_client_sheds,
+            res.shed
+        );
+    }
+
+    #[test]
+    fn percentile_bounds_bracket_the_point_estimates() {
+        let costs = measure_costs_on(MachineId::M1, false, Tracer::disabled()).unwrap();
+        let sat = saturation_rps(&costs, MachineId::M1, 10, 4);
+        let res = run_overload_at(&small(2000), 0.8 * sat).unwrap();
+        for (lo, hi) in [res.p50_bounds, res.p99_bounds, res.p999_bounds] {
+            assert!(lo <= hi);
+            assert!(hi <= res.latency.max);
+        }
+        assert_eq!(res.p99_bounds.1, res.p99, "upper bound is the estimate");
+        assert_eq!(res.p999_bounds.1, res.p999);
     }
 }

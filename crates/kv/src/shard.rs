@@ -26,6 +26,7 @@
 //!   doing work nobody is waiting for.
 
 use sjmp_os::{Pid, PressureLevel};
+use sjmp_trace::EventKind;
 use spacejmp_core::{SegId, SjError, SpaceJmp};
 
 use crate::jmp::{JmpClient, JoinOpts};
@@ -219,6 +220,16 @@ pub struct ShardedKv {
     store_sids: Vec<SegId>,
     /// Per-shard admission bound on switch-queue depth.
     queue_cap: usize,
+    /// This handle's client index (stamped into request ids and
+    /// `ReqArrive.arg1` so traces can attribute requests to clients).
+    client_idx: usize,
+    /// Requests issued through this handle so far; the next request's
+    /// id is `client_idx << 32 | req_seq`, unique across handles.
+    req_seq: u64,
+    /// Requests this handle had shed by admission control (fairness
+    /// accounting: under uniform load no client should absorb a
+    /// disproportionate share).
+    sheds: u64,
 }
 
 /// Default per-shard admission bound: more blocked switchers than this
@@ -291,6 +302,9 @@ impl ShardedKv {
             clients,
             store_sids,
             queue_cap: DEFAULT_QUEUE_CAP,
+            client_idx,
+            req_seq: 0,
+            sheds: 0,
         })
     }
 
@@ -337,16 +351,74 @@ impl ShardedKv {
             .collect()
     }
 
+    /// Requests this handle has had shed by admission control.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
     /// Admission check for shard `s`: shed when the shard's switch
-    /// queue is at the bound, refuse writes when degraded.
-    fn admit(&self, sj: &SpaceJmp, s: usize, write: bool) -> Result<(), ShardError> {
+    /// queue is at the bound, refuse writes when degraded. Tallies
+    /// sheds per handle for fairness accounting.
+    fn admit(&mut self, sj: &SpaceJmp, s: usize, write: bool) -> Result<(), ShardError> {
         if write && self.degraded(sj, s) {
             return Err(ShardError::Rejected(RejectReason::ShardUnavailable));
         }
         if sj.seg_wait_depth(self.store_sids[s]) >= self.queue_cap {
+            self.sheds += 1;
             return Err(ShardError::Rejected(RejectReason::Shed));
         }
         Ok(())
+    }
+
+    /// The calling core and its cycle timestamp, for trace attribution.
+    fn now_core(&self, sj: &SpaceJmp) -> (u64, u32) {
+        let core = sj
+            .kernel()
+            .ctx_of(self.clients[0].pid())
+            .map_or(0, |c| c.core);
+        (sj.kernel().clocks().now_on(core), core as u32)
+    }
+
+    /// Mints a request id and emits `ReqArrive`, or `None` when the
+    /// tracer is off — request tracing is strictly zero-cost then (no
+    /// id minting, no clock reads, no modeled cycles ever).
+    fn req_begin(&mut self, sj: &SpaceJmp) -> Option<u64> {
+        if !sj.tracer().enabled() {
+            return None;
+        }
+        let id = ((self.client_idx as u64) << 32) | self.req_seq;
+        self.req_seq += 1;
+        let (ts, core) = self.now_core(sj);
+        sj.tracer()
+            .instant(ts, core, EventKind::ReqArrive, id, self.client_idx as u64);
+        Some(id)
+    }
+
+    /// Emits a request-lifecycle instant for a minted id.
+    fn req_mark(&self, sj: &SpaceJmp, id: Option<u64>, kind: EventKind, arg1: u64) {
+        let Some(id) = id else { return };
+        let (ts, core) = self.now_core(sj);
+        sj.tracer().instant(ts, core, kind, id, arg1);
+    }
+
+    /// Emits `ReqShed` with the rejection's stable shed code.
+    fn req_reject(&self, sj: &SpaceJmp, id: Option<u64>, e: &ShardError) {
+        let code = match e {
+            ShardError::Rejected(RejectReason::Shed) => 0,
+            ShardError::Rejected(RejectReason::DeadlineExceeded) => 1,
+            ShardError::Rejected(RejectReason::ShardUnavailable) => 2,
+            ShardError::Inner(_) => return,
+        };
+        self.req_mark(sj, id, EventKind::ReqShed, code);
+    }
+
+    /// Emits `ReqComplete` with the within-deadline flag.
+    fn req_complete(&self, sj: &SpaceJmp, id: Option<u64>, deadline: Option<u64>) {
+        if id.is_none() {
+            return;
+        }
+        let within = deadline.is_none_or(|d| sj.kernel().clock().now() <= d);
+        self.req_mark(sj, id, EventKind::ReqComplete, u64::from(within));
     }
 
     /// Deadline check: a request whose deadline (absolute cycles) has
@@ -382,10 +454,19 @@ impl ShardedKv {
         key: &[u8],
         deadline: Option<u64>,
     ) -> Result<Option<Vec<u8>>, ShardError> {
-        Self::check_deadline(sj, deadline)?;
         let s = self.shard_of(key);
-        self.admit(sj, s, false)?;
-        Ok(self.clients[s].get(sj, key)?)
+        let id = self.req_begin(sj);
+        if let Err(e) = Self::check_deadline(sj, deadline).and_then(|()| self.admit(sj, s, false)) {
+            self.req_reject(sj, id, &e);
+            return Err(e);
+        }
+        self.req_mark(sj, id, EventKind::ReqAdmit, s as u64);
+        // arg1 = 0: on the live path the switch share is carried by the
+        // nested `VasSwitch` spans between dispatch and completion.
+        self.req_mark(sj, id, EventKind::ReqDispatch, 0);
+        let out = self.clients[s].get(sj, key);
+        self.req_complete(sj, id, deadline);
+        Ok(out?)
     }
 
     /// SET routed to the owning shard, no deadline.
@@ -411,10 +492,17 @@ impl ShardedKv {
         val: &[u8],
         deadline: Option<u64>,
     ) -> Result<(), ShardError> {
-        Self::check_deadline(sj, deadline)?;
         let s = self.shard_of(key);
-        self.admit(sj, s, true)?;
-        Ok(self.clients[s].set(sj, key, val)?)
+        let id = self.req_begin(sj);
+        if let Err(e) = Self::check_deadline(sj, deadline).and_then(|()| self.admit(sj, s, true)) {
+            self.req_reject(sj, id, &e);
+            return Err(e);
+        }
+        self.req_mark(sj, id, EventKind::ReqAdmit, s as u64);
+        self.req_mark(sj, id, EventKind::ReqDispatch, 0);
+        let out = self.clients[s].set(sj, key, val);
+        self.req_complete(sj, id, deadline);
+        Ok(out?)
     }
 
     /// DEL routed to the owning shard (write path: degrades and sheds
@@ -425,8 +513,16 @@ impl ShardedKv {
     /// As [`Self::set`].
     pub fn del(&mut self, sj: &mut SpaceJmp, key: &[u8]) -> Result<bool, ShardError> {
         let s = self.shard_of(key);
-        self.admit(sj, s, true)?;
-        Ok(self.clients[s].del(sj, key)?)
+        let id = self.req_begin(sj);
+        if let Err(e) = self.admit(sj, s, true) {
+            self.req_reject(sj, id, &e);
+            return Err(e);
+        }
+        self.req_mark(sj, id, EventKind::ReqAdmit, s as u64);
+        self.req_mark(sj, id, EventKind::ReqDispatch, 0);
+        let out = self.clients[s].del(sj, key);
+        self.req_complete(sj, id, None);
+        Ok(out?)
     }
 }
 
@@ -546,5 +642,51 @@ mod tests {
         let h = kvs[0].health(&sj);
         assert_eq!(h.len(), 3);
         assert!(h.iter().all(|s| s.wait_depth == 0 && !s.degraded));
+    }
+
+    #[test]
+    fn live_requests_emit_reassemblable_causal_spans() {
+        use sjmp_trace::{assemble_requests, ReqOutcome, Tracer};
+
+        let (mut sj, mut kvs) = setup(2, 2);
+        sj.set_tracer(Tracer::new(1 << 16));
+        kvs[0].set(&mut sj, b"k", b"v").unwrap();
+        assert_eq!(kvs[1].get(&mut sj, b"k").unwrap(), Some(b"v".to_vec()));
+        // A rejected request ends in ReqShed with the deadline code.
+        assert_eq!(
+            kvs[1].get_by(&mut sj, b"k", Some(0)),
+            Err(ShardError::Rejected(RejectReason::DeadlineExceeded))
+        );
+
+        let spans = assemble_requests(&sj.tracer().events());
+        assert_eq!(spans.len(), 3, "{spans:?}");
+        // Ids embed the handle's client index in the high word, so
+        // concurrent handles never collide.
+        let mut by_client: Vec<u64> = spans.iter().map(|s| s.id >> 32).collect();
+        by_client.sort_unstable();
+        assert_eq!(by_client, vec![0, 1, 1]);
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| matches!(s.outcome, ReqOutcome::Completed(true)))
+                .count(),
+            2
+        );
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.outcome == ReqOutcome::DeadlineExceeded)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn request_tracing_off_mints_nothing() {
+        let (mut sj, mut kvs) = setup(2, 1);
+        kvs[0].set(&mut sj, b"k", b"v").unwrap();
+        kvs[0].get(&mut sj, b"k").unwrap();
+        assert_eq!(kvs[0].req_seq, 0, "no ids minted with the tracer off");
+        assert!(sj.tracer().events().is_empty());
     }
 }

@@ -31,6 +31,14 @@ impl Cores {
     /// Reserves a core for `duration` cycles starting no earlier than
     /// `now`. Returns `(start, end)` of the reservation.
     pub fn reserve(&mut self, now: u64, duration: u64) -> (u64, u64) {
+        let (_, start, end) = self.reserve_on(now, duration);
+        (start, end)
+    }
+
+    /// Like [`Cores::reserve`], but also returns which core was
+    /// reserved — needed when the caller attributes trace events to
+    /// the core that served the work.
+    pub fn reserve_on(&mut self, now: u64, duration: u64) -> (usize, u64, u64) {
         let (idx, &free_at) = self
             .busy_until
             .iter()
@@ -40,7 +48,7 @@ impl Cores {
         let start = now.max(free_at);
         let end = start + duration;
         self.busy_until[idx] = end;
-        (start, end)
+        (idx, start, end)
     }
 
     /// Earliest time any core is free.
@@ -68,5 +76,14 @@ mod tests {
     fn cores_respect_now() {
         let mut cores = Cores::new(1);
         assert_eq!(cores.reserve(500, 10), (500, 510));
+    }
+
+    #[test]
+    fn reserve_on_reports_the_core_index() {
+        let mut cores = Cores::new(2);
+        assert_eq!(cores.reserve_on(0, 100), (0, 0, 100));
+        assert_eq!(cores.reserve_on(0, 100), (1, 0, 100));
+        // Tie at 100: lowest index wins.
+        assert_eq!(cores.reserve_on(0, 50), (0, 100, 150));
     }
 }

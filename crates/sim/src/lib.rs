@@ -43,6 +43,6 @@ pub use clock::{CoreClocks, CoreCtx, CycleClock};
 pub use cores::Cores;
 pub use engine::{ClosedLoop, Sim};
 pub use event::EventQueue;
-pub use openloop::{Arrival, OpenLoop};
+pub use openloop::{Arrival, OpenLoop, ReqId};
 pub use rng::SimRng;
 pub use rwlock::{ActorId, LockMode, SimRwLock};

@@ -86,7 +86,14 @@ pub struct OpenLoop {
     remaining: usize,
     /// Next arrival time in 1/2^16-cycle fixed point.
     clock_fp: u64,
+    /// Request ids minted so far; the next arrival gets this id.
+    minted: u64,
 }
+
+/// A request id minted at open-loop arrival: the 0-based arrival
+/// ordinal. Causal trace spans (`Req*` event kinds) carry it in `arg0`
+/// so a request's lifecycle can be reassembled from the flat stream.
+pub type ReqId = u64;
 
 impl OpenLoop {
     /// An arrival source issuing `requests` arrivals from `clients`
@@ -118,6 +125,7 @@ impl OpenLoop {
             clients,
             remaining: requests,
             clock_fp: 0,
+            minted: 0,
         }
     }
 
@@ -141,10 +149,21 @@ impl OpenLoop {
     /// The next `(time, client)` arrival, or `None` when the request
     /// budget is exhausted. Times are nondecreasing.
     pub fn next_arrival(&mut self) -> Option<(u64, usize)> {
+        self.next_arrival_tagged().map(|(_, t, c)| (t, c))
+    }
+
+    /// Like [`OpenLoop::next_arrival`], but also mints the arrival's
+    /// [`ReqId`] — the 0-based arrival ordinal. The id sequence is
+    /// pure bookkeeping: it consumes no randomness, so a tagged and an
+    /// untagged drain of the same source produce identical arrival
+    /// times and clients.
+    pub fn next_arrival_tagged(&mut self) -> Option<(ReqId, u64, usize)> {
         if self.remaining == 0 {
             return None;
         }
         self.remaining -= 1;
+        let id = self.minted;
+        self.minted += 1;
         let gap = match self.kind {
             Arrival::Poisson { mean_gap } => self.exp_sample() * mean_gap,
             Arrival::Bursty {
@@ -179,7 +198,7 @@ impl OpenLoop {
         }
         let t = self.clock_fp >> GAP_FRAC_BITS;
         let client = self.rng.index(self.clients);
-        Some((t, client))
+        Some((id, t, client))
     }
 }
 
@@ -255,6 +274,19 @@ mod tests {
             (320.0..480.0).contains(&mean),
             "long-run mean gap {mean}, want ~400"
         );
+    }
+
+    #[test]
+    fn tagged_ids_are_the_arrival_ordinals() {
+        let mut tagged = OpenLoop::new(Arrival::Poisson { mean_gap: 80.0 }, 16, 100, 5);
+        let mut plain = OpenLoop::new(Arrival::Poisson { mean_gap: 80.0 }, 16, 100, 5);
+        let mut want_id = 0u64;
+        while let Some((id, t, c)) = tagged.next_arrival_tagged() {
+            assert_eq!(id, want_id);
+            assert_eq!(plain.next_arrival(), Some((t, c)));
+            want_id += 1;
+        }
+        assert_eq!(plain.next_arrival(), None);
     }
 
     #[test]

@@ -155,11 +155,36 @@ pub enum EventKind {
     /// `vas_load` end to end; span. `arg0` = pid, `arg1` = VAS id (the
     /// freshly created one; 0 on the failing end of the span).
     SnapshotLoad,
+
+    // ---- sjmp-kv request lifecycle (causal spans keyed by ReqId) ----
+    /// A request entered the system at its open-loop arrival time;
+    /// instant. `arg0` = request id, `arg1` = client id.
+    ReqArrive,
+    /// Admission control accepted the request into a shard's queue;
+    /// instant. `arg0` = request id, `arg1` = shard index.
+    ReqAdmit,
+    /// The request reached the head of its shard queue and a core
+    /// started serving it; instant. `arg0` = request id, `arg1` = the
+    /// VAS-switch cycle component of the service that follows (so span
+    /// reassembly can split switch from shard service), or 0 when the
+    /// nested `VasSwitch` spans in the same trace carry it.
+    ReqDispatch,
+    /// The request was bounced and scheduled for a backoff retry;
+    /// instant. `arg0` = request id, `arg1` = attempt number (1-based).
+    ReqRetry,
+    /// The request left the system without completing; instant.
+    /// `arg0` = request id, `arg1` = terminal reason (0 = shed by
+    /// admission control, 1 = deadline exceeded, 2 = shard
+    /// unavailable/degraded).
+    ReqShed,
+    /// The request finished service; instant. `arg0` = request id,
+    /// `arg1` = 1 if it completed within its deadline, else 0.
+    ReqComplete,
 }
 
 impl EventKind {
     /// Every kind, for iteration in exporters and reports.
-    pub const ALL: [EventKind; 42] = [
+    pub const ALL: [EventKind; 48] = [
         EventKind::KernelEntry,
         EventKind::SwitchVmspace,
         EventKind::SwitchBook,
@@ -202,6 +227,12 @@ impl EventKind {
         EventKind::SnapshotCommit,
         EventKind::SnapshotSave,
         EventKind::SnapshotLoad,
+        EventKind::ReqArrive,
+        EventKind::ReqAdmit,
+        EventKind::ReqDispatch,
+        EventKind::ReqRetry,
+        EventKind::ReqShed,
+        EventKind::ReqComplete,
     ];
 
     /// Stable snake_case name used for metric keys and trace export.
@@ -249,6 +280,12 @@ impl EventKind {
             EventKind::SnapshotCommit => "snapshot_commit",
             EventKind::SnapshotSave => "snapshot_save",
             EventKind::SnapshotLoad => "snapshot_load",
+            EventKind::ReqArrive => "req_arrive",
+            EventKind::ReqAdmit => "req_admit",
+            EventKind::ReqDispatch => "req_dispatch",
+            EventKind::ReqRetry => "req_retry",
+            EventKind::ReqShed => "req_shed",
+            EventKind::ReqComplete => "req_complete",
         }
     }
 

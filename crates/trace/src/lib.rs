@@ -50,6 +50,8 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod request;
 pub mod ring;
 pub mod tracer;
 
@@ -57,5 +59,7 @@ pub use chrome::{chrome_trace, parse_chrome_trace, ParsedTrace};
 pub use event::{Event, EventKind, Phase};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{fold_stacks, Profile, Subsystem, SubsystemRow};
+pub use request::{assemble_requests, slowest_completed, ReqOutcome, ReqPhases, RequestSpan};
 pub use ring::Ring;
 pub use tracer::Tracer;

@@ -73,25 +73,29 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of the bucket holding the inclusive one-based rank
+    /// Index of the bucket holding the inclusive one-based rank
     /// (`1..=count`).
-    fn rank_upper_bound(&self, rank: u64) -> u64 {
+    fn rank_bucket(&self, rank: u64) -> usize {
         debug_assert!(rank >= 1 && rank <= self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Bucket i holds values of bit length i: [2^(i-1), 2^i).
-                return if i >= 64 {
-                    u64::MAX
-                } else if i == 0 {
-                    0
-                } else {
-                    (1u64 << i) - 1
-                };
+                return i;
             }
         }
-        self.max
+        HIST_BUCKETS - 1
+    }
+
+    /// Upper bound of the bucket holding the inclusive one-based rank
+    /// (`1..=count`).
+    fn rank_upper_bound(&self, rank: u64) -> u64 {
+        // Bucket i holds values of bit length i: [2^(i-1), 2^i).
+        match self.rank_bucket(rank) {
+            i if i >= 64 => u64::MAX,
+            0 => 0,
+            i => (1u64 << i) - 1,
+        }
     }
 
     /// The `p`-th percentile (`p` in `[0, 100]`) as a **conservative
@@ -122,6 +126,45 @@ impl Histogram {
             return self.max;
         }
         self.rank_upper_bound(rank).clamp(self.min, self.max)
+    }
+
+    /// The exact `(lower, upper)` bracket of the `p`-th percentile.
+    ///
+    /// `upper` is exactly [`Histogram::percentile`]'s conservative
+    /// bound; `lower` is the inclusive lower edge of the same log₂
+    /// bucket (`2^(i-1)`, or 0 for the zero bucket), clamped to the
+    /// recorded `[min, max]`. The true percentile `v` always satisfies
+    /// `lower <= v <= upper`, and `lower == upper` whenever the rank is
+    /// resolved exactly (min/max ranks, single-value histograms).
+    /// Returns `(0, 0)` for an empty histogram.
+    pub fn percentile_bounds(&self, p: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return (self.min, self.min);
+        }
+        if rank == self.count {
+            return (self.max, self.max);
+        }
+        let i = self.rank_bucket(rank);
+        let upper = match i {
+            i if i >= 64 => u64::MAX,
+            0 => 0,
+            i => (1u64 << i) - 1,
+        }
+        .clamp(self.min, self.max);
+        // Inclusive lower edge of bucket i is 2^(i-1) (0 for bucket 0);
+        // the recorded min tightens it further. The rank's bucket holds
+        // at least one recorded value, so the edge never exceeds `max`.
+        let lower = match i {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+        .clamp(self.min, upper);
+        (lower, upper)
     }
 
     /// The counts recorded since `earlier` (which must be an older
@@ -344,6 +387,47 @@ mod tests {
         // Out-of-range p clamps instead of panicking.
         assert_eq!(h.percentile(250.0), 70_000);
         assert_eq!(Histogram::default().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentile_bounds_bracket_the_truth() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1000);
+        }
+        for _ in 0..9 {
+            h.record(5000);
+        }
+        h.record(70_000);
+        // p50 rank lands in the 1000 bucket: [512, 1023] clamped to
+        // min=1000 below.
+        let (lo, hi) = h.percentile_bounds(50.0);
+        assert!(lo <= 1000 && 1000 <= hi, "p50 bounds ({lo}, {hi})");
+        assert_eq!(hi, h.percentile(50.0));
+        // p99 (rank 99) is truly 5000: bucket 13 covers [4096, 8191].
+        let (lo, hi) = h.percentile_bounds(99.0);
+        assert!(lo <= 5000 && 5000 <= hi, "p99 bounds ({lo}, {hi})");
+        assert!(lo >= 4096, "p99 lower bound {lo} below bucket edge");
+        // Min and max ranks are exact: bounds collapse.
+        assert_eq!(h.percentile_bounds(0.0), (1000, 1000));
+        assert_eq!(h.percentile_bounds(100.0), (70_000, 70_000));
+        assert_eq!(Histogram::default().percentile_bounds(99.0), (0, 0));
+    }
+
+    #[test]
+    fn percentile_bounds_max_bucket_shared() {
+        // Two values share the top bucket; a rank resolving there must
+        // keep a lower bound at the bucket edge, not claim exactness.
+        let mut h = Histogram::default();
+        for _ in 0..8 {
+            h.record(100);
+        }
+        h.record(70_000); // bucket 17: [65536, 131071]
+        h.record(100_000); // same bucket; max = 100_000
+        let (lo, hi) = h.percentile_bounds(90.0); // rank 9 -> 70_000
+        assert!(lo <= 70_000 && 70_000 <= hi, "bounds ({lo}, {hi})");
+        assert_eq!(lo, 65_536);
+        assert_eq!(hi, 100_000); // bucket top 131071 clamps to max
     }
 
     #[test]

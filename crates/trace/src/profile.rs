@@ -1,0 +1,341 @@
+//! Cycle-attribution profiler: collapsed stacks and a per-subsystem
+//! cycle table from a recorded event stream.
+//!
+//! The tracer's ring holds `Begin`/`End` spans per core; this module
+//! replays them through a per-core span stack and charges each span's
+//! **self cycles** (duration minus the duration of its children) to the
+//! stack it ran under. Two views come out:
+//!
+//! * [`Profile::collapsed`] — the semicolon-joined collapsed-stack
+//!   format every flamegraph renderer eats (`core0;vas_switch;cr3_load
+//!   130` per line), so any traced run can be turned into a flamegraph
+//!   with stock tooling;
+//! * [`Profile::subsystem_table`] — a `top`-style table folding kinds
+//!   into subsystems (translation, switch, lock, blk-io, swap, kernel,
+//!   rpc, request), answering "where do the cycles go" in eight rows.
+//!
+//! Spans of different kinds may interleave without strict nesting (the
+//! tracer matches per `(core, kind)`); the folder closes the nearest
+//! open frame of the ending kind and counts such out-of-order closes in
+//! [`Profile::malformed`] rather than guessing silently.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind, Phase};
+
+/// Coarse subsystem buckets for the `sjmp-top` view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// TLB lookups/flushes, page walks, CR3 loads.
+    Translation,
+    /// VAS switch/attach/detach and vmspace bookkeeping.
+    Switch,
+    /// Segment lock acquire/contention.
+    Lock,
+    /// Snapshot-disk block IO, journal, save/load.
+    BlkIo,
+    /// Swap device traffic and reclaim.
+    Swap,
+    /// Syscall entry, mmap/munmap, faults, teardown.
+    Kernel,
+    /// URPC send/receive.
+    Rpc,
+    /// Request lifecycle markers from the serving stack.
+    Request,
+}
+
+impl Subsystem {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Translation => "translation",
+            Subsystem::Switch => "switch",
+            Subsystem::Lock => "lock",
+            Subsystem::BlkIo => "blk_io",
+            Subsystem::Swap => "swap",
+            Subsystem::Kernel => "kernel",
+            Subsystem::Rpc => "rpc",
+            Subsystem::Request => "request",
+        }
+    }
+
+    /// Which subsystem a kind's cycles belong to.
+    pub fn of(kind: EventKind) -> Subsystem {
+        use EventKind::*;
+        match kind {
+            TlbHit | TlbMiss | TlbFlush | PageWalk | Cr3Load => Subsystem::Translation,
+            SwitchVmspace | SwitchBook | VasSwitch | VasAttach | VasDetach | VasEnter
+            | SwitchRetry => Subsystem::Switch,
+            LockAcquire | LockRelease | LockContention | LockSkip => Subsystem::Lock,
+            BlkRead | BlkWrite | BlkFlush | JournalReplay | SnapshotCommit | SnapshotSave
+            | SnapshotLoad => Subsystem::BlkIo,
+            SwapIn | SwapOut | ReclaimPass | Evict | QuotaDenial | OomKill | MajorFault => {
+                Subsystem::Swap
+            }
+            KernelEntry | Mmap | Munmap | PageFault | MemRead | MemWrite | Reap | SegRegister
+            | SegExtent | SegAttach => Subsystem::Kernel,
+            RpcSend | RpcRecv => Subsystem::Rpc,
+            ReqArrive | ReqAdmit | ReqDispatch | ReqRetry | ReqShed | ReqComplete => {
+                Subsystem::Request
+            }
+        }
+    }
+}
+
+/// One row of the subsystem table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsystemRow {
+    /// The bucket.
+    pub subsystem: Subsystem,
+    /// Self cycles charged to spans of this subsystem.
+    pub self_cycles: u64,
+    /// Share of all attributed span cycles, in `[0, 1]`.
+    pub share: f64,
+    /// Instant events of this subsystem (no duration, still telling:
+    /// TLB misses, sheds, evictions).
+    pub instants: u64,
+}
+
+/// The folded result of one event stream.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Self cycles per collapsed stack (`core0;vas_switch;cr3_load`).
+    pub stacks: BTreeMap<String, u64>,
+    /// Self cycles per span kind.
+    pub kind_self: BTreeMap<EventKind, u64>,
+    /// Instant-event counts per kind.
+    pub kind_instants: BTreeMap<EventKind, u64>,
+    /// `End` events that closed out of stack order or had no open
+    /// frame. Nonzero means the stacks are best-effort.
+    pub malformed: u64,
+    /// Total self cycles attributed across all stacks.
+    pub total_self: u64,
+}
+
+struct Frame {
+    kind: EventKind,
+    begin: u64,
+    child: u64,
+}
+
+/// Folds an event stream into a [`Profile`]. Events must be in
+/// emission order (as [`crate::Tracer::events`] and
+/// [`crate::parse_chrome_trace`] return them); cores fold
+/// independently. Spans still open when the stream ends are charged
+/// nothing — an unclosed span has no measured duration.
+pub fn fold_stacks(events: &[Event]) -> Profile {
+    let mut profile = Profile::default();
+    let mut stacks: BTreeMap<u32, Vec<Frame>> = BTreeMap::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Instant => {
+                *profile.kind_instants.entry(ev.kind).or_insert(0) += 1;
+            }
+            Phase::Begin => {
+                stacks.entry(ev.core).or_default().push(Frame {
+                    kind: ev.kind,
+                    begin: ev.ts,
+                    child: 0,
+                });
+            }
+            Phase::End => {
+                let stack = stacks.entry(ev.core).or_default();
+                // Close the nearest open frame of this kind — matching
+                // the tracer's per-(core, kind) pairing. Anything other
+                // than the top is an out-of-order close.
+                let Some(pos) = stack.iter().rposition(|f| f.kind == ev.kind) else {
+                    profile.malformed += 1;
+                    continue;
+                };
+                if pos != stack.len() - 1 {
+                    profile.malformed += 1;
+                }
+                let frame = stack.remove(pos);
+                let dur = ev.ts.saturating_sub(frame.begin);
+                let self_cycles = dur.saturating_sub(frame.child);
+                if let Some(parent) = stack.get_mut(pos.wrapping_sub(1)).filter(|_| pos > 0) {
+                    parent.child += dur;
+                }
+                let mut line = format!("core{}", ev.core);
+                for f in stack.iter().take(pos) {
+                    line.push(';');
+                    line.push_str(f.kind.name());
+                }
+                line.push(';');
+                line.push_str(frame.kind.name());
+                *profile.stacks.entry(line).or_insert(0) += self_cycles;
+                *profile.kind_self.entry(frame.kind).or_insert(0) += self_cycles;
+                profile.total_self += self_cycles;
+            }
+        }
+    }
+    profile
+}
+
+impl Profile {
+    /// The collapsed-stack document: one `stack cycles` line per
+    /// distinct stack, sorted by stack name (deterministic output for
+    /// byte-compare CI gates). Feed straight to `flamegraph.pl` or
+    /// speedscope.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (stack, cycles) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The per-subsystem cycle table, heaviest first. Subsystems with
+    /// neither span cycles nor instants are omitted.
+    pub fn subsystem_table(&self) -> Vec<SubsystemRow> {
+        let mut cycles: BTreeMap<Subsystem, u64> = BTreeMap::new();
+        let mut instants: BTreeMap<Subsystem, u64> = BTreeMap::new();
+        for (&kind, &c) in &self.kind_self {
+            *cycles.entry(Subsystem::of(kind)).or_insert(0) += c;
+        }
+        for (&kind, &n) in &self.kind_instants {
+            *instants.entry(Subsystem::of(kind)).or_insert(0) += n;
+        }
+        let mut subsystems: Vec<Subsystem> =
+            cycles.keys().chain(instants.keys()).copied().collect();
+        subsystems.sort();
+        subsystems.dedup();
+        let mut rows: Vec<SubsystemRow> = subsystems
+            .into_iter()
+            .map(|s| {
+                let c = cycles.get(&s).copied().unwrap_or(0);
+                SubsystemRow {
+                    subsystem: s,
+                    self_cycles: c,
+                    share: if self.total_self == 0 {
+                        0.0
+                    } else {
+                        c as f64 / self.total_self as f64
+                    },
+                    instants: instants.get(&s).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.self_cycles
+                .cmp(&a.self_cycles)
+                .then(b.instants.cmp(&a.instants))
+                .then(a.subsystem.cmp(&b.subsystem))
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(core: u32, kind: EventKind, begin: u64, end: u64) -> [Event; 2] {
+        [
+            Event {
+                ts: begin,
+                core,
+                phase: Phase::Begin,
+                kind,
+                arg0: 0,
+                arg1: 0,
+            },
+            Event {
+                ts: end,
+                core,
+                phase: Phase::End,
+                kind,
+                arg0: 0,
+                arg1: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn nested_spans_split_self_from_child() {
+        // vas_switch 100..300 with cr3_load 110..240 inside.
+        let [b0, e0] = span(0, EventKind::VasSwitch, 100, 300);
+        let [b1, e1] = span(0, EventKind::Cr3Load, 110, 240);
+        let p = fold_stacks(&[b0, b1, e1, e0]);
+        assert_eq!(p.stacks.get("core0;vas_switch;cr3_load"), Some(&130));
+        assert_eq!(p.stacks.get("core0;vas_switch"), Some(&70));
+        assert_eq!(p.total_self, 200);
+        assert_eq!(p.malformed, 0);
+        assert_eq!(p.kind_self.get(&EventKind::Cr3Load), Some(&130));
+    }
+
+    #[test]
+    fn cores_fold_independently() {
+        let [b0, e0] = span(0, EventKind::RpcSend, 0, 100);
+        let [b1, e1] = span(1, EventKind::RpcSend, 0, 40);
+        let p = fold_stacks(&[b0, b1, e1, e0]);
+        assert_eq!(p.stacks.get("core0;rpc_send"), Some(&100));
+        assert_eq!(p.stacks.get("core1;rpc_send"), Some(&40));
+    }
+
+    #[test]
+    fn out_of_order_close_is_counted_not_fatal() {
+        // Begin A, Begin B, End A, End B: A closes from under B.
+        let [ba, ea] = span(0, EventKind::Mmap, 0, 100);
+        let [bb, eb] = span(0, EventKind::PageWalk, 10, 150);
+        let p = fold_stacks(&[ba, bb, ea, eb]);
+        assert_eq!(p.malformed, 1);
+        // Both spans still get their duration attributed.
+        assert_eq!(p.kind_self.get(&EventKind::PageWalk), Some(&140));
+        assert!(p.stacks.contains_key("core0;mmap"));
+        // An end with no open frame at all is also surfaced.
+        let p2 = fold_stacks(&span(0, EventKind::Reap, 5, 9)[1..]);
+        assert_eq!(p2.malformed, 1);
+    }
+
+    #[test]
+    fn collapsed_output_is_flamegraph_shaped() {
+        let [b0, e0] = span(2, EventKind::VasSwitch, 0, 50);
+        let p = fold_stacks(&[b0, e0]);
+        assert_eq!(p.collapsed(), "core2;vas_switch 50\n");
+    }
+
+    #[test]
+    fn subsystem_table_buckets_and_sorts() {
+        let [b0, e0] = span(0, EventKind::PageWalk, 0, 1000);
+        let [b1, e1] = span(0, EventKind::BlkRead, 2000, 2100);
+        let mut events = vec![b0, e0, b1, e1];
+        events.push(Event {
+            ts: 5,
+            core: 0,
+            phase: Phase::Instant,
+            kind: EventKind::TlbMiss,
+            arg0: 0,
+            arg1: 0,
+        });
+        let p = fold_stacks(&events);
+        let table = p.subsystem_table();
+        assert_eq!(table[0].subsystem, Subsystem::Translation);
+        assert_eq!(table[0].self_cycles, 1000);
+        assert_eq!(table[0].instants, 1);
+        assert!((table[0].share - 1000.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(table[1].subsystem, Subsystem::BlkIo);
+        // Subsystems that never appeared are omitted.
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn every_kind_has_a_subsystem() {
+        // The match in Subsystem::of is exhaustive by construction;
+        // this pins the bucket names used in reports.
+        for kind in EventKind::ALL {
+            assert!(!Subsystem::of(kind).name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unclosed_spans_charge_nothing() {
+        let [b0, _] = span(0, EventKind::SwapIn, 0, 10);
+        let p = fold_stacks(&[b0]);
+        assert_eq!(p.total_self, 0);
+        assert!(p.stacks.is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! Request-scoped causal span reassembly.
+//!
+//! The serving stack (`sjmp-kv`) stamps every request's lifecycle into
+//! the trace as `Req*` instants keyed by a request id in `arg0`:
+//! [`EventKind::ReqArrive`] → ([`EventKind::ReqRetry`] |
+//! [`EventKind::ReqAdmit`])* → [`EventKind::ReqDispatch`] →
+//! [`EventKind::ReqComplete`], with [`EventKind::ReqShed`] as the
+//! terminal on any rejection path. This module folds that flat stream
+//! back into one [`RequestSpan`] per id and decomposes its end-to-end
+//! latency into four phases that sum **exactly** to `end - arrive`:
+//!
+//! * **backoff** — cycles parked between a `ReqRetry` and the next
+//!   lifecycle event of the same request;
+//! * **queue** — everything else between arrival and dispatch: shard
+//!   FIFO wait, lock handoff, and core-pool wait;
+//! * **switch** — the VAS-switch component of service, carried in
+//!   `ReqDispatch.arg1` by the emitter;
+//! * **service** — the remaining dispatch→complete cycles.
+//!
+//! The exactness is by construction, not by luck: the four phases are
+//! defined as a partition of the `[arrive, end]` interval, so tail
+//! exemplars rebuilt here always reconcile with the latency the
+//! benchmark measured.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::json::Json;
+
+/// Why a request ended without completing. Mirrors the `arg1` encoding
+/// of [`EventKind::ReqShed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqOutcome {
+    /// Finished service; `true` when within its deadline.
+    Completed(bool),
+    /// Shed by admission control (queue full, retry budget exhausted).
+    Shed,
+    /// Dropped at dispatch: its deadline had already passed.
+    DeadlineExceeded,
+    /// Rejected because the target shard was degraded/unavailable.
+    ShardUnavailable,
+    /// The trace ended while the request was still in flight.
+    InFlight,
+}
+
+impl ReqOutcome {
+    /// Stable name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqOutcome::Completed(true) => "completed",
+            ReqOutcome::Completed(false) => "completed_late",
+            ReqOutcome::Shed => "shed",
+            ReqOutcome::DeadlineExceeded => "deadline_exceeded",
+            ReqOutcome::ShardUnavailable => "shard_unavailable",
+            ReqOutcome::InFlight => "in_flight",
+        }
+    }
+
+    fn from_shed_code(code: u64) -> ReqOutcome {
+        match code {
+            0 => ReqOutcome::Shed,
+            1 => ReqOutcome::DeadlineExceeded,
+            _ => ReqOutcome::ShardUnavailable,
+        }
+    }
+}
+
+/// The latency decomposition of one request; all fields in simulated
+/// cycles. `backoff + queue + switch + service == end - arrive` for
+/// every assembled span (asserted in tests, relied on by the overload
+/// exemplar gate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReqPhases {
+    /// Cycles parked in retry backoff.
+    pub backoff: u64,
+    /// Shard FIFO + lock handoff + core-pool wait.
+    pub queue: u64,
+    /// VAS-switch component of service.
+    pub switch: u64,
+    /// Shard service minus the switch component.
+    pub service: u64,
+}
+
+impl ReqPhases {
+    /// Sum of all phases — the span's end-to-end latency.
+    pub fn total(&self) -> u64 {
+        self.backoff + self.queue + self.switch + self.service
+    }
+}
+
+/// One reassembled request: its lifecycle events, outcome, and phase
+/// decomposition.
+#[derive(Debug, Clone)]
+pub struct RequestSpan {
+    /// Request id (the `arg0` of every lifecycle event).
+    pub id: u64,
+    /// Client that issued it (`ReqArrive.arg1`).
+    pub client: u64,
+    /// Shard that admitted it (`ReqAdmit.arg1` of the last admission),
+    /// `None` if it never got past admission.
+    pub shard: Option<u64>,
+    /// Arrival timestamp.
+    pub arrive: u64,
+    /// Terminal timestamp (complete/shed), or the last seen event for
+    /// in-flight spans.
+    pub end: u64,
+    /// Number of retry rounds the request went through.
+    pub retries: u32,
+    /// How the request ended.
+    pub outcome: ReqOutcome,
+    /// The latency decomposition.
+    pub phases: ReqPhases,
+    /// The request's lifecycle events in timestamp order.
+    pub events: Vec<Event>,
+}
+
+impl RequestSpan {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.end - self.arrive
+    }
+
+    /// JSON form used by the overload report's tail-exemplar section.
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("ts".to_string(), Json::from_u64(e.ts)),
+                    ("kind".to_string(), Json::Str(e.kind.name().to_string())),
+                    ("arg1".to_string(), Json::from_u64(e.arg1)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("id".to_string(), Json::from_u64(self.id)),
+            ("client".to_string(), Json::from_u64(self.client)),
+            (
+                "shard".to_string(),
+                match self.shard {
+                    Some(s) => Json::from_u64(s),
+                    None => Json::Null,
+                },
+            ),
+            ("arrive".to_string(), Json::from_u64(self.arrive)),
+            ("latency".to_string(), Json::from_u64(self.latency())),
+            ("retries".to_string(), Json::from_u64(self.retries as u64)),
+            (
+                "outcome".to_string(),
+                Json::Str(self.outcome.name().to_string()),
+            ),
+            ("backoff".to_string(), Json::from_u64(self.phases.backoff)),
+            ("queue".to_string(), Json::from_u64(self.phases.queue)),
+            ("switch".to_string(), Json::from_u64(self.phases.switch)),
+            ("service".to_string(), Json::from_u64(self.phases.service)),
+            ("events".to_string(), Json::Arr(events)),
+        ])
+    }
+}
+
+fn is_req_kind(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::ReqArrive
+            | EventKind::ReqAdmit
+            | EventKind::ReqDispatch
+            | EventKind::ReqRetry
+            | EventKind::ReqShed
+            | EventKind::ReqComplete
+    )
+}
+
+/// Reassembles every request's lifecycle from a raw event stream.
+///
+/// Non-`Req*` events pass through untouched (callers typically hand in
+/// a full `Tracer::events()` dump). Events of one request are taken in
+/// stream order — the tracer's ring preserves emission order, and all
+/// emitters stamp monotonically increasing timestamps per request.
+/// Requests whose `ReqArrive` fell off the ring are skipped; requests
+/// without a terminal event come back as [`ReqOutcome::InFlight`].
+/// Returned spans are sorted by request id.
+pub fn assemble_requests(events: &[Event]) -> Vec<RequestSpan> {
+    let mut by_id: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    for e in events {
+        if is_req_kind(e.kind) {
+            by_id.entry(e.arg0).or_default().push(*e);
+        }
+    }
+    let mut spans = Vec::with_capacity(by_id.len());
+    for (id, evs) in by_id {
+        if evs.first().map(|e| e.kind) != Some(EventKind::ReqArrive) {
+            continue; // arrival lost to ring overwrite: span is partial
+        }
+        let arrive = evs[0].ts;
+        let client = evs[0].arg1;
+        let mut shard = None;
+        let mut retries = 0u32;
+        let mut dispatch: Option<&Event> = None;
+        let mut backoff = 0u64;
+        let mut outcome = ReqOutcome::InFlight;
+        let mut end = evs.last().map(|e| e.ts).unwrap_or(arrive);
+        for (i, e) in evs.iter().enumerate() {
+            match e.kind {
+                EventKind::ReqAdmit => shard = Some(e.arg1),
+                EventKind::ReqRetry => {
+                    retries += 1;
+                    // Backoff runs from the retry decision to whatever
+                    // the request does next (its next admission attempt
+                    // or terminal). A trailing retry with no successor
+                    // contributes nothing — the span is in flight.
+                    if let Some(next) = evs.get(i + 1) {
+                        backoff += next.ts - e.ts;
+                    }
+                }
+                EventKind::ReqDispatch => dispatch = Some(e),
+                EventKind::ReqShed => {
+                    outcome = ReqOutcome::from_shed_code(e.arg1);
+                    end = e.ts;
+                }
+                EventKind::ReqComplete => {
+                    outcome = ReqOutcome::Completed(e.arg1 == 1);
+                    end = e.ts;
+                }
+                _ => {}
+            }
+        }
+        let phases = match dispatch {
+            Some(d) => {
+                let switch = d.arg1.min(end - d.ts);
+                ReqPhases {
+                    backoff,
+                    queue: (d.ts - arrive) - backoff,
+                    switch,
+                    service: (end - d.ts) - switch,
+                }
+            }
+            // Never dispatched: everything that wasn't backoff was
+            // spent queued/being bounced at admission.
+            None => ReqPhases {
+                backoff,
+                queue: (end - arrive) - backoff,
+                switch: 0,
+                service: 0,
+            },
+        };
+        spans.push(RequestSpan {
+            id,
+            client,
+            shard,
+            arrive,
+            end,
+            retries,
+            outcome,
+            phases,
+            events: evs,
+        });
+    }
+    spans
+}
+
+/// The `n` slowest completed requests, slowest first — the tail
+/// exemplars the overload report captures for forensics.
+pub fn slowest_completed(spans: &[RequestSpan], n: usize) -> Vec<&RequestSpan> {
+    let mut done: Vec<&RequestSpan> = spans
+        .iter()
+        .filter(|s| matches!(s.outcome, ReqOutcome::Completed(_)))
+        .collect();
+    done.sort_by(|a, b| b.latency().cmp(&a.latency()).then(a.id.cmp(&b.id)));
+    done.truncate(n);
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn ev(ts: u64, kind: EventKind, arg0: u64, arg1: u64) -> Event {
+        Event {
+            ts,
+            core: 0,
+            phase: Phase::Instant,
+            kind,
+            arg0,
+            arg1,
+        }
+    }
+
+    #[test]
+    fn clean_request_decomposes_exactly() {
+        let events = vec![
+            ev(100, EventKind::ReqArrive, 7, 3),
+            ev(100, EventKind::ReqAdmit, 7, 1),
+            ev(500, EventKind::ReqDispatch, 7, 130),
+            ev(900, EventKind::ReqComplete, 7, 1),
+        ];
+        let spans = assemble_requests(&events);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.id, 7);
+        assert_eq!(s.client, 3);
+        assert_eq!(s.shard, Some(1));
+        assert_eq!(s.outcome, ReqOutcome::Completed(true));
+        assert_eq!(s.latency(), 800);
+        assert_eq!(s.phases.backoff, 0);
+        assert_eq!(s.phases.queue, 400);
+        assert_eq!(s.phases.switch, 130);
+        assert_eq!(s.phases.service, 270);
+        assert_eq!(s.phases.total(), s.latency());
+    }
+
+    #[test]
+    fn retries_become_backoff() {
+        let events = vec![
+            ev(0, EventKind::ReqArrive, 1, 0),
+            ev(0, EventKind::ReqRetry, 1, 1),
+            ev(1000, EventKind::ReqRetry, 1, 2),
+            ev(3000, EventKind::ReqAdmit, 1, 0),
+            ev(3500, EventKind::ReqDispatch, 1, 100),
+            ev(4000, EventKind::ReqComplete, 1, 1),
+        ];
+        let spans = assemble_requests(&events);
+        let s = &spans[0];
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.phases.backoff, 3000);
+        assert_eq!(s.phases.queue, 500);
+        assert_eq!(s.phases.switch, 100);
+        assert_eq!(s.phases.service, 400);
+        assert_eq!(s.phases.total(), s.latency());
+    }
+
+    #[test]
+    fn shed_request_has_no_service() {
+        let events = vec![
+            ev(0, EventKind::ReqArrive, 2, 5),
+            ev(0, EventKind::ReqRetry, 2, 1),
+            ev(800, EventKind::ReqShed, 2, 0),
+        ];
+        let spans = assemble_requests(&events);
+        let s = &spans[0];
+        assert_eq!(s.outcome, ReqOutcome::Shed);
+        assert_eq!(s.phases.backoff, 800);
+        assert_eq!(s.phases.queue, 0);
+        assert_eq!(s.phases.service, 0);
+        assert_eq!(s.phases.total(), s.latency());
+    }
+
+    #[test]
+    fn deadline_and_unavailable_codes_decode() {
+        for (code, want) in [
+            (1u64, ReqOutcome::DeadlineExceeded),
+            (2, ReqOutcome::ShardUnavailable),
+        ] {
+            let events = vec![
+                ev(0, EventKind::ReqArrive, 9, 0),
+                ev(50, EventKind::ReqShed, 9, code),
+            ];
+            assert_eq!(assemble_requests(&events)[0].outcome, want);
+        }
+    }
+
+    #[test]
+    fn partial_spans_are_skipped_or_in_flight() {
+        let events = vec![
+            // id 4: no arrival (lost to ring overwrite) — skipped.
+            ev(10, EventKind::ReqAdmit, 4, 0),
+            ev(20, EventKind::ReqComplete, 4, 1),
+            // id 5: arrival but no terminal — in flight.
+            ev(30, EventKind::ReqArrive, 5, 1),
+            ev(30, EventKind::ReqAdmit, 5, 2),
+        ];
+        let spans = assemble_requests(&events);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].id, 5);
+        assert_eq!(spans[0].outcome, ReqOutcome::InFlight);
+    }
+
+    #[test]
+    fn slowest_completed_orders_by_latency() {
+        let mut events = Vec::new();
+        for (id, lat) in [(1u64, 100u64), (2, 900), (3, 500)] {
+            events.push(ev(0, EventKind::ReqArrive, id, 0));
+            events.push(ev(0, EventKind::ReqAdmit, id, 0));
+            events.push(ev(10, EventKind::ReqDispatch, id, 0));
+            events.push(ev(lat, EventKind::ReqComplete, id, 1));
+        }
+        // A shed request never counts as an exemplar.
+        events.push(ev(0, EventKind::ReqArrive, 4, 0));
+        events.push(ev(5000, EventKind::ReqShed, 4, 0));
+        let spans = assemble_requests(&events);
+        let top = slowest_completed(&spans, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].id, 2);
+        assert_eq!(top[1].id, 3);
+    }
+
+    #[test]
+    fn span_json_has_phase_fields() {
+        let events = vec![
+            ev(100, EventKind::ReqArrive, 7, 3),
+            ev(100, EventKind::ReqAdmit, 7, 1),
+            ev(500, EventKind::ReqDispatch, 7, 130),
+            ev(900, EventKind::ReqComplete, 7, 1),
+        ];
+        let spans = assemble_requests(&events);
+        let j = spans[0].to_json();
+        let back = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(back.get("latency"), Some(&Json::Int(800)));
+        assert_eq!(back.get("queue"), Some(&Json::Int(400)));
+        assert_eq!(
+            back.get("outcome"),
+            Some(&Json::Str("completed".to_string()))
+        );
+        assert_eq!(
+            back.get("events").map(|e| match e {
+                Json::Arr(a) => a.len(),
+                _ => 0,
+            }),
+            Some(4)
+        );
+    }
+}

@@ -229,3 +229,64 @@ fn degraded_des_rejects_sets_but_keeps_reading() {
     assert!(r.completed > 0, "GETs must keep serving: {r:?}");
     assert!(r.accounted());
 }
+
+/// Fairness under uniform Poisson load: sheds are tallied per client,
+/// the tallies sum to the total, and no single client absorbs a
+/// disproportionate share (arrivals pick clients uniformly, so the
+/// heaviest client must stay within a small constant of the mean).
+#[test]
+fn uniform_poisson_load_sheds_fairly_across_clients() {
+    let costs = measure_costs_on(MachineId::M1, false, Tracer::disabled()).unwrap();
+    let sat = saturation_rps(&costs, MachineId::M1, 10, 4);
+    let cfg = OverloadConfig {
+        requests: 8_000,
+        clients: 2_000,
+        ..OverloadConfig::default()
+    };
+    let res = run_overload_at(&cfg, 3.0 * sat).unwrap();
+    assert!(res.shed > 100, "3x saturation must shed heavily: {res:?}");
+    assert_eq!(res.client_sheds.len(), 2_000);
+    assert_eq!(
+        res.client_sheds.iter().sum::<u64>(),
+        res.shed,
+        "per-client shed tallies must partition the total"
+    );
+    let mean = res.shed as f64 / res.client_sheds.len() as f64;
+    assert!(
+        (res.max_client_sheds as f64) <= 8.0 * mean + 4.0,
+        "client shed share is disproportionate: heaviest {} vs mean {mean:.3}",
+        res.max_client_sheds
+    );
+}
+
+/// Tail exemplars captured by the DES decompose end-to-end latency into
+/// phases that partition it exactly, and capturing them never perturbs
+/// the simulated schedule.
+#[test]
+fn tail_exemplars_decompose_latency_without_perturbing_the_run() {
+    let costs = measure_costs_on(MachineId::M1, false, Tracer::disabled()).unwrap();
+    let sat = saturation_rps(&costs, MachineId::M1, 10, 4);
+    let cfg = OverloadConfig {
+        requests: 5_000,
+        clients: 1_000,
+        ..OverloadConfig::default()
+    };
+    let plain = run_overload_at(&cfg, 1.5 * sat).unwrap();
+    let traced = run_overload_at(
+        &OverloadConfig {
+            trace_requests: true,
+            exemplars: 4,
+            ..cfg
+        },
+        1.5 * sat,
+    )
+    .unwrap();
+    assert_eq!(plain.completed, traced.completed);
+    assert_eq!(plain.shed, traced.shed);
+    assert_eq!(plain.latency, traced.latency);
+    assert!(!traced.exemplars.is_empty());
+    for ex in &traced.exemplars {
+        assert_eq!(ex.phases.total(), ex.latency(), "{ex:?}");
+    }
+    assert_eq!(traced.exemplars[0].latency(), traced.latency.max);
+}

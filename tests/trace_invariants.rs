@@ -451,3 +451,94 @@ fn tracing_adds_zero_modeled_cycles() {
     assert_eq!(plain.cycles, traced.cycles, "GUPS cycle totals diverged");
     assert!((plain.mups - traced.mups).abs() < f64::EPSILON);
 }
+
+/// A live sharded-KV workload with request tracing: returns the final
+/// kernel cycle count so traced/untraced runs can be compared.
+fn kv_workload(tracer: Tracer) -> (u64, Vec<Event>) {
+    use spacejmp::kv::ShardedKv;
+
+    let mut sj = SpaceJmp::new(Kernel::new(KernelFlavor::DragonFly, MachineId::M1));
+    sj.set_tracer(tracer);
+    let pid = sj
+        .kernel_mut()
+        .spawn("kvreq", Creds::new(100, 100))
+        .expect("spawn");
+    sj.kernel_mut().activate(pid).expect("activate");
+    let mut kv = ShardedKv::join(&mut sj, pid, "reqtrace", 0, 2).expect("join");
+    for i in 0..24u32 {
+        let k = format!("key:{i:03}");
+        kv.set(&mut sj, k.as_bytes(), b"v").expect("set");
+        assert!(kv.get(&mut sj, k.as_bytes()).expect("get").is_some());
+    }
+    // One rejection so the stream carries a ReqShed too.
+    assert!(matches!(
+        kv.get_by(&mut sj, b"key:000", Some(0)),
+        Err(spacejmp::kv::ShardError::Rejected(_))
+    ));
+    let events = sj.tracer().events();
+    (sj.kernel().clocks().now(), events)
+}
+
+/// Request-lifecycle instants nest the VAS-switch spans: every served
+/// request brackets at least one `VasSwitch` span between its
+/// `ReqDispatch` and `ReqComplete`, and the whole stream (new `Req*`
+/// kinds included) survives the Chrome export/parse round trip
+/// losslessly.
+#[test]
+fn request_spans_nest_switches_and_round_trip() {
+    use spacejmp::trace::chrome::{chrome_trace, parse_chrome_trace};
+    use spacejmp::trace::{assemble_requests, ReqOutcome};
+
+    let (_, events) = kv_workload(Tracer::new(1 << 18));
+
+    let spans = assemble_requests(&events);
+    assert_eq!(spans.len(), 49, "24 sets + 24 gets + 1 rejected get");
+    let served: Vec<_> = spans
+        .iter()
+        .filter(|s| matches!(s.outcome, ReqOutcome::Completed(_)))
+        .collect();
+    assert_eq!(served.len(), 48);
+    for span in served {
+        let dispatch = span
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::ReqDispatch)
+            .expect("served request has a dispatch");
+        let complete = span
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::ReqComplete)
+            .expect("served request has a completion");
+        // At least one VAS-switch span begins inside the service window.
+        let nested = events.iter().any(|e| {
+            e.kind == EventKind::VasSwitch
+                && e.phase == Phase::Begin
+                && e.ts >= dispatch.ts
+                && e.ts <= complete.ts
+        });
+        assert!(
+            nested,
+            "request {} service window [{}, {}] wraps no VasSwitch",
+            span.id, dispatch.ts, complete.ts
+        );
+    }
+
+    let doc = chrome_trace(&events, 2.66e9, 0);
+    let parsed = parse_chrome_trace(&doc).expect("Req* kinds must round-trip");
+    assert_eq!(parsed.events, events, "chrome export must be lossless");
+}
+
+/// Request tracing is pure observation on the live path too: with the
+/// tracer disabled no ids are minted and no cycles move; with it
+/// enabled the modeled clock is bit-identical to the untraced run.
+#[test]
+fn request_tracing_adds_zero_modeled_cycles_live() {
+    let (untraced, ev_off) = kv_workload(Tracer::disabled());
+    let (traced, ev_on) = kv_workload(Tracer::new(1 << 18));
+    assert_eq!(
+        untraced, traced,
+        "request tracing perturbed the modeled clock"
+    );
+    assert!(ev_off.is_empty());
+    assert!(ev_on.iter().any(|e| e.kind == EventKind::ReqArrive));
+}
