@@ -51,8 +51,47 @@ fn main() {
             );
         }
     }
+    // Lower bound: the same JMP sweep on the no-VM base+bound backend.
+    // No page walks and nothing to flush on a switch, so this curve caps
+    // what any translation hardware could recover for the JMP design.
+    report.heading("Lower bound: JMP on the no-VM base+bound backend (update set 64, M3)");
+    report.header(
+        &["windows", "SpaceJMP", "no-vm", "tlb misses", "no-vm misses"],
+        &[8, 10, 10, 12, 13],
+    );
+    for &w in window_counts {
+        let cfg = GupsConfig {
+            windows: w,
+            updates_per_set: 64,
+            epochs,
+            tracer: tracer.clone(),
+            ..GupsConfig::default()
+        };
+        let jmp = run(Design::Jmp, &cfg).expect("jmp");
+        let novm = run(
+            Design::Jmp,
+            &GupsConfig {
+                backend: sjmp_mem::TranslationKind::NoVm,
+                ..cfg
+            },
+        )
+        .expect("no-vm jmp");
+        report.row(
+            &[
+                w.to_string(),
+                format!("{:.1}", jmp.mups),
+                format!("{:.1}", novm.mups),
+                jmp.tlb_misses.to_string(),
+                novm.tlb_misses.to_string(),
+            ],
+            &[8, 10, 10, 12, 13],
+        );
+    }
+
     report.note("\npaper: all equal at 1 window; MAP collapses immediately;");
-    report.note("SpaceJMP >= MP throughout; MP drops past 36 processes (M3 cores)");
+    report.note("SpaceJMP >= MP throughout; MP drops past 36 processes (M3 cores).");
+    report.note("no-vm bounds the JMP design from below: base+bound translation");
+    report.note("with zero TLB misses and nothing to flush on a switch");
     report.finish();
 
     if tracer.enabled() {

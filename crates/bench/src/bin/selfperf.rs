@@ -29,6 +29,7 @@ use sjmp_genome::{run_pipeline, StorageMode, WorkloadConfig};
 use sjmp_gups::{run as run_gups, Design, GupsConfig};
 use sjmp_kv::{run_jmp, run_overload, KvBenchConfig, OverloadConfig};
 use sjmp_mem::cost::{MachineId, MachineProfile};
+use sjmp_mem::TranslationKind;
 use sjmp_sim::Arrival;
 use sjmp_trace::Json;
 
@@ -55,11 +56,19 @@ impl Probe {
     }
 }
 
-/// Times `f` on the host; `f` returns the simulated cycles it covered.
-fn probe(name: &'static str, f: impl FnOnce() -> u64) -> Probe {
-    let t0 = Instant::now();
-    let sim_cycles = f();
-    let host_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+/// Times `f` on the host, keeping the fastest of `iters` runs — the
+/// min is the noise-robust estimator for a deterministic workload,
+/// since host interference only ever adds time. `f` returns the
+/// simulated cycles it covered (identical across runs: the simulator
+/// is deterministic).
+fn probe(name: &'static str, iters: u32, mut f: impl FnMut() -> u64) -> Probe {
+    let mut host_ns = u64::MAX;
+    let mut sim_cycles = 0;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        sim_cycles = f();
+        host_ns = host_ns.min(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
     Probe {
         name,
         sim_cycles,
@@ -67,19 +76,99 @@ fn probe(name: &'static str, f: impl FnOnce() -> u64) -> Probe {
     }
 }
 
+/// Runs the JMP GUPS workload `iters` times per translation backend,
+/// keeping each backend's run with the fastest measured region. Unlike
+/// [`probe`], host time comes from [`sjmp_gups::GupsResult::host_ns`] —
+/// only the epochs the simulated cycle count covers, not setup — and
+/// the backends are *interleaved* round-robin, so a slow host phase
+/// penalizes all of them equally instead of whichever ran during it.
+fn gups_probes(cfg: &GupsConfig, iters: u32) -> Vec<(Probe, sjmp_gups::GupsResult)> {
+    let kinds = [
+        ("gups", TranslationKind::FourLevel),
+        ("gups/nocache", TranslationKind::FourLevelUncached),
+        ("gups/novm", TranslationKind::NoVm),
+    ];
+    let mut best: [Option<sjmp_gups::GupsResult>; 3] = [None; 3];
+    for _ in 0..iters.max(1) {
+        for ((name, kind), slot) in kinds.iter().zip(best.iter_mut()) {
+            let cfg = GupsConfig {
+                backend: *kind,
+                ..cfg.clone()
+            };
+            let r = run_gups(Design::Jmp, &cfg).expect(name);
+            if slot.is_none_or(|b| r.host_ns < b.host_ns) {
+                *slot = Some(r);
+            }
+        }
+    }
+    kinds
+        .iter()
+        .zip(best)
+        .map(|((name, _), r)| {
+            let r = r.expect("at least one iteration");
+            (
+                Probe {
+                    name,
+                    sim_cycles: r.cycles,
+                    host_ns: r.host_ns,
+                },
+                r,
+            )
+        })
+        .collect()
+}
+
 fn main() {
     let quick = quick_mode();
+    // Quick mode is a CI schema smoke — one iteration is enough; full
+    // runs take the best of three so the trajectory tracks simulator
+    // cost, not scheduler luck.
+    let iters = if quick { 1 } else { 3 };
 
-    let gups = probe("gups", || {
-        let cfg = GupsConfig {
-            windows: 8,
-            epochs: if quick { 32 } else { 192 },
-            ..GupsConfig::default()
-        };
-        run_gups(Design::Jmp, &cfg).expect("gups").cycles
-    });
+    // 8 MiB windows (2x the M3 TLB's 4 MiB reach) over many epochs:
+    // with tagging off every window switch flushes the TLB, so the
+    // measured region is dominated by the translation work the backend
+    // rows below compare — not by first-touch frame materialization,
+    // which a 64 MiB-window config spends most of its host time on.
+    let gups_cfg = GupsConfig {
+        windows: 8,
+        window_bytes: 8 << 20,
+        epochs: if quick { 32 } else { 768 },
+        ..GupsConfig::default()
+    };
+    // One discarded warmup run so the first timed probe doesn't absorb
+    // host-side one-time costs (allocator arenas, lazy page faults) —
+    // without it the backend comparison below measures warmup, not the
+    // walk cache.
+    let _ = run_gups(Design::Jmp, &gups_cfg).expect("gups warmup");
+    // The same GUPS run once per translation backend: the host walk
+    // cache must be invisible to the simulation (identical cycles and
+    // TLB misses, only host ns/sim-cycle may differ), and the no-VM
+    // base+bound backend must undercut the walking backend's cycles.
+    // These three probes use the run's own measured-region host time
+    // (`GupsResult::host_ns`) rather than timing the whole call, so the
+    // backend comparison is not diluted by VAS/segment construction —
+    // the host span matches exactly what `cycles` covers.
+    // The backend rows get extra rounds: the walk-cache delta they
+    // exist to expose is a few percent, so they need more noise
+    // suppression than the absolute per-workload rows do.
+    let mut trio = gups_probes(&gups_cfg, if quick { 1 } else { 5 }).into_iter();
+    let (gups, cached) = trio.next().expect("gups probe");
+    let (gups_nocache, uncached) = trio.next().expect("gups/nocache probe");
+    let (gups_novm, novm) = trio.next().expect("gups/novm probe");
+    assert_eq!(
+        (cached.cycles, cached.tlb_misses),
+        (uncached.cycles, uncached.tlb_misses),
+        "host walk cache leaked into the simulation"
+    );
+    assert!(
+        novm.cycles < cached.cycles,
+        "no-VM baseline must be a lower bound: {} vs {}",
+        novm.cycles,
+        cached.cycles
+    );
 
-    let kv = probe("kv", || {
+    let kv = probe("kv", iters, || {
         let cfg = KvBenchConfig {
             clients: 8,
             requests_per_client: if quick { 100 } else { 400 },
@@ -89,7 +178,7 @@ fn main() {
         run_jmp(&cfg).expect("kv").cycles
     });
 
-    let genome = probe("genome", || {
+    let genome = probe("genome", iters, || {
         let cfg = WorkloadConfig {
             records: if quick { 2_000 } else { 8_000 },
             ..WorkloadConfig::default()
@@ -100,7 +189,7 @@ fn main() {
         MachineProfile::of(MachineId::M2).secs_to_cycles(total_secs)
     });
 
-    let overload = probe("overload", || {
+    let overload = probe("overload", iters, || {
         let cfg = OverloadConfig {
             requests: if quick { 4_000 } else { 16_000 },
             clients: 2_000,
@@ -111,14 +200,14 @@ fn main() {
         MachineProfile::of(cfg.machine).secs_to_cycles(res.secs)
     });
 
-    let probes = [gups, kv, genome, overload];
+    let probes = [gups, gups_nocache, gups_novm, kv, genome, overload];
 
     let mut report = Report::new("selfperf");
     report.heading(&format!(
         "Self-perf: host cost per simulated cycle ({})",
         if quick { "quick" } else { "full" }
     ));
-    let w = &[10usize, 14, 12, 16];
+    let w = &[12usize, 14, 12, 16];
     report.header(&["workload", "sim cycles", "host ms", "ns/sim-cycle"], w);
     for p in &probes {
         report.row(
@@ -131,7 +220,13 @@ fn main() {
             w,
         );
     }
-    report.note("host times vary by machine; compare trends, not absolutes");
+    report.note("host times vary by machine; compare trends, not absolutes.");
+    report.note("full runs time each workload repeatedly after a warmup and");
+    report.note("keep the fastest run (interference only ever adds time).");
+    report.note("gups rows time only the measured epochs (setup excluded) so");
+    report.note("translation backends compare cleanly: gups/nocache repeats gups");
+    report.note("with the host walk cache off (identical sim cycles, asserted);");
+    report.note("gups/novm is the base+bound backend");
     report.note("trajectory: BENCH_selfperf.json (one entry per run)");
     report.finish();
 

@@ -281,6 +281,12 @@ fn check_overload(name: &str) -> Result<(), String> {
 /// The four workload families the self-perf harness must cover.
 const SELFPERF_WORKLOADS: [&str; 4] = ["gups", "kv", "genome", "overload"];
 
+/// Per-backend probes the self-perf *report table* must additionally
+/// carry: the host-walk-cache parity rerun and the no-VM baseline.
+/// Trajectory entries predating the backend refactor lack these, so
+/// only the table — regenerated every run — requires them.
+const SELFPERF_BACKEND_ROWS: [&str; 2] = ["gups/nocache", "gups/novm"];
+
 /// Schema gate for `results/selfperf.json` (the per-run table) and the
 /// `BENCH_selfperf.json` trajectory at the repo root. Host times are
 /// machine-dependent, so this validates shape only — the table must
@@ -311,12 +317,12 @@ fn check_selfperf(name: &str) -> Result<(), String> {
     let rows = require(section, &path, "rows")?
         .as_arr()
         .ok_or_else(|| format!("{path}: selfperf \"rows\" is not an array"))?;
-    for workload in SELFPERF_WORKLOADS {
+    for workload in SELFPERF_WORKLOADS.iter().chain(&SELFPERF_BACKEND_ROWS) {
         let found = rows.iter().any(|r| {
             r.as_arr()
                 .and_then(|cells| cells.first())
                 .and_then(Json::as_str)
-                == Some(workload)
+                == Some(*workload)
         });
         if !found {
             return Err(format!("{path}: no row for workload \"{workload}\""));
@@ -357,6 +363,98 @@ fn check_selfperf_trajectory() -> Result<(), String> {
                 require(entry, path, key)?;
             }
         }
+    }
+    Ok(())
+}
+
+/// Schema gate for the reports that grew translation-backend columns
+/// with the pluggable-backend refactor.
+///
+/// * `ablate_page_size` must carry the access-side touch-sweep section
+///   (columns `backend`/`page size`/`walks`/`tlb misses`/`tlb reach`/
+///   `cycles/touch`) with at least one row per backend, `4level` and
+///   `no-vm`, alongside the original construction-cost table.
+/// * `fig6_tlb_tagging` must carry the `no-vm` series column.
+/// * `fig8_gups` must carry the no-VM lower-bound section with the
+///   per-backend miss columns.
+fn check_backend_reports(name: &str) -> Result<(), String> {
+    if !matches!(name, "ablate_page_size" | "fig6_tlb_tagging" | "fig8_gups") {
+        return Ok(());
+    }
+    let path = format!("results/{name}.json");
+    let doc = load(&path)?;
+    let sections = require(&doc, &path, "sections")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"sections\" is not an array"))?;
+    let titled = |needle: &str| -> Result<&Json, String> {
+        sections
+            .iter()
+            .find(|s| {
+                s.get("title")
+                    .and_then(Json::as_str)
+                    .is_some_and(|t| t.contains(needle))
+            })
+            .ok_or_else(|| format!("{path}: no section titled like \"{needle}\""))
+    };
+    let columns = |section: &Json, cols: &[&str]| -> Result<(), String> {
+        let have = section
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: section has no columns"))?;
+        for col in cols {
+            if !have.iter().any(|c| c.as_str() == Some(col)) {
+                return Err(format!("{path}: missing column \"{col}\""));
+            }
+        }
+        Ok(())
+    };
+    match name {
+        "ablate_page_size" => {
+            titled("mmap construction cost")?;
+            let sweep = titled("Touch sweep")?;
+            columns(
+                sweep,
+                &[
+                    "backend",
+                    "page size",
+                    "walks",
+                    "tlb misses",
+                    "tlb reach",
+                    "cycles/touch",
+                ],
+            )?;
+            let rows = require(sweep, &path, "rows")?
+                .as_arr()
+                .ok_or_else(|| format!("{path}: sweep \"rows\" is not an array"))?;
+            for backend in ["4level", "no-vm"] {
+                let found = rows.iter().any(|r| {
+                    r.as_arr()
+                        .and_then(|cells| cells.first())
+                        .and_then(Json::as_str)
+                        == Some(backend)
+                });
+                if !found {
+                    return Err(format!("{path}: no touch-sweep row for \"{backend}\""));
+                }
+            }
+        }
+        "fig6_tlb_tagging" => {
+            let section = sections
+                .first()
+                .ok_or_else(|| format!("{path}: no sections recorded"))?;
+            columns(
+                section,
+                &["switch(tag off)", "switch(tag on)", "no switch", "no-vm"],
+            )?;
+        }
+        "fig8_gups" => {
+            let bound = titled("no-VM base+bound backend")?;
+            columns(
+                bound,
+                &["windows", "SpaceJMP", "no-vm", "tlb misses", "no-vm misses"],
+            )?;
+        }
+        _ => unreachable!("gated above"),
     }
     Ok(())
 }
@@ -474,6 +572,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         if let Err(e) = check_selfperf(name) {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = check_backend_reports(name) {
             eprintln!("FAIL {e}");
             return ExitCode::FAILURE;
         }

@@ -11,7 +11,7 @@
 //! *switches into* an address space containing it: shared if the segment
 //! is mapped read-only in that VAS, exclusive if mapped writable.
 
-use sjmp_mem::{Access, VirtAddr};
+use sjmp_mem::{Access, PageSize, VirtAddr};
 use sjmp_os::{Acl, Pid, VmObjectId};
 
 /// Segment identifier (the `sid` of the Figure 3 API).
@@ -149,6 +149,11 @@ pub struct Segment {
     lock: SegLock,
     /// Number of VASes this segment is attached to.
     attach_count: u64,
+    /// Page size used when mapping this segment into template trees.
+    /// Base pages unless the segment was created with
+    /// `seg_alloc_sized`; superpage segments must have naturally
+    /// aligned base, size, and backing.
+    page_size: PageSize,
 }
 
 impl Segment {
@@ -171,7 +176,25 @@ impl Segment {
             lockable: true,
             lock: SegLock::default(),
             attach_count: 0,
+            page_size: PageSize::default(),
         }
+    }
+
+    /// The page size this segment maps at.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Sets the mapping page size (builder-style; used by
+    /// `seg_alloc_sized` after validating alignment).
+    pub fn with_page_size(mut self, page_size: PageSize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Sets the mapping page size in place.
+    pub fn set_page_size(&mut self, page_size: PageSize) {
+        self.page_size = page_size;
     }
 
     /// The segment id.
@@ -387,5 +410,13 @@ mod tests {
         assert!(s.lockable());
         s.set_lockable(false);
         assert!(!s.lockable());
+    }
+
+    #[test]
+    fn page_size_defaults_to_base_and_is_builder_settable() {
+        let s = seg(0, 4096);
+        assert_eq!(s.page_size(), PageSize::Size4K);
+        let s2 = seg(0x4000_0000, 2 << 20).with_page_size(PageSize::Size2M);
+        assert_eq!(s2.page_size(), PageSize::Size2M);
     }
 }

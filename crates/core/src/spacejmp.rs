@@ -20,9 +20,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use sjmp_mem::paging::{self, PteFlags};
+use sjmp_mem::backend::TranslationBackend;
+use sjmp_mem::paging::PteFlags;
 use sjmp_mem::KernelFlavor;
-use sjmp_mem::{Access, VirtAddr, PAGE_SIZE};
+use sjmp_mem::{Access, PageSize, VirtAddr, PAGE_SIZE};
 use sjmp_os::kernel::{GLOBAL_HI, GLOBAL_LO, PRIVATE_HI};
 use sjmp_os::{
     Acl, CapKind, CapRights, Capability, CoreCtx, FaultOutcome, FaultSite, Kernel, MapPolicy, Mode,
@@ -631,7 +632,10 @@ impl SpaceJmp {
             return Err(SjError::NameTaken(name.to_string()));
         }
         let creds = self.kernel.process(pid)?.creds();
-        let root = paging::new_root(self.kernel.phys_mut()).map_err(OsError::from)?;
+        let backend = self.kernel.backend().clone();
+        let root = backend
+            .new_root(self.kernel.phys_mut())
+            .map_err(OsError::from)?;
         let vid = VasId(self.next_vid);
         self.next_vid += 1;
         self.vases
@@ -1211,7 +1215,11 @@ impl SpaceJmp {
                             .unregister_external_mapping(object, v.template_root());
                     }
                 }
-                paging::free_tables(self.kernel.phys_mut(), v.template_root(), &[]);
+                let backend = self.kernel.backend().clone();
+                backend.free_tables(self.kernel.phys_mut(), v.template_root(), &[]);
+                // Freed table frames may be recycled under a new root;
+                // stale host-side walks must not survive that.
+                self.kernel.flush_host_walk_caches();
             }
         }
         Ok(())
@@ -1628,6 +1636,52 @@ impl SpaceJmp {
         self.seg_register(pid, name, base, size, object, mode)
     }
 
+    /// Like [`Self::seg_alloc`], but mapping the segment with superpages
+    /// (2 MiB or 1 GiB) wherever it is attached. The virtual base and the
+    /// size must be naturally aligned to `page_size`, and the backing
+    /// physical range is allocated aligned so every leaf can be a real
+    /// superpage entry. Fewer, shallower leaves make attachment cheaper
+    /// to construct and give each TLB entry `page_size` bytes of reach —
+    /// the Section 6 mitigation for translation cost, as a first-class
+    /// segment property.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::seg_alloc`], plus [`OsError::Misaligned`] (wrapped in
+    /// [`SjError::Os`]) when `base` or `size` breaks the alignment rule.
+    pub fn seg_alloc_sized(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        base: VirtAddr,
+        size: u64,
+        mode: Mode,
+        page_size: PageSize,
+    ) -> SjResult<SegId> {
+        self.kernel.charge_entry_on(self.ctx(pid));
+        let size = self.seg_validate(name, base, size)?;
+        if page_size != PageSize::Size4K {
+            if !base.is_aligned(page_size.bytes()) {
+                return Err(SjError::Os(OsError::Misaligned {
+                    requested: base.raw(),
+                    page_size,
+                }));
+            }
+            if !size.is_multiple_of(page_size.bytes()) {
+                return Err(SjError::Os(OsError::Misaligned {
+                    requested: size,
+                    page_size,
+                }));
+            }
+        }
+        self.kernel.process(pid)?;
+        let object = self.kernel.alloc_object_aligned(None, size, page_size)?;
+        self.kernel.vmobject_mut(object)?.set_pinned(true);
+        let sid = self.seg_register(pid, name, base, size, object, mode)?;
+        self.segment_mut(sid)?.set_page_size(page_size);
+        Ok(sid)
+    }
+
     /// Like [`Self::seg_alloc`], but demand-paged and **swappable**: no
     /// physical frames are reserved up front, pages materialize on first
     /// touch, and under memory pressure the kernel's clock reclaimer may
@@ -1832,12 +1886,12 @@ impl SpaceJmp {
     ) -> SjResult<()> {
         self.kernel.charge_entry_on(self.ctx(pid));
         let creds = self.kernel.process(pid)?.creds();
-        let (base, size, object) = {
+        let (base, size, object, page_size) = {
             let seg = self.segment(sid)?;
             if !seg.acl().allows(creds, mode.required_access()) {
                 return Err(SjError::PermissionDenied);
             }
-            (seg.base(), seg.size(), seg.object())
+            (seg.base(), seg.size(), seg.object(), seg.page_size())
         };
         {
             let v = self.vas(vid)?;
@@ -1862,16 +1916,18 @@ impl SpaceJmp {
         let flags = attach_flags(mode);
         if self.kernel.vmobject(object)?.is_contiguous() {
             let pa = self.kernel.vmobject(object)?.base();
-            paging::map_region(
-                self.kernel.phys_mut(),
-                template_root,
-                base,
-                pa,
-                size,
-                sjmp_mem::PageSize::Size4K,
-                flags,
-            )
-            .map_err(OsError::from)?;
+            let backend = self.kernel.backend().clone();
+            backend
+                .map_region(
+                    self.kernel.phys_mut(),
+                    template_root,
+                    base,
+                    pa,
+                    size,
+                    page_size,
+                    flags,
+                )
+                .map_err(OsError::from)?;
         } else {
             // Demand-paged (swappable) segment: there is nothing to map
             // yet — leaves are installed by the major-fault path as pages
@@ -1881,8 +1937,10 @@ impl SpaceJmp {
             // sharing this tree.
             let first = base.pml4_index();
             let last = base.add(size - 1).pml4_index();
+            let backend = self.kernel.backend().clone();
             for slot in first..=last {
-                paging::ensure_root_slot(self.kernel.phys_mut(), template_root, slot)
+                backend
+                    .ensure_root_slot(self.kernel.phys_mut(), template_root, slot)
                     .map_err(OsError::from)?;
             }
             self.kernel
@@ -2011,7 +2069,9 @@ impl SpaceJmp {
             (s.base(), s.size(), s.object())
         };
         let template_root = self.vas(vid)?.template_root();
-        paging::unmap_region(self.kernel.phys_mut(), template_root, base, size)
+        let backend = self.kernel.backend().clone();
+        backend
+            .unmap_region(self.kernel.phys_mut(), template_root, base, size)
             .map_err(OsError::from)?;
         self.kernel
             .unregister_external_mapping(object, template_root);
@@ -2140,8 +2200,10 @@ impl SpaceJmp {
             )
         };
         let root = self.kernel.vmspace(space)?.root();
+        let backend = self.kernel.backend().clone();
         for slot in slots {
-            paging::link_subtree(self.kernel.phys_mut(), root, template_root, slot)
+            backend
+                .link_subtree(self.kernel.phys_mut(), root, template_root, slot)
                 .map_err(OsError::from)?;
             self.kernel.vmspace_mut(space)?.mark_shared_slot(slot);
             let splice = self.kernel.cost().table_splice;

@@ -2,7 +2,7 @@
 //! (Sections 3.1-3.2): first-class VASes, lockable segments, switching,
 //! sharing, persistence beyond process lifetime, and the heap runtime.
 
-use sjmp_mem::{KernelFlavor, MachineId, VirtAddr};
+use sjmp_mem::{KernelFlavor, MachineId, PageSize, VirtAddr};
 use sjmp_os::{Creds, Kernel, Mode, Pid};
 use spacejmp_core::{AttachMode, SegCtl, SjError, SpaceJmp, VasCtl, VasHeap};
 
@@ -954,4 +954,64 @@ fn segment_image_survives_a_reboot() {
     // Corrupt images are rejected.
     assert!(sj2.restore_segment(p2, b"garbage").is_err());
     assert!(sj2.restore_segment(p2, &image[..image.len() - 5]).is_err());
+}
+
+#[test]
+fn superpage_segments_map_with_huge_pages_end_to_end() {
+    // A 2 MiB-page segment allocated through seg_alloc_sized attaches and
+    // switches like any other segment, but reaches the TLB as superpage
+    // entries: one walk covers the whole 2 MiB, and interior touches hit.
+    let (mut sj, pid) = setup();
+    let va = VirtAddr::new(SEG_BASE); // 2 MiB-aligned by construction
+    let size = 4 << 20; // two 2 MiB pages
+    let vid = sj.vas_create(pid, "huge", Mode(0o660)).unwrap();
+    let sid = sj
+        .seg_alloc_sized(pid, "hseg", va, size, Mode(0o660), PageSize::Size2M)
+        .unwrap();
+    sj.seg_attach(pid, vid, sid, AttachMode::ReadWrite).unwrap();
+    let vh = sj.vas_attach(pid, vid).unwrap();
+    sj.vas_switch(pid, vh).unwrap();
+
+    let core = sj.kernel_mut().process(pid).unwrap().core();
+    let walks_before = {
+        let (mmu, _) = sj.kernel_mut().core_mem(core);
+        mmu.stats().walks
+    };
+
+    // Touch both superpages at interior offsets, then re-touch the first:
+    // two walks total, and the re-touch is a TLB hit.
+    sj.kernel_mut().store_u64(pid, va.add(0x12340), 1).unwrap();
+    sj.kernel_mut()
+        .store_u64(pid, va.add((2 << 20) + 0x998), 2)
+        .unwrap();
+    assert_eq!(sj.kernel_mut().load_u64(pid, va.add(0x12340)).unwrap(), 1);
+
+    let (mmu, _) = sj.kernel_mut().core_mem(core);
+    assert_eq!(mmu.stats().walks - walks_before, 2);
+    assert_eq!(mmu.tlb_mut().reach_bytes(), 2 * (2 << 20));
+
+    // Misaligned base or ragged size is rejected with the typed error.
+    let skew = VirtAddr::new(SEG_BASE + 0x10_0000_0000 + 0x1000);
+    let err = sj
+        .seg_alloc_sized(pid, "skew", skew, 2 << 20, Mode(0o660), PageSize::Size2M)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SjError::Os(sjmp_os::OsError::Misaligned { requested, .. }) if requested == skew.raw()
+    ));
+    let ragged = VirtAddr::new(SEG_BASE + 0x20_0000_0000);
+    let err = sj
+        .seg_alloc_sized(
+            pid,
+            "rag",
+            ragged,
+            (2 << 20) + 0x1000,
+            Mode(0o660),
+            PageSize::Size2M,
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SjError::Os(sjmp_os::OsError::Misaligned { .. })
+    ));
 }

@@ -25,9 +25,10 @@ pub const VA_BITS: u32 = 48;
 pub const PA_BITS: u32 = 46;
 
 /// Page sizes supported by the simulated MMU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum PageSize {
     /// 4 KiB base page (PTE level).
+    #[default]
     Size4K,
     /// 2 MiB superpage (PDE level, PS bit).
     Size2M,
@@ -393,5 +394,41 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn phys_addr_limit() {
         let _ = PhysAddr::new(1 << PA_BITS);
+    }
+
+    #[test]
+    fn one_gib_boundary_edge_cases() {
+        let gib = PageSize::Size1G.bytes();
+        assert_eq!(gib, 1 << 30);
+        assert_eq!(PageSize::Size1G.base_pages(), 262_144);
+        assert_eq!(
+            PageSize::Size1G.base_pages(),
+            PageSize::Size2M.base_pages() * 512
+        );
+        // Last byte of a 1 GiB page vs the first byte of the next.
+        let last = VirtAddr::new(2 * gib - 1);
+        assert_eq!(last.offset_in(PageSize::Size1G), gib - 1);
+        let next = last.add(1);
+        assert_eq!(next.offset_in(PageSize::Size1G), 0);
+        assert!(next.is_aligned(gib));
+        assert_eq!(next.align_down(gib), next);
+        assert_eq!(last.align_down(gib).raw(), gib);
+        assert_eq!(last.align_up(gib), next);
+        // A 1 GiB page spans exactly one PDPT slot: the PML4 index is
+        // constant across it and the PDPT index changes at the boundary.
+        assert_eq!(last.pml4_index(), next.pml4_index());
+        assert_eq!(last.pdpt_index() + 1, next.pdpt_index());
+        // offset_in at the 512 GiB (PML4 slot) edge stays within 1 GiB.
+        let high = VirtAddr::new((1u64 << 39) - 1);
+        assert_eq!(high.offset_in(PageSize::Size1G), gib - 1);
+        assert_eq!(
+            high.offset_in(PageSize::Size2M),
+            PageSize::Size2M.bytes() - 1
+        );
+    }
+
+    #[test]
+    fn page_size_default_is_base_page() {
+        assert_eq!(PageSize::default(), PageSize::Size4K);
     }
 }

@@ -140,7 +140,12 @@ pub struct CostModel {
     /// TLB lookup (charged on every translation, hit or miss).
     pub tlb_lookup: u64,
     /// Page-walk penalty on a TLB miss (warm paging-structure caches).
+    /// A full four-level walk; superpage leaves charge proportionally
+    /// fewer levels (3/4 for 2 MiB, 2/4 for 1 GiB).
     pub tlb_walk: u64,
+    /// Per-access base+bound check of the no-VM segment backend: a
+    /// register compare pair instead of a TLB lookup and walk.
+    pub segbound_check: u64,
     /// L1-resident data access (one cache line).
     pub cache_hit: u64,
     /// DRAM access (one cache line).
@@ -230,6 +235,7 @@ impl Default for CostModel {
         CostModel {
             tlb_lookup: 1,
             tlb_walk: 80,
+            segbound_check: 2,
             cache_hit: 4,
             dram_access: 200,
             cr3_load_untagged: 130,

@@ -13,6 +13,9 @@
 //!   mapping, unmapping, walking, and subtree sharing.
 //! * [`tlb`] — a set-associative TLB with 12-bit ASID tags, where tag zero
 //!   is reserved to always flush (the paper's convention).
+//! * [`backend`] — the pluggable translation seam ([`backend::Backend`]):
+//!   the four-level walker or the no-VM base+bound table.
+//! * [`segmap`] — the no-VM backend's shadow segment table.
 //! * [`mmu`] — CR3, translation, and data access with cycle accounting.
 //! * [`cost`] — machine profiles (Table 1) and event costs (Table 2,
 //!   Figure 1 anchors), plus the shared [`cost::CycleClock`].
@@ -44,6 +47,7 @@
 //! ```
 
 pub mod addr;
+pub mod backend;
 pub mod cost;
 pub mod error;
 pub mod machine;
@@ -51,9 +55,11 @@ pub mod mmu;
 pub mod paging;
 pub mod phys;
 pub mod rng;
+pub mod segmap;
 pub mod tlb;
 
 pub use addr::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
+pub use backend::{Backend, TranslationBackend, TranslationKind};
 pub use cost::{
     CoreClocks, CoreCtx, CostModel, CycleClock, KernelFlavor, MachineId, MachineProfile,
 };
@@ -63,4 +69,5 @@ pub use mmu::Mmu;
 pub use paging::PteFlags;
 pub use phys::PhysMem;
 pub use rng::SimRng;
+pub use segmap::SegMap;
 pub use tlb::{Asid, Tlb, TlbStats};

@@ -9,6 +9,7 @@
 //! built, each with its private TLB, CR3, stats, and per-core
 //! [`CycleClock`] drawn from one shared [`CoreClocks`] set.
 
+use crate::backend::Backend;
 use crate::cost::{CoreClocks, CostModel, MachineProfile};
 use crate::mmu::Mmu;
 use sjmp_trace::Tracer;
@@ -111,6 +112,30 @@ impl Machine {
     pub fn set_tagging(&mut self, enabled: bool) {
         for mmu in &mut self.mmus {
             mmu.set_tagging(enabled);
+        }
+    }
+
+    /// Installs `backend` on every core's MMU. Call before any address
+    /// space is populated so all cores translate through the same model.
+    pub fn set_backend(&mut self, backend: &Backend) {
+        for mmu in &mut self.mmus {
+            mmu.set_backend(backend.clone());
+        }
+    }
+
+    /// Enables or disables the host-side walk cache on every core.
+    pub fn set_host_walk_cache(&mut self, enabled: bool) {
+        for mmu in &mut self.mmus {
+            mmu.set_host_walk_cache(enabled);
+        }
+    }
+
+    /// Drops every core's host-side walk-cache entries. Must accompany
+    /// any page-table *free*: a recycled root frame would otherwise
+    /// resurrect the freed space's cached walks.
+    pub fn flush_host_walk_caches(&mut self) {
+        for mmu in &mut self.mmus {
+            mmu.flush_host_walk_cache();
         }
     }
 }

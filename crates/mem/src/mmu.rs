@@ -5,13 +5,85 @@
 //! through the MMU automatically produce the cycle totals that the paper's
 //! figures are computed from.
 
-use crate::addr::{Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use crate::addr::{PageSize, Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
+use crate::backend::{Backend, TranslationBackend};
 use crate::cost::{CostModel, CycleClock};
 use crate::error::{Access, MemError};
-use crate::paging::{self, PteFlags};
+use crate::paging::{self, PteFlags, Translation};
 use crate::phys::PhysMem;
 use crate::tlb::{Asid, Tlb, TlbStats};
 use sjmp_trace::{EventKind, Tracer};
+
+/// Environment variable that disables the host-side walk cache when set
+/// to `"0"` (CI uses it for byte-for-byte parity runs).
+pub const HOST_WALK_CACHE_ENV: &str = "SJMP_HOST_WALK_CACHE";
+
+/// One host-cache entry covering a 2 MiB-aligned slice of a root's
+/// virtual address space (the cache key is `(root, va >> 21)`).
+///
+/// Caching at paging-*structure* granularity rather than per 4 KiB page
+/// is what makes the cache pay off on sparse random workloads: GUPS
+/// touches each page roughly once (a per-page cache would never hit),
+/// but revisits the same few hundred 2 MiB ranges constantly.
+///
+/// Every entry is stamped with the [`PhysMem::table_generation`] it was
+/// built under; any page-table mutation anywhere bumps the generation,
+/// so a single integer compare on the hit path revalidates the entry
+/// against every map/unmap/protect/free since. Stale entries are simply
+/// overwritten by the re-walk's insert.
+#[derive(Debug, Clone)]
+enum FlatEntry {
+    /// The walk ends above this key's range with a single mapping: a
+    /// superpage leaf (which spans the whole 2 MiB range, or more).
+    /// For non-paging backends (the no-VM segment map) this memoizes one
+    /// size-aligned mapping; `va_base` guards hits so an entry never
+    /// answers for addresses outside the mapping it was built from.
+    Terminal {
+        gen: u64,
+        va_base: u64,
+        base: PhysAddr,
+        flags: PteFlags,
+        size: PageSize,
+        levels: u32,
+    },
+    /// A snapshot of the level-4 page table covering this range. While
+    /// the stamp matches, the snapshot is byte-identical to the live
+    /// table, so hits index it directly — no physical-memory access at
+    /// all. An absent snapshot entry faults exactly as a full walk
+    /// would, and is never treated as a cached failure.
+    Leaf {
+        gen: u64,
+        ptes: Box<[u64; crate::addr::ENTRIES_PER_TABLE as usize]>,
+    },
+}
+
+/// Multiply-xor hasher for the host cache's small fixed-width keys.
+/// SipHash (the `HashMap` default) shows up prominently in host
+/// profiles at GUPS update rates; this is one multiply per word.
+#[derive(Default)]
+struct FlatKeyHasher(u64);
+
+impl std::hash::Hasher for FlatKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+type HostCache = HashMap<(u64, u64), FlatEntry, BuildHasherDefault<FlatKeyHasher>>;
 
 /// MMU event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,11 +146,25 @@ pub struct Mmu {
     stats: MmuStats,
     tracer: Tracer,
     core_id: u32,
+    backend: Backend,
+    /// Host-side flattened walk cache, keyed by (root frame, 2 MiB VA
+    /// range) so entries survive CR3 loads — the win on switch-heavy
+    /// workloads. Pure host optimization: results are bit-identical with
+    /// it on or off. Any path that frees page tables must call
+    /// [`Mmu::flush_host_walk_cache`], or a reused root frame could
+    /// resurrect stale entries.
+    host_cache: HostCache,
+    host_cache_enabled: bool,
 }
 
 impl Mmu {
-    /// Creates an MMU with the given TLB geometry, cost model, and clock.
+    /// Creates an MMU with the given TLB geometry, cost model, and clock,
+    /// using the default four-level backend. The host walk cache is on
+    /// unless [`HOST_WALK_CACHE_ENV`] is set to `"0"`.
     pub fn new(tlb_entries: usize, tlb_ways: usize, cost: CostModel, clock: CycleClock) -> Self {
+        let host_cache_enabled = std::env::var(HOST_WALK_CACHE_ENV)
+            .map(|v| v != "0")
+            .unwrap_or(true);
         Mmu {
             tlb: Tlb::new(tlb_entries, tlb_ways),
             cr3: None,
@@ -89,7 +175,46 @@ impl Mmu {
             stats: MmuStats::default(),
             tracer: Tracer::disabled(),
             core_id: 0,
+            backend: Backend::default(),
+            host_cache: HostCache::default(),
+            host_cache_enabled,
         }
+    }
+
+    /// Installs a translation backend. Call before any mappings exist:
+    /// backends that keep shadow state (the no-VM segment table) only
+    /// see operations routed through them.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.host_cache.clear();
+        self.backend = backend;
+    }
+
+    /// The translation backend in effect.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Enables or disables the host-side walk cache. Disabling clears
+    /// it. Simulated cycles and counters are identical either way — the
+    /// knob only affects host wall-time (and parity checks prove it).
+    pub fn set_host_walk_cache(&mut self, enabled: bool) {
+        self.host_cache_enabled = enabled;
+        if !enabled {
+            self.host_cache.clear();
+        }
+    }
+
+    /// Whether the host-side walk cache is enabled.
+    pub fn host_walk_cache_enabled(&self) -> bool {
+        self.host_cache_enabled
+    }
+
+    /// Drops every host-side walk-cache entry. Required whenever page
+    /// tables are *freed* (a recycled root frame must not resurrect the
+    /// old space's cached walks); mapping changes under a live root are
+    /// already covered by [`Mmu::invlpg`] / [`Mmu::flush_tlb`].
+    pub fn flush_host_walk_cache(&mut self) {
+        self.host_cache.clear();
     }
 
     /// Attaches a tracer; `core_id` stamps this MMU's events with the
@@ -161,6 +286,30 @@ impl Mmu {
     /// switch" exactly as the paper's implementations behave, while
     /// entries belonging to other tags survive.
     pub fn load_cr3(&mut self, root: Pfn, asid: Asid) {
+        // The host walk cache is keyed per root, so it needs no
+        // invalidation here: entries for the outgoing space stay warm
+        // for the next switch back (host-side only, never the result).
+        if self.backend.is_seg_map() {
+            // No TLB under base+bound: the switch is the root-register
+            // write alone, charged at the untagged CR3 price.
+            self.tracer.begin(
+                self.clock.now(),
+                self.core_id,
+                EventKind::Cr3Load,
+                u64::from(asid.0),
+            );
+            self.clock.advance(self.cost.cr3_load(false));
+            self.stats.cr3_loads += 1;
+            self.cr3 = Some(root);
+            self.asid = asid;
+            self.tracer.end(
+                self.clock.now(),
+                self.core_id,
+                EventKind::Cr3Load,
+                u64::from(asid.0),
+            );
+            return;
+        }
         let tagged = self.tagging && asid.is_tagged();
         self.tracer.begin(
             self.clock.now(),
@@ -199,6 +348,7 @@ impl Mmu {
     /// through the freed tables must become [`MemError::NoAddressSpace`]
     /// instead of walks through reused frames.
     pub fn clear_cr3(&mut self) {
+        self.host_cache.clear();
         self.cr3 = None;
         self.asid = Asid::UNTAGGED;
         self.tlb.flush_nonglobal();
@@ -208,11 +358,17 @@ impl Mmu {
 
     /// Invalidates one page's translation (mapping changed under us).
     pub fn invlpg(&mut self, va: VirtAddr) {
+        // A 1 GiB superpage walk is memoized under many 2 MiB keys, and
+        // the same leaf table may back other roots' keys; clearing the
+        // whole host cache is the simple correct invalidation.
+        self.host_cache.clear();
         self.tlb.flush_page(va.vpn());
     }
 
     /// Flushes all non-global TLB entries (explicit shootdown).
     pub fn flush_tlb(&mut self) {
+        self.host_cache.clear();
+        self.backend.flush(self.cr3.unwrap_or(Pfn(0)));
         self.tlb.flush_nonglobal();
         self.tracer
             .instant(self.clock.now(), self.core_id, EventKind::TlbFlush, 0, 0);
@@ -233,8 +389,11 @@ impl Mmu {
     ) -> Result<PhysAddr, MemError> {
         let root = self.cr3.ok_or(MemError::NoAddressSpace)?;
         self.stats.translations += 1;
+        if self.backend.is_seg_map() {
+            return self.translate_segbound(phys, root, va, access);
+        }
         self.clock.advance(self.cost.tlb_lookup);
-        if let Some((frame_base, flags)) = self.tlb.lookup(self.asid, va.vpn()) {
+        if let Some((page_base, flags, size)) = self.tlb.lookup(self.asid, va.vpn()) {
             if !flags.permits(access) {
                 self.stats.faults += 1;
                 return Err(MemError::ProtectionFault { va, access });
@@ -246,17 +405,27 @@ impl Mmu {
                 u64::from(self.asid.0),
                 0,
             );
-            return Ok(frame_base.add(va.page_offset()));
+            return Ok(page_base.add(va.offset_in(size)));
         }
-        // TLB miss: walk the tables.
+        // TLB miss: walk the tables (through the host-side walk cache,
+        // which changes host time only — never the result).
         self.stats.walks += 1;
         let asid = u64::from(self.asid.0);
         self.tracer
             .instant(self.clock.now(), self.core_id, EventKind::TlbMiss, asid, 0);
         self.tracer
             .begin(self.clock.now(), self.core_id, EventKind::PageWalk, asid);
-        self.clock.advance(self.cost.tlb_walk);
-        let walked = paging::walk(phys, root, va).map_err(|e| {
+        let walked = self.walk_backend(phys, root, va);
+        // Charge per level visited: a superpage leaf ends the walk early
+        // (2 levels for 1 GiB, 3 for 2 MiB, 4 for 4 KiB); a failed walk
+        // pays the full depth before faulting.
+        match &walked {
+            Ok((_, levels)) => self
+                .clock
+                .advance(self.cost.tlb_walk * u64::from(*levels) / 4),
+            Err(_) => self.clock.advance(self.cost.tlb_walk),
+        }
+        let walked = walked.map_err(|e| {
             self.stats.faults += 1;
             match e {
                 MemError::PageFault { va, .. } => MemError::PageFault { va, access },
@@ -270,11 +439,117 @@ impl Mmu {
             self.stats.faults += 1;
             return Err(MemError::ProtectionFault { va, access });
         }
-        let frame_base = PhysAddr::new(tr.pa.raw() & !(PAGE_SIZE - 1));
+        let page_base = PhysAddr::new(tr.pa.raw() & !(tr.size.bytes() - 1));
         let global = tr.flags.contains(PteFlags::GLOBAL);
         self.tlb
-            .insert(self.asid, va.vpn(), frame_base, tr.flags, global);
-        Ok(frame_base.add(va.page_offset()))
+            .insert(self.asid, va.vpn(), page_base, tr.flags, global, tr.size);
+        Ok(page_base.add(va.offset_in(tr.size)))
+    }
+
+    /// The no-VM fast path: one base+bound check, no TLB, no walk.
+    fn translate_segbound(
+        &mut self,
+        phys: &mut PhysMem,
+        root: Pfn,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<PhysAddr, MemError> {
+        self.clock.advance(self.cost.segbound_check);
+        let walked = self.walk_backend(phys, root, va).map_err(|e| {
+            self.stats.faults += 1;
+            match e {
+                MemError::PageFault { va, .. } => MemError::PageFault { va, access },
+                other => other,
+            }
+        });
+        let (tr, _levels) = walked?;
+        if !tr.flags.permits(access) {
+            self.stats.faults += 1;
+            return Err(MemError::ProtectionFault { va, access });
+        }
+        Ok(tr.pa)
+    }
+
+    /// Resolves `va` through the backend, memoizing at paging-structure
+    /// granularity in the host-side cache: superpage (and no-VM) walks
+    /// as coverage-checked terminals, 4 KiB walks as a generation-
+    /// stamped snapshot of the whole leaf table. Failed walks are never
+    /// cached, and a snapshot's absent entries fault exactly like the
+    /// live table's, so the fault-then-map-then-retry path needs no
+    /// explicit invalidation — the map itself bumps the generation.
+    fn walk_backend(
+        &mut self,
+        phys: &mut PhysMem,
+        root: Pfn,
+        va: VirtAddr,
+    ) -> Result<(Translation, u32), MemError> {
+        let key = (root.0, va.raw() >> 21);
+        if self.host_cache_enabled {
+            let live_gen = phys.table_generation();
+            match self.host_cache.get(&key) {
+                Some(FlatEntry::Terminal {
+                    gen,
+                    va_base,
+                    base,
+                    flags,
+                    size,
+                    levels,
+                }) if *gen == live_gen && va.raw() & !(size.bytes() - 1) == *va_base => {
+                    let tr = Translation {
+                        pa: base.add(va.offset_in(*size)),
+                        flags: *flags,
+                        size: *size,
+                    };
+                    return Ok((tr, *levels));
+                }
+                Some(FlatEntry::Leaf { gen, ptes }) if *gen == live_gen => {
+                    return match paging::decode_pte(ptes[va.pt_index()]) {
+                        Some((page, flags)) => Ok((
+                            Translation {
+                                pa: page.add(va.page_offset()),
+                                flags,
+                                size: PageSize::Size4K,
+                            },
+                            4,
+                        )),
+                        // Exactly what a full walk would return: the
+                        // leaf table exists but this PTE is absent.
+                        None => Err(MemError::PageFault {
+                            va,
+                            access: Access::Read,
+                        }),
+                    };
+                }
+                _ => {}
+            }
+        }
+        let backend = self.backend.clone();
+        let walked = backend.translate(phys, root, va);
+        if self.host_cache_enabled {
+            if let Ok((tr, levels)) = &walked {
+                // The walk only *read* tables, so the generation it ran
+                // under is still current for the snapshot's stamp.
+                let gen = phys.table_generation();
+                let entry = if *levels == 4 {
+                    paging::leaf_table(phys, root, va).map(|pt| FlatEntry::Leaf {
+                        gen,
+                        ptes: paging::leaf_entries(phys, pt),
+                    })
+                } else {
+                    None
+                };
+                let entry = entry.unwrap_or(FlatEntry::Terminal {
+                    gen,
+                    va_base: va.raw() & !(tr.size.bytes() - 1),
+                    base: PhysAddr::new(tr.pa.raw() & !(tr.size.bytes() - 1)),
+                    flags: tr.flags,
+                    size: tr.size,
+                    levels: *levels,
+                });
+                self.host_cache.insert(key, entry);
+            }
+        }
+        walked
     }
 
     /// Charges the tier cost of touching `pa`: DRAM accesses cost one
@@ -396,6 +671,7 @@ impl Mmu {
 mod tests {
     use super::*;
     use crate::addr::PageSize;
+    use crate::paging;
 
     fn setup() -> (PhysMem, Mmu, Pfn) {
         let mut phys = PhysMem::new(1 << 22);
@@ -606,5 +882,277 @@ mod tests {
         mmu.load_cr3(root, Asid::UNTAGGED); // flushes non-global only
         mmu.touch(&mut phys, VirtAddr::new(0x5000)).unwrap();
         assert_eq!(mmu.stats().walks, 1, "global entry survived the flush");
+    }
+
+    #[test]
+    fn superpage_walk_charges_fewer_levels_and_offsets_within_page() {
+        let mut phys = PhysMem::new(16 << 20);
+        let root = paging::new_root(&mut phys).unwrap();
+        let base = PhysAddr::new(0x40_0000);
+        paging::map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x20_0000),
+            base,
+            PageSize::Size2M,
+            PteFlags::USER | PteFlags::WRITABLE,
+        )
+        .unwrap();
+        let mut mmu = Mmu::new(64, 4, CostModel::default(), CycleClock::new());
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        let c = CostModel::default();
+
+        // Miss: a 2 MiB leaf ends the walk at level 3 of 4.
+        let t0 = mmu.clock().now();
+        let pa = mmu
+            .translate(&mut phys, VirtAddr::new(0x20_0000 + 0x12345), Access::Read)
+            .unwrap();
+        assert_eq!(mmu.clock().since(t0), c.tlb_lookup + c.tlb_walk * 3 / 4);
+        assert_eq!(pa, base.add(0x12345), "interior offset maps linearly");
+
+        // Hit anywhere inside the superpage: one TLB entry covers it all.
+        let t1 = mmu.clock().now();
+        let pa2 = mmu
+            .translate(
+                &mut phys,
+                VirtAddr::new(0x20_0000 + 0x1F_F000),
+                Access::Read,
+            )
+            .unwrap();
+        assert_eq!(mmu.clock().since(t1), c.tlb_lookup);
+        assert_eq!(pa2, base.add(0x1F_F000));
+        assert_eq!(mmu.stats().walks, 1);
+        assert_eq!(mmu.tlb_stats().hits, 1);
+        assert_eq!(mmu.tlb_mut().reach_bytes(), PageSize::Size2M.bytes());
+    }
+
+    #[test]
+    fn host_walk_cache_is_invisible_to_simulated_state() {
+        let run = |cache: bool| {
+            let (mut phys, mut mmu, root) = setup();
+            map_page(&mut phys, root, 0x1000, true);
+            map_page(&mut phys, root, 0x2000, false);
+            mmu.set_host_walk_cache(cache);
+            mmu.load_cr3(root, Asid::UNTAGGED);
+            for _ in 0..3 {
+                mmu.touch(&mut phys, VirtAddr::new(0x1000)).unwrap();
+                mmu.touch(&mut phys, VirtAddr::new(0x2000)).unwrap();
+                mmu.invlpg(VirtAddr::new(0x1000));
+            }
+            (mmu.clock().now(), mmu.stats(), mmu.tlb_stats())
+        };
+        let (cycles_on, stats_on, tlb_on) = run(true);
+        let (cycles_off, stats_off, tlb_off) = run(false);
+        assert_eq!(cycles_on, cycles_off);
+        assert_eq!(stats_on, stats_off);
+        assert_eq!((tlb_on.hits, tlb_on.misses), (tlb_off.hits, tlb_off.misses));
+    }
+
+    #[test]
+    fn host_walk_cache_invalidated_by_unmap_via_invlpg() {
+        let (mut phys, mut mmu, root) = setup();
+        let pa = map_page(&mut phys, root, 0x3000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x3000), Access::Read)
+                .unwrap(),
+            pa
+        );
+        // Remap the page to a new frame, as the kernel would on
+        // copy-on-write: unmap, invlpg, map elsewhere.
+        paging::unmap(&mut phys, root, VirtAddr::new(0x3000)).unwrap();
+        mmu.invlpg(VirtAddr::new(0x3000));
+        let new_pa = map_page(&mut phys, root, 0x3000, true);
+        assert_ne!(new_pa, pa);
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x3000), Access::Read)
+                .unwrap(),
+            new_pa,
+            "stale host-cache entry must not survive invlpg"
+        );
+    }
+
+    #[test]
+    fn host_walk_cache_is_keyed_per_root_across_cr3_loads() {
+        // The same VA maps to different frames in two address spaces;
+        // cached walks for one root must never answer for the other,
+        // and entries survive switching away and back.
+        let (mut phys, mut mmu, root_a) = setup();
+        let root_b = paging::new_root(&mut phys).unwrap();
+        let pa_a = map_page(&mut phys, root_a, 0x5000, true);
+        let frame_b = phys.alloc_frame().unwrap();
+        paging::map(
+            &mut phys,
+            root_b,
+            VirtAddr::new(0x5000),
+            frame_b.base(),
+            PageSize::Size4K,
+            PteFlags::USER | PteFlags::WRITABLE,
+        )
+        .unwrap();
+
+        mmu.load_cr3(root_a, Asid::UNTAGGED);
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x5000), Access::Read)
+                .unwrap(),
+            pa_a
+        );
+        mmu.load_cr3(root_b, Asid::UNTAGGED);
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x5000), Access::Read)
+                .unwrap(),
+            frame_b.base(),
+            "root B must not see root A's cached walk"
+        );
+        mmu.load_cr3(root_a, Asid::UNTAGGED);
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x5000), Access::Read)
+                .unwrap(),
+            pa_a,
+            "root A's entry survives the round trip"
+        );
+    }
+
+    #[test]
+    fn host_walk_cache_flush_guards_root_frame_reuse() {
+        let (mut phys, mut mmu, root) = setup();
+        let pa = map_page(&mut phys, root, 0x7000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x7000), Access::Read)
+                .unwrap(),
+            pa
+        );
+        // Free the space's tables and build a new space whose root lands
+        // on the recycled frame; the explicit flush (which every
+        // table-freeing path must issue) prevents resurrection.
+        paging::free_tables(&mut phys, root, &[]);
+        mmu.flush_host_walk_cache();
+        let root2 = paging::new_root(&mut phys).unwrap();
+        assert_eq!(root2, root, "test premise: the root frame is recycled");
+        mmu.load_cr3(root2, Asid::UNTAGGED);
+        assert!(
+            mmu.translate(&mut phys, VirtAddr::new(0x7000), Access::Read)
+                .is_err(),
+            "freed space's walk must not resurface under the reused root"
+        );
+    }
+
+    #[test]
+    fn host_walk_cache_snapshot_sees_maps_into_live_leaf_table() {
+        // A Leaf snapshot memoizes the whole 4 KiB leaf table under one
+        // (root, 2 MiB) key. Mapping a *new* page into that same table
+        // bumps the table generation, so the stale snapshot must not
+        // keep answering — even with no invlpg/flush in between.
+        let (mut phys, mut mmu, root) = setup();
+        let pa_a = map_page(&mut phys, root, 0x10_0000, true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        // First translate walks and snapshots the leaf table; second
+        // answers from the snapshot.
+        for _ in 0..2 {
+            assert_eq!(
+                mmu.translate(&mut phys, VirtAddr::new(0x10_0000), Access::Read)
+                    .unwrap(),
+                pa_a
+            );
+        }
+        // Neighbour page, same leaf table: the snapshot (taken before
+        // this map) has an absent PTE here, so it must fault...
+        assert!(
+            mmu.translate(&mut phys, VirtAddr::new(0x10_1000), Access::Read)
+                .is_err(),
+            "unmapped neighbour must fault exactly like a live walk"
+        );
+        let pa_b = map_page(&mut phys, root, 0x10_1000, true);
+        // ...and the map's generation bump must invalidate it, with no
+        // explicit flush.
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x10_1000), Access::Read)
+                .unwrap(),
+            pa_b,
+            "generation bump must invalidate the stale leaf snapshot"
+        );
+        // A still-unmapped slot in the re-snapshotted table faults.
+        assert!(mmu
+            .translate(&mut phys, VirtAddr::new(0x10_2000), Access::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn segmap_backend_translates_by_bounds_check_without_tlb() {
+        let (mut phys, mut mmu, root) = setup();
+        mmu.set_backend(Backend::seg_map());
+        let pa = {
+            let frame = phys.alloc_frame().unwrap();
+            mmu.backend()
+                .map(
+                    &mut phys,
+                    root,
+                    VirtAddr::new(0x1000),
+                    frame.base(),
+                    PageSize::Size4K,
+                    PteFlags::USER | PteFlags::WRITABLE,
+                )
+                .unwrap();
+            frame.base()
+        };
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        let c = CostModel::default();
+        let t0 = mmu.clock().now();
+        let cr3_cost = c.cr3_load(false);
+        assert_eq!(t0, cr3_cost, "no-VM cr3 load charges the untagged cost");
+
+        for i in 0..4u64 {
+            let t = mmu.clock().now();
+            assert_eq!(
+                mmu.translate(&mut phys, VirtAddr::new(0x1000 + i * 8), Access::Read)
+                    .unwrap(),
+                pa.add(i * 8)
+            );
+            assert_eq!(mmu.clock().since(t), c.segbound_check);
+        }
+        assert_eq!(mmu.stats().walks, 0, "no page walks in no-VM mode");
+        assert_eq!(mmu.tlb_stats().hits + mmu.tlb_stats().misses, 0);
+
+        // Out of every segment: a fault, charged the same bounds check.
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x9000), Access::Read),
+            Err(MemError::PageFault {
+                va: VirtAddr::new(0x9000),
+                access: Access::Read,
+            })
+        );
+        assert_eq!(mmu.stats().faults, 1);
+
+        // Write to a read-only segment: protection fault.
+        mmu.backend()
+            .protect(&mut phys, root, VirtAddr::new(0x1000), PteFlags::USER)
+            .unwrap();
+        mmu.invlpg(VirtAddr::new(0x1000));
+        assert_eq!(
+            mmu.translate(&mut phys, VirtAddr::new(0x1000), Access::Write),
+            Err(MemError::ProtectionFault {
+                va: VirtAddr::new(0x1000),
+                access: Access::Write,
+            })
+        );
+    }
+
+    #[test]
+    fn segmap_cr3_load_skips_tlb_flush_accounting() {
+        let (mut phys, mut mmu, root) = setup();
+        let other = paging::new_root(&mut phys).unwrap();
+        mmu.set_backend(Backend::seg_map());
+        mmu.set_tagging(true);
+        mmu.load_cr3(root, Asid::UNTAGGED);
+        mmu.load_cr3(other, Asid(5));
+        let c = CostModel::default();
+        assert_eq!(
+            mmu.clock().now(),
+            2 * c.cr3_load(false),
+            "no-VM switches never pay the tagged-reload premium"
+        );
+        assert_eq!(mmu.stats().cr3_loads, 2);
+        assert_eq!(mmu.tlb_stats().flushes, 0, "no TLB to flush");
     }
 }

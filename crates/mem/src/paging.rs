@@ -173,6 +173,7 @@ fn read_entry(phys: &mut PhysMem, table: Pfn, index: usize) -> u64 {
 }
 
 fn write_entry(phys: &mut PhysMem, table: Pfn, index: usize, entry: u64) {
+    phys.bump_table_generation();
     let bytes = phys.frame_bytes_mut(table);
     let off = index * 8;
     bytes[off..off + 8].copy_from_slice(&entry.to_le_bytes());
@@ -338,6 +339,7 @@ pub fn map_region(
         let remaining = (end.raw() - cur_va.raw()) / PAGE_SIZE;
         let count = in_table.min(remaining);
         {
+            phys.bump_table_generation();
             let bytes = phys.frame_bytes_mut(pt);
             for i in 0..count as usize {
                 let off = (first + i) * 8;
@@ -565,6 +567,7 @@ pub fn unmap_region(
         let remaining = (end.raw() - cur.raw()) / PAGE_SIZE;
         let count = in_table.min(remaining);
         {
+            phys.bump_table_generation();
             let bytes = phys.frame_bytes_mut(pt);
             for i in 0..count as usize {
                 let off = (first + i) * 8;
@@ -642,6 +645,107 @@ pub fn walk(phys: &mut PhysMem, root: Pfn, va: VirtAddr) -> Result<(Translation,
         },
         4,
     ))
+}
+
+/// The level-4 (leaf) page table covering `va`, if the walk path to it
+/// exists and is not terminated early by a superpage. The host-side
+/// flattened walk cache uses this to find the table to snapshot
+/// ([`leaf_entries`]) after a walk bottoms out at 4 KiB.
+pub fn leaf_table(phys: &mut PhysMem, root: Pfn, va: VirtAddr) -> Option<Pfn> {
+    let pml4e = read_entry(phys, root, va.pml4_index());
+    if !entry_present(pml4e) {
+        return None;
+    }
+    let pdpte = read_entry(phys, entry_addr(pml4e).pfn(), va.pdpt_index());
+    if !entry_present(pdpte) || entry_flags(pdpte).contains(PteFlags::HUGE) {
+        return None;
+    }
+    let pde = read_entry(phys, entry_addr(pdpte).pfn(), va.pd_index());
+    if !entry_present(pde) || entry_flags(pde).contains(PteFlags::HUGE) {
+        return None;
+    }
+    Some(entry_addr(pde).pfn())
+}
+
+/// Copies leaf table `pt`'s 512 raw entries. The host-side walk cache
+/// snapshots whole leaf tables with this and stamps each snapshot with
+/// [`PhysMem::table_generation`]; since every table mutation bumps the
+/// generation, a snapshot whose stamp still matches is byte-identical
+/// to the live table and can serve PTE reads without touching `phys`.
+pub fn leaf_entries(phys: &mut PhysMem, pt: Pfn) -> Box<[u64; ENTRIES_PER_TABLE as usize]> {
+    let bytes = phys.frame_bytes_mut(pt);
+    let mut out = Box::new([0u64; ENTRIES_PER_TABLE as usize]);
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        out[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    out
+}
+
+/// Decodes a raw 4 KiB leaf PTE (as stored in a table or a
+/// [`leaf_entries`] snapshot): the mapped page base and flags, or
+/// `None` if the entry is not present — exactly what a full walk
+/// concludes at level four.
+pub fn decode_pte(pte: u64) -> Option<(PhysAddr, PteFlags)> {
+    if !entry_present(pte) {
+        return None;
+    }
+    Some((entry_addr(pte), entry_flags(pte)))
+}
+
+/// Rewrites the permission flags of the leaf entry covering `va`,
+/// preserving its physical target and page size (the PS bit for
+/// superpages). `mprotect`-style: the entry stays present.
+///
+/// # Errors
+///
+/// Returns [`MemError::PageFault`] if no translation exists.
+pub fn protect(
+    phys: &mut PhysMem,
+    root: Pfn,
+    va: VirtAddr,
+    flags: PteFlags,
+) -> Result<(), MemError> {
+    let fault = MemError::PageFault {
+        va,
+        access: Access::Read,
+    };
+    let new_flags = flags | PteFlags::PRESENT;
+    let pml4e = read_entry(phys, root, va.pml4_index());
+    if !entry_present(pml4e) {
+        return Err(fault);
+    }
+    let pdpt = entry_addr(pml4e).pfn();
+    let pdpte = read_entry(phys, pdpt, va.pdpt_index());
+    if !entry_present(pdpte) {
+        return Err(fault);
+    }
+    if entry_flags(pdpte).contains(PteFlags::HUGE) {
+        let e = make_entry(entry_addr(pdpte), new_flags | PteFlags::HUGE);
+        write_entry(phys, pdpt, va.pdpt_index(), e);
+        return Ok(());
+    }
+    let pd = entry_addr(pdpte).pfn();
+    let pde = read_entry(phys, pd, va.pd_index());
+    if !entry_present(pde) {
+        return Err(fault);
+    }
+    if entry_flags(pde).contains(PteFlags::HUGE) {
+        let e = make_entry(entry_addr(pde), new_flags | PteFlags::HUGE);
+        write_entry(phys, pd, va.pd_index(), e);
+        return Ok(());
+    }
+    let pt = entry_addr(pde).pfn();
+    let pte = read_entry(phys, pt, va.pt_index());
+    if !entry_present(pte) {
+        return Err(fault);
+    }
+    write_entry(
+        phys,
+        pt,
+        va.pt_index(),
+        make_entry(entry_addr(pte), new_flags),
+    );
+    Ok(())
 }
 
 /// Links the subtree rooted under `src_root[pml4_index]` into `dst_root` at
@@ -768,6 +872,7 @@ pub fn collect_table_frames(
 /// `shared` lists PML4 slots whose subtrees are shared with other roots and
 /// must not be freed.
 pub fn free_tables(phys: &mut PhysMem, root: Pfn, shared: &[usize]) {
+    phys.bump_table_generation();
     for i in 0..ENTRIES_PER_TABLE as usize {
         if shared.contains(&i) {
             continue;
@@ -1155,6 +1260,51 @@ mod tests {
         .unwrap();
         let (t, _) = walk(&mut phys, root, va).unwrap();
         assert_eq!(t.pa.raw(), 0x8000);
+    }
+
+    #[test]
+    fn protect_rewrites_leaf_flags_across_page_sizes() {
+        let (mut phys, root) = setup();
+        let rw = PteFlags::USER | PteFlags::WRITABLE;
+        map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x2000),
+            PageSize::Size4K,
+            rw,
+        )
+        .unwrap();
+        protect(&mut phys, root, VirtAddr::new(0x1000), PteFlags::USER).unwrap();
+        let (t, _) = walk(&mut phys, root, VirtAddr::new(0x1000)).unwrap();
+        assert!(!t.flags.contains(PteFlags::WRITABLE));
+        assert_eq!(t.pa.raw(), 0x2000, "target preserved");
+
+        map(
+            &mut phys,
+            root,
+            VirtAddr::new(0x20_0000),
+            PhysAddr::new(0x40_0000),
+            PageSize::Size2M,
+            rw,
+        )
+        .unwrap();
+        protect(
+            &mut phys,
+            root,
+            VirtAddr::new(0x20_0000 + 0x999),
+            PteFlags::USER,
+        )
+        .unwrap();
+        let (t2, levels) = walk(&mut phys, root, VirtAddr::new(0x20_0000 + 0x999)).unwrap();
+        assert!(!t2.flags.contains(PteFlags::WRITABLE));
+        assert_eq!(t2.size, PageSize::Size2M, "PS bit preserved");
+        assert_eq!(levels, 3);
+
+        assert!(matches!(
+            protect(&mut phys, root, VirtAddr::new(0x9000_0000), PteFlags::USER),
+            Err(MemError::PageFault { .. })
+        ));
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct PhysMem {
     /// that was entirely zero, so swapped-out untouched pages stay
     /// sparse just like resident ones.
     swap: SwapDev,
+    /// Monotone counter bumped by [`crate::paging`] on every page-table
+    /// mutation (entry writes, table frees). The MMU's host-side walk
+    /// cache stamps its snapshots with this, so a single integer compare
+    /// revalidates a snapshot against *any* table change anywhere.
+    table_gen: u64,
 }
 
 impl PhysMem {
@@ -85,7 +90,20 @@ impl PhysMem {
             nvm_boundary: None,
             next_nvm_frame: 0,
             swap: SwapDev::new(PAGE_SIZE),
+            table_gen: 0,
         }
+    }
+
+    /// The page-table write generation: bumped on every table mutation.
+    /// Host-side caches compare stamps against this to revalidate.
+    pub fn table_generation(&self) -> u64 {
+        self.table_gen
+    }
+
+    /// Records a page-table mutation (called by [`crate::paging`]'s
+    /// entry writers), invalidating every generation-stamped snapshot.
+    pub(crate) fn bump_table_generation(&mut self) {
+        self.table_gen += 1;
     }
 
     /// Declares the top `nvm_bytes` of the physical space to be a
@@ -184,6 +202,37 @@ impl PhysMem {
         }
         let base = self.next_frame;
         self.next_frame += n;
+        self.allocated += n;
+        Ok(Pfn(base))
+    }
+
+    /// Allocates `n` consecutive frames whose base frame number is a
+    /// multiple of `align_frames` (a power of two). Huge-page mappings
+    /// require naturally aligned physical ranges: a 2 MiB leaf needs a
+    /// 512-frame-aligned base. Frames skipped to reach the alignment go
+    /// to the free list, so they are not lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when the aligned range does not
+    /// fit in the bump region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align_frames` is not a power of two.
+    pub fn alloc_contiguous_aligned(&mut self, n: u64, align_frames: u64) -> Result<Pfn, MemError> {
+        assert!(
+            align_frames.is_power_of_two(),
+            "alignment must be a power of two"
+        );
+        let base = (self.next_frame + align_frames - 1) & !(align_frames - 1);
+        if base + n > self.nvm_boundary.unwrap_or(self.capacity_frames) {
+            return Err(MemError::OutOfFrames);
+        }
+        for skipped in self.next_frame..base {
+            self.free_list.push(skipped);
+        }
+        self.next_frame = base + n;
         self.allocated += n;
         Ok(Pfn(base))
     }
@@ -449,6 +498,19 @@ mod tests {
         let next = pm.alloc_frame().unwrap();
         assert_eq!(next.0, base.0 + 8);
         assert!(pm.alloc_contiguous(1000).is_err());
+    }
+
+    #[test]
+    fn aligned_contiguous_allocation_recycles_the_gap() {
+        let mut pm = PhysMem::new(64 * PAGE_SIZE);
+        pm.alloc_frame().unwrap(); // bump pointer now at 2
+        let base = pm.alloc_contiguous_aligned(8, 8).unwrap();
+        assert_eq!(base.0 % 8, 0, "base is naturally aligned");
+        assert!(base.0 >= 8, "could not have been aligned below the bump");
+        // The frames skipped to reach alignment are reusable.
+        let filler = pm.alloc_frame().unwrap();
+        assert!(filler.0 < base.0, "gap frame came off the free list");
+        assert!(pm.alloc_contiguous_aligned(64, 64).is_err());
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //!   implementations reserve the tag value zero to always trigger a TLB
 //!   flush on a context switch").
 //!
-//! The TLB caches translations at 4 KiB granularity regardless of the
-//! mapped page size (superpages are fragmented on insert), which keeps one
-//! unified array like a real STLB while simplifying indexing. Capacity and
-//! associativity come from [`crate::cost::MachineProfile`].
+//! The TLB is one unified set-associative array (like a real STLB) whose
+//! entries carry the page size they cache: a 2 MiB or 1 GiB superpage
+//! occupies **one** entry keyed by its size-aligned page number, which is
+//! what gives superpages their TLB-reach advantage ([`Tlb::reach_bytes`]).
+//! Lookups probe each supported size's key in the set; inserts and
+//! invalidations match on `(vpn, size)`. Capacity and associativity come
+//! from [`crate::cost::MachineProfile`].
 
-use crate::addr::{PhysAddr, Vpn};
+use crate::addr::{PageSize, PhysAddr, Vpn};
 use crate::error::Access;
 use crate::paging::PteFlags;
 
@@ -44,10 +47,24 @@ struct TlbEntry {
     valid: bool,
     asid: Asid,
     global: bool,
+    /// Size-aligned page number: for superpages, the VPN of the first
+    /// 4 KiB base page.
     vpn: Vpn,
+    /// Physical base of the mapped page (size-aligned).
     frame_base: PhysAddr,
     flags: PteFlags,
+    /// Page size this entry caches; lookups only match equal sizes.
+    size: PageSize,
     stamp: u64,
+}
+
+/// Page sizes in probe order (smallest first — the common case).
+const PROBE_SIZES: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+/// The size-aligned lookup key for `vpn` at `size`.
+#[inline]
+fn size_key(vpn: Vpn, size: PageSize) -> Vpn {
+    Vpn(vpn.0 & !(size.base_pages() - 1))
 }
 
 /// Hit/miss/flush counters.
@@ -99,11 +116,12 @@ impl TlbStats {
 ///
 /// ```
 /// use sjmp_mem::tlb::{Asid, Tlb};
-/// use sjmp_mem::addr::{PhysAddr, Vpn};
+/// use sjmp_mem::addr::{PageSize, PhysAddr, Vpn};
 /// use sjmp_mem::paging::PteFlags;
 ///
 /// let mut tlb = Tlb::new(64, 4);
-/// tlb.insert(Asid(1), Vpn(7), PhysAddr::new(0x3000), PteFlags::PRESENT, false);
+/// tlb.insert(Asid(1), Vpn(7), PhysAddr::new(0x3000), PteFlags::PRESENT, false,
+///            PageSize::Size4K);
 /// assert!(tlb.lookup(Asid(1), Vpn(7)).is_some());
 /// assert!(tlb.lookup(Asid(2), Vpn(7)).is_none(), "tag mismatch");
 /// ```
@@ -158,18 +176,24 @@ impl Tlb {
         start..start + self.ways
     }
 
-    /// Looks up a translation for `vpn` under `asid`.
+    /// Looks up a translation for `vpn` under `asid`, probing every
+    /// supported page size's key (smallest first). Returns the physical
+    /// page base, flags, and the cached page size on a hit.
     ///
-    /// Global entries hit regardless of tag. Updates LRU and counters.
-    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<(PhysAddr, PteFlags)> {
+    /// Global entries hit regardless of tag. Updates LRU and counters
+    /// (one hit or miss per call, however many sizes were probed).
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<(PhysAddr, PteFlags, PageSize)> {
         self.tick += 1;
         let tick = self.tick;
-        let range = self.set_range(vpn);
-        for e in &mut self.entries[range] {
-            if e.valid && e.vpn == vpn && (e.global || e.asid == asid) {
-                e.stamp = tick;
-                self.stats.hits += 1;
-                return Some((e.frame_base, e.flags));
+        for size in PROBE_SIZES {
+            let key = size_key(vpn, size);
+            let range = self.set_range(key);
+            for e in &mut self.entries[range] {
+                if e.valid && e.size == size && e.vpn == key && (e.global || e.asid == asid) {
+                    e.stamp = tick;
+                    self.stats.hits += 1;
+                    return Some((e.frame_base, e.flags, e.size));
+                }
             }
         }
         self.stats.misses += 1;
@@ -182,7 +206,9 @@ impl Tlb {
         flags.permits(access)
     }
 
-    /// Inserts a translation (4 KiB granularity), evicting LRU on conflict.
+    /// Inserts a translation for the page of `size` containing `vpn`
+    /// (the key and `frame_base` are aligned internally), evicting LRU
+    /// on conflict. One entry covers the whole superpage.
     pub fn insert(
         &mut self,
         asid: Asid,
@@ -190,15 +216,20 @@ impl Tlb {
         frame_base: PhysAddr,
         flags: PteFlags,
         global: bool,
+        size: PageSize,
     ) {
         self.tick += 1;
         let tick = self.tick;
-        let range = self.set_range(vpn);
+        let key = size_key(vpn, size);
+        let frame_base = PhysAddr::new(frame_base.raw() & !(size.bytes() - 1));
+        let range = self.set_range(key);
         let set = &mut self.entries[range];
-        // Overwrite an existing entry for the same (vpn, asid) first.
+        // Overwrite an existing entry for the same (vpn, size, asid)
+        // first. Size participates in the match: a 4 KiB page and a
+        // superpage can share a key yet must coexist.
         if let Some(e) = set
             .iter_mut()
-            .find(|e| e.valid && e.vpn == vpn && e.asid == asid)
+            .find(|e| e.valid && e.vpn == key && e.size == size && e.asid == asid)
         {
             e.frame_base = frame_base;
             e.flags = flags;
@@ -216,9 +247,10 @@ impl Tlb {
             valid: true,
             asid,
             global,
-            vpn,
+            vpn: key,
             frame_base,
             flags,
+            size,
             stamp: tick,
         };
         self.stats.insertions += 1;
@@ -244,13 +276,17 @@ impl Tlb {
         }
     }
 
-    /// Invalidates one page across all ASIDs (INVLPG semantics for shared
-    /// mappings).
+    /// Invalidates the page containing `vpn` across all ASIDs (INVLPG
+    /// semantics for shared mappings), at every page size: a superpage
+    /// entry covering the 4 KiB page is dropped too.
     pub fn flush_page(&mut self, vpn: Vpn) {
-        let range = self.set_range(vpn);
-        for e in &mut self.entries[range] {
-            if e.valid && e.vpn == vpn {
-                e.valid = false;
+        for size in PROBE_SIZES {
+            let key = size_key(vpn, size);
+            let range = self.set_range(key);
+            for e in &mut self.entries[range] {
+                if e.valid && e.size == size && e.vpn == key {
+                    e.valid = false;
+                }
             }
         }
     }
@@ -258,6 +294,18 @@ impl Tlb {
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Bytes of address space the currently valid entries translate —
+    /// the machine's effective TLB reach. One 2 MiB entry contributes
+    /// 512x what a 4 KiB entry does, which is the whole point of
+    /// superpages.
+    pub fn reach_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| e.size.bytes())
+            .sum()
     }
 }
 
@@ -274,7 +322,14 @@ mod tests {
     fn hit_and_miss_counting() {
         let mut tlb = Tlb::new(8, 2);
         assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
         assert_eq!(
             tlb.lookup(Asid(1), Vpn(1)).unwrap().0,
             PhysAddr::new(0x1000)
@@ -287,8 +342,22 @@ mod tests {
     #[test]
     fn asid_isolation_and_global_entries() {
         let mut tlb = Tlb::new(8, 2);
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
-        tlb.insert(Asid(2), Vpn(2), PhysAddr::new(0x2000), flags(), true);
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(2),
+            Vpn(2),
+            PhysAddr::new(0x2000),
+            flags(),
+            true,
+            PageSize::Size4K,
+        );
         assert!(
             tlb.lookup(Asid(2), Vpn(1)).is_none(),
             "private entry, other tag"
@@ -302,8 +371,22 @@ mod tests {
     #[test]
     fn untagged_flush_spares_globals() {
         let mut tlb = Tlb::new(8, 2);
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
-        tlb.insert(Asid(1), Vpn(2), PhysAddr::new(0x2000), flags(), true);
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(1),
+            Vpn(2),
+            PhysAddr::new(0x2000),
+            flags(),
+            true,
+            PageSize::Size4K,
+        );
         tlb.flush_nonglobal();
         assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
         assert!(tlb.lookup(Asid(1), Vpn(2)).is_some());
@@ -313,8 +396,22 @@ mod tests {
     #[test]
     fn asid_flush_only_hits_one_tag() {
         let mut tlb = Tlb::new(8, 2);
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
-        tlb.insert(Asid(2), Vpn(9), PhysAddr::new(0x2000), flags(), false);
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(2),
+            Vpn(9),
+            PhysAddr::new(0x2000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
         tlb.flush_asid(Asid(1));
         assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
         assert!(tlb.lookup(Asid(2), Vpn(9)).is_some());
@@ -323,8 +420,22 @@ mod tests {
     #[test]
     fn page_flush_hits_all_asids() {
         let mut tlb = Tlb::new(8, 2);
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
-        tlb.insert(Asid(2), Vpn(1), PhysAddr::new(0x1000), flags(), false);
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(2),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
         tlb.flush_page(Vpn(1));
         assert!(tlb.lookup(Asid(1), Vpn(1)).is_none());
         assert!(tlb.lookup(Asid(2), Vpn(1)).is_none());
@@ -334,10 +445,31 @@ mod tests {
     fn lru_eviction_within_set() {
         // 1 set, 2 ways: third insert evicts the least recently used.
         let mut tlb = Tlb::new(2, 2);
-        tlb.insert(Asid(1), Vpn(10), PhysAddr::new(0x1000), flags(), false);
-        tlb.insert(Asid(1), Vpn(20), PhysAddr::new(0x2000), flags(), false);
+        tlb.insert(
+            Asid(1),
+            Vpn(10),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(1),
+            Vpn(20),
+            PhysAddr::new(0x2000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
         tlb.lookup(Asid(1), Vpn(10)); // make 20 the LRU
-        tlb.insert(Asid(1), Vpn(30), PhysAddr::new(0x3000), flags(), false);
+        tlb.insert(
+            Asid(1),
+            Vpn(30),
+            PhysAddr::new(0x3000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
         assert!(tlb.lookup(Asid(1), Vpn(10)).is_some());
         assert!(tlb.lookup(Asid(1), Vpn(20)).is_none(), "LRU was evicted");
         assert!(tlb.lookup(Asid(1), Vpn(30)).is_some());
@@ -347,8 +479,22 @@ mod tests {
     #[test]
     fn reinsert_updates_in_place() {
         let mut tlb = Tlb::new(4, 4);
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x1000), flags(), false);
-        tlb.insert(Asid(1), Vpn(1), PhysAddr::new(0x5000), flags(), false);
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(1),
+            Vpn(1),
+            PhysAddr::new(0x5000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
         assert_eq!(tlb.occupancy(), 1);
         assert_eq!(
             tlb.lookup(Asid(1), Vpn(1)).unwrap().0,
@@ -370,6 +516,7 @@ mod tests {
                         PhysAddr::new(p << PAGE_SHIFT),
                         flags(),
                         false,
+                        PageSize::Size4K,
                     );
                 }
                 let _ = round;
@@ -380,6 +527,98 @@ mod tests {
             warm.hits >= 32 * 3,
             "small working set should hit after warmup"
         );
+    }
+
+    #[test]
+    fn superpage_entry_covers_whole_page_and_reports_reach() {
+        let mut tlb = Tlb::new(8, 2);
+        // Insert a 2 MiB entry via an interior base page; the key and
+        // frame base are aligned down.
+        tlb.insert(
+            Asid(1),
+            Vpn(512 + 7),
+            PhysAddr::new(0x40_0000 + 0x7000),
+            flags(),
+            false,
+            PageSize::Size2M,
+        );
+        // Any base page inside the superpage hits the one entry.
+        let (base, _, size) = tlb.lookup(Asid(1), Vpn(512)).unwrap();
+        assert_eq!(base, PhysAddr::new(0x40_0000));
+        assert_eq!(size, PageSize::Size2M);
+        let (base2, _, _) = tlb.lookup(Asid(1), Vpn(1023)).unwrap();
+        assert_eq!(base2, PhysAddr::new(0x40_0000));
+        assert!(tlb.lookup(Asid(1), Vpn(1024)).is_none(), "past the bound");
+        assert_eq!(tlb.occupancy(), 1, "one entry, 512 pages of reach");
+        assert_eq!(tlb.reach_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn mixed_sizes_coexist_on_one_key() {
+        let mut tlb = Tlb::new(8, 4);
+        // Vpn(0) is both the 4 KiB page 0 and the key of the first
+        // 2 MiB superpage; the two entries must not overwrite each other.
+        tlb.insert(
+            Asid(1),
+            Vpn(0),
+            PhysAddr::new(0x1000),
+            flags(),
+            false,
+            PageSize::Size4K,
+        );
+        tlb.insert(
+            Asid(1),
+            Vpn(0),
+            PhysAddr::new(0x20_0000),
+            flags(),
+            false,
+            PageSize::Size2M,
+        );
+        assert_eq!(tlb.occupancy(), 2);
+        // Smallest size wins the probe for page 0 itself...
+        let (base, _, size) = tlb.lookup(Asid(1), Vpn(0)).unwrap();
+        assert_eq!((base, size), (PhysAddr::new(0x1000), PageSize::Size4K));
+        // ...while interior pages only match the superpage.
+        let (base2, _, size2) = tlb.lookup(Asid(1), Vpn(9)).unwrap();
+        assert_eq!((base2, size2), (PhysAddr::new(0x20_0000), PageSize::Size2M));
+        assert_eq!(tlb.reach_bytes(), 4096 + 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn flush_page_drops_covering_superpage() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.insert(
+            Asid(1),
+            Vpn(512),
+            PhysAddr::new(0x40_0000),
+            flags(),
+            false,
+            PageSize::Size2M,
+        );
+        // Invalidate via an interior 4 KiB page.
+        tlb.flush_page(Vpn(700));
+        assert!(tlb.lookup(Asid(1), Vpn(600)).is_none(), "superpage gone");
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn one_gib_entry_reach_and_bounds() {
+        let mut tlb = Tlb::new(8, 2);
+        let gib_pages = PageSize::Size1G.base_pages();
+        tlb.insert(
+            Asid(1),
+            Vpn(gib_pages + 3),
+            PhysAddr::new((1 << 30) + 0x3000),
+            flags(),
+            false,
+            PageSize::Size1G,
+        );
+        let (base, _, size) = tlb.lookup(Asid(1), Vpn(2 * gib_pages - 1)).unwrap();
+        assert_eq!(base, PhysAddr::new(1 << 30));
+        assert_eq!(size, PageSize::Size1G);
+        assert!(tlb.lookup(Asid(1), Vpn(2 * gib_pages)).is_none());
+        assert!(tlb.lookup(Asid(1), Vpn(gib_pages - 1)).is_none());
+        assert_eq!(tlb.reach_bytes(), 1 << 30);
     }
 
     #[test]

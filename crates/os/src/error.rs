@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sjmp_mem::MemError;
+use sjmp_mem::{MemError, PageSize};
 
 use crate::process::Pid;
 use crate::vmspace::VmspaceId;
@@ -25,6 +25,16 @@ pub enum OsError {
     Conflict(String),
     /// Malformed request (alignment, range, size...).
     InvalidArgument(&'static str),
+    /// A huge-page mapping request whose address or length is not a
+    /// multiple of the requested page size. Typed (rather than folded
+    /// into `InvalidArgument`) so callers can report which constraint
+    /// was violated and retry with base pages.
+    Misaligned {
+        /// The offending address or length.
+        requested: u64,
+        /// The page size whose alignment the request failed.
+        page_size: PageSize,
+    },
     /// Capability-system failure (Barrelfish flavor).
     Cap(CapError),
     /// The operation would block (lock held); discrete-event simulations
@@ -76,6 +86,14 @@ impl fmt::Display for OsError {
             OsError::PermissionDenied => write!(f, "permission denied"),
             OsError::Conflict(what) => write!(f, "conflict: {what}"),
             OsError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            OsError::Misaligned {
+                requested,
+                page_size,
+            } => write!(
+                f,
+                "misaligned request: {requested:#x} is not a multiple of the {} page size",
+                page_size.bytes()
+            ),
             OsError::Cap(e) => write!(f, "capability error: {e}"),
             OsError::WouldBlock => write!(f, "operation would block"),
             OsError::OutOfAsids => write!(f, "out of address space identifiers"),
@@ -200,6 +218,16 @@ mod tests {
         };
         let s = q.to_string();
         assert!(s.contains("pid 9") && s.contains("10/10") && s.contains("2 more"));
+    }
+
+    #[test]
+    fn misaligned_names_the_page_size() {
+        let e = OsError::Misaligned {
+            requested: 0x1000,
+            page_size: PageSize::Size2M,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x1000") && s.contains("2097152"), "{s}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use std::collections::HashMap;
 
 use sjmp_blk::{BlkError, BlkHooks, BlkStats, BlockDev, FlushFault, SnapshotStore, WriteFault};
+use sjmp_mem::backend::{Backend, TranslationBackend};
 use sjmp_mem::cost::{
     CoreClocks, CoreCtx, CostModel, CycleClock, KernelFlavor, MachineId, MachineProfile,
 };
@@ -283,6 +284,10 @@ pub struct Kernel {
     flavor: KernelFlavor,
     cost: CostModel,
     phys: PhysMem,
+    /// The translation backend every address-space mutation goes through.
+    /// The kernel's copy is authoritative; each core's MMU holds a clone
+    /// (see [`Kernel::set_backend`]).
+    backend: Backend,
     /// The hardware threads: one MMU (private TLB + CR3 + stats) and one
     /// cycle clock per core.
     machine: Machine,
@@ -344,6 +349,7 @@ impl Kernel {
             flavor,
             cost,
             phys,
+            backend: Backend::four_level(),
             machine,
             processes: HashMap::new(),
             vmobjects: HashMap::new(),
@@ -463,6 +469,35 @@ impl Kernel {
     pub fn set_tagging(&mut self, enabled: bool) {
         self.tagging = enabled;
         self.machine.set_tagging(enabled);
+    }
+
+    /// The translation backend in use.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Installs a translation backend on the kernel and every core's MMU.
+    ///
+    /// Call right after boot, before any vmspace is created: backends
+    /// observe mappings as they are made, so mappings performed under a
+    /// previous backend are invisible to the new one.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.machine.set_backend(&backend);
+        self.backend = backend;
+    }
+
+    /// Enables or disables the host-side flattened walk cache on every
+    /// core (simulated costs are identical either way; only host wall
+    /// time changes).
+    pub fn set_host_walk_cache(&mut self, enabled: bool) {
+        self.machine.set_host_walk_cache(enabled);
+    }
+
+    /// Drops every core's host-side walk-cache entries. Callers that
+    /// free page tables directly through the backend (rather than via
+    /// [`Kernel::destroy_vmspace`]) must invoke this alongside the free.
+    pub fn flush_host_walk_caches(&mut self) {
+        self.machine.flush_host_walk_caches();
     }
 
     /// Split borrow of one core's MMU and physical memory, for direct
@@ -897,6 +932,33 @@ impl Kernel {
         Ok(id)
     }
 
+    /// Allocates a contiguous VM object whose physical base is naturally
+    /// aligned to `page_size` — the backing huge-page mappings require.
+    /// Goes through the same pressure/quota gate as
+    /// [`Self::alloc_object_owned`] but never falls back to a paged
+    /// object (a fragmented free list cannot satisfy the alignment).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::alloc_object_owned`].
+    pub fn alloc_object_aligned(
+        &mut self,
+        owner: Option<Pid>,
+        len: u64,
+        page_size: sjmp_mem::PageSize,
+    ) -> OsResult<VmObjectId> {
+        self.fault_gate(FaultSite::ObjectAlloc)?;
+        let pages = len.div_ceil(PAGE_SIZE);
+        let space = owner.and_then(|p| self.process(p).ok().map(|pr| pr.current_space()));
+        self.ensure_frames(owner, space, pages, len)?;
+        let id = VmObjectId(self.next_obj);
+        self.next_obj += 1;
+        let mut obj = VmObject::alloc_aligned(&mut self.phys, id, len, page_size.bytes())?;
+        obj.set_owner(owner);
+        self.vmobjects.insert(id, obj);
+        Ok(id)
+    }
+
     /// Allocates a demand-zero, swappable VM object: no frames until
     /// pages are touched, and the reclaim scan may evict them. This is
     /// the backing for swappable segments, which is how workloads
@@ -965,7 +1027,7 @@ impl Kernel {
         self.fault_gate(FaultSite::SpaceAlloc)?;
         let id = VmspaceId(self.next_space);
         self.next_space += 1;
-        let root = paging::new_root(&mut self.phys)?;
+        let root = self.backend.new_root(&mut self.phys)?;
         self.vmspaces.insert(id, Vmspace::new(id, root));
         Ok(id)
     }
@@ -984,7 +1046,11 @@ impl Kernel {
             }
         }
         self.free_asid(space.asid());
-        paging::free_tables(&mut self.phys, space.root(), space.shared_slots());
+        self.backend
+            .free_tables(&mut self.phys, space.root(), space.shared_slots());
+        // The freed frames may be recycled into a new space's tables;
+        // drop any host-side walks memoized under this root.
+        self.machine.flush_host_walk_caches();
         Ok(())
     }
 
@@ -1044,7 +1110,7 @@ impl Kernel {
             let attempt = match contiguous_pa {
                 Some(pa) if mid_map_fault => {
                     let half = ((len / 2 / PAGE_SIZE).max(1) * PAGE_SIZE).min(len);
-                    let _ = paging::map_region(
+                    let _ = self.backend.map_region(
                         &mut self.phys,
                         root,
                         va,
@@ -1055,7 +1121,7 @@ impl Kernel {
                     );
                     Err(MemError::OutOfFrames)
                 }
-                Some(pa) => paging::map_region(
+                Some(pa) => self.backend.map_region(
                     &mut self.phys,
                     root,
                     va,
@@ -1082,7 +1148,7 @@ impl Kernel {
                     // mapped (holes are skipped), remove the region, and
                     // drop the object reference, so a failed map leaves
                     // no trace.
-                    let _ = paging::unmap_region(&mut self.phys, root, va, len);
+                    let _ = self.backend.unmap_region(&mut self.phys, root, va, len);
                     if let Some(vs) = self.vmspaces.get_mut(&space) {
                         vs.remove_region(va);
                     }
@@ -1128,7 +1194,7 @@ impl Kernel {
             else {
                 continue;
             };
-            let s = paging::map(
+            let s = self.backend.map(
                 &mut self.phys,
                 root,
                 va.add(i * PAGE_SIZE),
@@ -1168,7 +1234,7 @@ impl Kernel {
         if let Some(o) = self.vmobjects.get_mut(&obj) {
             o.drop_ref();
         }
-        let stats = paging::unmap_region(&mut self.phys, root, va, len)?;
+        let stats = self.backend.unmap_region(&mut self.phys, root, va, len)?;
         if let Some(ctx) = charge {
             self.charge(ctx, stats.ptes_cleared * self.cost.pte_clear);
         }
@@ -1289,7 +1355,21 @@ impl Kernel {
         self.charge_entry_on(ctx);
         self.stats.mmaps += 1;
         self.fault_gate(FaultSite::Mmap)?;
-        if len == 0 || !len.is_multiple_of(page_size.bytes()) {
+        if len == 0 {
+            return Err(OsError::InvalidArgument(
+                "length must be a page-size multiple",
+            ));
+        }
+        if !len.is_multiple_of(page_size.bytes()) {
+            // Huge-page requests are rejected with a typed error so
+            // callers can tell an alignment violation from other malformed
+            // arguments and retry with base pages.
+            if page_size != sjmp_mem::PageSize::Size4K {
+                return Err(OsError::Misaligned {
+                    requested: len,
+                    page_size,
+                });
+            }
             return Err(OsError::InvalidArgument(
                 "length must be a page-size multiple",
             ));
@@ -1300,48 +1380,31 @@ impl Kernel {
             .find_free(MMAP_BASE, PRIVATE_HI, len + page_size.bytes())
             .ok_or(OsError::InvalidArgument("out of private address space"))?
             .align_up(page_size.bytes());
-        // Superpage objects must stay physically contiguous, so they are
-        // never candidates for the paged fallback or the reclaim scan.
-        let obj = self.alloc_object_owned(Some(pid), len)?;
-        if !self.vmobject(obj)?.is_contiguous() {
-            self.free_object(obj)?;
-            return Err(OsError::Mem(MemError::OutOfFrames));
-        }
+        // Superpage mappings need naturally aligned, physically contiguous
+        // backing; such objects are never candidates for the paged
+        // fallback or the reclaim scan.
+        let obj = self.alloc_object_aligned(Some(pid), len, page_size)?;
         let pa = self.vmobject(obj)?.base();
-        let (obj, pa, offset) = if !pa.is_aligned(page_size.bytes()) {
-            // Contiguous objects start at arbitrary frames; superpage
-            // mappings need an aligned backing range. Over-allocate.
-            self.free_object(obj)?;
-            let padded = self.alloc_object_owned(Some(pid), len + page_size.bytes())?;
-            if !self.vmobject(padded)?.is_contiguous() {
-                self.free_object(padded)?;
-                return Err(OsError::Mem(MemError::OutOfFrames));
-            }
-            let base = self.vmobject(padded)?.base();
-            let aligned = sjmp_mem::PhysAddr::new(
-                (base.raw() + page_size.bytes() - 1) & !(page_size.bytes() - 1),
-            );
-            (padded, aligned, aligned.raw() - base.raw())
-        } else {
-            (obj, pa, 0)
-        };
         {
             let vs = self.vmspaces.get_mut(&space).ok_or(OsError::NoSuchSpace)?;
             vs.insert_region(Region {
                 start: va,
                 len,
                 object: obj,
-                object_offset: offset,
+                object_offset: 0,
                 flags,
                 policy: MapPolicy::Eager,
             })?;
         }
         self.vmobject_mut(obj)?.add_ref();
         let root = self.vmspace(space)?.root();
-        if let Err(e) = paging::map_region(&mut self.phys, root, va, pa, len, page_size, flags) {
+        if let Err(e) = self
+            .backend
+            .map_region(&mut self.phys, root, va, pa, len, page_size, flags)
+        {
             // Transactional rollback, as in map_object: clear the partial
             // mapping and reclaim the region and the fresh object.
-            let _ = paging::unmap_region(&mut self.phys, root, va, len);
+            let _ = self.backend.unmap_region(&mut self.phys, root, va, len);
             if let Some(vs) = self.vmspaces.get_mut(&space) {
                 vs.remove_region(va);
             }
@@ -1587,7 +1650,7 @@ impl Kernel {
             pfn.base()
         };
         let page_va = va.align_down(PAGE_SIZE);
-        let stats = paging::map(
+        let stats = self.backend.map(
             &mut self.phys,
             root,
             page_va,
@@ -1951,7 +2014,7 @@ impl Kernel {
             }
         }
         for (root, va) in targets {
-            let _ = paging::clear_leaf(&mut self.phys, root, va);
+            let _ = self.backend.clear_leaf(&mut self.phys, root, va);
         }
     }
 
@@ -2597,10 +2660,14 @@ impl Kernel {
             .collect();
         let mut seen = std::collections::HashSet::new();
         for root in external_roots {
-            owned_frames += paging::collect_table_frames(&mut self.phys, *root, &[], &mut seen);
+            owned_frames +=
+                self.backend
+                    .collect_table_frames(&mut self.phys, *root, &[], &mut seen);
         }
         for (root, skip) in roots {
-            owned_frames += paging::collect_table_frames(&mut self.phys, root, &skip, &mut seen);
+            owned_frames +=
+                self.backend
+                    .collect_table_frames(&mut self.phys, root, &skip, &mut seen);
         }
         let allocated = self.phys.allocated_frames();
         if owned_frames != allocated {
@@ -2946,8 +3013,8 @@ mod tests {
             huge.is_aligned(2 << 20),
             "superpage mapping must be aligned"
         );
-        // Misaligned length rejected.
-        assert!(matches!(
+        // Misaligned huge-page length rejected with the typed error.
+        assert_eq!(
             k.sys_mmap_sized(
                 pid,
                 (2 << 20) + 4096,
@@ -2955,8 +3022,78 @@ mod tests {
                 false,
                 sjmp_mem::PageSize::Size2M
             ),
+            Err(OsError::Misaligned {
+                requested: (2 << 20) + 4096,
+                page_size: sjmp_mem::PageSize::Size2M,
+            })
+        );
+        // A 4 KiB request with a ragged length stays a plain argument
+        // error — base pages have no alignment story to tell.
+        assert!(matches!(
+            k.sys_mmap_sized(pid, 100, flags, false, sjmp_mem::PageSize::Size4K),
             Err(OsError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn mixed_page_size_vmspace_accounts_tlb_reach() {
+        // One address space holding both 4 KiB and 2 MiB mappings: the
+        // TLB must track each entry at its own size, and reach must sum
+        // the true bytes covered.
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let flags = PteFlags::USER | PteFlags::WRITABLE;
+        let small = k.sys_mmap(pid, 2 * PAGE_SIZE, flags, false).unwrap();
+        let huge = k
+            .sys_mmap_sized(pid, 4 << 20, flags, false, sjmp_mem::PageSize::Size2M)
+            .unwrap();
+        // Touch both 4K pages and both 2M pages (interior offsets).
+        k.store_u64(pid, small, 1).unwrap();
+        k.store_u64(pid, small.add(PAGE_SIZE), 2).unwrap();
+        k.store_u64(pid, huge.add(0x1234 * 8), 3).unwrap();
+        k.store_u64(pid, huge.add((2 << 20) + 64), 4).unwrap();
+        let core = k.process(pid).unwrap().core();
+        let (mmu, _) = k.core_mem(core);
+        assert_eq!(mmu.stats().walks, 4, "four distinct pages walked");
+        assert_eq!(
+            mmu.tlb_mut().reach_bytes(),
+            2 * PAGE_SIZE + 2 * (2u64 << 20),
+            "reach counts each entry at its own page size"
+        );
+        // Re-touching interior addresses of the superpages hits the TLB.
+        let walks_before = {
+            let (mmu, _) = k.core_mem(core);
+            mmu.stats().walks
+        };
+        k.store_u64(pid, huge.add(0x660), 5).unwrap();
+        k.store_u64(pid, huge.add((2 << 20) + 0x4000), 6).unwrap();
+        let (mmu, _) = k.core_mem(core);
+        assert_eq!(mmu.stats().walks, walks_before, "superpage entries hit");
+    }
+
+    #[test]
+    fn huge_page_flush_and_invalidate_are_size_aware() {
+        let mut k = kernel();
+        let pid = k.spawn("p", user()).unwrap();
+        k.activate(pid).unwrap();
+        let flags = PteFlags::USER | PteFlags::WRITABLE;
+        let huge = k
+            .sys_mmap_sized(pid, 2 << 20, flags, false, sjmp_mem::PageSize::Size2M)
+            .unwrap();
+        k.store_u64(pid, huge.add(0x8000), 1).unwrap();
+        let core = k.process(pid).unwrap().core();
+        // invlpg on an *interior* 4K page of the superpage must drop the
+        // whole covering entry.
+        {
+            let (mmu, _) = k.core_mem(core);
+            assert_eq!(mmu.tlb_mut().reach_bytes(), 2 << 20);
+            mmu.invlpg(huge.add(0x8000));
+            assert_eq!(mmu.tlb_mut().reach_bytes(), 0, "covering entry dropped");
+        }
+        k.store_u64(pid, huge.add(0x8000), 2).unwrap();
+        let (mmu, _) = k.core_mem(core);
+        assert_eq!(mmu.stats().walks, 2, "rewalked after size-aware invlpg");
     }
 
     #[test]

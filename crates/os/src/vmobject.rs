@@ -154,6 +154,31 @@ impl VmObject {
         }
     }
 
+    /// Allocates a contiguous object of `len` bytes whose base physical
+    /// address is a multiple of `align_bytes` (a power-of-two multiple of
+    /// the page size). Huge-page mappings need naturally aligned backing:
+    /// a 2 MiB leaf entry can only point at a 2 MiB-aligned range. Unlike
+    /// [`Self::alloc`], there is no paged fallback — a fragmented machine
+    /// fails the request rather than silently losing the alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfFrames`] when no aligned contiguous range fits;
+    /// `BadMapping` for a zero length.
+    pub fn alloc_aligned(
+        phys: &mut PhysMem,
+        id: VmObjectId,
+        len: u64,
+        align_bytes: u64,
+    ) -> Result<Self, MemError> {
+        if len == 0 {
+            return Err(MemError::BadMapping(sjmp_mem::VirtAddr::NULL));
+        }
+        let pages = len.div_ceil(PAGE_SIZE);
+        let base = phys.alloc_contiguous_aligned(pages, align_bytes / PAGE_SIZE)?;
+        Ok(VmObject::new(id, Backing::Contiguous { base }, pages))
+    }
+
     /// Creates a demand-zero paged object: no frames are allocated until
     /// pages are touched. This is how swappable segments oversubscribe
     /// physical memory.
@@ -507,6 +532,20 @@ mod tests {
         assert_eq!(obj.len(), 8192);
         assert!(!obj.is_empty());
         assert!(obj.is_contiguous());
+    }
+
+    #[test]
+    fn aligned_alloc_is_naturally_aligned() {
+        let mut phys = PhysMem::new(32 << 20);
+        phys.alloc_frame().unwrap(); // misalign the bump pointer
+        let obj = VmObject::alloc_aligned(&mut phys, VmObjectId(1), 2 << 20, 2 << 20).unwrap();
+        assert!(obj.is_contiguous());
+        assert_eq!(obj.base().raw() % (2 << 20), 0);
+        assert_eq!(obj.pages(), 512);
+        assert!(
+            VmObject::alloc_aligned(&mut phys, VmObjectId(2), 1 << 30, 1 << 30).is_err(),
+            "no 1 GiB range in a 32 MiB machine"
+        );
     }
 
     #[test]

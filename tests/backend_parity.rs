@@ -1,0 +1,61 @@
+//! Translation-backend parity: the host-side walk cache must be
+//! invisible to the simulation, and the no-VM base+bound backend must
+//! be a strict lower bound on translation cost.
+//!
+//! CI runs this as part of the `backend-parity-smoke` job alongside a
+//! byte-level comparison of `fig8_gups --quick` output with the cache
+//! forced off via `SJMP_HOST_WALK_CACHE=0`.
+
+use spacejmp::gups::{run as run_gups, Design, GupsConfig};
+use spacejmp::mem::TranslationKind;
+
+fn small_cfg(backend: TranslationKind) -> GupsConfig {
+    GupsConfig {
+        windows: 4,
+        window_bytes: 4 << 20,
+        epochs: 24,
+        backend,
+        ..GupsConfig::default()
+    }
+}
+
+/// Disabling the host walk cache changes host wall time only: every
+/// simulated observable — cycles, updates, transitions, TLB misses —
+/// is bit-identical.
+#[test]
+fn host_walk_cache_is_invisible_to_the_simulation() {
+    let cached = run_gups(Design::Jmp, &small_cfg(TranslationKind::FourLevel)).unwrap();
+    let uncached = run_gups(Design::Jmp, &small_cfg(TranslationKind::FourLevelUncached)).unwrap();
+    assert_eq!(
+        (
+            cached.cycles,
+            cached.updates,
+            cached.transitions,
+            cached.tlb_misses
+        ),
+        (
+            uncached.cycles,
+            uncached.updates,
+            uncached.transitions,
+            uncached.tlb_misses
+        ),
+        "host walk cache leaked into the simulation"
+    );
+}
+
+/// The base+bound backend pays a flat bounds check per access — no
+/// walks, no TLB — so it must complete the same workload in strictly
+/// fewer cycles than the four-level walker.
+#[test]
+fn no_vm_baseline_is_a_strict_lower_bound() {
+    let walked = run_gups(Design::Jmp, &small_cfg(TranslationKind::FourLevel)).unwrap();
+    let novm = run_gups(Design::Jmp, &small_cfg(TranslationKind::NoVm)).unwrap();
+    assert_eq!(novm.updates, walked.updates, "same work in both runs");
+    assert!(
+        novm.cycles < walked.cycles,
+        "no-VM must undercut the walker: {} vs {}",
+        novm.cycles,
+        walked.cycles
+    );
+    assert_eq!(novm.tlb_misses, 0, "base+bound translation has no TLB");
+}
