@@ -8,7 +8,7 @@
 //! offline replacement for the former proptest harness).
 
 use sjmp_alloc::{MemAccess, Mspace, VecMem};
-use sjmp_mem::SimRng;
+use sjmp_sim::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {

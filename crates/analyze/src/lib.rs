@@ -7,10 +7,13 @@
 //! templates) is supposed to stay coherent underneath. This crate
 //! checks that contract at three layers:
 //!
-//! * [`lockset`] — **static**: an interprocedural lockset dataflow
-//!   pass over the `sjmp-safety` IR (extended with `lock` / `unlock` /
-//!   `segaddr`), classifying every load/store to a shared segment as
-//!   proven-guarded, proven-racy, or unknown;
+//! * [`lockset`] and [`verify`] — **static**: interprocedural
+//!   dataflow passes over the `sjmp-safety` IR. [`lockset`] classifies
+//!   every load/store to a shared segment as proven-guarded,
+//!   proven-racy, or unknown; [`verify`] bridges the pointer-provenance
+//!   verifier (`sjmp_safety::provenance`), turning each proven-dangling
+//!   cross-VAS dereference into a `cross-vas-dangling` finding whose
+//!   message carries the alloc → escape → switch → deref chain;
 //! * [`race`] and [`lockorder`] — **dynamic**: trace-replay detectors
 //!   consuming `sjmp-trace` event streams — a hybrid lockset +
 //!   vector-clock data-race detector and a Goodlock-style lock-order
@@ -28,12 +31,14 @@ pub mod lockorder;
 pub mod lockset;
 pub mod race;
 pub mod report;
+pub mod verify;
 
 pub use lint::lint_kernel;
 pub use lockorder::detect_lock_order_cycles;
 pub use lockset::{AccessClass, Lockset, LocksetSummary};
 pub use race::detect_races;
 pub use report::Finding;
+pub use verify::{verify_module, IrVerification};
 
 use sjmp_trace::Event;
 

@@ -15,7 +15,8 @@
 use sjmp_bench::{quick_mode, Report};
 use sjmp_mem::cost::{CostModel, CycleClock, MachineId, MachineProfile};
 use sjmp_mem::paging::PteFlags;
-use sjmp_mem::{Asid, Backend, Mmu, PhysMem, SimRng, TranslationBackend, VirtAddr};
+use sjmp_mem::{Asid, Backend, Mmu, PhysMem, TranslationBackend, VirtAddr};
+use sjmp_sim::SimRng;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Series {

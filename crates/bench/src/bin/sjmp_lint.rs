@@ -1,13 +1,9 @@
-//! `sjmp-lint`: replays exported traces through the `sjmp-analyze`
-//! detectors and emits a machine-readable findings report.
+//! `sjmp-lint`: the combined static + dynamic safety gate.
 //!
-//! Usage: `sjmp_lint <bench-name>... | --all`
-//!
-//! For each name, loads `results/<name>.trace.json` (the Chrome
-//! `trace_event` document `export_trace` wrote), reconstructs the event
-//! stream with `parse_chrome_trace`, and runs the data-race and
-//! lock-order analyses. `--all` scans `results/` for every
-//! `*.trace.json`. The combined report is written to
+//! Replays exported traces through the `sjmp-analyze` detectors,
+//! optionally runs the IR-level pointer-provenance verifier over the
+//! example corpus (`--ir`) and a seeded generator batch (`--gen N`),
+//! and emits a machine-readable findings report at
 //! `results/analyze_report.json`:
 //!
 //! ```json
@@ -17,18 +13,113 @@
 //!     { "name": "fig8_gups", "events": 123, "dropped": 0,
 //!       "skipped_incomplete": false, "findings": [ ... ] }
 //!   ],
+//!   "ir": {
+//!     "programs": [
+//!       { "name": "quickstart", "mem_ops": 2, "proven_safe": 2,
+//!         "proven_dangling": 0, "unknown": 0, "expected_dangling": false,
+//!         "findings": [ ... ] }
+//!     ],
+//!     "gen": { "seeds": 64, "programs": 64, "mem_sites": 400,
+//!              "proven_safe": 300, "proven_dangling": 3,
+//!              "dangling_confirmed": 2, "extra_elisions": 40,
+//!              "violations": [] }
+//!   },
 //!   "findings_total": 0
 //! }
 //! ```
 //!
-//! Exit status is nonzero if any finding was reported (CI treats a
-//! finding on a stock benchmark trace as a regression) or any trace
-//! failed to load.
+//! Run `sjmp_lint --help` for usage and the exit-code contract.
 
 use std::process::ExitCode;
 
-use sjmp_analyze::analyze_trace;
+use sjmp_analyze::{analyze_trace, verify_module};
+use sjmp_safety::examples;
+use sjmp_safety::genprog;
 use sjmp_trace::{parse_chrome_trace, Json};
+
+const HELP: &str = "\
+sjmp-lint: trace-replay and IR-provenance safety gate
+
+usage: sjmp_lint [options] [--all | <bench-name>...]
+
+Trace replay loads results/<name>.trace.json for each name (or every
+*.trace.json under results/ with --all) and runs the data-race and
+lock-order detectors. IR verification is independent of traces and may
+be requested on its own.
+
+options:
+  --format <json|text>  stdout format (default text). json prints the
+                        full report document to stdout; the report is
+                        always also written to results/analyze_report.json
+  --ir                  run the pointer-provenance verifier over the
+                        built-in IR example corpus: healthy programs
+                        must be clean, and the known-dangling program
+                        must report its exact alloc->escape->switch->deref
+                        chain
+  --gen <N>             generate N seeded IR programs and validate
+                        verifier soundness on each (elided checks never
+                        fire; proven-dangling sites fault)
+  --help                print this help and exit
+
+exit status:
+  0  clean: no findings, all gates passed
+  1  findings reported (or an IR/soundness gate failed)
+  2  usage error, or a trace/report file could not be read or written
+";
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    ir: bool,
+    gen_seeds: Option<u64>,
+    all: bool,
+    names: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        ir: false,
+        gen_seeds: None,
+        all: false,
+        names: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format requires an argument")?;
+                opts.format = match v.as_str() {
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    other => return Err(format!("unknown format `{other}` (json|text)")),
+                };
+            }
+            "--ir" => opts.ir = true,
+            "--gen" => {
+                let v = it.next().ok_or("--gen requires a seed count")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--gen: `{v}` is not a number"))?;
+                opts.gen_seeds = Some(n);
+            }
+            "--all" => opts.all = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    if !opts.all && opts.names.is_empty() && !opts.ir && opts.gen_seeds.is_none() {
+        return Err("nothing to do: give bench names, --all, --ir, or --gen N".into());
+    }
+    Ok(opts)
+}
 
 fn trace_names_from_dir() -> Result<Vec<String>, String> {
     let mut names = Vec::new();
@@ -48,7 +139,7 @@ fn trace_names_from_dir() -> Result<Vec<String>, String> {
     Ok(names)
 }
 
-fn analyze_one(name: &str) -> Result<(Json, usize), String> {
+fn analyze_one(name: &str, text_out: bool) -> Result<(Json, usize), String> {
     let path = format!("results/{name}.trace.json");
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
@@ -68,69 +159,216 @@ fn analyze_one(name: &str) -> Result<(Json, usize), String> {
             Json::Arr(analysis.findings.iter().map(|f| f.to_json()).collect()),
         ),
     ]);
-    for f in &analysis.findings {
-        eprintln!("FINDING [{name}] {}: {}", f.rule, f.message);
-    }
-    if analysis.skipped_incomplete {
-        eprintln!(
-            "note: {name}: trace dropped {} events; replay skipped",
-            parsed.dropped
-        );
+    if text_out {
+        for f in &analysis.findings {
+            eprintln!("FINDING [{name}] {}: {}", f.rule, f.message);
+        }
+        if analysis.skipped_incomplete {
+            eprintln!(
+                "note: {name}: trace dropped {} events; replay skipped",
+                parsed.dropped
+            );
+        }
     }
     Ok((entry, count))
 }
 
+/// Runs the provenance verifier over the example corpus. Returns the
+/// JSON section and the number of *gate failures* (healthy program
+/// with findings, or the dangling program not reporting the expected
+/// chain) — the dangling program's own findings are expected output,
+/// not failures.
+fn run_ir_examples(text_out: bool) -> (Vec<Json>, usize) {
+    let mut programs = Vec::new();
+    let mut failures = 0usize;
+
+    let mut corpus: Vec<(String, _, bool)> = examples::healthy()
+        .into_iter()
+        .map(|(name, m)| (name.to_string(), m, false))
+        .collect();
+    corpus.push(("dangling-escape".into(), examples::dangling_example(), true));
+
+    for (name, module, expect_dangling) in corpus {
+        let v = verify_module(&module, examples::entry_set());
+        let ok = if expect_dangling {
+            v.proven_dangling > 0 && !v.findings.is_empty()
+        } else {
+            v.findings.is_empty() && v.proven_dangling == 0
+        };
+        if !ok {
+            failures += 1;
+        }
+        if text_out {
+            let status = if ok { "ok" } else { "FAIL" };
+            println!(
+                "{status}: ir/{name} ({} mem ops, {} safe, {} dangling, {} unknown)",
+                v.mem_ops, v.proven_safe, v.proven_dangling, v.unknown
+            );
+            for f in &v.findings {
+                let tag = if expect_dangling {
+                    "EXPECTED"
+                } else {
+                    "FINDING"
+                };
+                eprintln!("{tag} [ir/{name}] {}: {}", f.rule, f.message);
+            }
+        }
+        programs.push(Json::Obj(vec![
+            ("name".into(), Json::str(&name)),
+            ("mem_ops".into(), Json::from_u64(v.mem_ops as u64)),
+            ("proven_safe".into(), Json::from_u64(v.proven_safe as u64)),
+            (
+                "proven_dangling".into(),
+                Json::from_u64(v.proven_dangling as u64),
+            ),
+            ("unknown".into(), Json::from_u64(v.unknown as u64)),
+            ("expected_dangling".into(), Json::Bool(expect_dangling)),
+            (
+                "findings".into(),
+                Json::Arr(v.findings.iter().map(|f| f.to_json()).collect()),
+            ),
+        ]));
+    }
+    (programs, failures)
+}
+
+/// Validates verifier soundness over `n` generated programs. Returns
+/// the JSON section and the number of violations.
+fn run_gen_batch(n: u64, text_out: bool) -> (Json, usize) {
+    let report = genprog::validate_batch(0..n);
+    let violations = report.violations.len();
+    if text_out {
+        let status = if violations == 0 { "ok" } else { "FAIL" };
+        println!(
+            "{status}: gen/{n} seeds ({} programs, {} mem sites, {} safe, \
+             {} dangling, {} confirmed, {} extra elisions, {} violations)",
+            report.programs,
+            report.mem_sites,
+            report.proven_safe,
+            report.proven_dangling,
+            report.dangling_confirmed,
+            report.extra_elisions,
+            violations
+        );
+        for v in &report.violations {
+            eprintln!("VIOLATION [gen] {v}");
+        }
+    }
+    let json = Json::Obj(vec![
+        ("seeds".into(), Json::from_u64(n)),
+        ("programs".into(), Json::from_u64(report.programs as u64)),
+        ("mem_sites".into(), Json::from_u64(report.mem_sites as u64)),
+        (
+            "proven_safe".into(),
+            Json::from_u64(report.proven_safe as u64),
+        ),
+        (
+            "proven_dangling".into(),
+            Json::from_u64(report.proven_dangling as u64),
+        ),
+        (
+            "dangling_confirmed".into(),
+            Json::from_u64(report.dangling_confirmed as u64),
+        ),
+        (
+            "extra_elisions".into(),
+            Json::from_u64(report.extra_elisions as u64),
+        ),
+        (
+            "violations".into(),
+            Json::Arr(report.violations.iter().map(|v| Json::str(v)).collect()),
+        ),
+    ]);
+    (json, violations)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: sjmp_lint --all | <bench-name>...");
-        return ExitCode::FAILURE;
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return ExitCode::from(0);
     }
-    let names = if args.iter().any(|a| a == "--all") {
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("sjmp_lint: {e}\n\n{HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let text_out = opts.format == Format::Text;
+
+    let names = if opts.all {
         match trace_names_from_dir() {
             Ok(names) => names,
             Err(e) => {
-                eprintln!("FAIL {e}");
-                return ExitCode::FAILURE;
+                eprintln!("sjmp_lint: {e}");
+                return ExitCode::from(2);
             }
         }
     } else {
-        args
+        opts.names.clone()
     };
 
     let mut traces = Vec::new();
     let mut total = 0usize;
-    let mut load_failures = false;
+    let mut io_failure = false;
     for name in &names {
-        match analyze_one(name) {
+        match analyze_one(name, text_out) {
             Ok((entry, count)) => {
                 total += count;
                 traces.push(entry);
-                println!(
-                    "{}: results/{name}.trace.json ({count} findings)",
-                    if count == 0 { "ok" } else { "RACY" },
-                );
+                if text_out {
+                    println!(
+                        "{}: results/{name}.trace.json ({count} findings)",
+                        if count == 0 { "ok" } else { "RACY" },
+                    );
+                }
             }
             Err(e) => {
-                eprintln!("FAIL {e}");
-                load_failures = true;
+                eprintln!("sjmp_lint: {e}");
+                io_failure = true;
             }
         }
     }
-    let report = Json::Obj(vec![
+
+    let mut report_fields = vec![
         ("tool".into(), Json::str("sjmp-lint")),
         ("traces".into(), Json::Arr(traces)),
-        ("findings_total".into(), Json::from_u64(total as u64)),
-    ]);
+    ];
+
+    let mut gate_failures = 0usize;
+    if opts.ir || opts.gen_seeds.is_some() {
+        let mut ir_fields = Vec::new();
+        if opts.ir {
+            let (programs, failures) = run_ir_examples(text_out);
+            gate_failures += failures;
+            ir_fields.push(("programs".to_string(), Json::Arr(programs)));
+        }
+        if let Some(n) = opts.gen_seeds {
+            let (json, violations) = run_gen_batch(n, text_out);
+            gate_failures += violations;
+            ir_fields.push(("gen".to_string(), json));
+        }
+        report_fields.push(("ir".into(), Json::Obj(ir_fields)));
+    }
+    report_fields.push(("findings_total".into(), Json::from_u64(total as u64)));
+    let report = Json::Obj(report_fields);
+
     let path = "results/analyze_report.json";
     if let Err(e) = std::fs::write(path, report.pretty()) {
-        eprintln!("FAIL {path}: {e}");
-        return ExitCode::FAILURE;
+        eprintln!("sjmp_lint: {path}: {e}");
+        return ExitCode::from(2);
     }
-    println!("wrote {path} ({total} findings total)");
-    if total > 0 || load_failures {
-        ExitCode::FAILURE
+    if text_out {
+        println!("wrote {path} ({total} findings total)");
     } else {
-        ExitCode::SUCCESS
+        println!("{}", report.pretty());
+    }
+    if io_failure {
+        ExitCode::from(2)
+    } else if total > 0 || gate_failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::from(0)
     }
 }

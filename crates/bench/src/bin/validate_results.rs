@@ -112,6 +112,123 @@ fn check_analyze_report() -> Result<(), String> {
             }
         }
     }
+    // The optional "ir" section (sjmp_lint --ir / --gen): healthy
+    // example programs must be clean, the known-dangling program must
+    // report findings, and a generator batch must have zero soundness
+    // violations.
+    if let Some(ir) = doc.get("ir") {
+        if let Some(programs) = ir.get("programs") {
+            let programs = programs
+                .as_arr()
+                .ok_or_else(|| format!("{path}: \"ir.programs\" is not an array"))?;
+            for p in programs {
+                for key in [
+                    "name",
+                    "mem_ops",
+                    "proven_safe",
+                    "proven_dangling",
+                    "unknown",
+                    "expected_dangling",
+                ] {
+                    require(p, path, key)?;
+                }
+                let name = p.get("name").and_then(Json::as_str).unwrap_or("?");
+                let findings = require(p, path, "findings")?
+                    .as_arr()
+                    .ok_or_else(|| format!("{path}: ir \"findings\" is not an array"))?;
+                let expect = matches!(p.get("expected_dangling"), Some(Json::Bool(true)));
+                if expect && findings.is_empty() {
+                    return Err(format!(
+                        "{path}: ir program \"{name}\" should report dangling findings"
+                    ));
+                }
+                if !expect && !findings.is_empty() {
+                    return Err(format!(
+                        "{path}: healthy ir program \"{name}\" has findings"
+                    ));
+                }
+            }
+        }
+        if let Some(gen) = ir.get("gen") {
+            for key in [
+                "seeds",
+                "programs",
+                "mem_sites",
+                "proven_safe",
+                "violations",
+            ] {
+                require(gen, path, key)?;
+            }
+            let violations = require(gen, path, "violations")?
+                .as_arr()
+                .ok_or_else(|| format!("{path}: \"ir.gen.violations\" is not an array"))?;
+            if !violations.is_empty() {
+                return Err(format!(
+                    "{path}: generator batch reports {} soundness violations",
+                    violations.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Gate for `results/ablate_safety_checks.json`: the check-elision
+/// table must carry all three policy columns, every row must show the
+/// interprocedural verifier eliding at least as many checks as the
+/// dataflow pass (it is a refinement), and at least one program must
+/// show it strictly winning.
+fn check_safety_ablation(name: &str) -> Result<(), String> {
+    if name != "ablate_safety_checks" {
+        return Ok(());
+    }
+    let path = format!("results/{name}.json");
+    let doc = load(&path)?;
+    let sections = require(&doc, &path, "sections")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: \"sections\" is not an array"))?;
+    let section = sections
+        .first()
+        .ok_or_else(|| format!("{path}: no sections recorded"))?;
+    let columns = section
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: section has no columns"))?;
+    let col = |name: &str| -> Result<usize, String> {
+        columns
+            .iter()
+            .position(|c| c.as_str() == Some(name))
+            .ok_or_else(|| format!("{path}: missing column \"{name}\""))
+    };
+    let naive = col("naive checks")?;
+    let pruned = col("pruned checks")?;
+    let interproc = col("interproc checks")?;
+    let rows = require(section, &path, "rows")?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: section \"rows\" is not an array"))?;
+    let cell = |row: &Json, at: usize| -> Result<f64, String> {
+        row.as_arr()
+            .and_then(|cells| cells.get(at))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: row cell {at} is not a number"))
+    };
+    let mut strictly_less = false;
+    for row in rows {
+        let n = cell(row, naive)?;
+        let p = cell(row, pruned)?;
+        let i = cell(row, interproc)?;
+        if p > n || i > p {
+            return Err(format!(
+                "{path}: check counts must refine: naive {n} >= pruned {p} >= interproc {i}"
+            ));
+        }
+        strictly_less |= i < p;
+    }
+    if !strictly_less {
+        return Err(format!(
+            "{path}: no program where the interprocedural verifier beats the dataflow pass"
+        ));
+    }
     Ok(())
 }
 
@@ -576,6 +693,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         if let Err(e) = check_backend_reports(name) {
+            eprintln!("FAIL {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = check_safety_ablation(name) {
             eprintln!("FAIL {e}");
             return ExitCode::FAILURE;
         }

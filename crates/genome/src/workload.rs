@@ -8,7 +8,7 @@
 //! experiments measure serialization and data-structure costs, which
 //! depend on record counts and sizes, not on biological content.
 
-use sjmp_mem::SimRng;
+use sjmp_sim::SimRng;
 
 use crate::record::{flags, CigarOp, Record};
 use crate::sam::RefDict;

@@ -8,7 +8,7 @@
 use sjmp_genome::record::{flags, CigarOp, Record};
 use sjmp_genome::sam::RefDict;
 use sjmp_genome::{bam, bgzf, sam};
-use sjmp_mem::SimRng;
+use sjmp_sim::SimRng;
 
 fn random_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
     let mut buf = vec![0u8; rng.index(max_len + 1)];

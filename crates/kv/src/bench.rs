@@ -16,8 +16,9 @@
 //!    penalties, and the socket path's per-message kernel costs.
 
 use sjmp_mem::cost::{CostModel, MachineId, MachineProfile};
-use sjmp_mem::{KernelFlavor, SimRng};
+use sjmp_mem::KernelFlavor;
 use sjmp_os::{Creds, Kernel};
+use sjmp_sim::SimRng;
 use sjmp_sim::{ClosedLoop, Cores, LockMode, Sim, SimRwLock};
 use sjmp_trace::Tracer;
 use spacejmp_core::{SjResult, SpaceJmp};

@@ -54,7 +54,6 @@ pub mod machine;
 pub mod mmu;
 pub mod paging;
 pub mod phys;
-pub mod rng;
 pub mod segmap;
 pub mod tlb;
 
@@ -68,6 +67,5 @@ pub use machine::Machine;
 pub use mmu::Mmu;
 pub use paging::PteFlags;
 pub use phys::PhysMem;
-pub use rng::SimRng;
 pub use segmap::SegMap;
 pub use tlb::{Asid, Tlb, TlbStats};

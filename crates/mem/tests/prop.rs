@@ -9,7 +9,8 @@ use std::collections::HashMap;
 
 use sjmp_mem::cost::{CostModel, CycleClock};
 use sjmp_mem::paging::{self, PteFlags};
-use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, SimRng, VirtAddr};
+use sjmp_mem::{Access, Asid, MemError, Mmu, PhysMem, VirtAddr};
+use sjmp_sim::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {

@@ -33,7 +33,7 @@
 
 use std::collections::HashMap;
 
-use sjmp_mem::SimRng;
+use sjmp_sim::SimRng;
 
 /// Kernel code paths where faults can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -20,8 +20,11 @@
 //! ("dereferencing and storing to [stack/global pointers] is always
 //! safe").
 
+use std::collections::HashMap;
+
 use crate::analysis::Analysis;
-use crate::ir::{AbstractVas, Inst, Module, VasSet};
+use crate::ir::{AbstractVas, BlockId, Inst, Module, Site, VasSet};
+use crate::provenance::{self, SiteClass};
 
 /// How checks are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +32,14 @@ pub enum CheckPolicy {
     /// Insert a check before *every* load and store (the trivial solution
     /// the paper rejects as too conservative) — the ablation baseline.
     Naive,
-    /// Insert checks only where the analysis cannot prove safety.
+    /// Insert checks only where the intraprocedural `VASvalid`/`VASin`
+    /// analysis cannot prove safety.
     Analyzed,
+    /// [`Analyzed`](CheckPolicy::Analyzed), further pruned by the
+    /// interprocedural provenance verifier: any site it proves safe
+    /// drops its check. By construction this elides a superset of what
+    /// `Analyzed` elides.
+    Interprocedural,
 }
 
 /// Report of a check-insertion pass.
@@ -81,72 +90,146 @@ fn store_ptr_needs_check(valid_p: &VasSet, valid_v: &VasSet) -> bool {
     !(valid_p.len() == 1 && valid_p == valid_v && !valid_p.contains(&AbstractVas::Unknown))
 }
 
-/// Inserts checks into `module` according to `policy`, using `analysis`
-/// when the policy is [`CheckPolicy::Analyzed`].
-///
-/// Returns what was inserted. The module is modified in place: flagged
-/// loads/stores get a [`Inst::CheckDeref`] (and pointer stores a
-/// [`Inst::CheckStore`]) immediately before them.
-pub fn insert_checks(module: &mut Module, analysis: &Analysis, policy: CheckPolicy) -> CheckReport {
-    let mut report = CheckReport::default();
-    for (fi, func) in module.functions.iter_mut().enumerate() {
-        for (bi, block) in func.blocks.iter_mut().enumerate() {
-            let mut new_insts = Vec::with_capacity(block.insts.len());
+/// The check decision at one memory-operation site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteDecision {
+    /// A [`Inst::CheckDeref`] goes before the operation.
+    pub need_deref: bool,
+    /// A [`Inst::CheckStore`] goes before the operation (stores only).
+    pub need_store: bool,
+}
+
+/// A check-insertion plan: the per-site decisions plus the totals. The
+/// plan is computed on the *uninstrumented* module, so sites keep their
+/// original coordinates — the soundness harness compares them against
+/// the interpreter's site log.
+#[derive(Debug, Clone, Default)]
+pub struct CheckPlan {
+    /// Decision per load/store site.
+    pub decisions: HashMap<Site, SiteDecision>,
+    /// What the plan would insert.
+    pub report: CheckReport,
+}
+
+impl CheckPlan {
+    /// The decision at a site (no-checks if the site is not a mem op).
+    pub fn decision_at(&self, site: Site) -> SiteDecision {
+        self.decisions.get(&site).copied().unwrap_or_default()
+    }
+}
+
+/// Computes the check-insertion plan for `module` under `policy` without
+/// modifying it. [`CheckPolicy::Interprocedural`] runs the provenance
+/// verifier and drops any check whose aspect it proved safe.
+pub fn plan_checks(module: &Module, analysis: &Analysis, policy: CheckPolicy) -> CheckPlan {
+    let verified = match policy {
+        CheckPolicy::Interprocedural => Some(provenance::verify_with(module, analysis)),
+        _ => None,
+    };
+    let mut plan = CheckPlan::default();
+    for (fi, func) in module.functions.iter().enumerate() {
+        for (bi, block) in func.blocks.iter().enumerate() {
             for (ii, inst) in block.insts.iter().enumerate() {
-                match inst {
+                let site = Site::new(fi, bi, ii);
+                let vas_in = analysis.vas_in_of(fi, BlockId(bi as u32), ii);
+                let mut decision = match inst {
                     Inst::Load { addr, .. } => {
-                        report.mem_ops += 1;
                         let need = match policy {
                             CheckPolicy::Naive => true,
-                            CheckPolicy::Analyzed => deref_needs_check(
-                                &analysis.valid_of(fi, *addr),
-                                analysis.vas_in_of(fi, crate::ir::BlockId(bi as u32), ii),
-                            ),
+                            CheckPolicy::Analyzed | CheckPolicy::Interprocedural => {
+                                deref_needs_check(&analysis.valid_of(fi, *addr), vas_in)
+                            }
                         };
-                        if need {
-                            new_insts.push(Inst::CheckDeref { addr: *addr });
-                            report.deref_checks += 1;
-                        } else {
-                            report.proven_safe += 1;
+                        SiteDecision {
+                            need_deref: need,
+                            need_store: false,
                         }
                     }
                     Inst::Store { addr, val } => {
-                        report.mem_ops += 1;
-                        let vas_in = analysis.vas_in_of(fi, crate::ir::BlockId(bi as u32), ii);
                         let valid_p = analysis.valid_of(fi, *addr);
                         let valid_v = analysis.valid_of(fi, *val);
                         let (need_deref, need_store) = match policy {
                             CheckPolicy::Naive => (true, !valid_v.is_empty()),
-                            CheckPolicy::Analyzed => (
+                            CheckPolicy::Analyzed | CheckPolicy::Interprocedural => (
                                 deref_needs_check(&valid_p, vas_in),
                                 // Only pointer stores need the containment
                                 // rule; integer stores have no valid set.
                                 !valid_v.is_empty() && store_ptr_needs_check(&valid_p, &valid_v),
                             ),
                         };
-                        if need_deref {
-                            new_insts.push(Inst::CheckDeref { addr: *addr });
-                            report.deref_checks += 1;
-                        }
-                        if need_store {
-                            new_insts.push(Inst::CheckStore {
-                                addr: *addr,
-                                val: *val,
-                            });
-                            report.store_checks += 1;
-                        }
-                        if !need_deref && !need_store {
-                            report.proven_safe += 1;
+                        SiteDecision {
+                            need_deref,
+                            need_store,
                         }
                     }
-                    _ => {}
+                    _ => continue,
+                };
+                if let Some(report) = &verified {
+                    if let Some(verdict) = report.verdict_at(site) {
+                        if verdict.deref == SiteClass::ProvenSafe {
+                            decision.need_deref = false;
+                        }
+                        if verdict.store == Some(SiteClass::ProvenSafe) {
+                            decision.need_store = false;
+                        }
+                    }
+                }
+                plan.report.mem_ops += 1;
+                if decision.need_deref {
+                    plan.report.deref_checks += 1;
+                }
+                if decision.need_store {
+                    plan.report.store_checks += 1;
+                }
+                if !decision.need_deref && !decision.need_store {
+                    plan.report.proven_safe += 1;
+                }
+                plan.decisions.insert(site, decision);
+            }
+        }
+    }
+    plan
+}
+
+/// Inserts checks into `module` according to `policy`.
+///
+/// Returns what was inserted. The module is modified in place: flagged
+/// loads/stores get a [`Inst::CheckDeref`] (and pointer stores a
+/// [`Inst::CheckStore`]) immediately before them.
+pub fn insert_checks(module: &mut Module, analysis: &Analysis, policy: CheckPolicy) -> CheckReport {
+    let plan = plan_checks(module, analysis, policy);
+    apply_plan(module, &plan);
+    plan.report
+}
+
+/// Applies a previously computed [`CheckPlan`] to `module`.
+pub fn apply_plan(module: &mut Module, plan: &CheckPlan) {
+    for (fi, func) in module.functions.iter_mut().enumerate() {
+        for (bi, block) in func.blocks.iter_mut().enumerate() {
+            let mut new_insts = Vec::with_capacity(block.insts.len());
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let decision = plan.decision_at(Site::new(fi, bi, ii));
+                if decision.need_deref {
+                    let addr = match inst {
+                        Inst::Load { addr, .. } | Inst::Store { addr, .. } => *addr,
+                        _ => unreachable!("deref check planned at a non-mem-op site"),
+                    };
+                    new_insts.push(Inst::CheckDeref { addr });
+                }
+                if decision.need_store {
+                    let Inst::Store { addr, val } = inst else {
+                        unreachable!("store check planned at a non-store site")
+                    };
+                    new_insts.push(Inst::CheckStore {
+                        addr: *addr,
+                        val: *val,
+                    });
                 }
                 new_insts.push(inst.clone());
             }
             block.insts = new_insts;
         }
     }
-    report
 }
 
 #[cfg(test)]
@@ -295,5 +378,61 @@ mod tests {
         let a = Analysis::run(&m, entry());
         let report = insert_checks(&mut m, &a, CheckPolicy::Analyzed);
         assert_eq!(report.deref_checks, 1, "VASin at the load is {{0, 1}}");
+    }
+
+    /// The boxed reload: `Analyzed` must check the loaded pointer (it is
+    /// `vunknown`); `Interprocedural` proves it safe and elides.
+    #[test]
+    fn interprocedural_elides_boxed_reload() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let slot = f.fresh_reg();
+        let q = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Alloca { dst: slot, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: slot, val: p });
+        f.push(BlockId(0), Inst::Load { dst: q, addr: slot });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: q });
+        f.push(BlockId(0), Inst::Ret(Some(x)));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let analyzed = plan_checks(&m, &a, CheckPolicy::Analyzed);
+        let interproc = plan_checks(&m, &a, CheckPolicy::Interprocedural);
+        assert_eq!(analyzed.report.deref_checks, 1, "q is vunknown");
+        assert_eq!(
+            interproc.report.deref_checks, 0,
+            "provenance recovers q = p"
+        );
+        assert!(interproc.report.proven_safe > analyzed.report.proven_safe);
+    }
+
+    /// Interprocedural elision is a superset of Analyzed elision: every
+    /// check it keeps, Analyzed also keeps.
+    #[test]
+    fn interprocedural_is_a_refinement() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let slot = f.fresh_reg();
+        let q = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Alloca { dst: slot, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: slot, val: p });
+        f.push(BlockId(0), Inst::Switch(VasName(1)));
+        f.push(BlockId(0), Inst::Load { dst: q, addr: slot });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: q });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let analyzed = plan_checks(&m, &a, CheckPolicy::Analyzed);
+        let interproc = plan_checks(&m, &a, CheckPolicy::Interprocedural);
+        for (site, d) in &interproc.decisions {
+            let ad = analyzed.decision_at(*site);
+            assert!(!d.need_deref || ad.need_deref);
+            assert!(!d.need_store || ad.need_store);
+        }
     }
 }

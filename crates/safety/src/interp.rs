@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use crate::ir::{BlockId, FuncId, Inst, Module, Reg, SegName, VasName};
+use crate::ir::{BlockId, FuncId, Inst, Module, Reg, SegName, Site, VasName};
 
 /// Base address of shared-segment memory in the common region. Far
 /// above anything the bump allocator hands out, so segment cells never
@@ -127,6 +127,19 @@ pub struct InterpStats {
     pub lock_ops: u64,
 }
 
+/// Per-site execution log, for the soundness self-validation harness:
+/// which memory operations completed, and where execution faulted.
+#[derive(Debug, Clone, Default)]
+pub struct SiteLog {
+    /// Load/store sites (and check sites) that executed successfully at
+    /// least once.
+    pub executed_ok: BTreeSet<Site>,
+    /// The memory-operation or check site whose execution trapped, if
+    /// the trap happened inside one (`None` for traps elsewhere, e.g. an
+    /// undefined register in a branch).
+    pub fault: Option<Site>,
+}
+
 struct Frame {
     func: FuncId,
     block: BlockId,
@@ -145,6 +158,8 @@ pub struct Interp<'m> {
     held: BTreeSet<SegName>,
     stats: InterpStats,
     step_limit: u64,
+    log: Option<SiteLog>,
+    pending_site: Option<Site>,
 }
 
 impl<'m> Interp<'m> {
@@ -158,6 +173,8 @@ impl<'m> Interp<'m> {
             held: BTreeSet::new(),
             stats: InterpStats::default(),
             step_limit: 1_000_000,
+            log: None,
+            pending_site: None,
         }
     }
 
@@ -165,6 +182,17 @@ impl<'m> Interp<'m> {
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
         self
+    }
+
+    /// Enables the per-site execution log (see [`SiteLog`]).
+    pub fn with_site_log(mut self) -> Self {
+        self.log = Some(SiteLog::default());
+        self
+    }
+
+    /// The site log, if enabled.
+    pub fn site_log(&self) -> Option<&SiteLog> {
+        self.log.as_ref()
     }
 
     /// Execution statistics.
@@ -211,6 +239,16 @@ impl<'m> Interp<'m> {
     ///
     /// Returns the [`Trap`] that aborted execution.
     pub fn run(&mut self, args: &[u64]) -> Result<Option<Value>, Trap> {
+        let result = self.run_inner(args);
+        if result.is_err() {
+            if let Some(log) = &mut self.log {
+                log.fault = self.pending_site;
+            }
+        }
+        result
+    }
+
+    fn run_inner(&mut self, args: &[u64]) -> Result<Option<Value>, Trap> {
         let main = &self.module.functions[0];
         let mut regs = HashMap::new();
         for (p, a) in main.params.iter().zip(args) {
@@ -252,6 +290,24 @@ impl<'m> Interp<'m> {
                 }
                 let inst = &block.insts[frame.idx];
                 frame.idx += 1;
+                // Track the site of memory operations and checks so a
+                // trap inside one can be attributed to it.
+                self.pending_site = if self.log.is_some()
+                    && matches!(
+                        inst,
+                        Inst::Load { .. }
+                            | Inst::Store { .. }
+                            | Inst::CheckDeref { .. }
+                            | Inst::CheckStore { .. }
+                    ) {
+                    Some(Site {
+                        func: frame.func.0,
+                        block: frame.block.0,
+                        idx: (frame.idx - 1) as u32,
+                    })
+                } else {
+                    None
+                };
                 match inst {
                     Inst::Switch(v) => {
                         self.current = *v;
@@ -460,6 +516,10 @@ impl<'m> Interp<'m> {
                         frame.idx = 0;
                         continue 'outer;
                     }
+                }
+                if let (Some(site), Some(log)) = (self.pending_site, self.log.as_mut()) {
+                    log.executed_ok.insert(site);
+                    self.pending_site = None;
                 }
             }
             // Fell off a block without a terminator: treat as return.

@@ -47,6 +47,38 @@ pub enum AbstractVas {
 /// A set of abstract VASes — the lattice element for `VASvalid`/`VASin`.
 pub type VasSet = BTreeSet<AbstractVas>;
 
+/// A program point: function, block, and instruction index. The common
+/// coordinate system shared by the analyses ([`crate::analysis`],
+/// [`crate::provenance`]), the check planner, and the interpreter's
+/// site log, so a static verdict and a runtime observation can be
+/// compared site-for-site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Site {
+    /// Function index within the module.
+    pub func: u32,
+    /// Block index within the function.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub idx: u32,
+}
+
+impl Site {
+    /// Builds a site from usize coordinates.
+    pub fn new(func: usize, block: usize, idx: usize) -> Site {
+        Site {
+            func: func as u32,
+            block: block as u32,
+            idx: idx as u32,
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}:bb{}[{}]", self.func, self.block, self.idx)
+    }
+}
+
 /// The instructions of Figure 5 plus control flow and the checks the
 /// transformation inserts.
 #[derive(Debug, Clone, PartialEq, Eq)]

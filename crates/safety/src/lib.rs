@@ -20,7 +20,21 @@
 //!   baseline for ablation);
 //! * [`interp`] — a tagged-pointer interpreter enforcing the Section 3.3
 //!   rules at runtime: ground truth that instrumented unsafe programs
-//!   trap at their checks and safe programs run unmodified.
+//!   trap at their checks and safe programs run unmodified;
+//! * [`provenance`] — the interprocedural pointer-provenance pass: an
+//!   abstract-object lattice (segment-of-origin × abstract-VAS set)
+//!   propagated through stores/loads/calls/returns/phis with a worklist
+//!   over the call graph, classifying every memory operation as
+//!   proven-safe / proven-dangling / unknown with a full
+//!   alloc → escape → switch → deref chain on each finding;
+//! * [`examples`] — named example IR programs (healthy ones plus the
+//!   classic injected dangling bug) shared by tests, docs, and the
+//!   `sjmp_lint --ir` CI gate;
+//! * [`genprog`] — a seeded (SimRng, fully offline) IR program generator
+//!   and the soundness self-validation harness that runs generated
+//!   programs under the interpreter and asserts no statically-elided
+//!   check would ever have fired and every proven-dangling site that
+//!   executes actually faults.
 //!
 //! # Examples
 //!
@@ -48,12 +62,19 @@
 
 pub mod analysis;
 pub mod checks;
+pub mod examples;
+pub mod genprog;
 pub mod interp;
 pub mod ir;
+pub mod provenance;
 
 pub use analysis::Analysis;
-pub use checks::{insert_checks, CheckPolicy, CheckReport};
-pub use interp::{Interp, InterpStats, Region, Trap, Value};
+pub use checks::{insert_checks, plan_checks, CheckPlan, CheckPolicy, CheckReport};
+pub use interp::{Interp, InterpStats, Region, SiteLog, Trap, Value};
 pub use ir::{
-    AbstractVas, Block, BlockId, FuncId, Function, Inst, Module, Phi, Reg, SegName, VasName, VasSet,
+    AbstractVas, Block, BlockId, FuncId, Function, Inst, Module, Phi, Reg, SegName, Site, VasName,
+    VasSet,
+};
+pub use provenance::{
+    verify, verify_with, DanglingFinding, Provenance, SiteClass, SiteVerdict, VerifyReport,
 };

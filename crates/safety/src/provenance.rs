@@ -1,0 +1,948 @@
+//! Interprocedural pointer-provenance analysis and the dangling-deref
+//! verifier built on top of it.
+//!
+//! The `VASvalid` dataflow ([`crate::analysis`]) deliberately loses
+//! information at memory: a pointer loaded from the common region becomes
+//! `vunknown`, because the intraprocedural lattice has no way to say
+//! *which* pointer was stored there. This module recovers that precision
+//! with a provenance lattice of abstract objects:
+//!
+//! * every allocation site (`alloca`, `global`, `malloc`, `vcast`) mints
+//!   one abstract object; `segaddr s` mints one object **per segment
+//!   name** shared by every function that names it — segment-of-origin
+//!   is part of provenance, which is what lets escapes through shared
+//!   lockable segments be tracked across functions;
+//! * each object carries the abstract-VAS set its memory belongs to
+//!   (`malloc` → the final `VASin` at the site; `alloca`/`global`/
+//!   `segaddr` → `{vcommon}`; `vcast y v` → `{v}`);
+//! * a register's provenance is [`Pts`]: a set of objects plus
+//!   "may be unknown" and "may be an integer" flags;
+//! * a global abstract heap maps each object to the provenance of
+//!   everything ever stored into it, so a load through object `o` yields
+//!   `heap(o)` instead of `vunknown`.
+//!
+//! Facts propagate bottom-up through function summaries (parameter and
+//! return provenance) with a worklist over the call graph; stores, loads,
+//! phis, copies, calls and returns are the transfer functions. Escape
+//! stores are recorded per object so a verdict can cite the full chain
+//! alloc site → escape store → `switch` → dereference.
+//!
+//! Soundness hinges on one hazard: the interpreter's per-region bump
+//! allocators hand out the *same* address sequence in every region, so a
+//! `vcast` pointer (or a statically unknown one) can alias any tracked
+//! object in its region. A store through such a pointer therefore
+//! poisons the whole abstract heap — every later load degrades to
+//! unknown — rather than silently missing the write.
+//!
+//! [`verify`] classifies every load/store as proven-safe /
+//! proven-dangling / unknown; [`crate::checks::CheckPolicy::Interprocedural`]
+//! elides checks at proven-safe sites, and the seeded soundness harness
+//! ([`crate::genprog`]) validates both claims against the interpreter.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::analysis::Analysis;
+use crate::ir::{AbstractVas, BlockId, Inst, Module, Reg, SegName, Site, VasName, VasSet};
+
+/// Index of an abstract object in [`Provenance::objects`].
+pub type ObjId = u32;
+
+/// Why an abstract object exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// `x = alloca` — a stack slot in the common region.
+    Alloca,
+    /// `x = global` — a global cell in the common region.
+    Global,
+    /// `x = malloc` — heap memory in the VAS(es) active at the site.
+    Malloc,
+    /// `x = segaddr s` — the shared lockable segment `s`. One object per
+    /// segment *name*: every function naming `s` sees the same object.
+    Seg(SegName),
+    /// `x = vcast y v` — a retagged pointer. Aliases anything in `v`, so
+    /// loads through it are unknown and stores poison the heap.
+    VCast(VasName),
+}
+
+/// An abstract object: one allocation site (or shared segment).
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Where it was minted (for segments: the first `segaddr` seen).
+    pub site: Site,
+    /// What minted it.
+    pub origin: Origin,
+    /// Abstract VASes its memory belongs to.
+    pub vas: VasSet,
+}
+
+/// Provenance lattice element for one register: which abstract objects
+/// it may point to, plus escape-to-the-unknown and may-be-integer flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pts {
+    /// Objects the register may point to.
+    pub objs: BTreeSet<ObjId>,
+    /// May hold a pointer the analysis cannot attribute to any object.
+    pub unknown: bool,
+    /// May hold a plain integer.
+    pub int: bool,
+}
+
+impl Pts {
+    fn int_only() -> Pts {
+        Pts {
+            int: true,
+            ..Pts::default()
+        }
+    }
+
+    fn unknown_value() -> Pts {
+        Pts {
+            unknown: true,
+            int: true,
+            ..Pts::default()
+        }
+    }
+
+    fn join(&mut self, other: &Pts) -> bool {
+        let before = (self.objs.len(), self.unknown, self.int);
+        self.objs.extend(other.objs.iter().copied());
+        self.unknown |= other.unknown;
+        self.int |= other.int;
+        before != (self.objs.len(), self.unknown, self.int)
+    }
+
+    /// Bottom: no objects, no flags — an undefined or untracked value.
+    pub fn is_bottom(&self) -> bool {
+        self.objs.is_empty() && !self.unknown && !self.int
+    }
+}
+
+/// Verdict for one memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteClass {
+    /// Cannot trap on the VAS rules: every execution dereferences live,
+    /// attached memory (and any stored pointer satisfies the store rule).
+    ProvenSafe,
+    /// Every execution that reaches it violates the Section 3.3 rules.
+    ProvenDangling,
+    /// Neither provable — keep the runtime check.
+    Unknown,
+}
+
+/// Kind of memory operation a verdict describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOpKind {
+    /// `x = *p`.
+    Load,
+    /// `*p = v`.
+    Store,
+}
+
+/// Classification of one load/store site.
+#[derive(Debug, Clone)]
+pub struct SiteVerdict {
+    /// Where.
+    pub site: Site,
+    /// Load or store.
+    pub kind: MemOpKind,
+    /// Verdict on dereferencing the address operand.
+    pub deref: SiteClass,
+    /// Verdict on the stored value obeying the store rule (stores only).
+    pub store: Option<SiteClass>,
+    /// Combined verdict: dangling if either aspect is, safe only if all
+    /// aspects are.
+    pub class: SiteClass,
+}
+
+/// A proven-dangling site with its provenance chain.
+#[derive(Debug, Clone)]
+pub struct DanglingFinding {
+    /// The faulting load/store.
+    pub site: Site,
+    /// Name of the function containing it.
+    pub func: String,
+    /// `"load"`, `"store"`, or `"store-value"` (the stored pointer, not
+    /// the address, is what violates the rule).
+    pub kind: &'static str,
+    /// Allocation sites of the objects the stale pointer may denote.
+    pub alloc_sites: Vec<Site>,
+    /// Stores through which the pointer escaped into memory.
+    pub escape_sites: Vec<Site>,
+    /// `switch` sites that made the dereferencing VAS current.
+    pub switch_sites: Vec<Site>,
+    /// VASes the pointer is valid in.
+    pub pointer_vas: VasSet,
+    /// VASes that may be current at the site.
+    pub current_vas: VasSet,
+    /// Human-readable `alloc → escape → switch → deref` chain.
+    pub chain: String,
+}
+
+/// Result of [`verify`]: a verdict per memory operation plus findings
+/// for every proven-dangling site.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// One verdict per load/store, in program order.
+    pub verdicts: Vec<SiteVerdict>,
+    /// Diagnostics for the proven-dangling sites.
+    pub findings: Vec<DanglingFinding>,
+    /// Worklist passes used by the provenance fixpoint.
+    pub iterations: u32,
+    by_site: HashMap<Site, usize>,
+}
+
+impl VerifyReport {
+    /// The verdict at a site, if it is a memory operation.
+    pub fn verdict_at(&self, site: Site) -> Option<&SiteVerdict> {
+        self.by_site.get(&site).map(|i| &self.verdicts[*i])
+    }
+
+    /// Memory operations classified.
+    pub fn mem_ops(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Count of sites with the given combined verdict.
+    pub fn count(&self, class: SiteClass) -> usize {
+        self.verdicts.iter().filter(|v| v.class == class).count()
+    }
+}
+
+/// Runs [`Analysis`] and then the provenance pass, classifying every
+/// memory operation in `module`.
+pub fn verify(module: &Module, entry_vas: VasSet) -> VerifyReport {
+    let analysis = Analysis::run(module, entry_vas);
+    verify_with(module, &analysis)
+}
+
+/// Like [`verify`] but reuses an existing [`Analysis`].
+pub fn verify_with(module: &Module, analysis: &Analysis) -> VerifyReport {
+    let prov = Provenance::run(module, analysis);
+    prov.report(module, analysis)
+}
+
+/// What one `process_function` pass changed, for worklist scheduling.
+#[derive(Default)]
+struct Delta {
+    /// A register in this function changed — revisit it.
+    local: bool,
+    /// Parameter provenance of these callees changed.
+    callees: BTreeSet<usize>,
+    /// This function's return provenance changed.
+    ret: bool,
+    /// The global heap (or poison flag) changed — revisit loaders.
+    heap: bool,
+}
+
+/// The interprocedural provenance analysis state.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// The abstract objects, indexed by [`ObjId`].
+    pub objects: Vec<Object>,
+    /// Provenance per function, per register.
+    regs: Vec<HashMap<Reg, Pts>>,
+    /// The global abstract heap: what each object's cells may contain.
+    heap: HashMap<ObjId, Pts>,
+    /// A store went through a `vcast` or unknown pointer: any cell in the
+    /// program may have been overwritten with anything.
+    pub heap_poisoned: bool,
+    /// Sites where a pointer to each object was stored into memory.
+    escapes: HashMap<ObjId, BTreeSet<Site>>,
+    /// Return-value provenance per function.
+    ret: Vec<Pts>,
+    /// Object minted at each site (segaddr sites share per-name objects).
+    site_obj: HashMap<Site, ObjId>,
+    /// Worklist passes used.
+    pub iterations: u32,
+}
+
+impl Provenance {
+    /// Runs the provenance fixpoint over `module`, reusing the final
+    /// `VASvalid`/`VASin` facts in `analysis` (which must come from the
+    /// same module).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worklist fails to converge within a generous bound
+    /// (a non-monotone transfer bug).
+    pub fn run(module: &Module, analysis: &Analysis) -> Provenance {
+        let n = module.functions.len();
+        let mut p = Provenance {
+            objects: Vec::new(),
+            regs: vec![HashMap::new(); n],
+            heap: HashMap::new(),
+            heap_poisoned: false,
+            escapes: HashMap::new(),
+            ret: vec![Pts::default(); n],
+            site_obj: HashMap::new(),
+            iterations: 0,
+        };
+        p.collect_objects(module, analysis);
+        // The interpreter passes integer arguments to main.
+        if let Some(main) = module.functions.first() {
+            for param in &main.params {
+                p.regs[0].insert(*param, Pts::int_only());
+            }
+        }
+        let callers = Self::caller_map(module);
+        let mut queued = vec![true; n];
+        let mut work: VecDeque<usize> = (0..n).collect();
+        let limit = (module.inst_count() as u32 + 64) * (n as u32 + 2) * 8;
+        while let Some(fi) = work.pop_front() {
+            queued[fi] = false;
+            p.iterations += 1;
+            assert!(p.iterations <= limit, "provenance failed to converge");
+            let delta = p.process_function(module, analysis, fi);
+            let enqueue = |i: usize, queued: &mut Vec<bool>, work: &mut VecDeque<usize>| {
+                if !queued[i] {
+                    queued[i] = true;
+                    work.push_back(i);
+                }
+            };
+            if delta.local {
+                enqueue(fi, &mut queued, &mut work);
+            }
+            for ci in delta.callees {
+                enqueue(ci, &mut queued, &mut work);
+            }
+            if delta.ret {
+                for c in &callers[fi] {
+                    enqueue(*c, &mut queued, &mut work);
+                }
+            }
+            if delta.heap {
+                // The heap is global: any function with loads may observe
+                // the new contents.
+                for i in 0..n {
+                    enqueue(i, &mut queued, &mut work);
+                }
+            }
+        }
+        p
+    }
+
+    /// Provenance of a register (bottom if never assigned).
+    pub fn pts_of(&self, func: usize, reg: Reg) -> Pts {
+        self.regs[func].get(&reg).cloned().unwrap_or_default()
+    }
+
+    /// Sites at which a pointer to `obj` was stored into memory.
+    pub fn escapes_of(&self, obj: ObjId) -> Vec<Site> {
+        self.escapes
+            .get(&obj)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Abstract heap contents of `obj` (bottom if never stored to).
+    pub fn heap_of(&self, obj: ObjId) -> Pts {
+        self.heap.get(&obj).cloned().unwrap_or_default()
+    }
+
+    fn collect_objects(&mut self, module: &Module, analysis: &Analysis) {
+        let mut seg_obj: HashMap<SegName, ObjId> = HashMap::new();
+        for (fi, func) in module.functions.iter().enumerate() {
+            for (bi, block) in func.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    let site = Site::new(fi, bi, ii);
+                    let (origin, vas) = match inst {
+                        Inst::Alloca { .. } => (Origin::Alloca, common_set()),
+                        Inst::Global { .. } => (Origin::Global, common_set()),
+                        Inst::Malloc { .. } => (
+                            Origin::Malloc,
+                            analysis.vas_in_of(fi, BlockId(bi as u32), ii).clone(),
+                        ),
+                        Inst::VCast { vas, .. } => (
+                            Origin::VCast(*vas),
+                            [AbstractVas::Vas(*vas)].into_iter().collect(),
+                        ),
+                        Inst::SegAddr { seg, .. } => {
+                            let id = *seg_obj.entry(*seg).or_insert_with(|| {
+                                self.objects.push(Object {
+                                    site,
+                                    origin: Origin::Seg(*seg),
+                                    vas: common_set(),
+                                });
+                                (self.objects.len() - 1) as ObjId
+                            });
+                            self.site_obj.insert(site, id);
+                            continue;
+                        }
+                        _ => continue,
+                    };
+                    let id = self.objects.len() as ObjId;
+                    self.objects.push(Object { site, origin, vas });
+                    self.site_obj.insert(site, id);
+                }
+            }
+        }
+    }
+
+    fn caller_map(module: &Module) -> Vec<BTreeSet<usize>> {
+        let mut callers = vec![BTreeSet::new(); module.functions.len()];
+        for (fi, func) in module.functions.iter().enumerate() {
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    if let Inst::Call { func: callee, .. } = inst {
+                        callers[callee.0 as usize].insert(fi);
+                    }
+                }
+            }
+        }
+        callers
+    }
+
+    fn join_reg(&mut self, fi: usize, reg: Reg, pts: &Pts) -> bool {
+        if pts.is_bottom() {
+            return false;
+        }
+        self.regs[fi].entry(reg).or_default().join(pts)
+    }
+
+    fn process_function(&mut self, module: &Module, _analysis: &Analysis, fi: usize) -> Delta {
+        let mut delta = Delta::default();
+        let func = &module.functions[fi];
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for phi in &block.phis {
+                let mut joined = Pts::default();
+                for (_, r) in &phi.incomings {
+                    joined.join(&self.pts_of(fi, *r));
+                }
+                delta.local |= self.join_reg(fi, phi.dst, &joined);
+            }
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let site = Site::new(fi, bi, ii);
+                match inst {
+                    Inst::Alloca { dst, .. }
+                    | Inst::Global { dst, .. }
+                    | Inst::Malloc { dst, .. }
+                    | Inst::VCast { dst, .. }
+                    | Inst::SegAddr { dst, .. } => {
+                        let obj = self.site_obj[&site];
+                        let pts = Pts {
+                            objs: [obj].into_iter().collect(),
+                            ..Pts::default()
+                        };
+                        delta.local |= self.join_reg(fi, *dst, &pts);
+                    }
+                    Inst::Copy { dst, src } => {
+                        let pts = self.pts_of(fi, *src);
+                        delta.local |= self.join_reg(fi, *dst, &pts);
+                    }
+                    Inst::Const { dst, .. } => {
+                        delta.local |= self.join_reg(fi, *dst, &Pts::int_only());
+                    }
+                    Inst::Load { dst, addr } => {
+                        let a = self.pts_of(fi, *addr);
+                        let mut result = Pts::default();
+                        if a.unknown || self.heap_poisoned {
+                            result.join(&Pts::unknown_value());
+                        }
+                        for obj in &a.objs {
+                            if matches!(self.objects[*obj as usize].origin, Origin::VCast(_)) {
+                                // A vcast pointer can alias any cell in
+                                // its region — the load may see anything.
+                                result.join(&Pts::unknown_value());
+                            } else {
+                                result.join(&self.heap_of(*obj));
+                            }
+                        }
+                        delta.local |= self.join_reg(fi, *dst, &result);
+                    }
+                    Inst::Store { addr, val } => {
+                        let a = self.pts_of(fi, *addr);
+                        let v = self.pts_of(fi, *val);
+                        if a.unknown
+                            || a.objs.iter().any(|o| {
+                                matches!(self.objects[*o as usize].origin, Origin::VCast(_))
+                            })
+                        {
+                            // Wild store: may overwrite any tracked cell.
+                            if !self.heap_poisoned {
+                                self.heap_poisoned = true;
+                                delta.heap = true;
+                            }
+                        }
+                        for obj in &a.objs {
+                            if matches!(self.objects[*obj as usize].origin, Origin::VCast(_)) {
+                                continue;
+                            }
+                            delta.heap |= self.heap.entry(*obj).or_default().join(&v);
+                        }
+                        if !a.is_bottom() {
+                            for vo in &v.objs {
+                                self.escapes.entry(*vo).or_default().insert(site);
+                            }
+                        }
+                    }
+                    Inst::Call {
+                        dst,
+                        func: callee,
+                        args,
+                    } => {
+                        let ci = callee.0 as usize;
+                        let callee_fn = &module.functions[ci];
+                        for (p, a) in callee_fn.params.iter().zip(args) {
+                            let pts = self.pts_of(fi, *a);
+                            if ci == fi {
+                                delta.local |= self.join_reg(ci, *p, &pts);
+                            } else if self.join_reg(ci, *p, &pts) {
+                                delta.callees.insert(ci);
+                            }
+                        }
+                        if let Some(d) = dst {
+                            let pts = self.ret[ci].clone();
+                            delta.local |= self.join_reg(fi, *d, &pts);
+                        }
+                    }
+                    Inst::Ret(Some(r)) => {
+                        let pts = self.pts_of(fi, *r);
+                        delta.ret |= self.ret[fi].join(&pts);
+                    }
+                    Inst::Ret(None)
+                    | Inst::Switch(_)
+                    | Inst::Br(_)
+                    | Inst::CondBr { .. }
+                    | Inst::CheckDeref { .. }
+                    | Inst::CheckStore { .. }
+                    | Inst::Lock(_)
+                    | Inst::Unlock(_) => {}
+                }
+            }
+        }
+        delta
+    }
+
+    /// The union of the VAS sets of the objects in `pts`.
+    fn regions_of(&self, pts: &Pts) -> VasSet {
+        let mut set = VasSet::new();
+        for obj in &pts.objs {
+            set.extend(self.objects[*obj as usize].vas.iter().copied());
+        }
+        set
+    }
+
+    /// Classifies dereferencing a pointer with provenance `pts` while the
+    /// current VAS is (any element of) `vas_in`.
+    pub fn deref_class(&self, pts: &Pts, vas_in: &VasSet) -> SiteClass {
+        if pts.unknown || pts.objs.is_empty() {
+            return SiteClass::Unknown;
+        }
+        let regions = self.regions_of(pts);
+        if regions.is_empty() || regions.contains(&AbstractVas::Unknown) || vas_in.is_empty() {
+            return SiteClass::Unknown;
+        }
+        let safe = !pts.int
+            && regions.iter().all(|r| match r {
+                AbstractVas::Common => true,
+                AbstractVas::Vas(_) => vas_in.len() == 1 && vas_in.contains(r),
+                AbstractVas::Unknown => false,
+            });
+        if safe {
+            return SiteClass::ProvenSafe;
+        }
+        let dangling = !pts.int
+            && vas_in.iter().all(|v| matches!(v, AbstractVas::Vas(_)))
+            && regions
+                .iter()
+                .all(|r| matches!(r, AbstractVas::Vas(_)) && !vas_in.contains(r));
+        if dangling {
+            return SiteClass::ProvenDangling;
+        }
+        SiteClass::Unknown
+    }
+
+    /// Classifies storing a value with provenance `val` through an
+    /// address with provenance `addr` (the Section 3.3 store rule).
+    pub fn store_class(&self, addr: &Pts, val: &Pts) -> SiteClass {
+        if val.objs.is_empty() && !val.unknown {
+            // Integers (or undefined values, which trap before the store
+            // rule matters) are always storable.
+            return SiteClass::ProvenSafe;
+        }
+        if addr.unknown || addr.objs.is_empty() {
+            return SiteClass::Unknown;
+        }
+        let targets = self.regions_of(addr);
+        let values = self.regions_of(val);
+        if targets.is_empty() || targets.contains(&AbstractVas::Unknown) {
+            return SiteClass::Unknown;
+        }
+        if !val.unknown && !values.contains(&AbstractVas::Unknown) {
+            let safe = targets.iter().all(|t| match t {
+                AbstractVas::Common => true,
+                AbstractVas::Vas(_) => !values.is_empty() && values.iter().all(|r| r == t),
+                AbstractVas::Unknown => false,
+            });
+            if safe {
+                return SiteClass::ProvenSafe;
+            }
+            // Always-faulting: the value is definitely a pointer and no
+            // possible (target, value) pair satisfies the store rule.
+            let dangling = !val.int
+                && !values.is_empty()
+                && targets
+                    .iter()
+                    .all(|t| matches!(t, AbstractVas::Vas(_)) && values.iter().all(|r| r != t));
+            if dangling {
+                return SiteClass::ProvenDangling;
+            }
+        }
+        SiteClass::Unknown
+    }
+
+    /// Builds the [`VerifyReport`] for `module`.
+    pub fn report(&self, module: &Module, analysis: &Analysis) -> VerifyReport {
+        // Switch sites per VAS, for chain diagnostics.
+        let mut switch_sites: HashMap<VasName, Vec<Site>> = HashMap::new();
+        for (fi, func) in module.functions.iter().enumerate() {
+            for (bi, block) in func.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    if let Inst::Switch(v) = inst {
+                        switch_sites
+                            .entry(*v)
+                            .or_default()
+                            .push(Site::new(fi, bi, ii));
+                    }
+                }
+            }
+        }
+        let mut report = VerifyReport {
+            verdicts: Vec::new(),
+            findings: Vec::new(),
+            iterations: self.iterations,
+            by_site: HashMap::new(),
+        };
+        for (fi, func) in module.functions.iter().enumerate() {
+            for (bi, block) in func.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    let site = Site::new(fi, bi, ii);
+                    let vas_in = analysis.vas_in_of(fi, BlockId(bi as u32), ii);
+                    let (kind, addr, val) = match inst {
+                        Inst::Load { addr, .. } => (MemOpKind::Load, addr, None),
+                        Inst::Store { addr, val } => (MemOpKind::Store, addr, Some(val)),
+                        _ => continue,
+                    };
+                    let addr_pts = self.pts_of(fi, *addr);
+                    let deref = self.deref_class(&addr_pts, vas_in);
+                    let store = val.map(|v| self.store_class(&addr_pts, &self.pts_of(fi, *v)));
+                    let class = combine(deref, store);
+                    if class == SiteClass::ProvenDangling {
+                        let (chain_kind, culprit) = if deref == SiteClass::ProvenDangling {
+                            (
+                                match kind {
+                                    MemOpKind::Load => "load",
+                                    MemOpKind::Store => "store",
+                                },
+                                addr_pts.clone(),
+                            )
+                        } else {
+                            ("store-value", self.pts_of(fi, *val.unwrap()))
+                        };
+                        report.findings.push(self.finding(
+                            site,
+                            &func.name,
+                            chain_kind,
+                            &culprit,
+                            vas_in,
+                            &switch_sites,
+                        ));
+                    }
+                    report.by_site.insert(site, report.verdicts.len());
+                    report.verdicts.push(SiteVerdict {
+                        site,
+                        kind,
+                        deref,
+                        store,
+                        class,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    fn finding(
+        &self,
+        site: Site,
+        func: &str,
+        kind: &'static str,
+        culprit: &Pts,
+        vas_in: &VasSet,
+        switch_sites: &HashMap<VasName, Vec<Site>>,
+    ) -> DanglingFinding {
+        let mut alloc_sites: BTreeSet<Site> = BTreeSet::new();
+        let mut escape_sites: BTreeSet<Site> = BTreeSet::new();
+        for obj in &culprit.objs {
+            alloc_sites.insert(self.objects[*obj as usize].site);
+            if let Some(sites) = self.escapes.get(obj) {
+                escape_sites.extend(sites.iter().copied().filter(|s| *s != site));
+            }
+        }
+        let mut switches: BTreeSet<Site> = BTreeSet::new();
+        for v in vas_in {
+            if let AbstractVas::Vas(name) = v {
+                if let Some(sites) = switch_sites.get(name) {
+                    switches.extend(sites.iter().copied());
+                }
+            }
+        }
+        let pointer_vas = self.regions_of(culprit);
+        let mut chain = String::new();
+        for s in &alloc_sites {
+            push_link(&mut chain, "alloc", *s);
+        }
+        for s in &escape_sites {
+            push_link(&mut chain, "escape", *s);
+        }
+        for s in &switches {
+            push_link(&mut chain, "switch", *s);
+        }
+        push_link(&mut chain, kind, site);
+        chain.push_str(&format!(
+            ": pointer valid in {}, current VAS {}",
+            fmt_vasset(&pointer_vas),
+            fmt_vasset(vas_in)
+        ));
+        DanglingFinding {
+            site,
+            func: func.to_string(),
+            kind,
+            alloc_sites: alloc_sites.into_iter().collect(),
+            escape_sites: escape_sites.into_iter().collect(),
+            switch_sites: switches.into_iter().collect(),
+            pointer_vas,
+            current_vas: vas_in.clone(),
+            chain,
+        }
+    }
+}
+
+fn combine(deref: SiteClass, store: Option<SiteClass>) -> SiteClass {
+    match (deref, store) {
+        (SiteClass::ProvenDangling, _) | (_, Some(SiteClass::ProvenDangling)) => {
+            SiteClass::ProvenDangling
+        }
+        (SiteClass::ProvenSafe, None) | (SiteClass::ProvenSafe, Some(SiteClass::ProvenSafe)) => {
+            SiteClass::ProvenSafe
+        }
+        _ => SiteClass::Unknown,
+    }
+}
+
+fn push_link(chain: &mut String, label: &str, site: Site) {
+    if !chain.is_empty() {
+        chain.push_str(" -> ");
+    }
+    chain.push_str(label);
+    chain.push_str(&site.to_string());
+}
+
+fn common_set() -> VasSet {
+    [AbstractVas::Common].into_iter().collect()
+}
+
+/// Renders a [`VasSet`] as `{v0, common}`.
+pub fn fmt_vasset(set: &VasSet) -> String {
+    let mut out = String::from("{");
+    for (i, v) in set.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match v {
+            AbstractVas::Vas(n) => out.push_str(&format!("v{}", n.0)),
+            AbstractVas::Common => out.push_str("common"),
+            AbstractVas::Unknown => out.push_str("unknown"),
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FuncId, Function};
+
+    fn entry() -> VasSet {
+        [AbstractVas::Vas(VasName(0))].into_iter().collect()
+    }
+
+    /// p = malloc; slot = alloca; *slot = p; q = *slot; x = *q — the
+    /// boxed reload the intraprocedural analysis loses: provenance
+    /// recovers that q is exactly p.
+    #[test]
+    fn boxed_reload_is_proven_safe() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let slot = f.fresh_reg();
+        let q = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Alloca { dst: slot, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: slot, val: p });
+        f.push(BlockId(0), Inst::Load { dst: q, addr: slot });
+        f.push(BlockId(0), Inst::Load { dst: x, addr: q });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let report = verify(&m, entry());
+        let deref = report.verdict_at(Site::new(0, 0, 4)).unwrap();
+        assert_eq!(deref.class, SiteClass::ProvenSafe);
+        assert_eq!(report.count(SiteClass::ProvenDangling), 0);
+    }
+
+    /// The classic silent bug: escape through a stack slot, switch, then
+    /// reload and dereference in the wrong VAS.
+    #[test]
+    fn escape_then_switch_is_proven_dangling() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let slot = f.fresh_reg();
+        let q = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 }); // [0] alloc
+        f.push(BlockId(0), Inst::Alloca { dst: slot, size: 8 }); // [1]
+        f.push(BlockId(0), Inst::Store { addr: slot, val: p }); // [2] escape
+        f.push(BlockId(0), Inst::Switch(VasName(1))); // [3] switch
+        f.push(BlockId(0), Inst::Load { dst: q, addr: slot }); // [4]
+        f.push(BlockId(0), Inst::Load { dst: x, addr: q }); // [5] deref
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let report = verify(&m, entry());
+        assert_eq!(report.findings.len(), 1);
+        let finding = &report.findings[0];
+        assert_eq!(finding.site, Site::new(0, 0, 5));
+        assert_eq!(finding.alloc_sites, vec![Site::new(0, 0, 0)]);
+        assert_eq!(finding.escape_sites, vec![Site::new(0, 0, 2)]);
+        assert_eq!(finding.switch_sites, vec![Site::new(0, 0, 3)]);
+        assert!(finding.chain.contains("alloc@0:bb0[0]"));
+        assert!(finding.chain.contains("escape@0:bb0[2]"));
+        assert!(finding.chain.contains("switch@0:bb0[3]"));
+        assert!(finding.chain.contains("load@0:bb0[5]"));
+    }
+
+    /// Escape through a shared segment crosses function boundaries: the
+    /// producer stores into segment 0, the consumer loads from it.
+    #[test]
+    fn segment_escape_crosses_functions() {
+        let mut m = Module::new();
+        let mut main = Function::new("main", 0);
+        let p = main.fresh_reg();
+        let seg = main.fresh_reg();
+        main.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        main.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: seg,
+                seg: SegName(0),
+            },
+        );
+        main.push(BlockId(0), Inst::Store { addr: seg, val: p });
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                func: FuncId(1),
+                args: vec![],
+            },
+        );
+        main.push(BlockId(0), Inst::Ret(None));
+        let mut consumer = Function::new("consumer", 0);
+        let seg2 = consumer.fresh_reg();
+        let q = consumer.fresh_reg();
+        let x = consumer.fresh_reg();
+        consumer.push(BlockId(0), Inst::Switch(VasName(1)));
+        consumer.push(
+            BlockId(0),
+            Inst::SegAddr {
+                dst: seg2,
+                seg: SegName(0),
+            },
+        );
+        consumer.push(BlockId(0), Inst::Load { dst: q, addr: seg2 });
+        consumer.push(BlockId(0), Inst::Load { dst: x, addr: q });
+        consumer.push(BlockId(0), Inst::Ret(None));
+        m.add_function(main);
+        m.add_function(consumer);
+        let report = verify(&m, entry());
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.site == Site::new(1, 0, 3))
+            .expect("cross-function dangling deref detected");
+        assert_eq!(finding.alloc_sites, vec![Site::new(0, 0, 0)]);
+        assert_eq!(finding.escape_sites, vec![Site::new(0, 0, 2)]);
+        assert_eq!(finding.func, "consumer");
+    }
+
+    /// A store through a vcast pointer poisons the heap: every later
+    /// load degrades to unknown instead of trusting stale contents.
+    #[test]
+    fn vcast_store_poisons_heap() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let p = f.fresh_reg();
+        let slot = f.fresh_reg();
+        let wild = f.fresh_reg();
+        let c = f.fresh_reg();
+        let q = f.fresh_reg();
+        f.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        f.push(BlockId(0), Inst::Alloca { dst: slot, size: 8 });
+        f.push(BlockId(0), Inst::Store { addr: slot, val: p });
+        f.push(BlockId(0), Inst::Const { dst: c, value: 7 });
+        f.push(
+            BlockId(0),
+            Inst::VCast {
+                dst: wild,
+                src: c,
+                vas: VasName(0),
+            },
+        );
+        f.push(BlockId(0), Inst::Store { addr: wild, val: c });
+        f.push(BlockId(0), Inst::Load { dst: q, addr: slot });
+        f.push(BlockId(0), Inst::Ret(None));
+        m.add_function(f);
+        let a = Analysis::run(&m, entry());
+        let prov = Provenance::run(&m, &a);
+        assert!(prov.heap_poisoned);
+        assert!(prov.pts_of(0, q).unknown, "poisoned heap degrades loads");
+    }
+
+    /// Recursion converges: a self-calling identity function.
+    #[test]
+    fn recursive_call_converges() {
+        let mut m = Module::new();
+        let mut main = Function::new("main", 0);
+        let p = main.fresh_reg();
+        let r = main.fresh_reg();
+        main.push(BlockId(0), Inst::Malloc { dst: p, size: 8 });
+        main.push(
+            BlockId(0),
+            Inst::Call {
+                dst: Some(r),
+                func: FuncId(1),
+                args: vec![p],
+            },
+        );
+        main.push(BlockId(0), Inst::Ret(None));
+        let mut rec = Function::new("rec", 1);
+        let arg = rec.params[0];
+        let out = rec.fresh_reg();
+        rec.push(
+            BlockId(0),
+            Inst::Call {
+                dst: Some(out),
+                func: FuncId(1),
+                args: vec![arg],
+            },
+        );
+        rec.push(BlockId(0), Inst::Ret(Some(arg)));
+        m.add_function(main);
+        m.add_function(rec);
+        let a = Analysis::run(&m, entry());
+        let prov = Provenance::run(&m, &a);
+        assert_eq!(prov.pts_of(0, r), prov.pts_of(0, p));
+    }
+}

@@ -7,11 +7,11 @@
 //! Programs are generated from fixed seeds with [`SimRng`], so every
 //! run explores the same cases and any failure replays exactly.
 
-use sjmp_mem::SimRng;
 use sjmp_safety::analysis::Analysis;
 use sjmp_safety::checks::{insert_checks, CheckPolicy};
 use sjmp_safety::interp::{Interp, Trap};
 use sjmp_safety::ir::{AbstractVas, BlockId, Function, Inst, Module, VasName};
+use sjmp_sim::SimRng;
 
 /// Program-generator actions: a tiny straight-line language that can
 /// produce both safe and unsafe programs.

@@ -8,9 +8,9 @@
 
 use spacejmp::gups::{run_jmp_shared_on, GupsConfig};
 use spacejmp::kv::JmpClient;
-use spacejmp::mem::SimRng;
 use spacejmp::os::{FaultPlan, FaultSite, OsError};
 use spacejmp::prelude::*;
+use spacejmp::sim::SimRng;
 
 const SEG_BASE: u64 = 0x1000_0000_0000;
 const SLOT: u64 = 1 << 39;

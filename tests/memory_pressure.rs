@@ -9,9 +9,10 @@
 use std::collections::HashMap;
 
 use spacejmp::mem::cost::{CostModel, MachineProfile};
-use spacejmp::mem::{SimRng, PAGE_SIZE};
+use spacejmp::mem::PAGE_SIZE;
 use spacejmp::os::OsError;
 use spacejmp::prelude::*;
+use spacejmp::sim::SimRng;
 
 const SEG_BASE: u64 = 0x1000_0000_0000;
 
